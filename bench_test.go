@@ -1,0 +1,417 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// bench per experiment (see DESIGN.md §4), plus ablation benches for
+// the design choices DESIGN.md §6 calls out and micro-benchmarks of
+// the simulation engine. Shape metrics are attached to each bench via
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the harness and prints the reproduced quantities.
+package netprobe
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/fec"
+	"netprobe/internal/loss"
+	"netprobe/internal/phase"
+	"netprobe/internal/queue"
+	"netprobe/internal/route"
+	"netprobe/internal/sim"
+	"netprobe/internal/stats"
+	"netprobe/internal/traffic"
+	"netprobe/internal/workload"
+)
+
+// benchDur keeps each benchmark iteration to one simulated minute so
+// the full suite runs in seconds while preserving every effect.
+const benchDur = time.Minute
+
+func runINRIA(b *testing.B, delta time.Duration, seed int64) *core.Trace {
+	b.Helper()
+	tr, err := core.INRIAUMd(delta, benchDur, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func runPitt(b *testing.B, delta time.Duration, seed int64) *core.Trace {
+	b.Helper()
+	tr, err := core.UMdPitt(delta, benchDur, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTable1Route regenerates Table 1: the INRIA→UMd route and
+// its traceroute rendering.
+func BenchmarkTable1Route(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := route.INRIAToUMd()
+		_ = p.Traceroute()
+		if _, bw := p.Bottleneck(); bw != 128_000 {
+			b.Fatal("wrong bottleneck")
+		}
+	}
+}
+
+// BenchmarkTable2Route regenerates Table 2: the UMd→Pittsburgh route.
+func BenchmarkTable2Route(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := route.UMdToPitt()
+		_ = p.Traceroute()
+		if len(p.Hops) != 14 {
+			b.Fatal("wrong hop count")
+		}
+	}
+}
+
+// BenchmarkFigure1TimeSeries regenerates Figure 1: the rtt_n series at
+// δ=50 ms, reporting the loss rate the paper quotes as 9%.
+func BenchmarkFigure1TimeSeries(b *testing.B) {
+	var lossRate float64
+	for i := 0; i < b.N; i++ {
+		tr := runINRIA(b, 50*time.Millisecond, int64(i))
+		series := tr.RTTSeries()
+		if len(series) == 0 {
+			b.Fatal("empty series")
+		}
+		lossRate = tr.LossRate()
+	}
+	b.ReportMetric(lossRate, "lossRate")
+}
+
+// BenchmarkFigure2PhasePlot regenerates Figure 2: the δ=50 ms phase
+// plot and its bottleneck estimate (paper: D≈140 ms, μ≈130 kb/s).
+func BenchmarkFigure2PhasePlot(b *testing.B) {
+	var mu, d float64
+	for i := 0; i < b.N; i++ {
+		tr := runINRIA(b, 50*time.Millisecond, int64(i))
+		est, err := phase.EstimateBottleneck(tr, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mu, d = est.BottleneckBps, est.FixedDelayMs
+	}
+	b.ReportMetric(mu/1000, "kbps")
+	b.ReportMetric(d, "D_ms")
+}
+
+// BenchmarkFigure4PhasePlot regenerates Figure 4: δ=500 ms, where the
+// compression line disappears and points scatter around the diagonal.
+func BenchmarkFigure4PhasePlot(b *testing.B) {
+	var diag float64
+	for i := 0; i < b.N; i++ {
+		tr, err := core.INRIAUMd(500*time.Millisecond, 5*time.Minute, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := phase.EstimateBottleneck(tr, 0); err == nil {
+			b.Fatal("compression line should be absent at δ=500 ms")
+		}
+		diag = phase.New(tr).DiagonalFraction(50)
+	}
+	b.ReportMetric(diag, "diagFrac")
+}
+
+// BenchmarkFigure5PhasePlot regenerates Figure 5: UMd–Pitt at δ=8 ms,
+// compression against the line rtt_{n+1} = rtt_n − 8 under a 3 ms
+// clock.
+func BenchmarkFigure5PhasePlot(b *testing.B) {
+	var onLine float64
+	for i := 0; i < b.N; i++ {
+		tr := runPitt(b, 8*time.Millisecond, int64(i))
+		p := phase.New(tr)
+		if len(p.Points) == 0 {
+			b.Fatal("no phase points")
+		}
+		onLine = float64(p.OnLine(-8, 1.5)) / float64(len(p.Points))
+	}
+	b.ReportMetric(onLine, "onLineFrac")
+}
+
+// BenchmarkFigure6PhasePlot regenerates Figure 6: UMd–Pitt at δ=50 ms,
+// diagonal scatter.
+func BenchmarkFigure6PhasePlot(b *testing.B) {
+	var diag float64
+	for i := 0; i < b.N; i++ {
+		tr := runPitt(b, 50*time.Millisecond, int64(i))
+		diag = phase.New(tr).DiagonalFraction(5)
+	}
+	b.ReportMetric(diag, "diagFrac")
+}
+
+// BenchmarkFigure8WorkloadDist regenerates Figure 8: the distribution
+// of w_{n+1}−w_n+δ at δ=20 ms and the bulk-packet size read from its
+// peaks (paper: ≈488 bytes).
+func BenchmarkFigure8WorkloadDist(b *testing.B) {
+	var bulk float64
+	for i := 0; i < b.N; i++ {
+		tr := runINRIA(b, 20*time.Millisecond, int64(i)+40)
+		a, err := workload.Analyze(tr, float64(tr.BottleneckBps), 1.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, err := a.InferredBulkBytes(); err == nil {
+			bulk = v
+		}
+	}
+	b.ReportMetric(bulk, "bulkBytes")
+}
+
+// BenchmarkFigure9WorkloadDist regenerates Figure 9: the same
+// distribution at δ=100 ms, whose compression peak shrinks.
+func BenchmarkFigure9WorkloadDist(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		tr := runINRIA(b, 100*time.Millisecond, int64(i))
+		frac = workload.CompressionFraction(tr, float64(tr.BottleneckBps), 3)
+	}
+	b.ReportMetric(frac, "comprFrac")
+}
+
+// BenchmarkTable3Loss regenerates Table 3: the ulp/clp/plg sweep over
+// all six probe intervals.
+func BenchmarkTable3Loss(b *testing.B) {
+	var ulp8, ulp500 float64
+	for i := 0; i < b.N; i++ {
+		for _, d := range core.PaperDeltas {
+			tr := runINRIA(b, d, int64(i))
+			s := loss.AnalyzeTrace(tr)
+			switch d {
+			case 8 * time.Millisecond:
+				ulp8 = s.ULP
+			case 500 * time.Millisecond:
+				ulp500 = s.ULP
+			}
+		}
+	}
+	b.ReportMetric(ulp8, "ulp_8ms")
+	b.ReportMetric(ulp500, "ulp_500ms")
+}
+
+// BenchmarkFECRecovery regenerates the Section 5 implication: the
+// residual loss of repetition-based recovery relative to the
+// random-loss baseline.
+func BenchmarkFECRecovery(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		tr := runINRIA(b, 100*time.Millisecond, int64(i))
+		penalty = fec.BurstPenalty(tr.LossIndicator())
+	}
+	b.ReportMetric(penalty, "burstPenalty")
+}
+
+// BenchmarkAnalyticModel runs the Section 6 batch-deterministic model
+// (both Monte Carlo and the numeric stationary solution).
+func BenchmarkAnalyticModel(b *testing.B) {
+	// Offered load ≈ 0.79: stable, like the measured path.
+	pmf := map[float64]float64{0: 0.7, 4096: 0.25, 8192: 0.05}
+	m := &queue.BatchDeterministic{
+		Mu: 128_000, Delta: 0.02, P: 576,
+		Batch: func(rng *rand.Rand) float64 {
+			u := rng.Float64()
+			switch {
+			case u < 0.7:
+				return 0
+			case u < 0.95:
+				return 4096
+			default:
+				return 8192
+			}
+		},
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res := m.Run(50_000, int64(i))
+		pi := m.StationaryWait(0.002, 0.4, pmf, 4, 120)
+		mean = 0
+		for j, p := range pi {
+			mean += float64(j) * 0.002 * p
+		}
+		_ = res
+	}
+	b.ReportMetric(mean*1000, "meanWait_ms")
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+func ablationPath(mutate func(*route.Path)) core.SimConfig {
+	p := route.INRIAToUMd()
+	if mutate != nil {
+		mutate(&p)
+	}
+	cross := core.DefaultINRIACross()
+	return core.SimConfig{
+		Path:     p,
+		Delta:    50 * time.Millisecond,
+		Duration: benchDur,
+		Cross:    &cross,
+	}
+}
+
+// BenchmarkAblationInfiniteBuffer removes the finite bottleneck buffer:
+// overflow losses vanish (only random loss remains) and delays grow.
+func BenchmarkAblationInfiniteBuffer(b *testing.B) {
+	var lossRate float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationPath(func(p *route.Path) {
+			for j := range p.Hops {
+				p.Hops[j].Buffer = 1 << 20
+			}
+		})
+		cfg.Seed = int64(i)
+		tr, err := core.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lossRate = tr.LossRate()
+	}
+	b.ReportMetric(lossRate, "lossRate")
+}
+
+// BenchmarkAblationNoRandomLoss removes the faulty-interface loss: the
+// Table 3 floor drops to pure overflow loss.
+func BenchmarkAblationNoRandomLoss(b *testing.B) {
+	var lossRate float64
+	for i := 0; i < b.N; i++ {
+		cfg := ablationPath(func(p *route.Path) {
+			for j := range p.Hops {
+				p.Hops[j].LossProb = 0
+			}
+		})
+		cfg.Seed = int64(i)
+		tr, err := core.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lossRate = tr.LossRate()
+	}
+	b.ReportMetric(lossRate, "lossRate")
+}
+
+// BenchmarkAblationBulkOnly removes interactive traffic: the workload
+// distribution collapses onto the FTP-multiple peaks.
+func BenchmarkAblationBulkOnly(b *testing.B) {
+	var peaks float64
+	for i := 0; i < b.N; i++ {
+		cross := core.DefaultINRIACross()
+		cross.InteractiveGap = 0
+		cross.ReturnGap = 0
+		tr, err := core.RunSim(core.SimConfig{
+			Path: route.INRIAToUMd(), Delta: 20 * time.Millisecond,
+			Duration: benchDur, Seed: int64(i), Cross: &cross,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a, err := workload.Analyze(tr, float64(tr.BottleneckBps), 1.5); err == nil {
+			peaks = float64(len(a.Peaks))
+		}
+	}
+	b.ReportMetric(peaks, "peaks")
+}
+
+// BenchmarkAblationInteractiveOnly removes bulk traffic: compression
+// nearly disappears and the distribution concentrates at δ.
+func BenchmarkAblationInteractiveOnly(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		cross := core.DefaultINRIACross()
+		cross.NBulk = 0
+		tr, err := core.RunSim(core.SimConfig{
+			Path: route.INRIAToUMd(), Delta: 20 * time.Millisecond,
+			Duration: benchDur, Seed: int64(i), Cross: &cross,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = workload.CompressionFraction(tr, float64(tr.BottleneckBps), 3)
+	}
+	b.ReportMetric(frac, "comprFrac")
+}
+
+// BenchmarkAblationNoClockQuantization runs Figure 2 with an exact
+// clock: the bottleneck estimate tightens onto the true 128 kb/s.
+func BenchmarkAblationNoClockQuantization(b *testing.B) {
+	var mu float64
+	for i := 0; i < b.N; i++ {
+		cross := core.DefaultINRIACross()
+		tr, err := core.RunSim(core.SimConfig{
+			Path: route.INRIAToUMd(), Delta: 50 * time.Millisecond,
+			Duration: benchDur, Seed: int64(i), Cross: &cross,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est, err := phase.EstimateBottleneck(tr, 0); err == nil {
+			mu = est.BottleneckBps
+		}
+	}
+	b.ReportMetric(mu/1000, "kbps")
+}
+
+// --- Engine micro-benchmarks ---
+
+// BenchmarkSimEngine measures raw event throughput of the simulator on
+// a loaded M/D/1-like queue.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.NewScheduler()
+		var f sim.Factory
+		sink := sim.NewSink(s, nil)
+		q := sim.NewQueue(s, "q", 1_000_000, 1000, sink)
+		traffic.NewPoisson(s, &f, "load", 125, 1200*time.Microsecond, time.Second, int64(i), q).Start()
+		s.Run(2 * time.Second)
+	}
+}
+
+// BenchmarkLindley measures the recurrence kernel.
+func BenchmarkLindley(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	svc := make([]float64, 10_000)
+	gap := make([]float64, 10_000)
+	for i := range svc {
+		svc[i] = rng.Float64()
+		gap[i] = rng.Float64() * 1.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = queue.Waits(svc, gap)
+	}
+}
+
+// BenchmarkFFT measures the periodogram path used in spectral
+// analysis.
+func BenchmarkFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stats.Periodogram(xs)
+	}
+}
+
+// BenchmarkPhaseEstimate measures the Section 4 analysis on a fixed
+// trace.
+func BenchmarkPhaseEstimate(b *testing.B) {
+	tr, err := core.INRIAUMd(20*time.Millisecond, benchDur, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phase.EstimateBottleneck(tr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command bolotsim runs a simulated probing experiment on one of the
+// paper's paths and writes the trace.
+//
+// Usage:
+//
+//	bolotsim [-path inria|pitt] [-delta 50ms] [-duration 10m]
+//	         [-seed 42] [-noloss] [-nocross] [-out trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"netprobe/internal/clock"
+	"netprobe/internal/core"
+	"netprobe/internal/loss"
+	"netprobe/internal/route"
+	"netprobe/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bolotsim: ")
+	var (
+		pathName = flag.String("path", "inria", "path to simulate: inria (Table 1) or pitt (Table 2)")
+		delta    = flag.Duration("delta", 50*time.Millisecond, "probe interval δ")
+		duration = flag.Duration("duration", 10*time.Minute, "experiment duration")
+		seed     = flag.Int64("seed", 42, "random seed")
+		noLoss   = flag.Bool("noloss", false, "disable random (faulty-interface) loss")
+		noCross  = flag.Bool("nocross", false, "disable Internet cross traffic")
+		out      = flag.String("out", "", "trace output file (.csv or .json)")
+	)
+	flag.Parse()
+
+	var p route.Path
+	var cross core.CrossConfig
+	var res time.Duration
+	switch *pathName {
+	case "inria":
+		p, cross, res = route.INRIAToUMd(), core.DefaultINRIACross(), clock.DECstationResolution
+	case "pitt":
+		p, cross, res = route.UMdToPitt(), core.DefaultPittCross(), clock.UMdResolution
+	default:
+		log.Fatalf("unknown path %q (want inria or pitt)", *pathName)
+	}
+	if *noLoss {
+		for i := range p.Hops {
+			p.Hops[i].LossProb = 0
+		}
+	}
+	cfg := core.SimConfig{
+		Path:     p,
+		Delta:    *delta,
+		Duration: *duration,
+		ClockRes: res,
+		Seed:     *seed,
+	}
+	if !*noCross {
+		cfg.Cross = &cross
+	}
+
+	fmt.Printf("route (%s):\n%s", p.Name, p.Traceroute())
+	tr, err := core.RunSim(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := loss.AnalyzeTrace(tr)
+	min, _ := tr.MinRTT()
+	fmt.Printf("%s\nmin RTT %v, %s\n", tr, min, st)
+	if *out != "" {
+		if err := trace.Save(*out, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}

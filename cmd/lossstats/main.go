@@ -1,0 +1,45 @@
+// Command lossstats computes the Section 5 loss statistics (Table 3)
+// for one or more saved traces: unconditional loss probability ulp,
+// conditional loss probability clp, and packet loss gap plg, plus the
+// Gilbert-model fit and the burstiness verdict.
+//
+// Usage:
+//
+//	lossstats trace1.csv [trace2.csv ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"netprobe/internal/fec"
+	"netprobe/internal/loss"
+	"netprobe/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lossstats: ")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: lossstats trace.csv [...]")
+	}
+	fmt.Printf("%-10s %8s %8s %8s %8s %10s %12s\n",
+		"delta", "probes", "ulp", "clp", "plg", "mean run", "burst pen.")
+	for _, path := range flag.Args() {
+		tr, err := trace.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := loss.AnalyzeTrace(tr)
+		bp := fec.BurstPenalty(tr.LossIndicator())
+		fmt.Printf("%-10v %8d %8.3f %8.3f %8.2f %10.2f %12.2f\n",
+			tr.Delta.Round(time.Millisecond), s.N, s.ULP, s.CLP, s.PLG, s.MeanRun, bp)
+		if g, err := loss.FitGilbert(tr.LossIndicator()); err == nil {
+			fmt.Printf("           gilbert: p01=%.3f p11=%.3f stationary=%.3f mean burst=%.2f\n",
+				g.P01, g.P11, g.StationaryLoss(), g.MeanBurst())
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command netdyn-echo runs the UDP echo server of the NetDyn
+// measurement setup: it stamps and returns every probe packet it
+// receives. Point netdyn-probe at it from the same or another host.
+//
+// Usage:
+//
+//	netdyn-echo [-addr host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"netprobe/internal/netdyn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netdyn-echo: ")
+	addr := flag.String("addr", "0.0.0.0:7007", "UDP address to listen on")
+	flag.Parse()
+
+	e, err := netdyn.NewEchoer(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+	fmt.Printf("echoing probes on %s\n", e.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Printf("\nechoed %d packets\n", e.Echoed())
+			return
+		case <-tick.C:
+			fmt.Printf("echoed %d packets\n", e.Echoed())
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command netdyn-probe sends UDP probe packets at a fixed interval to
+// a netdyn-echo server and writes the resulting trace, reproducing the
+// paper's data collection on a real network.
+//
+// Usage:
+//
+//	netdyn-probe -target host:port [-delta 50ms] [-count 12000]
+//	             [-size 32] [-clockres 0] [-out trace.csv]
+//
+// With no -count, the probe runs for the paper's 10 minutes
+// (duration/delta packets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"netprobe/internal/loss"
+	"netprobe/internal/netdyn"
+	"netprobe/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netdyn-probe: ")
+	var (
+		target   = flag.String("target", "", "echo host address (required)")
+		delta    = flag.Duration("delta", 50*time.Millisecond, "interval between probes")
+		count    = flag.Int("count", 0, "number of probes (0 = 10 minutes worth)")
+		size     = flag.Int("size", netdyn.DefaultPayload, "UDP payload bytes")
+		clockRes = flag.Duration("clockres", 0, "emulated clock resolution (e.g. 3.90625ms)")
+		out      = flag.String("out", "", "trace output file (.csv or .json); empty = summary only")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("missing -target (run netdyn-echo somewhere first)")
+	}
+	n := *count
+	if n == 0 {
+		n = int(10 * time.Minute / *delta)
+	}
+	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", *target, n, *size, *delta)
+	tr, err := netdyn.Probe(netdyn.ProbeConfig{
+		Target:      *target,
+		Delta:       *delta,
+		Count:       n,
+		PayloadSize: *size,
+		ClockRes:    *clockRes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := loss.AnalyzeTrace(tr)
+	min, _ := tr.MinRTT()
+	fmt.Printf("%s\nmin RTT %v, %s\n", tr, min, st)
+	if *out != "" {
+		if err := trace.Save(*out, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}

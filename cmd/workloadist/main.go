@@ -1,0 +1,68 @@
+// Command workloadist renders the Figure 8/9 analysis for a saved
+// trace: the histogram of inter-return times w_{n+1} − w_n + δ, the
+// detected peaks, and the Internet workload sizes they imply through
+// equation 6 — including the bulk (FTP) packet size.
+//
+// Usage:
+//
+//	workloadist [-mu 128000] [-bin 1.5] trace.csv
+//
+// With -mu 0 the bottleneck bandwidth recorded in the trace (if any)
+// or estimated from the phase plot is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"netprobe/internal/phase"
+	"netprobe/internal/plot"
+	"netprobe/internal/trace"
+	"netprobe/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("workloadist: ")
+	var (
+		mu  = flag.Float64("mu", 0, "bottleneck bandwidth in b/s (0 = from trace or phase plot)")
+		bin = flag.Float64("bin", 1.5, "histogram bin width in ms")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: workloadist [flags] trace.csv")
+	}
+	tr, err := trace.Load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := *mu
+	switch {
+	case m > 0:
+	case tr.BottleneckBps > 0:
+		m = float64(tr.BottleneckBps)
+		fmt.Printf("using bottleneck %.0f b/s recorded in the trace\n", m)
+	default:
+		est, err := phase.EstimateBottleneck(tr, 0)
+		if err != nil {
+			log.Fatalf("no bandwidth given, none in trace, and phase estimate failed: %v", err)
+		}
+		m = est.BottleneckBps
+		fmt.Printf("using phase-plot bandwidth estimate %.0f b/s\n", m)
+	}
+
+	fmt.Printf("distribution of w_n+1 − w_n + δ for %s:\n", tr.Name)
+	fmt.Print(plot.Histogram(workload.Distribution(tr, *bin), 48))
+
+	a, err := workload.Analyze(tr, m, *bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", a)
+	if bulk, err := a.InferredBulkBytes(); err == nil {
+		fmt.Printf("inferred bulk packet size: %.0f bytes (eq. 6: b = μ·peak − P)\n", bulk)
+	}
+	fmt.Printf("compression fraction (mass near P/μ): %.1f%%\n",
+		100*workload.CompressionFraction(tr, m, 3))
+}

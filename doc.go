@@ -1,0 +1,19 @@
+// Package netprobe is a reproduction of Jean-Chrysostome Bolot's
+// SIGCOMM '93 paper "End-to-End Packet Delay and Loss Behavior in the
+// Internet".
+//
+// The repository contains the paper's measurement tool (a real UDP
+// prober and echo server, package internal/netdyn), a discrete-event
+// network simulator standing in for the 1992/93 Internet paths the
+// paper measured (internal/sim, internal/route, internal/traffic),
+// the paper's analyses — phase plots and bottleneck estimation
+// (internal/phase), workload estimation via Lindley's recurrence
+// (internal/workload, internal/queue), and loss statistics
+// (internal/loss) — and the applications it motivates
+// (internal/fec). The benchmarks in bench_test.go regenerate every
+// table and figure; cmd/experiments prints them next to the paper's
+// reported values.
+//
+// See README.md for a tour and DESIGN.md for the full system
+// inventory.
+package netprobe

@@ -1,0 +1,95 @@
+// ACK compression example: the paper names its central observation
+// "probe compression because of its similarity with the phenomenon of
+// ACK compression which has been observed in simulations [29] and in
+// measurements on the NSFNET [18]". This example reproduces the
+// original phenomenon with real window-based transports over the
+// simulator: a TCP transfer whose ACKs share the reverse bottleneck
+// with another transfer's data sees its ACKs arrive in back-to-back
+// bursts — and the same measurement (inter-arrival clustering at the
+// service time) identifies both phenomena.
+//
+// Run with:
+//
+//	go run ./examples/ackcompression
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netprobe/internal/sim"
+	"netprobe/internal/stats"
+	"netprobe/internal/tcp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		rate   = 128_000 // the transatlantic link
+		buffer = 20
+		prop   = 35 * time.Millisecond
+		total  = 1500
+	)
+	dataSvc := time.Duration(512 * 8 * int64(time.Second) / rate)
+
+	run := func(twoWay bool) (float64, tcp.Stats) {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := tcp.NewDumbbell(sched, rate, buffer, prop)
+		a := tcp.NewConn(sched, &f, "A", tcp.Options{Total: total})
+		d.AttachForward(a)
+		a.Start(0)
+		if twoWay {
+			b := tcp.NewConn(sched, &f, "B", tcp.Options{Total: total})
+			d.AttachReverse(b)
+			b.Start(0)
+		}
+		sched.Run(30 * time.Minute)
+		return tcp.CompressionFraction(a.AckArrivalTimes(), dataSvc), a.Stats()
+	}
+
+	fmt.Printf("bottleneck %d b/s, data service time %v\n\n", rate, dataSvc)
+
+	one, st1 := run(false)
+	fmt.Printf("one-way traffic:  connection A alone\n")
+	fmt.Printf("  delivered %d, retransmits %d, srtt %v\n", st1.Delivered, st1.Retransmits, st1.SRTT.Round(time.Millisecond))
+	fmt.Printf("  ACK compression fraction: %.1f%% (gaps < half a data service time)\n\n", 100*one)
+
+	two, st2 := run(true)
+	fmt.Printf("two-way traffic:  connection B sends data over the reverse path\n")
+	fmt.Printf("  delivered %d, retransmits %d, srtt %v\n", st2.Delivered, st2.Retransmits, st2.SRTT.Round(time.Millisecond))
+	fmt.Printf("  ACK compression fraction: %.1f%%\n\n", 100*two)
+
+	// The same clustering is visible in the ACK inter-arrival
+	// histogram: a spike near the ACK service time (compressed) next
+	// to the mass at the data service time (ACK-clocked).
+	gaps := func(times []time.Duration) []float64 {
+		var out []float64
+		for i := 1; i < len(times); i++ {
+			out = append(out, float64(times[i]-times[i-1])/float64(time.Millisecond))
+		}
+		return out
+	}
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := tcp.NewDumbbell(sched, rate, buffer, prop)
+	a := tcp.NewConn(sched, &f, "A", tcp.Options{Total: total})
+	b := tcp.NewConn(sched, &f, "B", tcp.Options{Total: total})
+	d.AttachForward(a)
+	d.AttachReverse(b)
+	a.Start(0)
+	b.Start(0)
+	sched.Run(30 * time.Minute)
+	g := gaps(a.AckArrivalTimes())
+	h := stats.NewHistogram(0, 80, 2)
+	h.AddAll(g)
+	fmt.Println("ACK inter-arrival distribution under two-way traffic (ms):")
+	for i, c := range h.Counts {
+		if c > h.MaxCount()/20 {
+			fmt.Printf("%5.0f ms %6d\n", h.BinCenter(i), c)
+		}
+	}
+	fmt.Printf("\nthe paper's probe compression is this same signature, measured with %d-byte probes instead of ACKs\n", 72)
+}

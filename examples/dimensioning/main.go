@@ -1,0 +1,62 @@
+// Buffer dimensioning example: one of the motivations the paper opens
+// with — understanding delay/loss behavior matters "for the
+// dimensioning of buffers and link capacity". This example sweeps the
+// transatlantic bottleneck's buffer size, measures probe loss and
+// delay on each configuration, compares against the M/M/1/K blocking
+// formula, and reads off the loss-versus-delay trade-off a network
+// operator would use to size the queue.
+//
+// Run with:
+//
+//	go run ./examples/dimensioning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/queue"
+	"netprobe/internal/route"
+	"netprobe/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Printf("%8s %10s %12s %12s %14s\n",
+		"buffer", "loss", "median RTT", "p99 RTT", "M/M/1/K loss")
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		p := route.INRIAToUMd()
+		for i := range p.Hops {
+			p.Hops[i].LossProb = 0 // isolate overflow loss
+		}
+		p.Hops[3].Buffer = k
+		cross := core.DefaultINRIACross()
+		tr, err := core.RunSim(core.SimConfig{
+			Path:     p,
+			Delta:    50 * time.Millisecond,
+			Duration: 5 * time.Minute,
+			Seed:     12,
+			Cross:    &cross,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rtts := tr.RTTMillis()
+		med := stats.Quantile(rtts, 0.5)
+		p99 := stats.Quantile(rtts, 0.99)
+		// Reference: M/M/1/K at the measured total utilization
+		// (probes ≈9% + cross traffic ≈60%).
+		ref := queue.MM1KLossProbability(0.70, k+1)
+		fmt.Printf("%8d %9.2f%% %9.1f ms %9.1f ms %13.2f%%\n",
+			k, 100*tr.LossRate(), med, p99, 100*ref)
+	}
+	fmt.Println("\nlarger buffers trade loss for delay: overflow loss falls with K while")
+	fmt.Println("the delay tail grows with the extra queueing room. Note how much more")
+	fmt.Println("slowly the measured loss decays than the Poisson (M/M/1/K) formula")
+	fmt.Println("predicts: the bulk-transfer bursts arrive together, so buffer provisioning")
+	fmt.Println("based on Poisson models badly undersizes the queue — the burstiness")
+	fmt.Println("the paper's probes are designed to expose.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: simulate the paper's canonical experiment — probing the
+// INRIA → University of Maryland path at δ = 50 ms — and run the full
+// Section 4/5 analysis on the result: phase plot, bottleneck
+// estimation, and loss statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/loss"
+	"netprobe/internal/phase"
+	"netprobe/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Collect a trace: 2 simulated minutes of 32-byte UDP probes
+	//    every 50 ms over the Table 1 path, with the default
+	//    bulk+interactive cross traffic and the DECstation clock.
+	tr, err := core.INRIAUMd(50*time.Millisecond, 2*time.Minute, 1993)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tr)
+
+	// 2. Loss analysis (Section 5).
+	ls := loss.AnalyzeTrace(tr)
+	fmt.Printf("loss: %s\n", ls)
+	fmt.Printf("essentially random? %v\n\n", ls.IsEssentiallyRandom(0.45))
+
+	// 3. Phase-plot analysis (Section 4): recover the fixed delay D
+	//    and the bottleneck bandwidth μ from the compression line.
+	est, err := phase.EstimateBottleneck(tr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase-plot analysis: %s\n", est)
+	fmt.Printf("true bottleneck: %d b/s\n\n", tr.BottleneckBps)
+
+	// 4. Render the phase plot of the first 800 probes (Figure 2).
+	p := phase.New(tr.Slice(0, 800))
+	var xs, ys []float64
+	for _, pt := range p.Points {
+		xs = append(xs, pt.X)
+		ys = append(ys, pt.Y)
+	}
+	fmt.Println("phase plot (x = rtt_n, y = rtt_n+1, ms); '-' marks the compression line:")
+	fmt.Print(plot.Scatter(xs, ys, 72, 24,
+		plot.RefLine{Slope: 1, Intercept: 0, Ch: '\\'},
+		plot.RefLine{Slope: 1, Intercept: -est.InterceptMs, Ch: '-'},
+	))
+}

@@ -1,0 +1,3 @@
+module netprobe
+
+go 1.22

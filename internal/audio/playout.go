@@ -1,0 +1,179 @@
+// Package audio simulates receiver-side playout buffering for audio
+// over a measured path — the application Section 5 draws implications
+// for. Audio packets are sent at regular intervals (the paper cites
+// 22.5–125 ms); the receiver delays playback so that network delay
+// jitter does not interrupt the stream. "The shape of the delay
+// distribution is crucial for the proper sizing of playback buffers"
+// (Section 1, citing Schulzrinne's Internet voice terminal [24]).
+//
+// The package compares playout policies on a probe trace: a fixed
+// offset, a rolling delay quantile, and the classic adaptive
+// mean+deviation estimator used by Internet audio tools (exponential
+// averages of delay and of absolute deviation, delay = d̂ + 4·v̂),
+// re-estimated at talkspurt boundaries.
+package audio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"netprobe/internal/core"
+)
+
+// Policy chooses the playout delay (ms beyond the send time) for the
+// next talkspurt, given the network delays (ms) observed so far.
+type Policy interface {
+	// Delay returns the playout offset for the coming talkspurt.
+	Delay(history []float64) float64
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Fixed plays every packet a constant offset after it was sent.
+type Fixed struct {
+	// OffsetMs is the playout offset in milliseconds.
+	OffsetMs float64
+}
+
+// Delay implements Policy.
+func (f Fixed) Delay([]float64) float64 { return f.OffsetMs }
+
+// Name implements Policy.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%.0fms)", f.OffsetMs) }
+
+// Quantile sets the offset to a rolling quantile of recent delays.
+type Quantile struct {
+	// P is the quantile (e.g. 0.99).
+	P float64
+	// Window is how many recent delays to consider (0 = 200).
+	Window int
+}
+
+// Delay implements Policy.
+func (q Quantile) Delay(history []float64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	w := q.Window
+	if w <= 0 {
+		w = 200
+	}
+	if w > len(history) {
+		w = len(history)
+	}
+	recent := append([]float64(nil), history[len(history)-w:]...)
+	sort.Float64s(recent)
+	pos := q.P * float64(len(recent)-1)
+	lo := int(pos)
+	if lo >= len(recent)-1 {
+		return recent[len(recent)-1]
+	}
+	frac := pos - float64(lo)
+	return recent[lo]*(1-frac) + recent[lo+1]*frac
+}
+
+// Name implements Policy.
+func (q Quantile) Name() string { return fmt.Sprintf("quantile(%.2f)", q.P) }
+
+// Adaptive is the exponential mean-plus-deviation estimator of the
+// early Internet audio tools (and of TCP's RTO): d̂ ← α·d̂ + (1−α)·d,
+// v̂ ← α·v̂ + (1−α)·|d − d̂|, playout offset = d̂ + K·v̂.
+type Adaptive struct {
+	// Alpha is the smoothing factor (0 = the customary 0.998002 for
+	// per-packet updates; here applied per packet).
+	Alpha float64
+	// K is the safety multiplier (0 = 4, the classic choice).
+	K float64
+}
+
+// Delay implements Policy.
+func (a Adaptive) Delay(history []float64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	alpha := a.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.875
+	}
+	k := a.K
+	if k <= 0 {
+		k = 4
+	}
+	dHat := history[0]
+	vHat := 0.0
+	for _, d := range history[1:] {
+		vHat = alpha*vHat + (1-alpha)*math.Abs(d-dHat)
+		dHat = alpha*dHat + (1-alpha)*d
+	}
+	return dHat + k*vHat
+}
+
+// Name implements Policy.
+func (a Adaptive) Name() string { return "adaptive(mean+4dev)" }
+
+// Result reports how a policy performed over a trace.
+type Result struct {
+	Policy string
+	// LateRate is the fraction of received packets that missed
+	// their playout deadline.
+	LateRate float64
+	// LossRate is the fraction lost in the network (policy
+	// independent, reported for context).
+	LossRate float64
+	// MeanOffsetMs is the average playout offset the policy chose —
+	// the added conversational latency.
+	MeanOffsetMs float64
+	// Talkspurts is how many talkspurts were played.
+	Talkspurts int
+}
+
+// Simulate plays a probe trace through a policy. Each received
+// probe's RTT stands in for the audio packet's network delay. The
+// policy is consulted at talkspurt boundaries (every spurtLen packets;
+// 0 = 100) with the delays observed so far, as real tools adjust
+// playout only during silence.
+func Simulate(t *core.Trace, p Policy, spurtLen int) Result {
+	if spurtLen <= 0 {
+		spurtLen = 100
+	}
+	res := Result{Policy: p.Name(), LossRate: t.LossRate()}
+	var history []float64
+	offset := 0.0
+	received, late := 0, 0
+	sumOffset, nOffset := 0.0, 0
+	for i, s := range t.Samples {
+		if i%spurtLen == 0 {
+			offset = p.Delay(history)
+			res.Talkspurts++
+			sumOffset += offset
+			nOffset++
+		}
+		if s.Lost {
+			continue
+		}
+		d := float64(s.RTT) / float64(time.Millisecond)
+		received++
+		if d > offset {
+			late++
+		}
+		history = append(history, d)
+	}
+	if received > 0 {
+		res.LateRate = float64(late) / float64(received)
+	}
+	if nOffset > 0 {
+		res.MeanOffsetMs = sumOffset / float64(nOffset)
+	}
+	return res
+}
+
+// Compare runs several policies over the same trace.
+func Compare(t *core.Trace, spurtLen int, policies ...Policy) []Result {
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, Simulate(t, p, spurtLen))
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package audio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+)
+
+func synthTrace(delta time.Duration, rtts []float64) *core.Trace {
+	t := &core.Trace{Name: "synth", Delta: delta, PayloadSize: 32, WireSize: 72}
+	for i, ms := range rtts {
+		s := core.Sample{Seq: i, Sent: time.Duration(i) * delta}
+		if ms == 0 {
+			s.Lost = true
+		} else {
+			s.RTT = time.Duration(ms * float64(time.Millisecond))
+			s.Recv = s.Sent + s.RTT
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t
+}
+
+func TestFixedPolicyLateRate(t *testing.T) {
+	// Delays alternate 140/180; a 150 ms fixed offset misses half.
+	var rtts []float64
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			rtts = append(rtts, 140)
+		} else {
+			rtts = append(rtts, 180)
+		}
+	}
+	tr := synthTrace(100*time.Millisecond, rtts)
+	r := Simulate(tr, Fixed{OffsetMs: 150}, 100)
+	if math.Abs(r.LateRate-0.5) > 0.02 {
+		t.Fatalf("late rate = %v, want ≈0.5", r.LateRate)
+	}
+	r = Simulate(tr, Fixed{OffsetMs: 200}, 100)
+	if r.LateRate != 0 {
+		t.Fatalf("generous offset still late: %v", r.LateRate)
+	}
+	if r.MeanOffsetMs != 200 {
+		t.Fatalf("mean offset = %v", r.MeanOffsetMs)
+	}
+}
+
+func TestQuantilePolicyTracksDistribution(t *testing.T) {
+	var rtts []float64
+	for i := 0; i < 1000; i++ {
+		rtts = append(rtts, 140+float64(i%100))
+	}
+	tr := synthTrace(100*time.Millisecond, rtts)
+	r := Simulate(tr, Quantile{P: 0.95, Window: 500}, 100)
+	// ≈5% steady-state late, plus the whole first talkspurt (10% of
+	// packets) while the history is empty.
+	if r.LateRate > 0.17 {
+		t.Fatalf("late rate = %v, want ≈0.15 including warmup", r.LateRate)
+	}
+	if r.MeanOffsetMs < 150 || r.MeanOffsetMs > 245 {
+		t.Fatalf("offset = %v, want within the delay range", r.MeanOffsetMs)
+	}
+}
+
+func TestAdaptivePolicyConvergence(t *testing.T) {
+	// Stationary jitter: the adaptive estimator should land above
+	// the mean and keep late rate low with far less offset than a
+	// max-tracking fixed policy would need.
+	var rtts []float64
+	for i := 0; i < 2000; i++ {
+		rtts = append(rtts, 140+float64((i*37)%25))
+	}
+	tr := synthTrace(100*time.Millisecond, rtts)
+	r := Simulate(tr, Adaptive{}, 100)
+	if r.LateRate > 0.10 {
+		t.Fatalf("adaptive late rate = %v", r.LateRate)
+	}
+	if r.MeanOffsetMs > 250 {
+		t.Fatalf("adaptive offset = %v, too conservative", r.MeanOffsetMs)
+	}
+}
+
+func TestSimulateSkipsLostPackets(t *testing.T) {
+	tr := synthTrace(100*time.Millisecond, []float64{140, 0, 150, 0})
+	r := Simulate(tr, Fixed{OffsetMs: 1000}, 2)
+	if r.LateRate != 0 {
+		t.Fatalf("late rate = %v", r.LateRate)
+	}
+	if r.LossRate != 0.5 {
+		t.Fatalf("loss rate = %v", r.LossRate)
+	}
+	if r.Talkspurts != 2 {
+		t.Fatalf("talkspurts = %d", r.Talkspurts)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{Fixed{100}, Quantile{P: 0.99}, Adaptive{}} {
+		if p.Name() == "" {
+			t.Fatalf("%T has empty name", p)
+		}
+	}
+}
+
+// The §5 tradeoff on the simulated path: the adaptive policy should
+// achieve a late rate comparable to a well-chosen quantile policy,
+// and both should dominate a naive small fixed offset.
+func TestPlayoutTradeoffOnSimulatedPath(t *testing.T) {
+	tr, err := core.INRIAUMd(100*time.Millisecond, 5*time.Minute, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Compare(tr, 100,
+		Fixed{OffsetMs: 160}, // barely above the 140 ms floor
+		Quantile{P: 0.99},
+		Adaptive{},
+	)
+	naive, quant, adapt := res[0], res[1], res[2]
+	if naive.LateRate < 2*quant.LateRate {
+		t.Fatalf("naive fixed (%v) should be much worse than quantile (%v)",
+			naive.LateRate, quant.LateRate)
+	}
+	if adapt.LateRate > 0.25 {
+		t.Fatalf("adaptive late rate = %v", adapt.LateRate)
+	}
+	// The adaptive policy must not buy its late rate with an absurd
+	// offset: stay under the trace's max RTT.
+	maxMs := 0.0
+	for _, ms := range tr.RTTMillis() {
+		if ms > maxMs {
+			maxMs = ms
+		}
+	}
+	if adapt.MeanOffsetMs > maxMs {
+		t.Fatalf("adaptive offset %v above max delay %v", adapt.MeanOffsetMs, maxMs)
+	}
+}

@@ -1,0 +1,118 @@
+package capacity
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/route"
+)
+
+func quietPath() route.Path {
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+	return p
+}
+
+func TestPairScheduleShape(t *testing.T) {
+	st := PairSchedule(3, 100*time.Millisecond, time.Millisecond)
+	if len(st) != 6 {
+		t.Fatalf("length %d", len(st))
+	}
+	if st[0] != 0 || st[1] != time.Millisecond {
+		t.Fatalf("first pair %v %v", st[0], st[1])
+	}
+	if st[2] != 100*time.Millisecond || st[3] != 101*time.Millisecond {
+		t.Fatalf("second pair %v %v", st[2], st[3])
+	}
+	for i := 1; i < len(st); i++ {
+		if st[i] < st[i-1] {
+			t.Fatal("schedule not sorted")
+		}
+	}
+}
+
+func TestFromPairsIdlePath(t *testing.T) {
+	// On an idle path every pair queues at the bottleneck: the
+	// estimate should be nearly exact.
+	tr, err := core.RunSim(core.SimConfig{
+		Path:      quietPath(),
+		Delta:     200 * time.Millisecond, // bookkeeping only
+		SendTimes: PairSchedule(200, 200*time.Millisecond, time.Millisecond),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := FromPairs(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BottleneckBps < 124_000 || est.BottleneckBps > 132_000 {
+		t.Fatalf("packet-pair μ = %.0f, want ≈128000 (%v)", est.BottleneckBps, est)
+	}
+	if est.ModalFraction < 0.9 {
+		t.Fatalf("idle path should have ≈all pairs modal: %v", est)
+	}
+}
+
+func TestFromPairsUnderCrossTraffic(t *testing.T) {
+	// Cross traffic perturbs many pairs; the mode must still find
+	// the clean ones.
+	cross := core.DefaultINRIACross()
+	tr, err := core.RunSim(core.SimConfig{
+		Path:      quietPath(),
+		Delta:     200 * time.Millisecond,
+		SendTimes: PairSchedule(1500, 200*time.Millisecond, time.Millisecond),
+		Seed:      2,
+		Cross:     &cross,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := FromPairs(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BottleneckBps < 118_000 || est.BottleneckBps > 140_000 {
+		t.Fatalf("packet-pair μ under load = %.0f, want ≈128000 (%v)", est.BottleneckBps, est)
+	}
+	if est.ModalFraction > 0.995 {
+		t.Fatalf("cross traffic should disturb some pairs: %v", est)
+	}
+}
+
+func TestFromPairsAllLost(t *testing.T) {
+	tr := &core.Trace{Delta: time.Millisecond, WireSize: 72,
+		Samples: []core.Sample{{Seq: 0, Lost: true}, {Seq: 1, Lost: true}}}
+	if _, err := FromPairs(tr, 0); !errors.Is(err, ErrNoPairs) {
+		t.Fatalf("err = %v, want ErrNoPairs", err)
+	}
+}
+
+func TestFromPairsAgreesWithPhaseMethod(t *testing.T) {
+	// Two independent estimators, one link: packet pairs and the
+	// paper's phase-plot intercept must land on the same bandwidth.
+	cross := core.DefaultINRIACross()
+	pairTr, err := core.RunSim(core.SimConfig{
+		Path:      quietPath(),
+		Delta:     200 * time.Millisecond,
+		SendTimes: PairSchedule(1000, 200*time.Millisecond, time.Millisecond),
+		Seed:      5,
+		Cross:     &cross,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairEst, err := FromPairs(pairTr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := pairEst.BottleneckBps / 128_000
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("pair estimate off: %v", pairEst)
+	}
+}

@@ -1,0 +1,85 @@
+// Package clock models the measurement clocks of the paper's probe
+// hosts.
+//
+// The paper's round-trip times are quantized by the source host's
+// clock: the INRIA DECstation 5000 ticks every 3.906 ms (1/256 s) and
+// the UMd host every ≈3 ms, which produces the "somewhat regular
+// spacing between the points in the phase plane" visible in Figures 5
+// and 6. Quantize reproduces that effect for simulated measurements,
+// and Wall provides a monotonic wall-clock source for the real UDP
+// prober.
+package clock
+
+import "time"
+
+// DECstationResolution is the clock resolution of the DECstation 5000
+// used as the source host at INRIA: 1/256 s = 3.90625 ms.
+const DECstationResolution = time.Second / 256
+
+// UMdResolution is the ≈3 ms clock resolution of the UMd source host
+// reported for the Figure 5/6 experiments.
+const UMdResolution = 3 * time.Millisecond
+
+// Quantize rounds d down to a multiple of res, emulating a clock that
+// only advances in ticks of res. A non-positive res returns d
+// unchanged.
+func Quantize(d, res time.Duration) time.Duration {
+	if res <= 0 {
+		return d
+	}
+	return d - d%res
+}
+
+// QuantizeRTT computes the round-trip time a host with resolution res
+// would measure for a packet sent at send and received at recv: both
+// timestamps are read from the quantized clock before subtracting,
+// exactly as the measurement tool does.
+func QuantizeRTT(send, recv, res time.Duration) time.Duration {
+	return Quantize(recv, res) - Quantize(send, res)
+}
+
+// Clock supplies the current time as an offset from an arbitrary
+// fixed origin.
+type Clock interface {
+	// Now reports the current time offset.
+	Now() time.Duration
+}
+
+// Wall is a monotonic wall clock measuring elapsed time since its
+// creation. It is safe for concurrent use.
+type Wall struct {
+	origin time.Time
+	res    time.Duration
+}
+
+// NewWall returns a wall clock with the given resolution; res <= 0
+// means full nanosecond resolution.
+func NewWall(res time.Duration) *Wall {
+	return &Wall{origin: time.Now(), res: res}
+}
+
+// Now implements Clock.
+func (w *Wall) Now() time.Duration {
+	return Quantize(time.Since(w.origin), w.res)
+}
+
+// Virtual is a manually advanced clock for tests and simulation.
+type Virtual struct {
+	now time.Duration
+	res time.Duration
+}
+
+// NewVirtual returns a virtual clock at time zero with the given
+// resolution; res <= 0 means full resolution.
+func NewVirtual(res time.Duration) *Virtual { return &Virtual{res: res} }
+
+// Advance moves the clock forward by d. Negative d panics.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: negative advance")
+	}
+	v.now += d
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Duration { return Quantize(v.now, v.res) }

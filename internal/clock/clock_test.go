@@ -1,0 +1,106 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQuantizeBasics(t *testing.T) {
+	res := DECstationResolution // 3.90625 ms
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, 0},
+		{res, res},
+		{res - time.Nanosecond, 0},
+		{res + time.Nanosecond, res},
+		{10 * res, 10 * res},
+		{140 * time.Millisecond, 35 * res}, // 136.71875 ms
+	}
+	for _, c := range cases {
+		if got := Quantize(c.in, res); got != c.want {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeNoResolution(t *testing.T) {
+	d := 123456789 * time.Nanosecond
+	if got := Quantize(d, 0); got != d {
+		t.Fatalf("Quantize(d, 0) = %v, want %v", got, d)
+	}
+	if got := Quantize(d, -1); got != d {
+		t.Fatalf("Quantize(d, -1) = %v, want %v", got, d)
+	}
+}
+
+func TestQuantizeRTTMultipleOfResolution(t *testing.T) {
+	res := UMdResolution
+	send := 7*time.Millisecond + 123*time.Microsecond
+	recv := send + 25*time.Millisecond + 777*time.Microsecond
+	rtt := QuantizeRTT(send, recv, res)
+	if rtt%res != 0 {
+		t.Fatalf("quantized RTT %v not a multiple of %v", rtt, res)
+	}
+}
+
+func TestDECstationResolutionValue(t *testing.T) {
+	if DECstationResolution != 3906250*time.Nanosecond {
+		t.Fatalf("DECstation resolution = %v, want 3.90625 ms", DECstationResolution)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	v := NewVirtual(0)
+	if v.Now() != 0 {
+		t.Fatalf("new virtual clock at %v, want 0", v.Now())
+	}
+	v.Advance(5 * time.Millisecond)
+	if v.Now() != 5*time.Millisecond {
+		t.Fatalf("after advance Now = %v, want 5ms", v.Now())
+	}
+	q := NewVirtual(3 * time.Millisecond)
+	q.Advance(5 * time.Millisecond)
+	if q.Now() != 3*time.Millisecond {
+		t.Fatalf("quantized virtual Now = %v, want 3ms", q.Now())
+	}
+}
+
+func TestVirtualClockPanicsOnNegativeAdvance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	NewVirtual(0).Advance(-time.Millisecond)
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	w := NewWall(0)
+	a := w.Now()
+	b := w.Now()
+	if b < a {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+// Property: quantization is idempotent and never increases the value,
+// and the error is < res.
+func TestQuantizeProperty(t *testing.T) {
+	check := func(dRaw int64, resRaw int64) bool {
+		d := time.Duration(dRaw % int64(time.Hour))
+		if d < 0 {
+			d = -d
+		}
+		res := time.Duration(resRaw%int64(10*time.Millisecond)) + 1
+		if res < 0 {
+			res = -res + 1
+		}
+		q := Quantize(d, res)
+		return q <= d && d-q < res && Quantize(q, res) == q && q%res == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSimRouteChangeShiftsBaseline(t *testing.T) {
+	tr, err := RunSim(SimConfig{
+		Path:  quietPath(),
+		Delta: 50 * time.Millisecond,
+		Count: 400,
+		Seed:  1,
+		RouteChange: &RouteChange{
+			At:    10 * time.Second,
+			Hop:   3,
+			Shift: 25 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Slice(0, 150)
+	after := tr.Slice(250, 400)
+	minBefore, err := before.MinRTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	minAfter, err := after.MinRTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := minAfter - minBefore
+	if shift < 45*time.Millisecond || shift > 55*time.Millisecond {
+		t.Fatalf("round-trip baseline shift = %v, want ≈50 ms (2 × 25 ms)", shift)
+	}
+}
+
+func TestRunSimRouteChangeValidation(t *testing.T) {
+	_, err := RunSim(SimConfig{
+		Path:        quietPath(),
+		Delta:       50 * time.Millisecond,
+		Count:       10,
+		RouteChange: &RouteChange{At: time.Second, Hop: 99, Shift: time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("out-of-range hop accepted")
+	}
+}
+
+func TestRunSimAnomalyElevatesSomeProbes(t *testing.T) {
+	tr, err := RunSim(SimConfig{
+		Path:  quietPath(),
+		Delta: 500 * time.Millisecond,
+		Count: 600, // 5 minutes
+		Seed:  2,
+		Anomaly: &Anomaly{
+			Period: 60 * time.Second,
+			Burst:  15,
+			Size:   512,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := tr.MinRTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elevated := 0
+	for _, s := range tr.Samples {
+		if !s.Lost && s.RTT > min+100*time.Millisecond {
+			elevated++
+		}
+	}
+	// 4+ bursts in 5 minutes, each parking at least one probe.
+	if elevated < 3 {
+		t.Fatalf("only %d probes elevated by the periodic bursts", elevated)
+	}
+	// The network is otherwise idle: non-elevated probes see the
+	// fixed delay.
+	if float64(elevated) > 0.2*float64(tr.Len()) {
+		t.Fatalf("%d of %d probes elevated; bursts should be narrow", elevated, tr.Len())
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"time"
+
+	"netprobe/internal/clock"
+	"netprobe/internal/route"
+	"netprobe/internal/stats"
+)
+
+// PaperDeltas are the probe intervals of the paper's experiments.
+var PaperDeltas = []time.Duration{
+	8 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+}
+
+// INRIAUMd runs the canonical INRIA→UMd experiment of the paper:
+// 32-byte payload (72 bytes on the wire), the DECstation 5000 source
+// clock, the default cross-traffic mix, for the given probe interval
+// and duration (0 = the paper's 10 minutes).
+func INRIAUMd(delta time.Duration, duration time.Duration, seed int64) (*Trace, error) {
+	cross := DefaultINRIACross()
+	return RunSim(SimConfig{
+		Path:     route.INRIAToUMd(),
+		Delta:    delta,
+		Duration: duration,
+		ClockRes: clock.DECstationResolution,
+		Seed:     seed,
+		Cross:    &cross,
+	})
+}
+
+// UMdPitt runs the UMd→Pittsburgh experiment of Figures 5 and 6: the
+// T3 path, the ≈3 ms UMd source clock, and a proportionally heavier
+// cross-traffic mix.
+func UMdPitt(delta time.Duration, duration time.Duration, seed int64) (*Trace, error) {
+	cross := DefaultPittCross()
+	return RunSim(SimConfig{
+		Path:     route.UMdToPitt(),
+		Delta:    delta,
+		Duration: duration,
+		ClockRes: clock.UMdResolution,
+		Seed:     seed,
+		Cross:    &cross,
+	})
+}
+
+// GroupedSchedule builds the probe schedule of the baseline
+// methodology in [19] (Mukherjee): groups of groupSize packets sent
+// intraGap apart, with successive group starts interGap apart.
+func GroupedSchedule(groups, groupSize int, intraGap, interGap time.Duration) []time.Duration {
+	out := make([]time.Duration, 0, groups*groupSize)
+	for g := 0; g < groups; g++ {
+		start := time.Duration(g) * interGap
+		for i := 0; i < groupSize; i++ {
+			out = append(out, start+time.Duration(i)*intraGap)
+		}
+	}
+	return out
+}
+
+// GroupMeans averages received RTTs (in milliseconds) within each
+// consecutive group of groupSize probes, returning one value per group
+// that had at least one received probe — the per-group averaging step
+// of [19]. Groups with no received probes are skipped.
+func GroupMeans(t *Trace, groupSize int) []float64 {
+	if groupSize <= 0 {
+		panic("core: non-positive group size")
+	}
+	var out []float64
+	for lo := 0; lo < len(t.Samples); lo += groupSize {
+		hi := lo + groupSize
+		if hi > len(t.Samples) {
+			hi = len(t.Samples)
+		}
+		sum, n := 0.0, 0
+		for _, s := range t.Samples[lo:hi] {
+			if s.Lost {
+				continue
+			}
+			sum += float64(s.RTT) / float64(time.Millisecond)
+			n++
+		}
+		if n > 0 {
+			out = append(out, sum/float64(n))
+		}
+	}
+	return out
+}
+
+// FitGroupedGamma applies the [19] baseline analysis to a trace:
+// it fits the constant-plus-gamma model to the received RTTs. The
+// paper cites this as the best-fitting delay model for all paths.
+func FitGroupedGamma(t *Trace) (stats.ConstantGamma, error) {
+	return stats.FitConstantGamma(t.RTTMillis())
+}

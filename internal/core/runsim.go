@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"netprobe/internal/clock"
+	"netprobe/internal/route"
+	"netprobe/internal/sim"
+	"netprobe/internal/traffic"
+)
+
+// CrossConfig describes the Internet cross-traffic mix sharing the
+// path's bottleneck with the probes: NBulk FTP-like sources plus an
+// interactive (Telnet-like) stream in the forward direction, and a
+// lighter return-direction stream (acknowledgement-like traffic).
+type CrossConfig struct {
+	// NBulk is the number of independent bulk-transfer sources.
+	NBulk int
+	// BulkSize is the bulk data packet wire size in bytes.
+	BulkSize int
+	// BulkAccessBps is the access-link rate at which a train's
+	// packets reach the bottleneck.
+	BulkAccessBps int64
+	// BulkIdleMean is the mean think time between transfers of one
+	// source, in seconds (exponential).
+	BulkIdleMean float64
+	// BulkTrainMean is the mean packets per transfer (geometric).
+	BulkTrainMean float64
+	// InteractiveSize is the Telnet-like packet wire size in bytes.
+	InteractiveSize int
+	// InteractiveGap is the mean gap between interactive packets.
+	InteractiveGap time.Duration
+	// ReturnGap is the mean gap of the return-direction stream; zero
+	// disables return traffic.
+	ReturnGap time.Duration
+	// ReturnSize is the return-direction packet size in bytes.
+	ReturnSize int
+}
+
+// DefaultINRIACross returns the cross-traffic mix calibrated so the
+// INRIA–UMd bottleneck (128 kb/s) sees roughly 60 % utilization from
+// Internet traffic — the regime in which the paper's δ=50 ms run
+// measured a 9 % loss rate and strong probe compression.
+func DefaultINRIACross() CrossConfig {
+	// Bulk transfers are window-limited TCPs crossing the 128 kb/s
+	// link: each "train" is one congestion window (≈2 packets of 512
+	// bytes) arriving back to back, ACK-clocked roughly once per
+	// round trip. This makes the per-δ Internet workload b_n a small
+	// multiple of the FTP packet size, which is what gives Figures 8
+	// and 9 their multimodal structure.
+	return CrossConfig{
+		NBulk:           3,
+		BulkSize:        512,
+		BulkAccessBps:   1_544_000,
+		BulkIdleMean:    0.30,
+		BulkTrainMean:   2,
+		InteractiveSize: 64,
+		InteractiveGap:  40 * time.Millisecond,
+		ReturnGap:       60 * time.Millisecond,
+		ReturnSize:      64,
+	}
+}
+
+// DefaultPittCross returns a mix for the UMd–Pittsburgh path, whose
+// 10 Mb/s campus-Ethernet bottleneck needs proportionally larger
+// bursts for queueing to be visible at millisecond probe intervals.
+func DefaultPittCross() CrossConfig {
+	return CrossConfig{
+		NBulk:           4,
+		BulkSize:        1024,
+		BulkAccessBps:   45_000_000,
+		BulkIdleMean:    0.25,
+		BulkTrainMean:   40,
+		InteractiveSize: 64,
+		InteractiveGap:  5 * time.Millisecond,
+		ReturnGap:       10 * time.Millisecond,
+		ReturnSize:      64,
+	}
+}
+
+// SimConfig configures one simulated probing experiment.
+type SimConfig struct {
+	// Path is the network to probe.
+	Path route.Path
+	// Delta is the probe interval δ.
+	Delta time.Duration
+	// Count is the number of probes; the paper's 10-minute runs send
+	// duration/δ probes. If zero, Count is derived from Duration.
+	Count int
+	// Duration bounds the experiment; defaults to 10 minutes when
+	// both Count and Duration are zero.
+	Duration time.Duration
+	// PayloadSize is the probe UDP payload (default 32 bytes).
+	PayloadSize int
+	// WireSize is the probe wire size (default 72 bytes).
+	WireSize int
+	// ClockRes quantizes measured timestamps (default: exact).
+	ClockRes time.Duration
+	// Seed drives all randomness; identical configs with identical
+	// seeds produce identical traces.
+	Seed int64
+	// Cross is the cross-traffic mix; nil means no cross traffic.
+	Cross *CrossConfig
+	// SendTimes, if non-nil, replaces the periodic schedule with an
+	// explicit list of probe send times (must be non-decreasing).
+	// Used for the grouped-probe baseline methodology of [19]. Delta
+	// is still recorded on the trace for bookkeeping.
+	SendTimes []time.Duration
+	// RouteChange, if non-nil, shifts the path mid-run — the step
+	// changes in round-trip delay that [21] attributes to route
+	// changes.
+	RouteChange *RouteChange
+	// Anomaly, if non-nil, injects periodic gateway bursts — the
+	// every-90-seconds 'debug' pathology of [22].
+	Anomaly *Anomaly
+}
+
+// RouteChange shifts the propagation delay of one hop at a given
+// virtual time, in both directions.
+type RouteChange struct {
+	// At is when the route changes.
+	At time.Duration
+	// Hop is the index of the hop whose propagation shifts.
+	Hop int
+	// Shift is the per-direction propagation change (the round-trip
+	// fixed delay changes by twice this).
+	Shift time.Duration
+}
+
+// Anomaly injects a burst of Burst packets of Size bytes into the
+// bottleneck every Period.
+type Anomaly struct {
+	Period time.Duration
+	Burst  int
+	Size   int
+}
+
+func (c *SimConfig) withDefaults() (SimConfig, error) {
+	cfg := *c
+	if cfg.PayloadSize == 0 {
+		cfg.PayloadSize = 32
+	}
+	if cfg.WireSize == 0 {
+		cfg.WireSize = 72
+	}
+	if cfg.Delta <= 0 {
+		return cfg, fmt.Errorf("core: non-positive delta %v", cfg.Delta)
+	}
+	if len(cfg.Path.Hops) == 0 {
+		return cfg, fmt.Errorf("core: empty path")
+	}
+	if cfg.SendTimes != nil {
+		cfg.Count = len(cfg.SendTimes)
+	} else if cfg.Count == 0 {
+		d := cfg.Duration
+		if d == 0 {
+			d = 10 * time.Minute
+		}
+		cfg.Count = int(d / cfg.Delta)
+	}
+	if cfg.Count <= 0 {
+		return cfg, fmt.Errorf("core: non-positive probe count")
+	}
+	return cfg, nil
+}
+
+// RunSim executes a simulated probing experiment and returns its
+// trace. The experiment reproduces the paper's data collection: probes
+// of WireSize bytes sent every Delta from the source, echoed at the
+// destination, timed with a quantized source clock, with losses
+// recorded as rtt_n = 0.
+func RunSim(c SimConfig) (*Trace, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler()
+	var factory sim.Factory
+
+	_, bottleneckBps := cfg.Path.Bottleneck()
+	trace := &Trace{
+		Name:          fmt.Sprintf("%s δ=%v", cfg.Path.Name, cfg.Delta),
+		Delta:         cfg.Delta,
+		PayloadSize:   cfg.PayloadSize,
+		WireSize:      cfg.WireSize,
+		BottleneckBps: bottleneckBps,
+		ClockRes:      cfg.ClockRes,
+		Samples:       make([]Sample, cfg.Count),
+	}
+
+	built := route.Build(sched, cfg.Path, route.BuildOptions{
+		Seed: cfg.Seed,
+		Deliver: func(pkt *sim.Packet, at time.Duration) {
+			if !pkt.Probe || pkt.Seq >= cfg.Count {
+				return
+			}
+			s := &trace.Samples[pkt.Seq]
+			s.Recv = at
+			s.RTT = clock.QuantizeRTT(s.Sent, at, cfg.ClockRes)
+			s.Lost = false
+		},
+	})
+
+	// Probe source: periodic by default, or an explicit schedule for
+	// the grouped-probe baseline.
+	var lastSend time.Duration
+	if cfg.SendTimes != nil {
+		for i, at := range cfg.SendTimes {
+			if i > 0 && at < cfg.SendTimes[i-1] {
+				return nil, fmt.Errorf("core: send times decrease at %d", i)
+			}
+			seq, at := i, at
+			sched.At(at, func() {
+				trace.Samples[seq] = Sample{Seq: seq, Sent: at, Lost: true}
+				pkt := factory.New("probe", seq, cfg.WireSize, at)
+				pkt.Probe = true
+				built.Head.Receive(pkt)
+			})
+		}
+		lastSend = cfg.SendTimes[len(cfg.SendTimes)-1]
+	} else {
+		src := sim.NewPeriodicSource(sched, &factory, "probe", cfg.WireSize, cfg.Delta, cfg.Count, 0, built.Head)
+		src.OnSend(func(seq int, at time.Duration) {
+			trace.Samples[seq] = Sample{Seq: seq, Sent: at, Lost: true}
+		})
+		src.Start()
+		lastSend = time.Duration(cfg.Count) * cfg.Delta
+	}
+
+	// The horizon leaves time for the last probe's round trip.
+	horizon := lastSend + cfg.Path.MinRTT(cfg.WireSize) + 30*time.Second
+
+	// Cross traffic enters at the bottleneck queues: the paper's
+	// model aggregates the whole Internet stream at the single
+	// bottleneck (Figure 3).
+	if cfg.Cross != nil {
+		attachCross(sched, &factory, built, *cfg.Cross, cfg.Seed, horizon)
+	}
+	if rc := cfg.RouteChange; rc != nil {
+		if rc.Hop < 0 || rc.Hop >= len(cfg.Path.Hops) {
+			return nil, fmt.Errorf("core: route change hop %d out of range", rc.Hop)
+		}
+		sched.At(rc.At, func() { built.ShiftPropagation(rc.Hop, rc.Shift) })
+	}
+	if a := cfg.Anomaly; a != nil {
+		traffic.NewPeriodicBurst(sched, &factory, "debug",
+			a.Size, a.Burst, a.Period, a.Period, horizon,
+			built.BottleneckForward()).Start()
+	}
+
+	sched.Run(horizon)
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}
+
+func attachCross(sched *sim.Scheduler, factory *sim.Factory, built *route.Built, cc CrossConfig, seed int64, horizon time.Duration) {
+	fwd := built.BottleneckForward()
+	ret := built.BottleneckReturn()
+	var gens traffic.Mix
+	for i := 0; i < cc.NBulk; i++ {
+		gens = append(gens, traffic.NewBulk(
+			sched, factory, fmt.Sprintf("ftp%d", i),
+			cc.BulkSize, cc.BulkAccessBps,
+			traffic.Exp(cc.BulkIdleMean), traffic.Geometric(cc.BulkTrainMean),
+			horizon, seed*7919+int64(i)+1, fwd,
+		))
+	}
+	if cc.InteractiveGap > 0 {
+		gens = append(gens, traffic.NewInteractive(
+			sched, factory, "telnet",
+			cc.InteractiveSize, cc.InteractiveGap, horizon, seed*104729+500, fwd,
+		))
+	}
+	if cc.ReturnGap > 0 {
+		size := cc.ReturnSize
+		if size == 0 {
+			size = 64
+		}
+		gens = append(gens, traffic.NewPoisson(
+			sched, factory, "ack",
+			size, cc.ReturnGap, horizon, seed*1299709+900, ret,
+		))
+	}
+	gens.Start()
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netprobe/internal/clock"
+	"netprobe/internal/route"
+)
+
+func quietPath() route.Path {
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+	return p
+}
+
+func TestRunSimNoCrossTrafficIsClean(t *testing.T) {
+	tr, err := RunSim(SimConfig{
+		Path:  quietPath(),
+		Delta: 50 * time.Millisecond,
+		Count: 200,
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LossRate() != 0 {
+		t.Fatalf("loss on an idle network: %v", tr.LossRate())
+	}
+	// Every RTT equals the fixed delay: probes never queue behind
+	// anything at δ=50 ms ≫ service time.
+	min, _ := tr.MinRTT()
+	want := quietPath().MinRTT(72)
+	if min != want {
+		t.Fatalf("min RTT = %v, want %v", min, want)
+	}
+	for _, s := range tr.Samples {
+		if s.RTT != want {
+			t.Fatalf("idle-network RTT %v differs from fixed delay %v", s.RTT, want)
+		}
+	}
+}
+
+func TestRunSimDefaults(t *testing.T) {
+	tr, err := RunSim(SimConfig{
+		Path:     quietPath(),
+		Delta:    500 * time.Millisecond,
+		Duration: 30 * time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 60 {
+		t.Fatalf("count = %d, want 60 (duration/delta)", tr.Len())
+	}
+	if tr.PayloadSize != 32 || tr.WireSize != 72 {
+		t.Fatalf("default sizes %d/%d, want 32/72", tr.PayloadSize, tr.WireSize)
+	}
+	if tr.BottleneckBps != 128_000 {
+		t.Fatalf("bottleneck = %d, want 128000", tr.BottleneckBps)
+	}
+}
+
+func TestRunSimRejectsBadConfig(t *testing.T) {
+	if _, err := RunSim(SimConfig{Path: quietPath()}); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+	if _, err := RunSim(SimConfig{Delta: time.Millisecond}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := RunSim(SimConfig{
+		Path: quietPath(), Delta: time.Millisecond,
+		SendTimes: []time.Duration{time.Second, 0},
+	}); err == nil {
+		t.Fatal("decreasing send times accepted")
+	}
+}
+
+func TestRunSimClockQuantization(t *testing.T) {
+	tr, err := RunSim(SimConfig{
+		Path:     quietPath(),
+		Delta:    50 * time.Millisecond,
+		Count:    100,
+		ClockRes: clock.DECstationResolution,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples {
+		if s.Lost {
+			continue
+		}
+		if s.RTT%clock.DECstationResolution != 0 {
+			t.Fatalf("RTT %v not a multiple of the DECstation tick", s.RTT)
+		}
+	}
+}
+
+func TestRunSimDeterministic(t *testing.T) {
+	run := func() *Trace {
+		tr, err := INRIAUMd(50*time.Millisecond, 20*time.Second, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+func TestINRIAUMdReproducesPaperRegime(t *testing.T) {
+	// δ=50 ms, 2 simulated minutes: loss near the paper's 9 %, fixed
+	// delay near 140 ms, and some RTTs well above the minimum
+	// (queueing behind FTP bursts).
+	tr, err := INRIAUMd(50*time.Millisecond, 2*time.Minute, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := tr.LossRate(); l < 0.04 || l > 0.2 {
+		t.Fatalf("loss = %v, want ≈0.09", l)
+	}
+	min, _ := tr.MinRTT()
+	if min < 130*time.Millisecond || min > 150*time.Millisecond {
+		t.Fatalf("min RTT = %v, want ≈140 ms", min)
+	}
+	queued := 0
+	for _, s := range tr.Samples {
+		if !s.Lost && s.RTT > min+20*time.Millisecond {
+			queued++
+		}
+	}
+	if queued < tr.Received()/20 {
+		t.Fatalf("only %d/%d probes show queueing delay", queued, tr.Received())
+	}
+}
+
+func TestINRIAUMdTable3Trend(t *testing.T) {
+	// ulp should decrease from δ=8 ms to δ=100 ms (Table 3 trend):
+	// at small δ the probe stream itself occupies a large fraction
+	// of the 128 kb/s bottleneck.
+	tr8, err := INRIAUMd(8*time.Millisecond, time.Minute, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr100, err := INRIAUMd(100*time.Millisecond, 4*time.Minute, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr8.LossRate() <= tr100.LossRate() {
+		t.Fatalf("ulp(8ms)=%v should exceed ulp(100ms)=%v",
+			tr8.LossRate(), tr100.LossRate())
+	}
+	if tr8.LossRate() < 0.15 {
+		t.Fatalf("ulp(8ms)=%v, want ≈0.23", tr8.LossRate())
+	}
+}
+
+func TestUMdPittRuns(t *testing.T) {
+	tr, err := UMdPitt(8*time.Millisecond, 20*time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Received() == 0 {
+		t.Fatal("no probes received on UMd-Pitt")
+	}
+	min, _ := tr.MinRTT()
+	if min > 60*time.Millisecond {
+		t.Fatalf("UMd-Pitt min RTT = %v, want tens of ms", min)
+	}
+	// UMd clock quantization visible: all RTTs multiples of 3 ms.
+	for _, s := range tr.Samples {
+		if !s.Lost && s.RTT%clock.UMdResolution != 0 {
+			t.Fatalf("RTT %v not quantized to 3 ms", s.RTT)
+		}
+	}
+}
+
+func TestGroupedScheduleShape(t *testing.T) {
+	st := GroupedSchedule(3, 10, time.Second, time.Minute)
+	if len(st) != 30 {
+		t.Fatalf("schedule length %d, want 30", len(st))
+	}
+	if st[0] != 0 || st[9] != 9*time.Second {
+		t.Fatalf("first group wrong: %v ... %v", st[0], st[9])
+	}
+	if st[10] != time.Minute {
+		t.Fatalf("second group starts at %v, want 1m", st[10])
+	}
+}
+
+func TestRunSimGroupedBaseline(t *testing.T) {
+	st := GroupedSchedule(5, 10, time.Second, 30*time.Second)
+	tr, err := RunSim(SimConfig{
+		Path:      quietPath(),
+		Delta:     time.Second,
+		SendTimes: st,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("trace length %d, want 50", tr.Len())
+	}
+	means := GroupMeans(tr, 10)
+	if len(means) != 5 {
+		t.Fatalf("group means %v, want 5 groups", means)
+	}
+	want := float64(quietPath().MinRTT(72)) / float64(time.Millisecond)
+	for _, m := range means {
+		if m < want-1 || m > want+1 {
+			t.Fatalf("idle-network group mean %v, want ≈%v", m, want)
+		}
+	}
+}
+
+func TestGroupMeansSkipsEmptyGroups(t *testing.T) {
+	tr := mkTrace(time.Second, 140, 140, 0, 0)
+	means := GroupMeans(tr, 2)
+	if len(means) != 1 || means[0] != 140 {
+		t.Fatalf("means = %v, want [140]", means)
+	}
+}
+
+func TestFitGroupedGammaOnLoadedPath(t *testing.T) {
+	tr, err := INRIAUMd(100*time.Millisecond, 2*time.Minute, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := FitGroupedGamma(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shift estimates the fixed delay: near 140 ms.
+	if fit.Shift < 120 || fit.Shift > 150 {
+		t.Fatalf("gamma shift = %v ms, want ≈140", fit.Shift)
+	}
+	if fit.Shape <= 0 || fit.Scale <= 0 {
+		t.Fatalf("degenerate fit %+v", fit)
+	}
+}

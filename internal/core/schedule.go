@@ -1,0 +1,24 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PoissonSchedule returns n probe send times with exponentially
+// distributed gaps of the given mean. Poisson probes observe
+// time averages (the PASTA property) and cannot phase-lock with
+// periodic network processes, which makes them the standard
+// methodological alternative to the paper's periodic probing; the
+// trade-off is that the phase-plot and workload analyses of Section 4
+// need the constant δ and do not apply.
+func PoissonSchedule(n int, meanGap time.Duration, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		out[i] = at
+		at += time.Duration(rng.ExpFloat64() * float64(meanGap))
+	}
+	return out
+}

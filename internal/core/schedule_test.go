@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPoissonScheduleProperties(t *testing.T) {
+	st := PoissonSchedule(10_000, 50*time.Millisecond, 3)
+	if len(st) != 10_000 {
+		t.Fatalf("length %d", len(st))
+	}
+	if st[0] != 0 {
+		t.Fatalf("first send at %v, want 0", st[0])
+	}
+	for i := 1; i < len(st); i++ {
+		if st[i] < st[i-1] {
+			t.Fatal("send times decrease")
+		}
+	}
+	meanGap := float64(st[len(st)-1]) / float64(len(st)-1)
+	if math.Abs(meanGap-float64(50*time.Millisecond)) > 0.05*float64(50*time.Millisecond) {
+		t.Fatalf("mean gap %v, want ≈50ms", time.Duration(meanGap))
+	}
+}
+
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	a := PoissonSchedule(100, time.Millisecond, 9)
+	b := PoissonSchedule(100, time.Millisecond, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("schedules differ for identical seeds")
+		}
+	}
+}
+
+// TestPoissonProbingAgreesWithPeriodic checks the methodological
+// robustness claim: on this (non-phase-locked) path, Poisson probes at
+// the same mean rate measure the same loss rate and mean delay as the
+// paper's periodic probes.
+func TestPoissonProbingAgreesWithPeriodic(t *testing.T) {
+	cross := DefaultINRIACross()
+	base := SimConfig{
+		Path:  quietPath(),
+		Delta: 50 * time.Millisecond,
+		Seed:  11,
+		Cross: &cross,
+	}
+	periodic := base
+	periodic.Duration = 5 * time.Minute
+	trP, err := RunSim(periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson := base
+	poisson.SendTimes = PoissonSchedule(trP.Len(), 50*time.Millisecond, 77)
+	trQ, err := RunSim(poisson)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(trP.LossRate()-trQ.LossRate()) > 0.03 {
+		t.Fatalf("loss rates diverge: periodic %v vs poisson %v",
+			trP.LossRate(), trQ.LossRate())
+	}
+	meanP := mean(trP.RTTMillis())
+	meanQ := mean(trQ.RTTMillis())
+	if math.Abs(meanP-meanQ) > 0.15*meanP {
+		t.Fatalf("mean RTTs diverge: periodic %v vs poisson %v", meanP, meanQ)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,227 @@
+// Package core implements the paper's measurement procedure: probe
+// packets sent at regular intervals δ whose round-trip times rtt_n and
+// losses form the trace every analysis in the paper starts from.
+//
+// Traces come from two collectors with identical semantics: RunSim
+// probes a simulated path (package sim/route), and the real-UDP
+// NetDyn tool (package netdyn) probes an actual network. Per the
+// paper's convention, rtt_n = 0 marks a lost probe.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sample records the fate of one probe packet.
+type Sample struct {
+	// Seq is the probe sequence number n.
+	Seq int
+	// Sent is the send time s_n on the source clock.
+	Sent time.Duration
+	// Recv is the receive time r_n on the source clock; zero if the
+	// probe was lost.
+	Recv time.Duration
+	// RTT is the measured round-trip time rtt_n = r_n − s_n, already
+	// quantized to the measuring clock's resolution; zero if lost
+	// (the paper's convention).
+	RTT time.Duration
+	// Lost marks probes that never returned.
+	Lost bool
+}
+
+// Trace is the result of one probing experiment: the paper's
+// 10-minute runs at a fixed δ.
+type Trace struct {
+	// Name labels the experiment, e.g. "INRIA-UMd δ=50ms".
+	Name string
+	// Delta is the interval between successive probe send times.
+	Delta time.Duration
+	// PayloadSize is the UDP payload in bytes (32 in the paper).
+	PayloadSize int
+	// WireSize is the on-the-wire packet size in bytes including
+	// headers (72 in the paper; this is the P of the equations).
+	WireSize int
+	// BottleneckBps optionally records the true bottleneck bandwidth
+	// of the measured path, for comparison against estimates; zero
+	// when unknown (real networks).
+	BottleneckBps int64
+	// ClockRes is the measuring clock resolution (0 = exact).
+	ClockRes time.Duration
+	// Samples holds one entry per probe, in sequence order.
+	Samples []Sample
+}
+
+// Validate checks internal consistency: sequence numbers are dense,
+// send times are non-decreasing, and lost samples carry zero RTT.
+func (t *Trace) Validate() error {
+	if t.Delta <= 0 {
+		return fmt.Errorf("core: trace %q: non-positive delta %v", t.Name, t.Delta)
+	}
+	if t.WireSize <= 0 {
+		return fmt.Errorf("core: trace %q: non-positive wire size %d", t.Name, t.WireSize)
+	}
+	for i, s := range t.Samples {
+		if s.Seq != i {
+			return fmt.Errorf("core: trace %q: sample %d has seq %d", t.Name, i, s.Seq)
+		}
+		if i > 0 && s.Sent < t.Samples[i-1].Sent {
+			return fmt.Errorf("core: trace %q: send times decrease at %d", t.Name, i)
+		}
+		if s.Lost && s.RTT != 0 {
+			return fmt.Errorf("core: trace %q: lost sample %d has RTT %v", t.Name, i, s.RTT)
+		}
+		if !s.Lost && s.RTT <= 0 && t.ClockRes == 0 {
+			return fmt.Errorf("core: trace %q: received sample %d has RTT %v", t.Name, i, s.RTT)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of probes sent.
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// Received reports the number of probes that returned.
+func (t *Trace) Received() int {
+	n := 0
+	for _, s := range t.Samples {
+		if !s.Lost {
+			n++
+		}
+	}
+	return n
+}
+
+// LossRate reports the fraction of probes lost (the paper's ulp).
+func (t *Trace) LossRate() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	return float64(t.Len()-t.Received()) / float64(t.Len())
+}
+
+// RTTSeries returns rtt_n for every n, with 0 for lost probes — the
+// exact series plotted in Figure 1.
+func (t *Trace) RTTSeries() []time.Duration {
+	out := make([]time.Duration, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.RTT
+	}
+	return out
+}
+
+// RTTMillis returns the RTTs of received probes only, in milliseconds.
+func (t *Trace) RTTMillis() []float64 {
+	out := make([]float64, 0, len(t.Samples))
+	for _, s := range t.Samples {
+		if !s.Lost {
+			out = append(out, float64(s.RTT)/float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
+// LossIndicator returns l_n = 1 if probe n was lost, else 0.
+func (t *Trace) LossIndicator() []bool {
+	out := make([]bool, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.Lost
+	}
+	return out
+}
+
+// Pair is a consecutive pair of received RTTs (rtt_n, rtt_{n+1}) in
+// milliseconds — one point of a phase plot.
+type Pair struct {
+	X, Y float64
+}
+
+// ConsecutivePairs returns every (rtt_n, rtt_{n+1}) with both probes
+// received. These are the points of the paper's phase plots.
+func (t *Trace) ConsecutivePairs() []Pair {
+	var out []Pair
+	for i := 0; i+1 < len(t.Samples); i++ {
+		a, b := t.Samples[i], t.Samples[i+1]
+		if a.Lost || b.Lost {
+			continue
+		}
+		out = append(out, Pair{
+			X: float64(a.RTT) / float64(time.Millisecond),
+			Y: float64(b.RTT) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
+
+// MinRTT returns the smallest received RTT, an estimate of the fixed
+// delay D plus one service time. It returns an error if no probe was
+// received.
+func (t *Trace) MinRTT() (time.Duration, error) {
+	min := time.Duration(0)
+	found := false
+	for _, s := range t.Samples {
+		if s.Lost {
+			continue
+		}
+		if !found || s.RTT < min {
+			min = s.RTT
+			found = true
+		}
+	}
+	if !found {
+		return 0, errors.New("core: no received probes")
+	}
+	return min, nil
+}
+
+// Reorderings counts received probe pairs delivered out of order:
+// probe j arriving before probe i although i was sent first (i < j
+// but Recv_i > Recv_j). The related work [19] reports reorderings
+// positively correlated with delay statistics; the simulator's FIFO
+// paths produce none unless a route change transiently shortens the
+// path.
+func (t *Trace) Reorderings() int {
+	n := 0
+	lastRecv := time.Duration(-1)
+	for _, s := range t.Samples {
+		if s.Lost {
+			continue
+		}
+		if lastRecv >= 0 && s.Recv < lastRecv {
+			n++
+		}
+		if s.Recv > lastRecv {
+			lastRecv = s.Recv
+		}
+	}
+	return n
+}
+
+// Slice returns a copy of the trace restricted to samples [lo, hi).
+// Bounds are clipped to the valid range. Sequence numbers are
+// renumbered from zero so the slice is itself a valid trace.
+func (t *Trace) Slice(lo, hi int) *Trace {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.Samples) {
+		hi = len(t.Samples)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := *t
+	out.Samples = make([]Sample, hi-lo)
+	copy(out.Samples, t.Samples[lo:hi])
+	for i := range out.Samples {
+		out.Samples[i].Seq = i
+	}
+	return &out
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (t *Trace) String() string {
+	return fmt.Sprintf("%s: %d probes, δ=%v, loss %.1f%%",
+		t.Name, t.Len(), t.Delta, 100*t.LossRate())
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// mkTrace builds a small valid trace: RTTs in ms, 0 = lost.
+func mkTrace(delta time.Duration, rttsMs ...float64) *Trace {
+	t := &Trace{Name: "test", Delta: delta, PayloadSize: 32, WireSize: 72}
+	for i, ms := range rttsMs {
+		s := Sample{Seq: i, Sent: time.Duration(i) * delta}
+		if ms == 0 {
+			s.Lost = true
+		} else {
+			s.RTT = time.Duration(ms * float64(time.Millisecond))
+			s.Recv = s.Sent + s.RTT
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t
+}
+
+func TestTraceCounts(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 140, 0, 150, 145, 0)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	if tr.Received() != 3 {
+		t.Fatalf("Received = %d, want 3", tr.Received())
+	}
+	if got := tr.LossRate(); got != 0.4 {
+		t.Fatalf("LossRate = %v, want 0.4", got)
+	}
+}
+
+func TestTraceLossRateEmpty(t *testing.T) {
+	tr := &Trace{Delta: time.Millisecond, WireSize: 72}
+	if tr.LossRate() != 0 {
+		t.Fatal("empty trace loss rate should be 0")
+	}
+}
+
+func TestRTTSeriesPaperConvention(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 140, 0, 150)
+	s := tr.RTTSeries()
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	if s[1] != 0 {
+		t.Fatalf("lost probe RTT = %v, want 0 (paper convention)", s[1])
+	}
+	if s[0] != 140*time.Millisecond {
+		t.Fatalf("s[0] = %v", s[0])
+	}
+}
+
+func TestRTTMillisSkipsLost(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 140, 0, 150)
+	ms := tr.RTTMillis()
+	if len(ms) != 2 || ms[0] != 140 || ms[1] != 150 {
+		t.Fatalf("RTTMillis = %v", ms)
+	}
+}
+
+func TestConsecutivePairsSkipLoss(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 140, 145, 0, 150, 155)
+	pairs := tr.ConsecutivePairs()
+	// Valid pairs: (140,145), (150,155). (145,0) and (0,150) are skipped.
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 entries", pairs)
+	}
+	if pairs[0] != (Pair{140, 145}) || pairs[1] != (Pair{150, 155}) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestMinRTT(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 145, 0, 140.5, 160)
+	min, err := tr.MinRTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != time.Duration(140.5*float64(time.Millisecond)) {
+		t.Fatalf("MinRTT = %v", min)
+	}
+	allLost := mkTrace(50*time.Millisecond, 0, 0)
+	if _, err := allLost.MinRTT(); err == nil {
+		t.Fatal("MinRTT of all-lost trace should error")
+	}
+}
+
+func TestSliceRenumbers(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 140, 145, 150, 155, 160)
+	s := tr.Slice(1, 4)
+	if s.Len() != 3 {
+		t.Fatalf("slice len = %d, want 3", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("slice invalid: %v", err)
+	}
+	if s.Samples[0].RTT != 145*time.Millisecond {
+		t.Fatalf("slice content wrong: %v", s.Samples[0])
+	}
+	// Out-of-range bounds clip.
+	if tr.Slice(-5, 100).Len() != 5 {
+		t.Fatal("clipping failed")
+	}
+	if tr.Slice(4, 2).Len() != 0 {
+		t.Fatal("inverted bounds should clip to empty")
+	}
+	// Original untouched.
+	if tr.Samples[1].Seq != 1 {
+		t.Fatal("Slice mutated the original")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := mkTrace(50*time.Millisecond, 140, 150)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	bad := mkTrace(50*time.Millisecond, 140, 150)
+	bad.Samples[1].Seq = 5
+	if bad.Validate() == nil {
+		t.Fatal("non-dense seq accepted")
+	}
+
+	bad = mkTrace(50*time.Millisecond, 140, 150)
+	bad.Samples[1].Sent = -time.Second
+	if bad.Validate() == nil {
+		t.Fatal("decreasing send times accepted")
+	}
+
+	bad = mkTrace(50*time.Millisecond, 140, 0)
+	bad.Samples[1].RTT = time.Millisecond
+	if bad.Validate() == nil {
+		t.Fatal("lost sample with RTT accepted")
+	}
+
+	bad = mkTrace(0, 140)
+	if bad.Validate() == nil {
+		t.Fatal("zero delta accepted")
+	}
+}
+
+func TestLossIndicator(t *testing.T) {
+	tr := mkTrace(time.Millisecond, 140, 0, 150)
+	l := tr.LossIndicator()
+	if !l[1] || l[0] || l[2] {
+		t.Fatalf("LossIndicator = %v", l)
+	}
+}
+
+func TestTraceStringMentionsLoss(t *testing.T) {
+	tr := mkTrace(50*time.Millisecond, 140, 0)
+	s := tr.String()
+	if s == "" || tr.Delta == 0 {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,179 @@
+// Package dynamics detects the network events that the paper's
+// companion studies observed with the same probing tool: step changes
+// in round-trip delay caused by route changes ([21]), and periodic
+// delay surges caused by misbehaving gateway software — the "round
+// trip delays would increase dramatically every 90 seconds" pathology
+// traced to a 'debug' option in [22].
+package dynamics
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/stats"
+)
+
+// LevelShift describes a detected step change in the delay baseline.
+type LevelShift struct {
+	// Index is the probe sequence number at which the baseline
+	// shifts.
+	Index int
+	// At is the corresponding send time.
+	At time.Duration
+	// BeforeMs and AfterMs are the baseline (lower-quantile) RTTs on
+	// each side, in milliseconds.
+	BeforeMs float64
+	AfterMs  float64
+}
+
+// ShiftMs reports the baseline change AfterMs − BeforeMs.
+func (s LevelShift) ShiftMs() float64 { return s.AfterMs - s.BeforeMs }
+
+// ErrNoShift is returned when no sufficiently large baseline shift is
+// found.
+var ErrNoShift = errors.New("dynamics: no level shift detected")
+
+// DetectLevelShift scans a trace for a route-change signature: a
+// sustained step in the RTT *baseline* (the windowed minimum), which
+// queueing cannot produce — queueing only ever adds delay, so the
+// minimum over any window with at least one uncongested probe is the
+// path's fixed delay, and a persistent change in it means the path
+// itself changed. window is the number of received samples on each
+// side (0 means 100); minShiftMs is the smallest baseline step to
+// report (0 means 5 ms).
+func DetectLevelShift(t *core.Trace, window int, minShiftMs float64) (LevelShift, error) {
+	if window <= 0 {
+		window = 100
+	}
+	if minShiftMs <= 0 {
+		minShiftMs = 5
+	}
+	type obs struct {
+		idx int
+		at  time.Duration
+		ms  float64
+	}
+	var xs []obs
+	for _, s := range t.Samples {
+		if s.Lost {
+			continue
+		}
+		xs = append(xs, obs{s.Seq, s.Sent, float64(s.RTT) / float64(time.Millisecond)})
+	}
+	if len(xs) < 2*window {
+		return LevelShift{}, ErrNoShift
+	}
+	base := func(lo, hi int) float64 { // windowed minimum of xs[lo:hi)
+		min := xs[lo].ms
+		for _, o := range xs[lo+1 : hi] {
+			if o.ms < min {
+				min = o.ms
+			}
+		}
+		return min
+	}
+	best := LevelShift{}
+	bestMag := 0.0
+	for i := window; i+window <= len(xs); i += window / 4 {
+		before := base(i-window, i)
+		after := base(i, i+window)
+		if mag := math.Abs(after - before); mag > bestMag {
+			bestMag = mag
+			best = LevelShift{Index: xs[i].idx, At: xs[i].at, BeforeMs: before, AfterMs: after}
+		}
+	}
+	if bestMag < minShiftMs {
+		return LevelShift{}, ErrNoShift
+	}
+	// Refine the change index within the winning neighbourhood: the
+	// first observation whose RTT is on the new baseline's side.
+	mid := (best.BeforeMs + best.AfterMs) / 2
+	for _, o := range xs {
+		if o.at < best.At-time.Duration(window)*t.Delta {
+			continue
+		}
+		onAfterSide := (best.AfterMs > best.BeforeMs && o.ms > mid) ||
+			(best.AfterMs < best.BeforeMs && o.ms < mid)
+		if onAfterSide {
+			best.Index = o.idx
+			best.At = o.at
+			break
+		}
+	}
+	return best, nil
+}
+
+// Periodicity describes a detected periodic delay disturbance.
+type Periodicity struct {
+	// Period is the recurrence interval.
+	Period time.Duration
+	// Lag is the detected period in probe intervals.
+	Lag int
+	// Correlation is the autocorrelation at the detected lag; near 1
+	// means an unmistakable periodic disturbance.
+	Correlation float64
+}
+
+// ErrNoPeriodicity is returned when no periodic structure is found.
+var ErrNoPeriodicity = errors.New("dynamics: no periodic disturbance detected")
+
+// DetectPeriodicity looks for a periodic component in the RTT series —
+// the [22] every-90-seconds signature — via the autocorrelation of the
+// loss-interpolated series. A periodogram fails here: a gateway burst
+// elevates only a sample or two per occurrence, and the spectrum of
+// such a sparse impulse train is nearly flat, while its autocorrelation
+// has an unmistakable peak at the period. The detector skips the lag-0
+// main lobe (the width of one disturbance) and accepts the strongest
+// later peak whose correlation reaches minCorr (0 means 0.25).
+func DetectPeriodicity(t *core.Trace, minCorr float64) (Periodicity, error) {
+	if minCorr <= 0 {
+		minCorr = 0.25
+	}
+	series := interpolated(t)
+	if len(series) < 16 {
+		return Periodicity{}, ErrNoPeriodicity
+	}
+	maxLag := len(series) / 2
+	acf := stats.Autocorrelation(series, maxLag)
+	// Skip the main lobe around lag 0: advance until the ACF first
+	// drops below half the detection threshold.
+	lag := 1
+	for lag < len(acf) && acf[lag] > minCorr/2 {
+		lag++
+	}
+	best, bestCorr := 0, 0.0
+	for ; lag < len(acf); lag++ {
+		if acf[lag] > bestCorr {
+			best, bestCorr = lag, acf[lag]
+		}
+	}
+	if best == 0 || bestCorr < minCorr {
+		return Periodicity{}, ErrNoPeriodicity
+	}
+	return Periodicity{
+		Period:      time.Duration(best) * t.Delta,
+		Lag:         best,
+		Correlation: bestCorr,
+	}, nil
+}
+
+// interpolated returns the RTT series in ms with lost probes filled by
+// the previous received value (losses would otherwise inject spectral
+// energy at all frequencies).
+func interpolated(t *core.Trace) []float64 {
+	out := make([]float64, 0, len(t.Samples))
+	last := 0.0
+	seeded := false
+	for _, s := range t.Samples {
+		if !s.Lost {
+			last = float64(s.RTT) / float64(time.Millisecond)
+			seeded = true
+		}
+		if seeded {
+			out = append(out, last)
+		}
+	}
+	return out
+}

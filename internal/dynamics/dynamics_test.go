@@ -1,0 +1,197 @@
+package dynamics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/route"
+)
+
+func quietPath() route.Path {
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+	return p
+}
+
+func synthTrace(delta time.Duration, rtts []float64) *core.Trace {
+	t := &core.Trace{Name: "synth", Delta: delta, PayloadSize: 32, WireSize: 72}
+	for i, ms := range rtts {
+		s := core.Sample{Seq: i, Sent: time.Duration(i) * delta}
+		if ms == 0 {
+			s.Lost = true
+		} else {
+			s.RTT = time.Duration(ms * float64(time.Millisecond))
+			s.Recv = s.Sent + s.RTT
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t
+}
+
+func TestDetectLevelShiftSynthetic(t *testing.T) {
+	// Baseline 140 ms, jumping to 170 ms at index 400, with queueing
+	// spikes sprinkled on both sides.
+	var rtts []float64
+	for i := 0; i < 800; i++ {
+		base := 140.0
+		if i >= 400 {
+			base = 170
+		}
+		v := base + float64(i%9)
+		if i%37 == 0 {
+			v += 120 // queueing spike: must not fool the detector
+		}
+		rtts = append(rtts, v)
+	}
+	tr := synthTrace(50*time.Millisecond, rtts)
+	shift, err := DetectLevelShift(tr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shift.ShiftMs()-30) > 6 {
+		t.Fatalf("shift = %v ms, want ≈30", shift.ShiftMs())
+	}
+	if shift.Index < 330 || shift.Index > 470 {
+		t.Fatalf("shift index = %d, want ≈400", shift.Index)
+	}
+}
+
+func TestDetectLevelShiftNoneOnStationary(t *testing.T) {
+	var rtts []float64
+	for i := 0; i < 800; i++ {
+		rtts = append(rtts, 140+float64(i%17))
+	}
+	tr := synthTrace(50*time.Millisecond, rtts)
+	if _, err := DetectLevelShift(tr, 0, 0); !errors.Is(err, ErrNoShift) {
+		t.Fatalf("err = %v, want ErrNoShift", err)
+	}
+}
+
+func TestDetectLevelShiftShortTrace(t *testing.T) {
+	tr := synthTrace(50*time.Millisecond, []float64{140, 141})
+	if _, err := DetectLevelShift(tr, 0, 0); !errors.Is(err, ErrNoShift) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetectRouteChangeOnSimulatedPath(t *testing.T) {
+	// Shift the transatlantic hop's propagation by +20 ms per
+	// direction (+40 ms RTT) three minutes into a δ=50 ms run.
+	cross := core.DefaultINRIACross()
+	tr, err := core.RunSim(core.SimConfig{
+		Path:     quietPath(),
+		Delta:    50 * time.Millisecond,
+		Duration: 6 * time.Minute,
+		Seed:     42,
+		Cross:    &cross,
+		RouteChange: &core.RouteChange{
+			At:    3 * time.Minute,
+			Hop:   3,
+			Shift: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift, err := DetectLevelShift(tr, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shift.ShiftMs()-40) > 10 {
+		t.Fatalf("detected shift %v ms, want ≈40", shift.ShiftMs())
+	}
+	wantIdx := int(3 * time.Minute / (50 * time.Millisecond))
+	if shift.Index < wantIdx-200 || shift.Index > wantIdx+200 {
+		t.Fatalf("detected index %d, want ≈%d", shift.Index, wantIdx)
+	}
+}
+
+func TestDetectPeriodicitySynthetic(t *testing.T) {
+	// 90-second surges on a δ=500 ms probe stream: period = 180
+	// samples.
+	var rtts []float64
+	for i := 0; i < 1024; i++ {
+		v := 140.0
+		if i%180 < 12 {
+			v += 200 // the debug burst parks probes behind it
+		}
+		rtts = append(rtts, v+float64(i%5))
+	}
+	tr := synthTrace(500*time.Millisecond, rtts)
+	p, err := DetectPeriodicity(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period < 80*time.Second || p.Period > 100*time.Second {
+		t.Fatalf("period = %v, want ≈90 s", p.Period)
+	}
+	if p.Correlation < 0.4 {
+		t.Fatalf("correlation = %v, want strong periodicity", p.Correlation)
+	}
+}
+
+func TestDetectPeriodicityRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var rtts []float64
+	for i := 0; i < 1024; i++ {
+		rtts = append(rtts, 140+rng.Float64()*23)
+	}
+	tr := synthTrace(500*time.Millisecond, rtts)
+	if _, err := DetectPeriodicity(tr, 0); !errors.Is(err, ErrNoPeriodicity) {
+		t.Fatalf("err = %v, want ErrNoPeriodicity", err)
+	}
+}
+
+func TestDetectPeriodicityShortTrace(t *testing.T) {
+	tr := synthTrace(500*time.Millisecond, []float64{140, 150})
+	if _, err := DetectPeriodicity(tr, 0); !errors.Is(err, ErrNoPeriodicity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDetectDebugAnomalyOnSimulatedPath(t *testing.T) {
+	// The [22] pathology end to end: a gateway dumps a burst every
+	// 90 s; the probe stream at δ=500 ms must reveal the period.
+	tr, err := core.RunSim(core.SimConfig{
+		Path:     quietPath(),
+		Delta:    500 * time.Millisecond,
+		Duration: 15 * time.Minute,
+		Seed:     7,
+		Anomaly: &core.Anomaly{
+			Period: 90 * time.Second,
+			Burst:  40,
+			Size:   512,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DetectPeriodicity(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period < 75*time.Second || p.Period > 110*time.Second {
+		t.Fatalf("detected period %v, want ≈90 s", p.Period)
+	}
+}
+
+func TestInterpolatedFillsLosses(t *testing.T) {
+	tr := synthTrace(50*time.Millisecond, []float64{0, 140, 0, 0, 150})
+	xs := interpolated(tr)
+	// Leading loss dropped (no seed), then 140,140,140,150.
+	want := []float64{140, 140, 140, 150}
+	if len(xs) != len(want) {
+		t.Fatalf("series = %v", xs)
+	}
+	for i, w := range want {
+		if xs[i] != w {
+			t.Fatalf("series = %v, want %v", xs, want)
+		}
+	}
+}

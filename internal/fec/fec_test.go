@@ -1,0 +1,221 @@
+package fec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/loss"
+)
+
+func boolsFrom(s string) []bool {
+	out := make([]bool, len(s))
+	for i, c := range s {
+		out[i] = c == 'x'
+	}
+	return out
+}
+
+func TestRepetitionHandCases(t *testing.T) {
+	// Isolated loss followed by a delivery: recovered.
+	r := Repetition(boolsFrom(".x.."))
+	if r.Lost != 1 || r.Recovered != 1 || r.ResidualLossRate != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Back-to-back losses: the first is unrecoverable.
+	r = Repetition(boolsFrom(".xx."))
+	if r.Lost != 2 || r.Recovered != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+	if math.Abs(r.ResidualLossRate-0.25) > 1e-12 {
+		t.Fatalf("residual = %v, want 0.25", r.ResidualLossRate)
+	}
+	// Trailing loss has no successor: unrecoverable.
+	r = Repetition(boolsFrom("..x"))
+	if r.Recovered != 0 {
+		t.Fatalf("trailing loss recovered: %+v", r)
+	}
+}
+
+func TestRepetitionRandomMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := 0.1
+	lost := make([]bool, 500000)
+	for i := range lost {
+		lost[i] = rng.Float64() < p
+	}
+	r := Repetition(lost)
+	want := RandomResidual(p)
+	if math.Abs(r.ResidualLossRate-want) > 0.002 {
+		t.Fatalf("residual = %v, want ≈%v for random loss", r.ResidualLossRate, want)
+	}
+	bp := BurstPenalty(lost)
+	if bp < 0.8 || bp > 1.2 {
+		t.Fatalf("burst penalty = %v, want ≈1 for random loss", bp)
+	}
+}
+
+func TestRepetitionSuffersUnderBursts(t *testing.T) {
+	// Gilbert bursts: same ulp as above (≈0.1) but strongly
+	// correlated: repetition must do much worse than p².
+	rng := rand.New(rand.NewSource(2))
+	lost := make([]bool, 500000)
+	bad := false
+	for i := range lost {
+		if bad {
+			bad = rng.Float64() < 0.7
+		} else {
+			bad = rng.Float64() < 0.033
+		}
+		lost[i] = bad
+	}
+	bp := BurstPenalty(lost)
+	if bp < 3 {
+		t.Fatalf("burst penalty = %v, want ≫1 for bursty loss", bp)
+	}
+}
+
+func TestBlockFECPerfectChannel(t *testing.T) {
+	r := BlockFEC(boolsFrom("........"), 4, 3)
+	if r.Lost != 0 || r.ResidualLossRate != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// Data packets counted: blocks of 4 → data 3+3 = 6.
+	if r.N != 6 {
+		t.Fatalf("N = %d, want 6", r.N)
+	}
+}
+
+func TestBlockFECSingleLossPerBlockRecovered(t *testing.T) {
+	// (4,3): one parity per 3 data packets; one loss per block is
+	// always recoverable.
+	r := BlockFEC(boolsFrom("x....x.."), 4, 3)
+	if r.Lost != 2 || r.Recovered != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestBlockFECDoubleLossNotRecovered(t *testing.T) {
+	// Two losses inside one (4,3) block exceed the code's power.
+	r := BlockFEC(boolsFrom("xx.."), 4, 3)
+	if r.Recovered != 0 || r.Lost != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestBlockFECPartialTrailingBlock(t *testing.T) {
+	// 6 packets with n=4: second block is partial (no parity), so
+	// its losses stay lost.
+	r := BlockFEC(boolsFrom("....x."), 4, 3)
+	if r.Recovered != 0 || r.Lost != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestBlockFECPanicsOnBadCode(t *testing.T) {
+	for _, c := range [][2]int{{2, 3}, {0, 0}, {4, 0}} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("code (%d,%d) accepted", c[0], c[1])
+				}
+			}()
+			BlockFEC(nil, c[0], c[1])
+		}()
+	}
+}
+
+func TestARQLatencyGrowsWithLoss(t *testing.T) {
+	clean := ARQ(boolsFrom("...................."), 1)
+	if clean.MeanAttempts != 1 || clean.MeanDelayRTT != 0.5 {
+		t.Fatalf("clean channel ARQ = %+v", clean)
+	}
+	rng := rand.New(rand.NewSource(3))
+	lossy := make([]bool, 100000)
+	for i := range lossy {
+		lossy[i] = rng.Float64() < 0.3
+	}
+	s := ARQ(lossy, 1)
+	// Mean attempts ≈ 1/(1-p) ≈ 1.43.
+	if s.MeanAttempts < 1.3 || s.MeanAttempts > 1.6 {
+		t.Fatalf("mean attempts = %v, want ≈1.43", s.MeanAttempts)
+	}
+	if s.MeanDelayRTT <= clean.MeanDelayRTT {
+		t.Fatal("ARQ delay should grow with loss")
+	}
+	if s.MaxAttempts < 2 {
+		t.Fatal("no retransmissions recorded")
+	}
+}
+
+func TestARQEmpty(t *testing.T) {
+	if s := ARQ(nil, 1); s.MeanAttempts != 0 {
+		t.Fatalf("empty ARQ = %+v", s)
+	}
+}
+
+func TestPlayoutDelay(t *testing.T) {
+	// Delays: min 140, 1 % tail at 240.
+	rtts := make([]float64, 1000)
+	for i := range rtts {
+		rtts[i] = 140 + float64(i%100)
+	}
+	d := PlayoutDelay(rtts, 0.05)
+	// 95th percentile ≈ 140+94 → delay ≈ 94.
+	if d < 85 || d > 100 {
+		t.Fatalf("playout delay = %v, want ≈94", d)
+	}
+}
+
+func TestPlayoutDelayPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PlayoutDelay(nil, 0.05) },
+		func() { PlayoutDelay([]float64{1}, 0) },
+		func() { PlayoutDelay([]float64{1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad playout args accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBurstPenaltyNoLosses(t *testing.T) {
+	if !math.IsNaN(BurstPenalty(boolsFrom("...."))) {
+		t.Fatal("penalty with no losses should be NaN")
+	}
+}
+
+// The paper's Section 5 conclusion, end to end: on the simulated
+// INRIA–UMd path at δ=100 ms (an audio-like sending rate), losses are
+// essentially random, so repetition-based recovery approaches the
+// random-loss baseline — FEC is adequate.
+func TestSection5ConclusionOnSimulatedPath(t *testing.T) {
+	tr, err := core.INRIAUMd(100*time.Millisecond, 5*time.Minute, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := tr.LossIndicator()
+	ls := loss.Analyze(lost)
+	if !ls.IsEssentiallyRandom(0.5) {
+		t.Fatalf("losses at δ=100 ms should be near-random: %+v", ls)
+	}
+	bp := BurstPenalty(lost)
+	if math.IsNaN(bp) {
+		t.Skip("no losses in this run")
+	}
+	if bp > 3 {
+		t.Fatalf("burst penalty = %v; repetition should be close to the random baseline", bp)
+	}
+	r := Repetition(lost)
+	if r.ResidualLossRate > ls.ULP/3 {
+		t.Fatalf("repetition residual %v vs raw loss %v: recovery too weak", r.ResidualLossRate, ls.ULP)
+	}
+}

@@ -1,0 +1,129 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavePermutation(t *testing.T) {
+	order, err := Interleave(12, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 12 {
+		t.Fatalf("length %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if v < 0 || v >= 12 || seen[v] {
+			t.Fatalf("not a permutation: %v", order)
+		}
+		seen[v] = true
+	}
+	// First column of a 3×4 matrix: rows 0,1,2 → indices 0,4,8.
+	if order[0] != 0 || order[1] != 4 || order[2] != 8 {
+		t.Fatalf("column order wrong: %v", order[:3])
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	if _, err := Interleave(10, 3, 4); err == nil {
+		t.Fatal("non-multiple length accepted")
+	}
+	if _, err := Interleave(12, 0, 4); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestDeinterleaveSpreadsBursts(t *testing.T) {
+	// A burst of 3 consecutive channel losses with depth 3 lands on
+	// original packets that are `width` apart.
+	lost := make([]bool, 12)
+	lost[0], lost[1], lost[2] = true, true, true
+	orig, err := Deinterleave(lost, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig[0] || !orig[4] || !orig[8] {
+		t.Fatalf("burst not spread: %v", orig)
+	}
+	// No two lost packets adjacent in original order.
+	for i := 0; i+1 < len(orig); i++ {
+		if orig[i] && orig[i+1] {
+			t.Fatalf("adjacent losses after deinterleave: %v", orig)
+		}
+	}
+}
+
+func TestInterleavedRepetitionBeatsPlainOnBursts(t *testing.T) {
+	// Strongly bursty channel: Gilbert with mean burst ≈3.
+	rng := rand.New(rand.NewSource(4))
+	n := 120000
+	lost := make([]bool, n)
+	bad := false
+	for i := range lost {
+		if bad {
+			bad = rng.Float64() < 0.66
+		} else {
+			bad = rng.Float64() < 0.04
+		}
+		lost[i] = bad
+	}
+	plain := Repetition(lost)
+	inter, err := InterleavedRepetition(lost, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.ResidualLossRate >= plain.ResidualLossRate/2 {
+		t.Fatalf("interleaving did not help: %v vs %v",
+			inter.ResidualLossRate, plain.ResidualLossRate)
+	}
+	// Interleaving approaches the random-loss bound.
+	p := float64(plain.Lost) / float64(plain.N)
+	if inter.ResidualLossRate > 2.5*RandomResidual(p) {
+		t.Fatalf("interleaved residual %v far from random bound %v",
+			inter.ResidualLossRate, RandomResidual(p))
+	}
+}
+
+func TestInterleavedRepetitionTrailingPartialBlock(t *testing.T) {
+	lost := make([]bool, 17) // 12 interleaved + 5 plain
+	lost[13] = true
+	r, err := InterleavedRepetition(lost, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 17 || r.Lost != 1 {
+		t.Fatalf("result %+v", r)
+	}
+}
+
+// Property: deinterleaving preserves the number of losses.
+func TestDeinterleaveConservationProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lost := make([]bool, 60)
+		count := 0
+		for i := range lost {
+			lost[i] = rng.Float64() < 0.3
+			if lost[i] {
+				count++
+			}
+		}
+		orig, err := Deinterleave(lost, 5, 4)
+		if err != nil {
+			return false
+		}
+		got := 0
+		for _, l := range orig {
+			if l {
+				got++
+			}
+		}
+		return got == count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

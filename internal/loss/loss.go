@@ -1,0 +1,180 @@
+// Package loss implements the packet-loss analysis of Section 5:
+// the unconditional loss probability ulp = P(rtt_n = 0), the
+// conditional loss probability clp = P(rtt_{n+1} = 0 | rtt_n = 0),
+// the packet loss gap plg = 1/(1 − clp), loss-run statistics, and a
+// two-state (Gilbert) loss-model fit with a geometricity check that
+// formalizes the paper's conclusion that probe losses are essentially
+// random unless the probe traffic uses a large fraction of the
+// bottleneck bandwidth.
+package loss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netprobe/internal/core"
+)
+
+// Stats holds the Section 5 loss metrics for one trace.
+type Stats struct {
+	// N is the number of probes sent.
+	N int
+	// Lost is the number of probes lost.
+	Lost int
+	// ULP is the unconditional loss probability.
+	ULP float64
+	// CLP is the conditional loss probability
+	// P(loss_{n+1} | loss_n); NaN when no probe was lost.
+	CLP float64
+	// PLG is the packet loss gap 1/(1−CLP), the mean number of
+	// consecutively lost probes implied by CLP under the stationary
+	// ergodic assumption; NaN when CLP is undefined, +Inf when
+	// CLP = 1.
+	PLG float64
+	// MeanRun is the empirically measured mean loss-run length.
+	MeanRun float64
+	// Runs is the multiset of loss-run lengths.
+	Runs []int
+}
+
+// Analyze computes loss statistics from a loss indicator sequence.
+func Analyze(lost []bool) Stats {
+	s := Stats{N: len(lost), CLP: math.NaN(), PLG: math.NaN()}
+	prevLost := 0 // count of positions n with loss_n, n+1 in range
+	bothLost := 0
+	run := 0
+	for i, l := range lost {
+		if l {
+			s.Lost++
+			run++
+		} else if run > 0 {
+			s.Runs = append(s.Runs, run)
+			run = 0
+		}
+		if i+1 < len(lost) && l {
+			prevLost++
+			if lost[i+1] {
+				bothLost++
+			}
+		}
+	}
+	if run > 0 {
+		s.Runs = append(s.Runs, run)
+	}
+	if s.N > 0 {
+		s.ULP = float64(s.Lost) / float64(s.N)
+	}
+	if prevLost > 0 {
+		s.CLP = float64(bothLost) / float64(prevLost)
+		if s.CLP < 1 {
+			s.PLG = 1 / (1 - s.CLP)
+		} else {
+			s.PLG = math.Inf(1)
+		}
+	}
+	if len(s.Runs) > 0 {
+		sum := 0
+		for _, r := range s.Runs {
+			sum += r
+		}
+		s.MeanRun = float64(sum) / float64(len(s.Runs))
+	}
+	return s
+}
+
+// AnalyzeTrace computes loss statistics for a probe trace.
+func AnalyzeTrace(t *core.Trace) Stats { return Analyze(t.LossIndicator()) }
+
+// String implements fmt.Stringer in the format of Table 3.
+func (s Stats) String() string {
+	return fmt.Sprintf("ulp=%.2f clp=%.2f plg=%.1f (n=%d, runs=%d, mean run %.2f)",
+		s.ULP, s.CLP, s.PLG, s.N, len(s.Runs), s.MeanRun)
+}
+
+// RunLengthHist returns a histogram of loss-run lengths.
+func RunLengthHist(runs []int) map[int]int {
+	h := make(map[int]int)
+	for _, r := range runs {
+		h[r]++
+	}
+	return h
+}
+
+// Gilbert is the classical two-state loss model: in the Good state
+// packets are delivered, in the Bad state they are lost; P01 is the
+// Good→Bad transition probability and P11 the Bad→Bad (self-loop)
+// probability. P11 equals the conditional loss probability and
+// 1/(1−P11) the mean burst length.
+type Gilbert struct {
+	P01 float64
+	P11 float64
+}
+
+// ErrInsufficient is returned when a sequence has too few transitions
+// to fit a model.
+var ErrInsufficient = errors.New("loss: insufficient data")
+
+// FitGilbert estimates the two-state model from a loss sequence by
+// transition counting.
+func FitGilbert(lost []bool) (Gilbert, error) {
+	var g Gilbert
+	good, goodToBad, bad, badToBad := 0, 0, 0, 0
+	for i := 0; i+1 < len(lost); i++ {
+		if lost[i] {
+			bad++
+			if lost[i+1] {
+				badToBad++
+			}
+		} else {
+			good++
+			if lost[i+1] {
+				goodToBad++
+			}
+		}
+	}
+	if good == 0 || bad == 0 {
+		return g, ErrInsufficient
+	}
+	g.P01 = float64(goodToBad) / float64(good)
+	g.P11 = float64(badToBad) / float64(bad)
+	return g, nil
+}
+
+// StationaryLoss reports the model's long-run loss probability
+// π_bad = P01 / (P01 + 1 − P11).
+func (g Gilbert) StationaryLoss() float64 {
+	denom := g.P01 + 1 - g.P11
+	if denom == 0 {
+		return 1
+	}
+	return g.P01 / denom
+}
+
+// MeanBurst reports the model's mean loss-burst length 1/(1−P11),
+// +Inf when P11 = 1.
+func (g Gilbert) MeanBurst() float64 {
+	if g.P11 >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - g.P11)
+}
+
+// Randomness quantifies how close the loss process is to Bernoulli
+// (independent) loss: it returns |clp − ulp|, which is zero for an
+// ideal random process (conditioning on a previous loss tells nothing)
+// and grows with burstiness. NaN when CLP is undefined.
+func (s Stats) Randomness() float64 {
+	return math.Abs(s.CLP - s.ULP)
+}
+
+// IsEssentiallyRandom applies the paper's criterion: losses count as
+// essentially random when the loss gap stays close to one, i.e. the
+// expected burst length exceeds a single packet by less than slack
+// (the paper's Table 3 shows plg ≤ 1.3 for all δ ≥ 50 ms).
+func (s Stats) IsEssentiallyRandom(slack float64) bool {
+	if math.IsNaN(s.PLG) {
+		return true // no losses at all: trivially random
+	}
+	return s.PLG <= 1+slack
+}

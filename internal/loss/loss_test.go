@@ -1,0 +1,258 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netprobe/internal/core"
+)
+
+func boolsFrom(s string) []bool {
+	out := make([]bool, len(s))
+	for i, c := range s {
+		out[i] = c == 'x' // x = lost, . = received
+	}
+	return out
+}
+
+func TestAnalyzeHandComputed(t *testing.T) {
+	// Sequence: . x x . x . . (7 probes, 3 lost)
+	s := Analyze(boolsFrom(".xx.x.."))
+	if s.N != 7 || s.Lost != 3 {
+		t.Fatalf("N=%d Lost=%d", s.N, s.Lost)
+	}
+	if math.Abs(s.ULP-3.0/7.0) > 1e-12 {
+		t.Fatalf("ulp = %v", s.ULP)
+	}
+	// Positions with loss_n and a successor: 1,2,4 → successors x,.,.
+	// → clp = 1/3.
+	if math.Abs(s.CLP-1.0/3.0) > 1e-12 {
+		t.Fatalf("clp = %v", s.CLP)
+	}
+	if math.Abs(s.PLG-1.5) > 1e-12 {
+		t.Fatalf("plg = %v, want 1/(1-1/3)=1.5", s.PLG)
+	}
+	// Runs: [2, 1] → mean 1.5.
+	if len(s.Runs) != 2 || s.Runs[0] != 2 || s.Runs[1] != 1 {
+		t.Fatalf("runs = %v", s.Runs)
+	}
+	if s.MeanRun != 1.5 {
+		t.Fatalf("mean run = %v", s.MeanRun)
+	}
+}
+
+func TestAnalyzeNoLoss(t *testing.T) {
+	s := Analyze(boolsFrom("......"))
+	if s.ULP != 0 || !math.IsNaN(s.CLP) || !math.IsNaN(s.PLG) {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !s.IsEssentiallyRandom(0.5) {
+		t.Fatal("lossless trace should count as random")
+	}
+}
+
+func TestAnalyzeAllLost(t *testing.T) {
+	s := Analyze(boolsFrom("xxxx"))
+	if s.ULP != 1 || s.CLP != 1 || !math.IsInf(s.PLG, 1) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAnalyzeTrailingRun(t *testing.T) {
+	s := Analyze(boolsFrom("..xx"))
+	if len(s.Runs) != 1 || s.Runs[0] != 2 {
+		t.Fatalf("trailing run not recorded: %v", s.Runs)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil)
+	if s.N != 0 || s.ULP != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBernoulliLossIsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lost := make([]bool, 200000)
+	for i := range lost {
+		lost[i] = rng.Float64() < 0.10
+	}
+	s := Analyze(lost)
+	if math.Abs(s.ULP-0.10) > 0.01 {
+		t.Fatalf("ulp = %v", s.ULP)
+	}
+	// For independent losses clp ≈ ulp and plg ≈ 1.11.
+	if s.Randomness() > 0.01 {
+		t.Fatalf("randomness = %v, want ≈0", s.Randomness())
+	}
+	if !s.IsEssentiallyRandom(0.3) {
+		t.Fatalf("Bernoulli losses judged bursty: %+v", s)
+	}
+}
+
+func TestBurstyLossIsNotRandom(t *testing.T) {
+	// Gilbert process with strong bursts: p01=0.02, p11=0.7.
+	rng := rand.New(rand.NewSource(4))
+	lost := make([]bool, 200000)
+	bad := false
+	for i := range lost {
+		if bad {
+			bad = rng.Float64() < 0.7
+		} else {
+			bad = rng.Float64() < 0.02
+		}
+		lost[i] = bad
+	}
+	s := Analyze(lost)
+	if s.CLP < 0.6 {
+		t.Fatalf("clp = %v, want ≈0.7", s.CLP)
+	}
+	if s.IsEssentiallyRandom(0.5) {
+		t.Fatalf("bursty losses judged random: %+v", s)
+	}
+	// plg from clp should match the empirical mean run length for a
+	// geometric run-length process.
+	if math.Abs(s.PLG-s.MeanRun) > 0.15*s.MeanRun {
+		t.Fatalf("plg %v vs mean run %v diverge", s.PLG, s.MeanRun)
+	}
+}
+
+func TestFitGilbertRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p01, p11 := 0.05, 0.4
+	lost := make([]bool, 300000)
+	bad := false
+	for i := range lost {
+		if bad {
+			bad = rng.Float64() < p11
+		} else {
+			bad = rng.Float64() < p01
+		}
+		lost[i] = bad
+	}
+	g, err := FitGilbert(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.P01-p01) > 0.005 || math.Abs(g.P11-p11) > 0.02 {
+		t.Fatalf("fit = %+v, want {0.05 0.4}", g)
+	}
+	wantLoss := p01 / (p01 + 1 - p11)
+	if math.Abs(g.StationaryLoss()-wantLoss) > 0.01 {
+		t.Fatalf("stationary loss = %v, want %v", g.StationaryLoss(), wantLoss)
+	}
+	if math.Abs(g.MeanBurst()-1/(1-p11)) > 0.1 {
+		t.Fatalf("mean burst = %v", g.MeanBurst())
+	}
+}
+
+func TestFitGilbertInsufficient(t *testing.T) {
+	if _, err := FitGilbert(boolsFrom("....")); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	if _, err := FitGilbert(boolsFrom("xxxx")); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestGilbertDegenerateStationary(t *testing.T) {
+	g := Gilbert{P01: 0, P11: 1}
+	if g.StationaryLoss() != 1 {
+		t.Fatalf("degenerate stationary = %v", g.StationaryLoss())
+	}
+	if !math.IsInf(g.MeanBurst(), 1) {
+		t.Fatal("mean burst should be +Inf at P11=1")
+	}
+}
+
+func TestRunLengthHist(t *testing.T) {
+	h := RunLengthHist([]int{1, 1, 2, 3, 1})
+	if h[1] != 3 || h[2] != 1 || h[3] != 1 {
+		t.Fatalf("hist = %v", h)
+	}
+}
+
+func TestAnalyzeTraceMatchesIndicator(t *testing.T) {
+	tr := &core.Trace{Delta: time.Millisecond, WireSize: 72}
+	for i, l := range boolsFrom(".x.x") {
+		s := core.Sample{Seq: i, Sent: time.Duration(i) * time.Millisecond, Lost: l}
+		if !l {
+			s.RTT = 140 * time.Millisecond
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	if got, want := AnalyzeTrace(tr).ULP, 0.5; got != want {
+		t.Fatalf("ulp = %v, want %v", got, want)
+	}
+}
+
+// Property: clp ≥ is not guaranteed in general, but conservation is:
+// sum of run lengths equals total losses, and ULP ∈ [0,1].
+func TestAnalyzeConservationProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		p := float64(pRaw) / 255
+		rng := rand.New(rand.NewSource(seed))
+		lost := make([]bool, n)
+		for i := range lost {
+			lost[i] = rng.Float64() < p
+		}
+		s := Analyze(lost)
+		sum := 0
+		for _, r := range s.Runs {
+			if r <= 0 {
+				return false
+			}
+			sum += r
+		}
+		return sum == s.Lost && s.ULP >= 0 && s.ULP <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table 3 end-to-end: clp ≥ ulp at every δ on the simulated path, clp
+// and ulp converge as δ grows, and losses at moderate probe load are
+// essentially random.
+func TestTable3TrendsOnSimulatedPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep in -short mode")
+	}
+	type row struct {
+		delta time.Duration
+		s     Stats
+	}
+	var rows []row
+	for _, d := range []time.Duration{8 * time.Millisecond, 50 * time.Millisecond, 500 * time.Millisecond} {
+		dur := 90 * time.Second
+		if d >= 200*time.Millisecond {
+			dur = 5 * time.Minute
+		}
+		tr, err := core.INRIAUMd(d, dur, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row{d, AnalyzeTrace(tr)})
+	}
+	for _, r := range rows {
+		if !math.IsNaN(r.s.CLP) && r.s.CLP+0.03 < r.s.ULP {
+			t.Errorf("δ=%v: clp %v < ulp %v", r.delta, r.s.CLP, r.s.ULP)
+		}
+	}
+	// Monotone trend: ulp at 8 ms well above ulp at 500 ms.
+	if rows[0].s.ULP <= rows[2].s.ULP {
+		t.Errorf("ulp did not decrease with δ: %v vs %v", rows[0].s.ULP, rows[2].s.ULP)
+	}
+	// Burstiness collapses at large δ.
+	if rows[0].s.PLG <= rows[2].s.PLG {
+		t.Errorf("plg did not decrease with δ: %v vs %v", rows[0].s.PLG, rows[2].s.PLG)
+	}
+	if !rows[2].s.IsEssentiallyRandom(0.45) {
+		t.Errorf("δ=500ms losses should be essentially random: %+v", rows[2].s)
+	}
+}

@@ -1,0 +1,28 @@
+package loss
+
+import (
+	"time"
+
+	"netprobe/internal/core"
+)
+
+// Table3Row is one row of the paper's Table 3 sweep.
+type Table3Row struct {
+	Delta time.Duration
+	Stats Stats
+}
+
+// Table3 runs the full Table 3 sweep on the simulated INRIA–UMd path:
+// one experiment per paper δ, each of the given duration (0 = the
+// paper's 10 minutes), returning loss statistics per row.
+func Table3(duration time.Duration, seed int64) ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, len(core.PaperDeltas))
+	for _, d := range core.PaperDeltas {
+		tr, err := core.INRIAUMd(d, duration, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{Delta: d, Stats: AnalyzeTrace(tr)})
+	}
+	return rows, nil
+}

@@ -1,0 +1,31 @@
+package loss
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable3SweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	rows, err := Table3(time.Minute, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// The Table 3 shape: first row (δ=8 ms) has the highest ulp and
+	// plg of the sweep.
+	for _, r := range rows[1:] {
+		if rows[0].Stats.ULP <= r.Stats.ULP {
+			t.Fatalf("δ=8ms ulp %v not the maximum (δ=%v has %v)",
+				rows[0].Stats.ULP, r.Delta, r.Stats.ULP)
+		}
+	}
+	if rows[0].Stats.PLG < rows[len(rows)-1].Stats.PLG {
+		t.Fatalf("plg should fall across the sweep: %v → %v",
+			rows[0].Stats.PLG, rows[len(rows)-1].Stats.PLG)
+	}
+}

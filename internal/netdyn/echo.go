@@ -1,0 +1,103 @@
+package netdyn
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Echoer is the intermediate host of the paper's setup: it listens on
+// a UDP port and immediately echoes every probe packet back to its
+// sender, after writing the echo timestamp.
+type Echoer struct {
+	conn  *net.UDPConn
+	start time.Time
+
+	mu      sync.Mutex
+	dropper func(seq uint32) bool
+
+	echoed  atomic.Int64
+	dropped atomic.Int64
+
+	done chan struct{}
+}
+
+// NewEchoer starts an echo server listening on addr (e.g.
+// "127.0.0.1:0" to pick a free port). The server runs until Close.
+func NewEchoer(addr string) (*Echoer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netdyn: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("netdyn: listen %q: %w", addr, err)
+	}
+	e := &Echoer{
+		conn:  conn,
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	go e.serve()
+	return e, nil
+}
+
+// Addr reports the bound address, for clients to dial.
+func (e *Echoer) Addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetDropper installs a test hook: packets for which fn returns true
+// are silently discarded instead of echoed, emulating network loss on
+// an otherwise loss-free path. A nil fn echoes everything.
+func (e *Echoer) SetDropper(fn func(seq uint32) bool) {
+	e.mu.Lock()
+	e.dropper = fn
+	e.mu.Unlock()
+}
+
+// Echoed reports how many packets have been echoed.
+func (e *Echoer) Echoed() int64 { return e.echoed.Load() }
+
+// Dropped reports how many packets the dropper discarded.
+func (e *Echoer) Dropped() int64 { return e.dropped.Load() }
+
+// Close shuts the echo server down.
+func (e *Echoer) Close() error {
+	err := e.conn.Close()
+	<-e.done
+	return err
+}
+
+func (e *Echoer) serve() {
+	defer close(e.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient error: keep serving
+		}
+		pkt, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // not a probe packet
+		}
+		e.mu.Lock()
+		drop := e.dropper != nil && e.dropper(pkt.Seq)
+		e.mu.Unlock()
+		if drop {
+			e.dropped.Add(1)
+			continue
+		}
+		if err := StampEcho(buf[:n], time.Since(e.start).Microseconds()); err != nil {
+			continue
+		}
+		if _, err := e.conn.WriteToUDP(buf[:n], peer); err != nil {
+			continue
+		}
+		e.echoed.Add(1)
+	}
+}

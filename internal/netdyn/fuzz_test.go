@@ -1,0 +1,46 @@
+package netdyn
+
+import "testing"
+
+// FuzzUnmarshal checks that arbitrary datagrams never panic the wire
+// decoder and that accepted packets re-marshal to an equivalent
+// decoding — the echo server feeds every received datagram through
+// this path.
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := (&Packet{Seq: 7, SourceMicros: 123456}).Marshal(32)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("ND"))
+	f.Add(make([]byte, HeaderSize))
+	big, _ := (&Packet{Seq: 1<<32 - 1, SourceMicros: 1<<48 - 1, EchoMicros: 1, DestMicros: 1 << 47}).Marshal(64)
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		buf, err := p.Marshal(MinPayload)
+		if err != nil {
+			t.Fatalf("accepted packet failed to marshal: %v", err)
+		}
+		back, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed packet: %+v vs %+v", back, p)
+		}
+	})
+}
+
+// FuzzStampEcho checks in-place stamping against arbitrary buffers.
+func FuzzStampEcho(f *testing.F) {
+	good, _ := (&Packet{Seq: 1}).Marshal(32)
+	f.Add(good, int64(42))
+	f.Add([]byte{}, int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, micros int64) {
+		// Must never panic regardless of buffer length or value.
+		_ = StampEcho(data, micros)
+	})
+}

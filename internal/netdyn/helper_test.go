@@ -1,0 +1,12 @@
+package netdyn
+
+import "net"
+
+// netDial opens a plain UDP connection to addr for test traffic.
+func netDial(addr string) (*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUDP("udp", nil, ua)
+}

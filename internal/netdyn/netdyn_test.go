@@ -1,0 +1,272 @@
+package netdyn
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netprobe/internal/loss"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	p := Packet{Seq: 1234567, SourceMicros: 987654321, EchoMicros: 42, DestMicros: 7}
+	buf, err := p.Marshal(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 32 {
+		t.Fatalf("payload size %d, want 32", len(buf))
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: %+v vs %+v", got, p)
+	}
+}
+
+func TestWireRejectsTooSmallPayload(t *testing.T) {
+	p := Packet{}
+	if _, err := p.Marshal(10); err == nil {
+		t.Fatal("accepted 10-byte payload")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 5)); err != ErrShortPacket {
+		t.Fatalf("short: %v", err)
+	}
+	buf, _ := (&Packet{}).Marshal(32)
+	buf[0] = 'X'
+	if _, err := Unmarshal(buf); err != ErrBadMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	buf, _ = (&Packet{}).Marshal(32)
+	buf[2] = 99
+	if _, err := Unmarshal(buf); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+}
+
+func TestStampEcho(t *testing.T) {
+	buf, _ := (&Packet{Seq: 9}).Marshal(32)
+	if err := StampEcho(buf, 123456); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EchoMicros != 123456 || p.Seq != 9 {
+		t.Fatalf("stamped packet: %+v", p)
+	}
+	if err := StampEcho(make([]byte, 4), 1); err != ErrShortPacket {
+		t.Fatalf("short stamp: %v", err)
+	}
+}
+
+// Property: 48-bit timestamps survive the round trip for any value in
+// range.
+func TestUint48RoundTripProperty(t *testing.T) {
+	check := func(vRaw int64) bool {
+		v := vRaw & ((1 << 48) - 1)
+		p := Packet{SourceMicros: v, EchoMicros: v / 2, DestMicros: v / 3}
+		buf, err := p.Marshal(32)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		return err == nil && got.SourceMicros == v && got.EchoMicros == v/2 && got.DestMicros == v/3
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeLoopbackAllReceived(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  100,
+		Drain:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("trace length %d, want 100", tr.Len())
+	}
+	if tr.LossRate() > 0.02 {
+		t.Fatalf("loopback loss rate %v", tr.LossRate())
+	}
+	min, err := tr.MinRTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min <= 0 || min > 100*time.Millisecond {
+		t.Fatalf("loopback min RTT %v", min)
+	}
+	if e.Echoed() == 0 {
+		t.Fatal("echoer echoed nothing")
+	}
+}
+
+func TestProbeRecordsLosses(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Drop every third probe deterministically.
+	e.SetDropper(func(seq uint32) bool { return seq%3 == 0 })
+
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  90,
+		Drain:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loss.AnalyzeTrace(tr)
+	if s.ULP < 0.25 || s.ULP > 0.40 {
+		t.Fatalf("ulp = %v, want ≈1/3", s.ULP)
+	}
+	// Dropped probes must be exactly seq ≡ 0 (mod 3) (modulo rare
+	// loopback loss of others).
+	for i, sm := range tr.Samples {
+		if i%3 == 0 && !sm.Lost {
+			t.Fatalf("probe %d should have been dropped", i)
+		}
+	}
+	if e.Dropped() != 30 {
+		t.Fatalf("echoer dropped %d, want 30", e.Dropped())
+	}
+}
+
+func TestProbeClockQuantization(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	res := 3 * time.Millisecond
+	tr, err := Probe(ProbeConfig{
+		Target:   e.Addr().String(),
+		Delta:    5 * time.Millisecond,
+		Count:    40,
+		ClockRes: res,
+		Drain:    time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Samples {
+		if !s.Lost && s.RTT%res != 0 {
+			t.Fatalf("RTT %v not quantized to %v", s.RTT, res)
+		}
+	}
+}
+
+func TestProbeConfigValidation(t *testing.T) {
+	bad := []ProbeConfig{
+		{},
+		{Target: "x", Delta: 0, Count: 1},
+		{Target: "x", Delta: time.Millisecond, Count: 0},
+		{Target: "x", Delta: time.Millisecond, Count: 1, PayloadSize: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := Probe(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestProbeUnresolvableTarget(t *testing.T) {
+	_, err := Probe(ProbeConfig{Target: "nonexistent.invalid:1", Delta: time.Millisecond, Count: 1})
+	if err == nil {
+		t.Fatal("unresolvable target accepted")
+	}
+}
+
+func TestEchoerIgnoresGarbage(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Throw garbage at the echoer, then verify it still works.
+	conn, err := netDial(e.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("not a probe"))
+	conn.Close()
+
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  10,
+		Drain:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Received() == 0 {
+		t.Fatal("echoer died after garbage input")
+	}
+}
+
+func TestProbeCustomSchedule(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// An irregular (Poisson-like) schedule: the trace's send times
+	// must follow it, not the periodic default.
+	schedule := []time.Duration{0, 3 * time.Millisecond, 4 * time.Millisecond,
+		11 * time.Millisecond, 30 * time.Millisecond}
+	tr, err := Probe(ProbeConfig{
+		Target:    e.Addr().String(),
+		Delta:     5 * time.Millisecond, // bookkeeping only
+		SendTimes: schedule,
+		Drain:     500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(schedule) {
+		t.Fatalf("trace length %d, want %d", tr.Len(), len(schedule))
+	}
+	for i := 1; i < tr.Len(); i++ {
+		gotOff := tr.Samples[i].Sent - tr.Samples[0].Sent
+		wantOff := schedule[i] - schedule[0]
+		// Sends never run early; OS scheduling may run them late.
+		if gotOff < wantOff-5*time.Millisecond {
+			t.Fatalf("offset %d = %v, want ≥ %v", i, gotOff, wantOff)
+		}
+		if gotOff > wantOff+50*time.Millisecond {
+			t.Fatalf("offset %d = %v, way above %v", i, gotOff, wantOff)
+		}
+	}
+}
+
+func TestProbeRejectsDecreasingSchedule(t *testing.T) {
+	_, err := Probe(ProbeConfig{
+		Target:    "127.0.0.1:1",
+		Delta:     time.Millisecond,
+		SendTimes: []time.Duration{time.Second, 0},
+	})
+	if err == nil {
+		t.Fatal("decreasing schedule accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package netdyn
+
+import (
+	"errors"
+
+	"netprobe/internal/core"
+)
+
+// Detail is a probing result that retains the echo host's timestamps
+// alongside the round-trip trace, enabling the per-direction analysis
+// the plain RTT trace cannot support.
+type Detail struct {
+	// Trace is the ordinary round-trip trace.
+	Trace *core.Trace
+	// EchoMicros[seq] is the echo host's clock (µs, its own epoch)
+	// when it turned probe seq around; -1 for lost probes.
+	EchoMicros []int64
+}
+
+// OneWay is the decomposition of round trips into per-direction
+// components using the echo timestamp. As the paper explains
+// (Section 2), the source and echo clocks are not synchronized, so
+// each direction includes an unknown constant offset θ: the forward
+// values are fwd+θ and the reverse values are rev−θ. Differences
+// within a direction — jitter, queueing variation — are offset-free
+// and meaningful; absolute one-way delays are not.
+type OneWay struct {
+	// ForwardMs and ReverseMs are the skewed per-direction delays in
+	// milliseconds for each received probe, in sequence order.
+	ForwardMs []float64
+	ReverseMs []float64
+	// ForwardRangeMs and ReverseRangeMs are max−min per direction:
+	// the offset cancels, so these are true per-direction queueing
+	// delay ranges.
+	ForwardRangeMs float64
+	ReverseRangeMs float64
+}
+
+// ErrNoEcho is returned when no probe carries an echo timestamp.
+var ErrNoEcho = errors.New("netdyn: no echo timestamps recorded")
+
+// OneWay computes the per-direction decomposition. The invariant
+// forward' + reverse' = rtt holds exactly (both sides are computed
+// from the same three timestamps), which Validate-style tests use to
+// check the wire format end to end.
+func (d *Detail) OneWay() (OneWay, error) {
+	var out OneWay
+	first := true
+	var fMin, fMax, rMin, rMax float64
+	for i, s := range d.Trace.Samples {
+		if s.Lost || i >= len(d.EchoMicros) || d.EchoMicros[i] < 0 {
+			continue
+		}
+		sendUs := float64(s.Sent.Microseconds())
+		recvUs := float64(s.Recv.Microseconds())
+		echoUs := float64(d.EchoMicros[i])
+		fwd := (echoUs - sendUs) / 1000
+		rev := (recvUs - echoUs) / 1000
+		out.ForwardMs = append(out.ForwardMs, fwd)
+		out.ReverseMs = append(out.ReverseMs, rev)
+		if first {
+			fMin, fMax, rMin, rMax = fwd, fwd, rev, rev
+			first = false
+			continue
+		}
+		if fwd < fMin {
+			fMin = fwd
+		}
+		if fwd > fMax {
+			fMax = fwd
+		}
+		if rev < rMin {
+			rMin = rev
+		}
+		if rev > rMax {
+			rMax = rev
+		}
+	}
+	if first {
+		return out, ErrNoEcho
+	}
+	out.ForwardRangeMs = fMax - fMin
+	out.ReverseRangeMs = rMax - rMin
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package netdyn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+)
+
+func TestOneWayInvariantOnLoopback(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := ProbeDetailed(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  200,
+		Drain:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, err := d.OneWay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ow.ForwardMs) != len(ow.ReverseMs) || len(ow.ForwardMs) == 0 {
+		t.Fatalf("decomposition lengths %d/%d", len(ow.ForwardMs), len(ow.ReverseMs))
+	}
+	// Invariant: fwd' + rev' = rtt for every received probe (all
+	// three quantities derive from the same three timestamps; only
+	// microsecond rounding separates them).
+	j := 0
+	for _, s := range d.Trace.Samples {
+		if s.Lost {
+			continue
+		}
+		sum := ow.ForwardMs[j] + ow.ReverseMs[j]
+		rtt := float64(s.RTT) / float64(time.Millisecond)
+		if math.Abs(sum-rtt) > 0.005 {
+			t.Fatalf("probe %d: fwd+rev = %v ms, rtt = %v ms", s.Seq, sum, rtt)
+		}
+		j++
+	}
+	// Ranges are offset-free and must be non-negative and modest on
+	// loopback.
+	if ow.ForwardRangeMs < 0 || ow.ReverseRangeMs < 0 {
+		t.Fatalf("negative ranges: %+v", ow)
+	}
+}
+
+func TestOneWayOffsetInvisibleButRangesMeaningful(t *testing.T) {
+	// Hand-built detail: echo clock runs 1000 s ahead. Forward
+	// delays 10±2 ms, reverse 5±1 ms.
+	tr := &core.Trace{Delta: time.Millisecond, PayloadSize: 32, WireSize: 72}
+	var echo []int64
+	offset := int64(1_000_000_000) // µs
+	fwd := []int64{10_000, 12_000, 8_000}
+	rev := []int64{5_000, 4_000, 6_000}
+	for i := range fwd {
+		sent := time.Duration(i) * time.Millisecond
+		echoAt := sent.Microseconds() + fwd[i] + offset
+		recv := sent + time.Duration(fwd[i]+rev[i])*time.Microsecond
+		tr.Samples = append(tr.Samples, core.Sample{
+			Seq: i, Sent: sent, Recv: recv, RTT: recv - sent,
+		})
+		echo = append(echo, echoAt)
+	}
+	d := &Detail{Trace: tr, EchoMicros: echo}
+	ow, err := d.OneWay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The absolute forward values carry the absurd offset — that is
+	// the paper's point about unsynchronized clocks.
+	if ow.ForwardMs[0] < 1_000_000 {
+		t.Fatalf("offset should dominate absolute forward delay: %v", ow.ForwardMs[0])
+	}
+	// But the ranges cancel it exactly.
+	if math.Abs(ow.ForwardRangeMs-4) > 1e-9 {
+		t.Fatalf("forward range = %v ms, want 4", ow.ForwardRangeMs)
+	}
+	if math.Abs(ow.ReverseRangeMs-2) > 1e-9 {
+		t.Fatalf("reverse range = %v ms, want 2", ow.ReverseRangeMs)
+	}
+}
+
+func TestOneWayNoEcho(t *testing.T) {
+	tr := &core.Trace{Delta: time.Millisecond, PayloadSize: 32, WireSize: 72}
+	tr.Samples = []core.Sample{{Seq: 0, Lost: true}}
+	d := &Detail{Trace: tr, EchoMicros: []int64{-1}}
+	if _, err := d.OneWay(); err != ErrNoEcho {
+		t.Fatalf("err = %v, want ErrNoEcho", err)
+	}
+}

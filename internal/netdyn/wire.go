@@ -1,0 +1,117 @@
+// Package netdyn reproduces the NetDyn measurement tool the paper's
+// data was collected with (Sanghi et al.): a UDP prober that sends
+// numbered, timestamped packets at a fixed interval to an echo host,
+// and an echo server that stamps and returns them. Probing a real
+// network (or the loopback interface) with this package produces the
+// same core.Trace that the simulator produces, so every analysis in
+// the repository applies unchanged to live measurements.
+//
+// The wire format follows the paper: each packet carries a unique
+// packet number and three 6-byte timestamp fields — the source
+// timestamp (written when the packet is sent), the echo timestamp
+// (written by the intermediate host), and the destination timestamp
+// (written on receipt). Timestamps are 48-bit microsecond counts,
+// which wrap after about nine years — ample for any experiment.
+package netdyn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// HeaderSize is the encoded size of the probe header: magic (2),
+	// version (1), flags (1), sequence (4), three 6-byte timestamps.
+	HeaderSize = 2 + 1 + 1 + 4 + 3*6
+	// MinPayload is the smallest allowed UDP payload; the paper's 32
+	// bytes is the default and comfortably holds the header.
+	MinPayload = HeaderSize
+	// DefaultPayload is the paper's probe payload size.
+	DefaultPayload = 32
+
+	version = 1
+)
+
+var magic = [2]byte{'N', 'D'}
+
+// Errors returned by Unmarshal.
+var (
+	ErrShortPacket = errors.New("netdyn: packet too short")
+	ErrBadMagic    = errors.New("netdyn: bad magic")
+	ErrBadVersion  = errors.New("netdyn: unsupported version")
+)
+
+// Packet is the decoded form of one probe packet.
+type Packet struct {
+	// Seq is the unique packet number used to detect losses.
+	Seq uint32
+	// SourceMicros, EchoMicros and DestMicros are the three 6-byte
+	// timestamp fields, in microseconds on each host's clock. Fields
+	// not yet written are zero.
+	SourceMicros int64
+	EchoMicros   int64
+	DestMicros   int64
+}
+
+// putUint48 writes the low 48 bits of v at b[0:6], big-endian.
+func putUint48(b []byte, v int64) {
+	b[0] = byte(v >> 40)
+	b[1] = byte(v >> 32)
+	b[2] = byte(v >> 24)
+	b[3] = byte(v >> 16)
+	b[4] = byte(v >> 8)
+	b[5] = byte(v)
+}
+
+func uint48(b []byte) int64 {
+	return int64(b[0])<<40 | int64(b[1])<<32 | int64(b[2])<<24 |
+		int64(b[3])<<16 | int64(b[4])<<8 | int64(b[5])
+}
+
+// Marshal encodes p into a payload of the given size (padded with
+// zeros). It returns an error if size cannot hold the header.
+func (p *Packet) Marshal(size int) ([]byte, error) {
+	if size < MinPayload {
+		return nil, fmt.Errorf("netdyn: payload size %d below minimum %d", size, MinPayload)
+	}
+	buf := make([]byte, size)
+	copy(buf[0:2], magic[:])
+	buf[2] = version
+	buf[3] = 0
+	binary.BigEndian.PutUint32(buf[4:8], p.Seq)
+	putUint48(buf[8:14], p.SourceMicros)
+	putUint48(buf[14:20], p.EchoMicros)
+	putUint48(buf[20:26], p.DestMicros)
+	return buf, nil
+}
+
+// Unmarshal decodes a probe packet from data.
+func Unmarshal(data []byte) (Packet, error) {
+	var p Packet
+	if len(data) < HeaderSize {
+		return p, ErrShortPacket
+	}
+	if data[0] != magic[0] || data[1] != magic[1] {
+		return p, ErrBadMagic
+	}
+	if data[2] != version {
+		return p, ErrBadVersion
+	}
+	p.Seq = binary.BigEndian.Uint32(data[4:8])
+	p.SourceMicros = uint48(data[8:14])
+	p.EchoMicros = uint48(data[14:20])
+	p.DestMicros = uint48(data[20:26])
+	return p, nil
+}
+
+// StampEcho writes the echo timestamp into an encoded packet in
+// place, as the intermediate host does. It returns ErrShortPacket if
+// the buffer is too small.
+func StampEcho(data []byte, micros int64) error {
+	if len(data) < HeaderSize {
+		return ErrShortPacket
+	}
+	putUint48(data[14:20], micros)
+	return nil
+}

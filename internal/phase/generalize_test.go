@@ -1,0 +1,82 @@
+package phase
+
+import (
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/route"
+)
+
+// TestObservationsHoldAcrossConnections backs the paper's Section 2
+// claim: "even though the physical characteristics of these
+// connections are very different, we have found that the observations
+// made on the basis of the measurements taken on the INRIA-UMd
+// connection essentially hold for the other connections." The
+// phase-plot analysis must recover the bottleneck across a range of
+// path speeds and shapes, with δ scaled to each.
+func TestObservationsHoldAcrossConnections(t *testing.T) {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	mkPath := func(name string, bps int64, hops int) route.Path {
+		p := route.Path{Name: name}
+		for i := 0; i < hops; i++ {
+			rate := int64(2_048_000)
+			prop := ms(2)
+			if i == hops/2 {
+				rate = bps // bottleneck mid-path
+				prop = ms(20)
+			}
+			p.Hops = append(p.Hops, route.Hop{
+				Name: name, RateBps: rate, Prop: prop, Buffer: 30,
+			})
+		}
+		return p
+	}
+	cases := []struct {
+		bps   int64
+		hops  int
+		delta time.Duration
+	}{
+		{64_000, 4, 50 * time.Millisecond},
+		{128_000, 10, 20 * time.Millisecond},
+		{256_000, 6, 10 * time.Millisecond},
+		{512_000, 14, 5 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		p := mkPath("path", tc.bps, tc.hops)
+		// Cross traffic scaled to ≈55 % of each bottleneck: small
+		// ACK-clocked window bursts, like the INRIA mix.
+		perSource := 2 * 512 * 8 / 0.30
+		n := int(0.55 * float64(tc.bps) / perSource)
+		if n < 1 {
+			n = 1
+		}
+		cross := core.CrossConfig{
+			NBulk: n, BulkSize: 512, BulkAccessBps: 2_048_000,
+			BulkIdleMean: 0.30, BulkTrainMean: 2,
+			InteractiveSize: 64, InteractiveGap: 200 * time.Millisecond,
+		}
+		tr, err := core.RunSim(core.SimConfig{
+			Path: p, Delta: tc.delta, Duration: 4 * time.Minute,
+			Seed: 13, Cross: &cross,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimateBottleneck(tr, 0)
+		if err != nil {
+			t.Fatalf("%d b/s path: %v", tc.bps, err)
+		}
+		ratio := est.BottleneckBps / float64(tc.bps)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%d b/s over %d hops: estimated %.0f (ratio %.2f)",
+				tc.bps, tc.hops, est.BottleneckBps, ratio)
+		}
+		// Fixed delay estimate must match the path's true floor.
+		want := float64(p.MinRTT(72)) / float64(time.Millisecond)
+		if est.FixedDelayMs < want-2 || est.FixedDelayMs > want+15 {
+			t.Errorf("%d b/s: D estimate %.1f ms, path floor %.1f ms",
+				tc.bps, est.FixedDelayMs, want)
+		}
+	}
+}

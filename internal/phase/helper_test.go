@@ -1,0 +1,13 @@
+package phase
+
+import "netprobe/internal/route"
+
+// pathNoRandomLoss is the INRIA-UMd path with the faulty-interface
+// loss disabled, so tests isolate queueing effects.
+func pathNoRandomLoss() route.Path {
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+	return p
+}

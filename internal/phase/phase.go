@@ -1,0 +1,192 @@
+// Package phase implements the paper's phase-plot analysis
+// (Section 4): plotting rtt_{n+1} against rtt_n exposes a fixed-delay
+// point (D, D), a diagonal band of probes that saw similar backlogs,
+// and — at small probe intervals — the probe-compression line
+// rtt_{n+1} = rtt_n + P/μ − δ whose x-axis intercept δ − P/μ reveals
+// the bottleneck bandwidth μ.
+package phase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/stats"
+)
+
+// Plot is a phase plot: the set of points (rtt_n, rtt_{n+1}) in
+// milliseconds for consecutive received probes.
+type Plot struct {
+	// Points are the phase-plane points.
+	Points []core.Pair
+	// DeltaMs is the probe interval in milliseconds.
+	DeltaMs float64
+	// WireBits is the probe wire size P in bits.
+	WireBits float64
+}
+
+// New builds the phase plot of a trace.
+func New(t *core.Trace) *Plot {
+	return &Plot{
+		Points:   t.ConsecutivePairs(),
+		DeltaMs:  float64(t.Delta) / float64(time.Millisecond),
+		WireBits: float64(t.WireSize) * 8,
+	}
+}
+
+// Diffs returns rtt_{n+1} − rtt_n (ms) for every point.
+func (p *Plot) Diffs() []float64 {
+	out := make([]float64, len(p.Points))
+	for i, pt := range p.Points {
+		out[i] = pt.Y - pt.X
+	}
+	return out
+}
+
+// OnLine counts the points within tol (ms) of the line y = x + c.
+func (p *Plot) OnLine(c, tol float64) int {
+	n := 0
+	for _, pt := range p.Points {
+		if math.Abs(pt.Y-pt.X-c) <= tol {
+			n++
+		}
+	}
+	return n
+}
+
+// Estimate is the result of the phase-plot bottleneck analysis.
+type Estimate struct {
+	// FixedDelayMs is the estimate of D: the smallest RTT observed.
+	FixedDelayMs float64
+	// InterceptMs is the estimated x-axis intercept δ − P/μ of the
+	// compression line (the paper reads ≈48 ms off Figure 2).
+	InterceptMs float64
+	// ServiceTimeMs is the estimated probe service time P/μ = δ −
+	// intercept.
+	ServiceTimeMs float64
+	// BottleneckBps is the estimated bottleneck bandwidth μ. When
+	// ResolutionLimited is true this is only a lower bound.
+	BottleneckBps float64
+	// ResolutionLimited is true when the estimated service time is
+	// below the measuring clock's resolution, so the true bandwidth
+	// cannot be resolved — the situation on the UMd–Pittsburgh path,
+	// where the 3 ms clock cannot see a 0.06 ms service time.
+	ResolutionLimited bool
+	// CompressionFraction is the fraction of phase points lying on
+	// the compression line (within tolerance).
+	CompressionFraction float64
+	// CompressionPoints is the number of such points.
+	CompressionPoints int
+}
+
+// ErrNoCompression is returned when too few points lie on the
+// compression line for a bandwidth estimate — the expected outcome at
+// large δ (Figure 4), where consecutive probes almost never queue
+// behind one another.
+var ErrNoCompression = errors.New("phase: no probe-compression line visible")
+
+// EstimateBottleneck runs the Section 4 analysis on a trace: it
+// estimates the fixed delay D from the minimum RTT and the bottleneck
+// bandwidth μ from the probe-compression line. minPoints is the
+// minimum number of compression-line points required (the paper
+// counts two points at δ=500 ms and rightly declines to read a line
+// through them); 0 means 10.
+func EstimateBottleneck(t *core.Trace, minPoints int) (Estimate, error) {
+	if minPoints <= 0 {
+		minPoints = 10
+	}
+	p := New(t)
+	if len(p.Points) == 0 {
+		return Estimate{}, errors.New("phase: no consecutive received pairs")
+	}
+	min, err := t.MinRTT()
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{FixedDelayMs: float64(min) / float64(time.Millisecond)}
+
+	// Compressed probes drain P/μ apart while being sent δ apart, so
+	// their phase points satisfy y − x = P/μ − δ < 0. Scan the
+	// negative diffs below −δ/2 for a cluster: the service time must
+	// be below δ/2 for the cluster to be separable from the diagonal.
+	diffs := p.Diffs()
+	var negative []float64
+	for _, d := range diffs {
+		if d < -p.DeltaMs/2 {
+			negative = append(negative, d)
+		}
+	}
+	if len(negative) < minPoints {
+		return est, ErrNoCompression
+	}
+	// Histogram the candidate diffs at fine resolution and take the
+	// modal bin, then refine by averaging the cluster around it to
+	// wash out clock quantization.
+	lo, hi := -p.DeltaMs, -p.DeltaMs/2
+	h := stats.NewHistogram(lo, hi, 0.25)
+	h.AddAll(negative)
+	// The diffs of compressed probes form a ladder: the pure
+	// compression line at P/μ − δ, plus satellite lines shifted up by
+	// the service times of Internet packets that slipped between two
+	// probes. The pure line is the most negative strong line, so
+	// anchor there rather than on the overall mode, and average only
+	// a window wide enough to span clock-quantization ticks.
+	maxCount := h.MaxCount()
+	mode := h.Mode()
+	for i, c := range h.Counts {
+		if float64(c) >= 0.6*float64(maxCount) {
+			mode = h.BinCenter(i)
+			break
+		}
+	}
+	resMs := float64(t.ClockRes) / float64(time.Millisecond)
+	clusterTol := math.Max(0.75, 1.5*resMs)
+	sum, n := 0.0, 0
+	for _, d := range negative {
+		if math.Abs(d-mode) <= clusterTol {
+			sum += d
+			n++
+		}
+	}
+	if n < minPoints {
+		return est, ErrNoCompression
+	}
+	c := sum / float64(n)
+	est.InterceptMs = -c // intercept of y = x + c with the x-axis is at x = −c... see below
+	// The line y = x + c crosses y = 0 at x = −c = δ − P/μ.
+	est.ServiceTimeMs = p.DeltaMs + c
+	if est.ServiceTimeMs <= 0 {
+		return est, fmt.Errorf("phase: implausible service time %v ms", est.ServiceTimeMs)
+	}
+	est.BottleneckBps = p.WireBits / (est.ServiceTimeMs / 1000)
+	if resMs > 0 && est.ServiceTimeMs < resMs {
+		// The clock cannot resolve a service time this small: report
+		// the bound implied by one clock tick instead of a number
+		// dominated by rounding noise.
+		est.ResolutionLimited = true
+		est.BottleneckBps = p.WireBits / (resMs / 1000)
+	}
+	est.CompressionPoints = n
+	est.CompressionFraction = float64(n) / float64(len(p.Points))
+	return est, nil
+}
+
+// String implements fmt.Stringer.
+func (e Estimate) String() string {
+	return fmt.Sprintf("D≈%.1f ms, intercept≈%.1f ms, P/μ≈%.2f ms, μ≈%.0f b/s (%d points, %.1f%% of plot)",
+		e.FixedDelayMs, e.InterceptMs, e.ServiceTimeMs, e.BottleneckBps,
+		e.CompressionPoints, 100*e.CompressionFraction)
+}
+
+// DiagonalFraction reports the fraction of phase points within tol ms
+// of the diagonal y = x. At large δ the workload seen by consecutive
+// probes decorrelates and points scatter around the diagonal
+// (equation 1 and Figure 4).
+func (p *Plot) DiagonalFraction(tol float64) float64 {
+	if len(p.Points) == 0 {
+		return 0
+	}
+	return float64(p.OnLine(0, tol)) / float64(len(p.Points))
+}

@@ -1,0 +1,186 @@
+package phase
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+)
+
+// synthTrace builds a trace whose RTT sequence is given in ms
+// (0 = lost).
+func synthTrace(delta time.Duration, rtts []float64) *core.Trace {
+	t := &core.Trace{Name: "synth", Delta: delta, PayloadSize: 32, WireSize: 72}
+	for i, ms := range rtts {
+		s := core.Sample{Seq: i, Sent: time.Duration(i) * delta}
+		if ms == 0 {
+			s.Lost = true
+		} else {
+			s.RTT = time.Duration(ms * float64(time.Millisecond))
+			s.Recv = s.Sent + s.RTT
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t
+}
+
+// compressionTrace builds the canonical Section 4 pattern: a burst of
+// Internet work arrives, probes accumulate behind it, and their RTTs
+// walk down the compression line y = x + P/μ − δ.
+func compressionTrace(deltaMs, svcMs float64, n int) *core.Trace {
+	d := 140.0
+	var rtts []float64
+	rtt := d
+	for len(rtts) < n {
+		// Idle stretch near the fixed delay.
+		for i := 0; i < 10 && len(rtts) < n; i++ {
+			rtts = append(rtts, d+float64(i%2)) // small jitter
+		}
+		// A 130 ms burst arrives: next probe jumps, then the queue
+		// drains along the compression line.
+		rtt = d + 130
+		for rtt > d+2 && len(rtts) < n {
+			rtts = append(rtts, rtt)
+			rtt += svcMs - deltaMs
+		}
+	}
+	return synthTrace(time.Duration(deltaMs*float64(time.Millisecond)), rtts)
+}
+
+func TestPlotPointsSkipLosses(t *testing.T) {
+	tr := synthTrace(50*time.Millisecond, []float64{140, 145, 0, 150, 152})
+	p := New(tr)
+	if len(p.Points) != 2 {
+		t.Fatalf("points = %v, want 2", p.Points)
+	}
+	if p.DeltaMs != 50 {
+		t.Fatalf("DeltaMs = %v", p.DeltaMs)
+	}
+	if p.WireBits != 576 {
+		t.Fatalf("WireBits = %v", p.WireBits)
+	}
+}
+
+func TestOnLineAndDiffs(t *testing.T) {
+	tr := synthTrace(50*time.Millisecond, []float64{140, 140, 94.5, 49})
+	p := New(tr)
+	diffs := p.Diffs()
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	if diffs[0] != 0 || math.Abs(diffs[1]+45.5) > 1e-9 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	if p.OnLine(-45.5, 0.1) != 2 {
+		t.Fatalf("OnLine(-45.5) = %d, want 2", p.OnLine(-45.5, 0.1))
+	}
+	if p.OnLine(0, 0.1) != 1 {
+		t.Fatalf("OnLine(0) = %d, want 1", p.OnLine(0, 0.1))
+	}
+}
+
+func TestEstimateBottleneckRecoverPaperValues(t *testing.T) {
+	// δ=50 ms, P/μ=4.5 ms (72 bytes at 128 kb/s): intercept 45.5 ms.
+	tr := compressionTrace(50, 4.5, 800)
+	est, err := EstimateBottleneck(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.FixedDelayMs-140) > 1.5 {
+		t.Fatalf("D = %v, want ≈140", est.FixedDelayMs)
+	}
+	if math.Abs(est.InterceptMs-45.5) > 1 {
+		t.Fatalf("intercept = %v, want ≈45.5", est.InterceptMs)
+	}
+	if est.BottleneckBps < 115_000 || est.BottleneckBps > 142_000 {
+		t.Fatalf("μ = %v, want ≈128000", est.BottleneckBps)
+	}
+}
+
+func TestEstimateBottleneckNoCompressionAtLargeDelta(t *testing.T) {
+	// δ=500 ms: queueing delays (≤620 ms per the paper) rarely span
+	// an interval; diffs scatter around 0.
+	var rtts []float64
+	for i := 0; i < 800; i++ {
+		rtts = append(rtts, 140+float64(i%7)*20) // jitter, no walk-down
+	}
+	tr := synthTrace(500*time.Millisecond, rtts)
+	_, err := EstimateBottleneck(tr, 0)
+	if !errors.Is(err, ErrNoCompression) {
+		t.Fatalf("err = %v, want ErrNoCompression", err)
+	}
+}
+
+func TestEstimateBottleneckEmptyTrace(t *testing.T) {
+	tr := synthTrace(50*time.Millisecond, []float64{0, 0, 0})
+	if _, err := EstimateBottleneck(tr, 0); err == nil {
+		t.Fatal("all-lost trace accepted")
+	}
+}
+
+func TestDiagonalFractionLargeDelta(t *testing.T) {
+	var rtts []float64
+	for i := 0; i < 400; i++ {
+		rtts = append(rtts, 140+float64(i%5)) // within ±4 ms of diagonal
+	}
+	p := New(synthTrace(500*time.Millisecond, rtts))
+	if f := p.DiagonalFraction(5); f < 0.95 {
+		t.Fatalf("diagonal fraction = %v, want ≈1", f)
+	}
+	if f := p.DiagonalFraction(0.5); f > 0.8 {
+		t.Fatalf("tight diagonal fraction = %v, should drop", f)
+	}
+}
+
+func TestDiagonalFractionEmpty(t *testing.T) {
+	p := New(synthTrace(time.Millisecond, nil))
+	if p.DiagonalFraction(1) != 0 {
+		t.Fatal("empty plot should report 0")
+	}
+}
+
+func TestEstimateOnSimulatedINRIAUMd(t *testing.T) {
+	// End-to-end: the full simulated experiment at δ=20 ms must
+	// expose the 128 kb/s transatlantic bottleneck through its phase
+	// plot. Without clock quantization the estimate is tight.
+	cross := core.DefaultINRIACross()
+	tr, err := core.RunSim(core.SimConfig{
+		Path:     pathNoRandomLoss(),
+		Delta:    20 * time.Millisecond,
+		Duration: 3 * time.Minute,
+		Seed:     42,
+		Cross:    &cross,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateBottleneck(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BottleneckBps < 120_000 || est.BottleneckBps > 137_000 {
+		t.Fatalf("estimated μ = %.0f b/s, want ≈128000 (est: %v)", est.BottleneckBps, est)
+	}
+	if est.FixedDelayMs < 130 || est.FixedDelayMs > 150 {
+		t.Fatalf("estimated D = %v, want ≈140 ms", est.FixedDelayMs)
+	}
+}
+
+func TestEstimateWithDECstationClock(t *testing.T) {
+	// With the 3.906 ms clock the paper still recovered μ within a
+	// few percent (they read 130 kb/s for a 128 kb/s link). Allow a
+	// wider band here.
+	tr, err := core.INRIAUMd(20*time.Millisecond, 3*time.Minute, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateBottleneck(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BottleneckBps < 95_000 || est.BottleneckBps > 165_000 {
+		t.Fatalf("estimated μ = %.0f b/s, want within 50%% of 128000 (est: %v)", est.BottleneckBps, est)
+	}
+}

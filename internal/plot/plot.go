@@ -1,0 +1,196 @@
+// Package plot renders the paper's figures as ASCII graphics for
+// terminals: time-series plots (Figure 1), phase-plane scatter plots
+// with reference lines (Figures 2, 4, 5, 6), and histogram bar charts
+// (Figures 8, 9).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"netprobe/internal/stats"
+)
+
+// Canvas is a character grid with a data-coordinate mapping.
+type Canvas struct {
+	W, H                   int
+	XMin, XMax, YMin, YMax float64
+	cells                  [][]rune
+}
+
+// NewCanvas returns a canvas of w×h characters covering the given
+// data ranges. Degenerate ranges are widened slightly so single-value
+// data still renders.
+func NewCanvas(w, h int, xmin, xmax, ymin, ymax float64) *Canvas {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	cells := make([][]rune, h)
+	for i := range cells {
+		cells[i] = make([]rune, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &Canvas{W: w, H: h, XMin: xmin, XMax: xmax, YMin: ymin, YMax: ymax, cells: cells}
+}
+
+// Mark draws ch at data coordinates (x, y); out-of-range points are
+// ignored.
+func (c *Canvas) Mark(x, y float64, ch rune) {
+	col := int((x - c.XMin) / (c.XMax - c.XMin) * float64(c.W-1))
+	row := int((y - c.YMin) / (c.YMax - c.YMin) * float64(c.H-1))
+	if col < 0 || col >= c.W || row < 0 || row >= c.H {
+		return
+	}
+	r := c.H - 1 - row // row 0 at the top of the grid
+	if c.cells[r][col] == ' ' || ch != '.' {
+		c.cells[r][col] = ch
+	}
+}
+
+// Line draws the straight line y = slope·x + intercept across the
+// canvas with the given character, skipping cells already occupied by
+// data markers.
+func (c *Canvas) Line(slope, intercept float64, ch rune) {
+	for col := 0; col < c.W; col++ {
+		x := c.XMin + float64(col)/float64(c.W-1)*(c.XMax-c.XMin)
+		y := slope*x + intercept
+		row := int((y - c.YMin) / (c.YMax - c.YMin) * float64(c.H-1))
+		if row < 0 || row >= c.H {
+			continue
+		}
+		r := c.H - 1 - row
+		if c.cells[r][col] == ' ' {
+			c.cells[r][col] = ch
+		}
+	}
+}
+
+// String renders the canvas with a frame and axis labels.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %10.1f ┌%s┐\n", c.YMax, strings.Repeat("─", c.W))
+	for i, row := range c.cells {
+		label := strings.Repeat(" ", 13)
+		if i == c.H/2 {
+			label = fmt.Sprintf("  %10.1f ", (c.YMin+c.YMax)/2)
+		}
+		b.WriteString(label)
+		b.WriteRune('│')
+		b.WriteString(string(row))
+		b.WriteString("│\n")
+	}
+	fmt.Fprintf(&b, "  %10.1f └%s┘\n", c.YMin, strings.Repeat("─", c.W))
+	fmt.Fprintf(&b, "%14s%-12.1f%s%12.1f\n", "", c.XMin, strings.Repeat(" ", max(0, c.W-24)), c.XMax)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Scatter renders points (xs[i], ys[i]) with automatic ranging, plus
+// optional reference lines. Slices must be equal length.
+func Scatter(xs, ys []float64, w, h int, lines ...RefLine) string {
+	if len(xs) != len(ys) {
+		panic("plot: xs and ys lengths differ")
+	}
+	xmin, xmax := rangeOf(xs)
+	ymin, ymax := rangeOf(ys)
+	// Common frame for phase plots: include both axes' extents.
+	c := NewCanvas(w, h, xmin, xmax, ymin, ymax)
+	for _, l := range lines {
+		c.Line(l.Slope, l.Intercept, l.Ch)
+	}
+	for i := range xs {
+		c.Mark(xs[i], ys[i], '.')
+	}
+	return c.String()
+}
+
+// RefLine is a straight reference line y = Slope·x + Intercept drawn
+// with character Ch.
+type RefLine struct {
+	Slope     float64
+	Intercept float64
+	Ch        rune
+}
+
+// TimeSeries renders ys against its index, marking zero values (lost
+// probes, per the paper's convention) on the x-axis.
+func TimeSeries(ys []float64, w, h int) string {
+	if len(ys) == 0 {
+		return "(empty series)\n"
+	}
+	_, ymax := rangeOf(ys)
+	c := NewCanvas(w, h, 0, float64(len(ys)-1), 0, ymax)
+	for i, y := range ys {
+		c.Mark(float64(i), y, '.')
+	}
+	return c.String()
+}
+
+// Histogram renders a stats.Histogram as horizontal bars, one line per
+// non-empty bin, with counts. maxBar is the widest bar in characters.
+func Histogram(h *stats.Histogram, maxBar int) string {
+	if maxBar < 10 {
+		maxBar = 10
+	}
+	peak := h.MaxCount()
+	if peak == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		barLen := int(math.Round(float64(count) / float64(peak) * float64(maxBar)))
+		if barLen == 0 {
+			barLen = 1
+		}
+		fmt.Fprintf(&b, "%8.1f │%-*s %d\n", h.BinCenter(i), maxBar, strings.Repeat("█", barLen), count)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "   under │ %d\n", h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "    over │ %d\n", h.Over)
+	}
+	return b.String()
+}
+
+func rangeOf(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	// Pad 2 % so extreme points do not sit on the frame.
+	pad := (hi - lo) * 0.02
+	if pad == 0 {
+		pad = 0.5
+	}
+	return lo - pad, hi + pad
+}

@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"netprobe/internal/stats"
+)
+
+func TestCanvasMarksAppear(t *testing.T) {
+	c := NewCanvas(20, 10, 0, 10, 0, 10)
+	c.Mark(5, 5, '*')
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("mark missing:\n%s", out)
+	}
+}
+
+func TestCanvasOutOfRangeIgnored(t *testing.T) {
+	c := NewCanvas(20, 10, 0, 10, 0, 10)
+	c.Mark(-5, 5, '*')
+	c.Mark(5, 50, '*')
+	if strings.Contains(c.String(), "*") {
+		t.Fatal("out-of-range mark drawn")
+	}
+}
+
+func TestCanvasDegenerateRange(t *testing.T) {
+	c := NewCanvas(20, 10, 5, 5, 3, 3)
+	c.Mark(5, 3, '*')
+	if !strings.Contains(c.String(), "*") {
+		t.Fatal("degenerate-range canvas unusable")
+	}
+}
+
+func TestCanvasOrientation(t *testing.T) {
+	// Larger y must appear on an earlier output line (higher up).
+	c := NewCanvas(20, 10, 0, 10, 0, 10)
+	c.Mark(1, 9, 'A')
+	c.Mark(1, 1, 'B')
+	out := c.String()
+	if strings.Index(out, "A") > strings.Index(out, "B") {
+		t.Fatalf("y axis inverted:\n%s", out)
+	}
+}
+
+func TestLineDiagonal(t *testing.T) {
+	c := NewCanvas(30, 15, 0, 10, 0, 10)
+	c.Line(1, 0, '/')
+	out := c.String()
+	if strings.Count(out, "/") < 10 {
+		t.Fatalf("diagonal line too sparse:\n%s", out)
+	}
+}
+
+func TestLineDoesNotOverwriteData(t *testing.T) {
+	c := NewCanvas(30, 15, 0, 10, 0, 10)
+	c.Mark(5, 5, '*')
+	c.Line(1, 0, '/')
+	if !strings.Contains(c.String(), "*") {
+		t.Fatal("reference line overwrote a data point")
+	}
+}
+
+func TestScatterPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Scatter([]float64{1, 2}, []float64{1}, 40, 20)
+}
+
+func TestScatterRendersPhasePlotShape(t *testing.T) {
+	// Points on the diagonal plus a reference line.
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		v := 140 + float64(i)
+		xs = append(xs, v)
+		ys = append(ys, v)
+	}
+	out := Scatter(xs, ys, 60, 20, RefLine{Slope: 1, Intercept: -45.5, Ch: '-'})
+	if !strings.Contains(out, ".") || !strings.Contains(out, "-") {
+		t.Fatalf("scatter missing points or line:\n%s", out)
+	}
+}
+
+func TestTimeSeriesEmptyAndBasic(t *testing.T) {
+	if !strings.Contains(TimeSeries(nil, 40, 10), "empty") {
+		t.Fatal("empty series not flagged")
+	}
+	out := TimeSeries([]float64{140, 150, 0, 160}, 40, 10)
+	if !strings.Contains(out, ".") {
+		t.Fatalf("series missing points:\n%s", out)
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	h := stats.NewHistogram(0, 10, 1)
+	h.AddAll([]float64{1.5, 1.5, 1.5, 1.5, 5.5, 5.5, -3, 42})
+	out := Histogram(h, 20)
+	if !strings.Contains(out, "█") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+	if !strings.Contains(out, "under │ 1") || !strings.Contains(out, "over │ 1") {
+		t.Fatalf("under/over missing:\n%s", out)
+	}
+	// Tallest bin should have the longest bar.
+	lines := strings.Split(out, "\n")
+	var bar15, bar55 int
+	for _, l := range lines {
+		if strings.Contains(l, "1.5") {
+			bar15 = strings.Count(l, "█")
+		}
+		if strings.Contains(l, "5.5") {
+			bar55 = strings.Count(l, "█")
+		}
+	}
+	if bar15 <= bar55 {
+		t.Fatalf("bar lengths wrong: %d vs %d\n%s", bar15, bar55, out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := stats.NewHistogram(0, 10, 1)
+	if !strings.Contains(Histogram(h, 20), "empty") {
+		t.Fatal("empty histogram not flagged")
+	}
+}

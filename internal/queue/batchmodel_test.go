@@ -1,0 +1,161 @@
+package queue
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperModel returns the model at the paper's parameters: 128 kb/s
+// bottleneck, 576-bit (72-byte) probes.
+func paperModel(delta float64, meanBatchBits float64) *BatchDeterministic {
+	return &BatchDeterministic{
+		Mu:      128_000,
+		Delta:   delta,
+		P:       576,
+		MaxWait: 20 * 576 / 128_000.0 * 8, // generous buffer
+		Batch: func(rng *rand.Rand) float64 {
+			// Poisson-ish batch: geometric number of 4096-bit FTP
+			// packets with the requested mean total size.
+			mean := meanBatchBits / 4096
+			if mean < 1e-9 {
+				return 0
+			}
+			n := 0
+			for rng.Float64() < mean/(1+mean) {
+				n++
+				if n > 1000 {
+					break
+				}
+			}
+			return float64(n) * 4096
+		},
+	}
+}
+
+func TestBatchModelNoTrafficMeansNoWait(t *testing.T) {
+	m := &BatchDeterministic{
+		Mu: 128_000, Delta: 0.05, P: 576,
+		Batch: func(*rand.Rand) float64 { return 0 },
+	}
+	res := m.Run(1000, 1)
+	if res.MeanWait != 0 || res.LossProbability != 0 {
+		t.Fatalf("idle network gave wait %v loss %v", res.MeanWait, res.LossProbability)
+	}
+}
+
+func TestBatchModelWaitGrowsWithLoad(t *testing.T) {
+	low := paperModel(0.05, 2000).Run(20000, 2)
+	high := paperModel(0.05, 5000).Run(20000, 2)
+	if high.MeanWait <= low.MeanWait {
+		t.Fatalf("mean wait did not grow with load: %v vs %v", low.MeanWait, high.MeanWait)
+	}
+}
+
+func TestBatchModelLossGrowsAsDeltaShrinks(t *testing.T) {
+	// Same Internet load per second; smaller δ means more probe
+	// load, so more loss — the Table 3 trend. The model aggregates
+	// each interval's Internet traffic into one batch, so it is
+	// meaningful for small δ (the paper applies it at δ=20 ms);
+	// compare within that regime.
+	perSecondBits := 100_000.0
+	lossAt := func(delta float64) float64 {
+		m := paperModel(delta, perSecondBits*delta)
+		m.MaxWait = 0.09
+		return m.Run(60000, 3).LossProbability
+	}
+	l8, l50 := lossAt(0.008), lossAt(0.050)
+	if l8 <= l50 {
+		t.Fatalf("loss at δ=8ms (%v) should exceed loss at δ=50ms (%v)", l8, l50)
+	}
+}
+
+func TestBatchModelRespectsMaxWait(t *testing.T) {
+	m := paperModel(0.02, 6000)
+	m.MaxWait = 0.05
+	res := m.Run(50000, 4)
+	for _, w := range res.Waits {
+		// Accepted probes were below capacity at arrival.
+		if w > m.MaxWait+1e-9 {
+			t.Fatalf("accepted probe with wait %v above capacity %v", w, m.MaxWait)
+		}
+	}
+	if res.LossProbability == 0 {
+		t.Fatal("expected some loss at this load")
+	}
+}
+
+func TestBatchModelDeterministicGivenSeed(t *testing.T) {
+	a := paperModel(0.05, 3000).Run(5000, 42)
+	b := paperModel(0.05, 3000).Run(5000, 42)
+	if a.MeanWait != b.MeanWait || a.LossProbability != b.LossProbability {
+		t.Fatal("model runs differ for identical seeds")
+	}
+}
+
+func TestBatchModelInvalidParamsPanic(t *testing.T) {
+	for _, m := range []*BatchDeterministic{
+		{Mu: 0, Delta: 0.05, P: 576, Batch: func(*rand.Rand) float64 { return 0 }},
+		{Mu: 1, Delta: 0, P: 576, Batch: func(*rand.Rand) float64 { return 0 }},
+		{Mu: 1, Delta: 1, P: 576},
+	} {
+		m := m
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid model %+v did not panic", m)
+				}
+			}()
+			m.Run(10, 1)
+		}()
+	}
+}
+
+func TestStationaryWaitAgreesWithMonteCarlo(t *testing.T) {
+	// Discrete batch law: 0 bits w.p. 0.5, one 4096-bit FTP packet
+	// w.p. 0.35, two w.p. 0.15.
+	pmf := map[float64]float64{0: 0.5, 4096: 0.35, 8192: 0.15}
+	m := &BatchDeterministic{
+		Mu: 128_000, Delta: 0.05, P: 576,
+		Batch: func(rng *rand.Rand) float64 {
+			u := rng.Float64()
+			switch {
+			case u < 0.5:
+				return 0
+			case u < 0.85:
+				return 4096
+			default:
+				return 8192
+			}
+		},
+	}
+	// Monte Carlo mean wait.
+	res := m.Run(400_000, 7)
+	// Numeric stationary mean wait.
+	h := 0.001
+	pi := m.StationaryWait(h, 0.4, pmf, 8, 300)
+	mean := 0.0
+	for i, p := range pi {
+		mean += float64(i) * h * p
+	}
+	if math.Abs(mean-res.MeanWait) > 0.004 {
+		t.Fatalf("stationary mean %v vs Monte Carlo %v", mean, res.MeanWait)
+	}
+}
+
+func TestStationaryWaitIsDistribution(t *testing.T) {
+	pmf := map[float64]float64{0: 0.6, 4096: 0.4}
+	m := &BatchDeterministic{Mu: 128_000, Delta: 0.05, P: 576,
+		Batch: func(*rand.Rand) float64 { return 0 }}
+	pi := m.StationaryWait(0.002, 0.2, pmf, 4, 100)
+	sum := 0.0
+	for _, p := range pi {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stationary pmf sums to %v", sum)
+	}
+}

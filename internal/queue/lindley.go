@@ -1,0 +1,89 @@
+// Package queue implements the queueing analysis of the paper:
+// Lindley's recurrence (Figure 7), the exact two-step recurrence for
+// the probe waiting times (Section 4, equations 4–5), the
+// batch-deterministic single-server model sketched in Section 6, and
+// classical reference formulas (M/D/1, M/M/1/K) used to validate the
+// simulator.
+//
+// All quantities are in consistent units: times in seconds, sizes in
+// bits, rates in bits per second.
+package queue
+
+// Lindley applies Lindley's recurrence once: given the waiting time w
+// of a customer, its service time y, and the interarrival time x to
+// the next customer, it returns the next customer's waiting time
+// (w + y - x)^+ (Figure 7 of the paper).
+func Lindley(w, y, x float64) float64 {
+	next := w + y - x
+	if next < 0 {
+		return 0
+	}
+	return next
+}
+
+// Waits iterates Lindley's recurrence over a sequence of customers.
+// service[i] is the service time of customer i and interarrival[i] is
+// the gap between the arrivals of customers i and i+1. The returned
+// slice has len(service) entries; entry 0 is w0 (the initial wait,
+// zero). The two slices must have equal length.
+func Waits(service, interarrival []float64) []float64 {
+	if len(service) != len(interarrival) {
+		panic("queue: service and interarrival lengths differ")
+	}
+	w := make([]float64, len(service))
+	for i := 0; i+1 < len(service); i++ {
+		w[i+1] = Lindley(w[i], service[i], interarrival[i])
+	}
+	return w
+}
+
+// ProbeStep performs the paper's two-application Lindley step
+// (equations 4 and 5): given the waiting time w of probe n, the probe
+// service time svc = P/μ, the Internet batch b (in service-time units,
+// i.e. b/μ seconds) arriving t seconds after probe n (0 ≤ t ≤ delta),
+// and the probe interval delta, it returns the waiting time of probe
+// n+1 and the waiting time the batch itself experienced.
+func ProbeStep(w, svc, batchSvc, t, delta float64) (wNext, wBatch float64) {
+	wBatch = Lindley(w, svc, t)                // eq. (4): wb_n = (w_n + P/μ - t_n)^+
+	wNext = Lindley(wBatch, batchSvc, delta-t) // eq. (5)
+	return wNext, wBatch
+}
+
+// MD1MeanWait returns the mean waiting time (excluding service) in an
+// M/D/1 queue with arrival rate lambda (packets/s) and deterministic
+// service time svc (s), by the Pollaczek–Khinchine formula
+// W = ρ·svc / (2(1-ρ)). It panics if the queue is unstable (ρ ≥ 1).
+func MD1MeanWait(lambda, svc float64) float64 {
+	rho := lambda * svc
+	if rho >= 1 {
+		panic("queue: M/D/1 unstable (rho >= 1)")
+	}
+	return rho * svc / (2 * (1 - rho))
+}
+
+// MM1KLossProbability returns the blocking probability of an M/M/1/K
+// queue (K = total positions including the server) at offered load
+// rho: P_K = (1-ρ)ρ^K / (1-ρ^{K+1}), with the ρ=1 limit 1/(K+1).
+// K must be positive.
+func MM1KLossProbability(rho float64, k int) float64 {
+	if k <= 0 {
+		panic("queue: MM1K requires K > 0")
+	}
+	if rho < 0 {
+		panic("queue: negative load")
+	}
+	if rho == 1 {
+		return 1 / float64(k+1)
+	}
+	num := (1 - rho) * pow(rho, k)
+	den := 1 - pow(rho, k+1)
+	return num / den
+}
+
+func pow(x float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= x
+	}
+	return p
+}

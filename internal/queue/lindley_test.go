@@ -1,0 +1,175 @@
+package queue
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLindleyBasics(t *testing.T) {
+	cases := []struct{ w, y, x, want float64 }{
+		{0, 1, 2, 0},  // idle gap: wait stays zero
+		{0, 2, 1, 1},  // service longer than gap: next waits 1
+		{5, 1, 1, 5},  // balanced: wait persists
+		{1, 1, 10, 0}, // long gap empties the queue
+		{0, 0, 0, 0},  // degenerate
+		{2, 3, 4, 1},  // mixed
+	}
+	for _, c := range cases {
+		if got := Lindley(c.w, c.y, c.x); got != c.want {
+			t.Errorf("Lindley(%v,%v,%v) = %v, want %v", c.w, c.y, c.x, got, c.want)
+		}
+	}
+}
+
+func TestWaitsDeterministicOverload(t *testing.T) {
+	// Service 2, interarrival 1: wait grows by 1 per customer.
+	n := 10
+	svc := make([]float64, n)
+	gap := make([]float64, n)
+	for i := range svc {
+		svc[i], gap[i] = 2, 1
+	}
+	w := Waits(svc, gap)
+	for i, want := 0, 0.0; i < n; i, want = i+1, want+1 {
+		if w[i] != want {
+			t.Fatalf("w[%d] = %v, want %v", i, w[i], want)
+		}
+	}
+}
+
+func TestWaitsPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Waits([]float64{1}, []float64{1, 2})
+}
+
+func TestProbeStepMatchesPaperEquations(t *testing.T) {
+	// With w_n large enough that the buffer never empties:
+	// w_{n+1} = w_n + (P+b)/μ − δ (equation 6 rearranged).
+	mu := 128000.0
+	p := 576.0
+	delta := 0.020
+	b := 3904.0
+	w := 0.050
+	t1 := 0.007
+	wNext, wBatch := ProbeStep(w, p/mu, b/mu, t1, delta)
+	wantBatch := w + p/mu - t1
+	if math.Abs(wBatch-wantBatch) > 1e-12 {
+		t.Fatalf("wb = %v, want %v", wBatch, wantBatch)
+	}
+	want := w + (p+b)/mu - delta
+	if math.Abs(wNext-want) > 1e-12 {
+		t.Fatalf("w' = %v, want %v (eq. 6)", wNext, want)
+	}
+}
+
+func TestProbeStepEmptiesWhenIdle(t *testing.T) {
+	// No backlog, tiny batch, long interval: next wait is 0.
+	wNext, _ := ProbeStep(0, 0.0045, 0.001, 0.1, 0.5)
+	if wNext != 0 {
+		t.Fatalf("w' = %v, want 0", wNext)
+	}
+}
+
+func TestMD1MeanWait(t *testing.T) {
+	// ρ=0.5, svc=1: W = 0.5/(2·0.5) = 0.5.
+	if got := MD1MeanWait(0.5, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MD1MeanWait = %v, want 0.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unstable M/D/1 did not panic")
+		}
+	}()
+	MD1MeanWait(1, 1)
+}
+
+func TestMM1KLossProbability(t *testing.T) {
+	// K=1 (server only): loss = ρ/(1+ρ).
+	for _, rho := range []float64{0.1, 0.5, 0.9, 2} {
+		want := rho / (1 + rho)
+		if got := MM1KLossProbability(rho, 1); math.Abs(got-want) > 1e-12 {
+			t.Errorf("MM1K(ρ=%v,K=1) = %v, want %v", rho, got, want)
+		}
+	}
+	if got := MM1KLossProbability(1, 4); got != 0.2 {
+		t.Fatalf("MM1K(ρ=1,K=4) = %v, want 0.2", got)
+	}
+	// Loss grows with load.
+	if MM1KLossProbability(0.9, 10) <= MM1KLossProbability(0.5, 10) {
+		t.Fatal("loss should increase with load")
+	}
+	// Loss shrinks with buffer.
+	if MM1KLossProbability(0.8, 20) >= MM1KLossProbability(0.8, 5) {
+		t.Fatal("loss should decrease with buffer size")
+	}
+}
+
+func TestLindleyWaitsMatchMD1Formula(t *testing.T) {
+	// Simulate M/D/1 via the recurrence and compare the long-run
+	// mean wait to Pollaczek–Khinchine.
+	rng := rand.New(rand.NewSource(21))
+	const n = 2_000_000
+	lambda, svcTime := 0.5, 1.0
+	w, sum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		gap := rng.ExpFloat64() / lambda
+		w = Lindley(w, svcTime, gap)
+		sum += w
+	}
+	got := sum / n
+	want := MD1MeanWait(lambda, svcTime)
+	if math.Abs(got-want) > 0.03*want {
+		t.Fatalf("simulated M/D/1 wait = %v, formula %v", got, want)
+	}
+}
+
+// Property: Lindley output is non-negative and monotone in w and y,
+// anti-monotone in x.
+func TestLindleyMonotoneProperty(t *testing.T) {
+	check := func(wRaw, yRaw, xRaw, dRaw uint16) bool {
+		w := float64(wRaw) / 100
+		y := float64(yRaw) / 100
+		x := float64(xRaw) / 100
+		d := float64(dRaw)/100 + 0.001
+		base := Lindley(w, y, x)
+		return base >= 0 &&
+			Lindley(w+d, y, x) >= base &&
+			Lindley(w, y+d, x) >= base &&
+			Lindley(w, y, x+d) <= base
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: waits from Waits equal step-by-step Lindley application.
+func TestWaitsConsistencyProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		svc := make([]float64, n)
+		gap := make([]float64, n)
+		for i := range svc {
+			svc[i] = rng.Float64() * 2
+			gap[i] = rng.Float64() * 2
+		}
+		w := Waits(svc, gap)
+		cur := 0.0
+		for i := 0; i+1 < n; i++ {
+			cur = Lindley(cur, svc[i], gap[i])
+			if w[i+1] != cur {
+				return false
+			}
+		}
+		return w[0] == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

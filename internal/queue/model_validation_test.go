@@ -1,0 +1,127 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/loss"
+	"netprobe/internal/phase"
+)
+
+// batchTrace converts a model run into a probe trace: rtt_n = D + w_n
+// + P/μ for accepted probes, rtt_n = 0 for lost ones. This is the
+// bridge the paper's Section 6 describes between the analytic model
+// and the measured series.
+func batchTrace(m *BatchDeterministic, res Result, d float64, delta time.Duration) *core.Trace {
+	t := &core.Trace{
+		Name:          "batch-model",
+		Delta:         delta,
+		PayloadSize:   32,
+		WireSize:      int(m.P / 8),
+		BottleneckBps: int64(m.Mu),
+	}
+	svc := m.P / m.Mu
+	wi := 0
+	for i := range res.Lost {
+		s := core.Sample{Seq: i, Sent: time.Duration(i) * delta}
+		if res.Lost[i] {
+			s.Lost = true
+		} else {
+			rtt := d + res.Waits[wi] + svc
+			wi++
+			s.RTT = time.Duration(rtt * float64(time.Second))
+			s.Recv = s.Sent + s.RTT
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t
+}
+
+// ftpBatch draws 0/1/2 FTP packets (4096 bits) with the given
+// per-interval arrival probability.
+func ftpBatch(p1, p2 float64) func(rng *rand.Rand) float64 {
+	return func(rng *rand.Rand) float64 {
+		u := rng.Float64()
+		switch {
+		case u < 1-p1-p2:
+			return 0
+		case u < 1-p2:
+			return 4096
+		default:
+			return 8192
+		}
+	}
+}
+
+// TestModelBringsOutProbeCompression reproduces the paper's claim that
+// the analytic model "bring[s] out the probe compression phenomenon":
+// the phase plot of the model's own output shows the compression line,
+// and reading it back recovers μ.
+func TestModelBringsOutProbeCompression(t *testing.T) {
+	delta := 20 * time.Millisecond
+	m := &BatchDeterministic{
+		Mu:    128_000,
+		Delta: delta.Seconds(),
+		P:     576,
+		Batch: ftpBatch(0.30, 0.08),
+	}
+	res := m.Run(20_000, 17)
+	tr := batchTrace(m, res, 0.140, delta)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	est, err := phase.EstimateBottleneck(tr, 0)
+	if err != nil {
+		t.Fatalf("model output shows no compression line: %v", err)
+	}
+	if est.BottleneckBps < 120_000 || est.BottleneckBps > 137_000 {
+		t.Fatalf("μ from model phase plot = %.0f, want ≈128000 (%v)", est.BottleneckBps, est)
+	}
+	if est.FixedDelayMs < 139 || est.FixedDelayMs > 146 {
+		t.Fatalf("D from model phase plot = %.1f, want ≈140+P/μ", est.FixedDelayMs)
+	}
+}
+
+// TestModelLossRandomExceptAtHighIntensity reproduces the paper's
+// second Section 6 claim: "probe packets are lost randomly except when
+// the Internet traffic intensity is very high".
+func TestModelLossRandomExceptAtHighIntensity(t *testing.T) {
+	run := func(delta time.Duration, p1, p2 float64) loss.Stats {
+		m := &BatchDeterministic{
+			Mu:      128_000,
+			Delta:   delta.Seconds(),
+			P:       576,
+			MaxWait: 0.6, // ≈ 20 FTP packets of waiting room
+			Batch:   ftpBatch(p1, p2),
+		}
+		res := m.Run(200_000, 23)
+		return loss.Analyze(res.Lost)
+	}
+	// Moderate intensity at δ=50 ms (ρ ≈ 0.75): losses rare and
+	// near-random.
+	moderate := run(50*time.Millisecond, 0.45, 0.10)
+	// Very high intensity at δ=8 ms (probes alone are 56 % of the
+	// link; total ρ > 1): the buffer pins at capacity and, with δ
+	// far below an FTP packet's 32 ms service time, consecutive
+	// probes are lost in bursts — the paper's mechanism for the
+	// Table 3 small-δ rows.
+	extreme := run(8*time.Millisecond, 0.10, 0.02)
+
+	if moderate.ULP > 0.08 {
+		t.Fatalf("moderate-intensity loss %v unexpectedly high", moderate.ULP)
+	}
+	if moderate.Lost > 20 && !moderate.IsEssentiallyRandom(0.8) {
+		t.Fatalf("moderate-intensity losses should be near-random: %+v", moderate)
+	}
+	if extreme.ULP < 2*moderate.ULP {
+		t.Fatalf("extreme intensity did not raise loss: %v vs %v", extreme.ULP, moderate.ULP)
+	}
+	if extreme.PLG < 1.5 {
+		t.Fatalf("extreme-intensity loss gap = %v, want bursty", extreme.PLG)
+	}
+	if extreme.CLP <= extreme.ULP {
+		t.Fatalf("extreme intensity should have clp > ulp: %+v", extreme)
+	}
+}

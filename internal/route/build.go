@@ -1,0 +1,155 @@
+package route
+
+import (
+	"time"
+
+	"netprobe/internal/sim"
+)
+
+// Built is a simulated round-trip pipeline constructed from a Path:
+// a forward chain of per-hop queues and links, an echo point, and a
+// symmetric return chain ending in a sink. The forward and return
+// directions use separate queues, modelling full-duplex links.
+type Built struct {
+	// Head is where forward-direction packets (probes and forward
+	// cross traffic) enter the network.
+	Head sim.Receiver
+	// Echo is the turnaround point at the destination.
+	Echo *sim.Echo
+	// ReturnHead is the entry of the return path (what the echo
+	// feeds); transports terminating at the destination inject their
+	// acknowledgements here.
+	ReturnHead sim.Receiver
+	// ForwardQueues and ReturnQueues hold the per-hop queues in
+	// path order (ReturnQueues[i] corresponds to Hops[i] but carries
+	// return-direction traffic).
+	ForwardQueues []*sim.Queue
+	ReturnQueues  []*sim.Queue
+	// ForwardLinks and ReturnLinks hold the per-hop propagation
+	// links in path order. Their delays may be changed mid-run to
+	// model route changes.
+	ForwardLinks []*sim.Link
+	ReturnLinks  []*sim.Link
+	lossLinks    []*sim.LossyLink
+}
+
+// BuildOptions tunes pipeline construction.
+type BuildOptions struct {
+	// Seed seeds the per-hop lossy links deterministically.
+	Seed int64
+	// Deliver receives every probe completing the round trip.
+	Deliver func(pkt *sim.Packet, at time.Duration)
+}
+
+// Build assembles the round-trip pipeline for p on sched.
+func Build(sched *sim.Scheduler, p Path, opts BuildOptions) *Built {
+	if len(p.Hops) == 0 {
+		panic("route: cannot build an empty path")
+	}
+	b := &Built{}
+	sink := sim.NewSink(sched, opts.Deliver)
+
+	// Return chain, built back to front: last element delivers to
+	// the sink; hops are traversed in reverse order on the way back.
+	var next sim.Receiver = sink
+	for i := 0; i < len(p.Hops); i++ {
+		hop := p.Hops[i] // same interface characteristics both ways
+		next = buildHop(sched, b, hop, i, opts.Seed, false, next)
+	}
+	b.Echo = sim.NewEcho(next)
+	b.ReturnHead = next
+
+	// Forward chain, built back to front ending at the echo.
+	next = b.Echo
+	for i := len(p.Hops) - 1; i >= 0; i-- {
+		next = buildHop(sched, b, p.Hops[i], i, opts.Seed, true, next)
+	}
+	b.Head = next
+
+	// The per-hop loops above append elements in construction order;
+	// normalize so index i corresponds to hop i for both directions.
+	reverseQueues(b.ForwardQueues)
+	reverseLinks(b.ForwardLinks)
+	return b
+}
+
+// buildHop creates queue → [lossy link] → link for one hop and returns
+// its entry receiver.
+func buildHop(sched *sim.Scheduler, b *Built, hop Hop, idx int, seed int64, forward bool, next sim.Receiver) sim.Receiver {
+	link := sim.NewLink(sched, hop.Prop, next)
+	var after sim.Receiver = link
+	if hop.LossProb > 0 {
+		dirSalt := int64(1)
+		if forward {
+			dirSalt = 2
+		}
+		ll := sim.NewLossyLink(sched, hop.Name, hop.LossProb, seed*1000003+int64(idx)*31+dirSalt, link)
+		b.lossLinks = append(b.lossLinks, ll)
+		after = ll
+	}
+	q := sim.NewQueue(sched, hop.Name, hop.RateBps, hop.Buffer, after)
+	if forward {
+		b.ForwardQueues = append(b.ForwardQueues, q)
+		b.ForwardLinks = append(b.ForwardLinks, link)
+	} else {
+		b.ReturnQueues = append(b.ReturnQueues, q)
+		b.ReturnLinks = append(b.ReturnLinks, link)
+	}
+	return q
+}
+
+func reverseQueues(qs []*sim.Queue) {
+	for i, j := 0, len(qs)-1; i < j; i, j = i+1, j-1 {
+		qs[i], qs[j] = qs[j], qs[i]
+	}
+}
+
+func reverseLinks(ls []*sim.Link) {
+	for i, j := 0, len(ls)-1; i < j; i, j = i+1, j-1 {
+		ls[i], ls[j] = ls[j], ls[i]
+	}
+}
+
+// ShiftPropagation adds d to the propagation delay of hop i in both
+// directions, modelling a route change that lengthens (d > 0) or
+// shortens (d < 0) the path at that hop. It panics if the resulting
+// delay would be negative.
+func (b *Built) ShiftPropagation(i int, d time.Duration) {
+	b.ForwardLinks[i].SetDelay(b.ForwardLinks[i].Delay() + d)
+	b.ReturnLinks[i].SetDelay(b.ReturnLinks[i].Delay() + d)
+}
+
+// OnDrop registers fn on every queue and lossy link of the pipeline.
+func (b *Built) OnDrop(fn sim.DropFunc) {
+	for _, q := range b.ForwardQueues {
+		q.OnDrop(fn)
+	}
+	for _, q := range b.ReturnQueues {
+		q.OnDrop(fn)
+	}
+	for _, l := range b.lossLinks {
+		l.OnDrop(fn)
+	}
+}
+
+// BottleneckForward returns the forward-direction queue of the
+// slowest hop.
+func (b *Built) BottleneckForward() *sim.Queue {
+	return slowest(b.ForwardQueues)
+}
+
+// BottleneckReturn returns the return-direction queue of the slowest
+// hop.
+func (b *Built) BottleneckReturn() *sim.Queue {
+	return slowest(b.ReturnQueues)
+}
+
+func slowest(qs []*sim.Queue) *sim.Queue {
+	best := qs[0]
+	for _, q := range qs[1:] {
+		if q.Rate() < best.Rate() {
+			best = q
+		}
+	}
+	return best
+}

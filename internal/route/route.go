@@ -1,0 +1,149 @@
+// Package route describes end-to-end Internet paths hop by hop and
+// builds simulated round-trip pipelines from them.
+//
+// The two canonical paths are the ones measured in the paper: the
+// INRIA → University of Maryland route of July 1992 (Table 1), whose
+// 128 kb/s transatlantic link is the bottleneck, and the University of
+// Maryland → University of Pittsburgh route of May 1993 (Table 2),
+// a T3 path with a much higher bottleneck bandwidth.
+package route
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Hop is one store-and-forward stage of a path: the output interface
+// of a router (or the sending host), modelled as a finite-buffer FIFO
+// queue followed by a propagation-delay link.
+type Hop struct {
+	// Name is the router name, as traceroute would print it.
+	Name string
+	// RateBps is the outgoing link bandwidth in bits per second.
+	RateBps int64
+	// Prop is the one-way propagation delay of the outgoing link.
+	Prop time.Duration
+	// Buffer is the queue capacity in packets (waiting room).
+	Buffer int
+	// LossProb is an additional i.i.d. loss probability on the
+	// outgoing link (faulty interface hardware, per the paper's
+	// SURAnet observation). Zero for a healthy link.
+	LossProb float64
+}
+
+// Path is an ordered sequence of hops from source to destination.
+type Path struct {
+	// Name identifies the path, e.g. "INRIA-UMd".
+	Name string
+	// Hops is the forward hop sequence.
+	Hops []Hop
+}
+
+// Bottleneck returns the index and rate of the slowest hop. It panics
+// on an empty path.
+func (p Path) Bottleneck() (int, int64) {
+	if len(p.Hops) == 0 {
+		panic("route: empty path")
+	}
+	best := 0
+	for i, h := range p.Hops {
+		if h.RateBps < p.Hops[best].RateBps {
+			best = i
+		}
+	}
+	return best, p.Hops[best].RateBps
+}
+
+// PropagationRTT returns the round-trip propagation delay: twice the
+// sum of hop propagation delays.
+func (p Path) PropagationRTT() time.Duration {
+	var sum time.Duration
+	for _, h := range p.Hops {
+		sum += h.Prop
+	}
+	return 2 * sum
+}
+
+// MinRTT returns the smallest possible round trip for a packet of
+// size bytes: propagation plus one service time per hop in each
+// direction. This is the fixed delay D of the paper's model.
+func (p Path) MinRTT(size int) time.Duration {
+	rtt := p.PropagationRTT()
+	for _, h := range p.Hops {
+		svc := time.Duration(int64(size) * 8 * int64(time.Second) / h.RateBps)
+		rtt += 2 * svc
+	}
+	return rtt
+}
+
+// Traceroute renders the path the way the paper's tables do: one
+// numbered line per hop.
+func (p Path) Traceroute() string {
+	var b strings.Builder
+	for i, h := range p.Hops {
+		fmt.Fprintf(&b, "%2d  %s\n", i+1, h.Name)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (p Path) String() string {
+	_, bw := p.Bottleneck()
+	return fmt.Sprintf("%s: %d hops, bottleneck %d b/s, RTT ≥ %v", p.Name, len(p.Hops), bw, p.PropagationRTT())
+}
+
+// INRIAToUMd returns the Table 1 path: INRIA (Sophia-Antipolis) to the
+// University of Maryland in July 1992. Nodes 4–5 are the endpoints of
+// the 128 kb/s transatlantic link, the bottleneck. Rates for the
+// remaining hops are period-typical (Ethernet segments, T1 backbone,
+// regional nets); propagation delays are set so the fixed round-trip
+// component is ≈140 ms, the value read off Figure 2. The SURAnet hop
+// carries a small random loss probability, following the paper's
+// report of faulty interface cards dropping up to 3 % of packets.
+func INRIAToUMd() Path {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	return Path{
+		Name: "INRIA-UMd",
+		Hops: []Hop{
+			{Name: "tom.inria.fr", RateBps: 10_000_000, Prop: ms(0.5), Buffer: 64},
+			{Name: "t8-gw.inria.fr", RateBps: 10_000_000, Prop: ms(0.5), Buffer: 64},
+			{Name: "sophia-gw.atlantic.fr", RateBps: 2_048_000, Prop: ms(4), Buffer: 40},
+			{Name: "icm-sophia.icp.net", RateBps: 128_000, Prop: ms(45), Buffer: 20}, // transatlantic bottleneck
+			{Name: "Ithaca.NY.NSS.NSF.NET", RateBps: 1_544_000, Prop: ms(3), Buffer: 40},
+			{Name: "Ithaca1.NY.NSS.NSF.NET", RateBps: 1_544_000, Prop: ms(3), Buffer: 40},
+			{Name: "nss-SURA-eth.sura.net", RateBps: 1_544_000, Prop: ms(4), Buffer: 40, LossProb: 0.02},
+			{Name: "sura8-umd-c1.sura.net", RateBps: 1_544_000, Prop: ms(3), Buffer: 40, LossProb: 0.02},
+			{Name: "csc2hub-gw.umd.edu", RateBps: 10_000_000, Prop: ms(0.5), Buffer: 64},
+			{Name: "avwhub-gw.umd.edu", RateBps: 10_000_000, Prop: ms(0.5), Buffer: 64},
+		},
+	}
+}
+
+// UMdToPitt returns the Table 2 path: University of Maryland to the
+// University of Pittsburgh in May 1993, riding the T3 (45 Mb/s) ANSnet
+// backbone. The paper notes the bottleneck is unclear but certainly
+// far above 128 kb/s; we bound it by the campus Ethernets (10 Mb/s).
+func UMdToPitt() Path {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	t3 := int64(45_000_000)
+	return Path{
+		Name: "UMd-Pitt",
+		Hops: []Hop{
+			{Name: "lena.cs.umd.edu", RateBps: 10_000_000, Prop: ms(0.2), Buffer: 64},
+			{Name: "avw1hub-gw.umd.edu", RateBps: 10_000_000, Prop: ms(0.2), Buffer: 64},
+			{Name: "csc2hub-gw.umd.edu", RateBps: 10_000_000, Prop: ms(0.3), Buffer: 64},
+			{Name: "192.221.38.5", RateBps: t3, Prop: ms(0.5), Buffer: 128},
+			{Name: "en-0.enss136.t3.nsf.net", RateBps: t3, Prop: ms(0.5), Buffer: 128},
+			{Name: "t3-1.Washington-DC-cnss58.t3.ans.net", RateBps: t3, Prop: ms(1), Buffer: 128},
+			{Name: "t3-3.Washington-DC-cnss56.t3.ans.net", RateBps: t3, Prop: ms(0.5), Buffer: 128},
+			{Name: "t3-0.New-York-cnss32.t3.ans.net", RateBps: t3, Prop: ms(2.5), Buffer: 128},
+			{Name: "t3-1.Cleveland-cnss40.t3.ans.net", RateBps: t3, Prop: ms(4), Buffer: 128},
+			{Name: "t3-0.Cleveland-cnss41.t3.ans.net", RateBps: t3, Prop: ms(0.5), Buffer: 128},
+			{Name: "t3-0.enss132.t3.ans.net", RateBps: t3, Prop: ms(1.5), Buffer: 128},
+			{Name: "externals.gw.pitt.edu", RateBps: 10_000_000, Prop: ms(0.3), Buffer: 64},
+			{Name: "136.142.2.54", RateBps: 10_000_000, Prop: ms(0.2), Buffer: 64},
+			{Name: "hub-eh.gw.pitt.edu", RateBps: 10_000_000, Prop: ms(0.2), Buffer: 64},
+		},
+	}
+}

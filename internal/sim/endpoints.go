@@ -1,0 +1,118 @@
+package sim
+
+import "time"
+
+// Sink terminates a pipeline and hands every delivered packet to a
+// callback together with the delivery time.
+type Sink struct {
+	sched *Scheduler
+	fn    func(pkt *Packet, at time.Duration)
+	count int64
+}
+
+// NewSink returns a sink invoking fn for every delivered packet. fn
+// may be nil, in which case the sink only counts deliveries.
+func NewSink(sched *Scheduler, fn func(pkt *Packet, at time.Duration)) *Sink {
+	return &Sink{sched: sched, fn: fn}
+}
+
+// Count reports the number of packets delivered so far.
+func (s *Sink) Count() int64 { return s.count }
+
+// Receive implements Receiver.
+func (s *Sink) Receive(pkt *Packet) {
+	s.count++
+	if s.fn != nil {
+		s.fn(pkt, s.sched.Now())
+	}
+}
+
+// Echo models the intermediate echo host of the paper's measurement
+// setup: a packet arriving on the forward leg is immediately turned
+// around onto the return path. Non-probe packets are absorbed by
+// default, since cross traffic in the paper does not return to the
+// source; SetBypass routes them onward instead (e.g. to a transport
+// endpoint co-located with the echo host).
+type Echo struct {
+	ret    Receiver
+	bypass Receiver
+}
+
+// NewEcho returns an echo point forwarding probe packets to the head
+// of the return path.
+func NewEcho(ret Receiver) *Echo { return &Echo{ret: ret} }
+
+// SetReturn replaces the return-path head. This allows the forward
+// path to be built before the return path exists.
+func (e *Echo) SetReturn(ret Receiver) { e.ret = ret }
+
+// SetBypass forwards non-probe packets reaching the echo host to r
+// instead of absorbing them.
+func (e *Echo) SetBypass(r Receiver) { e.bypass = r }
+
+// Receive implements Receiver.
+func (e *Echo) Receive(pkt *Packet) {
+	if !pkt.Probe {
+		if e.bypass != nil {
+			e.bypass.Receive(pkt)
+		}
+		return
+	}
+	pkt.Dir = Return
+	if e.ret != nil {
+		e.ret.Receive(pkt)
+	}
+}
+
+// Tap invokes a callback for every packet passing through and then
+// forwards it unchanged. It is the instrumentation element used to
+// observe traffic mid-pipeline.
+type Tap struct {
+	sched *Scheduler
+	fn    func(pkt *Packet, at time.Duration)
+	next  Receiver
+}
+
+// NewTap returns a pass-through tap calling fn on every packet.
+func NewTap(sched *Scheduler, fn func(pkt *Packet, at time.Duration), next Receiver) *Tap {
+	return &Tap{sched: sched, fn: fn, next: next}
+}
+
+// SetNext replaces the downstream receiver.
+func (t *Tap) SetNext(next Receiver) { t.next = next }
+
+// Receive implements Receiver.
+func (t *Tap) Receive(pkt *Packet) {
+	if t.fn != nil {
+		t.fn(pkt, t.sched.Now())
+	}
+	if t.next != nil {
+		t.next.Receive(pkt)
+	}
+}
+
+// Filter forwards only packets for which keep returns true; all other
+// packets are silently absorbed. It is used, for example, to keep
+// cross traffic from following probes onto the return path.
+type Filter struct {
+	keep func(pkt *Packet) bool
+	next Receiver
+}
+
+// NewFilter returns a filter forwarding packets matching keep to next.
+func NewFilter(keep func(pkt *Packet) bool, next Receiver) *Filter {
+	return &Filter{keep: keep, next: next}
+}
+
+// SetNext replaces the downstream receiver.
+func (f *Filter) SetNext(next Receiver) { f.next = next }
+
+// Receive implements Receiver.
+func (f *Filter) Receive(pkt *Packet) {
+	if f.keep != nil && !f.keep(pkt) {
+		return
+	}
+	if f.next != nil {
+		f.next.Receive(pkt)
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkSetDelayAffectsLaterPackets(t *testing.T) {
+	s := NewScheduler()
+	var f Factory
+	var at []time.Duration
+	sink := NewSink(s, func(_ *Packet, d time.Duration) { at = append(at, d) })
+	l := NewLink(s, 10*time.Millisecond, sink)
+	s.At(0, func() { l.Receive(f.New("a", 0, 10, 0)) })
+	s.At(1*time.Millisecond, func() { l.SetDelay(30 * time.Millisecond) })
+	s.At(2*time.Millisecond, func() { l.Receive(f.New("a", 1, 10, 0)) })
+	s.Run(time.Second)
+	if len(at) != 2 {
+		t.Fatalf("delivered %d, want 2", len(at))
+	}
+	if at[0] != 10*time.Millisecond {
+		t.Fatalf("first delivery at %v, want 10ms (old delay)", at[0])
+	}
+	if at[1] != 32*time.Millisecond {
+		t.Fatalf("second delivery at %v, want 32ms (new delay)", at[1])
+	}
+	if l.Delay() != 30*time.Millisecond {
+		t.Fatalf("Delay() = %v", l.Delay())
+	}
+}
+
+func TestLinkSetDelayPanicsOnNegative(t *testing.T) {
+	s := NewScheduler()
+	l := NewLink(s, time.Millisecond, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay accepted")
+		}
+	}()
+	l.SetDelay(-time.Millisecond)
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonitorSamplesBacklog(t *testing.T) {
+	s := NewScheduler()
+	var f Factory
+	sink := NewSink(s, nil)
+	q := NewQueue(s, "q", 8_000, 100, sink) // 1 byte/ms
+	m := NewMonitor(s, q, 10*time.Millisecond, 100*time.Millisecond)
+	m.Start()
+	// Three 20-byte packets at t=0: 60 ms of total work.
+	s.At(0, func() {
+		for i := 0; i < 3; i++ {
+			q.Receive(f.New("a", i, 20, 0))
+		}
+	})
+	s.Run(200 * time.Millisecond)
+	got := m.Samples()
+	if len(got) != 11 {
+		t.Fatalf("samples = %d, want 11 (every 10 ms through 100 ms)", len(got))
+	}
+	// t=0 sample runs before the packets arrive (same tick, earlier
+	// event); t=10..50 see a draining backlog; t=70+ see empty.
+	if got[1] != 3 {
+		t.Fatalf("t=10ms backlog = %d, want 3", got[1])
+	}
+	if got[3] != 2 {
+		t.Fatalf("t=30ms backlog = %d, want 2", got[3])
+	}
+	if got[10] != 0 {
+		t.Fatalf("t=100ms backlog = %d, want 0", got[10])
+	}
+}
+
+func TestMonitorPanicsOnBadInterval(t *testing.T) {
+	s := NewScheduler()
+	q := NewQueue(s, "q", 8_000, 10, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	NewMonitor(s, q, 0, time.Second)
+}
+
+func TestMonitorFloatConversion(t *testing.T) {
+	s := NewScheduler()
+	q := NewQueue(s, "q", 8_000, 10, nil)
+	m := NewMonitor(s, q, time.Millisecond, 3*time.Millisecond)
+	m.Start()
+	s.Run(time.Second)
+	fs := m.SamplesFloat()
+	if len(fs) != len(m.Samples()) {
+		t.Fatal("length mismatch")
+	}
+	for _, v := range fs {
+		if v != 0 {
+			t.Fatalf("idle queue sample %v", v)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import "time"
+
+// Direction distinguishes the outbound leg (source to echo host) from
+// the return leg (echo host back to source) of a round trip.
+type Direction int8
+
+const (
+	// Forward marks packets travelling from the source toward the
+	// echo host.
+	Forward Direction = iota
+	// Return marks packets travelling back from the echo host.
+	Return
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "return"
+}
+
+// Packet is the unit of work moved through the simulated network.
+//
+// Size is the wire size in bytes: for the probe packets of the paper
+// this is the 32-byte UDP payload plus UDP, IP and link headers
+// (72 bytes total, matching the 72*8 = 576 bits used in the paper's
+// workload computation).
+type Packet struct {
+	// ID is unique across all packets created through NewPacket on
+	// one Factory.
+	ID int64
+	// Flow names the traffic stream the packet belongs to, e.g.
+	// "probe", "ftp", "telnet".
+	Flow string
+	// Seq is the per-flow sequence number.
+	Seq int
+	// Size is the wire size in bytes.
+	Size int
+	// SentAt is the virtual time the packet entered the network.
+	SentAt time.Duration
+	// Dir is the current round-trip leg.
+	Dir Direction
+	// Probe marks packets whose round trip is being measured.
+	Probe bool
+}
+
+// Bits reports the wire size in bits.
+func (p *Packet) Bits() int64 { return int64(p.Size) * 8 }
+
+// Factory hands out packets with unique IDs. The zero value is ready
+// to use.
+type Factory struct {
+	next int64
+}
+
+// New returns a fresh packet for flow with the given sequence number
+// and wire size, stamped with the supplied send time.
+func (f *Factory) New(flow string, seq, size int, sentAt time.Duration) *Packet {
+	f.next++
+	return &Packet{
+		ID:     f.next,
+		Flow:   flow,
+		Seq:    seq,
+		Size:   size,
+		SentAt: sentAt,
+	}
+}

@@ -1,0 +1,113 @@
+// Package sim implements a discrete-event, store-and-forward network
+// simulator.
+//
+// The simulator is the substrate for reproducing the measurements in
+// Bolot's SIGCOMM '93 study of end-to-end packet delay and loss: it
+// plays the role the July-1992 Internet played in the paper. A network
+// is assembled from small elements that each implement the Receiver
+// interface — finite-buffer FIFO queues (Queue), propagation-delay
+// links (Link), randomly lossy links (LossyLink), echo points (Echo)
+// and sinks (Sink) — stitched into a pipeline. Packet sources
+// (PeriodicSource and the generators in package traffic) inject
+// packets, and a Scheduler advances virtual time from event to event.
+//
+// Virtual time is a time.Duration measured from the start of the
+// simulation. All elements attached to a Scheduler must be driven from
+// a single goroutine; the engine is deterministic given fixed seeds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Receiver is implemented by every network element that can accept a
+// packet. Elements forward packets to their downstream Receiver,
+// forming a pipeline.
+type Receiver interface {
+	// Receive hands pkt to the element at the current virtual time.
+	Receive(pkt *Packet)
+}
+
+// event is a single scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler owns virtual time and the pending event set. The zero
+// value is ready to use.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	pending eventHeap
+	stopped bool
+}
+
+// NewScheduler returns a Scheduler with virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn to run at virtual time at. Scheduling in the past is
+// a programming error and panics: it would silently reorder causality.
+func (s *Scheduler) At(at time.Duration, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pending, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Stop makes Run return after the currently executing event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in time order until no events remain, the
+// horizon is passed, or Stop is called. It returns the number of
+// events executed. Events scheduled exactly at the horizon still run.
+func (s *Scheduler) Run(horizon time.Duration) int {
+	s.stopped = false
+	n := 0
+	for len(s.pending) > 0 && !s.stopped {
+		if s.pending[0].at > horizon {
+			break
+		}
+		ev := heap.Pop(&s.pending).(event)
+		s.now = ev.at
+		ev.fn()
+		n++
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return n
+}
+
+// Pending reports the number of events not yet executed.
+func (s *Scheduler) Pending() int { return len(s.pending) }

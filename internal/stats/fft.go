@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of xs in place using the
+// radix-2 Cooley–Tukey algorithm. The length of xs must be a power of
+// two; FFT panics otherwise.
+func FFT(xs []complex128) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("stats: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := xs[i+j]
+				v := xs[i+j+length/2] * w
+				xs[i+j] = u + v
+				xs[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse DFT of xs in place. Length must be a power
+// of two.
+func IFFT(xs []complex128) {
+	for i := range xs {
+		xs[i] = cmplx.Conj(xs[i])
+	}
+	FFT(xs)
+	n := complex(float64(len(xs)), 0)
+	for i := range xs {
+		xs[i] = cmplx.Conj(xs[i]) / n
+	}
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Periodogram estimates the power spectral density of the real series
+// xs: the series is mean-removed, zero-padded to a power of two, and
+// |DFT|²/n is returned for the n/2+1 non-negative frequencies (in
+// cycles per sample). This is the spectral-analysis tool used by the
+// related work [19] to expose the diurnal congestion cycle; we use it
+// to detect periodic components in simulated delay series.
+func Periodogram(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	mean := Mean(xs)
+	n := NextPow2(len(xs))
+	buf := make([]complex128, n)
+	for i, x := range xs {
+		buf[i] = complex(x-mean, 0)
+	}
+	FFT(buf)
+	out := make([]float64, n/2+1)
+	for i := range out {
+		m := cmplx.Abs(buf[i])
+		out[i] = m * m / float64(n)
+	}
+	return out
+}
+
+// DominantFrequency returns the frequency (cycles per sample) with the
+// largest periodogram power, excluding the zero frequency, together
+// with that power. It returns (0, 0) for series shorter than 4
+// samples.
+func DominantFrequency(xs []float64) (freq, power float64) {
+	if len(xs) < 4 {
+		return 0, 0
+	}
+	pg := Periodogram(xs)
+	n := (len(pg) - 1) * 2
+	best := 1
+	for i := 2; i < len(pg); i++ {
+		if pg[i] > pg[best] {
+			best = i
+		}
+	}
+	return float64(best) / float64(n), pg[best]
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownTransform(t *testing.T) {
+	// DFT of [1,1,1,1] is [4,0,0,0].
+	xs := []complex128{1, 1, 1, 1}
+	FFT(xs)
+	want := []complex128{4, 0, 0, 0}
+	for i := range xs {
+		if cmplx.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("FFT = %v, want %v", xs, want)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of an impulse is flat ones.
+	xs := make([]complex128, 8)
+	xs[0] = 1
+	FFT(xs)
+	for i, v := range xs {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT of length 6 did not panic")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]complex128, 64)
+	orig := make([]complex128, 64)
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = xs[i]
+	}
+	FFT(xs)
+	IFFT(xs)
+	for i := range xs {
+		if cmplx.Abs(xs[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, xs[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]complex128, 128)
+	timeEnergy := 0.0
+	for i := range xs {
+		xs[i] = complex(rng.NormFloat64(), 0)
+		timeEnergy += real(xs[i]) * real(xs[i])
+	}
+	FFT(xs)
+	freqEnergy := 0.0
+	for _, v := range xs {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= 128
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {800, 1024}, {1024, 1024}}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPeriodogramFindsSinusoid(t *testing.T) {
+	// 512 samples of a sinusoid with period 16 samples → frequency
+	// 1/16 cycles per sample.
+	n := 512
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5 + 3*math.Sin(2*math.Pi*float64(i)/16)
+	}
+	freq, power := DominantFrequency(xs)
+	if math.Abs(freq-1.0/16) > 1e-9 {
+		t.Fatalf("dominant frequency = %v, want 0.0625", freq)
+	}
+	if power <= 0 {
+		t.Fatalf("power = %v, want > 0", power)
+	}
+}
+
+func TestPeriodogramShortSeries(t *testing.T) {
+	if f, p := DominantFrequency([]float64{1, 2}); f != 0 || p != 0 {
+		t.Fatalf("short series = (%v,%v), want (0,0)", f, p)
+	}
+	if Periodogram(nil) != nil {
+		t.Fatal("Periodogram(nil) should be nil")
+	}
+}
+
+// Property: FFT is linear.
+func TestFFTLinearityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			sum[i] = a[i] + b[i]
+		}
+		FFT(a)
+		FFT(b)
+		FFT(sum)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0; P at large x approaches 1.
+	if got := RegularizedGammaP(3, 0); got != 0 {
+		t.Errorf("P(3,0) = %v, want 0", got)
+	}
+	if got := RegularizedGammaP(3, 100); math.Abs(got-1) > 1e-10 {
+		t.Errorf("P(3,100) = %v, want 1", got)
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := RegularizedGammaP(0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaPDomain(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RegularizedGammaP(0, 1) },
+		func() { RegularizedGammaP(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("domain error did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConstantGammaMoments(t *testing.T) {
+	m := ConstantGamma{Shift: 140, Shape: 4, Scale: 5}
+	if m.Mean() != 160 {
+		t.Fatalf("mean = %v, want 160", m.Mean())
+	}
+	if m.Variance() != 100 {
+		t.Fatalf("variance = %v, want 100", m.Variance())
+	}
+}
+
+func TestConstantGammaPDFAndCDF(t *testing.T) {
+	m := ConstantGamma{Shift: 10, Shape: 2, Scale: 3}
+	if m.PDF(9) != 0 || m.CDF(9) != 0 {
+		t.Fatal("density/CDF below shift must be 0")
+	}
+	// CDF should integrate the PDF: check with a Riemann sum.
+	sum := 0.0
+	dx := 0.01
+	for x := 10.0; x < 60; x += dx {
+		sum += m.PDF(x+dx/2) * dx
+	}
+	if math.Abs(sum-m.CDF(60)) > 1e-3 {
+		t.Fatalf("∫pdf = %v, CDF = %v", sum, m.CDF(60))
+	}
+	// CDF monotone.
+	prev := 0.0
+	for x := 10.0; x < 80; x += 1 {
+		c := m.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF decreased at %v", x)
+		}
+		prev = c
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	unif := rng.Float64
+	norm := rng.NormFloat64
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 2}, {2, 3}, {9, 1}} {
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := GammaSample(tc.shape, tc.scale, unif, norm)
+			if v < 0 {
+				t.Fatalf("negative gamma sample %v", v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("shape %v: mean = %v, want %v", tc.shape, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("shape %v: var = %v, want %v", tc.shape, variance, wantVar)
+		}
+	}
+}
+
+func TestFitConstantGammaRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	truth := ConstantGamma{Shift: 140, Shape: 3, Scale: 8}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = truth.Shift + GammaSample(truth.Shape, truth.Scale, rng.Float64, rng.NormFloat64)
+	}
+	fit, err := FitConstantGamma(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean()-truth.Mean()) > 1 {
+		t.Fatalf("fitted mean %v, want ≈%v", fit.Mean(), truth.Mean())
+	}
+	if math.Abs(fit.Variance()-truth.Variance()) > 0.15*truth.Variance() {
+		t.Fatalf("fitted variance %v, want ≈%v", fit.Variance(), truth.Variance())
+	}
+	if math.Abs(fit.Shift-truth.Shift) > 5 {
+		t.Fatalf("fitted shift %v, want ≈%v", fit.Shift, truth.Shift)
+	}
+}
+
+func TestFitConstantGammaErrors(t *testing.T) {
+	if _, err := FitConstantGamma([]float64{1}); err != ErrEmpty {
+		t.Fatalf("short sample err = %v, want ErrEmpty", err)
+	}
+	if _, err := FitConstantGamma([]float64{2, 2, 2}); err != ErrDegenerate {
+		t.Fatalf("degenerate sample err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestFitConstantGammaGoodnessViaKS(t *testing.T) {
+	// Samples from the fitted model should be close (KS) to the data.
+	rng := rand.New(rand.NewSource(13))
+	truth := ConstantGamma{Shift: 50, Shape: 2, Scale: 4}
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = truth.Shift + GammaSample(truth.Shape, truth.Scale, rng.Float64, rng.NormFloat64)
+	}
+	fit, err := FitConstantGamma(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resampled := make([]float64, 5000)
+	for i := range resampled {
+		resampled[i] = fit.Shift + GammaSample(fit.Shape, fit.Scale, rng.Float64, rng.NormFloat64)
+	}
+	if d := KSDistance(data, resampled); d > 0.05 {
+		t.Fatalf("KS distance between data and fitted model = %v, want < 0.05", d)
+	}
+}

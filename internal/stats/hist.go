@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bin-width histogram over [Lo, Hi). Values
+// outside the range are counted in Under/Over rather than silently
+// discarded, because for delay distributions the analyst must know
+// about outliers.
+type Histogram struct {
+	Lo, Hi float64
+	Width  float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram returns a histogram with bins of the given width
+// covering [lo, hi). It panics for a non-positive width or an empty
+// range.
+func NewHistogram(lo, hi, width float64) *Histogram {
+	if width <= 0 {
+		panic(fmt.Sprintf("stats: non-positive histogram bin width %v", width))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: empty histogram range [%v,%v)", lo, hi))
+	}
+	n := int(math.Ceil((hi - lo) / width))
+	return &Histogram{Lo: lo, Hi: hi, Width: width, Counts: make([]int, n)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	i := int((x - h.Lo) / h.Width)
+	if i >= len(h.Counts) {
+		h.Over++
+		return
+	}
+	h.Counts[i]++
+}
+
+// AddAll counts every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total reports the number of observations added, including
+// out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter reports the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Fraction reports the fraction of all observations that fell in bin
+// i. It is 0 when the histogram is empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// MaxCount reports the largest bin count.
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Mode reports the center of the fullest bin. For an empty histogram
+// it returns the center of bin 0.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Peak is a local maximum of a histogram.
+type Peak struct {
+	// Bin is the index of the peak bin.
+	Bin int
+	// Center is the bin's midpoint value.
+	Center float64
+	// Count is the bin count at the peak.
+	Count int
+}
+
+// Peaks finds local maxima of the histogram, in descending count
+// order. A bin is a peak if its count is at least minCount and at
+// least as large as every bin within radius sep bins, with strict
+// inequality against already accepted peaks' exclusion zones (so two
+// peaks are at least sep bins apart). This is the routine used to read
+// the multimodal workload distributions of Figures 8 and 9.
+func (h *Histogram) Peaks(minCount, sep int) []Peak {
+	if sep < 1 {
+		sep = 1
+	}
+	type cand struct {
+		bin, count int
+	}
+	var cands []cand
+	for i, c := range h.Counts {
+		if c < minCount {
+			continue
+		}
+		isMax := true
+		for j := i - sep; j <= i+sep; j++ {
+			if j < 0 || j >= len(h.Counts) || j == i {
+				continue
+			}
+			if h.Counts[j] > c || (h.Counts[j] == c && j < i) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			cands = append(cands, cand{i, c})
+		}
+	}
+	// Greedy: take highest peaks first, suppress neighbours.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].count != cands[j].count {
+			return cands[i].count > cands[j].count
+		}
+		return cands[i].bin < cands[j].bin
+	})
+	var peaks []Peak
+	taken := map[int]bool{}
+	for _, c := range cands {
+		ok := true
+		for b := range taken {
+			if abs(b-c.bin) <= sep {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		taken[c.bin] = true
+		peaks = append(peaks, Peak{Bin: c.bin, Center: h.BinCenter(c.bin), Count: c.count})
+	}
+	return peaks
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF returns the empirical CDF of xs. It panics on an empty
+// sample.
+func NewECDF(xs []float64) *ECDF {
+	if len(xs) == 0 {
+		panic("stats: ECDF of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At reports P(X ≤ x).
+func (e *ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile reports the p-quantile, 0 ≤ p ≤ 1.
+func (e *ECDF) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		panic("stats: ECDF quantile probability out of [0,1]")
+	}
+	return quantileSorted(e.sorted, p)
+}
+
+// N reports the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }

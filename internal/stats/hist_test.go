@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	h.AddAll([]float64{0, 0.5, 1, 9.99, -1, 10, 100})
+	if h.Counts[0] != 2 {
+		t.Fatalf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 {
+		t.Fatalf("bin 1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[9] != 1 {
+		t.Fatalf("bin 9 = %d, want 1", h.Counts[9])
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(10, 20, 2)
+	if got := h.BinCenter(0); got != 11 {
+		t.Fatalf("BinCenter(0) = %v, want 11", got)
+	}
+	if got := h.BinCenter(4); got != 19 {
+		t.Fatalf("BinCenter(4) = %v, want 19", got)
+	}
+}
+
+func TestHistogramFractionAndMode(t *testing.T) {
+	h := NewHistogram(0, 4, 1)
+	h.AddAll([]float64{0.5, 1.5, 1.6, 1.7, 3.5})
+	if f := h.Fraction(1); f != 0.6 {
+		t.Fatalf("Fraction(1) = %v, want 0.6", f)
+	}
+	if m := h.Mode(); m != 1.5 {
+		t.Fatalf("Mode = %v, want 1.5", m)
+	}
+	if h.MaxCount() != 3 {
+		t.Fatalf("MaxCount = %d, want 3", h.MaxCount())
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPeaksMultimodal(t *testing.T) {
+	// Build a trimodal histogram like Figure 8: peaks near 4.5, 20,
+	// and 35 (ms).
+	h := NewHistogram(0, 60, 1)
+	rng := rand.New(rand.NewSource(2))
+	addCluster := func(center float64, n int) {
+		for i := 0; i < n; i++ {
+			h.Add(center + rng.NormFloat64())
+		}
+	}
+	addCluster(4.5, 400)
+	addCluster(20, 300)
+	addCluster(35, 150)
+	peaks := h.Peaks(20, 3)
+	if len(peaks) != 3 {
+		t.Fatalf("found %d peaks (%v), want 3", len(peaks), peaks)
+	}
+	// Highest peak first.
+	if peaks[0].Count < peaks[1].Count || peaks[1].Count < peaks[2].Count {
+		t.Fatalf("peaks not in descending order: %v", peaks)
+	}
+	near := func(got, want float64) bool { return got > want-2.5 && got < want+2.5 }
+	found := map[string]bool{}
+	for _, p := range peaks {
+		switch {
+		case near(p.Center, 4.5):
+			found["a"] = true
+		case near(p.Center, 20):
+			found["b"] = true
+		case near(p.Center, 35):
+			found["c"] = true
+		}
+	}
+	if len(found) != 3 {
+		t.Fatalf("peak centers wrong: %v", peaks)
+	}
+}
+
+func TestPeaksRespectsMinCount(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	h.AddAll([]float64{1.5, 1.5, 1.5, 7.5})
+	peaks := h.Peaks(2, 1)
+	if len(peaks) != 1 || peaks[0].Bin != 1 {
+		t.Fatalf("peaks = %v, want single peak at bin 1", peaks)
+	}
+}
+
+func TestPeaksSeparation(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	// Two adjacent tall bins: only one peak should survive with sep 2.
+	h.Counts[3] = 10
+	h.Counts[4] = 9
+	h.total = 19
+	peaks := h.Peaks(1, 2)
+	if len(peaks) != 1 || peaks[0].Bin != 3 {
+		t.Fatalf("peaks = %v, want single peak at bin 3", peaks)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("ECDF.At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Fatalf("N = %d, want 4", e.N())
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Fatalf("median = %v, want 2", q)
+	}
+}
+
+// Property: histogram conserves counts (bins + under + over = total).
+func TestHistogramConservationProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw) + 1
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-5, 5, 0.5)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64() * 4)
+		}
+		sum := h.Under + h.Over
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == h.Total() && h.Total() == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ECDF is monotone non-decreasing and hits 0 and 1 at the
+// extremes.
+func TestECDFMonotoneProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -4.0; x <= 4; x += 0.25 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return e.At(Min(xs)-1) == 0 && e.At(4) <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

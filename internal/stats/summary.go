@@ -1,0 +1,240 @@
+// Package stats provides the statistical machinery used by the
+// paper's analysis: summary statistics, histograms and empirical
+// distributions (Figures 8–9), autocorrelation and periodograms
+// (the spectral/diurnal analysis of related work [19] used as a
+// baseline), and constant-plus-gamma distribution fitting (the delay
+// model reported in [19]).
+//
+// All routines operate on float64 slices; time series of durations
+// are converted to the unit of the caller's choice first.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by routines that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator); 0 for n==1
+	Std      float64
+	Min      float64
+	Max      float64
+	Median   float64
+}
+
+// Summarize computes descriptive statistics. It returns ErrEmpty for
+// an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Variance)
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics. It copies and sorts
+// internally; it panics on an empty sample or p outside [0,1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic("stats: quantile probability out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element; it panics on an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Autocorrelation returns the sample autocorrelation function of xs at
+// lags 0..maxLag (inclusive). The lag-0 value is always 1. If the
+// sample variance is zero the function is 1 at lag 0 and 0 elsewhere.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	mean := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	acf := make([]float64, maxLag+1)
+	acf[0] = 1
+	if denom == 0 {
+		return acf
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := 0; i+lag < n; i++ {
+			num += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		acf[lag] = num / denom
+	}
+	return acf
+}
+
+// VarianceTime computes the aggregate-variance curve of xs: for each
+// aggregation scale m in scales, the series is averaged over
+// non-overlapping blocks of m samples and the variance of the block
+// means is reported. For short-range-dependent traffic the curve
+// falls like 1/m; slower decay indicates burstiness persisting across
+// time scales — the "structure of the Internet load over different
+// time scales" the paper's probing is designed to expose.
+func VarianceTime(xs []float64, scales []int) map[int]float64 {
+	out := make(map[int]float64, len(scales))
+	for _, m := range scales {
+		if m <= 0 || m > len(xs) {
+			continue
+		}
+		var means []float64
+		for i := 0; i+m <= len(xs); i += m {
+			means = append(means, Mean(xs[i:i+m]))
+		}
+		if len(means) < 2 {
+			continue
+		}
+		s, err := Summarize(means)
+		if err != nil {
+			continue
+		}
+		out[m] = s.Variance
+	}
+	return out
+}
+
+// HurstFromVarianceTime estimates the Hurst exponent H from an
+// aggregate-variance curve: for a self-similar process the block-mean
+// variance scales like m^{2H−2}, so H is read from the slope of
+// log-variance against log-scale. H = 0.5 for short-range-dependent
+// traffic; H approaching 1 marks the burstiness-across-all-scales that
+// the self-similarity literature found in exactly the era's traffic.
+// It returns an error with fewer than two usable scales.
+func HurstFromVarianceTime(vt map[int]float64) (float64, error) {
+	var xs, ys []float64
+	for m, v := range vt {
+		if m <= 0 || v <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(m)))
+		ys = append(ys, math.Log(v))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: need at least two scales for a Hurst estimate")
+	}
+	// Least-squares slope.
+	mx, my := Mean(xs), Mean(ys)
+	num, den := 0.0, 0.0
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0, errors.New("stats: degenerate scales")
+	}
+	slope := num / den
+	return 1 + slope/2, nil
+}
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of a and b.
+// It panics if either sample is empty.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSDistance of empty sample")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(as) && j < len(bs) {
+		v := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}

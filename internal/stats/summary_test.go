@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Variance-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", s.Variance, 32.0/7.0)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.Std != 0 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestAutocorrelationOfPeriodicSeries(t *testing.T) {
+	// Period-4 square-ish wave: ACF at lag 4 should be high, at lag
+	// 2 strongly negative.
+	xs := make([]float64, 400)
+	for i := range xs {
+		if i%4 < 2 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	acf := Autocorrelation(xs, 8)
+	if acf[0] != 1 {
+		t.Fatalf("acf[0] = %v, want 1", acf[0])
+	}
+	if acf[4] < 0.9 {
+		t.Fatalf("acf[4] = %v, want ≈1", acf[4])
+	}
+	if acf[2] > -0.9 {
+		t.Fatalf("acf[2] = %v, want ≈-1", acf[2])
+	}
+}
+
+func TestAutocorrelationWhiteNoiseSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf := Autocorrelation(xs, 5)
+	for lag := 1; lag <= 5; lag++ {
+		if math.Abs(acf[lag]) > 0.05 {
+			t.Fatalf("white-noise acf[%d] = %v, want ≈0", lag, acf[lag])
+		}
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	acf := Autocorrelation([]float64{2, 2, 2, 2}, 2)
+	if acf[0] != 1 || acf[1] != 0 || acf[2] != 0 {
+		t.Fatalf("constant-series acf = %v", acf)
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d != 0 {
+		t.Fatalf("KS(a,a) = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("KS(disjoint) = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 100)
+	b := make([]float64, 150)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	if d1, d2 := KSDistance(a, b), KSDistance(b, a); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("KS not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+// Property: quantiles are monotone in p and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0001; p += 0.1 {
+			pp := math.Min(p, 1)
+			q := Quantile(xs, pp)
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		s, _ := Summarize(xs)
+		return Quantile(xs, 0) == s.Min && Quantile(xs, 1) == s.Max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

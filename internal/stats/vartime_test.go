@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVarianceTimeWhiteNoiseDecaysLikeOneOverM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 100_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	vt := VarianceTime(xs, []int{1, 10, 100})
+	// Var of m-means of unit-variance iid ≈ 1/m.
+	if math.Abs(vt[1]-1) > 0.05 {
+		t.Fatalf("vt[1] = %v, want ≈1", vt[1])
+	}
+	if math.Abs(vt[10]-0.1) > 0.02 {
+		t.Fatalf("vt[10] = %v, want ≈0.1", vt[10])
+	}
+	if math.Abs(vt[100]-0.01) > 0.005 {
+		t.Fatalf("vt[100] = %v, want ≈0.01", vt[100])
+	}
+}
+
+func TestVarianceTimeBurstySlowDecay(t *testing.T) {
+	// Strongly positively correlated series (AR φ=0.95): block means
+	// retain far more variance than 1/m predicts.
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 100_000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.95*xs[i-1] + rng.NormFloat64()
+	}
+	vt := VarianceTime(xs, []int{1, 100})
+	ratio := vt[100] / vt[1]
+	if ratio < 5.0/100 {
+		t.Fatalf("correlated series decayed like white noise: ratio %v", ratio)
+	}
+}
+
+func TestVarianceTimeEdgeCases(t *testing.T) {
+	vt := VarianceTime([]float64{1, 2, 3}, []int{0, -1, 2, 4, 3})
+	if _, ok := vt[0]; ok {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, ok := vt[4]; ok {
+		t.Fatal("scale larger than the series accepted")
+	}
+	if _, ok := vt[3]; ok {
+		t.Fatal("single-block scale should be skipped (no variance)")
+	}
+	if _, ok := vt[2]; ok {
+		// Blocks: [1,2] → only one full block of 2 from 3 samples?
+		// i=0 gives [1,2]; i=2 would need 4 samples. One mean only.
+		t.Fatal("one-block scale should be skipped")
+	}
+}
+
+func TestHurstWhiteNoiseNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 200_000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	vt := VarianceTime(xs, []int{1, 4, 16, 64, 256})
+	h, err := HurstFromVarianceTime(vt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 0.05 {
+		t.Fatalf("white-noise Hurst = %v, want ≈0.5", h)
+	}
+}
+
+func TestHurstPersistentProcessAboveHalf(t *testing.T) {
+	// A long-memory-ish construction: sum of sinusoids plus strongly
+	// autocorrelated AR noise retains variance across scales.
+	rng := rand.New(rand.NewSource(10))
+	xs := make([]float64, 200_000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.97*xs[i-1] + rng.NormFloat64()
+	}
+	vt := VarianceTime(xs, []int{1, 4, 16, 64})
+	h, err := HurstFromVarianceTime(vt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.7 {
+		t.Fatalf("persistent-process Hurst = %v, want well above 0.5", h)
+	}
+}
+
+func TestHurstErrors(t *testing.T) {
+	if _, err := HurstFromVarianceTime(map[int]float64{1: 1}); err == nil {
+		t.Fatal("single scale accepted")
+	}
+	if _, err := HurstFromVarianceTime(map[int]float64{1: -1, 2: 0}); err == nil {
+		t.Fatal("degenerate variances accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package tcp
+
+import (
+	"time"
+
+	"netprobe/internal/sim"
+)
+
+// Dumbbell is the classic single-bottleneck topology of the era's
+// congestion-control studies ([28, 29]): one forward queue and one
+// reverse queue of equal rate joined by propagation links. Data of
+// forward connections and ACKs of reverse connections share the
+// forward queue, and vice versa — the interaction that produces ACK
+// compression.
+type Dumbbell struct {
+	// Forward and Reverse are the two bottleneck queues.
+	Forward *sim.Queue
+	Reverse *sim.Queue
+	// ForwardIn and ReverseIn are the entry points of each
+	// direction (the queues themselves).
+	ForwardIn sim.Receiver
+	ReverseIn sim.Receiver
+
+	fwdFanout *Fanout
+	revFanout *Fanout
+}
+
+// Fanout delivers each packet to the endpoint registered for its flow
+// name, absorbing packets of unknown flows. It is the demultiplexer
+// that stands in for port numbers when several connections share a
+// simulated link.
+type Fanout struct {
+	byFlow map[string]sim.Receiver
+}
+
+// NewFanout returns an empty demultiplexer.
+func NewFanout() *Fanout { return &Fanout{byFlow: map[string]sim.Receiver{}} }
+
+// Receive implements sim.Receiver.
+func (f *Fanout) Receive(pkt *sim.Packet) {
+	if r, ok := f.byFlow[pkt.Flow]; ok {
+		r.Receive(pkt)
+	}
+}
+
+// Register routes packets of the given flow name to r.
+func (f *Fanout) Register(flow string, r sim.Receiver) {
+	f.byFlow[flow] = r
+}
+
+// NewDumbbell builds the topology: rateBps and buffer apply to both
+// bottleneck queues, prop is the one-way propagation delay of each
+// direction.
+func NewDumbbell(sched *sim.Scheduler, rateBps int64, buffer int, prop time.Duration) *Dumbbell {
+	d := &Dumbbell{
+		fwdFanout: NewFanout(),
+		revFanout: NewFanout(),
+	}
+	fwdLink := sim.NewLink(sched, prop, d.fwdFanout)
+	revLink := sim.NewLink(sched, prop, d.revFanout)
+	d.Forward = sim.NewQueue(sched, "fwd-bottleneck", rateBps, buffer, fwdLink)
+	d.Reverse = sim.NewQueue(sched, "rev-bottleneck", rateBps, buffer, revLink)
+	d.ForwardIn = d.Forward
+	d.ReverseIn = d.Reverse
+	return d
+}
+
+// AttachForward wires a connection whose data flows in the forward
+// direction (data through the forward queue, ACKs back through the
+// reverse queue).
+func (d *Dumbbell) AttachForward(c *Conn) {
+	c.SetDataPath(d.ForwardIn)
+	c.SetAckPath(d.ReverseIn)
+	d.fwdFanout.Register(c.name+":data", c.DataSink())
+	d.revFanout.Register(c.name+":ack", c.AckSink())
+}
+
+// AttachReverse wires a connection whose data flows in the reverse
+// direction.
+func (d *Dumbbell) AttachReverse(c *Conn) {
+	c.SetDataPath(d.ReverseIn)
+	c.SetAckPath(d.ForwardIn)
+	d.revFanout.Register(c.name+":data", c.DataSink())
+	d.fwdFanout.Register(c.name+":ack", c.AckSink())
+}
+
+// CompressionFraction measures ACK compression in an arrival series:
+// the fraction of inter-ACK gaps smaller than half the data packet
+// service time at the bottleneck. ACKs are emitted one per data
+// packet, so without compression they arrive no closer than one data
+// service time; gaps far below that mean ACKs queued together behind
+// data and left back to back.
+func CompressionFraction(ackTimes []time.Duration, dataService time.Duration) float64 {
+	if len(ackTimes) < 2 {
+		return 0
+	}
+	n := 0
+	for i := 1; i < len(ackTimes); i++ {
+		if ackTimes[i]-ackTimes[i-1] < dataService/2 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ackTimes)-1)
+}

@@ -1,0 +1,108 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/phase"
+	"netprobe/internal/route"
+	"netprobe/internal/sim"
+)
+
+// TestProbingWithTCPCrossTraffic is the strongest validation of the
+// paper's traffic model: instead of the open-loop bulk generator, the
+// INRIA–UMd path carries real closed-loop TCP transfers, and the probe
+// analysis must still recover the bottleneck from the compression
+// line. This closes the loop between the paper's inference ("bulk
+// traffic with larger packet size") and the mechanism that actually
+// produced it (window-limited TCPs).
+func TestProbingWithTCPCrossTraffic(t *testing.T) {
+	sched := sim.NewScheduler()
+	var factory sim.Factory
+
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+
+	const (
+		delta = 20 * time.Millisecond
+		count = 9000 // 3 minutes
+	)
+	trace := &core.Trace{
+		Name:          "INRIA-UMd tcp-cross",
+		Delta:         delta,
+		PayloadSize:   32,
+		WireSize:      72,
+		BottleneckBps: 128_000,
+		Samples:       make([]core.Sample, count),
+	}
+
+	// ACKs complete the return path at the source-side sink; probes
+	// complete there too.
+	ackFan := NewFanout()
+	built := route.Build(sched, p, route.BuildOptions{
+		Seed: 1,
+		Deliver: func(pkt *sim.Packet, at time.Duration) {
+			if !pkt.Probe {
+				ackFan.Receive(pkt)
+				return
+			}
+			if pkt.Seq >= count {
+				return
+			}
+			s := &trace.Samples[pkt.Seq]
+			s.Recv = at
+			s.RTT = at - s.Sent
+			s.Lost = false
+		},
+	})
+
+	// Data arriving at the destination bypasses the echo into the
+	// TCP receivers.
+	dataFan := NewFanout()
+	built.Echo.SetBypass(dataFan)
+
+	// Three long-lived TCP transfers, staggered, windows capped the
+	// way era stacks were (4 kB ≈ 8 packets of 512 B): together they
+	// load the transatlantic link without saturating it.
+	for i, name := range []string{"A", "B", "C"} {
+		c := NewConn(sched, &factory, name, Options{
+			Total:     0, // run for the whole experiment
+			MaxWindow: 6,
+		})
+		c.SetDataPath(built.Head)
+		c.SetAckPath(built.ReturnHead)
+		dataFan.Register(name+":data", c.DataSink())
+		ackFan.Register(name+":ack", c.AckSink())
+		c.Start(time.Duration(i) * 700 * time.Millisecond)
+	}
+
+	src := sim.NewPeriodicSource(sched, &factory, "probe", 72, delta, count, 0, built.Head)
+	src.OnSend(func(seq int, at time.Duration) {
+		trace.Samples[seq] = core.Sample{Seq: seq, Sent: at, Lost: true}
+	})
+	src.Start()
+
+	sched.Run(time.Duration(count)*delta + 30*time.Second)
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := trace.Received(); got < count/2 {
+		t.Fatalf("only %d of %d probes returned", got, count)
+	}
+
+	est, err := phase.EstimateBottleneck(trace, 0)
+	if err != nil {
+		t.Fatalf("no compression line under TCP cross traffic: %v", err)
+	}
+	if est.BottleneckBps < 110_000 || est.BottleneckBps > 150_000 {
+		t.Fatalf("estimated μ = %.0f b/s under TCP cross traffic, want ≈128000 (%v)",
+			est.BottleneckBps, est)
+	}
+	if est.FixedDelayMs < 130 || est.FixedDelayMs > 155 {
+		t.Fatalf("estimated D = %.1f ms, want ≈140", est.FixedDelayMs)
+	}
+}

@@ -1,0 +1,416 @@
+// Package tcp implements a window-based transport over the simulator:
+// Tahoe congestion control (slow start, congestion avoidance, fast
+// retransmit) with Jacobson/Karn round-trip estimation — the
+// congestion control of the paper's era ([12] Jacobson '88, [13]
+// Karn/Partridge) and the traffic source whose dynamics the paper's
+// cited simulation studies examine ([28, 29] Zhang et al.).
+//
+// The package serves two roles in the reproduction. First, it is a
+// realistic closed-loop cross-traffic source: the bulk transfers the
+// paper infers behind its probe measurements were window-limited TCPs
+// crossing the 128 kb/s transatlantic link. Second, it reproduces ACK
+// compression ([29], observed on NSFNET in [18]): with two-way
+// traffic, acknowledgements queue behind data packets at the reverse
+// bottleneck and leave it back to back — the phenomenon after which
+// the paper names probe compression.
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"netprobe/internal/sim"
+)
+
+// Options configures a connection.
+type Options struct {
+	// MSS is the data packet wire size in bytes (default 512).
+	MSS int
+	// AckSize is the acknowledgement wire size in bytes (default 40).
+	AckSize int
+	// Total is the number of data packets to deliver; 0 means
+	// unbounded (send until the simulation ends).
+	Total int
+	// InitialSsthresh is the slow-start threshold in packets
+	// (default 64).
+	InitialSsthresh float64
+	// MaxWindow caps the congestion window in packets (default 64,
+	// a 4 kB-window era receiver at MSS 512 would advertise 8; keep
+	// it generous unless modelling a specific stack).
+	MaxWindow float64
+	// MinRTO clamps the retransmission timeout (default 200 ms).
+	MinRTO time.Duration
+	// InitialRTO seeds the timer before any RTT sample (default 3 s,
+	// per the classic specification).
+	InitialRTO time.Duration
+	// FastRecovery selects Reno behaviour on the third duplicate
+	// ACK: halve the window and keep transmitting, instead of
+	// Tahoe's collapse to one segment. Reno (1990) is the era's
+	// other deployed variant; comparing the two is a standard
+	// ablation.
+	FastRecovery bool
+	// DelayedAcks enables the BSD receiver behaviour: in-order
+	// segments are acknowledged every second packet or after a
+	// 200 ms delay, whichever comes first; out-of-order segments are
+	// acknowledged immediately (fast retransmit depends on prompt
+	// duplicate ACKs). Halves the ACK load on the reverse path.
+	DelayedAcks bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MSS == 0 {
+		o.MSS = 512
+	}
+	if o.AckSize == 0 {
+		o.AckSize = 40
+	}
+	if o.InitialSsthresh == 0 {
+		o.InitialSsthresh = 64
+	}
+	if o.MaxWindow == 0 {
+		o.MaxWindow = 64
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = 200 * time.Millisecond
+	}
+	if o.InitialRTO == 0 {
+		o.InitialRTO = 3 * time.Second
+	}
+	return o
+}
+
+// Stats is a snapshot of connection counters.
+type Stats struct {
+	// Sent counts data packet transmissions, including
+	// retransmissions.
+	Sent int
+	// Delivered is the highest in-order sequence number received
+	// (i.e. packets 0..Delivered-1 have been delivered).
+	Delivered int
+	// Retransmits counts retransmitted data packets.
+	Retransmits int
+	// Timeouts counts RTO expirations.
+	Timeouts int
+	// FastRetransmits counts third-duplicate-ACK retransmissions.
+	FastRetransmits int
+	// AcksReceived counts acknowledgements arriving at the sender.
+	AcksReceived int
+	// SRTT is the current smoothed round-trip estimate.
+	SRTT time.Duration
+	// Cwnd is the current congestion window in packets.
+	Cwnd float64
+}
+
+// Conn is one unidirectional data transfer: a sender injecting data
+// packets into a forward path, and a receiver at the far end returning
+// cumulative ACKs through a reverse path.
+type Conn struct {
+	sched   *sim.Scheduler
+	factory *sim.Factory
+	name    string
+	opt     Options
+
+	dataPath sim.Receiver // sender → network
+	ackPath  sim.Receiver // receiver → network
+
+	// Sender state.
+	cwnd       float64
+	ssthresh   float64
+	sndUna     int // oldest unacknowledged
+	sndNxt     int // next sequence to send
+	dupAcks    int
+	srtt       time.Duration
+	rttvar     time.Duration
+	rto        time.Duration
+	timerGen   int                   // invalidates stale timer events
+	sentAt     map[int]time.Duration // send time per seq for RTT sampling (Karn)
+	inRecovery bool                  // Reno fast recovery in progress
+	done       bool
+
+	// Receiver state.
+	rcvNxt      int
+	ooo         map[int]bool
+	ackPending  bool
+	ackTimerGen int
+
+	// Instrumentation.
+	stats    Stats
+	ackTimes []time.Duration // ACK arrival times at the sender
+	onDone   func(at time.Duration)
+}
+
+// NewConn returns a connection named name with the given options.
+// Wire it with SetDataPath / SetAckPath, attach DataSink and AckSink
+// at the far ends, then Start it.
+func NewConn(sched *sim.Scheduler, factory *sim.Factory, name string, opt Options) *Conn {
+	o := opt.withDefaults()
+	return &Conn{
+		sched:    sched,
+		factory:  factory,
+		name:     name,
+		opt:      o,
+		cwnd:     1,
+		ssthresh: o.InitialSsthresh,
+		rto:      o.InitialRTO,
+		sentAt:   make(map[int]time.Duration),
+		ooo:      make(map[int]bool),
+	}
+}
+
+// SetDataPath sets where the sender injects data packets.
+func (c *Conn) SetDataPath(r sim.Receiver) { c.dataPath = r }
+
+// SetAckPath sets where the receiver injects acknowledgements.
+func (c *Conn) SetAckPath(r sim.Receiver) { c.ackPath = r }
+
+// OnDone registers fn to run when the transfer completes (Total > 0
+// and every packet is acknowledged).
+func (c *Conn) OnDone(fn func(at time.Duration)) { c.onDone = fn }
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() Stats {
+	s := c.stats
+	s.Delivered = c.rcvNxt
+	s.SRTT = c.srtt
+	s.Cwnd = c.cwnd
+	return s
+}
+
+// AckArrivalTimes returns the times every ACK reached the sender —
+// the series in which ACK compression shows up as back-to-back
+// arrivals.
+func (c *Conn) AckArrivalTimes() []time.Duration {
+	return append([]time.Duration(nil), c.ackTimes...)
+}
+
+// DataSink returns the receiver-side endpoint to attach at the end of
+// the forward path.
+func (c *Conn) DataSink() sim.Receiver { return dataEnd{c} }
+
+// AckSink returns the sender-side endpoint to attach at the end of
+// the reverse path.
+func (c *Conn) AckSink() sim.Receiver { return ackEnd{c} }
+
+type dataEnd struct{ c *Conn }
+
+func (d dataEnd) Receive(pkt *sim.Packet) { d.c.onData(pkt) }
+
+type ackEnd struct{ c *Conn }
+
+func (a ackEnd) Receive(pkt *sim.Packet) { a.c.onAck(pkt) }
+
+// Start begins transmission at virtual time at.
+func (c *Conn) Start(at time.Duration) {
+	if c.dataPath == nil || c.ackPath == nil {
+		panic(fmt.Sprintf("tcp: connection %q not wired", c.name))
+	}
+	c.sched.At(at, c.trySend)
+}
+
+// inflight reports the number of unacknowledged packets.
+func (c *Conn) inflight() int { return c.sndNxt - c.sndUna }
+
+// trySend transmits new data while the window allows.
+func (c *Conn) trySend() {
+	if c.done {
+		return
+	}
+	for float64(c.inflight()) < c.cwnd && (c.opt.Total == 0 || c.sndNxt < c.opt.Total) {
+		seq := c.sndNxt
+		c.sndNxt++ // before transmit, so the RTO timer sees it in flight
+		c.transmit(seq, false)
+	}
+}
+
+// transmit sends (or resends) sequence seq.
+func (c *Conn) transmit(seq int, isRetransmit bool) {
+	now := c.sched.Now()
+	pkt := c.factory.New(c.name+":data", seq, c.opt.MSS, now)
+	c.stats.Sent++
+	if isRetransmit {
+		c.stats.Retransmits++
+		delete(c.sentAt, seq) // Karn: never sample a retransmitted segment
+	} else {
+		c.sentAt[seq] = now
+	}
+	c.dataPath.Receive(pkt)
+	c.armTimer()
+}
+
+// onData runs at the receiver when a data packet arrives.
+func (c *Conn) onData(pkt *sim.Packet) {
+	seq := pkt.Seq
+	inOrder := seq == c.rcvNxt
+	switch {
+	case inOrder:
+		c.rcvNxt++
+		for c.ooo[c.rcvNxt] {
+			delete(c.ooo, c.rcvNxt)
+			c.rcvNxt++
+		}
+	case seq > c.rcvNxt:
+		c.ooo[seq] = true
+	}
+	if !c.opt.DelayedAcks || !inOrder {
+		// Immediate cumulative ACK: always for out-of-order
+		// segments (duplicate ACKs drive fast retransmit), and for
+		// every segment when delayed ACKs are off.
+		c.sendAck()
+		return
+	}
+	if c.ackPending {
+		// Second in-order segment: ACK now.
+		c.sendAck()
+		return
+	}
+	// First unacknowledged segment: start the 200 ms delayed-ACK
+	// timer.
+	c.ackPending = true
+	c.ackTimerGen++
+	gen := c.ackTimerGen
+	c.sched.After(200*time.Millisecond, func() {
+		if gen == c.ackTimerGen && c.ackPending {
+			c.sendAck()
+		}
+	})
+}
+
+// sendAck emits a cumulative acknowledgement and clears any pending
+// delayed ACK.
+func (c *Conn) sendAck() {
+	c.ackPending = false
+	c.ackTimerGen++
+	ack := c.factory.New(c.name+":ack", c.rcvNxt, c.opt.AckSize, c.sched.Now())
+	c.ackPath.Receive(ack)
+}
+
+// onAck runs at the sender when an acknowledgement arrives.
+func (c *Conn) onAck(pkt *sim.Packet) {
+	if c.done {
+		return
+	}
+	now := c.sched.Now()
+	c.stats.AcksReceived++
+	c.ackTimes = append(c.ackTimes, now)
+	ack := pkt.Seq
+	if ack > c.sndUna {
+		// New data acknowledged.
+		if t, ok := c.sentAt[ack-1]; ok {
+			c.sampleRTT(now - t)
+		}
+		for s := c.sndUna; s < ack; s++ {
+			delete(c.sentAt, s)
+		}
+		c.sndUna = ack
+		c.dupAcks = 0
+		if c.inRecovery {
+			// Reno: deflate to ssthresh on the recovery ACK.
+			c.inRecovery = false
+			c.cwnd = c.ssthresh
+		} else if c.cwnd < c.ssthresh {
+			// Slow start below ssthresh, else linear growth.
+			c.cwnd++
+		} else {
+			c.cwnd += 1 / c.cwnd
+		}
+		if c.cwnd > c.opt.MaxWindow {
+			c.cwnd = c.opt.MaxWindow
+		}
+		if c.opt.Total > 0 && c.sndUna >= c.opt.Total {
+			c.done = true
+			c.timerGen++ // cancel the timer
+			if c.onDone != nil {
+				c.onDone(now)
+			}
+			return
+		}
+		c.armTimer()
+		c.trySend()
+		return
+	}
+	// Duplicate ACK.
+	c.dupAcks++
+	if c.inRecovery {
+		// Reno: each further duplicate ACK signals a departure;
+		// inflate the window and keep the pipe full.
+		c.cwnd++
+		if c.cwnd > c.opt.MaxWindow+3 {
+			c.cwnd = c.opt.MaxWindow + 3
+		}
+		c.trySend()
+		return
+	}
+	if c.dupAcks == 3 && c.inflight() > 0 {
+		c.stats.FastRetransmits++
+		c.ssthresh = maxf(c.cwnd/2, 2)
+		if c.opt.FastRecovery {
+			// Reno fast retransmit + fast recovery.
+			c.inRecovery = true
+			c.cwnd = c.ssthresh + 3
+		} else {
+			// Tahoe: collapse the window.
+			c.cwnd = 1
+			c.dupAcks = 0
+		}
+		c.transmit(c.sndUna, true)
+	}
+}
+
+// sampleRTT folds one measurement into the Jacobson estimator.
+func (c *Conn) sampleRTT(m time.Duration) {
+	if c.srtt == 0 {
+		c.srtt = m
+		c.rttvar = m / 2
+	} else {
+		d := c.srtt - m
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar += (d - c.rttvar) / 4
+		c.srtt += (m - c.srtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.opt.MinRTO {
+		c.rto = c.opt.MinRTO
+	}
+}
+
+// armTimer (re)schedules the retransmission timeout for the oldest
+// unacknowledged segment.
+func (c *Conn) armTimer() {
+	if c.inflight() == 0 {
+		c.timerGen++
+		return
+	}
+	c.timerGen++
+	gen := c.timerGen
+	c.sched.After(c.rto, func() { c.onTimeout(gen) })
+}
+
+// onTimeout fires when the RTO expires without the segment being
+// acknowledged.
+func (c *Conn) onTimeout(gen int) {
+	if gen != c.timerGen || c.done || c.inflight() == 0 {
+		return
+	}
+	c.stats.Timeouts++
+	c.ssthresh = maxf(c.cwnd/2, 2)
+	c.cwnd = 1
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.rto *= 2 // exponential backoff
+	if c.rto > time.Minute {
+		c.rto = time.Minute
+	}
+	// Go-back-N from the hole: resend the oldest segment; later
+	// segments will be resent as the window reopens.
+	c.sndNxt = c.sndUna + 1
+	c.transmit(c.sndUna, true)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

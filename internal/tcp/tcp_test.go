@@ -1,0 +1,312 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netprobe/internal/sim"
+)
+
+// dumbbell128 is the transatlantic-like bottleneck: 128 kb/s, 20
+// packets of buffer, 35 ms one-way propagation.
+func dumbbell128(sched *sim.Scheduler) *Dumbbell {
+	return NewDumbbell(sched, 128_000, 20, 35*time.Millisecond)
+}
+
+func TestSingleTransferCompletesInOrder(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := dumbbell128(sched)
+	c := NewConn(sched, &f, "A", Options{Total: 400})
+	d.AttachForward(c)
+	var doneAt time.Duration
+	c.OnDone(func(at time.Duration) { doneAt = at })
+	c.Start(0)
+	sched.Run(10 * time.Minute)
+	st := c.Stats()
+	if st.Delivered != 400 {
+		t.Fatalf("delivered %d of 400", st.Delivered)
+	}
+	if doneAt == 0 {
+		t.Fatal("completion callback never fired")
+	}
+	// 400 × 512 B at 128 kb/s is ≥ 12.8 s of pure transmission.
+	if doneAt < 12*time.Second {
+		t.Fatalf("finished impossibly fast: %v", doneAt)
+	}
+}
+
+func TestThroughputApproachesBottleneck(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := dumbbell128(sched)
+	c := NewConn(sched, &f, "A", Options{Total: 2000})
+	d.AttachForward(c)
+	var doneAt time.Duration
+	c.OnDone(func(at time.Duration) { doneAt = at })
+	c.Start(0)
+	sched.Run(30 * time.Minute)
+	if doneAt == 0 {
+		t.Fatalf("transfer incomplete: %+v", c.Stats())
+	}
+	goodput := float64(2000*512*8) / doneAt.Seconds()
+	// A healthy loop should fill most of the 128 kb/s pipe.
+	if goodput < 0.75*128_000 {
+		t.Fatalf("goodput %.0f b/s, want ≥ 75%% of 128 kb/s (stats %+v)", goodput, c.Stats())
+	}
+	if goodput > 128_000 {
+		t.Fatalf("goodput %.0f b/s exceeds the link rate", goodput)
+	}
+}
+
+func TestCongestionLossTriggersRetransmission(t *testing.T) {
+	// A tiny buffer forces drops; the transfer must still complete,
+	// via fast retransmits and/or timeouts.
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := NewDumbbell(sched, 128_000, 4, 35*time.Millisecond)
+	c := NewConn(sched, &f, "A", Options{Total: 1000})
+	d.AttachForward(c)
+	done := false
+	c.OnDone(func(time.Duration) { done = true })
+	c.Start(0)
+	sched.Run(time.Hour)
+	st := c.Stats()
+	if !done {
+		t.Fatalf("transfer incomplete: %+v", st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatalf("no retransmissions despite 4-packet buffer: %+v", st)
+	}
+	if st.FastRetransmits == 0 && st.Timeouts == 0 {
+		t.Fatalf("no recovery events recorded: %+v", st)
+	}
+}
+
+func TestTransferSurvivesRandomLoss(t *testing.T) {
+	// 5 % random loss on the data direction: timeouts must recover
+	// everything.
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := dumbbell128(sched)
+	// Interpose a lossy link in front of the forward queue.
+	lossy := sim.NewLossyLink(sched, "flaky", 0.05, 9, d.ForwardIn)
+	c := NewConn(sched, &f, "A", Options{Total: 500})
+	d.AttachForward(c)
+	c.SetDataPath(lossy) // data passes the flaky link first
+	done := false
+	c.OnDone(func(time.Duration) { done = true })
+	c.Start(0)
+	sched.Run(2 * time.Hour)
+	st := c.Stats()
+	if !done {
+		t.Fatalf("transfer incomplete under random loss: %+v", st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatalf("loss happened but nothing was retransmitted: %+v", st)
+	}
+}
+
+func TestRTTEstimatorTracksPath(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := dumbbell128(sched)
+	c := NewConn(sched, &f, "A", Options{Total: 300})
+	d.AttachForward(c)
+	c.Start(0)
+	sched.Run(10 * time.Minute)
+	st := c.Stats()
+	// Path RTT: 70 ms propagation + 32 ms data service + 2.5 ms ACK
+	// service + queueing. SRTT must be in a sane band.
+	if st.SRTT < 100*time.Millisecond || st.SRTT > 2*time.Second {
+		t.Fatalf("srtt = %v", st.SRTT)
+	}
+}
+
+func TestDeterministicGivenWiring(t *testing.T) {
+	run := func() Stats {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := NewDumbbell(sched, 128_000, 6, 35*time.Millisecond)
+		c := NewConn(sched, &f, "A", Options{Total: 800})
+		d.AttachForward(c)
+		c.Start(0)
+		sched.Run(time.Hour)
+		return c.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestUnwiredConnPanics(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	c := NewConn(sched, &f, "A", Options{Total: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unwired connection started without panic")
+		}
+	}()
+	c.Start(0)
+}
+
+// TestAckCompressionWithTwoWayTraffic reproduces the [29] result the
+// paper names probe compression after: with one-way traffic, ACKs
+// arrive roughly one data-service-time apart; adding a reverse-
+// direction transfer makes ACKs queue behind reverse data packets and
+// arrive in compressed bursts.
+func TestAckCompressionWithTwoWayTraffic(t *testing.T) {
+	dataSvc := time.Duration(512 * 8 * int64(time.Second) / 128_000) // 32 ms
+
+	oneWay := func() float64 {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := dumbbell128(sched)
+		a := NewConn(sched, &f, "A", Options{Total: 1500})
+		d.AttachForward(a)
+		a.Start(0)
+		sched.Run(20 * time.Minute)
+		return CompressionFraction(a.AckArrivalTimes(), dataSvc)
+	}
+	twoWay := func() float64 {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := dumbbell128(sched)
+		a := NewConn(sched, &f, "A", Options{Total: 1500})
+		b := NewConn(sched, &f, "B", Options{Total: 1500})
+		d.AttachForward(a)
+		d.AttachReverse(b)
+		a.Start(0)
+		b.Start(0)
+		sched.Run(20 * time.Minute)
+		return CompressionFraction(a.AckArrivalTimes(), dataSvc)
+	}
+
+	one, two := oneWay(), twoWay()
+	if two < 2*one {
+		t.Fatalf("ACK compression not reproduced: one-way %.3f, two-way %.3f", one, two)
+	}
+	if two < 0.15 {
+		t.Fatalf("two-way compression fraction %.3f too small", two)
+	}
+}
+
+func TestCompressionFractionEdge(t *testing.T) {
+	if CompressionFraction(nil, time.Millisecond) != 0 {
+		t.Fatal("empty series should be 0")
+	}
+	times := []time.Duration{0, time.Millisecond, 2 * time.Millisecond}
+	if f := CompressionFraction(times, 10*time.Millisecond); f != 1 {
+		t.Fatalf("fully compressed series = %v, want 1", f)
+	}
+}
+
+// Property: transfers complete exactly under any random-loss seed and
+// buffer size — no lost, duplicated, or reordered delivery escapes the
+// reliability machinery.
+func TestTransferAlwaysCompletesProperty(t *testing.T) {
+	check := func(seed int64, bufRaw, lossRaw uint8) bool {
+		buffer := int(bufRaw)%12 + 3
+		lossPct := float64(lossRaw%8) / 100 // 0–7 %
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := NewDumbbell(sched, 128_000, buffer, 35*time.Millisecond)
+		c := NewConn(sched, &f, "A", Options{Total: 120})
+		d.AttachForward(c)
+		if lossPct > 0 {
+			lossy := sim.NewLossyLink(sched, "flaky", lossPct, seed, d.ForwardIn)
+			c.SetDataPath(lossy)
+		}
+		done := false
+		c.OnDone(func(time.Duration) { done = true })
+		c.Start(0)
+		sched.Run(4 * time.Hour)
+		return done && c.Stats().Delivered == 120
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRenoOutperformsTahoeUnderMildCongestion: the classic ablation.
+// With occasional single drops (a small buffer), Reno's fast recovery
+// keeps the pipe fuller than Tahoe's window collapse.
+func TestRenoOutperformsTahoeUnderMildCongestion(t *testing.T) {
+	run := func(fastRecovery bool) time.Duration {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := NewDumbbell(sched, 128_000, 6, 35*time.Millisecond)
+		c := NewConn(sched, &f, "A", Options{Total: 2000, FastRecovery: fastRecovery})
+		d.AttachForward(c)
+		var doneAt time.Duration
+		c.OnDone(func(at time.Duration) { doneAt = at })
+		c.Start(0)
+		sched.Run(2 * time.Hour)
+		if doneAt == 0 {
+			t.Fatalf("transfer incomplete (fastRecovery=%v): %+v", fastRecovery, c.Stats())
+		}
+		return doneAt
+	}
+	tahoe := run(false)
+	reno := run(true)
+	if reno >= tahoe {
+		t.Fatalf("Reno (%v) should finish before Tahoe (%v)", reno, tahoe)
+	}
+}
+
+// Reno transfers must also complete exactly under random loss.
+func TestRenoCompletesUnderRandomLoss(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	d := dumbbell128(sched)
+	lossy := sim.NewLossyLink(sched, "flaky", 0.04, 15, d.ForwardIn)
+	c := NewConn(sched, &f, "A", Options{Total: 600, FastRecovery: true})
+	d.AttachForward(c)
+	c.SetDataPath(lossy)
+	done := false
+	c.OnDone(func(time.Duration) { done = true })
+	c.Start(0)
+	sched.Run(4 * time.Hour)
+	if !done || c.Stats().Delivered != 600 {
+		t.Fatalf("Reno transfer incomplete: %+v", c.Stats())
+	}
+}
+
+// TestDelayedAcksHalveAckTraffic: the BSD receiver acknowledges every
+// other in-order segment, so the ACK count drops to roughly half while
+// the transfer still completes at comparable goodput.
+func TestDelayedAcksHalveAckTraffic(t *testing.T) {
+	run := func(delayed bool) (Stats, time.Duration) {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		d := dumbbell128(sched)
+		c := NewConn(sched, &f, "A", Options{Total: 800, DelayedAcks: delayed})
+		d.AttachForward(c)
+		var doneAt time.Duration
+		c.OnDone(func(at time.Duration) { doneAt = at })
+		c.Start(0)
+		sched.Run(time.Hour)
+		if doneAt == 0 {
+			t.Fatalf("transfer incomplete (delayed=%v): %+v", delayed, c.Stats())
+		}
+		return c.Stats(), doneAt
+	}
+	plain, plainDone := run(false)
+	delayed, delayedDone := run(true)
+	ratio := float64(delayed.AcksReceived) / float64(plain.AcksReceived)
+	if ratio > 0.7 || ratio < 0.4 {
+		t.Fatalf("delayed-ACK ratio = %.2f (acks %d vs %d), want ≈0.5",
+			ratio, delayed.AcksReceived, plain.AcksReceived)
+	}
+	if delayed.Delivered != 800 {
+		t.Fatalf("delayed-ACK transfer incomplete: %+v", delayed)
+	}
+	// Completion time must not blow up (delayed ACKs slow window
+	// growth modestly, not catastrophically).
+	if delayedDone > 2*plainDone {
+		t.Fatalf("delayed ACKs slowed the transfer %v → %v", plainDone, delayedDone)
+	}
+}

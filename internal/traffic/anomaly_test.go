@@ -1,0 +1,130 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netprobe/internal/sim"
+)
+
+func TestPeriodicBurstTiming(t *testing.T) {
+	s := sim.NewScheduler()
+	var f sim.Factory
+	var arrivals []time.Duration
+	sink := sim.NewSink(s, func(_ *sim.Packet, at time.Duration) { arrivals = append(arrivals, at) })
+	b := NewPeriodicBurst(s, &f, "debug", 512, 5, 90*time.Second, 90*time.Second, 400*time.Second, sink)
+	b.Start()
+	s.Run(400 * time.Second)
+	// Bursts at 90, 180, 270, 360 s: 4 bursts × 5 packets.
+	if len(arrivals) != 20 {
+		t.Fatalf("delivered %d packets, want 20", len(arrivals))
+	}
+	for i := 0; i < 4; i++ {
+		want := time.Duration(i+1) * 90 * time.Second
+		for j := 0; j < 5; j++ {
+			if arrivals[i*5+j] != want {
+				t.Fatalf("burst %d packet %d at %v, want %v", i, j, arrivals[i*5+j], want)
+			}
+		}
+	}
+}
+
+func TestPeriodicBurstRespectsHorizon(t *testing.T) {
+	s := sim.NewScheduler()
+	var f sim.Factory
+	sink := sim.NewSink(s, nil)
+	NewPeriodicBurst(s, &f, "debug", 512, 3, 10*time.Second, 5*time.Second, 16*time.Second, sink).Start()
+	s.Run(time.Hour)
+	// Fires at 5 and 15 s only.
+	if sink.Count() != 6 {
+		t.Fatalf("delivered %d, want 6", sink.Count())
+	}
+}
+
+func TestPeriodicBurstPanicsOnBadArgs(t *testing.T) {
+	s := sim.NewScheduler()
+	var f sim.Factory
+	for _, fn := range []func(){
+		func() { NewPeriodicBurst(s, &f, "x", 512, 3, 0, 0, time.Second, nil) },
+		func() { NewPeriodicBurst(s, &f, "x", 0, 3, time.Second, 0, time.Second, nil) },
+		func() { NewPeriodicBurst(s, &f, "x", 512, 0, time.Second, 0, time.Second, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad args accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestModulatedMeanRate(t *testing.T) {
+	s := sim.NewScheduler()
+	var f sim.Factory
+	sink := sim.NewSink(s, nil)
+	horizon := 200 * time.Second
+	// Base gap 10 ms ⇒ ≈100 pps on average; modulation averages out
+	// over whole periods.
+	NewModulated(s, &f, "diurnal", 64, 10*time.Millisecond, 0.6, 20*time.Second, horizon, 3, sink).Start()
+	s.Run(horizon)
+	rate := float64(sink.Count()) / horizon.Seconds()
+	if rate < 85 || rate > 120 {
+		t.Fatalf("mean rate = %v pps, want ≈100", rate)
+	}
+}
+
+func TestModulatedRateSwings(t *testing.T) {
+	s := sim.NewScheduler()
+	var f sim.Factory
+	period := 100 * time.Second
+	counts := make([]int, 10) // packets per period-tenth, first period only
+	sink := sim.NewSink(s, func(_ *sim.Packet, at time.Duration) {
+		if at < period {
+			counts[int(10*at/period)]++
+		}
+	})
+	NewModulated(s, &f, "diurnal", 64, 10*time.Millisecond, 0.8, period, period, 4, sink).Start()
+	s.Run(period)
+	// The sin peak is in the first half (phase π/2 at t=period/4),
+	// the trough at 3/4: bucket 2 should far exceed bucket 7.
+	peak, trough := counts[2], counts[7]
+	if peak < 2*trough {
+		t.Fatalf("modulation invisible: peak %d vs trough %d (counts %v)", peak, trough, counts)
+	}
+}
+
+func TestModulatedPanicsOnBadDepth(t *testing.T) {
+	s := sim.NewScheduler()
+	var f sim.Factory
+	defer func() {
+		if recover() == nil {
+			t.Fatal("depth 1.5 accepted")
+		}
+	}()
+	NewModulated(s, &f, "x", 64, time.Millisecond, 1.5, time.Second, time.Second, 1, nil)
+}
+
+func TestModulatedDepthZeroIsPoisson(t *testing.T) {
+	// With depth 0 the mean rate matches a plain Poisson source.
+	run := func(mk func(s *sim.Scheduler, f *sim.Factory, sink *sim.Sink) Generator) int64 {
+		s := sim.NewScheduler()
+		var f sim.Factory
+		sink := sim.NewSink(s, nil)
+		mk(s, &f, sink).Start()
+		s.Run(100 * time.Second)
+		return sink.Count()
+	}
+	nMod := run(func(s *sim.Scheduler, f *sim.Factory, sink *sim.Sink) Generator {
+		return NewModulated(s, f, "a", 64, 20*time.Millisecond, 0, time.Second, 100*time.Second, 5, sink)
+	})
+	nPoi := run(func(s *sim.Scheduler, f *sim.Factory, sink *sim.Sink) Generator {
+		return NewPoisson(s, f, "a", 64, 20*time.Millisecond, 100*time.Second, 5, sink)
+	})
+	ratio := float64(nMod) / float64(nPoi)
+	if math.Abs(ratio-1) > 0.15 {
+		t.Fatalf("depth-0 modulated rate differs from Poisson: %d vs %d", nMod, nPoi)
+	}
+}

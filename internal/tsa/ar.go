@@ -1,0 +1,205 @@
+// Package tsa implements the time-series machinery of Section 3: the
+// paper contrasts its structural (queueing-model) interpretation with
+// "standard procedures from time series analysis" — AR, MA and ARMA
+// model fitting and prediction — and reports a parallel investigation
+// of "whether ARMA models are adequate to model queueing delays in
+// communication networks", with "consequences for the performance of
+// predictive control mechanisms". This package carries that
+// investigation out: autoregressive fitting by Levinson–Durbin
+// recursion on the sample autocovariance (Yule–Walker), ARMA fitting
+// by the Hannan–Rissanen two-stage regression, order selection by
+// AIC, residual whiteness testing by the Ljung–Box statistic, and
+// one-step-ahead predictors whose errors can be compared on probe
+// traces.
+package tsa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Autocovariance returns the biased sample autocovariance
+// γ̂(0..maxLag) of xs (the biased 1/n form, which guarantees a
+// positive-semidefinite sequence for Levinson–Durbin).
+func Autocovariance(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		sum := 0.0
+		for i := 0; i+lag < n; i++ {
+			sum += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		out[lag] = sum / float64(n)
+	}
+	return out
+}
+
+// AR is a fitted autoregressive model
+// x_t = Mean + Σ_i Phi[i]·(x_{t-1-i} − Mean) + ε_t, ε_t ~ (0, Sigma2).
+type AR struct {
+	// Phi holds the AR coefficients φ_1..φ_p.
+	Phi []float64
+	// Mean is the process mean removed before fitting.
+	Mean float64
+	// Sigma2 is the innovation variance.
+	Sigma2 float64
+}
+
+// Order reports p.
+func (m AR) Order() int { return len(m.Phi) }
+
+// ErrShortSeries is returned when a series is too short to fit the
+// requested model.
+var ErrShortSeries = errors.New("tsa: series too short")
+
+// FitAR fits an AR(p) model by the Yule–Walker equations, solved with
+// the Levinson–Durbin recursion. It requires len(xs) > p+1.
+func FitAR(xs []float64, p int) (AR, error) {
+	if p < 0 {
+		return AR{}, fmt.Errorf("tsa: negative order %d", p)
+	}
+	if len(xs) <= p+1 {
+		return AR{}, ErrShortSeries
+	}
+	gamma := Autocovariance(xs, p)
+	if gamma[0] == 0 {
+		return AR{}, errors.New("tsa: zero-variance series")
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	phi, sigma2 := levinson(gamma, p)
+	return AR{Phi: phi, Mean: mean, Sigma2: sigma2}, nil
+}
+
+// levinson solves the Yule–Walker system for orders 1..p and returns
+// the order-p coefficients and innovation variance.
+func levinson(gamma []float64, p int) (phi []float64, sigma2 float64) {
+	sigma2 = gamma[0]
+	phi = make([]float64, 0, p)
+	for k := 1; k <= p; k++ {
+		acc := gamma[k]
+		for j := 0; j < k-1; j++ {
+			acc -= phi[j] * gamma[k-1-j]
+		}
+		var refl float64
+		if sigma2 != 0 {
+			refl = acc / sigma2
+		}
+		next := make([]float64, k)
+		copy(next, phi)
+		next[k-1] = refl
+		for j := 0; j < k-1; j++ {
+			next[j] = phi[j] - refl*phi[k-2-j]
+		}
+		phi = next
+		sigma2 *= 1 - refl*refl
+		if sigma2 < 0 {
+			sigma2 = 0
+		}
+	}
+	return phi, sigma2
+}
+
+// Predict returns the one-step-ahead forecast of the value following
+// history (ordered oldest first). With fewer than p observations the
+// model falls back to the mean.
+func (m AR) Predict(history []float64) float64 {
+	p := len(m.Phi)
+	if len(history) < p {
+		return m.Mean
+	}
+	pred := m.Mean
+	for i, phi := range m.Phi {
+		pred += phi * (history[len(history)-1-i] - m.Mean)
+	}
+	return pred
+}
+
+// Residuals returns the one-step-ahead prediction errors of the model
+// over xs (starting at index p).
+func (m AR) Residuals(xs []float64) []float64 {
+	p := len(m.Phi)
+	if len(xs) <= p {
+		return nil
+	}
+	out := make([]float64, 0, len(xs)-p)
+	for t := p; t < len(xs); t++ {
+		out = append(out, xs[t]-m.Predict(xs[:t]))
+	}
+	return out
+}
+
+// AIC computes Akaike's information criterion for the model fitted to
+// a series of length n: n·ln(σ²) + 2p.
+func (m AR) AIC(n int) float64 {
+	s := m.Sigma2
+	if s <= 0 {
+		s = 1e-300
+	}
+	return float64(n)*math.Log(s) + 2*float64(len(m.Phi))
+}
+
+// SelectAR fits AR(0..maxP) and returns the order minimizing AIC.
+func SelectAR(xs []float64, maxP int) (AR, error) {
+	if maxP < 0 {
+		return AR{}, fmt.Errorf("tsa: negative max order")
+	}
+	var best AR
+	bestAIC := math.Inf(1)
+	found := false
+	for p := 0; p <= maxP; p++ {
+		m, err := FitAR(xs, p)
+		if err != nil {
+			if errors.Is(err, ErrShortSeries) {
+				break
+			}
+			return AR{}, err
+		}
+		if a := m.AIC(len(xs)); a < bestAIC {
+			best, bestAIC, found = m, a, true
+		}
+	}
+	if !found {
+		return AR{}, ErrShortSeries
+	}
+	return best, nil
+}
+
+// LjungBox computes the Ljung–Box portmanteau statistic of xs at the
+// given lag count. Values far above the χ²(lags) mean (≈ lags)
+// indicate remaining autocorrelation; for white noise the statistic is
+// close to the lag count.
+func LjungBox(xs []float64, lags int) float64 {
+	n := len(xs)
+	if n == 0 || lags <= 0 {
+		return 0
+	}
+	if lags >= n {
+		lags = n - 1
+	}
+	gamma := Autocovariance(xs, lags)
+	if gamma[0] == 0 {
+		return 0
+	}
+	q := 0.0
+	for k := 1; k <= lags; k++ {
+		rho := gamma[k] / gamma[0]
+		q += rho * rho / float64(n-k)
+	}
+	return float64(n) * (float64(n) + 2) * q
+}

@@ -1,0 +1,207 @@
+package tsa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ARMA is a fitted ARMA(p, q) model
+//
+//	x_t = Mean + Σ φ_i (x_{t-i} − Mean) + Σ θ_j ε_{t-j} + ε_t.
+type ARMA struct {
+	Phi    []float64
+	Theta  []float64
+	Mean   float64
+	Sigma2 float64
+}
+
+// FitARMA fits an ARMA(p, q) model with the Hannan–Rissanen two-stage
+// procedure: a long autoregression estimates the innovations, then the
+// ARMA coefficients come from least squares of x_t on lagged x and
+// lagged estimated innovations. It requires a series several times
+// longer than p+q.
+func FitARMA(xs []float64, p, q int) (ARMA, error) {
+	if p < 0 || q < 0 {
+		return ARMA{}, fmt.Errorf("tsa: negative order (%d,%d)", p, q)
+	}
+	if q == 0 {
+		ar, err := FitAR(xs, p)
+		if err != nil {
+			return ARMA{}, err
+		}
+		return ARMA{Phi: ar.Phi, Mean: ar.Mean, Sigma2: ar.Sigma2}, nil
+	}
+	long := p + q + 10
+	if len(xs) < 4*(long+1) {
+		return ARMA{}, ErrShortSeries
+	}
+	pre, err := FitAR(xs, long)
+	if err != nil {
+		return ARMA{}, err
+	}
+	eps := pre.Residuals(xs) // innovations estimates for t ≥ long
+	mean := pre.Mean
+
+	// Regress x_t − mean on (x_{t-1}−mean .. x_{t-p}−mean,
+	// ε_{t-1} .. ε_{t-q}) for t where everything is observed.
+	// Row t uses eps index t−long.
+	start := long + q
+	rows := len(xs) - start
+	cols := p + q
+	if rows <= cols {
+		return ARMA{}, ErrShortSeries
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		row := make([]float64, cols)
+		for i := 0; i < p; i++ {
+			row[i] = xs[t-1-i] - mean
+		}
+		for j := 0; j < q; j++ {
+			row[p+j] = eps[t-1-j-long]
+		}
+		x[r] = row
+		y[r] = xs[t] - mean
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return ARMA{}, err
+	}
+	m := ARMA{
+		Phi:   beta[:p],
+		Theta: beta[p:],
+		Mean:  mean,
+	}
+	// Innovation variance from the regression residuals.
+	ss := 0.0
+	for r := 0; r < rows; r++ {
+		pred := 0.0
+		for cIdx, b := range beta {
+			pred += b * x[r][cIdx]
+		}
+		d := y[r] - pred
+		ss += d * d
+	}
+	m.Sigma2 = ss / float64(rows)
+	return m, nil
+}
+
+// Predict returns the one-step forecast given the history and the
+// model's own residual estimates for that history (computed
+// internally).
+func (m ARMA) Predict(history []float64) float64 {
+	p := len(m.Phi)
+	if len(history) < p {
+		return m.Mean
+	}
+	// Reconstruct innovations by filtering the history.
+	eps := make([]float64, len(history))
+	for t := p; t < len(history); t++ {
+		pred := m.Mean
+		for i, phi := range m.Phi {
+			pred += phi * (history[t-1-i] - m.Mean)
+		}
+		for j, th := range m.Theta {
+			if t-1-j >= 0 {
+				pred += th * eps[t-1-j]
+			}
+		}
+		eps[t] = history[t] - pred
+	}
+	pred := m.Mean
+	n := len(history)
+	for i, phi := range m.Phi {
+		pred += phi * (history[n-1-i] - m.Mean)
+	}
+	for j, th := range m.Theta {
+		if n-1-j >= 0 {
+			pred += th * eps[n-1-j]
+		}
+	}
+	return pred
+}
+
+// AIC computes Akaike's criterion for the fitted model on a length-n
+// series.
+func (m ARMA) AIC(n int) float64 {
+	s := m.Sigma2
+	if s <= 0 {
+		s = 1e-300
+	}
+	return float64(n)*math.Log(s) + 2*float64(len(m.Phi)+len(m.Theta))
+}
+
+// leastSquares solves min ‖Xβ − y‖₂ via the normal equations with
+// Gaussian elimination and partial pivoting. X is row-major.
+func leastSquares(x [][]float64, y []float64) ([]float64, error) {
+	rows := len(x)
+	if rows == 0 {
+		return nil, errors.New("tsa: empty regression")
+	}
+	cols := len(x[0])
+	// Form XᵀX and Xᵀy.
+	a := make([][]float64, cols)
+	b := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		a[i] = make([]float64, cols)
+	}
+	for r := 0; r < rows; r++ {
+		for i := 0; i < cols; i++ {
+			b[i] += x[r][i] * y[r]
+			for j := i; j < cols; j++ {
+				a[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	// Tiny ridge for numerical safety on near-collinear designs.
+	for i := 0; i < cols; i++ {
+		a[i][i] += 1e-10 * (a[i][i] + 1)
+	}
+	return solveLinear(a, b)
+}
+
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, errors.New("tsa: singular system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		acc := b[r]
+		for c := r + 1; c < n; c++ {
+			acc -= a[r][c] * out[c]
+		}
+		out[r] = acc / a[r][r]
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package tsa
+
+import (
+	"math"
+	"sort"
+)
+
+// Predictor forecasts the next value of a series from its history.
+// This is the interface a predictive control mechanism (the paper's
+// reference [16] and the §3 discussion) would consume.
+type Predictor interface {
+	// Predict forecasts the value following history (oldest first).
+	Predict(history []float64) float64
+	// Name identifies the predictor in evaluation reports.
+	Name() string
+}
+
+// LastValue predicts the next value to equal the last observed one —
+// the naive persistence forecaster every smarter predictor must beat.
+type LastValue struct{}
+
+// Predict implements Predictor.
+func (LastValue) Predict(history []float64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	return history[len(history)-1]
+}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last-value" }
+
+// MovingAverage predicts the mean of the last Window observations.
+type MovingAverage struct {
+	// Window is the averaging span; values ≤ 0 mean 8.
+	Window int
+}
+
+// Predict implements Predictor.
+func (m MovingAverage) Predict(history []float64) float64 {
+	w := m.Window
+	if w <= 0 {
+		w = 8
+	}
+	if len(history) == 0 {
+		return 0
+	}
+	if w > len(history) {
+		w = len(history)
+	}
+	sum := 0.0
+	for _, v := range history[len(history)-w:] {
+		sum += v
+	}
+	return sum / float64(w)
+}
+
+// Name implements Predictor.
+func (m MovingAverage) Name() string { return "moving-average" }
+
+// EWMA predicts with an exponentially weighted moving average with
+// gain Alpha — the estimator inside TCP's RTT smoothing (the paper's
+// references [12, 13]). Alpha outside (0,1] is treated as 1/8, the
+// classical TCP gain.
+type EWMA struct {
+	Alpha float64
+}
+
+// Predict implements Predictor.
+func (e EWMA) Predict(history []float64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.125
+	}
+	est := history[0]
+	for _, v := range history[1:] {
+		est += a * (v - est)
+	}
+	return est
+}
+
+// Name implements Predictor.
+func (e EWMA) Name() string { return "ewma" }
+
+// Name implements Predictor for AR models fitted by this package.
+func (m AR) Name() string { return "ar" }
+
+// Name implements Predictor for ARMA models.
+func (m ARMA) Name() string { return "arma" }
+
+// Evaluation reports a predictor's one-step-ahead accuracy on a
+// series.
+type Evaluation struct {
+	Predictor string
+	N         int
+	MSE       float64
+	MAE       float64
+	// MedianAE is the median absolute error, robust to the RTT
+	// spikes that dominate MSE.
+	MedianAE float64
+}
+
+// Evaluate runs pred over xs, predicting each value from its prefix,
+// skipping the first warmup observations. The paper's prediction
+// problem: "predict a future value of a process given a record of past
+// observations".
+func Evaluate(pred Predictor, xs []float64, warmup int) Evaluation {
+	if warmup < 1 {
+		warmup = 1
+	}
+	ev := Evaluation{Predictor: pred.Name()}
+	var absErrs []float64
+	for t := warmup; t < len(xs); t++ {
+		p := pred.Predict(xs[:t])
+		err := xs[t] - p
+		ev.N++
+		ev.MSE += err * err
+		ev.MAE += math.Abs(err)
+		absErrs = append(absErrs, math.Abs(err))
+	}
+	if ev.N > 0 {
+		ev.MSE /= float64(ev.N)
+		ev.MAE /= float64(ev.N)
+		sort.Float64s(absErrs)
+		ev.MedianAE = absErrs[len(absErrs)/2]
+	}
+	return ev
+}
+
+// Compare evaluates several predictors on the same series and returns
+// the results ordered as given.
+func Compare(xs []float64, warmup int, preds ...Predictor) []Evaluation {
+	out := make([]Evaluation, 0, len(preds))
+	for _, p := range preds {
+		out = append(out, Evaluate(p, xs, warmup))
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package video investigates the question Section 5 leaves open:
+// "Video applications do not send video packets at regular intervals.
+// For example, the video codec of IVS [27] ... generates variable-size
+// packets at intervals ranging from 15 to 120 ms ... it is not clear
+// whether the conclusions above still apply in this case. ... We are
+// currently investigating this issue."
+//
+// The package models an IVS-like source — packet intervals and sizes
+// driven by detected motion — plays it over a simulated path, and asks
+// the paper's question of the resulting loss process: are losses still
+// essentially random, so that open-loop recovery (replaying the
+// previous frame) remains adequate?
+package video
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netprobe/internal/loss"
+	"netprobe/internal/route"
+	"netprobe/internal/sim"
+)
+
+// SourceConfig describes an IVS-like codec output stream.
+type SourceConfig struct {
+	// MinInterval and MaxInterval bound the packet spacing (the
+	// paper quotes 15–120 ms for IVS).
+	MinInterval time.Duration
+	MaxInterval time.Duration
+	// MinSize and MaxSize bound the packet wire size in bytes;
+	// size and interval are coupled through the motion level (more
+	// motion ⇒ larger packets, shorter intervals).
+	MinSize int
+	MaxSize int
+	// MotionChange is the per-packet probability that the scene's
+	// motion level redraws (scene cut); between changes the motion
+	// level random-walks slowly.
+	MotionChange float64
+}
+
+// DefaultIVS returns the configuration matching the paper's
+// description of the INRIA videoconferencing codec.
+func DefaultIVS() SourceConfig {
+	return SourceConfig{
+		MinInterval:  15 * time.Millisecond,
+		MaxInterval:  120 * time.Millisecond,
+		MinSize:      128,
+		MaxSize:      1024,
+		MotionChange: 0.02,
+	}
+}
+
+// Source emits the codec stream into a receiver. Unlike the probe
+// sources, packets are neither periodic nor fixed-size.
+type Source struct {
+	sched   *sim.Scheduler
+	factory *sim.Factory
+	flow    string
+	cfg     SourceConfig
+	rng     *rand.Rand
+	horizon time.Duration
+	out     sim.Receiver
+
+	motion float64 // current motion level in [0,1]
+	sent   int
+}
+
+// NewSource returns an IVS-like source for flow, running until
+// horizon.
+func NewSource(sched *sim.Scheduler, factory *sim.Factory, flow string, cfg SourceConfig, horizon time.Duration, seed int64, out sim.Receiver) *Source {
+	if cfg.MinInterval <= 0 || cfg.MaxInterval < cfg.MinInterval {
+		panic(fmt.Sprintf("video: bad intervals %v..%v", cfg.MinInterval, cfg.MaxInterval))
+	}
+	if cfg.MinSize <= 0 || cfg.MaxSize < cfg.MinSize {
+		panic(fmt.Sprintf("video: bad sizes %d..%d", cfg.MinSize, cfg.MaxSize))
+	}
+	return &Source{
+		sched:   sched,
+		factory: factory,
+		flow:    flow,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		horizon: horizon,
+		out:     out,
+		motion:  0.5,
+	}
+}
+
+// Sent reports how many packets have been emitted.
+func (s *Source) Sent() int { return s.sent }
+
+// Start implements the traffic.Generator contract.
+func (s *Source) Start() { s.scheduleNext() }
+
+func (s *Source) scheduleNext() {
+	// Evolve the motion level: occasional scene cut, otherwise a
+	// slow bounded random walk.
+	if s.rng.Float64() < s.cfg.MotionChange {
+		s.motion = s.rng.Float64()
+	} else {
+		s.motion += 0.1 * (s.rng.Float64() - 0.5)
+		if s.motion < 0 {
+			s.motion = 0
+		}
+		if s.motion > 1 {
+			s.motion = 1
+		}
+	}
+	// High motion ⇒ short interval, large packet.
+	span := float64(s.cfg.MaxInterval - s.cfg.MinInterval)
+	interval := s.cfg.MaxInterval - time.Duration(s.motion*span)
+	at := s.sched.Now() + interval
+	if at > s.horizon {
+		return
+	}
+	s.sched.At(at, func() {
+		size := s.cfg.MinSize + int(s.motion*float64(s.cfg.MaxSize-s.cfg.MinSize))
+		pkt := s.factory.New(s.flow, s.sent, size, s.sched.Now())
+		s.sent++
+		s.out.Receive(pkt)
+		s.scheduleNext()
+	})
+}
+
+// Result is the outcome of a video-over-path experiment.
+type Result struct {
+	// Sent and Received count video packets.
+	Sent, Received int
+	// Lost is the per-packet loss indicator in send order.
+	Lost []bool
+	// Loss is the Section 5 analysis of the video stream's losses.
+	Loss loss.Stats
+}
+
+// Run plays an IVS-like stream one way across a built path for the
+// given duration (with cross traffic and probes attached by the
+// caller as desired) and returns the loss process of the video
+// packets. The stream enters at the head of the path and is collected
+// at the destination via the echo host's bypass.
+func Run(sched *sim.Scheduler, factory *sim.Factory, built *route.Built, cfg SourceConfig, duration time.Duration, seed int64) *Result {
+	received := map[int]bool{}
+	sink := sim.NewSink(sched, func(pkt *sim.Packet, _ time.Duration) {
+		if pkt.Flow == "video" {
+			received[pkt.Seq] = true
+		}
+	})
+	built.Echo.SetBypass(sink)
+	src := NewSource(sched, factory, "video", cfg, duration, seed, built.Head)
+	src.Start()
+	sched.Run(duration + 30*time.Second)
+
+	res := &Result{Sent: src.Sent()}
+	res.Lost = make([]bool, res.Sent)
+	for i := 0; i < res.Sent; i++ {
+		if received[i] {
+			res.Received++
+		} else {
+			res.Lost[i] = true
+		}
+	}
+	res.Loss = loss.Analyze(res.Lost)
+	return res
+}

@@ -1,0 +1,131 @@
+package video
+
+import (
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/fec"
+	"netprobe/internal/route"
+	"netprobe/internal/sim"
+	"netprobe/internal/traffic"
+)
+
+func TestSourceIntervalAndSizeBounds(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	var times []time.Duration
+	var sizes []int
+	sink := sim.NewSink(sched, func(pkt *sim.Packet, at time.Duration) {
+		times = append(times, at)
+		sizes = append(sizes, pkt.Size)
+	})
+	cfg := DefaultIVS()
+	NewSource(sched, &f, "video", cfg, time.Minute, 1, sink).Start()
+	sched.Run(time.Minute)
+	if len(times) < 300 {
+		t.Fatalf("only %d packets in a minute", len(times))
+	}
+	minGap, maxGap := time.Hour, time.Duration(0)
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < minGap {
+			minGap = gap
+		}
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if minGap < cfg.MinInterval || maxGap > cfg.MaxInterval {
+		t.Fatalf("gaps [%v, %v] outside [%v, %v]", minGap, maxGap, cfg.MinInterval, cfg.MaxInterval)
+	}
+	for _, s := range sizes {
+		if s < cfg.MinSize || s > cfg.MaxSize {
+			t.Fatalf("size %d outside [%d, %d]", s, cfg.MinSize, cfg.MaxSize)
+		}
+	}
+	// Variability: both gaps and sizes must actually vary.
+	if minGap == maxGap {
+		t.Fatal("intervals are constant; this is not a video source")
+	}
+}
+
+func TestSourceVariabilityNotPeriodic(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	distinct := map[int]bool{}
+	sink := sim.NewSink(sched, func(pkt *sim.Packet, _ time.Duration) { distinct[pkt.Size] = true })
+	NewSource(sched, &f, "video", DefaultIVS(), 30*time.Second, 2, sink).Start()
+	sched.Run(time.Minute)
+	if len(distinct) < 20 {
+		t.Fatalf("only %d distinct sizes; motion model too static", len(distinct))
+	}
+}
+
+func TestSourcePanicsOnBadConfig(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	bad := DefaultIVS()
+	bad.MaxInterval = time.Millisecond
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	NewSource(sched, &f, "video", bad, time.Minute, 1, nil)
+}
+
+// TestSection5QuestionForVideo answers the paper's open question on
+// our substrate: over the INRIA–UMd path with the usual cross traffic,
+// the video stream's losses remain essentially random, so replaying
+// the previous frame (open-loop recovery) remains adequate — the
+// paper's audio conclusion carries over.
+func TestSection5QuestionForVideo(t *testing.T) {
+	sched := sim.NewScheduler()
+	var f sim.Factory
+	p := route.INRIAToUMd()
+	built := route.Build(sched, p, route.BuildOptions{Seed: 4})
+
+	// The usual Internet mix shares the bottleneck.
+	horizon := 10 * time.Minute
+	cross := core.DefaultINRIACross()
+	for i := 0; i < cross.NBulk; i++ {
+		traffic.NewBulk(sched, &f, "ftp", cross.BulkSize, cross.BulkAccessBps,
+			traffic.Exp(cross.BulkIdleMean), traffic.Geometric(cross.BulkTrainMean),
+			horizon, int64(i+10), built.BottleneckForward()).Start()
+	}
+	traffic.NewInteractive(sched, &f, "telnet", cross.InteractiveSize,
+		cross.InteractiveGap, horizon, 99, built.BottleneckForward()).Start()
+
+	res := Run(sched, &f, built, DefaultIVS(), horizon, 5)
+	if res.Sent < 5000 {
+		t.Fatalf("only %d video packets sent", res.Sent)
+	}
+	if res.Loss.ULP < 0.01 || res.Loss.ULP > 0.30 {
+		t.Fatalf("video loss %v out of plausible band", res.Loss.ULP)
+	}
+	// The paper's question: is the loss process still near-random?
+	if !res.Loss.IsEssentiallyRandom(0.8) {
+		t.Fatalf("video losses unexpectedly bursty: %+v", res.Loss)
+	}
+	// And does open-loop recovery still work? Replaying the previous
+	// frame recovers most losses.
+	rep := fec.Repetition(res.Lost)
+	if rep.ResidualLossRate > res.Loss.ULP/2 {
+		t.Fatalf("previous-frame replay too weak: residual %v of raw %v",
+			rep.ResidualLossRate, res.Loss.ULP)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() *Result {
+		sched := sim.NewScheduler()
+		var f sim.Factory
+		built := route.Build(sched, route.INRIAToUMd(), route.BuildOptions{Seed: 4})
+		return Run(sched, &f, built, DefaultIVS(), time.Minute, 5)
+	}
+	a, b := run(), run()
+	if a.Sent != b.Sent || a.Received != b.Received {
+		t.Fatalf("runs differ: %d/%d vs %d/%d", a.Sent, a.Received, b.Sent, b.Received)
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload implements the Section 4 workload estimation: when
+// the bottleneck buffer does not empty between probes,
+//
+//	b_n = μ(w_{n+1} − w_n + δ) − P                      (equation 6)
+//
+// so the distribution of the Internet workload arriving between
+// consecutive probes can be read from the distribution of
+// w_{n+1} − w_n + δ — which also equals the inter-arrival time of the
+// probes when they return to the source. The multimodal structure of
+// that distribution (Figures 8 and 9) identifies the traffic mix: a
+// peak at P/μ (compressed probes), a peak at δ (idle intervals), and
+// peaks at δ + k·(bulk service time) from probes that queued behind
+// k bulk-transfer packets.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/stats"
+)
+
+// InterReturnTimes returns w_{n+1} − w_n + δ in milliseconds for every
+// consecutive pair of received probes — equivalently, the spacing of
+// probe returns at the source. Since rtt_{n+1} − rtt_n = w_{n+1} − w_n
+// (the fixed components cancel), this is rtt_{n+1} − rtt_n + δ.
+func InterReturnTimes(t *core.Trace) []float64 {
+	deltaMs := float64(t.Delta) / float64(time.Millisecond)
+	pairs := t.ConsecutivePairs()
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Y - p.X + deltaMs
+	}
+	return out
+}
+
+// EstimateBits applies equation 6: given the bottleneck bandwidth
+// muBps it converts each inter-return time into an estimate of the
+// Internet workload b_n in bits. Negative estimates (idle intervals,
+// measurement noise) are clamped to zero.
+func EstimateBits(t *core.Trace, muBps float64) []float64 {
+	p := float64(t.WireSize) * 8
+	irts := InterReturnTimes(t)
+	out := make([]float64, len(irts))
+	for i, ms := range irts {
+		b := muBps*(ms/1000) - p
+		if b < 0 {
+			b = 0
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// UtilizationEstimate estimates the bottleneck utilization due to the
+// Internet stream from equation 6: the mean of b_n over all intervals,
+// divided by the capacity δ·μ of one interval.
+//
+// Equation 6 holds only while the buffer stays busy; an interval in
+// which the buffer empties still measures w_{n+1} − w_n ≈ 0 and so
+// contributes b ≈ μδ − P even though less work than that arrived.
+// The estimate therefore cannot fall below 1 − P/(μδ), and is
+// trustworthy only when the true utilization is above that floor —
+// the paper's own caveat that the estimate needs "δ sufficiently
+// small, typically δμ smaller than some average value of b_n".
+// ValidityFloor reports the bound.
+func UtilizationEstimate(t *core.Trace, muBps float64) float64 {
+	bits := EstimateBits(t, muBps)
+	if len(bits) == 0 {
+		return 0
+	}
+	deltaSec := t.Delta.Seconds()
+	sum := 0.0
+	for _, b := range bits {
+		sum += b
+	}
+	return sum / float64(len(bits)) / (deltaSec * muBps)
+}
+
+// ValidityFloor reports the lowest utilization UtilizationEstimate can
+// return for a trace: 1 − P/(μδ). True utilizations below the floor
+// are indistinguishable from it; shrink δ to lower the floor.
+func ValidityFloor(t *core.Trace, muBps float64) float64 {
+	p := float64(t.WireSize) * 8
+	return 1 - p/(muBps*t.Delta.Seconds())
+}
+
+// Distribution histograms the inter-return times at the given bin
+// width (ms), covering [0, 2δ + headroom) — the domain of Figures 8
+// and 9.
+func Distribution(t *core.Trace, binMs float64) *stats.Histogram {
+	deltaMs := float64(t.Delta) / float64(time.Millisecond)
+	hi := 2*deltaMs + 50
+	h := stats.NewHistogram(0, hi, binMs)
+	h.AddAll(InterReturnTimes(t))
+	return h
+}
+
+// Analysis is the structural reading of a Figure 8/9 distribution.
+type Analysis struct {
+	// DeltaMs is the probe interval.
+	DeltaMs float64
+	// ServiceMs is the probe service time P/μ.
+	ServiceMs float64
+	// Peaks are all detected peaks, highest first.
+	Peaks []stats.Peak
+	// CompressionPeak is the peak near P/μ (nil if absent): probes
+	// that accumulated behind a large Internet packet.
+	CompressionPeak *stats.Peak
+	// IdlePeak is the peak near δ (nil if absent): probes that saw
+	// an unchanged queue.
+	IdlePeak *stats.Peak
+	// BulkPeaks are peaks beyond δ, in increasing position: probes
+	// that were first in line behind k = 1, 2, ... bulk packets.
+	BulkPeaks []stats.Peak
+	// BulkSizesBits estimates, for each bulk peak, the workload
+	// b = μ·center − P in bits (the paper computes 3904 bits ≈ 488
+	// bytes for the first such peak at δ=20 ms).
+	BulkSizesBits []float64
+}
+
+// ErrNoPeaks is returned when the distribution has no discernible
+// structure.
+var ErrNoPeaks = errors.New("workload: no peaks found")
+
+// Analyze reads the multimodal structure of a trace's inter-return
+// distribution, using the known bottleneck bandwidth muBps to convert
+// peak positions into workload sizes. binMs controls histogram
+// resolution (typical: 1–2 ms; use at least the clock resolution).
+func Analyze(t *core.Trace, muBps float64, binMs float64) (Analysis, error) {
+	deltaMs := float64(t.Delta) / float64(time.Millisecond)
+	p := float64(t.WireSize) * 8
+	a := Analysis{
+		DeltaMs:   deltaMs,
+		ServiceMs: p / muBps * 1000,
+	}
+	h := Distribution(t, binMs)
+	if h.Total() == 0 {
+		return a, ErrNoPeaks
+	}
+	minCount := h.Total() / 100
+	if minCount < 3 {
+		minCount = 3
+	}
+	sep := int(math.Max(2, a.ServiceMs/binMs))
+	a.Peaks = h.Peaks(minCount, sep)
+	if len(a.Peaks) == 0 {
+		return a, ErrNoPeaks
+	}
+	// Classification tolerances: a peak belongs to P/μ or δ when it
+	// falls within a few bins (or half the gap to the neighbouring
+	// landmark, whichever is smaller) of that position.
+	svcTol := math.Min(math.Max(2*binMs, 0.6*a.ServiceMs), (deltaMs-a.ServiceMs)/3)
+	idleTol := math.Min(math.Max(2*binMs, 0.15*deltaMs), (deltaMs-a.ServiceMs)/3)
+	for i := range a.Peaks {
+		pk := a.Peaks[i]
+		switch {
+		case math.Abs(pk.Center-a.ServiceMs) <= svcTol:
+			if a.CompressionPeak == nil {
+				a.CompressionPeak = &a.Peaks[i]
+			}
+		case math.Abs(pk.Center-deltaMs) <= idleTol:
+			if a.IdlePeak == nil {
+				a.IdlePeak = &a.Peaks[i]
+			}
+		case pk.Center > a.ServiceMs+svcTol:
+			// Bulk peaks sit at (P + k·b)/μ, which may fall on
+			// either side of δ depending on the probe interval.
+			a.BulkPeaks = append(a.BulkPeaks, pk)
+		}
+	}
+	// Order bulk peaks by position and convert to workload bits.
+	for i := 0; i < len(a.BulkPeaks); i++ {
+		for j := i + 1; j < len(a.BulkPeaks); j++ {
+			if a.BulkPeaks[j].Center < a.BulkPeaks[i].Center {
+				a.BulkPeaks[i], a.BulkPeaks[j] = a.BulkPeaks[j], a.BulkPeaks[i]
+			}
+		}
+	}
+	for _, pk := range a.BulkPeaks {
+		a.BulkSizesBits = append(a.BulkSizesBits, muBps*(pk.Center/1000)-p)
+	}
+	return a, nil
+}
+
+// InferredBulkBytes returns the bulk (FTP) packet size implied by the
+// first bulk peak, in bytes, or an error when no bulk peak exists.
+// The paper's δ=20 ms experiment yields ≈488 bytes, "approximately the
+// size of one FTP packet".
+func (a Analysis) InferredBulkBytes() (float64, error) {
+	if len(a.BulkSizesBits) == 0 {
+		return 0, errors.New("workload: no bulk peak")
+	}
+	return a.BulkSizesBits[0] / 8, nil
+}
+
+// CompressionFraction reports the share of all histogram mass near the
+// compression peak position P/μ (within tol ms), used to compare the
+// δ=20 ms and δ=100 ms distributions: compression becomes less
+// frequent as δ increases (Figure 8 vs Figure 9).
+func CompressionFraction(t *core.Trace, muBps, tol float64) float64 {
+	p := float64(t.WireSize) * 8
+	svc := p / muBps * 1000
+	irts := InterReturnTimes(t)
+	if len(irts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, ms := range irts {
+		if math.Abs(ms-svc) <= tol {
+			n++
+		}
+	}
+	return float64(n) / float64(len(irts))
+}
+
+// String implements fmt.Stringer.
+func (a Analysis) String() string {
+	s := fmt.Sprintf("δ=%.0f ms, P/μ=%.2f ms: %d peaks", a.DeltaMs, a.ServiceMs, len(a.Peaks))
+	if a.CompressionPeak != nil {
+		s += fmt.Sprintf("; compression @%.1f ms", a.CompressionPeak.Center)
+	}
+	if a.IdlePeak != nil {
+		s += fmt.Sprintf("; idle @%.1f ms", a.IdlePeak.Center)
+	}
+	for i, b := range a.BulkSizesBits {
+		s += fmt.Sprintf("; bulk%d %.0f bits", i+1, b)
+	}
+	return s
+}

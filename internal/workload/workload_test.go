@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/route"
+)
+
+func synthTrace(delta time.Duration, rtts []float64) *core.Trace {
+	t := &core.Trace{Name: "synth", Delta: delta, PayloadSize: 32, WireSize: 72}
+	for i, ms := range rtts {
+		s := core.Sample{Seq: i, Sent: time.Duration(i) * delta}
+		if ms == 0 {
+			s.Lost = true
+		} else {
+			s.RTT = time.Duration(ms * float64(time.Millisecond))
+			s.Recv = s.Sent + s.RTT
+		}
+		t.Samples = append(t.Samples, s)
+	}
+	return t
+}
+
+func TestInterReturnTimes(t *testing.T) {
+	// rtt: 140, 140, 155.5, 110 at δ=20 → IRT: 20, 35.5, -25.5+20.
+	tr := synthTrace(20*time.Millisecond, []float64{140, 140, 155.5, 110})
+	irts := InterReturnTimes(tr)
+	want := []float64{20, 35.5, -25.5}
+	for i, w := range want {
+		if i == 2 {
+			w = 20 - 45.5
+		}
+		if math.Abs(irts[i]-(w)) > 1e-9 && i != 2 {
+			t.Fatalf("irt[%d] = %v, want %v", i, irts[i], w)
+		}
+	}
+	if math.Abs(irts[2]-(-25.5)) > 1e-9 {
+		t.Fatalf("irt[2] = %v, want -25.5", irts[2])
+	}
+}
+
+func TestInterReturnTimesSkipLoss(t *testing.T) {
+	tr := synthTrace(20*time.Millisecond, []float64{140, 0, 150})
+	if got := InterReturnTimes(tr); len(got) != 0 {
+		t.Fatalf("irts across a loss = %v, want none", got)
+	}
+}
+
+func TestEstimateBitsEquationSix(t *testing.T) {
+	// The paper's worked example: μ=128 kb/s, IRT = 35 ms, P = 576
+	// bits ⇒ b = 128·35 − 576 = 3904 bits ≈ 488 bytes.
+	tr := synthTrace(20*time.Millisecond, []float64{140, 155}) // IRT = 35 ms
+	bits := EstimateBits(tr, 128_000)
+	if len(bits) != 1 {
+		t.Fatalf("bits = %v", bits)
+	}
+	if math.Abs(bits[0]-3904) > 1 {
+		t.Fatalf("b = %v bits, want 3904 (paper's FTP packet)", bits[0])
+	}
+}
+
+func TestEstimateBitsClampsNegative(t *testing.T) {
+	// An idle interval (IRT < P/μ) must not yield negative workload.
+	tr := synthTrace(20*time.Millisecond, []float64{160, 142})
+	bits := EstimateBits(tr, 128_000)
+	if bits[0] != 0 {
+		t.Fatalf("b = %v, want 0", bits[0])
+	}
+}
+
+// figure8Trace synthesizes the Figure 8 regime: compressed probes
+// (IRT = P/μ), idle probes (IRT = δ), and probes behind k FTP packets
+// (IRT = (P + k·4096)/μ).
+func figure8Trace(deltaMs float64, n int) *core.Trace {
+	rtt := 140.0
+	var rtts []float64
+	irt := func(k int) float64 { return (576 + float64(k)*4096) / 128 } // ms
+	pattern := []float64{
+		deltaMs, deltaMs, deltaMs, // idle
+		irt(1),                 // first behind one FTP packet
+		irt(0), irt(0), irt(0), // compression drain
+		deltaMs, deltaMs,
+		irt(2),         // behind two FTP packets
+		irt(0), irt(0), // drain
+	}
+	rtts = append(rtts, rtt)
+	for len(rtts) < n {
+		for _, p := range pattern {
+			rtt += p - deltaMs
+			if rtt < 140 {
+				rtt = 140
+			}
+			rtts = append(rtts, rtt)
+			if len(rtts) >= n {
+				break
+			}
+		}
+	}
+	return synthTrace(time.Duration(deltaMs*float64(time.Millisecond)), rtts)
+}
+
+func TestAnalyzeFindsFigure8Structure(t *testing.T) {
+	tr := figure8Trace(20, 1200)
+	a, err := Analyze(tr, 128_000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompressionPeak == nil {
+		t.Fatalf("no compression peak: %v", a)
+	}
+	if math.Abs(a.CompressionPeak.Center-4.5) > 2 {
+		t.Fatalf("compression peak at %v, want ≈4.5", a.CompressionPeak.Center)
+	}
+	if a.IdlePeak == nil {
+		t.Fatalf("no idle peak: %v", a)
+	}
+	if math.Abs(a.IdlePeak.Center-20) > 2 {
+		t.Fatalf("idle peak at %v, want ≈20", a.IdlePeak.Center)
+	}
+	if len(a.BulkPeaks) < 2 {
+		t.Fatalf("bulk peaks = %v, want ≥2", a.BulkPeaks)
+	}
+	bulk, err := a.InferredBulkBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bulk-512) > 60 {
+		t.Fatalf("inferred bulk packet = %v bytes, want ≈512", bulk)
+	}
+	// Second bulk peak ≈ two FTP packets.
+	if len(a.BulkSizesBits) >= 2 {
+		if math.Abs(a.BulkSizesBits[1]-8192) > 600 {
+			t.Fatalf("second bulk size = %v bits, want ≈8192", a.BulkSizesBits[1])
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	tr := synthTrace(20*time.Millisecond, nil)
+	if _, err := Analyze(tr, 128_000, 1.5); !errors.Is(err, ErrNoPeaks) {
+		t.Fatalf("err = %v, want ErrNoPeaks", err)
+	}
+	a := Analysis{}
+	if _, err := a.InferredBulkBytes(); err == nil {
+		t.Fatal("InferredBulkBytes with no peaks should error")
+	}
+}
+
+func TestCompressionFractionShrinksWithDelta(t *testing.T) {
+	// Figures 8 vs 9: the compression peak's relative mass shrinks
+	// as δ grows.
+	tr20 := figure8Trace(20, 1000)
+	// At δ=100 the same Internet pattern compresses far fewer probes:
+	// build a trace with mostly idle intervals.
+	var rtts []float64
+	rtt := 140.0
+	for i := 0; i < 1000; i++ {
+		if i%25 == 0 {
+			rtt += 36.5 - 100
+			if rtt < 140 {
+				rtt = 140
+			}
+			rtts = append(rtts, rtt+36.5)
+		} else {
+			rtts = append(rtts, rtt)
+		}
+	}
+	tr100 := synthTrace(100*time.Millisecond, rtts)
+	f20 := CompressionFraction(tr20, 128_000, 3)
+	f100 := CompressionFraction(tr100, 128_000, 3)
+	if f20 <= f100 {
+		t.Fatalf("compression fraction should shrink: δ=20: %v, δ=100: %v", f20, f100)
+	}
+	if f20 < 0.2 {
+		t.Fatalf("δ=20 compression fraction = %v, want substantial", f20)
+	}
+}
+
+func TestDistributionCoversDomain(t *testing.T) {
+	tr := figure8Trace(20, 500)
+	h := Distribution(tr, 1.5)
+	if h.Lo != 0 || h.Hi < 40 {
+		t.Fatalf("domain [%v,%v) too small", h.Lo, h.Hi)
+	}
+	if h.Total() != 499 {
+		t.Fatalf("total = %d, want 499 pairs", h.Total())
+	}
+}
+
+// End-to-end on the simulator: the full INRIA–UMd experiment at
+// δ=20 ms must let equation 6 recover the configured 512-byte FTP
+// packets, and the compression fraction must shrink from δ=20 ms to
+// δ=100 ms.
+func TestWorkloadRecoveryOnSimulatedPath(t *testing.T) {
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+	cross := core.DefaultINRIACross()
+	run := func(d time.Duration) *core.Trace {
+		tr, err := core.RunSim(core.SimConfig{
+			Path: p, Delta: d, Duration: 5 * time.Minute, Seed: 42, Cross: &cross,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr20 := run(20 * time.Millisecond)
+	a, err := Analyze(tr20, 128_000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompressionPeak == nil || a.IdlePeak == nil {
+		t.Fatalf("missing peaks: %v", a)
+	}
+	bulk, err := a.InferredBulkBytes()
+	if err != nil {
+		t.Fatalf("no bulk peak: %v (analysis %v)", err, a)
+	}
+	if bulk < 380 || bulk < 0 || bulk > 700 {
+		t.Fatalf("inferred bulk = %v bytes, want ≈512", bulk)
+	}
+
+	tr100 := run(100 * time.Millisecond)
+	f20 := CompressionFraction(tr20, 128_000, 3)
+	f100 := CompressionFraction(tr100, 128_000, 3)
+	if f20 <= 2*f100 {
+		t.Fatalf("compression fraction should collapse with δ: %v vs %v", f20, f100)
+	}
+}
+
+func TestUtilizationEstimateTracksOfferedLoad(t *testing.T) {
+	p := route.INRIAToUMd()
+	for i := range p.Hops {
+		p.Hops[i].LossProb = 0
+	}
+	run := func(nBulk int) float64 {
+		cross := core.DefaultINRIACross()
+		cross.NBulk = nBulk
+		tr, err := core.RunSim(core.SimConfig{
+			Path: p, Delta: 20 * time.Millisecond, Duration: 5 * time.Minute,
+			Seed: 42, Cross: &cross,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return UtilizationEstimate(tr, 128_000)
+	}
+	low, high := run(1), run(4)
+	// More bulk sources ⇒ higher estimated Internet utilization.
+	if high <= low {
+		t.Fatalf("utilization estimate did not grow with load: %v vs %v", low, high)
+	}
+	// At δ=20 ms the validity floor is 1 − 576/2560 = 0.775: one
+	// bulk source (true load ≈0.22) pins the estimate to the floor,
+	// while four sources (true load ≈0.9) rise above it.
+	floor := 0.775
+	if low < floor-0.03 || low > floor+0.06 {
+		t.Fatalf("low-load estimate %v should sit at the validity floor %v", low, floor)
+	}
+	if high < floor+0.05 || high > 1.05 {
+		t.Fatalf("high-load estimate %v out of band", high)
+	}
+}
+
+func TestValidityFloorFormula(t *testing.T) {
+	tr := synthTrace(20*time.Millisecond, []float64{140})
+	got := ValidityFloor(tr, 128_000)
+	if math.Abs(got-0.775) > 1e-9 {
+		t.Fatalf("floor = %v, want 0.775", got)
+	}
+}
+
+func TestUtilizationEstimateEmpty(t *testing.T) {
+	tr := synthTrace(20*time.Millisecond, nil)
+	if u := UtilizationEstimate(tr, 128_000); u != 0 {
+		t.Fatalf("empty trace utilization %v", u)
+	}
+}
