@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment runner (internal/runner) is the repository's first
+# real concurrency; the race detector is part of the standard check.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet race

@@ -10,6 +10,7 @@
 package netprobe
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"netprobe/internal/phase"
 	"netprobe/internal/queue"
 	"netprobe/internal/route"
+	"netprobe/internal/runner"
 	"netprobe/internal/sim"
 	"netprobe/internal/stats"
 	"netprobe/internal/traffic"
@@ -239,20 +241,52 @@ func BenchmarkAnalyticModel(b *testing.B) {
 	b.ReportMetric(mean*1000, "meanWait_ms")
 }
 
+// --- δ-sweep orchestration benches (internal/runner) ---
+
+// runSweep executes the Table 3 δ-sweep on the given worker count and
+// checks the traces are present.
+func runSweep(b *testing.B, seed int64, workers int) {
+	b.Helper()
+	jobs := runner.DeltaSweep(core.INRIAPreset(), core.PaperDeltas, benchDur)
+	results := runner.Run(context.Background(), seed, jobs, runner.Workers(workers))
+	if err := runner.FirstErr(results); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Trace == nil || r.Trace.Len() == 0 {
+			b.Fatalf("job %q returned no trace", r.Label)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the baseline: the six-δ Table 3 sweep on
+// a single worker — the shape of the repository's original run loops.
+func BenchmarkSweepSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSweep(b, int64(i), 1)
+	}
+}
+
+// BenchmarkSweepParallel runs the identical sweep on a GOMAXPROCS
+// pool. On ≥2 cores it completes measurably faster than
+// BenchmarkSweepSequential while producing byte-identical traces
+// (internal/runner's determinism guarantee, asserted in
+// TestSweepDeterministicAcrossWorkerCounts).
+func BenchmarkSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSweep(b, int64(i), 0)
+	}
+}
+
 // --- Ablation benches (DESIGN.md §6) ---
 
 func ablationPath(mutate func(*route.Path)) core.SimConfig {
-	p := route.INRIAToUMd()
+	cfg := core.INRIAPreset().Config(50*time.Millisecond, benchDur, 0)
+	cfg.ClockRes = 0 // the original ablation harness measured with an exact clock
 	if mutate != nil {
-		mutate(&p)
+		mutate(&cfg.Path)
 	}
-	cross := core.DefaultINRIACross()
-	return core.SimConfig{
-		Path:     p,
-		Delta:    50 * time.Millisecond,
-		Duration: benchDur,
-		Cross:    &cross,
-	}
+	return cfg
 }
 
 // BenchmarkAblationInfiniteBuffer removes the finite bottleneck buffer:
@@ -300,13 +334,11 @@ func BenchmarkAblationNoRandomLoss(b *testing.B) {
 func BenchmarkAblationBulkOnly(b *testing.B) {
 	var peaks float64
 	for i := 0; i < b.N; i++ {
-		cross := core.DefaultINRIACross()
-		cross.InteractiveGap = 0
-		cross.ReturnGap = 0
-		tr, err := core.RunSim(core.SimConfig{
-			Path: route.INRIAToUMd(), Delta: 20 * time.Millisecond,
-			Duration: benchDur, Seed: int64(i), Cross: &cross,
-		})
+		cfg := core.INRIAPreset().Config(20*time.Millisecond, benchDur, int64(i))
+		cfg.ClockRes = 0
+		cfg.Cross.InteractiveGap = 0
+		cfg.Cross.ReturnGap = 0
+		tr, err := core.RunSim(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -322,12 +354,10 @@ func BenchmarkAblationBulkOnly(b *testing.B) {
 func BenchmarkAblationInteractiveOnly(b *testing.B) {
 	var frac float64
 	for i := 0; i < b.N; i++ {
-		cross := core.DefaultINRIACross()
-		cross.NBulk = 0
-		tr, err := core.RunSim(core.SimConfig{
-			Path: route.INRIAToUMd(), Delta: 20 * time.Millisecond,
-			Duration: benchDur, Seed: int64(i), Cross: &cross,
-		})
+		cfg := core.INRIAPreset().Config(20*time.Millisecond, benchDur, int64(i))
+		cfg.ClockRes = 0
+		cfg.Cross.NBulk = 0
+		tr, err := core.RunSim(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -341,11 +371,9 @@ func BenchmarkAblationInteractiveOnly(b *testing.B) {
 func BenchmarkAblationNoClockQuantization(b *testing.B) {
 	var mu float64
 	for i := 0; i < b.N; i++ {
-		cross := core.DefaultINRIACross()
-		tr, err := core.RunSim(core.SimConfig{
-			Path: route.INRIAToUMd(), Delta: 50 * time.Millisecond,
-			Duration: benchDur, Seed: int64(i), Cross: &cross,
-		})
+		cfg := core.INRIAPreset().Config(50*time.Millisecond, benchDur, int64(i))
+		cfg.ClockRes = 0 // the ablation: no clock quantization
+		tr, err := core.RunSim(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

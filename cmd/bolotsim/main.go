@@ -1,22 +1,27 @@
-// Command bolotsim runs a simulated probing experiment on one of the
-// paper's paths and writes the trace.
+// Command bolotsim runs simulated probing experiments on one of the
+// paper's paths and writes the traces. -delta accepts a single
+// interval or a comma-separated sweep; sweep jobs run concurrently on
+// internal/runner's worker pool with per-job seeds derived from
+// -seed, so the traces are identical at any -workers value.
 //
 // Usage:
 //
-//	bolotsim [-path inria|pitt] [-delta 50ms] [-duration 10m]
-//	         [-seed 42] [-noloss] [-nocross] [-out trace.csv]
+//	bolotsim [-path inria|pitt] [-delta 50ms | -delta 8ms,20ms,50ms]
+//	         [-duration 10m] [-seed 42] [-noloss] [-nocross]
+//	         [-workers N] [-out trace.csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
+	"strings"
 	"time"
 
-	"netprobe/internal/clock"
 	"netprobe/internal/core"
-	"netprobe/internal/loss"
-	"netprobe/internal/route"
+	"netprobe/internal/runner"
 	"netprobe/internal/trace"
 )
 
@@ -25,54 +30,66 @@ func main() {
 	log.SetPrefix("bolotsim: ")
 	var (
 		pathName = flag.String("path", "inria", "path to simulate: inria (Table 1) or pitt (Table 2)")
-		delta    = flag.Duration("delta", 50*time.Millisecond, "probe interval δ")
+		deltas   = flag.String("delta", "50ms", "probe interval δ, or a comma-separated sweep (e.g. 8ms,20ms,50ms)")
 		duration = flag.Duration("duration", 10*time.Minute, "experiment duration")
-		seed     = flag.Int64("seed", 42, "random seed")
+		seed     = flag.Int64("seed", 42, "root seed; per-run seeds are derived from it")
 		noLoss   = flag.Bool("noloss", false, "disable random (faulty-interface) loss")
 		noCross  = flag.Bool("nocross", false, "disable Internet cross traffic")
-		out      = flag.String("out", "", "trace output file (.csv or .json)")
+		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "trace output file (.csv or .json); sweeps insert the δ before the extension")
 	)
 	flag.Parse()
 
-	var p route.Path
-	var cross core.CrossConfig
-	var res time.Duration
-	switch *pathName {
-	case "inria":
-		p, cross, res = route.INRIAToUMd(), core.DefaultINRIACross(), clock.DECstationResolution
-	case "pitt":
-		p, cross, res = route.UMdToPitt(), core.DefaultPittCross(), clock.UMdResolution
-	default:
+	preset, ok := core.PresetByName(*pathName)
+	if !ok {
 		log.Fatalf("unknown path %q (want inria or pitt)", *pathName)
 	}
-	if *noLoss {
-		for i := range p.Hops {
-			p.Hops[i].LossProb = 0
+
+	var jobs []runner.Job
+	for _, field := range strings.Split(*deltas, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(field))
+		if err != nil {
+			log.Fatalf("bad -delta entry %q: %v", field, err)
 		}
+		cfg := preset.Config(d, *duration, 0)
+		if *noLoss {
+			for i := range cfg.Path.Hops {
+				cfg.Path.Hops[i].LossProb = 0
+			}
+		}
+		if *noCross {
+			cfg.Cross = nil
+		}
+		jobs = append(jobs, runner.Job{
+			Label:  fmt.Sprintf("%s δ=%v", preset.Name, d),
+			Config: cfg,
+		})
 	}
-	cfg := core.SimConfig{
-		Path:     p,
-		Delta:    *delta,
-		Duration: *duration,
-		ClockRes: res,
-		Seed:     *seed,
-	}
-	if !*noCross {
-		cfg.Cross = &cross
+	if len(jobs) == 0 {
+		log.Fatal("no probe intervals given")
 	}
 
+	p := jobs[0].Config.Path
 	fmt.Printf("route (%s):\n%s", p.Name, p.Traceroute())
-	tr, err := core.RunSim(cfg)
-	if err != nil {
+
+	results := runner.Run(context.Background(), *seed, jobs, runner.Workers(*workers))
+	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
-	st := loss.AnalyzeTrace(tr)
-	min, _ := tr.MinRTT()
-	fmt.Printf("%s\nmin RTT %v, %s\n", tr, min, st)
-	if *out != "" {
-		if err := trace.Save(*out, tr); err != nil {
+	for _, r := range results {
+		min, _ := r.Trace.MinRTT()
+		fmt.Printf("%s\nmin RTT %v, %s (%v)\n", r.Trace, min, r.Stats, r.Wall.Round(time.Millisecond))
+		if *out == "" {
+			continue
+		}
+		name := *out
+		if len(results) > 1 {
+			ext := filepath.Ext(name)
+			name = fmt.Sprintf("%s-%v%s", strings.TrimSuffix(name, ext), jobs[r.Index].Config.Delta, ext)
+		}
+		if err := trace.Save(name, r.Trace); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("trace written to %s\n", *out)
+		fmt.Printf("trace written to %s\n", name)
 	}
 }

@@ -4,16 +4,23 @@
 // for shorter simulations during development; the default runs the
 // paper's full 10-minute experiments.
 //
+// All simulations are independent jobs executed by internal/runner's
+// worker pool, so the full reproduction uses every core. Per-job
+// seeds are derived from -seed, making the output identical at any
+// -workers value.
+//
 // Usage:
 //
-//	experiments [-quick] [-seed 42] [-plots]
+//	experiments [-quick] [-seed 42] [-plots] [-workers N]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"netprobe/internal/capacity"
@@ -25,6 +32,7 @@ import (
 	"netprobe/internal/plot"
 	"netprobe/internal/queue"
 	"netprobe/internal/route"
+	"netprobe/internal/runner"
 	"netprobe/internal/sim"
 	"netprobe/internal/tcp"
 	"netprobe/internal/tsa"
@@ -32,10 +40,26 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "run 2-minute experiments instead of 10-minute ones")
-	seed  = flag.Int64("seed", 42, "random seed for all experiments")
-	plots = flag.Bool("plots", false, "render ASCII figures, not just numbers")
+	quick   = flag.Bool("quick", false, "run 2-minute experiments instead of 10-minute ones")
+	seed    = flag.Int64("seed", 42, "root seed; per-experiment seeds are derived from it")
+	plots   = flag.Bool("plots", false, "render ASCII figures, not just numbers")
+	workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 )
+
+// Job labels: every simulation the reproduction needs, built once and
+// run concurrently. Figures, tables, and the extension analyses all
+// read from this one batch, so e.g. the δ=50 ms trace is simulated
+// once and shared by Figure 1, Figure 2, Table 3, and the §3
+// prediction study.
+const (
+	jobRouteChange = "inria δ=50ms +route-change"
+	jobAnomaly     = "inria δ=500ms +gateway-bursts"
+	jobPacketPair  = "inria packet-pairs"
+)
+
+func deltaLabel(preset string, d time.Duration) string {
+	return fmt.Sprintf("%s δ=%v", preset, d)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -48,30 +72,98 @@ func main() {
 		dur, longDur = 2*time.Minute, 5*time.Minute
 	}
 
+	traces, elapsed, simWork := runAll(dur, longDur)
+	n := runtime.GOMAXPROCS(0)
+	if *workers > 0 {
+		n = *workers
+	}
+	fmt.Printf("simulated %d experiments in %v wall time (%v of simulation work, %d workers)\n",
+		len(traces), elapsed.Round(time.Millisecond), simWork.Round(time.Millisecond), n)
+
+	inria := func(d time.Duration) *core.Trace { return traces[deltaLabel("inria", d)] }
+	tr50 := inria(50 * time.Millisecond)
+	tr20 := inria(20 * time.Millisecond)
+	tr100 := inria(100 * time.Millisecond)
+
 	tables12()
-	tr50 := inria(50*time.Millisecond, dur)
 	figure1(tr50)
 	figure2(tr50)
-	figure4(inria(500*time.Millisecond, longDur))
-	figure5(pitt(8*time.Millisecond, dur))
-	figure6(pitt(50*time.Millisecond, dur))
-	tr20 := inria(20*time.Millisecond, dur)
-	tr100 := inria(100*time.Millisecond, dur)
+	figure4(inria(500 * time.Millisecond))
+	figure5(traces[deltaLabel("pitt", 8*time.Millisecond)])
+	figure6(traces[deltaLabel("pitt", 50*time.Millisecond)])
 	figures89(tr20, tr100)
-	table3(dur, longDur)
+	table3(traces)
 	section5(tr100)
 	section6(tr20)
-	extensions(dur)
+	extensions(traces, dur)
+}
+
+// runAll builds every simulation job of the reproduction and executes
+// the batch on the worker pool, returning traces keyed by job label,
+// the batch wall time, and the summed per-job simulation time.
+func runAll(dur, longDur time.Duration) (map[string]*core.Trace, time.Duration, time.Duration) {
+	inria := core.INRIAPreset()
+	pitt := core.PittPreset()
+
+	var jobs []runner.Job
+	// The δ-sweep behind Figures 1–9 and Table 3. Runs at δ ≥ 200 ms
+	// need the longer duration for enough samples.
+	for _, d := range core.PaperDeltas {
+		dd := dur
+		if d >= 200*time.Millisecond {
+			dd = longDur
+		}
+		jobs = append(jobs, runner.Job{
+			Label:  deltaLabel("inria", d),
+			Config: inria.Config(d, dd, 0),
+		})
+	}
+	for _, d := range []time.Duration{8 * time.Millisecond, 50 * time.Millisecond} {
+		jobs = append(jobs, runner.Job{
+			Label:  deltaLabel("pitt", d),
+			Config: pitt.Config(d, dur, 0),
+		})
+	}
+
+	// The extension experiments: [21] route change, [22] periodic
+	// gateway bursts, and the packet-pair capacity schedule.
+	rc := inria.Config(50*time.Millisecond, dur, 0)
+	rc.RouteChange = &core.RouteChange{At: dur / 2, Hop: 3, Shift: 15 * time.Millisecond}
+	jobs = append(jobs, runner.Job{Label: jobRouteChange, Config: rc})
+
+	an := inria.Config(500*time.Millisecond, 15*time.Minute, 0)
+	an.Path.Hops[3].Buffer = 80
+	an.Anomaly = &core.Anomaly{Period: 90 * time.Second, Burst: 80, Size: 512}
+	jobs = append(jobs, runner.Job{Label: jobAnomaly, Config: an})
+
+	pp := inria.Config(200*time.Millisecond, 0, 0)
+	pp.ClockRes = 0
+	pp.SendTimes = capacity.PairSchedule(1000, 200*time.Millisecond, time.Millisecond)
+	jobs = append(jobs, runner.Job{Label: jobPacketPair, Config: pp})
+
+	start := time.Now()
+	results := runner.Run(context.Background(), *seed, jobs, runner.Workers(*workers))
+	elapsed := time.Since(start)
+	if err := runner.FirstErr(results); err != nil {
+		log.Fatal(err)
+	}
+	traces := make(map[string]*core.Trace, len(results))
+	var simWork time.Duration
+	for _, r := range results {
+		traces[r.Label] = r.Trace
+		simWork += r.Wall
+	}
+	return traces, elapsed, simWork
 }
 
 // extensions regenerates the companion results the paper points at:
 // the §3 prediction study, the [21]/[22] diagnoses, the [29] ACK
 // compression, and packet-pair capacity estimation.
-func extensions(dur time.Duration) {
+func extensions(traces map[string]*core.Trace, dur time.Duration) {
 	header("Extensions — the paper's companion results")
 
-	// §3: AR prediction of queueing delays.
-	tr := inria(50*time.Millisecond, dur)
+	// §3: AR prediction of queueing delays, on the shared δ=50 ms run.
+	tr := traces[deltaLabel("inria", 50*time.Millisecond)]
 	rtts := tr.RTTMillis()
 	half := len(rtts) / 2
 	if m, err := tsa.SelectAR(rtts[:half], 8); err == nil {
@@ -81,38 +173,21 @@ func extensions(dur time.Duration) {
 	}
 
 	// [21]: route change.
-	cross := core.DefaultINRIACross()
-	trRC, err := core.RunSim(core.SimConfig{
-		Path: route.INRIAToUMd(), Delta: 50 * time.Millisecond,
-		Duration: dur, Seed: *seed, Cross: &cross,
-		RouteChange: &core.RouteChange{At: dur / 2, Hop: 3, Shift: 15 * time.Millisecond},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	trRC := traces[jobRouteChange]
 	if shift, err := dynamics.DetectLevelShift(trRC, 0, 0); err == nil {
 		fmt.Printf("[21] route change: injected +30 ms RTT at %v; detected %+.1f ms at t ≈ %v (%d reorderings)\n",
 			dur/2, shift.ShiftMs(), shift.At.Round(time.Second), trRC.Reorderings())
 	}
 
 	// [22]: the every-90-seconds gateway burst.
-	pAnom := route.INRIAToUMd()
-	pAnom.Hops[3].Buffer = 80
-	trAn, err := core.RunSim(core.SimConfig{
-		Path: pAnom, Delta: 500 * time.Millisecond,
-		Duration: 15 * time.Minute, Seed: *seed, Cross: &cross,
-		Anomaly: &core.Anomaly{Period: 90 * time.Second, Burst: 80, Size: 512},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if per, err := dynamics.DetectPeriodicity(trAn, 0); err == nil {
+	if per, err := dynamics.DetectPeriodicity(traces[jobAnomaly], 0); err == nil {
 		fmt.Printf("[22] gateway bursts: injected every 90 s; detected every %v (autocorrelation %.2f)\n",
 			per.Period.Round(time.Second), per.Correlation)
 	}
 
 	// [29]: ACK compression (the phenomenon probe compression is
-	// named after).
+	// named after). The closed-loop TCP sims use the tcp package
+	// directly; they are not SimConfig jobs.
 	dataSvc := time.Duration(512 * 8 * int64(time.Second) / 128_000)
 	ackFrac := func(twoWay bool) float64 {
 		sched := sim.NewScheduler()
@@ -133,34 +208,10 @@ func extensions(dur time.Duration) {
 		100*ackFrac(false), 100*ackFrac(true))
 
 	// Packet-pair capacity estimation vs the phase-plot method.
-	trPair, err := core.RunSim(core.SimConfig{
-		Path: route.INRIAToUMd(), Delta: 200 * time.Millisecond,
-		SendTimes: capacity.PairSchedule(1000, 200*time.Millisecond, time.Millisecond),
-		Seed:      *seed, Cross: &cross,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if est, err := capacity.FromPairs(trPair, 0); err == nil {
+	if est, err := capacity.FromPairs(traces[jobPacketPair], 0); err == nil {
 		fmt.Printf("packet-pair: μ ≈ %.0f b/s from %d pairs (link: 128000)\n",
 			est.BottleneckBps, est.Pairs)
 	}
-}
-
-func inria(delta, dur time.Duration) *core.Trace {
-	tr, err := core.INRIAUMd(delta, dur, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return tr
-}
-
-func pitt(delta, dur time.Duration) *core.Trace {
-	tr, err := core.UMdPitt(delta, dur, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return tr
 }
 
 func header(title string) {
@@ -270,7 +321,7 @@ func figures89(tr20, tr100 *core.Trace) {
 	}
 }
 
-func table3(dur, longDur time.Duration) {
+func table3(traces map[string]*core.Trace) {
 	header("Table 3 — ulp, clp, plg vs δ")
 	type paperRow struct{ ulp, clp, plg float64 }
 	paper := map[time.Duration]paperRow{
@@ -285,11 +336,7 @@ func table3(dur, longDur time.Duration) {
 	fmt.Printf("%8s | %6s %6s %6s | %6s %6s %6s\n", "δ", "ulp", "clp", "plg", "ulp*", "clp*", "plg*")
 	fmt.Printf("%8s | %20s | %20s\n", "", "paper", "measured")
 	for _, d := range core.PaperDeltas {
-		dd := dur
-		if d >= 200*time.Millisecond {
-			dd = longDur
-		}
-		tr := inria(d, dd)
+		tr := traces[deltaLabel("inria", d)]
 		s := loss.AnalyzeTrace(tr)
 		pr := paper[d]
 		fmt.Printf("%8v | %6.2f %6.2f %6.1f | %6.2f %6.2f %6.1f\n",

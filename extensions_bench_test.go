@@ -12,7 +12,6 @@ import (
 
 	"netprobe/internal/core"
 	"netprobe/internal/dynamics"
-	"netprobe/internal/route"
 	"netprobe/internal/sim"
 	"netprobe/internal/stats"
 	"netprobe/internal/tcp"
@@ -49,19 +48,14 @@ func BenchmarkARPrediction(b *testing.B) {
 func BenchmarkRouteChangeDetection(b *testing.B) {
 	var shiftMs float64
 	for i := 0; i < b.N; i++ {
-		cross := core.DefaultINRIACross()
-		tr, err := core.RunSim(core.SimConfig{
-			Path:     route.INRIAToUMd(),
-			Delta:    50 * time.Millisecond,
-			Duration: 4 * time.Minute,
-			Seed:     int64(i),
-			Cross:    &cross,
-			RouteChange: &core.RouteChange{
-				At:    2 * time.Minute,
-				Hop:   3,
-				Shift: 15 * time.Millisecond,
-			},
-		})
+		cfg := core.INRIAPreset().Config(50*time.Millisecond, 4*time.Minute, int64(i))
+		cfg.ClockRes = 0
+		cfg.RouteChange = &core.RouteChange{
+			At:    2 * time.Minute,
+			Hop:   3,
+			Shift: 15 * time.Millisecond,
+		}
+		tr, err := core.RunSim(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,17 +74,11 @@ func BenchmarkRouteChangeDetection(b *testing.B) {
 func BenchmarkAnomalyDetection(b *testing.B) {
 	var period float64
 	for i := 0; i < b.N; i++ {
-		p := route.INRIAToUMd()
-		p.Hops[3].Buffer = 80
-		cross := core.DefaultINRIACross()
-		tr, err := core.RunSim(core.SimConfig{
-			Path:     p,
-			Delta:    500 * time.Millisecond,
-			Duration: 15 * time.Minute,
-			Seed:     int64(i),
-			Cross:    &cross,
-			Anomaly:  &core.Anomaly{Period: 90 * time.Second, Burst: 80, Size: 512},
-		})
+		cfg := core.INRIAPreset().Config(500*time.Millisecond, 15*time.Minute, int64(i))
+		cfg.ClockRes = 0
+		cfg.Path.Hops[3].Buffer = 80
+		cfg.Anomaly = &core.Anomaly{Period: 90 * time.Second, Burst: 80, Size: 512}
+		tr, err := core.RunSim(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,15 +97,10 @@ func BenchmarkAnomalyDetection(b *testing.B) {
 func BenchmarkGroupedBaseline(b *testing.B) {
 	var shape float64
 	for i := 0; i < b.N; i++ {
-		st := core.GroupedSchedule(30, 10, time.Second, 20*time.Second)
-		cross := core.DefaultINRIACross()
-		tr, err := core.RunSim(core.SimConfig{
-			Path:      route.INRIAToUMd(),
-			Delta:     time.Second,
-			SendTimes: st,
-			Seed:      int64(i),
-			Cross:     &cross,
-		})
+		cfg := core.INRIAPreset().Config(time.Second, 0, int64(i))
+		cfg.ClockRes = 0
+		cfg.SendTimes = core.GroupedSchedule(30, 10, time.Second, 20*time.Second)
+		tr, err := core.RunSim(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

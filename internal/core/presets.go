@@ -18,35 +18,88 @@ var PaperDeltas = []time.Duration{
 	500 * time.Millisecond,
 }
 
-// INRIAUMd runs the canonical INRIA→UMd experiment of the paper:
-// 32-byte payload (72 bytes on the wire), the DECstation 5000 source
-// clock, the default cross-traffic mix, for the given probe interval
-// and duration (0 = the paper's 10 minutes).
-func INRIAUMd(delta time.Duration, duration time.Duration, seed int64) (*Trace, error) {
-	cross := DefaultINRIACross()
-	return RunSim(SimConfig{
-		Path:     route.INRIAToUMd(),
-		Delta:    delta,
-		Duration: duration,
-		ClockRes: clock.DECstationResolution,
-		Seed:     seed,
-		Cross:    &cross,
-	})
+// Preset bundles everything that identifies one of the paper's
+// measured experiments except the probe schedule: the hop-by-hop
+// path, its calibrated cross-traffic mix, and the source host's clock
+// resolution. Preset is the single source of config construction for
+// cmd/experiments, cmd/bolotsim, the benchmarks, and the examples —
+// they all build SimConfigs through Config rather than assembling the
+// path/cross/clock triple by hand.
+type Preset struct {
+	// Name is the short key ("inria", "pitt") used in CLI flags and
+	// job labels.
+	Name string
+	// Path constructs a fresh copy of the measured route; callers may
+	// mutate the returned path freely.
+	Path func() route.Path
+	// Cross constructs the calibrated cross-traffic mix.
+	Cross func() CrossConfig
+	// ClockRes is the source host's timestamp resolution.
+	ClockRes time.Duration
 }
 
-// UMdPitt runs the UMd→Pittsburgh experiment of Figures 5 and 6: the
-// T3 path, the ≈3 ms UMd source clock, and a proportionally heavier
-// cross-traffic mix.
-func UMdPitt(delta time.Duration, duration time.Duration, seed int64) (*Trace, error) {
-	cross := DefaultPittCross()
-	return RunSim(SimConfig{
-		Path:     route.UMdToPitt(),
+// Config assembles a SimConfig for one experiment on this preset's
+// path: the given probe interval, duration (0 = the paper's 10
+// minutes), and seed. The returned config owns fresh copies of the
+// path and cross mix, so it can be mutated and run concurrently with
+// other configs from the same preset.
+func (p Preset) Config(delta, duration time.Duration, seed int64) SimConfig {
+	cross := p.Cross()
+	return SimConfig{
+		Path:     p.Path(),
 		Delta:    delta,
 		Duration: duration,
-		ClockRes: clock.UMdResolution,
+		ClockRes: p.ClockRes,
 		Seed:     seed,
 		Cross:    &cross,
-	})
+	}
+}
+
+// INRIAPreset is the canonical INRIA→UMd experiment of the paper:
+// 32-byte payload (72 bytes on the wire), the DECstation 5000 source
+// clock, and the default cross-traffic mix.
+func INRIAPreset() Preset {
+	return Preset{
+		Name:     "inria",
+		Path:     route.INRIAToUMd,
+		Cross:    DefaultINRIACross,
+		ClockRes: clock.DECstationResolution,
+	}
+}
+
+// PittPreset is the UMd→Pittsburgh experiment of Figures 5 and 6: the
+// T3 path, the ≈3 ms UMd source clock, and a proportionally heavier
+// cross-traffic mix.
+func PittPreset() Preset {
+	return Preset{
+		Name:     "pitt",
+		Path:     route.UMdToPitt,
+		Cross:    DefaultPittCross,
+		ClockRes: clock.UMdResolution,
+	}
+}
+
+// PresetByName resolves a preset key as used by the CLI tools:
+// "inria" (Table 1) or "pitt" (Table 2).
+func PresetByName(name string) (Preset, bool) {
+	switch name {
+	case "inria":
+		return INRIAPreset(), true
+	case "pitt":
+		return PittPreset(), true
+	}
+	return Preset{}, false
+}
+
+// INRIAUMd runs the canonical INRIA→UMd experiment for the given
+// probe interval and duration (0 = the paper's 10 minutes).
+func INRIAUMd(delta time.Duration, duration time.Duration, seed int64) (*Trace, error) {
+	return RunSim(INRIAPreset().Config(delta, duration, seed))
+}
+
+// UMdPitt runs the UMd→Pittsburgh experiment of Figures 5 and 6.
+func UMdPitt(delta time.Duration, duration time.Duration, seed int64) (*Trace, error) {
+	return RunSim(PittPreset().Config(delta, duration, seed))
 }
 
 // GroupedSchedule builds the probe schedule of the baseline

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netprobe/internal/clock"
+)
+
+func TestPresetByName(t *testing.T) {
+	inria, ok := PresetByName("inria")
+	if !ok || inria.Name != "inria" {
+		t.Fatalf("inria preset missing: %v %v", inria, ok)
+	}
+	pitt, ok := PresetByName("pitt")
+	if !ok || pitt.Name != "pitt" {
+		t.Fatalf("pitt preset missing: %v %v", pitt, ok)
+	}
+	if _, ok := PresetByName("mae-east"); ok {
+		t.Fatal("unknown preset resolved")
+	}
+	if inria.ClockRes != clock.DECstationResolution {
+		t.Errorf("inria clock %v", inria.ClockRes)
+	}
+	if pitt.ClockRes != clock.UMdResolution {
+		t.Errorf("pitt clock %v", pitt.ClockRes)
+	}
+}
+
+// TestPresetConfigIsolated: two configs from one preset own distinct
+// path and cross copies, so mutating one job cannot leak into another
+// running concurrently.
+func TestPresetConfigIsolated(t *testing.T) {
+	p := INRIAPreset()
+	a := p.Config(50*time.Millisecond, time.Minute, 1)
+	b := p.Config(50*time.Millisecond, time.Minute, 2)
+	a.Path.Hops[3].Buffer = 1
+	a.Cross.NBulk = 99
+	if b.Path.Hops[3].Buffer == 1 {
+		t.Error("path shared between configs")
+	}
+	if b.Cross.NBulk == 99 {
+		t.Error("cross mix shared between configs")
+	}
+	if a.ClockRes != clock.DECstationResolution || a.Delta != 50*time.Millisecond {
+		t.Errorf("config fields wrong: %+v", a)
+	}
+}
+
+// TestPresetMatchesLegacyHelpers: the preset path produces exactly the
+// trace the original INRIAUMd/UMdPitt helpers produced.
+func TestPresetMatchesLegacyHelpers(t *testing.T) {
+	want, err := INRIAUMd(20*time.Millisecond, 5*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSim(INRIAPreset().Config(20*time.Millisecond, 5*time.Second, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Samples) != len(got.Samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(want.Samples), len(got.Samples))
+	}
+	for i := range want.Samples {
+		if want.Samples[i] != got.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, want.Samples[i], got.Samples[i])
+		}
+	}
+}
+
+// TestModulatedCross: the Modulated option injects load that shows up
+// as delay variation with the configured period.
+func TestModulatedCross(t *testing.T) {
+	p := INRIAPreset()
+	cfg := p.Config(200*time.Millisecond, 2*time.Minute, 5)
+	cfg.Cross = nil
+	cfg.ClockRes = 0
+	for i := range cfg.Path.Hops {
+		cfg.Path.Hops[i].LossProb = 0
+	}
+	cfg.Modulated = &ModulatedCross{
+		Size: 512, Gap: 53 * time.Millisecond,
+		Depth: 0.6, Period: 30 * time.Second,
+	}
+	tr, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtts := tr.RTTMillis()
+	if len(rtts) == 0 {
+		t.Fatal("no received probes")
+	}
+	min, max := rtts[0], rtts[0]
+	for _, v := range rtts {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 5 {
+		t.Errorf("modulated load left no delay swing: min %.1f max %.1f ms", min, max)
+	}
+}

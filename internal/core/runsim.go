@@ -114,6 +114,20 @@ type SimConfig struct {
 	// Anomaly, if non-nil, injects periodic gateway bursts — the
 	// every-90-seconds 'debug' pathology of [22].
 	Anomaly *Anomaly
+	// Modulated, if non-nil, adds a sinusoidally rate-modulated
+	// stream at the forward bottleneck — the slowly varying "base
+	// congestion level" of the [19] diurnal analysis.
+	Modulated *ModulatedCross
+}
+
+// ModulatedCross describes a packet stream whose rate swings
+// sinusoidally around a base rate: packets of Size bytes at a mean
+// gap of Gap, modulated by Depth ∈ [0, 1) with the given Period.
+type ModulatedCross struct {
+	Size   int
+	Gap    time.Duration
+	Depth  float64
+	Period time.Duration
 }
 
 // RouteChange shifts the propagation delay of one hop at a given
@@ -242,6 +256,11 @@ func RunSim(c SimConfig) (*Trace, error) {
 			return nil, fmt.Errorf("core: route change hop %d out of range", rc.Hop)
 		}
 		sched.At(rc.At, func() { built.ShiftPropagation(rc.Hop, rc.Shift) })
+	}
+	if m := cfg.Modulated; m != nil {
+		traffic.NewModulated(sched, &factory, "base",
+			m.Size, m.Gap, m.Depth, m.Period, horizon,
+			cfg.Seed*6700417+333, built.BottleneckForward()).Start()
 	}
 	if a := cfg.Anomaly; a != nil {
 		traffic.NewPeriodicBurst(sched, &factory, "debug",

@@ -1,0 +1,187 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/loss"
+)
+
+// Job is one experiment of a sweep: a complete simulation spec plus a
+// label for reporting. The job's effective seed is not taken from
+// Config but derived by the pool from the root seed and the job's
+// index (see DeriveSeed), so a sweep is reproducible from the root
+// seed alone.
+type Job struct {
+	// Label names the job in results and error messages,
+	// e.g. "inria δ=50ms".
+	Label string
+	// Config is the full simulation spec. Config.Seed is overwritten
+	// with the derived per-job seed before the run.
+	Config core.SimConfig
+	// RunFunc, if non-nil, replaces the default core.RunSim executor.
+	// Custom collectors and tests use it; the config it receives
+	// already carries the derived seed.
+	RunFunc func(ctx context.Context, cfg core.SimConfig) (*core.Trace, error)
+}
+
+// Result is the structured outcome of one job, reported in submission
+// order.
+type Result struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Label echoes Job.Label.
+	Label string
+	// Seed is the derived seed the job ran with.
+	Seed int64
+	// Trace is the collected trace; nil if the job failed or was
+	// cancelled.
+	Trace *core.Trace
+	// Stats summarizes the trace's loss behavior (ulp/clp/plg);
+	// zero-valued when Trace is nil.
+	Stats loss.Stats
+	// Wall is the host wall-clock time the job took. It is the only
+	// field that varies between identical runs.
+	Wall time.Duration
+	// Err is the job's failure: the simulation error, a recovered
+	// panic, or the context error for jobs cancelled before running.
+	Err error
+}
+
+type options struct {
+	workers int
+}
+
+// Option configures Run.
+type Option func(*options)
+
+// Workers sets the pool size. n <= 0 (and the default) means
+// runtime.GOMAXPROCS(0); the pool never exceeds the number of jobs.
+func Workers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Run executes the jobs on a worker pool and returns one Result per
+// job, in submission order. Each job's seed is DeriveSeed(rootSeed,
+// index), making the whole sweep reproducible from rootSeed at any
+// worker count. Cancelling ctx stops dispatching promptly; jobs not
+// yet started are returned with Err set to the context's error.
+func Run(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) []Result {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(ctx, rootSeed, i, jobs[i])
+			}
+		}()
+	}
+
+	next := 0
+feed:
+	for ; next < len(jobs); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Jobs never dispatched carry the cancellation cause.
+	for i := next; i < len(jobs); i++ {
+		results[i] = Result{
+			Index: i,
+			Label: jobs[i].Label,
+			Seed:  DeriveSeed(rootSeed, i),
+			Err:   context.Cause(ctx),
+		}
+	}
+	return results
+}
+
+func runOne(ctx context.Context, rootSeed int64, index int, job Job) (res Result) {
+	res = Result{
+		Index: index,
+		Label: job.Label,
+		Seed:  DeriveSeed(rootSeed, index),
+	}
+	if err := context.Cause(ctx); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			res.Trace = nil
+			res.Stats = loss.Stats{}
+			res.Err = fmt.Errorf("runner: job %d (%s) panicked: %v", index, job.Label, r)
+		}
+	}()
+	cfg := job.Config
+	cfg.Seed = res.Seed
+	run := job.RunFunc
+	if run == nil {
+		run = func(_ context.Context, cfg core.SimConfig) (*core.Trace, error) {
+			return core.RunSim(cfg)
+		}
+	}
+	tr, err := run(ctx, cfg)
+	if err != nil {
+		res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Label, err)
+		return res
+	}
+	res.Trace = tr
+	if tr != nil {
+		res.Stats = loss.AnalyzeTrace(tr)
+	}
+	return res
+}
+
+// DeltaSweep builds one Job per probe interval on a preset's path —
+// the paper's core experimental design. Labels read "<preset> δ=<d>".
+func DeltaSweep(p core.Preset, deltas []time.Duration, duration time.Duration) []Job {
+	jobs := make([]Job, 0, len(deltas))
+	for _, d := range deltas {
+		jobs = append(jobs, Job{
+			Label:  fmt.Sprintf("%s δ=%v", p.Name, d),
+			Config: p.Config(d, duration, 0),
+		})
+	}
+	return jobs
+}
+
+// FirstErr returns the first non-nil Result.Err in submission order,
+// or nil if every job succeeded.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

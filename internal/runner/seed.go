@@ -1,0 +1,15 @@
+package runner
+
+// DeriveSeed maps (root seed, job index) to the seed of one job via a
+// SplitMix64 step. The derivation depends only on the two inputs, so
+// a sweep's per-job seeds — and therefore its traces — are identical
+// at any worker count and in any completion order. The hash also
+// decorrelates neighboring jobs: consecutive indices land on
+// unrelated points of the generator space, unlike the seed, seed+1,
+// seed+2 pattern, whose low bits correlate across jobs.
+func DeriveSeed(root int64, index int) int64 {
+	z := uint64(root) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
