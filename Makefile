@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-snapshot check
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment runner (internal/runner) is the repository's first
-# real concurrency; the race detector is part of the standard check.
+# The experiment runner (internal/runner) and the obs registry are
+# the repository's real concurrency; the race detector is part of the
+# standard check. vet runs over every package, including the new
+# instrumentation set (internal/obs, cmd/benchjson).
 race:
 	$(GO) test -race ./...
 
@@ -18,5 +20,12 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-snapshot records the whole benchmark suite as a
+# machine-readable baseline (benchmark name -> ns/op plus custom
+# metrics) for perf PRs to regress against.
+bench-snapshot:
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 check: build vet race

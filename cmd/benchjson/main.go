@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON benchmark snapshot on stdout: benchmark name
+// → iterations plus every reported metric (ns/op, B/op, allocs/op,
+// and any custom testing.B metrics). `make bench-snapshot` pipes the
+// full suite through it to produce BENCH_<date>.json files that perf
+// PRs diff against.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed line.
+type Result struct {
+	// Iterations is the b.N the reported means were computed over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op" → 123456.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole suite, stamped for later comparison.
+type Snapshot struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Timestamp  string            `json:"timestamp"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin (run go test -bench=. | benchjson)")
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// parse reads go-test benchmark output: lines of the form
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	  67 B/op	  8 allocs/op
+//
+// Non-benchmark lines (package headers, PASS/ok, test logs) are
+// skipped. A repeated benchmark name keeps the last occurrence.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: make(map[string]Result),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // malformed or a bare "Benchmark..." test log line
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, Metrics: make(map[string]float64)}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if !ok || len(res.Metrics) == 0 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so snapshots from machines
+		// with different core counts diff cleanly.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		snap.Benchmarks[name] = res
+	}
+	return snap, sc.Err()
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `
+goos: linux
+goarch: amd64
+pkg: netprobe
+BenchmarkSweepParallel-8   	       3	 412345678 ns/op	 1234 B/op	   56 allocs/op
+BenchmarkSimEngine-8       	    1000	   1234567 ns/op	   98.5 events/op
+BenchmarkSweepParallel-8   	       4	 400000000 ns/op	 1000 B/op	   50 allocs/op
+some test log line
+PASS
+ok  	netprobe	1.234s
+`
+	snap, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	// The -8 suffix is stripped and the last occurrence wins.
+	sw, ok := snap.Benchmarks["BenchmarkSweepParallel"]
+	if !ok {
+		t.Fatalf("BenchmarkSweepParallel missing: %+v", snap.Benchmarks)
+	}
+	if sw.Iterations != 4 || sw.Metrics["ns/op"] != 4e8 {
+		t.Errorf("SweepParallel = %+v", sw)
+	}
+	se := snap.Benchmarks["BenchmarkSimEngine"]
+	if se.Metrics["events/op"] != 98.5 {
+		t.Errorf("custom metric lost: %+v", se)
+	}
+	if snap.GoVersion == "" || snap.Timestamp == "" {
+		t.Errorf("missing stamps: %+v", snap)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	snap, err := parse(strings.NewReader("Benchmark without numbers\nBenchmarkX-4 notanumber 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Errorf("garbage parsed as benchmarks: %+v", snap.Benchmarks)
+	}
+}

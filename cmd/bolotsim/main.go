@@ -9,6 +9,11 @@
 //	bolotsim [-path inria|pitt] [-delta 50ms | -delta 8ms,20ms,50ms]
 //	         [-duration 10m] [-seed 42] [-noloss] [-nocross]
 //	         [-workers N] [-out trace.csv]
+//	         [-log info] [-logfmt text|json] [-debug-addr :6060]
+//
+// Sweep jobs report start/finish live through the structured logger,
+// and the run ends with a one-line pool summary (wall time, worker
+// utilization, cancelled-job count).
 package main
 
 import (
@@ -16,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"netprobe/internal/core"
+	"netprobe/internal/obs"
 	"netprobe/internal/runner"
 	"netprobe/internal/trace"
 )
@@ -37,8 +44,12 @@ func main() {
 		noCross  = flag.Bool("nocross", false, "disable Internet cross traffic")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		out      = flag.String("out", "", "trace output file (.csv or .json); sweeps insert the δ before the extension")
+		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if _, err := obsFlags.Setup(obs.Default); err != nil {
+		log.Fatal(err)
+	}
 
 	preset, ok := core.PresetByName(*pathName)
 	if !ok {
@@ -72,10 +83,27 @@ func main() {
 	p := jobs[0].Config.Path
 	fmt.Printf("route (%s):\n%s", p.Name, p.Traceroute())
 
-	results := runner.Run(context.Background(), *seed, jobs, runner.Workers(*workers))
+	results, summary := runner.RunAll(context.Background(), *seed, jobs,
+		runner.Workers(*workers),
+		runner.Metrics(obs.Default),
+		runner.Progress(func(ev runner.Event) {
+			switch ev.Kind {
+			case runner.JobStart:
+				slog.Info("job start", "label", ev.Label, "seed", ev.Seed, "worker", ev.Worker)
+			case runner.JobFinish:
+				if ev.Err != nil {
+					slog.Error("job failed", "label", ev.Label, "err", ev.Err)
+					return
+				}
+				slog.Info("job done", "label", ev.Label,
+					"wall", ev.Wall.Round(time.Millisecond),
+					"ulp", fmt.Sprintf("%.3f", ev.Stats.ULP))
+			}
+		}))
 	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("sweep: %s\n", summary)
 	for _, r := range results {
 		min, _ := r.Trace.MinRTT()
 		fmt.Printf("%s\nmin RTT %v, %s (%v)\n", r.Trace, min, r.Stats, r.Wall.Round(time.Millisecond))

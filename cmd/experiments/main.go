@@ -9,9 +9,17 @@
 // seeds are derived from -seed, making the output identical at any
 // -workers value.
 //
+// Every run emits live per-job progress lines through the shared
+// structured logger (-log/-logfmt) and writes a JSON run manifest
+// (flags, per-job seeds and wall times, loss stats, and the metrics
+// registry snapshot) so performance and correctness trajectories are
+// diffable across commits; -manifest "" disables it.
+//
 // Usage:
 //
 //	experiments [-quick] [-seed 42] [-plots] [-workers N]
+//	            [-log info] [-logfmt text|json] [-debug-addr :6060]
+//	            [-manifest experiments-manifest.json]
 package main
 
 import (
@@ -20,7 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
+	"log/slog"
+	"strconv"
 	"time"
 
 	"netprobe/internal/capacity"
@@ -28,6 +37,7 @@ import (
 	"netprobe/internal/dynamics"
 	"netprobe/internal/fec"
 	"netprobe/internal/loss"
+	"netprobe/internal/obs"
 	"netprobe/internal/phase"
 	"netprobe/internal/plot"
 	"netprobe/internal/queue"
@@ -40,10 +50,13 @@ import (
 )
 
 var (
-	quick   = flag.Bool("quick", false, "run 2-minute experiments instead of 10-minute ones")
-	seed    = flag.Int64("seed", 42, "root seed; per-experiment seeds are derived from it")
-	plots   = flag.Bool("plots", false, "render ASCII figures, not just numbers")
-	workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	quick    = flag.Bool("quick", false, "run 2-minute experiments instead of 10-minute ones")
+	seed     = flag.Int64("seed", 42, "root seed; per-experiment seeds are derived from it")
+	plots    = flag.Bool("plots", false, "render ASCII figures, not just numbers")
+	workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	manifest = flag.String("manifest", "experiments-manifest.json",
+		"run-manifest output path; empty disables the manifest")
+	obsFlags = obs.RegisterFlags(flag.CommandLine)
 )
 
 // Job labels: every simulation the reproduction needs, built once and
@@ -65,6 +78,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	flag.Parse()
+	if _, err := obsFlags.Setup(obs.Default); err != nil {
+		log.Fatal(err)
+	}
 
 	dur := 10 * time.Minute
 	longDur := 10 * time.Minute
@@ -72,13 +88,11 @@ func main() {
 		dur, longDur = 2*time.Minute, 5*time.Minute
 	}
 
-	traces, elapsed, simWork := runAll(dur, longDur)
-	n := runtime.GOMAXPROCS(0)
-	if *workers > 0 {
-		n = *workers
+	traces, results, summary := runAll(dur, longDur)
+	fmt.Printf("simulated %s\n", summary)
+	if *manifest != "" {
+		writeManifest(*manifest, results, summary)
 	}
-	fmt.Printf("simulated %d experiments in %v wall time (%v of simulation work, %d workers)\n",
-		len(traces), elapsed.Round(time.Millisecond), simWork.Round(time.Millisecond), n)
 
 	inria := func(d time.Duration) *core.Trace { return traces[deltaLabel("inria", d)] }
 	tr50 := inria(50 * time.Millisecond)
@@ -99,9 +113,10 @@ func main() {
 }
 
 // runAll builds every simulation job of the reproduction and executes
-// the batch on the worker pool, returning traces keyed by job label,
-// the batch wall time, and the summed per-job simulation time.
-func runAll(dur, longDur time.Duration) (map[string]*core.Trace, time.Duration, time.Duration) {
+// the batch on the worker pool, returning traces keyed by job label
+// plus the raw results and sweep summary for the run manifest. Job
+// start/finish events stream to the structured logger as they happen.
+func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result, runner.Summary) {
 	inria := core.INRIAPreset()
 	pitt := core.PittPreset()
 
@@ -141,19 +156,65 @@ func runAll(dur, longDur time.Duration) (map[string]*core.Trace, time.Duration, 
 	pp.SendTimes = capacity.PairSchedule(1000, 200*time.Millisecond, time.Millisecond)
 	jobs = append(jobs, runner.Job{Label: jobPacketPair, Config: pp})
 
-	start := time.Now()
-	results := runner.Run(context.Background(), *seed, jobs, runner.Workers(*workers))
-	elapsed := time.Since(start)
+	results, summary := runner.RunAll(context.Background(), *seed, jobs,
+		runner.Workers(*workers),
+		runner.Metrics(obs.Default),
+		runner.Progress(progressLine(len(jobs))))
 	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
 	traces := make(map[string]*core.Trace, len(results))
-	var simWork time.Duration
 	for _, r := range results {
 		traces[r.Label] = r.Trace
-		simWork += r.Wall
 	}
-	return traces, elapsed, simWork
+	return traces, results, summary
+}
+
+// progressLine returns a Progress consumer that logs one line per
+// job start and finish — the live view of the sweep.
+func progressLine(total int) func(runner.Event) {
+	done := 0
+	return func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.JobStart:
+			slog.Info("job start",
+				"job", fmt.Sprintf("%d/%d", ev.Index+1, total),
+				"label", ev.Label, "seed", ev.Seed, "worker", ev.Worker)
+		case runner.JobFinish:
+			done++
+			if ev.Err != nil {
+				slog.Error("job failed",
+					"done", fmt.Sprintf("%d/%d", done, total),
+					"label", ev.Label, "err", ev.Err)
+				return
+			}
+			slog.Info("job done",
+				"done", fmt.Sprintf("%d/%d", done, total),
+				"label", ev.Label, "seed", ev.Seed,
+				"wall", ev.Wall.Round(time.Millisecond),
+				"ulp", fmt.Sprintf("%.3f", ev.Stats.ULP),
+				"lost", ev.Stats.Lost, "sent", ev.Stats.N)
+		}
+	}
+}
+
+// writeManifest records the run as a diffable JSON artifact: flags,
+// presets, per-job seeds/wall/loss, and the metrics snapshot.
+func writeManifest(path string, results []runner.Result, summary runner.Summary) {
+	m := runner.NewManifest("experiments", *seed, results, summary)
+	m.Flags = map[string]string{
+		"quick":   strconv.FormatBool(*quick),
+		"plots":   strconv.FormatBool(*plots),
+		"workers": strconv.Itoa(*workers),
+	}
+	m.Presets = []string{"inria", "pitt"}
+	snap := obs.Default.Snapshot()
+	m.Metrics = &snap
+	if err := m.Write(path); err != nil {
+		log.Fatal(err)
+	}
+	slog.Info("run manifest written", "path", path,
+		"jobs", len(m.Jobs), "metrics", len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
 }
 
 // extensions regenerates the companion results the paper points at:

@@ -2,27 +2,41 @@
 // measurement setup: it stamps and returns every probe packet it
 // receives. Point netdyn-probe at it from the same or another host.
 //
+// The server logs each client session (address, packets, bytes) at
+// Info level as traffic arrives and again on shutdown; -quiet
+// suppresses the session logging.
+//
 // Usage:
 //
-//	netdyn-echo [-addr host:port]
+//	netdyn-echo [-addr host:port] [-quiet]
+//	            [-log info] [-logfmt text|json] [-debug-addr :6060]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
 
 	"netprobe/internal/netdyn"
+	"netprobe/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netdyn-echo: ")
-	addr := flag.String("addr", "0.0.0.0:7007", "UDP address to listen on")
+	var (
+		addr     = flag.String("addr", "0.0.0.0:7007", "UDP address to listen on")
+		quiet    = flag.Bool("quiet", false, "suppress per-session logging")
+		obsFlags = obs.RegisterFlags(flag.CommandLine)
+	)
 	flag.Parse()
+	if _, err := obsFlags.Setup(obs.Default); err != nil {
+		log.Fatal(err)
+	}
 
 	e, err := netdyn.NewEchoer(*addr)
 	if err != nil {
@@ -31,6 +45,25 @@ func main() {
 	defer e.Close()
 	fmt.Printf("echoing probes on %s\n", e.Addr())
 
+	// logSessions reports every session whose packet count changed
+	// since the last report, so idle sessions are logged once and
+	// active ones show their progress.
+	lastPackets := make(map[string]int64)
+	logSessions := func() {
+		if *quiet {
+			return
+		}
+		for _, s := range e.Sessions() {
+			if lastPackets[s.Client] == s.Packets {
+				continue
+			}
+			lastPackets[s.Client] = s.Packets
+			slog.Info("session", "client", s.Client,
+				"packets", s.Packets, "bytes", s.Bytes,
+				"active", s.Last.Sub(s.First).Round(time.Second))
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	tick := time.NewTicker(10 * time.Second)
@@ -38,10 +71,12 @@ func main() {
 	for {
 		select {
 		case <-sig:
-			fmt.Printf("\nechoed %d packets\n", e.Echoed())
+			logSessions()
+			fmt.Printf("\nechoed %d packets from %d sessions\n", e.Echoed(), len(e.Sessions()))
 			return
 		case <-tick.C:
-			fmt.Printf("echoed %d packets\n", e.Echoed())
+			logSessions()
+			slog.Debug("echo totals", "echoed", e.Echoed(), "dropped", e.Dropped())
 		}
 	}
 }

@@ -2,23 +2,32 @@
 // a netdyn-echo server and writes the resulting trace, reproducing the
 // paper's data collection on a real network.
 //
+// While the run is in flight it periodically reports live path
+// statistics through the structured logger: probes sent, received,
+// and (settled) lost, the running unconditional and conditional loss
+// probabilities, and the min/p50/p99 of the round-trip times so far.
+//
 // Usage:
 //
 //	netdyn-probe -target host:port [-delta 50ms] [-count 12000]
 //	             [-size 32] [-clockres 0] [-out trace.csv]
+//	             [-report 10s] [-log info] [-logfmt text|json]
+//	             [-debug-addr :6060]
 //
 // With no -count, the probe runs for the paper's 10 minutes
-// (duration/delta packets).
+// (duration/delta packets). -report 0 disables the in-flight reports.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"time"
 
 	"netprobe/internal/loss"
 	"netprobe/internal/netdyn"
+	"netprobe/internal/obs"
 	"netprobe/internal/trace"
 )
 
@@ -32,8 +41,13 @@ func main() {
 		size     = flag.Int("size", netdyn.DefaultPayload, "UDP payload bytes")
 		clockRes = flag.Duration("clockres", 0, "emulated clock resolution (e.g. 3.90625ms)")
 		out      = flag.String("out", "", "trace output file (.csv or .json); empty = summary only")
+		report   = flag.Duration("report", 10*time.Second, "in-flight progress report interval (0 disables)")
+		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if _, err := obsFlags.Setup(obs.Default); err != nil {
+		log.Fatal(err)
+	}
 	if *target == "" {
 		log.Fatal("missing -target (run netdyn-echo somewhere first)")
 	}
@@ -42,13 +56,28 @@ func main() {
 		n = int(10 * time.Minute / *delta)
 	}
 	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", *target, n, *size, *delta)
-	tr, err := netdyn.Probe(netdyn.ProbeConfig{
+	cfg := netdyn.ProbeConfig{
 		Target:      *target,
 		Delta:       *delta,
 		Count:       n,
 		PayloadSize: *size,
 		ClockRes:    *clockRes,
-	})
+	}
+	if *report > 0 {
+		cfg.ReportEvery = *report
+		cfg.Report = func(r netdyn.ProbeReport) {
+			slog.Info("probe progress",
+				"elapsed", r.Elapsed.Round(time.Second),
+				"sent", r.Sent, "recv", r.Received,
+				"lost", r.Lost, "inflight", r.InFlight,
+				"ulp", fmt.Sprintf("%.3f", r.ULP),
+				"clp", fmt.Sprintf("%.3f", r.CLP),
+				"rtt_min", r.RTTMin.Round(time.Millisecond),
+				"rtt_p50", r.RTTP50.Round(time.Millisecond),
+				"rtt_p99", r.RTTP99.Round(time.Millisecond))
+		}
+	}
+	tr, err := netdyn.Probe(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

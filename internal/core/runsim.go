@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"netprobe/internal/clock"
+	"netprobe/internal/obs"
 	"netprobe/internal/route"
 	"netprobe/internal/sim"
 	"netprobe/internal/traffic"
@@ -118,6 +119,14 @@ type SimConfig struct {
 	// stream at the forward bottleneck — the slowly varying "base
 	// congestion level" of the [19] diurnal analysis.
 	Modulated *ModulatedCross
+	// Metrics, if non-nil, receives engine instrumentation from the
+	// run: events executed, the event-heap high-water mark, per-queue
+	// enqueue/drop counters, and wall time per simulated second. The
+	// registry is write-only from the simulation's point of view and
+	// never feeds back into it, so instrumented and uninstrumented
+	// runs produce identical traces; it is race-safe, so concurrent
+	// sweep jobs may share one registry.
+	Metrics *obs.Registry `json:"-"`
 }
 
 // ModulatedCross describes a packet stream whose rate swings
@@ -268,11 +277,36 @@ func RunSim(c SimConfig) (*Trace, error) {
 			built.BottleneckForward()).Start()
 	}
 
-	sched.Run(horizon)
+	wallStart := time.Now()
+	events := sched.Run(horizon)
+	if cfg.Metrics != nil {
+		recordSimMetrics(cfg.Metrics, sched, built, events, time.Since(wallStart), horizon)
+	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
 	return trace, nil
+}
+
+// recordSimMetrics exports one finished run's engine counters into
+// the registry. Counter names aggregate across jobs sharing the
+// registry; queue counters are labeled by hop name and direction.
+func recordSimMetrics(reg *obs.Registry, sched *sim.Scheduler, built *route.Built, events int, wall, horizon time.Duration) {
+	reg.Counter("sim.events").Add(int64(events))
+	reg.Counter("sim.runs").Inc()
+	reg.Gauge("sim.heap.high_water").SetMax(int64(sched.MaxPending()))
+	record := func(dir string, qs []*sim.Queue) {
+		for _, q := range qs {
+			st := q.Stats(sched.Now())
+			reg.Counter(obs.Label("sim.queue.enqueued", "dir", dir, "queue", st.Name)).Add(st.Arrived)
+			reg.Counter(obs.Label("sim.queue.dropped", "dir", dir, "queue", st.Name)).Add(st.Dropped)
+		}
+	}
+	record("fwd", built.ForwardQueues)
+	record("ret", built.ReturnQueues)
+	if sec := horizon.Seconds(); sec > 0 {
+		reg.Histogram("sim.wall_per_sim_second", nil).Observe(wall.Seconds() / sec)
+	}
 }
 
 func attachCross(sched *sim.Scheduler, factory *sim.Factory, built *route.Built, cc CrossConfig, seed int64, horizon time.Duration) {

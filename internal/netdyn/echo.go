@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,13 +17,29 @@ type Echoer struct {
 	conn  *net.UDPConn
 	start time.Time
 
-	mu      sync.Mutex
-	dropper func(seq uint32) bool
+	mu       sync.Mutex
+	dropper  func(seq uint32) bool
+	sessions map[string]*SessionStats
 
 	echoed  atomic.Int64
 	dropped atomic.Int64
 
 	done chan struct{}
+}
+
+// SessionStats aggregates the probe traffic of one client address —
+// the per-session view cmd/netdyn-echo logs.
+type SessionStats struct {
+	// Client is the peer's UDP address.
+	Client string
+	// Packets and Bytes count valid probe packets received from the
+	// client (echoed or deliberately dropped).
+	Packets int64
+	Bytes   int64
+	// First and Last are when the session's first and most recent
+	// packets arrived.
+	First time.Time
+	Last  time.Time
 }
 
 // NewEchoer starts an echo server listening on addr (e.g.
@@ -37,9 +54,10 @@ func NewEchoer(addr string) (*Echoer, error) {
 		return nil, fmt.Errorf("netdyn: listen %q: %w", addr, err)
 	}
 	e := &Echoer{
-		conn:  conn,
-		start: time.Now(),
-		done:  make(chan struct{}),
+		conn:     conn,
+		start:    time.Now(),
+		sessions: make(map[string]*SessionStats),
+		done:     make(chan struct{}),
 	}
 	go e.serve()
 	return e, nil
@@ -63,6 +81,24 @@ func (e *Echoer) Echoed() int64 { return e.echoed.Load() }
 // Dropped reports how many packets the dropper discarded.
 func (e *Echoer) Dropped() int64 { return e.dropped.Load() }
 
+// Sessions snapshots the per-client traffic totals, ordered by first
+// packet time (ties broken by address).
+func (e *Echoer) Sessions() []SessionStats {
+	e.mu.Lock()
+	out := make([]SessionStats, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		out = append(out, *s)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].First.Equal(out[j].First) {
+			return out[i].First.Before(out[j].First)
+		}
+		return out[i].Client < out[j].Client
+	})
+	return out
+}
+
 // Close shuts the echo server down.
 func (e *Echoer) Close() error {
 	err := e.conn.Close()
@@ -85,7 +121,17 @@ func (e *Echoer) serve() {
 		if err != nil {
 			continue // not a probe packet
 		}
+		now := time.Now()
 		e.mu.Lock()
+		key := peer.String()
+		sess := e.sessions[key]
+		if sess == nil {
+			sess = &SessionStats{Client: key, First: now}
+			e.sessions[key] = sess
+		}
+		sess.Packets++
+		sess.Bytes += int64(n)
+		sess.Last = now
 		drop := e.dropper != nil && e.dropper(pkt.Seq)
 		e.mu.Unlock()
 		if drop {

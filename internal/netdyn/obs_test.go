@@ -1,0 +1,142 @@
+package netdyn
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeReportsInFlight runs a short localhost probe with a fast
+// report interval and checks the snapshots are sane and cumulative.
+func TestProbeReportsInFlight(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var reports []ProbeReport
+	tr, err := Probe(ProbeConfig{
+		Target:      e.Addr().String(),
+		Delta:       2 * time.Millisecond,
+		Count:       150,
+		Drain:       200 * time.Millisecond,
+		Report:      func(r ProbeReport) { reports = append(reports, r) },
+		ReportEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no progress reports delivered")
+	}
+	prevSent := 0
+	for i, r := range reports {
+		if r.Sent < prevSent {
+			t.Errorf("report %d: sent went backwards (%d < %d)", i, r.Sent, prevSent)
+		}
+		prevSent = r.Sent
+		if r.Received+r.Lost+r.InFlight != r.Sent {
+			t.Errorf("report %d: %d recv + %d lost + %d inflight != %d sent",
+				i, r.Received, r.Lost, r.InFlight, r.Sent)
+		}
+		if r.Received > 0 {
+			if r.RTTMin <= 0 || r.RTTP50 < r.RTTMin || r.RTTP99 < r.RTTP50 {
+				t.Errorf("report %d: rtt quantiles out of order: %v/%v/%v",
+					i, r.RTTMin, r.RTTP50, r.RTTP99)
+			}
+		}
+		if r.String() == "" {
+			t.Error("empty report line")
+		}
+	}
+	if got := tr.Received(); got == 0 {
+		t.Fatal("no probes received on loopback")
+	}
+}
+
+// TestProbeReportCountsLossAsSettled: with every echo dropped, probes
+// older than the settle window must show up as Lost with ulp ≈ 1.
+func TestProbeReportCountsLossAsSettled(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetDropper(func(uint32) bool { return true })
+
+	var last ProbeReport
+	_, err = Probe(ProbeConfig{
+		Target:      e.Addr().String(),
+		Delta:       time.Millisecond,
+		Count:       200,
+		Drain:       30 * time.Millisecond,
+		Report:      func(r ProbeReport) { last = r },
+		ReportEvery: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Sent == 0 {
+		t.Fatal("no report captured")
+	}
+	if last.Lost == 0 {
+		t.Errorf("dropper active but report shows no settled losses: %+v", last)
+	}
+	if last.Received != 0 {
+		t.Errorf("received %d despite dropping everything", last.Received)
+	}
+	if last.Lost > 0 && last.ULP < 0.99 {
+		t.Errorf("running ulp = %v, want ≈1 over settled probes", last.ULP)
+	}
+}
+
+// TestEchoerSessions: two probing clients produce two sessions with
+// accurate packet and byte counts.
+func TestEchoerSessions(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	run := func(count, payload int) {
+		t.Helper()
+		if _, err := Probe(ProbeConfig{
+			Target:      e.Addr().String(),
+			Delta:       time.Millisecond,
+			Count:       count,
+			PayloadSize: payload,
+			Drain:       100 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(20, 32)
+	run(10, 64)
+
+	sessions := e.Sessions()
+	if len(sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2: %+v", len(sessions), sessions)
+	}
+	var packets, bytes int64
+	for _, s := range sessions {
+		if s.Client == "" || s.Packets == 0 || s.Bytes == 0 {
+			t.Errorf("incomplete session %+v", s)
+		}
+		if s.Last.Before(s.First) {
+			t.Errorf("session times inverted: %+v", s)
+		}
+		packets += s.Packets
+		bytes += s.Bytes
+	}
+	if packets != 30 {
+		t.Errorf("total session packets = %d, want 30", packets)
+	}
+	if want := int64(20*32 + 10*64); bytes != want {
+		t.Errorf("total session bytes = %d, want %d", bytes, want)
+	}
+	// Sessions are ordered by first packet: the 32-byte run came first.
+	if sessions[0].Packets != 20 {
+		t.Errorf("session order wrong: %+v", sessions)
+	}
+}

@@ -3,11 +3,13 @@ package netdyn
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"netprobe/internal/clock"
 	"netprobe/internal/core"
+	"netprobe/internal/loss"
 )
 
 // ProbeConfig configures a real-network probing run.
@@ -33,6 +35,48 @@ type ProbeConfig struct {
 	// non-decreasing; overrides Count). Use core.PoissonSchedule for
 	// PASTA probing or capacity.PairSchedule for packet pairs.
 	SendTimes []time.Duration
+	// Report, if non-nil, is called about every ReportEvery with an
+	// in-flight snapshot of the run: sent/received/lost counts,
+	// running ulp and clp over settled probes, and rtt quantiles.
+	// Calls come from the sender goroutine between probes, so the
+	// callback needs no locking but should return quickly (it delays
+	// the next probe by however long it runs).
+	Report func(ProbeReport)
+	// ReportEvery is the reporting interval; it defaults to 10 s when
+	// Report is set.
+	ReportEvery time.Duration
+}
+
+// ProbeReport is a live snapshot of a probing run in progress.
+// Probes sent within the settling window (the config's Drain) are
+// counted InFlight rather than Lost, and are excluded from the
+// running loss probabilities, so a slow echo is not misread as loss.
+type ProbeReport struct {
+	// Elapsed is the time since the first probe was scheduled.
+	Elapsed time.Duration
+	// Sent, Received, Lost, and InFlight count probes so far;
+	// Sent = Received + Lost + InFlight.
+	Sent     int
+	Received int
+	Lost     int
+	InFlight int
+	// ULP and CLP are the running unconditional and conditional loss
+	// probabilities over settled probes (NaN when undefined).
+	ULP float64
+	CLP float64
+	// RTTMin, RTTP50, and RTTP99 summarize the received round-trip
+	// times; zero when nothing has been received yet.
+	RTTMin time.Duration
+	RTTP50 time.Duration
+	RTTP99 time.Duration
+}
+
+// String renders the report as one progress line.
+func (r ProbeReport) String() string {
+	return fmt.Sprintf("t=%v sent=%d recv=%d lost=%d inflight=%d ulp=%.3f clp=%.3f rtt min/p50/p99 %v/%v/%v",
+		r.Elapsed.Round(time.Second), r.Sent, r.Received, r.Lost, r.InFlight,
+		r.ULP, r.CLP,
+		r.RTTMin.Round(time.Millisecond), r.RTTP50.Round(time.Millisecond), r.RTTP99.Round(time.Millisecond))
 }
 
 func (c *ProbeConfig) withDefaults() (ProbeConfig, error) {
@@ -62,6 +106,9 @@ func (c *ProbeConfig) withDefaults() (ProbeConfig, error) {
 	}
 	if cfg.Drain == 0 {
 		cfg.Drain = 2 * time.Second
+	}
+	if cfg.Report != nil && cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = 10 * time.Second
 	}
 	return cfg, nil
 }
@@ -154,7 +201,12 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 	// Sender: paced by absolute target times so drift does not
 	// accumulate (a ticker would drift under scheduling jitter).
 	start := wall.Now()
+	nextReport := start + c.ReportEvery
 	for i := 0; i < c.Count; i++ {
+		if c.Report != nil && wall.Now() >= nextReport {
+			c.Report(snapshotProgress(&mu, trace, i, wall.Now(), start, c.Drain))
+			nextReport = wall.Now() + c.ReportEvery
+		}
 		offset := time.Duration(i) * c.Delta
 		if c.SendTimes != nil {
 			offset = c.SendTimes[i]
@@ -194,4 +246,39 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 		return nil, err
 	}
 	return detail, nil
+}
+
+// snapshotProgress computes a ProbeReport over the first sent probes
+// of the trace. now and start are absolute wall offsets; a probe is
+// "settled" once it has been in the air longer than settle, so only
+// settled-and-unanswered probes count as lost.
+func snapshotProgress(mu *sync.Mutex, trace *core.Trace, sent int, now, start, settle time.Duration) ProbeReport {
+	r := ProbeReport{Elapsed: now - start, Sent: sent}
+	var settled []bool // loss indicator over settled probes, in order
+	var rtts []time.Duration
+	mu.Lock()
+	for i := 0; i < sent && i < len(trace.Samples); i++ {
+		s := trace.Samples[i]
+		if !s.Lost {
+			r.Received++
+			rtts = append(rtts, s.RTT)
+			settled = append(settled, false)
+		} else if s.Sent+settle <= now {
+			r.Lost++
+			settled = append(settled, true)
+		} else {
+			r.InFlight++
+		}
+	}
+	mu.Unlock()
+	ls := loss.Analyze(settled)
+	r.ULP = ls.ULP
+	r.CLP = ls.CLP
+	if len(rtts) > 0 {
+		sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+		r.RTTMin = rtts[0]
+		r.RTTP50 = rtts[(len(rtts)-1)/2]
+		r.RTTP99 = rtts[(len(rtts)-1)*99/100]
+	}
+	return r
 }

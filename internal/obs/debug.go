@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvar.Publish panics on duplicate names, so the registry variable
+// is published exactly once and re-pointed on later ServeDebug calls
+// (tests start several servers in one process).
+var publishState struct {
+	mu  sync.Mutex
+	reg *Registry
+	set bool
+}
+
+func publishRegistry(reg *Registry) {
+	publishState.mu.Lock()
+	defer publishState.mu.Unlock()
+	publishState.reg = reg
+	if publishState.set {
+		return
+	}
+	publishState.set = true
+	expvar.Publish("netprobe", expvar.Func(func() any {
+		publishState.mu.Lock()
+		r := publishState.reg
+		publishState.mu.Unlock()
+		if r == nil {
+			return nil
+		}
+		return r.Snapshot()
+	}))
+}
+
+// ServeDebug publishes reg under the expvar name "netprobe" and
+// serves /debug/vars and /debug/pprof/* on addr in a background
+// goroutine, returning the bound address (useful with ":0"). The
+// server lives for the remainder of the process; commands treat it as
+// a debugging tap, not a managed component.
+func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
+	publishRegistry(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // shut down with the process
+	return ln.Addr(), nil
+}

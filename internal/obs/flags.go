@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Flags holds the shared observability flag values every command
+// registers: log level, log format, and the optional debug HTTP
+// address. Register the flags with RegisterFlags, then call Setup
+// after flag parsing.
+type Flags struct {
+	// Level is the minimum log level: debug, info, warn, or error.
+	Level string
+	// Format selects the slog handler: "text" or "json".
+	Format string
+	// DebugAddr, when non-empty, serves /debug/vars (expvar,
+	// including the registry snapshot) and /debug/pprof on that
+	// address.
+	DebugAddr string
+}
+
+// RegisterFlags registers -log, -logfmt, and -debug-addr on fs and
+// returns the struct the parsed values land in.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Level, "log", "info", "log level: debug, info, warn, or error")
+	fs.StringVar(&f.Format, "logfmt", "text", "log format: text or json")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "",
+		"serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w in the given format at
+// the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}
+
+// Setup applies the parsed flags: it installs the process-default
+// slog.Logger (writing to stderr) and, if -debug-addr was given,
+// publishes reg through expvar and starts the debug HTTP server. The
+// returned logger is also the new slog default.
+func (f *Flags) Setup(reg *Registry) (*slog.Logger, error) {
+	level, err := ParseLevel(f.Level)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := NewLogger(os.Stderr, f.Format, level)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	if f.DebugAddr != "" {
+		addr, err := ServeDebug(f.DebugAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("debug endpoint up", "addr", addr.String(),
+			"vars", "/debug/vars", "pprof", "/debug/pprof/")
+	}
+	return logger, nil
+}

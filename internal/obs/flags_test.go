@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Level != "info" || f.Format != "text" || f.DebugAddr != "" {
+		t.Errorf("defaults = %+v", f)
+	}
+	if err := fs.Parse([]string{"-log", "debug", "-logfmt", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Level != "debug" || f.Format != "json" {
+		t.Errorf("parsed = %+v", f)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"Info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+		"":      slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", 1)
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("json handler wrote non-JSON %q: %v", buf.String(), err)
+	}
+	if m["msg"] != "hello" {
+		t.Errorf("msg = %v", m["msg"])
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering broken: %q", out)
+	}
+
+	if _, err := NewLogger(io.Discard, "xml", slog.LevelInfo); err == nil {
+		t.Error("NewLogger accepted unknown format")
+	}
+}
+
+// TestServeDebug starts the debug endpoint on a free port and checks
+// that /debug/vars carries the registry snapshot and /debug/pprof/
+// answers.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.events").Add(123)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		Netprobe Snapshot `json:"netprobe"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Netprobe.Counters["sim.events"] != 123 {
+		t.Errorf("registry not visible via expvar: %+v", vars.Netprobe)
+	}
+
+	resp, err = client.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	// A second server re-points the published variable instead of
+	// panicking on the duplicate expvar name.
+	reg2 := NewRegistry()
+	reg2.Counter("sim.events").Add(7)
+	if _, err := ServeDebug("127.0.0.1:0", reg2); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Netprobe.Counters["sim.events"] != 7 {
+		t.Errorf("expvar still serving old registry: %+v", vars.Netprobe)
+	}
+}

@@ -1,0 +1,405 @@
+// Package obs is the repository's instrumentation layer: a
+// dependency-free, race-safe metrics registry (counters, gauges,
+// fixed-bucket histograms with quantile estimates, and timers), a
+// shared structured-logging setup built on log/slog, and an optional
+// debug HTTP endpoint exposing the registry through expvar alongside
+// net/http/pprof.
+//
+// The paper this repository reproduces is measurement all the way
+// down; obs turns the same discipline on our own machinery. The
+// simulator records events dispatched, heap occupancy, and per-queue
+// drops; the experiment runner records per-job wall times and worker
+// utilization; the real-network prober reports in-flight loss and
+// delay quantiles. Everything is observational: writers use atomics,
+// snapshots never block writers, and none of it perturbs the
+// deterministic simulation (instrumented and uninstrumented runs
+// produce byte-identical traces).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programming error but is not checked on
+// the hot path.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v exceeds the current value —
+// high-water-mark semantics, safe under concurrent writers.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 with atomic add/min/max via CAS on the
+// bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) min(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets with the given
+// upper bounds plus an implicit overflow bucket, and tracks count,
+// sum, min, and max. Observation is lock-free; Snapshot may run
+// concurrently with writers and sees a consistent-enough view for
+// monitoring (bucket counts are each atomically read).
+type Histogram struct {
+	bounds []float64 // sorted inclusive upper bounds
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+	min    atomicFloat
+	max    atomicFloat
+}
+
+// DefaultBounds is a wide log-spaced bucket layout (1e-6 up to 1e4)
+// suitable for seconds-valued timers and most ratio metrics.
+var DefaultBounds = func() []float64 {
+	var b []float64
+	for exp := -6; exp <= 4; exp++ {
+		base := math.Pow(10, float64(exp))
+		b = append(b, base, 2.5*base, 5*base)
+	}
+	return b
+}()
+
+// NewHistogram returns a histogram with the given bucket upper
+// bounds; nil or empty bounds use DefaultBounds. Bounds are sorted
+// and deduplicated.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBounds
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:1]
+	for _, b := range bs[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	h := &Histogram{
+		bounds: uniq,
+		counts: make([]atomic.Int64, len(uniq)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.min(v)
+	h.max.max(v)
+}
+
+// Count reports the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures the histogram's current state, including p50,
+// p90, and p99 estimates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Sum = h.sum.load()
+	s.Min = h.min.load()
+	s.Max = h.max.load()
+	s.Mean = s.Sum / float64(s.Count)
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts has
+// one entry per bound plus a final overflow bucket. Min/Max/Mean and
+// the quantile fields are zero when Count is zero, so the snapshot
+// always marshals to valid JSON (no NaN/Inf).
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket holding the target rank, clamped to
+// the observed [Min, Max]. With no observations it returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := s.Min
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) && s.Bounds[i] < hi {
+				hi = s.Bounds[i]
+			}
+			if lo < s.Min {
+				lo = s.Min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// Timer records durations into a histogram in seconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Time runs fn and records how long it took.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Start begins a timing; calling the returned func records the
+// elapsed duration.
+func (t *Timer) Start() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Registry is a named collection of metrics. Lookup creates on first
+// use and is guarded by a mutex; the returned metric objects are
+// lock-free, so a registry may be shared by many goroutines (e.g. all
+// workers of a simulation sweep writing sim counters concurrently).
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the commands publish to.
+var Default = NewRegistry()
+
+// Counter returns the counter with the given name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it
+// with the given bounds on first use (nil bounds = DefaultBounds).
+// Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns a seconds-valued timer backed by the histogram with
+// the given name.
+func (r *Registry) Timer(name string) *Timer {
+	return &Timer{h: r.Histogram(name, nil)}
+}
+
+// Snapshot captures every metric in the registry. It is safe to call
+// while writers are active.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON
+// (run manifests, the expvar debug endpoint).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Label builds a metric name of the form base{k1=v1,k2=v2} from
+// alternating key/value pairs. Labels are appended in the order
+// given; callers wanting stable names should pass keys in a fixed
+// order.
+func Label(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("counter lookup is not stable")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("SetMax(9) = %d", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v) / 10) // 0.1 .. 10.0 uniform
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Mean-5.05) > 1e-9 {
+		t.Errorf("mean = %v, want 5.05", s.Mean)
+	}
+	if s.Min != 0.1 || s.Max != 10 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// The true median is ~5.05; bucket interpolation should land in
+	// the right bucket (2, 5] comfortably.
+	if s.P50 < 2 || s.P50 > 6 {
+		t.Errorf("p50 = %v, want ≈5", s.P50)
+	}
+	if s.P99 < 9 || s.P99 > 10 {
+		t.Errorf("p99 = %v, want ≈9.9", s.P99)
+	}
+	if q := s.Quantile(1); q != 10 {
+		t.Errorf("q(1) = %v, want max", q)
+	}
+}
+
+func TestHistogramEmptySnapshotIsZero(t *testing.T) {
+	s := NewHistogram(nil).Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Errorf("empty snapshot not zeroed: %+v", s)
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty quantile not zero")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("op")
+	tm.Observe(10 * time.Millisecond)
+	tm.Time(func() {})
+	stop := tm.Start()
+	stop()
+	if got := r.Histogram("op", nil).Count(); got != 3 {
+		t.Errorf("timer recorded %d observations, want 3", got)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("q.drop"); got != "q.drop" {
+		t.Errorf("Label no-kv = %q", got)
+	}
+	got := Label("q.drop", "dir", "fwd", "queue", "paris1")
+	if got != "q.drop{dir=fwd,queue=paris1}" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+// TestRegistryConcurrentWriters hammers one counter, one gauge, and
+// one histogram from many goroutines; totals must be exact and the
+// race detector quiet.
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("events").Inc()
+				r.Gauge("hwm").SetMax(int64(w*perWorker + i))
+				r.Histogram("lat", nil).Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("events").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("hwm").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge high water = %d, want %d", got, workers*perWorker-1)
+	}
+	s := r.Histogram("lat", nil).Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+// TestSnapshotWhileWriting takes snapshots concurrently with writers;
+// every snapshot must be internally consistent (bucket sum equals
+// count) and monotone in time.
+func TestSnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c").Inc()
+				r.Histogram("h", []float64{1, 10, 100}).Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	var lastCount int64
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		if s.Counters["c"] < lastCount {
+			t.Fatalf("counter went backwards: %d -> %d", lastCount, s.Counters["c"])
+		}
+		lastCount = s.Counters["c"]
+		h := s.Histograms["h"]
+		var sum int64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != h.Count {
+			t.Fatalf("snapshot %d: bucket sum %d != count %d", i, sum, h.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentLookup creates metrics by name from many goroutines;
+// the same name must always resolve to the same object.
+func TestConcurrentLookup(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	counters := make([]*Counter, 16)
+	for i := range counters {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counters[i] = r.Counter("shared")
+			counters[i].Inc()
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range counters {
+		if c != counters[0] {
+			t.Fatalf("goroutine %d got a different counter", i)
+		}
+	}
+	if got := counters[0].Value(); got != 16 {
+		t.Errorf("shared counter = %d, want 16", got)
+	}
+}

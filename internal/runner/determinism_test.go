@@ -6,18 +6,28 @@ import (
 	"time"
 
 	"netprobe/internal/core"
+	"netprobe/internal/obs"
 )
 
 // sweep runs a small 2-job δ-sweep on the INRIA path with the given
-// worker count and returns the traces.
+// worker count and returns the traces. Progress and Metrics are
+// always enabled: the determinism assertions below double as the
+// proof that instrumentation does not perturb the simulations.
 func sweep(t *testing.T, rootSeed int64, workers int) []*core.Trace {
 	t.Helper()
 	jobs := DeltaSweep(core.INRIAPreset(),
 		[]time.Duration{20 * time.Millisecond, 50 * time.Millisecond},
 		10*time.Second)
-	results := Run(context.Background(), rootSeed, jobs, Workers(workers))
+	events := 0
+	results := Run(context.Background(), rootSeed, jobs,
+		Workers(workers),
+		Metrics(obs.NewRegistry()),
+		Progress(func(Event) { events++ }))
 	if err := FirstErr(results); err != nil {
 		t.Fatal(err)
+	}
+	if want := 2 * len(jobs); events != want {
+		t.Fatalf("got %d progress events, want %d", events, want)
 	}
 	out := make([]*core.Trace, len(results))
 	for i, r := range results {

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"netprobe/internal/core"
 	"netprobe/internal/loss"
+	"netprobe/internal/obs"
 )
 
 // Job is one experiment of a sweep: a complete simulation spec plus a
@@ -52,8 +54,90 @@ type Result struct {
 	Err error
 }
 
+// EventKind distinguishes the two Progress notifications.
+type EventKind string
+
+// The progress event kinds.
+const (
+	// JobStart is emitted just before a worker begins a job.
+	JobStart EventKind = "start"
+	// JobFinish is emitted when a job's Result is complete.
+	JobFinish EventKind = "finish"
+)
+
+// Event is one live progress notification from the pool. Events are
+// delivered serially (never two callbacks at once), so consumers may
+// print or accumulate without locking; a slow consumer therefore
+// backpressures all workers and should stay cheap.
+type Event struct {
+	// Kind is JobStart or JobFinish.
+	Kind EventKind
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Label echoes Job.Label.
+	Label string
+	// Seed is the job's derived seed.
+	Seed int64
+	// Worker identifies the pool worker running the job (0-based).
+	Worker int
+	// Wall, Stats, and Err are the finished job's outcome; zero on
+	// JobStart.
+	Wall  time.Duration
+	Stats loss.Stats
+	Err   error
+}
+
+// Summary describes one pool run as a whole: how long the sweep took,
+// how busy each worker was, and how the jobs ended. Cancelled counts
+// jobs that never produced a trace because the context was done, so a
+// partial sweep is distinguishable from a complete one at a glance.
+type Summary struct {
+	// Jobs is the number of jobs submitted.
+	Jobs int
+	// Completed, Failed, and Cancelled partition the jobs: traces
+	// produced, simulation/panic errors, and context cancellations.
+	Completed int
+	Failed    int
+	Cancelled int
+	// Wall is the whole sweep's host wall-clock time.
+	Wall time.Duration
+	// Workers is the pool size used.
+	Workers int
+	// WorkerBusy is each worker's cumulative busy time; its length is
+	// Workers.
+	WorkerBusy []time.Duration
+}
+
+// Utilization reports the pool's busy-time over wall-time ratio in
+// [0, 1]: 1.0 means every worker computed for the entire sweep.
+func (s Summary) Utilization() float64 {
+	if s.Wall <= 0 || s.Workers == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range s.WorkerBusy {
+		busy += b
+	}
+	return float64(busy) / float64(time.Duration(s.Workers)*s.Wall)
+}
+
+// String renders the one-line end-of-sweep summary.
+func (s Summary) String() string {
+	out := fmt.Sprintf("%d jobs in %v on %d workers (%.0f%% utilization): %d completed",
+		s.Jobs, s.Wall.Round(time.Millisecond), s.Workers, 100*s.Utilization(), s.Completed)
+	if s.Failed > 0 {
+		out += fmt.Sprintf(", %d failed", s.Failed)
+	}
+	if s.Cancelled > 0 {
+		out += fmt.Sprintf(", %d cancelled", s.Cancelled)
+	}
+	return out
+}
+
 type options struct {
-	workers int
+	workers  int
+	progress func(Event)
+	metrics  *obs.Registry
 }
 
 // Option configures Run.
@@ -65,12 +149,36 @@ func Workers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// Progress registers fn to receive a JobStart and a JobFinish event
+// for every job the pool dispatches (exactly one of each per job, at
+// any worker count). Events are serialized, so fn needs no locking.
+// Jobs cancelled before dispatch produce no events; they appear in
+// the Summary's Cancelled count instead.
+func Progress(fn func(Event)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// Metrics points the pool at a registry: per-job wall times land in
+// the "runner.job.wall" timer and job outcomes in "runner.jobs.*"
+// counters, and any job whose Config.Metrics is nil inherits reg, so
+// one option instruments both the pool and the simulations it runs.
+func Metrics(reg *obs.Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
+
 // Run executes the jobs on a worker pool and returns one Result per
 // job, in submission order. Each job's seed is DeriveSeed(rootSeed,
 // index), making the whole sweep reproducible from rootSeed at any
 // worker count. Cancelling ctx stops dispatching promptly; jobs not
 // yet started are returned with Err set to the context's error.
 func Run(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) []Result {
+	results, _ := RunAll(ctx, rootSeed, jobs, opts...)
+	return results
+}
+
+// RunAll is Run, additionally returning the sweep Summary (wall time,
+// per-worker busy time, and the completed/failed/cancelled split).
+func RunAll(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) ([]Result, Summary) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -83,20 +191,48 @@ func Run(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) []Resu
 		workers = len(jobs)
 	}
 	results := make([]Result, len(jobs))
+	sum := Summary{
+		Jobs:       len(jobs),
+		Workers:    workers,
+		WorkerBusy: make([]time.Duration, workers),
+	}
 	if len(jobs) == 0 {
-		return results
+		return results, sum
+	}
+	start := time.Now()
+
+	// emit serializes Progress callbacks across workers.
+	var emitMu sync.Mutex
+	emit := func(ev Event) {
+		if o.progress == nil {
+			return
+		}
+		emitMu.Lock()
+		o.progress(ev)
+		emitMu.Unlock()
 	}
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(ctx, rootSeed, i, jobs[i])
+				seed := DeriveSeed(rootSeed, i)
+				emit(Event{Kind: JobStart, Index: i, Label: jobs[i].Label, Seed: seed, Worker: w})
+				t0 := time.Now()
+				res := runOne(ctx, rootSeed, i, jobs[i], o.metrics)
+				sum.WorkerBusy[w] += time.Since(t0)
+				results[i] = res
+				if o.metrics != nil {
+					o.metrics.Timer("runner.job.wall").Observe(res.Wall)
+					o.metrics.Counter("runner.jobs." + string(outcome(ctx, res))).Inc()
+				}
+				emit(Event{Kind: JobFinish, Index: i, Label: res.Label, Seed: res.Seed,
+					Worker: w, Wall: res.Wall, Stats: res.Stats, Err: res.Err})
 			}
-		}()
+		}(w)
 	}
 
 	next := 0
@@ -119,11 +255,49 @@ feed:
 			Seed:  DeriveSeed(rootSeed, i),
 			Err:   context.Cause(ctx),
 		}
+		if o.metrics != nil {
+			o.metrics.Counter("runner.jobs.cancelled").Inc()
+		}
 	}
-	return results
+	sum.Wall = time.Since(start)
+	for _, r := range results {
+		switch outcome(ctx, r) {
+		case outcomeCompleted:
+			sum.Completed++
+		case outcomeFailed:
+			sum.Failed++
+		case outcomeCancelled:
+			sum.Cancelled++
+		}
+	}
+	return results, sum
 }
 
-func runOne(ctx context.Context, rootSeed int64, index int, job Job) (res Result) {
+type outcomeKind string
+
+const (
+	outcomeCompleted outcomeKind = "completed"
+	outcomeFailed    outcomeKind = "failed"
+	outcomeCancelled outcomeKind = "cancelled"
+)
+
+// outcome classifies a result: no error is completed; the context's
+// own error (a job skipped or aborted by cancellation) is cancelled;
+// anything else is failed.
+func outcome(ctx context.Context, r Result) outcomeKind {
+	switch {
+	case r.Err == nil:
+		return outcomeCompleted
+	case errors.Is(r.Err, context.Canceled),
+		errors.Is(r.Err, context.DeadlineExceeded),
+		context.Cause(ctx) != nil && errors.Is(r.Err, context.Cause(ctx)):
+		return outcomeCancelled
+	default:
+		return outcomeFailed
+	}
+}
+
+func runOne(ctx context.Context, rootSeed int64, index int, job Job, reg *obs.Registry) (res Result) {
 	res = Result{
 		Index: index,
 		Label: job.Label,
@@ -144,6 +318,9 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job) (res Result
 	}()
 	cfg := job.Config
 	cfg.Seed = res.Seed
+	if cfg.Metrics == nil {
+		cfg.Metrics = reg
+	}
 	run := job.RunFunc
 	if run == nil {
 		run = func(_ context.Context, cfg core.SimConfig) (*core.Trace, error) {

@@ -60,10 +60,12 @@ func (h *eventHeap) Pop() interface{} {
 // Scheduler owns virtual time and the pending event set. The zero
 // value is ready to use.
 type Scheduler struct {
-	now     time.Duration
-	seq     uint64
-	pending eventHeap
-	stopped bool
+	now        time.Duration
+	seq        uint64
+	pending    eventHeap
+	stopped    bool
+	executed   uint64
+	maxPending int
 }
 
 // NewScheduler returns a Scheduler with virtual time zero.
@@ -80,6 +82,9 @@ func (s *Scheduler) At(at time.Duration, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.pending, event{at: at, seq: s.seq, fn: fn})
+	if len(s.pending) > s.maxPending {
+		s.maxPending = len(s.pending)
+	}
 }
 
 // After schedules fn to run d from now. Negative d panics via At.
@@ -103,6 +108,7 @@ func (s *Scheduler) Run(horizon time.Duration) int {
 		ev.fn()
 		n++
 	}
+	s.executed += uint64(n)
 	if s.now < horizon {
 		s.now = horizon
 	}
@@ -111,3 +117,13 @@ func (s *Scheduler) Run(horizon time.Duration) int {
 
 // Pending reports the number of events not yet executed.
 func (s *Scheduler) Pending() int { return len(s.pending) }
+
+// Executed reports the total number of events run across all Run
+// calls — the engine's work counter for instrumentation.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// MaxPending reports the high-water mark of the event heap: the
+// largest number of events that were ever pending at once. It bounds
+// the engine's memory footprint and is exported to the metrics
+// registry by instrumented runs.
+func (s *Scheduler) MaxPending() int { return s.maxPending }
