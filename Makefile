@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-snapshot check
+# perf-gate inputs: BASELINE is the committed reference artifact (a
+# run manifest or a BENCH_*.json snapshot); CURRENT defaults to the
+# manifest the experiments command writes.
+BASELINE ?=
+CURRENT ?= experiments-manifest.json
+
+.PHONY: build test race vet bench bench-snapshot check perf-gate
 
 build:
 	$(GO) build ./...
@@ -29,3 +35,13 @@ bench-snapshot:
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 check: build vet race
+
+# perf-gate diffs the current run artifact against a baseline and
+# fails on regression (wall-time ratios with a noise floor, exact loss
+# stats). Usage:
+#
+#   make perf-gate BASELINE=baseline-manifest.json
+#   make perf-gate BASELINE=BENCH_2026-07-01.json CURRENT=BENCH_2026-08-05.json
+perf-gate:
+	@test -n "$(BASELINE)" || { echo "usage: make perf-gate BASELINE=<manifest-or-bench.json> [CURRENT=$(CURRENT)]"; exit 2; }
+	$(GO) run ./cmd/manifestdiff $(BASELINE) $(CURRENT)

@@ -8,8 +8,12 @@
 //
 //	bolotsim [-path inria|pitt] [-delta 50ms | -delta 8ms,20ms,50ms]
 //	         [-duration 10m] [-seed 42] [-noloss] [-nocross]
-//	         [-workers N] [-out trace.csv]
+//	         [-workers N] [-out trace.csv] [-trace-dir traces/]
 //	         [-log info] [-logfmt text|json] [-debug-addr :6060]
+//
+// -trace-dir additionally records every probe's lifecycle (sent,
+// enqueued per hop, dropped, echoed, rtt) as one otrace JSONL file per
+// job; the files are byte-identical at any -workers value.
 //
 // Sweep jobs report start/finish live through the structured logger,
 // and the run ends with a one-line pool summary (wall time, worker
@@ -44,6 +48,8 @@ func main() {
 		noCross  = flag.Bool("nocross", false, "disable Internet cross traffic")
 		workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		out      = flag.String("out", "", "trace output file (.csv or .json); sweeps insert the δ before the extension")
+		traceDir = flag.String("trace-dir", "",
+			"directory for per-job probe-lifecycle event files (otrace JSONL); empty disables tracing")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -83,7 +89,7 @@ func main() {
 	p := jobs[0].Config.Path
 	fmt.Printf("route (%s):\n%s", p.Name, p.Traceroute())
 
-	results, summary := runner.RunAll(context.Background(), *seed, jobs,
+	opts := []runner.Option{
 		runner.Workers(*workers),
 		runner.Metrics(obs.Default),
 		runner.Progress(func(ev runner.Event) {
@@ -99,7 +105,12 @@ func main() {
 					"wall", ev.Wall.Round(time.Millisecond),
 					"ulp", fmt.Sprintf("%.3f", ev.Stats.ULP))
 			}
-		}))
+		}),
+	}
+	if *traceDir != "" {
+		opts = append(opts, runner.Traces(*traceDir))
+	}
+	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)
 	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}

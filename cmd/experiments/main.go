@@ -20,6 +20,11 @@
 //	experiments [-quick] [-seed 42] [-plots] [-workers N]
 //	            [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	            [-manifest experiments-manifest.json]
+//	            [-trace-dir traces/]
+//
+// -trace-dir writes one probe-lifecycle event file (otrace JSONL) per
+// job, referenced from the manifest; the files are byte-identical at
+// any -workers value.
 package main
 
 import (
@@ -56,6 +61,8 @@ var (
 	workers  = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	manifest = flag.String("manifest", "experiments-manifest.json",
 		"run-manifest output path; empty disables the manifest")
+	traceDir = flag.String("trace-dir", "",
+		"directory for per-job probe-lifecycle event files (otrace JSONL); empty disables tracing")
 	obsFlags = obs.RegisterFlags(flag.CommandLine)
 )
 
@@ -156,10 +163,15 @@ func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result
 	pp.SendTimes = capacity.PairSchedule(1000, 200*time.Millisecond, time.Millisecond)
 	jobs = append(jobs, runner.Job{Label: jobPacketPair, Config: pp})
 
-	results, summary := runner.RunAll(context.Background(), *seed, jobs,
+	opts := []runner.Option{
 		runner.Workers(*workers),
 		runner.Metrics(obs.Default),
-		runner.Progress(progressLine(len(jobs))))
+		runner.Progress(progressLine(len(jobs))),
+	}
+	if *traceDir != "" {
+		opts = append(opts, runner.Traces(*traceDir))
+	}
+	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)
 	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
@@ -203,9 +215,10 @@ func progressLine(total int) func(runner.Event) {
 func writeManifest(path string, results []runner.Result, summary runner.Summary) {
 	m := runner.NewManifest("experiments", *seed, results, summary)
 	m.Flags = map[string]string{
-		"quick":   strconv.FormatBool(*quick),
-		"plots":   strconv.FormatBool(*plots),
-		"workers": strconv.Itoa(*workers),
+		"quick":     strconv.FormatBool(*quick),
+		"plots":     strconv.FormatBool(*plots),
+		"workers":   strconv.Itoa(*workers),
+		"trace_dir": *traceDir,
 	}
 	m.Presets = []string{"inria", "pitt"}
 	snap := obs.Default.Snapshot()

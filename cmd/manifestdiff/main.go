@@ -1,0 +1,86 @@
+// Command manifestdiff compares two performance artifacts — run
+// manifests (experiments-manifest.json) or benchmark snapshots
+// (BENCH_*.json) — and exits non-zero when the newer one regressed.
+// It is the perf gate behind `make perf-gate`: commit a baseline
+// manifest, rerun the sweep on a branch, and diff.
+//
+// Usage:
+//
+//	manifestdiff [flags] OLD NEW
+//
+//	manifestdiff baseline-manifest.json experiments-manifest.json
+//	manifestdiff -wall-tol 1.5 BENCH_2026-07-01.json BENCH_2026-08-05.json
+//
+// Exit status: 0 when NEW is within thresholds, 1 on regression, 2 on
+// usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netprobe/internal/perfgate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("manifestdiff: ")
+	wallTol := flag.Float64("wall-tol", 1.30,
+		"per-job wall-time slowdown ratio above which a job regresses")
+	wallMin := flag.Float64("wall-min", 5,
+		"noise floor in milliseconds: smaller absolute slowdowns never regress")
+	lossTol := flag.Float64("loss-tol", 0.02,
+		"largest allowed absolute change in a loss statistic (ulp/clp)")
+	benchTol := flag.Float64("bench-tol", 0,
+		"benchmark metric slowdown ratio (default: wall-tol)")
+	verbose := flag.Bool("v", false, "print every delta, not just regressions")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: manifestdiff [flags] OLD NEW\n\ncompares two run manifests or two benchmark snapshots\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldData, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	newData, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	rep, err := perfgate.Compare(oldData, newData, perfgate.Options{
+		WallRatio:  *wallTol,
+		WallMinMS:  *wallMin,
+		LossAbs:    *lossTol,
+		BenchRatio: *benchTol,
+	})
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	regs := rep.Regressions()
+	for _, d := range rep.Deltas {
+		if !*verbose && !d.Regression {
+			continue
+		}
+		mark := "  "
+		if d.Regression {
+			mark = "✗ "
+		}
+		fmt.Printf("%s%-40s old=%-12g new=%-12g %s\n", mark, d.Name, d.Old, d.New, d.Note)
+	}
+	fmt.Printf("%s: %d quantities compared, %d regressions\n", rep.Format, len(rep.Deltas), len(regs))
+	if len(regs) > 0 {
+		os.Exit(1)
+	}
+}

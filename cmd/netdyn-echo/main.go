@@ -8,8 +8,12 @@
 //
 // Usage:
 //
-//	netdyn-echo [-addr host:port] [-quiet]
+//	netdyn-echo [-addr host:port] [-quiet] [-trace events.jsonl]
 //	            [-log info] [-logfmt text|json] [-debug-addr :6060]
+//
+// -trace records every echoed (and dropper-discarded) probe as otrace
+// JSONL events on the echo host's clock — the turnaround half of the
+// probe-lifecycle schema netdyn-probe writes.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
 )
 
 func main() {
@@ -31,6 +36,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "0.0.0.0:7007", "UDP address to listen on")
 		quiet    = flag.Bool("quiet", false, "suppress per-session logging")
+		events   = flag.String("trace", "", "probe-turnaround event output file (otrace JSONL); empty disables")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -43,6 +49,21 @@ func main() {
 		log.Fatal(err)
 	}
 	defer e.Close()
+	if *events != "" {
+		w, err := otrace.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := otrace.NewBounded(w, 4096)
+		e.SetTrace(b)
+		defer func() {
+			b.Close() //nolint:errcheck // always nil
+			if err := w.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("event trace written to %s (%d events)\n", *events, w.Events())
+		}()
+	}
 	fmt.Printf("echoing probes on %s\n", e.Addr())
 
 	// logSessions reports every session whose packet count changed

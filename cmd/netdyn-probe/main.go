@@ -11,11 +11,15 @@
 //
 //	netdyn-probe -target host:port [-delta 50ms] [-count 12000]
 //	             [-size 32] [-clockres 0] [-out trace.csv]
-//	             [-report 10s] [-log info] [-logfmt text|json]
-//	             [-debug-addr :6060]
+//	             [-trace events.jsonl] [-report 10s]
+//	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
 // With no -count, the probe runs for the paper's 10 minutes
 // (duration/delta packets). -report 0 disables the in-flight reports.
+// -trace streams every probe's lifecycle events (run_start,
+// probe_sent, rtt) as otrace JSONL — the same schema the simulator
+// writes — through a bounded queue so a slow disk never delays probe
+// pacing.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"netprobe/internal/loss"
 	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
 	"netprobe/internal/trace"
 )
 
@@ -41,6 +46,7 @@ func main() {
 		size     = flag.Int("size", netdyn.DefaultPayload, "UDP payload bytes")
 		clockRes = flag.Duration("clockres", 0, "emulated clock resolution (e.g. 3.90625ms)")
 		out      = flag.String("out", "", "trace output file (.csv or .json); empty = summary only")
+		events   = flag.String("trace", "", "probe-lifecycle event output file (otrace JSONL); empty disables")
 		report   = flag.Duration("report", 10*time.Second, "in-flight progress report interval (0 disables)")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
@@ -62,6 +68,24 @@ func main() {
 		Count:       n,
 		PayloadSize: *size,
 		ClockRes:    *clockRes,
+	}
+	if *events != "" {
+		w, err := otrace.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := otrace.NewBounded(w, 4096)
+		cfg.Trace = b
+		defer func() {
+			b.Close() //nolint:errcheck // always nil
+			if err := w.Close(); err != nil {
+				log.Fatal(err)
+			}
+			if d := b.Dropped(); d > 0 {
+				slog.Warn("event trace incomplete", "dropped", d)
+			}
+			fmt.Printf("event trace written to %s (%d events)\n", *events, w.Events())
+		}()
 	}
 	if *report > 0 {
 		cfg.ReportEvery = *report

@@ -6,6 +6,7 @@ import (
 
 	"netprobe/internal/clock"
 	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
 	"netprobe/internal/route"
 	"netprobe/internal/sim"
 	"netprobe/internal/traffic"
@@ -127,6 +128,14 @@ type SimConfig struct {
 	// runs produce identical traces; it is race-safe, so concurrent
 	// sweep jobs may share one registry.
 	Metrics *obs.Registry `json:"-"`
+	// Trace, if non-nil, receives the run's probe-lifecycle event
+	// stream (otrace schema): run_start metadata, then probe_sent /
+	// enqueue / drop / echo / rtt per probe. Events are stamped with
+	// virtual time and emitted synchronously from the single
+	// simulation goroutine, so the stream is byte-deterministic for a
+	// given config and seed and — like Metrics — never feeds back
+	// into the simulation.
+	Trace otrace.Sink `json:"-"`
 }
 
 // ModulatedCross describes a packet stream whose rate swings
@@ -222,8 +231,24 @@ func RunSim(c SimConfig) (*Trace, error) {
 			s.Recv = at
 			s.RTT = clock.QuantizeRTT(s.Sent, at, cfg.ClockRes)
 			s.Lost = false
+			if cfg.Trace != nil {
+				cfg.Trace.Emit(otrace.Event{
+					T: int64(at), Ev: otrace.KindRTT, Seq: s.Seq, Flow: pkt.Flow,
+					SentNs: int64(s.Sent), RecvNs: int64(s.Recv), RTTNs: int64(s.RTT),
+				})
+			}
 		},
 	})
+	if cfg.Trace != nil {
+		cfg.Trace.Emit(otrace.Event{
+			Ev: otrace.KindRunStart, Seq: -1,
+			Name: trace.Name, DeltaNs: int64(trace.Delta),
+			PayloadBytes: trace.PayloadSize, WireBytes: trace.WireSize,
+			BottleneckBps: trace.BottleneckBps, ClockResNs: int64(trace.ClockRes),
+			Count: cfg.Count,
+		})
+		attachTrace(cfg.Trace, sched, built)
+	}
 
 	// Probe source: periodic by default, or an explicit schedule for
 	// the grouped-probe baseline.
@@ -236,6 +261,9 @@ func RunSim(c SimConfig) (*Trace, error) {
 			seq, at := i, at
 			sched.At(at, func() {
 				trace.Samples[seq] = Sample{Seq: seq, Sent: at, Lost: true}
+				if cfg.Trace != nil {
+					cfg.Trace.Emit(otrace.Event{T: int64(at), Ev: otrace.KindProbeSent, Seq: seq, Flow: "probe"})
+				}
 				pkt := factory.New("probe", seq, cfg.WireSize, at)
 				pkt.Probe = true
 				built.Head.Receive(pkt)
@@ -246,6 +274,9 @@ func RunSim(c SimConfig) (*Trace, error) {
 		src := sim.NewPeriodicSource(sched, &factory, "probe", cfg.WireSize, cfg.Delta, cfg.Count, 0, built.Head)
 		src.OnSend(func(seq int, at time.Duration) {
 			trace.Samples[seq] = Sample{Seq: seq, Sent: at, Lost: true}
+			if cfg.Trace != nil {
+				cfg.Trace.Emit(otrace.Event{T: int64(at), Ev: otrace.KindProbeSent, Seq: seq, Flow: "probe"})
+			}
 		})
 		src.Start()
 		lastSend = time.Duration(cfg.Count) * cfg.Delta
@@ -277,10 +308,20 @@ func RunSim(c SimConfig) (*Trace, error) {
 			built.BottleneckForward()).Start()
 	}
 
+	// Instrumented runs also sample the bottleneck queue's occupancy
+	// on a fixed grid, so backlog distributions land in the metrics
+	// snapshot (and from there in run manifests). The monitor only
+	// reads queue state, so traces stay byte-identical either way.
+	var monitor *sim.Monitor
+	if cfg.Metrics != nil {
+		monitor = sim.NewMonitor(sched, built.BottleneckForward(), monitorInterval, lastSend)
+		monitor.Start()
+	}
+
 	wallStart := time.Now()
 	events := sched.Run(horizon)
 	if cfg.Metrics != nil {
-		recordSimMetrics(cfg.Metrics, sched, built, events, time.Since(wallStart), horizon)
+		recordSimMetrics(cfg.Metrics, sched, built, monitor, events, time.Since(wallStart), horizon)
 	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
@@ -288,10 +329,61 @@ func RunSim(c SimConfig) (*Trace, error) {
 	return trace, nil
 }
 
+// monitorInterval is the queue-occupancy sampling grid of instrumented
+// runs: fine enough to see the paper's "rapid fluctuations" regime,
+// coarse enough to stay a negligible fraction of engine events.
+const monitorInterval = 100 * time.Millisecond
+
+// OccupancyBounds is the bucket layout for queue-backlog histograms:
+// packets in system, roughly log-spaced up to the largest buffers the
+// presets configure.
+var OccupancyBounds = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+
+// attachTrace hooks the probe-lifecycle event stream into the built
+// pipeline: enqueue/drop per hop queue (probe packets only, keeping
+// event volume proportional to probes rather than to cross traffic)
+// and the turnaround at the echo host.
+func attachTrace(sink otrace.Sink, sched *sim.Scheduler, built *route.Built) {
+	hook := func(dir string, qs []*sim.Queue) {
+		for _, q := range qs {
+			name := q.Name
+			q.OnEnqueue(func(pkt *sim.Packet, now time.Duration, qlen int) {
+				if !pkt.Probe {
+					return
+				}
+				sink.Emit(otrace.Event{
+					T: int64(now), Ev: otrace.KindEnqueue, Seq: pkt.Seq, Flow: pkt.Flow,
+					Queue: name, Dir: dir, QLen: qlen,
+				})
+			})
+			q.OnDrop(func(pkt *sim.Packet, now time.Duration) {
+				if !pkt.Probe {
+					return
+				}
+				sink.Emit(otrace.Event{
+					T: int64(now), Ev: otrace.KindDrop, Seq: pkt.Seq, Flow: pkt.Flow,
+					Queue: name, Dir: dir,
+				})
+			})
+		}
+	}
+	hook("fwd", built.ForwardQueues)
+	hook("ret", built.ReturnQueues)
+	built.Echo.OnEcho(func(pkt *sim.Packet) {
+		sink.Emit(otrace.Event{T: int64(sched.Now()), Ev: otrace.KindEcho, Seq: pkt.Seq, Flow: pkt.Flow})
+	})
+}
+
 // recordSimMetrics exports one finished run's engine counters into
 // the registry. Counter names aggregate across jobs sharing the
 // registry; queue counters are labeled by hop name and direction.
-func recordSimMetrics(reg *obs.Registry, sched *sim.Scheduler, built *route.Built, events int, wall, horizon time.Duration) {
+func recordSimMetrics(reg *obs.Registry, sched *sim.Scheduler, built *route.Built, monitor *sim.Monitor, events int, wall, horizon time.Duration) {
+	if monitor != nil {
+		h := reg.Histogram(obs.Label("sim.queue.occupancy", "queue", built.BottleneckForward().Name), OccupancyBounds)
+		for _, v := range monitor.SamplesFloat() {
+			h.Observe(v)
+		}
+	}
 	reg.Counter("sim.events").Add(int64(events))
 	reg.Counter("sim.runs").Inc()
 	reg.Gauge("sim.heap.high_water").SetMax(int64(sched.MaxPending()))

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netprobe/internal/otrace"
 )
 
 // Echoer is the intermediate host of the paper's setup: it listens on
@@ -20,6 +22,7 @@ type Echoer struct {
 	mu       sync.Mutex
 	dropper  func(seq uint32) bool
 	sessions map[string]*SessionStats
+	trace    otrace.Sink
 
 	echoed  atomic.Int64
 	dropped atomic.Int64
@@ -72,6 +75,16 @@ func (e *Echoer) Addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) 
 func (e *Echoer) SetDropper(fn func(seq uint32) bool) {
 	e.mu.Lock()
 	e.dropper = fn
+	e.mu.Unlock()
+}
+
+// SetTrace points the echo server at an event sink: every echoed
+// probe emits a KindEcho event and every dropper-discarded probe a
+// KindDrop event, stamped with the echo host's clock (offset from
+// server start) — the turnaround half of the shared otrace schema.
+func (e *Echoer) SetTrace(sink otrace.Sink) {
+	e.mu.Lock()
+	e.trace = sink
 	e.mu.Unlock()
 }
 
@@ -133,9 +146,14 @@ func (e *Echoer) serve() {
 		sess.Bytes += int64(n)
 		sess.Last = now
 		drop := e.dropper != nil && e.dropper(pkt.Seq)
+		sink := e.trace
 		e.mu.Unlock()
 		if drop {
 			e.dropped.Add(1)
+			if sink != nil {
+				sink.Emit(otrace.Event{T: now.Sub(e.start).Nanoseconds(), Ev: otrace.KindDrop,
+					Seq: int(pkt.Seq), Flow: "probe", Queue: "echo"})
+			}
 			continue
 		}
 		if err := StampEcho(buf[:n], time.Since(e.start).Microseconds()); err != nil {
@@ -145,5 +163,9 @@ func (e *Echoer) serve() {
 			continue
 		}
 		e.echoed.Add(1)
+		if sink != nil {
+			sink.Emit(otrace.Event{T: now.Sub(e.start).Nanoseconds(), Ev: otrace.KindEcho,
+				Seq: int(pkt.Seq), Flow: "probe"})
+		}
 	}
 }

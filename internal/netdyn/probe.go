@@ -10,6 +10,7 @@ import (
 	"netprobe/internal/clock"
 	"netprobe/internal/core"
 	"netprobe/internal/loss"
+	"netprobe/internal/otrace"
 )
 
 // ProbeConfig configures a real-network probing run.
@@ -45,6 +46,13 @@ type ProbeConfig struct {
 	// ReportEvery is the reporting interval; it defaults to 10 s when
 	// Report is set.
 	ReportEvery time.Duration
+	// Trace, if non-nil, receives the run's probe-lifecycle events in
+	// the same otrace schema the simulator emits: run_start metadata,
+	// probe_sent per send, and rtt per accepted echo, stamped with
+	// wall-clock offsets on the source host's clock. Emit is called
+	// from both the sender and receiver goroutines, so wrap slow sinks
+	// in otrace.NewBounded to keep probe pacing unaffected.
+	Trace otrace.Sink
 }
 
 // ProbeReport is a live snapshot of a probing run in progress.
@@ -168,6 +176,15 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 		detail.EchoMicros[i] = -1
 	}
 
+	if c.Trace != nil {
+		c.Trace.Emit(otrace.Event{
+			Ev: otrace.KindRunStart, Seq: -1,
+			Name: trace.Name, DeltaNs: int64(trace.Delta),
+			PayloadBytes: trace.PayloadSize, WireBytes: trace.WireSize,
+			ClockResNs: int64(trace.ClockRes), Count: c.Count,
+		})
+	}
+
 	wall := clock.NewWall(0) // full-resolution monotonic source
 	var mu sync.Mutex        // guards trace.Samples
 
@@ -188,13 +205,21 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 			}
 			mu.Lock()
 			s := &trace.Samples[pkt.Seq]
-			if s.Lost { // first echo wins; duplicates ignored
+			accepted := s.Lost // first echo wins; duplicates ignored
+			if accepted {
 				s.Recv = now
 				s.RTT = clock.QuantizeRTT(s.Sent, now, c.ClockRes)
 				s.Lost = false
 				detail.EchoMicros[pkt.Seq] = pkt.EchoMicros
 			}
+			sent, rtt := s.Sent, s.RTT
 			mu.Unlock()
+			if accepted && c.Trace != nil {
+				c.Trace.Emit(otrace.Event{
+					T: int64(now), Ev: otrace.KindRTT, Seq: int(pkt.Seq), Flow: "probe",
+					SentNs: int64(sent), RecvNs: int64(now), RTTNs: int64(rtt),
+				})
+			}
 		}
 	}()
 
@@ -228,6 +253,9 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 		mu.Lock()
 		trace.Samples[i] = core.Sample{Seq: i, Sent: sent, Lost: true}
 		mu.Unlock()
+		if c.Trace != nil {
+			c.Trace.Emit(otrace.Event{T: int64(sent), Ev: otrace.KindProbeSent, Seq: i, Flow: "probe"})
+		}
 		if _, err := conn.Write(payload); err != nil {
 			// Leave the sample marked lost: a send error is a loss
 			// from the experiment's point of view, and transient

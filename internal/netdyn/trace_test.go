@@ -1,0 +1,214 @@
+package netdyn
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/otrace"
+	"netprobe/internal/trace"
+)
+
+// memSink collects events in memory, safe for the prober's two
+// goroutines.
+type memSink struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (m *memSink) Emit(ev otrace.Event) {
+	m.mu.Lock()
+	m.evs = append(m.evs, ev)
+	m.mu.Unlock()
+}
+
+func (m *memSink) events() []otrace.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]otrace.Event(nil), m.evs...)
+}
+
+// TestProbeEmitsTraceEvents: a loopback run with a trace sink produces
+// the simulator's event schema — run_start with the run metadata, one
+// probe_sent per probe, one rtt per accepted echo — and the echo
+// server contributes echo events on its own clock.
+func TestProbeEmitsTraceEvents(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var echoSink memSink
+	e.SetTrace(&echoSink)
+
+	var sink memSink
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  50,
+		Drain:  time.Second,
+		Trace:  &sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var starts, sent, rtts int
+	for _, ev := range sink.events() {
+		switch ev.Ev {
+		case otrace.KindRunStart:
+			starts++
+			if ev.Count != 50 || ev.PayloadBytes != DefaultPayload {
+				t.Errorf("run_start metadata %+v", ev)
+			}
+		case otrace.KindProbeSent:
+			sent++
+		case otrace.KindRTT:
+			rtts++
+			if ev.RTTNs <= 0 || ev.RecvNs < ev.SentNs {
+				t.Errorf("rtt event timestamps inconsistent: %+v", ev)
+			}
+		}
+	}
+	if starts != 1 {
+		t.Errorf("%d run_start events, want 1", starts)
+	}
+	if sent != 50 {
+		t.Errorf("%d probe_sent events, want 50", sent)
+	}
+	received := 0
+	for _, s := range tr.Samples {
+		if !s.Lost {
+			received++
+		}
+	}
+	if rtts != received {
+		t.Errorf("%d rtt events, want %d (one per received probe)", rtts, received)
+	}
+
+	echoes := 0
+	for _, ev := range echoSink.events() {
+		if ev.Ev == otrace.KindEcho {
+			echoes++
+		}
+	}
+	if int64(echoes) != e.Echoed() {
+		t.Errorf("%d echo events, want %d", echoes, e.Echoed())
+	}
+}
+
+// TestProbeTraceReconstructs: the event stream a real run emits
+// replays into the trace Probe returned, losses included — the same
+// FromEvents guarantee the simulator has.
+func TestProbeTraceReconstructs(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetDropper(func(seq uint32) bool { return seq%5 == 0 })
+
+	var buf bytes.Buffer
+	w := otrace.NewWriter(&buf)
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  60,
+		Drain:  time.Second,
+		Trace:  w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.FromEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Samples) != len(tr.Samples) {
+		t.Fatalf("reconstructed %d samples, want %d", len(rec.Samples), len(tr.Samples))
+	}
+	for i := range rec.Samples {
+		if rec.Samples[i] != tr.Samples[i] {
+			t.Fatalf("sample %d: reconstructed %+v, direct %+v", i, rec.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+// TestEchoerDropEvents: dropper-discarded probes emit drop events at
+// the echo host.
+func TestEchoerDropEvents(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetDropper(func(seq uint32) bool { return seq%2 == 0 })
+	var sink memSink
+	e.SetTrace(&sink)
+
+	if _, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  20,
+		Drain:  500 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for _, ev := range sink.events() {
+		if ev.Ev == otrace.KindDrop {
+			drops++
+			if ev.Queue != "echo" || ev.Seq%2 != 0 {
+				t.Errorf("unexpected drop event %+v", ev)
+			}
+		}
+	}
+	if int64(drops) != e.Dropped() {
+		t.Errorf("%d drop events, want %d", drops, e.Dropped())
+	}
+}
+
+// TestProbeTraceThroughBounded: the recommended production wiring — a
+// Bounded sink in front of a Writer — loses nothing at this scale and
+// still reconstructs.
+func TestProbeTraceThroughBounded(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var buf bytes.Buffer
+	w := otrace.NewWriter(&buf)
+	b := otrace.NewBounded(w, 1024)
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  time.Millisecond,
+		Count:  40,
+		Drain:  time.Second,
+		Trace:  b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("bounded sink dropped %d events at trivial load", b.Dropped())
+	}
+	rec, err := trace.FromEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Samples) != tr.Len() {
+		t.Fatalf("reconstructed %d samples, want %d", len(rec.Samples), tr.Len())
+	}
+}

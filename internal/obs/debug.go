@@ -37,13 +37,15 @@ func publishRegistry(reg *Registry) {
 }
 
 // ServeDebug publishes reg under the expvar name "netprobe" and
-// serves /debug/vars and /debug/pprof/* on addr in a background
-// goroutine, returning the bound address (useful with ":0"). The
-// server lives for the remainder of the process; commands treat it as
-// a debugging tap, not a managed component.
+// serves /metrics (Prometheus text exposition), /debug/vars, and
+// /debug/pprof/* on addr in a background goroutine, returning the
+// bound address (useful with ":0"). The server lives for the
+// remainder of the process; commands treat it as a debugging tap, not
+// a managed component.
 func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
 	publishRegistry(reg)
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

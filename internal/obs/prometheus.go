@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition
+// format (version 0.0.4), so the same registry the run manifests
+// snapshot is scrapeable live from the -debug-addr endpoint. Names
+// built with Label ("base{k1=v1,k2=v2}") are parsed back into metric
+// families with proper Prometheus labels; dots in names become
+// underscores ("sim.queue.occupancy" → "sim_queue_occupancy").
+// Histograms are exposed the Prometheus way: cumulative _bucket series
+// with le labels, plus _sum and _count. Output ordering is fully
+// deterministic (families and series sorted by name), which keeps the
+// endpoint diffable and golden-testable.
+
+// WritePrometheus writes a snapshot of reg to w in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	snap := reg.Snapshot()
+	fams := make(map[string]*promFamily)
+
+	for raw, v := range snap.Counters {
+		base, labels := promName(raw)
+		fams[base] = appendBlock(fams[base], "counter", labels,
+			base+labels+" "+strconv.FormatInt(v, 10))
+	}
+	for raw, v := range snap.Gauges {
+		base, labels := promName(raw)
+		fams[base] = appendBlock(fams[base], "gauge", labels,
+			base+labels+" "+strconv.FormatInt(v, 10))
+	}
+	for raw, h := range snap.Histograms {
+		base, labels := promName(raw)
+		lines := make([]string, 0, len(h.Bounds)+3)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			lines = append(lines, base+"_bucket"+withLe(labels, promFloat(b))+" "+
+				strconv.FormatInt(cum, 10))
+		}
+		lines = append(lines,
+			base+"_bucket"+withLe(labels, "+Inf")+" "+strconv.FormatInt(h.Count, 10),
+			base+"_sum"+labels+" "+promFloat(h.Sum),
+			base+"_count"+labels+" "+strconv.FormatInt(h.Count, 10))
+		fams[base] = appendBlock(fams[base], "histogram", labels, lines...)
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		sort.SliceStable(f.blocks, func(i, j int) bool { return f.blocks[i].key < f.blocks[j].key })
+		for _, b := range f.blocks {
+			for _, line := range b.lines {
+				if _, err := io.WriteString(w, line+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves reg in the text exposition format — the
+// /metrics endpoint.
+func PrometheusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		if err := WritePrometheus(&b, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.String()) //nolint:errcheck // client gone
+	})
+}
+
+// promFamily collects one metric family: all series sharing a base
+// name, each series a block of pre-rendered lines (one line for
+// counters and gauges, the bucket/sum/count group for histograms).
+// Blocks sort by label block so a family's series have a stable order
+// while a histogram's buckets keep their le order.
+type promFamily struct {
+	typ    string
+	blocks []promBlock
+}
+
+type promBlock struct {
+	key   string
+	lines []string
+}
+
+func appendBlock(f *promFamily, typ, key string, lines ...string) *promFamily {
+	if f == nil {
+		f = &promFamily{typ: typ}
+	}
+	f.blocks = append(f.blocks, promBlock{key: key, lines: lines})
+	return f
+}
+
+// promName splits a registry name built by Label into a sanitized
+// Prometheus metric name and a rendered label block ("" or
+// `{k="v",...}`).
+func promName(raw string) (base, labels string) {
+	name, rest, ok := strings.Cut(raw, "{")
+	base = sanitizeName(name)
+	if !ok {
+		return base, ""
+	}
+	rest = strings.TrimSuffix(rest, "}")
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, pair := range strings.Split(rest, ",") {
+		k, v, _ := strings.Cut(pair, "=")
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabel(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return base, b.String()
+}
+
+// withLe appends an le label to a rendered label block.
+func withLe(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+// sanitizeName maps a registry name onto the Prometheus metric name
+// alphabet [a-zA-Z0-9_:], with a leading underscore if the first rune
+// would be a digit.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabel is sanitizeName for label names, which do not allow
+// colons.
+func sanitizeLabel(s string) string {
+	return strings.ReplaceAll(sanitizeName(s), ":", "_")
+}
+
+// escapeValue escapes a label value per the exposition format.
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

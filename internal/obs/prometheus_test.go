@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition output for one of each
+// metric kind, labelled and unlabelled: family ordering, label
+// parsing, cumulative buckets, and the le="+Inf"/_sum/_count tail are
+// all byte-stable.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.events.dispatched").Add(12)
+	reg.Counter(Label("sim.queue.dropped", "queue", "bn", "dir", "fwd")).Add(3)
+	reg.Gauge("runner.workers").Set(4)
+	reg.Gauge(Label("runner.worker.inflight", "worker", "1")).Set(2)
+	h := reg.Histogram(Label("sim.queue.occupancy", "queue", "bn"), []float64{1, 2, 4})
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE runner_worker_inflight gauge
+runner_worker_inflight{worker="1"} 2
+# TYPE runner_workers gauge
+runner_workers 4
+# TYPE sim_events_dispatched counter
+sim_events_dispatched 12
+# TYPE sim_queue_dropped counter
+sim_queue_dropped{queue="bn",dir="fwd"} 3
+# TYPE sim_queue_occupancy histogram
+sim_queue_occupancy_bucket{queue="bn",le="1"} 2
+sim_queue_occupancy_bucket{queue="bn",le="2"} 2
+sim_queue_occupancy_bucket{queue="bn",le="4"} 3
+sim_queue_occupancy_bucket{queue="bn",le="+Inf"} 4
+sim_queue_occupancy_sum{queue="bn"} 13
+sim_queue_occupancy_count{queue="bn"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic: repeated renders of the same
+// registry are byte-identical (map iteration order must not leak).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"z.last", "a.first", "m.mid"} {
+		reg.Counter(name).Inc()
+		reg.Gauge(name + ".g").Set(1)
+		reg.Histogram(name+".h", []float64{1}).Observe(0.5)
+	}
+	var first string
+	for i := 0; i < 10; i++ {
+		var b strings.Builder
+		if err := WritePrometheus(&b, reg); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("render %d differs from first", i)
+		}
+	}
+}
+
+// TestPrometheusSanitization: names outside the Prometheus alphabet
+// and label values needing escapes are handled.
+func TestPrometheusSanitization(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Label("odd-name.metric", "path", `C:\x "y"`)).Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE odd_name_metric counter\n" +
+		`odd_name_metric{path="C:\\x \"y\""} 1` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPrometheusHandler: the HTTP handler serves the exposition with
+// the version 0.0.4 content type.
+func TestPrometheusHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.events.dispatched").Add(5)
+	srv := httptest.NewServer(PrometheusHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q lacks exposition version", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "sim_events_dispatched 5") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+}
+
+// TestServeDebugMetricsEndpoint: /metrics is wired next to
+// /debug/vars on the debug server.
+func TestServeDebugMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("runner.workers").Set(3)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "runner_workers 3") {
+		t.Errorf("/metrics missing gauge:\n%s", body)
+	}
+}

@@ -1,0 +1,263 @@
+// Package otrace records per-probe and per-job lifecycle events as a
+// stream of timestamped JSONL records — the observability counterpart
+// of package trace's end-of-run CSV files.
+//
+// The paper's method re-analyzes one probe trace through many lenses
+// (phase plots, Lindley workload estimates, loss gaps). otrace makes
+// that possible without a re-run: every probe's lifecycle — sent,
+// enqueued at a hop, dropped, echoed, rtt computed — is captured as it
+// happens, using one Event schema shared by the simulator (package
+// core/sim, stamped with virtual time) and the real-network NetDyn
+// tools (package netdyn, stamped with wall-clock offsets). A trace
+// file therefore replays into exactly the core.Trace the run produced
+// (see trace.FromEvents), and carries strictly more information: where
+// each probe was delayed and where the lost ones died.
+//
+// Sinks are race-safe. Writer serializes events synchronously through
+// a mutex, so a single-goroutine producer (the simulator) gets
+// byte-deterministic files; Bounded decouples a latency-sensitive
+// producer (the real-network prober) from the writer with a bounded
+// queue and a drop counter instead of backpressure.
+package otrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind names a lifecycle event.
+type Kind string
+
+// The event kinds. Probe-level kinds carry Seq and sim- or wall-time
+// stamps; run- and job-level kinds carry metadata and deterministic
+// (zero) stamps so trace files stay byte-identical across runs.
+const (
+	// KindRunStart opens a trace: experiment metadata (name, δ,
+	// packet sizes, bottleneck, clock resolution, probe count).
+	KindRunStart Kind = "run_start"
+	// KindProbeSent marks probe Seq entering the network at T.
+	KindProbeSent Kind = "probe_sent"
+	// KindEnqueue marks probe Seq accepted by queue Queue (entering
+	// service or the waiting room) with QLen packets in system.
+	KindEnqueue Kind = "enqueue"
+	// KindDrop marks probe Seq dropped by queue Queue (buffer full).
+	KindDrop Kind = "drop"
+	// KindEcho marks probe Seq turning around at the echo host.
+	KindEcho Kind = "echo"
+	// KindRTT marks probe Seq's round trip completing: rtt_n is
+	// computed and the sample is final.
+	KindRTT Kind = "rtt"
+	// KindJobStart and KindJobFinish bracket one runner job's trace
+	// file; finish carries the probe/loss totals.
+	KindJobStart  Kind = "job_start"
+	KindJobFinish Kind = "job_finish"
+)
+
+// Event is one trace record. T is nanoseconds from the start of the
+// run: virtual time for simulated probes, wall-clock offset for real
+// ones; run- and job-level events use 0 so files are deterministic.
+// Seq is only meaningful on probe-level events (KindProbeSent through
+// KindRTT); field groups beyond (T, Ev, Seq) are populated per kind
+// and omitted otherwise.
+type Event struct {
+	T   int64 `json:"t"`
+	Ev  Kind  `json:"ev"`
+	Seq int   `json:"seq"`
+
+	// Probe-level fields.
+	Flow   string `json:"flow,omitempty"`
+	Queue  string `json:"queue,omitempty"`
+	Dir    string `json:"dir,omitempty"` // "fwd" or "ret"
+	QLen   int    `json:"qlen,omitempty"`
+	SentNs int64  `json:"sent_ns,omitempty"`
+	RecvNs int64  `json:"recv_ns,omitempty"`
+	RTTNs  int64  `json:"rtt_ns,omitempty"`
+
+	// Run metadata (KindRunStart), mirroring the CSV header of
+	// package trace.
+	Name          string `json:"name,omitempty"`
+	DeltaNs       int64  `json:"delta_ns,omitempty"`
+	PayloadBytes  int    `json:"payload_bytes,omitempty"`
+	WireBytes     int    `json:"wire_bytes,omitempty"`
+	BottleneckBps int64  `json:"bottleneck_bps,omitempty"`
+	ClockResNs    int64  `json:"clock_res_ns,omitempty"`
+	Count         int    `json:"count,omitempty"`
+
+	// Job bracketing (KindJobStart/KindJobFinish).
+	Job    string `json:"job,omitempty"`
+	Index  int    `json:"index,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Probes int    `json:"probes,omitempty"`
+	Losses int    `json:"losses,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Writer streams events to an io.Writer as JSONL, one event per line,
+// in Emit order. Emit is serialized by a mutex, so a single-goroutine
+// producer (the simulator) produces byte-identical files for
+// identical event sequences; concurrent producers interleave whole
+// lines, never partial ones. Encoding errors are sticky and reported
+// by Close.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+	n   atomic.Int64
+}
+
+// NewWriter returns a Writer streaming to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Create opens (truncating) a trace file at path and returns a Writer
+// that closes it on Close.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("otrace: %w", err)
+	}
+	w := NewWriter(f)
+	w.c = f
+	return w, nil
+}
+
+// Emit implements Sink.
+func (w *Writer) Emit(ev Event) {
+	data, err := json.Marshal(ev)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err != nil {
+		w.err = fmt.Errorf("otrace: marshal event: %w", err)
+		return
+	}
+	if _, err := w.bw.Write(data); err != nil {
+		w.err = fmt.Errorf("otrace: write event: %w", err)
+		return
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		w.err = fmt.Errorf("otrace: write event: %w", err)
+		return
+	}
+	w.n.Add(1)
+}
+
+// Events reports how many events have been written so far.
+func (w *Writer) Events() int64 { return w.n.Load() }
+
+// Close flushes buffered events, closes the underlying file if the
+// Writer owns one, and returns the first error encountered.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = fmt.Errorf("otrace: flush: %w", err)
+	}
+	if w.c != nil {
+		if err := w.c.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("otrace: close: %w", err)
+		}
+		w.c = nil
+	}
+	return w.err
+}
+
+// Bounded decouples producers from a slow downstream sink with a
+// bounded in-memory queue drained by one background goroutine. Emit
+// never blocks: when the queue is full the event is dropped and
+// counted instead, which is the right trade for the real-network
+// prober, whose send pacing must not wait on disk. Close drains the
+// queue and stops the goroutine (it does not close the downstream
+// sink).
+type Bounded struct {
+	ch      chan Event
+	done    chan struct{}
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// NewBounded returns a Bounded sink forwarding to next with the given
+// queue capacity (minimum 1).
+func NewBounded(next Sink, capacity int) *Bounded {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &Bounded{
+		ch:   make(chan Event, capacity),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(b.done)
+		for ev := range b.ch {
+			next.Emit(ev)
+		}
+	}()
+	return b
+}
+
+// Emit implements Sink; it drops the event (incrementing Dropped)
+// instead of blocking when the queue is full or already closed.
+func (b *Bounded) Emit(ev Event) {
+	defer func() {
+		if recover() != nil { // send on closed channel: Emit after Close
+			b.dropped.Add(1)
+		}
+	}()
+	select {
+	case b.ch <- ev:
+	default:
+		b.dropped.Add(1)
+	}
+}
+
+// Dropped reports how many events were discarded because the queue
+// was full (or emitted after Close).
+func (b *Bounded) Dropped() int64 { return b.dropped.Load() }
+
+// Close drains queued events into the downstream sink and stops the
+// background goroutine. It is idempotent.
+func (b *Bounded) Close() error {
+	b.once.Do(func() { close(b.ch) })
+	<-b.done
+	return nil
+}
+
+// Read decodes a JSONL event stream, calling fn for every event in
+// order. It stops at the first malformed line or fn error.
+func Read(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return fmt.Errorf("otrace: line %d: %w", line, err)
+		}
+		if err := fn(ev); err != nil {
+			return fmt.Errorf("otrace: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("otrace: read: %w", err)
+	}
+	return nil
+}

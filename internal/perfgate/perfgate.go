@@ -1,0 +1,314 @@
+// Package perfgate compares two performance artifacts of this
+// repository — run manifests written by the experiment commands
+// (experiments-manifest.json, see internal/runner) or benchmark
+// snapshots written by cmd/benchjson (BENCH_*.json) — and decides
+// whether the newer one is a regression. It is the library behind
+// cmd/manifestdiff and the `make perf-gate` target: perf-minded PRs
+// diff the manifest a branch produces against a committed baseline
+// instead of eyeballing wall times.
+//
+// Wall-time comparisons are ratio-based with a noise floor (a job must
+// both exceed the ratio and slow down by an absolute minimum before it
+// counts — tiny jobs jitter), and loss-statistic comparisons are
+// absolute, because the statistics of a deterministic sweep should not
+// move at all unless the simulation changed.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"netprobe/internal/runner"
+)
+
+// Options are the regression thresholds; zero fields take defaults.
+type Options struct {
+	// WallRatio is the slowdown factor a per-job (or per-benchmark)
+	// wall time must exceed to regress. Default 1.30.
+	WallRatio float64
+	// WallMinMS is the noise floor: below this absolute slowdown a
+	// wall-time ratio is ignored. Default 5 ms.
+	WallMinMS float64
+	// LossAbs is the largest allowed absolute change in a loss
+	// statistic (ulp, clp). Default 0.02.
+	LossAbs float64
+	// BenchRatio is WallRatio for benchmark metrics (ns/op and
+	// friends, where larger is slower). Default: WallRatio.
+	BenchRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WallRatio == 0 {
+		o.WallRatio = 1.30
+	}
+	if o.WallMinMS == 0 {
+		o.WallMinMS = 5
+	}
+	if o.LossAbs == 0 {
+		o.LossAbs = 0.02
+	}
+	if o.BenchRatio == 0 {
+		o.BenchRatio = o.WallRatio
+	}
+	return o
+}
+
+// Format names the artifact kind Compare detected.
+type Format string
+
+// The artifact kinds.
+const (
+	FormatManifest Format = "manifest"
+	FormatBench    Format = "bench"
+)
+
+// Delta is one compared quantity. Regression is set when the change
+// crosses the configured threshold; informational deltas (new or
+// missing entries, within-threshold drift) keep it false.
+type Delta struct {
+	// Name identifies the entity: a job label or benchmark name,
+	// possibly suffixed with the metric ("... ulp").
+	Name string
+	// Old and New are the compared values; Ratio is New/Old when both
+	// are positive.
+	Old, New, Ratio float64
+	// Regression marks a threshold crossing.
+	Regression bool
+	// Note carries the human-readable classification, e.g.
+	// "wall +62% (regression)" or "only in new".
+	Note string
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	// Format is the detected artifact kind (both files must match).
+	Format Format
+	// Deltas lists every compared quantity in a stable order.
+	Deltas []Delta
+}
+
+// Regressions returns the deltas that crossed their threshold.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// benchSnapshot mirrors cmd/benchjson's Snapshot (duplicated here so
+// the library does not import a main package).
+type benchSnapshot struct {
+	Benchmarks map[string]struct {
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+// Compare parses two artifacts (both run manifests or both benchmark
+// snapshots, detected from their structure) and diffs them under the
+// given thresholds.
+func Compare(oldData, newData []byte, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	oldFmt, err := detect(oldData)
+	if err != nil {
+		return nil, fmt.Errorf("perfgate: old artifact: %w", err)
+	}
+	newFmt, err := detect(newData)
+	if err != nil {
+		return nil, fmt.Errorf("perfgate: new artifact: %w", err)
+	}
+	if oldFmt != newFmt {
+		return nil, fmt.Errorf("perfgate: format mismatch: old is %s, new is %s", oldFmt, newFmt)
+	}
+	switch oldFmt {
+	case FormatManifest:
+		return compareManifests(oldData, newData, opts)
+	default:
+		return compareBench(oldData, newData, opts)
+	}
+}
+
+// detect sniffs the artifact kind from its top-level keys.
+func detect(data []byte) (Format, error) {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return "", fmt.Errorf("not JSON: %w", err)
+	}
+	_, hasJobs := top["jobs"]
+	_, hasSummary := top["summary"]
+	if hasJobs && hasSummary {
+		return FormatManifest, nil
+	}
+	if _, ok := top["benchmarks"]; ok {
+		return FormatBench, nil
+	}
+	return "", fmt.Errorf("neither a run manifest (jobs+summary) nor a bench snapshot (benchmarks)")
+}
+
+func compareManifests(oldData, newData []byte, opts Options) (*Report, error) {
+	var oldM, newM runner.Manifest
+	if err := json.Unmarshal(oldData, &oldM); err != nil {
+		return nil, fmt.Errorf("perfgate: old manifest: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newM); err != nil {
+		return nil, fmt.Errorf("perfgate: new manifest: %w", err)
+	}
+	rep := &Report{Format: FormatManifest}
+
+	oldJobs := make(map[string]runner.ManifestJob, len(oldM.Jobs))
+	for _, j := range oldM.Jobs {
+		oldJobs[j.Label] = j
+	}
+	seen := make(map[string]bool, len(newM.Jobs))
+	for _, nj := range newM.Jobs {
+		seen[nj.Label] = true
+		oj, ok := oldJobs[nj.Label]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: nj.Label, New: nj.WallMS, Note: "only in new"})
+			continue
+		}
+		rep.Deltas = append(rep.Deltas,
+			wallDelta(nj.Label+" wall_ms", oj.WallMS, nj.WallMS, opts.WallRatio, opts.WallMinMS))
+		rep.Deltas = append(rep.Deltas, lossDeltas(nj.Label, oj, nj, opts.LossAbs)...)
+	}
+	labels := make([]string, 0)
+	for _, oj := range oldM.Jobs {
+		if !seen[oj.Label] {
+			labels = append(labels, oj.Label)
+		}
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		rep.Deltas = append(rep.Deltas, Delta{
+			Name: l, Old: oldJobs[l].WallMS, Regression: true, Note: "missing from new"})
+	}
+	rep.Deltas = append(rep.Deltas,
+		wallDelta("total wall_ms", oldM.Summary.WallMS, newM.Summary.WallMS,
+			opts.WallRatio, opts.WallMinMS))
+	return rep, nil
+}
+
+// wallDelta classifies one wall-time pair: a regression needs both the
+// ratio and the absolute slowdown.
+func wallDelta(name string, oldMS, newMS float64, ratio, minMS float64) Delta {
+	d := Delta{Name: name, Old: oldMS, New: newMS}
+	if oldMS > 0 {
+		d.Ratio = newMS / oldMS
+	}
+	switch {
+	case oldMS <= 0:
+		d.Note = "no baseline"
+	case d.Ratio > ratio && newMS-oldMS >= minMS:
+		d.Regression = true
+		d.Note = fmt.Sprintf("wall %+.0f%% (regression)", 100*(d.Ratio-1))
+	default:
+		d.Note = fmt.Sprintf("wall %+.0f%%", 100*(d.Ratio-1))
+	}
+	return d
+}
+
+// lossDeltas diffs the deterministic outcome stats of one job. Probe
+// counts must match exactly; ulp/clp move within LossAbs.
+func lossDeltas(label string, oj, nj runner.ManifestJob, lossAbs float64) []Delta {
+	var out []Delta
+	if oj.Sent != nj.Sent || oj.Lost != nj.Lost {
+		out = append(out, Delta{
+			Name: label + " sent/lost",
+			Old:  float64(oj.Lost), New: float64(nj.Lost),
+			Regression: true,
+			Note: fmt.Sprintf("counts changed: sent %d→%d lost %d→%d",
+				oj.Sent, nj.Sent, oj.Lost, nj.Lost),
+		})
+	}
+	for _, m := range []struct {
+		name     string
+		old, new *float64
+	}{{"ulp", oj.ULP, nj.ULP}, {"clp", oj.CLP, nj.CLP}} {
+		switch {
+		case m.old == nil && m.new == nil:
+			continue
+		case m.old == nil || m.new == nil:
+			out = append(out, Delta{Name: label + " " + m.name,
+				Regression: true, Note: "defined in only one run"})
+		default:
+			d := Delta{Name: label + " " + m.name, Old: *m.old, New: *m.new}
+			if diff := math.Abs(*m.new - *m.old); diff > lossAbs {
+				d.Regression = true
+				d.Note = fmt.Sprintf("%s moved %+.4f (regression)", m.name, *m.new-*m.old)
+			} else if diff > 0 {
+				d.Note = fmt.Sprintf("%s moved %+.4f", m.name, *m.new-*m.old)
+			} else {
+				d.Note = m.name + " unchanged"
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func compareBench(oldData, newData []byte, opts Options) (*Report, error) {
+	var oldS, newS benchSnapshot
+	if err := json.Unmarshal(oldData, &oldS); err != nil {
+		return nil, fmt.Errorf("perfgate: old snapshot: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newS); err != nil {
+		return nil, fmt.Errorf("perfgate: new snapshot: %w", err)
+	}
+	rep := &Report{Format: FormatBench}
+
+	names := make([]string, 0, len(newS.Benchmarks))
+	for name := range newS.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nb := newS.Benchmarks[name]
+		ob, ok := oldS.Benchmarks[name]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{Name: name, Note: "only in new"})
+			continue
+		}
+		metrics := make([]string, 0, len(nb.Metrics))
+		for m := range nb.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			oldV, ok := ob.Metrics[m]
+			if !ok {
+				continue
+			}
+			newV := nb.Metrics[m]
+			d := Delta{Name: name + " " + m, Old: oldV, New: newV}
+			if oldV > 0 {
+				d.Ratio = newV / oldV
+			}
+			// Only time/alloc-like metrics regress upward; all
+			// benchjson metrics (ns/op, B/op, allocs/op) do.
+			if oldV > 0 && d.Ratio > opts.BenchRatio {
+				d.Regression = true
+				d.Note = fmt.Sprintf("%+.0f%% (regression)", 100*(d.Ratio-1))
+			} else {
+				d.Note = fmt.Sprintf("%+.0f%%", 100*(d.Ratio-1))
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	missing := make([]string, 0)
+	for name := range oldS.Benchmarks {
+		if _, ok := newS.Benchmarks[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		rep.Deltas = append(rep.Deltas, Delta{Name: name, Regression: true, Note: "missing from new"})
+	}
+	return rep, nil
+}

@@ -1,0 +1,169 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestManifestPass: a rerun with only wall-time jitter (within ratio
+// and noise floor) and identical stats passes.
+func TestManifestPass(t *testing.T) {
+	rep, err := Compare(load(t, "manifest-old.json"), load(t, "manifest-new-ok.json"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Format != FormatManifest {
+		t.Errorf("format %q, want manifest", rep.Format)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("unexpected regressions: %+v", regs)
+	}
+	if len(rep.Deltas) == 0 {
+		t.Error("no deltas reported")
+	}
+}
+
+// TestManifestRegression: a 2.2× wall-time slowdown and moved loss
+// stats are both flagged.
+func TestManifestRegression(t *testing.T) {
+	rep, err := Compare(load(t, "manifest-old.json"), load(t, "manifest-new-regress.json"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) == 0 {
+		t.Fatal("regressed manifest reported clean")
+	}
+	var wall, counts, ulp bool
+	for _, d := range regs {
+		switch {
+		case strings.Contains(d.Name, "δ=20ms wall_ms"):
+			wall = true
+		case strings.Contains(d.Name, "δ=50ms sent/lost"):
+			counts = true
+		case strings.Contains(d.Name, "δ=50ms ulp"):
+			ulp = true
+		}
+	}
+	if !wall || !counts || !ulp {
+		t.Errorf("missing expected regressions (wall=%v counts=%v ulp=%v): %+v",
+			wall, counts, ulp, regs)
+	}
+}
+
+// TestManifestThresholds: loosening the thresholds clears the wall
+// regression but leaves the deterministic loss-stat change flagged.
+func TestManifestThresholds(t *testing.T) {
+	rep, err := Compare(load(t, "manifest-old.json"), load(t, "manifest-new-regress.json"),
+		Options{WallRatio: 3.0, LossAbs: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Regressions() {
+		if strings.Contains(d.Name, "wall") {
+			t.Errorf("wall regression survived loose ratio: %+v", d)
+		}
+		if strings.Contains(d.Name, "ulp") || strings.Contains(d.Name, "clp") {
+			t.Errorf("loss regression survived loose LossAbs: %+v", d)
+		}
+	}
+	// Exact probe counts are never negotiable for a deterministic sweep.
+	found := false
+	for _, d := range rep.Regressions() {
+		if strings.Contains(d.Name, "sent/lost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("changed sent/lost counts not flagged")
+	}
+}
+
+// TestManifestMissingJob: a job present in the baseline but absent
+// from the new run is a regression.
+func TestManifestMissingJob(t *testing.T) {
+	oldData := load(t, "manifest-old.json")
+	trimmed := []byte(strings.Replace(string(load(t, "manifest-new-ok.json")),
+		`"label": "inria δ=50ms"`, `"label": "inria δ=75ms"`, 1))
+	rep, err := Compare(oldData, trimmed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing, onlyNew bool
+	for _, d := range rep.Deltas {
+		if d.Note == "missing from new" && strings.Contains(d.Name, "δ=50ms") {
+			missing = d.Regression
+		}
+		if d.Note == "only in new" && strings.Contains(d.Name, "δ=75ms") {
+			onlyNew = !d.Regression
+		}
+	}
+	if !missing {
+		t.Error("missing job not flagged as regression")
+	}
+	if !onlyNew {
+		t.Error("new job should be informational, not a regression")
+	}
+}
+
+// TestBenchRegression: a doubled ns/op is flagged; a 1% improvement is
+// not.
+func TestBenchRegression(t *testing.T) {
+	rep, err := Compare(load(t, "bench-old.json"), load(t, "bench-new-regress.json"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Format != FormatBench {
+		t.Errorf("format %q, want bench", rep.Format)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %+v, want exactly the ns/op one", len(regs), regs)
+	}
+	if !strings.Contains(regs[0].Name, "BenchmarkRunSim/inria ns/op") {
+		t.Errorf("wrong regression: %+v", regs[0])
+	}
+}
+
+// TestBenchSelfComparisonClean: an artifact against itself never
+// regresses.
+func TestBenchSelfComparisonClean(t *testing.T) {
+	data := load(t, "bench-old.json")
+	rep, err := Compare(data, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("self comparison regressed: %+v", regs)
+	}
+}
+
+// TestFormatMismatch: comparing a manifest against a bench snapshot is
+// an error, not a silent pass.
+func TestFormatMismatch(t *testing.T) {
+	if _, err := Compare(load(t, "manifest-old.json"), load(t, "bench-old.json"), Options{}); err == nil {
+		t.Error("format mismatch not rejected")
+	}
+}
+
+// TestDetectGarbage: non-JSON and JSON of the wrong shape are
+// rejected.
+func TestDetectGarbage(t *testing.T) {
+	good := load(t, "manifest-old.json")
+	for _, bad := range []string{"not json", `{"foo": 1}`, `[]`} {
+		if _, err := Compare(good, []byte(bad), Options{}); err == nil {
+			t.Errorf("garbage %q accepted", bad)
+		}
+	}
+}

@@ -52,7 +52,10 @@ type ManifestJob struct {
 	ULP    *float64 `json:"ulp,omitempty"`
 	CLP    *float64 `json:"clp,omitempty"`
 	PLG    *float64 `json:"plg,omitempty"`
-	Error  string   `json:"error,omitempty"`
+	// TraceFile points at the job's lifecycle-event file (otrace
+	// JSONL) when the pool ran with the Traces option.
+	TraceFile string `json:"trace_file,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // ManifestSummary mirrors Summary in JSON-friendly units.
@@ -103,6 +106,8 @@ func NewManifest(tool string, rootSeed int64, results []Result, sum Summary) *Ma
 			ULP:    finite(r.Stats.ULP),
 			CLP:    finite(r.Stats.CLP),
 			PLG:    finite(r.Stats.PLG),
+
+			TraceFile: r.TraceFile,
 		}
 		if r.Err != nil {
 			j.Error = r.Err.Error()

@@ -21,10 +21,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func goldenManifest() *Manifest {
 	results := []Result{
 		{Index: 0, Label: "inria δ=50ms", Seed: DeriveSeed(42, 0),
-			Wall: 1234567 * time.Nanosecond,
+			Wall:  1234567 * time.Nanosecond,
 			Stats: statsFor(1200, 96, 0.08, 0.125, 1.1429)},
 		{Index: 1, Label: "inria δ=500ms", Seed: DeriveSeed(42, 1),
-			Wall: 2 * time.Millisecond,
+			Wall:  2 * time.Millisecond,
 			Stats: statsFor(120, 0, 0, math.NaN(), math.NaN())},
 		{Index: 2, Label: "pitt δ=8ms", Seed: DeriveSeed(42, 2),
 			Err: errors.New("context canceled")},
@@ -42,8 +42,8 @@ func goldenManifest() *Manifest {
 	h.Observe(0.002)
 
 	m := NewManifest("experiments", 42, results, sum)
-	m.GoVersion = "go1.x"                 // pinned for the golden file
-	m.Timestamp = "2026-01-01T00:00:00Z"  // pinned for the golden file
+	m.GoVersion = "go1.x"                // pinned for the golden file
+	m.Timestamp = "2026-01-01T00:00:00Z" // pinned for the golden file
 	m.Flags = map[string]string{"quick": "true", "workers": "2"}
 	m.Presets = []string{"inria", "pitt"}
 	snap := reg.Snapshot()

@@ -4,13 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"netprobe/internal/core"
 	"netprobe/internal/loss"
 	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
 )
 
 // Job is one experiment of a sweep: a complete simulation spec plus a
@@ -49,6 +53,9 @@ type Result struct {
 	// Wall is the host wall-clock time the job took. It is the only
 	// field that varies between identical runs.
 	Wall time.Duration
+	// TraceFile is the job's lifecycle-event file (otrace JSONL) when
+	// the pool ran with the Traces option; empty otherwise.
+	TraceFile string
 	// Err is the job's failure: the simulation error, a recovered
 	// panic, or the context error for jobs cancelled before running.
 	Err error
@@ -138,6 +145,7 @@ type options struct {
 	workers  int
 	progress func(Event)
 	metrics  *obs.Registry
+	traceDir string
 }
 
 // Option configures Run.
@@ -159,11 +167,31 @@ func Progress(fn func(Event)) Option {
 }
 
 // Metrics points the pool at a registry: per-job wall times land in
-// the "runner.job.wall" timer and job outcomes in "runner.jobs.*"
-// counters, and any job whose Config.Metrics is nil inherits reg, so
-// one option instruments both the pool and the simulations it runs.
+// the "runner.job.wall" timer, job outcomes in "runner.jobs.*"
+// counters, and each worker's live job count in a
+// "runner.worker.inflight{worker=N}" gauge; any job whose
+// Config.Metrics is nil inherits reg, so one option instruments both
+// the pool and the simulations it runs.
 func Metrics(reg *obs.Registry) Option {
 	return func(o *options) { o.metrics = reg }
+}
+
+// Traces makes every job write its probe-lifecycle event stream
+// (otrace JSONL) to TraceFileName(index) under dir, bracketed by
+// job_start and job_finish events. The directory is created if
+// missing. Each job gets its own file written synchronously from that
+// job's goroutine, so the files are byte-identical at any worker
+// count; run manifests reference them per job. Jobs whose
+// Config.Trace is already set keep their custom sink; their files
+// then hold only the job_start/job_finish bracket.
+func Traces(dir string) Option {
+	return func(o *options) { o.traceDir = dir }
+}
+
+// TraceFileName is the per-job trace file name the Traces option
+// uses: "job-NNN.jsonl" with the job's submission index.
+func TraceFileName(index int) string {
+	return fmt.Sprintf("job-%03d.jsonl", index)
 }
 
 // Run executes the jobs on a worker pool and returns one Result per
@@ -199,6 +227,17 @@ func RunAll(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) ([]
 	if len(jobs) == 0 {
 		return results, sum
 	}
+	if o.traceDir != "" {
+		if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
+			for i := range jobs {
+				results[i] = Result{Index: i, Label: jobs[i].Label,
+					Seed: DeriveSeed(rootSeed, i),
+					Err:  fmt.Errorf("runner: trace dir: %w", err)}
+			}
+			sum.Failed = len(jobs)
+			return results, sum
+		}
+	}
 	start := time.Now()
 
 	// emit serializes Progress callbacks across workers.
@@ -218,12 +257,22 @@ func RunAll(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) ([]
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var inflight *obs.Gauge
+			if o.metrics != nil {
+				inflight = o.metrics.Gauge(obs.Label("runner.worker.inflight", "worker", strconv.Itoa(w)))
+			}
 			for i := range idx {
 				seed := DeriveSeed(rootSeed, i)
 				emit(Event{Kind: JobStart, Index: i, Label: jobs[i].Label, Seed: seed, Worker: w})
+				if inflight != nil {
+					inflight.Add(1)
+				}
 				t0 := time.Now()
-				res := runOne(ctx, rootSeed, i, jobs[i], o.metrics)
+				res := runOne(ctx, rootSeed, i, jobs[i], &o)
 				sum.WorkerBusy[w] += time.Since(t0)
+				if inflight != nil {
+					inflight.Add(-1)
+				}
 				results[i] = res
 				if o.metrics != nil {
 					o.metrics.Timer("runner.job.wall").Observe(res.Wall)
@@ -297,7 +346,7 @@ func outcome(ctx context.Context, r Result) outcomeKind {
 	}
 }
 
-func runOne(ctx context.Context, rootSeed int64, index int, job Job, reg *obs.Registry) (res Result) {
+func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options) (res Result) {
 	res = Result{
 		Index: index,
 		Label: job.Label,
@@ -308,6 +357,7 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, reg *obs.Re
 		return res
 	}
 	start := time.Now()
+	var tw *otrace.Writer
 	defer func() {
 		res.Wall = time.Since(start)
 		if r := recover(); r != nil {
@@ -315,11 +365,40 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, reg *obs.Re
 			res.Stats = loss.Stats{}
 			res.Err = fmt.Errorf("runner: job %d (%s) panicked: %v", index, job.Label, r)
 		}
+		if tw == nil {
+			return
+		}
+		// The finish bracket carries only deterministic fields (no
+		// wall time), keeping trace files byte-identical across runs
+		// and worker counts.
+		if res.Err == nil {
+			tw.Emit(otrace.Event{Ev: otrace.KindJobFinish, Seq: -1,
+				Job: job.Label, Index: index, Seed: res.Seed,
+				Probes: res.Stats.N, Losses: res.Stats.Lost})
+		}
+		if cerr := tw.Close(); cerr != nil && res.Err == nil {
+			res.Err = fmt.Errorf("runner: job %d (%s) trace: %w", index, job.Label, cerr)
+		}
 	}()
 	cfg := job.Config
 	cfg.Seed = res.Seed
 	if cfg.Metrics == nil {
-		cfg.Metrics = reg
+		cfg.Metrics = o.metrics
+	}
+	if o.traceDir != "" {
+		path := filepath.Join(o.traceDir, TraceFileName(index))
+		w, err := otrace.Create(path)
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Label, err)
+			return res
+		}
+		tw = w
+		res.TraceFile = path
+		tw.Emit(otrace.Event{Ev: otrace.KindJobStart, Seq: -1,
+			Job: job.Label, Index: index, Seed: res.Seed})
+		if cfg.Trace == nil {
+			cfg.Trace = tw
+		}
 	}
 	run := job.RunFunc
 	if run == nil {

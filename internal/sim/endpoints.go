@@ -36,6 +36,7 @@ func (s *Sink) Receive(pkt *Packet) {
 type Echo struct {
 	ret    Receiver
 	bypass Receiver
+	onEcho func(pkt *Packet)
 }
 
 // NewEcho returns an echo point forwarding probe packets to the head
@@ -50,6 +51,11 @@ func (e *Echo) SetReturn(ret Receiver) { e.ret = ret }
 // instead of absorbing them.
 func (e *Echo) SetBypass(r Receiver) { e.bypass = r }
 
+// OnEcho registers fn to observe every probe turning around at the
+// echo host, before it enters the return path. Read-only
+// instrumentation; fn must not inject traffic.
+func (e *Echo) OnEcho(fn func(pkt *Packet)) { e.onEcho = fn }
+
 // Receive implements Receiver.
 func (e *Echo) Receive(pkt *Packet) {
 	if !pkt.Probe {
@@ -57,6 +63,9 @@ func (e *Echo) Receive(pkt *Packet) {
 			e.bypass.Receive(pkt)
 		}
 		return
+	}
+	if e.onEcho != nil {
+		e.onEcho(pkt)
 	}
 	pkt.Dir = Return
 	if e.ret != nil {

@@ -9,6 +9,11 @@ import (
 // time now.
 type DropFunc func(pkt *Packet, now time.Duration)
 
+// EnqueueFunc observes a packet accepted by a queue — entering
+// service or the waiting room — at virtual time now, with qlen
+// packets in the system including the one in service.
+type EnqueueFunc func(pkt *Packet, now time.Duration, qlen int)
+
 // Queue is a single-server FIFO queue with a finite buffer and a
 // fixed-rate transmitter — the model of a router output port used
 // throughout the paper (Figure 3). Arriving packets that find the
@@ -19,11 +24,12 @@ type Queue struct {
 	// Name identifies the queue in instrumentation output.
 	Name string
 
-	sched  *Scheduler
-	rate   int64 // service rate in bits per second
-	limit  int   // buffer capacity in packets (waiting room)
-	next   Receiver
-	onDrop DropFunc
+	sched     *Scheduler
+	rate      int64 // service rate in bits per second
+	limit     int   // buffer capacity in packets (waiting room)
+	next      Receiver
+	onDrop    DropFunc
+	onEnqueue EnqueueFunc
 
 	busy    bool
 	waiting []*Packet
@@ -58,6 +64,11 @@ func NewQueue(sched *Scheduler, name string, rateBps int64, buffer int, next Rec
 // OnDrop registers fn to observe every packet the queue drops.
 func (q *Queue) OnDrop(fn DropFunc) { q.onDrop = fn }
 
+// OnEnqueue registers fn to observe every packet the queue accepts.
+// Observation is strictly read-only instrumentation: fn runs after
+// the queue's state is updated and must not inject traffic.
+func (q *Queue) OnEnqueue(fn EnqueueFunc) { q.onEnqueue = fn }
+
 // SetNext replaces the downstream receiver. Useful when wiring cycles
 // (e.g. attaching the return path after the forward path is built).
 func (q *Queue) SetNext(next Receiver) { q.next = next }
@@ -85,6 +96,9 @@ func (q *Queue) Receive(pkt *Packet) {
 	q.arrived++
 	if !q.busy {
 		q.startService(pkt)
+		if q.onEnqueue != nil {
+			q.onEnqueue(pkt, q.sched.Now(), 1)
+		}
 		return
 	}
 	if len(q.waiting) >= q.limit {
@@ -95,6 +109,9 @@ func (q *Queue) Receive(pkt *Packet) {
 		return
 	}
 	q.waiting = append(q.waiting, pkt)
+	if q.onEnqueue != nil {
+		q.onEnqueue(pkt, q.sched.Now(), len(q.waiting)+1)
+	}
 }
 
 func (q *Queue) startService(pkt *Packet) {

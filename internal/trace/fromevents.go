@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/otrace"
+)
+
+// FromEvents reconstructs the core.Trace of one run from its otrace
+// JSONL event stream: run_start supplies the metadata the CSV header
+// carries, probe_sent supplies s_n, and rtt supplies r_n and rtt_n; a
+// probe with no rtt event is lost (rtt_n = 0, the paper's
+// convention). The result is validated, and for a simulator-produced
+// stream it is sample-for-sample identical to the trace RunSim
+// returned — every figure is re-derivable from the event file alone.
+func FromEvents(r io.Reader) (*core.Trace, error) {
+	var t *core.Trace
+	err := otrace.Read(r, func(ev otrace.Event) error {
+		switch ev.Ev {
+		case otrace.KindRunStart:
+			if t != nil {
+				return fmt.Errorf("second run_start event")
+			}
+			t = &core.Trace{
+				Name:          ev.Name,
+				Delta:         time.Duration(ev.DeltaNs),
+				PayloadSize:   ev.PayloadBytes,
+				WireSize:      ev.WireBytes,
+				BottleneckBps: ev.BottleneckBps,
+				ClockRes:      time.Duration(ev.ClockResNs),
+				Samples:       make([]core.Sample, ev.Count),
+			}
+			for i := range t.Samples {
+				t.Samples[i] = core.Sample{Seq: i, Lost: true}
+			}
+		case otrace.KindProbeSent:
+			s, err := sampleFor(t, ev)
+			if err != nil {
+				return err
+			}
+			s.Sent = time.Duration(ev.T)
+		case otrace.KindRTT:
+			s, err := sampleFor(t, ev)
+			if err != nil {
+				return err
+			}
+			s.Sent = time.Duration(ev.SentNs)
+			s.Recv = time.Duration(ev.RecvNs)
+			s.RTT = time.Duration(ev.RTTNs)
+			s.Lost = false
+		}
+		return nil // enqueue/drop/echo and job events carry no sample state
+	})
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("trace: event stream has no run_start")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func sampleFor(t *core.Trace, ev otrace.Event) (*core.Sample, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%s event before run_start", ev.Ev)
+	}
+	if ev.Seq < 0 || ev.Seq >= len(t.Samples) {
+		return nil, fmt.Errorf("%s event seq %d out of range [0, %d)", ev.Ev, ev.Seq, len(t.Samples))
+	}
+	return &t.Samples[ev.Seq], nil
+}
+
+// LoadEvents is FromEvents reading from a file.
+func LoadEvents(path string) (*core.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return FromEvents(f)
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/otrace"
+)
+
+// runTraced runs a short instrumented INRIA experiment, returning the
+// trace RunSim produced and the JSONL event stream it emitted.
+func runTraced(t *testing.T, seed int64) (*core.Trace, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := otrace.NewWriter(&buf)
+	cfg := core.INRIAPreset().Config(20*time.Millisecond, 10*time.Second, seed)
+	cfg.Trace = w
+	tr, err := core.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.Bytes()
+}
+
+// TestFromEventsMatchesCSV is the acceptance test for the event
+// schema: the rtt_n series reconstructed from the JSONL event file
+// must render to byte-identical CSV as the trace RunSim returned.
+func TestFromEventsMatchesCSV(t *testing.T) {
+	tr, events := runTraced(t, 42)
+	got, err := FromEvents(bytes.NewReader(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, have bytes.Buffer
+	if err := WriteCSV(&want, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatalf("CSV from events differs from direct CSV\ndirect %d bytes, reconstructed %d bytes",
+			want.Len(), have.Len())
+	}
+}
+
+// TestTracedRunLifecycle checks the event stream's shape: one
+// run_start first, a probe_sent per probe, an rtt event per received
+// probe, echo events bracketed between, and sim-time stamps
+// non-decreasing.
+func TestTracedRunLifecycle(t *testing.T) {
+	tr, events := runTraced(t, 42)
+	var kinds = map[otrace.Kind]int{}
+	first := true
+	lastT := int64(0)
+	if err := otrace.Read(bytes.NewReader(events), func(ev otrace.Event) error {
+		if first && ev.Ev != otrace.KindRunStart {
+			t.Fatalf("first event is %s, want run_start", ev.Ev)
+		}
+		first = false
+		if ev.T < lastT {
+			t.Fatalf("event time goes backwards: %d after %d", ev.T, lastT)
+		}
+		lastT = ev.T
+		kinds[ev.Ev]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if kinds[otrace.KindRunStart] != 1 {
+		t.Errorf("run_start count %d, want 1", kinds[otrace.KindRunStart])
+	}
+	if kinds[otrace.KindProbeSent] != tr.Len() {
+		t.Errorf("probe_sent count %d, want %d", kinds[otrace.KindProbeSent], tr.Len())
+	}
+	if kinds[otrace.KindRTT] != tr.Received() {
+		t.Errorf("rtt count %d, want received %d", kinds[otrace.KindRTT], tr.Received())
+	}
+	if kinds[otrace.KindEnqueue] == 0 {
+		t.Error("no enqueue events from a multi-hop path")
+	}
+	if kinds[otrace.KindEcho] < tr.Received() {
+		t.Errorf("echo count %d below received %d", kinds[otrace.KindEcho], tr.Received())
+	}
+}
+
+// TestTracedRunDeterministic: the event stream itself is
+// byte-identical across runs with the same seed — the property that
+// makes job trace files diffable.
+func TestTracedRunDeterministic(t *testing.T) {
+	_, a := runTraced(t, 7)
+	_, b := runTraced(t, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("event streams differ across identical runs")
+	}
+	_, c := runTraced(t, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("seed has no effect on the event stream")
+	}
+}
+
+// TestTracingDoesNotPerturb: the trace RunSim returns is identical
+// with and without the event sink attached.
+func TestTracingDoesNotPerturb(t *testing.T) {
+	traced, _ := runTraced(t, 42)
+	cfg := core.INRIAPreset().Config(20*time.Millisecond, 10*time.Second, 42)
+	plain, err := core.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Samples) != len(traced.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(plain.Samples), len(traced.Samples))
+	}
+	for i := range plain.Samples {
+		if plain.Samples[i] != traced.Samples[i] {
+			t.Fatalf("sample %d differs with tracing enabled", i)
+		}
+	}
+}
