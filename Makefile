@@ -6,7 +6,7 @@ GO ?= go
 BASELINE ?=
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet bench bench-snapshot check perf-gate
+.PHONY: build test race vet vet-tags bench bench-snapshot check perf-gate online-demo
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# The tag matrix: the pure-Go network/user-lookup builds are how the
+# netdyn commands are cross-compiled for probe boxes, so vet must stay
+# clean under them too.
+vet-tags: vet
+	$(GO) vet -tags netgo ./...
+	$(GO) vet -tags netgo,osusergo ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -34,7 +41,23 @@ bench-snapshot:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
-check: build vet race
+check: build vet-tags race
+
+# online-demo smoke-tests the online analysis engine end to end: a
+# short seeded sweep with -online, the /online handler curled while
+# the process lingers, and the online.* gauges on /metrics.
+ONLINE_ADDR ?= 127.0.0.1:6061
+
+online-demo:
+	@$(GO) build -o /tmp/netprobe-bolotsim ./cmd/bolotsim
+	@/tmp/netprobe-bolotsim -delta 20ms,50ms -duration 5s -seed 42 \
+		-online -linger 5s -debug-addr $(ONLINE_ADDR) & \
+	pid=$$!; sleep 2; \
+	echo "--- GET /online ---"; \
+	curl -sf http://$(ONLINE_ADDR)/online || { kill $$pid; exit 1; }; \
+	echo "--- online gauges on /metrics ---"; \
+	curl -sf http://$(ONLINE_ADDR)/metrics | grep '^online_'; \
+	wait $$pid
 
 # perf-gate diffs the current run artifact against a baseline and
 # fails on regression (wall-time ratios with a noise floor, exact loss

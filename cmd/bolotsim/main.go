@@ -9,11 +9,23 @@
 //	bolotsim [-path inria|pitt] [-delta 50ms | -delta 8ms,20ms,50ms]
 //	         [-duration 10m] [-seed 42] [-noloss] [-nocross]
 //	         [-workers N] [-out trace.csv] [-trace-dir traces/]
+//	         [-trace-max-bytes N] [-online] [-linger 0s]
 //	         [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
 // -trace-dir additionally records every probe's lifecycle (sent,
 // enqueued per hop, dropped, echoed, rtt) as one otrace JSONL file per
 // job; the files are byte-identical at any -workers value.
+// -trace-max-bytes rotates each job's file into gzip segments
+// (job-NNN.jsonl.gz, job-NNN-001.jsonl.gz, ...) once it would exceed N
+// uncompressed bytes.
+//
+// -online streams every job's events through the in-process analysis
+// engine (internal/online): running loss statistics, live bottleneck-μ
+// estimates, and workload histograms are served as JSON at /online on
+// the -debug-addr server and as online.* gauges on /metrics while the
+// sweep is in flight. -linger holds the process (and the debug
+// endpoints) open for the given duration after the sweep so the final
+// snapshots can be scraped.
 //
 // Sweep jobs report start/finish live through the structured logger,
 // and the run ends with a one-line pool summary (wall time, worker
@@ -32,6 +44,7 @@ import (
 
 	"netprobe/internal/core"
 	"netprobe/internal/obs"
+	"netprobe/internal/online"
 	"netprobe/internal/runner"
 	"netprobe/internal/trace"
 )
@@ -50,9 +63,24 @@ func main() {
 		out      = flag.String("out", "", "trace output file (.csv or .json); sweeps insert the δ before the extension")
 		traceDir = flag.String("trace-dir", "",
 			"directory for per-job probe-lifecycle event files (otrace JSONL); empty disables tracing")
+		traceMax = flag.Int64("trace-max-bytes", 0,
+			"rotate each job's trace into gzip segments after this many uncompressed bytes (0 = no rotation)")
+		onlineOn = flag.Bool("online", false,
+			"stream job events through the online analysis engine (serves /online on -debug-addr)")
+		linger = flag.Duration("linger", 0,
+			"keep the process (and -debug-addr endpoints) alive this long after the sweep")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	// The online engine registers its /online debug handler, so it must
+	// exist before Setup starts the -debug-addr server.
+	var bus *online.Bus
+	var eng *online.Engine
+	if *onlineOn {
+		bus = online.NewBus()
+		eng = online.NewEngine(bus, 0, online.DefaultAnalyzers(obs.Default)...)
+		online.RegisterDebug(eng)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -109,8 +137,21 @@ func main() {
 	}
 	if *traceDir != "" {
 		opts = append(opts, runner.Traces(*traceDir))
+		if *traceMax > 0 {
+			opts = append(opts, runner.TraceMaxBytes(*traceMax))
+		}
+	}
+	if bus != nil {
+		opts = append(opts, runner.Online(bus))
 	}
 	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)
+	if eng != nil {
+		bus.Close()
+		eng.Wait()
+		if d := eng.Dropped(); d > 0 {
+			slog.Warn("online analysis sampled, not exact", "dropped", d)
+		}
+	}
 	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
@@ -130,5 +171,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", name)
+	}
+	if *linger > 0 {
+		slog.Info("lingering; final analysis stays scrapeable", "for", *linger)
+		time.Sleep(*linger)
 	}
 }

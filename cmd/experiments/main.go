@@ -20,11 +20,19 @@
 //	experiments [-quick] [-seed 42] [-plots] [-workers N]
 //	            [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	            [-manifest experiments-manifest.json]
-//	            [-trace-dir traces/]
+//	            [-trace-dir traces/] [-trace-max-bytes N] [-online]
 //
 // -trace-dir writes one probe-lifecycle event file (otrace JSONL) per
 // job, referenced from the manifest; the files are byte-identical at
-// any -workers value.
+// any -workers value. -trace-max-bytes rotates each job's file into
+// gzip segments once it would exceed N uncompressed bytes; the
+// manifest then lists every segment.
+//
+// -online streams every job's events through the in-process analysis
+// engine (internal/online): while the reproduction is running, GET
+// /online on the -debug-addr server reports each job's running loss
+// statistics, live bottleneck-μ estimate, and workload histogram, and
+// online.* gauges appear on /metrics.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"netprobe/internal/fec"
 	"netprobe/internal/loss"
 	"netprobe/internal/obs"
+	"netprobe/internal/online"
 	"netprobe/internal/phase"
 	"netprobe/internal/plot"
 	"netprobe/internal/queue"
@@ -63,7 +72,18 @@ var (
 		"run-manifest output path; empty disables the manifest")
 	traceDir = flag.String("trace-dir", "",
 		"directory for per-job probe-lifecycle event files (otrace JSONL); empty disables tracing")
+	traceMax = flag.Int64("trace-max-bytes", 0,
+		"rotate each job's trace into gzip segments after this many uncompressed bytes (0 = no rotation)")
+	onlineOn = flag.Bool("online", false,
+		"stream job events through the online analysis engine (serves /online on -debug-addr)")
 	obsFlags = obs.RegisterFlags(flag.CommandLine)
+)
+
+// The online engine, when -online is set; runAll tees every job's
+// events into its bus and main drains it after the sweep.
+var (
+	onlineBus *online.Bus
+	onlineEng *online.Engine
 )
 
 // Job labels: every simulation the reproduction needs, built once and
@@ -85,6 +105,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	flag.Parse()
+	// The online engine registers its /online debug handler, so it must
+	// exist before Setup starts the -debug-addr server.
+	if *onlineOn {
+		onlineBus = online.NewBus()
+		onlineEng = online.NewEngine(onlineBus, 0, online.DefaultAnalyzers(obs.Default)...)
+		online.RegisterDebug(onlineEng)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -170,8 +197,21 @@ func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result
 	}
 	if *traceDir != "" {
 		opts = append(opts, runner.Traces(*traceDir))
+		if *traceMax > 0 {
+			opts = append(opts, runner.TraceMaxBytes(*traceMax))
+		}
+	}
+	if onlineBus != nil {
+		opts = append(opts, runner.Online(onlineBus))
 	}
 	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)
+	if onlineEng != nil {
+		onlineBus.Close()
+		onlineEng.Wait()
+		if d := onlineEng.Dropped(); d > 0 {
+			slog.Warn("online analysis sampled, not exact", "dropped", d)
+		}
+	}
 	if err := runner.FirstErr(results); err != nil {
 		log.Fatal(err)
 	}
@@ -215,10 +255,12 @@ func progressLine(total int) func(runner.Event) {
 func writeManifest(path string, results []runner.Result, summary runner.Summary) {
 	m := runner.NewManifest("experiments", *seed, results, summary)
 	m.Flags = map[string]string{
-		"quick":     strconv.FormatBool(*quick),
-		"plots":     strconv.FormatBool(*plots),
-		"workers":   strconv.Itoa(*workers),
-		"trace_dir": *traceDir,
+		"quick":           strconv.FormatBool(*quick),
+		"plots":           strconv.FormatBool(*plots),
+		"workers":         strconv.Itoa(*workers),
+		"trace_dir":       *traceDir,
+		"trace_max_bytes": strconv.FormatInt(*traceMax, 10),
+		"online":          strconv.FormatBool(*onlineOn),
 	}
 	m.Presets = []string{"inria", "pitt"}
 	snap := obs.Default.Snapshot()

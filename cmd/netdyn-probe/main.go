@@ -11,7 +11,7 @@
 //
 //	netdyn-probe -target host:port [-delta 50ms] [-count 12000]
 //	             [-size 32] [-clockres 0] [-out trace.csv]
-//	             [-trace events.jsonl] [-report 10s]
+//	             [-trace events.jsonl] [-report 10s] [-online]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
 // With no -count, the probe runs for the paper's 10 minutes
@@ -20,6 +20,13 @@
 // probe_sent, rtt) as otrace JSONL — the same schema the simulator
 // writes — through a bounded queue so a slow disk never delays probe
 // pacing.
+//
+// -online tees the same event stream into the in-process analysis
+// engine (internal/online): running loss statistics, the live
+// bottleneck-μ estimate, and the workload histogram are served as
+// JSON at /online on the -debug-addr server while probes are still in
+// flight. The tee is a non-blocking bounded bus, so analysis can never
+// delay probe pacing either.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"netprobe/internal/loss"
 	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
+	"netprobe/internal/online"
 	"netprobe/internal/otrace"
 	"netprobe/internal/trace"
 )
@@ -48,9 +56,20 @@ func main() {
 		out      = flag.String("out", "", "trace output file (.csv or .json); empty = summary only")
 		events   = flag.String("trace", "", "probe-lifecycle event output file (otrace JSONL); empty disables")
 		report   = flag.Duration("report", 10*time.Second, "in-flight progress report interval (0 disables)")
+		onlineOn = flag.Bool("online", false,
+			"stream probe events through the online analysis engine (serves /online on -debug-addr)")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	// The online engine registers its /online debug handler, so it must
+	// exist before Setup starts the -debug-addr server.
+	var bus *online.Bus
+	var eng *online.Engine
+	if *onlineOn {
+		bus = online.NewBus()
+		eng = online.NewEngine(bus, 0, online.DefaultAnalyzers(obs.Default)...)
+		online.RegisterDebug(eng)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -69,13 +88,14 @@ func main() {
 		PayloadSize: *size,
 		ClockRes:    *clockRes,
 	}
+	var sinks []otrace.Sink
 	if *events != "" {
 		w, err := otrace.Create(*events)
 		if err != nil {
 			log.Fatal(err)
 		}
 		b := otrace.NewBounded(w, 4096)
-		cfg.Trace = b
+		sinks = append(sinks, b)
 		defer func() {
 			b.Close() //nolint:errcheck // always nil
 			if err := w.Close(); err != nil {
@@ -87,6 +107,12 @@ func main() {
 			fmt.Printf("event trace written to %s (%d events)\n", *events, w.Events())
 		}()
 	}
+	if bus != nil {
+		// Events are tagged with the target so the /online snapshots
+		// carry a meaningful job name.
+		sinks = append(sinks, online.Tag(bus, *target, 0))
+	}
+	cfg.Trace = otrace.Multi(sinks...)
 	if *report > 0 {
 		cfg.ReportEvery = *report
 		cfg.Report = func(r netdyn.ProbeReport) {
@@ -102,6 +128,13 @@ func main() {
 		}
 	}
 	tr, err := netdyn.Probe(cfg)
+	if eng != nil {
+		bus.Close()
+		eng.Wait()
+		if d := eng.Dropped(); d > 0 {
+			slog.Warn("online analysis sampled, not exact", "dropped", d)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,22 +36,59 @@ func publishRegistry(reg *Registry) {
 	}))
 }
 
+// Extra handlers registered by other packages (e.g. the online
+// analysis engine) before the debug server starts; ServeDebug mounts
+// them next to the built-in endpoints.
+var extraHandlers struct {
+	mu       sync.Mutex
+	patterns []string
+	handlers map[string]http.Handler
+}
+
+// HandleDebug registers handler at pattern on every debug server
+// started after the call. Registering the same pattern again replaces
+// the handler (commands and tests re-wire across runs). It must be
+// called before ServeDebug to take effect for that server.
+func HandleDebug(pattern string, handler http.Handler) {
+	extraHandlers.mu.Lock()
+	defer extraHandlers.mu.Unlock()
+	if extraHandlers.handlers == nil {
+		extraHandlers.handlers = make(map[string]http.Handler)
+	}
+	if _, ok := extraHandlers.handlers[pattern]; !ok {
+		extraHandlers.patterns = append(extraHandlers.patterns, pattern)
+	}
+	extraHandlers.handlers[pattern] = handler
+}
+
 // ServeDebug publishes reg under the expvar name "netprobe" and
-// serves /metrics (Prometheus text exposition), /debug/vars, and
-// /debug/pprof/* on addr in a background goroutine, returning the
-// bound address (useful with ":0"). The server lives for the
+// serves /metrics (Prometheus text exposition, with process.* runtime
+// metrics refreshed per scrape), /debug/vars, /debug/pprof/*, and any
+// HandleDebug extensions on addr in a background goroutine, returning
+// the bound address (useful with ":0"). The server lives for the
 // remainder of the process; commands treat it as a debugging tap, not
 // a managed component.
 func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
 	publishRegistry(reg)
+	proc := NewProcessCollector(reg)
+	proc.Collect() // establish the GC-pause baseline now, not on first scrape
+	metricsHandler := PrometheusHandler(reg)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", PrometheusHandler(reg))
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		proc.Collect()
+		metricsHandler.ServeHTTP(w, r)
+	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraHandlers.mu.Lock()
+	for _, pattern := range extraHandlers.patterns {
+		mux.Handle(pattern, extraHandlers.handlers[pattern])
+	}
+	extraHandlers.mu.Unlock()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

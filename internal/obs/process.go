@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// ProcessCollector samples runtime/metrics into a Registry so process
+// health (goroutine count, heap size, GC pauses) is scrapeable from
+// /metrics alongside the domain metrics. Sampling is pull-driven:
+// Collect is called by the /metrics handler on each scrape, so an idle
+// process costs nothing. GC pause counts are cumulative in the
+// runtime, so the collector keeps the previous sample and feeds only
+// the delta into the registry histogram (bucket midpoints, converted
+// to nanoseconds).
+type ProcessCollector struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	samples  []metrics.Sample
+	lastGC   metrics.Float64Histogram
+	hasGC    bool
+	pauses   *Histogram
+	firstRun bool
+}
+
+// Runtime metric names sampled per scrape, dispatched by name in
+// Collect.
+var processMetricNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// gcPauseBounds covers 1µs..1s in nanoseconds, log-spaced — real GC
+// pauses sit in the 10µs..10ms band, the tails catch pathology.
+var gcPauseBounds = func() []float64 {
+	var b []float64
+	for e := 3; e <= 9; e++ {
+		p := math.Pow(10, float64(e))
+		b = append(b, p, 2.5*p, 5*p)
+	}
+	return b
+}()
+
+// NewProcessCollector builds a collector writing process.* metrics
+// into reg. The first Collect establishes the GC-pause baseline (the
+// runtime histogram is cumulative since process start), so pauses
+// observed before the collector existed are not replayed.
+func NewProcessCollector(reg *Registry) *ProcessCollector {
+	samples := make([]metrics.Sample, len(processMetricNames))
+	for i, name := range processMetricNames {
+		samples[i].Name = name
+	}
+	c := &ProcessCollector{
+		reg:      reg,
+		samples:  samples,
+		pauses:   reg.Histogram("process.gc_pauses_ns", gcPauseBounds),
+		firstRun: true,
+	}
+	return c
+}
+
+// Collect samples the runtime and updates the registry.
+func (c *ProcessCollector) Collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			c.reg.Gauge("process.goroutines").Set(int64(s.Value.Uint64()))
+		case "/memory/classes/heap/objects:bytes":
+			c.reg.Gauge("process.heap.alloc_bytes").Set(int64(s.Value.Uint64()))
+		case "/gc/heap/goal:bytes":
+			c.reg.Gauge("process.heap.goal_bytes").Set(int64(s.Value.Uint64()))
+		case "/memory/classes/total:bytes":
+			c.reg.Gauge("process.mem.total_bytes").Set(int64(s.Value.Uint64()))
+		case "/gc/cycles/total:gc-cycles":
+			c.reg.Gauge("process.gc.cycles").Set(int64(s.Value.Uint64()))
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				c.observePauseDelta(s.Value.Float64Histogram())
+			}
+		}
+	}
+	c.firstRun = false
+}
+
+// observePauseDelta feeds the per-bucket count growth since the last
+// sample into the registry histogram, one observation per pause at the
+// bucket midpoint (ns). The first sample only records the baseline.
+func (c *ProcessCollector) observePauseDelta(h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	if !c.firstRun && c.hasGC && len(c.lastGC.Counts) == len(h.Counts) {
+		for i, n := range h.Counts {
+			d := n - c.lastGC.Counts[i]
+			if d == 0 {
+				continue
+			}
+			mid := bucketMidNs(h.Buckets, i)
+			for k := uint64(0); k < d; k++ {
+				c.pauses.Observe(mid)
+			}
+		}
+	}
+	// Keep a private copy: the runtime may reuse the slices.
+	c.lastGC.Counts = append(c.lastGC.Counts[:0], h.Counts...)
+	c.lastGC.Buckets = append(c.lastGC.Buckets[:0], h.Buckets...)
+	c.hasGC = true
+}
+
+// bucketMidNs is the midpoint of bucket i of a runtime histogram in
+// nanoseconds. The first boundary can be -Inf and the last +Inf; those
+// buckets collapse onto their finite edge.
+func bucketMidNs(bounds []float64, i int) float64 {
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi * 1e9
+	case math.IsInf(hi, 1):
+		return lo * 1e9
+	}
+	return (lo + hi) / 2 * 1e9
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Regression: with every sample in the overflow bucket the quantile
+// used to interpolate between Min and Max as if the bucket had an
+// upper bound, reporting values below the largest observation for high
+// quantiles and above the last finite bound for all of them. Any rank
+// landing in the overflow bucket must report the observed max.
+func TestQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	h.Observe(20)
+	h.Observe(30)
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 30 {
+			t.Errorf("Quantile(%v) = %v, want max observed 30", q, got)
+		}
+	}
+}
+
+func TestQuantilePartialOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	h.Observe(0.5) // first bucket
+	h.Observe(20)  // overflow
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 20 {
+		t.Errorf("Quantile(0.99) = %v, want 20", got)
+	}
+	if got := s.Quantile(0.25); got >= 1 {
+		t.Errorf("Quantile(0.25) = %v, want < 1 (first bucket)", got)
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	reg := NewRegistry()
+	reg.FloatGauge("online.ulp").Set(0.25)
+	reg.FloatGauge(Label("online.mu_bps", "job", "delta-50ms")).Set(123456.5)
+	if same := reg.FloatGauge("online.ulp"); same.Value() != 0.25 {
+		t.Fatalf("FloatGauge not cached per name: %v", same.Value())
+	}
+	snap := reg.Snapshot()
+	if got := snap.FloatGauges["online.ulp"]; got != 0.25 {
+		t.Fatalf("snapshot float gauge = %v, want 0.25", got)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE online_ulp gauge",
+		"online_ulp 0.25",
+		`online_mu_bps{job="delta-50ms"} 123456.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProcessCollector(t *testing.T) {
+	reg := NewRegistry()
+	c := NewProcessCollector(reg)
+	c.Collect() // baseline
+	runtime.GC()
+	runtime.GC()
+	c.Collect()
+
+	if g := reg.Gauge("process.goroutines").Value(); g < 1 {
+		t.Errorf("process.goroutines = %d, want >= 1", g)
+	}
+	if g := reg.Gauge("process.heap.alloc_bytes").Value(); g <= 0 {
+		t.Errorf("process.heap.alloc_bytes = %d, want > 0", g)
+	}
+	if g := reg.Gauge("process.mem.total_bytes").Value(); g <= 0 {
+		t.Errorf("process.mem.total_bytes = %d, want > 0", g)
+	}
+	if g := reg.Gauge("process.gc.cycles").Value(); g < 2 {
+		t.Errorf("process.gc.cycles = %d, want >= 2 after two forced GCs", g)
+	}
+	if n := reg.Histogram("process.gc_pauses_ns", gcPauseBounds).Count(); n < 1 {
+		t.Errorf("process.gc_pauses_ns count = %d, want >= 1 after forced GC", n)
+	}
+}
+
+func TestServeDebugProcessMetricsAndExtensions(t *testing.T) {
+	HandleDebug("/obs-test-extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "extra-ok")
+	}))
+	reg := NewRegistry()
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := func(path string) string {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return string(b)
+	}
+
+	if got := body("/obs-test-extra"); got != "extra-ok" {
+		t.Errorf("extension handler body = %q", got)
+	}
+	metrics := body("/metrics")
+	for _, want := range []string{"process_goroutines ", "process_heap_alloc_bytes ", "process_gc_pauses_ns_count"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -36,6 +36,11 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 		fams[base] = appendBlock(fams[base], "gauge", labels,
 			base+labels+" "+strconv.FormatInt(v, 10))
 	}
+	for raw, v := range snap.FloatGauges {
+		base, labels := promName(raw)
+		fams[base] = appendBlock(fams[base], "gauge", labels,
+			base+labels+" "+promFloat(v))
+	}
 	for raw, h := range snap.Histograms {
 		base, labels := promName(raw)
 		lines := make([]string, 0, len(h.Bounds)+3)

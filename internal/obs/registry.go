@@ -66,6 +66,23 @@ func (g *Gauge) SetMax(v int64) {
 // Value reports the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an instantaneous atomic float64 value, for quantities
+// that are ratios or estimates rather than counts (loss probabilities,
+// bandwidth estimates). Writers should not store NaN or Inf: snapshots
+// feed JSON documents, which cannot represent them.
+type FloatGauge struct {
+	v atomicFloat
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the gauge by d (d may be negative).
+func (g *FloatGauge) Add(d float64) { g.v.add(d) }
+
+// Value reports the current value.
+func (g *FloatGauge) Value() float64 { return g.v.load() }
+
 // atomicFloat is a float64 with atomic add/min/max via CAS on the
 // bit pattern.
 type atomicFloat struct {
@@ -226,6 +243,13 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	for i, c := range s.Counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
+			if i == len(s.Bounds) {
+				// The overflow bucket has no upper bound, so
+				// interpolating inside it would fabricate a value below
+				// the largest observation; the observed maximum is the
+				// only defensible estimate there.
+				return s.Max
+			}
 			lo := s.Min
 			if i > 0 {
 				lo = s.Bounds[i-1]
@@ -279,6 +303,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
 }
 
@@ -287,6 +312,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -316,6 +342,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the float gauge with the given name, creating it
+// on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
 	}
 	return g
 }
@@ -352,6 +391,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for k, v := range r.fgauges {
+		fgauges[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -369,6 +412,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, g := range gauges {
 		s.Gauges[k] = g.Value()
 	}
+	if len(fgauges) > 0 {
+		s.FloatGauges = make(map[string]float64, len(fgauges))
+		for k, g := range fgauges {
+			s.FloatGauges[k] = g.Value()
+		}
+	}
 	for k, h := range hists {
 		s.Histograms[k] = h.Snapshot()
 	}
@@ -378,9 +427,10 @@ func (r *Registry) Snapshot() Snapshot {
 // Snapshot is a point-in-time copy of a registry, shaped for JSON
 // (run manifests, the expvar debug endpoint).
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Label builds a metric name of the form base{k1=v1,k2=v2} from

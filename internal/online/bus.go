@@ -1,0 +1,157 @@
+// Package online is the streaming analysis engine: it consumes
+// otrace.Event streams while a sweep or a real probe run is still in
+// flight and maintains the paper's estimators incrementally — running
+// ulp/clp/plg (Section 5), a live phase-plot compression-line fit with
+// a bottleneck-bandwidth μ estimate (Section 4), and an online Lindley
+// workload reading (equation 6). Live state is scrapeable as registry
+// gauges on /metrics and as JSON snapshots on the /online endpoints.
+//
+// The entry point is a Bus, an otrace.Sink fanning one event source
+// out to subscribers over bounded queues with the same never-block
+// discipline as otrace.Bounded: a slow analyzer drops events (counted)
+// rather than perturbing probe pacing. An Engine subscribes a set of
+// Analyzers to a bus and dispatches events to them on one background
+// goroutine, preserving per-producer event order — which is what lets
+// the estimators converge to the batch answers exactly: after
+// Bus.Close and Engine.Wait, a drop-free stream has fed every analyzer
+// the same events in the same order as a post-hoc trace-file replay.
+package online
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"netprobe/internal/otrace"
+)
+
+// DefaultQueue is the per-subscriber queue capacity when Subscribe is
+// called with capacity <= 0. Analyzers are O(1) per event, so this
+// much slack absorbs scheduling hiccups without measurable memory.
+const DefaultQueue = 8192
+
+// Bus fans events out to subscribers. Emit never blocks: each
+// subscriber has a bounded queue, and events arriving while a queue is
+// full are dropped and counted against that subscriber. Emit is safe
+// for concurrent producers; per-producer order is preserved per
+// subscriber (FIFO channels), which is what online convergence to
+// batch results relies on.
+type Bus struct {
+	subs   atomic.Pointer[[]*Subscription]
+	mu     sync.Mutex // guards Subscribe/Close transitions
+	closed bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	b := &Bus{}
+	b.subs.Store(&[]*Subscription{})
+	return b
+}
+
+// Subscription is one subscriber's bounded tap on a bus.
+type Subscription struct {
+	name    string
+	ch      chan otrace.Event
+	dropped atomic.Int64
+}
+
+// Events is the subscriber's receive channel. It is closed by
+// Bus.Close after all previously accepted events are queued, so a
+// consumer that ranges over it sees a complete drop-free stream before
+// the range ends.
+func (s *Subscription) Events() <-chan otrace.Event { return s.ch }
+
+// Dropped reports how many events were discarded because this
+// subscriber's queue was full (or the bus was already closed).
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Name reports the label passed to Subscribe.
+func (s *Subscription) Name() string { return s.name }
+
+// Subscribe adds a subscriber with the given queue capacity
+// (capacity <= 0 means DefaultQueue). Subscribing to a closed bus
+// returns a subscription whose channel is already closed.
+func (b *Bus) Subscribe(name string, capacity int) *Subscription {
+	if capacity <= 0 {
+		capacity = DefaultQueue
+	}
+	s := &Subscription{name: name, ch: make(chan otrace.Event, capacity)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.ch)
+		return s
+	}
+	old := *b.subs.Load()
+	next := make([]*Subscription, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	b.subs.Store(&next)
+	return s
+}
+
+// Emit implements otrace.Sink. It forwards ev to every subscriber
+// whose queue has room and counts a drop for each that is full. It
+// never blocks and is safe to call concurrently with Close (events
+// racing the close are counted as dropped, mirroring otrace.Bounded).
+func (b *Bus) Emit(ev otrace.Event) {
+	for _, s := range *b.subs.Load() {
+		s.offer(ev)
+	}
+}
+
+func (s *Subscription) offer(ev otrace.Event) {
+	defer func() {
+		if recover() != nil { // send on closed channel: Emit after Close
+			s.dropped.Add(1)
+		}
+	}()
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Close closes every subscriber channel, letting consumers drain what
+// was accepted and terminate. It is idempotent. Events emitted after
+// Close count as drops.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, s := range *b.subs.Load() {
+		close(s.ch)
+	}
+}
+
+// Dropped sums the drop counters of the current subscribers.
+func (b *Bus) Dropped() int64 {
+	var n int64
+	for _, s := range *b.subs.Load() {
+		n += s.Dropped()
+	}
+	return n
+}
+
+// Tag returns a sink that stamps Job and Index on every event before
+// forwarding to next. The runner uses it to tee per-job trace streams
+// into one shared bus so analyzers can key their state by job.
+func Tag(next otrace.Sink, job string, index int) otrace.Sink {
+	return tagSink{next: next, job: job, index: index}
+}
+
+type tagSink struct {
+	next  otrace.Sink
+	job   string
+	index int
+}
+
+func (t tagSink) Emit(ev otrace.Event) {
+	ev.Job = t.job
+	ev.Index = t.index
+	t.next.Emit(ev)
+}

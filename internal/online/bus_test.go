@@ -1,0 +1,258 @@
+package online
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+func TestBusFanOut(t *testing.T) {
+	bus := NewBus()
+	a := bus.Subscribe("a", 16)
+	b := bus.Subscribe("b", 16)
+	for i := 0; i < 10; i++ {
+		bus.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: i})
+	}
+	bus.Close()
+	drain := func(s *Subscription) int {
+		n := 0
+		for range s.Events() {
+			n++
+		}
+		return n
+	}
+	if got := drain(a); got != 10 {
+		t.Errorf("subscriber a got %d events, want 10", got)
+	}
+	if got := drain(b); got != 10 {
+		t.Errorf("subscriber b got %d events, want 10", got)
+	}
+	if bus.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", bus.Dropped())
+	}
+}
+
+// A saturated subscriber drops, never blocks: emitting far more events
+// than the queue holds must complete (a blocking bus would deadlock
+// here, since nobody is draining).
+func TestBusNeverBlocks(t *testing.T) {
+	bus := NewBus()
+	sub := bus.Subscribe("slow", 8)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bus.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: i})
+	}
+	if got := sub.Dropped(); got != n-8 {
+		t.Errorf("dropped = %d, want %d", got, n-8)
+	}
+	bus.Close()
+}
+
+func TestBusEmitAfterClose(t *testing.T) {
+	bus := NewBus()
+	sub := bus.Subscribe("s", 4)
+	bus.Emit(otrace.Event{Ev: otrace.KindRTT})
+	bus.Close()
+	bus.Close() // idempotent
+	bus.Emit(otrace.Event{Ev: otrace.KindRTT})
+	if got := sub.Dropped(); got != 1 {
+		t.Errorf("dropped = %d, want 1 (the post-close emit)", got)
+	}
+	n := 0
+	for range sub.Events() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("delivered %d, want 1", n)
+	}
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	bus := NewBus()
+	bus.Close()
+	sub := bus.Subscribe("late", 4)
+	if _, ok := <-sub.Events(); ok {
+		t.Error("late subscription channel should be closed")
+	}
+}
+
+// Concurrent producers racing Close: every event is either delivered
+// or counted as dropped. Run with -race.
+func TestBusConcurrentAccounting(t *testing.T) {
+	bus := NewBus()
+	sub := bus.Subscribe("s", 64)
+	var delivered int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range sub.Events() {
+			delivered++
+		}
+	}()
+	const senders, perSend = 8, 5000
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSend; i++ {
+				bus.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: i})
+			}
+		}()
+	}
+	wg.Wait()
+	bus.Close()
+	<-drained
+	if total := delivered + sub.Dropped(); total != senders*perSend {
+		t.Errorf("delivered %d + dropped %d = %d, want %d",
+			delivered, sub.Dropped(), total, senders*perSend)
+	}
+}
+
+func TestTagStampsJob(t *testing.T) {
+	bus := NewBus()
+	sub := bus.Subscribe("s", 4)
+	Tag(bus, "inria δ=50ms", 3).Emit(otrace.Event{Ev: otrace.KindRTT, Seq: 7})
+	bus.Close()
+	ev := <-sub.Events()
+	if ev.Job != "inria δ=50ms" || ev.Index != 3 || ev.Seq != 7 {
+		t.Errorf("tagged event %+v", ev)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	bus := NewBus()
+	eng := NewEngine(bus, 0, DefaultAnalyzers(reg)...)
+	bus.Emit(otrace.Event{Ev: otrace.KindRunStart, Job: "j1", DeltaNs: 50e6, WireBytes: 72, Count: 4})
+	for i := 0; i < 4; i++ {
+		bus.Emit(otrace.Event{Ev: otrace.KindProbeSent, Job: "j1", Seq: i})
+		if i != 2 { // one loss
+			bus.Emit(otrace.Event{Ev: otrace.KindRTT, Job: "j1", Seq: i, RTTNs: int64(80e6 + float64(i)*1e6)})
+		}
+	}
+	bus.Close()
+	eng.Wait()
+
+	srv := httptest.NewServer(Handler(eng))
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/online")
+	if code != http.StatusOK {
+		t.Fatalf("GET /online: %d %s", code, body)
+	}
+	var doc struct {
+		Analyzers map[string]json.RawMessage `json:"analyzers"`
+		Dropped   int64                      `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("GET /online not JSON: %v\n%s", err, body)
+	}
+	for _, name := range []string{"loss", "phase", "workload"} {
+		if _, ok := doc.Analyzers[name]; !ok {
+			t.Errorf("/online missing analyzer %q", name)
+		}
+	}
+
+	code, body = get("/online/loss")
+	if code != http.StatusOK {
+		t.Fatalf("GET /online/loss: %d", code)
+	}
+	var losses []LossSnapshot
+	if err := json.Unmarshal([]byte(body), &losses); err != nil {
+		t.Fatalf("loss snapshot not JSON: %v\n%s", err, body)
+	}
+	if len(losses) != 1 || losses[0].Job != "j1" || losses[0].Probes != 4 || losses[0].Lost != 1 {
+		t.Errorf("loss snapshot %+v", losses)
+	}
+
+	if code, _ = get("/online/nope"); code != http.StatusNotFound {
+		t.Errorf("GET /online/nope: %d, want 404", code)
+	}
+
+	// Live gauges landed in the registry under job labels.
+	snap := reg.Snapshot()
+	if _, ok := snap.FloatGauges[obs.Label("online.ulp", "job", "j1")]; !ok {
+		t.Errorf("missing online.ulp gauge; have %v", snap.FloatGauges)
+	}
+}
+
+// The producer-side cost with a saturated, never-drained subscriber:
+// this is the worst case the probe path can see, and it must stay a
+// cheap constant (one failed select plus a drop count).
+func BenchmarkBusEmitSaturated(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe("slow", 16)
+	ev := otrace.Event{Ev: otrace.KindRTT, Seq: 1, RTTNs: 12345}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Emit(ev)
+	}
+	b.StopTimer()
+	if sub.Dropped() == 0 && b.N > 16 {
+		b.Fatal("expected drops from the saturated subscriber")
+	}
+}
+
+// The common case: a drained subscriber (the engine keeping up).
+func BenchmarkBusEmitDrained(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe("fast", 4096)
+	go func() {
+		for range sub.Events() {
+		}
+	}()
+	ev := otrace.Event{Ev: otrace.KindRTT, Seq: 1, RTTNs: 12345}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Emit(ev)
+	}
+	b.StopTimer()
+	bus.Close()
+}
+
+// TestZeroDeltaJobDoesNotPanic reproduces the scheduled-send
+// (packet-pair) job shape: run_start with delta_ns=0 followed by rtt
+// events with negative diffs. The phase fit must decline cleanly, and
+// every analyzer snapshot must stay serviceable.
+func TestZeroDeltaJobDoesNotPanic(t *testing.T) {
+	bus := NewBus()
+	eng := NewEngine(bus, 0, DefaultAnalyzers(obs.NewRegistry())...)
+	bus.Emit(otrace.Event{Ev: otrace.KindRunStart, Job: "pairs", WireBytes: 72, Count: 40})
+	for i := 0; i < 40; i++ {
+		bus.Emit(otrace.Event{Ev: otrace.KindProbeSent, Job: "pairs", Seq: i})
+		rtt := int64(150e6)
+		if i%2 == 1 {
+			rtt = 145e6 // every second probe returns compressed
+		}
+		bus.Emit(otrace.Event{Ev: otrace.KindRTT, Job: "pairs", Seq: i, RTTNs: rtt})
+	}
+	bus.Close()
+	eng.Wait()
+	for name, snap := range eng.Snapshots() {
+		if snap == nil {
+			t.Errorf("analyzer %s: nil snapshot", name)
+		}
+	}
+	phaseA := eng.Analyzer("phase").(*PhaseAnalyzer)
+	if _, err := phaseA.Estimate("pairs"); err == nil {
+		t.Error("zero-δ job: want a declined phase estimate, got nil error")
+	}
+}

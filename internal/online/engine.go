@@ -1,0 +1,149 @@
+package online
+
+import (
+	"sort"
+
+	"netprobe/internal/otrace"
+)
+
+// Analyzer is an incremental estimator over an event stream. The
+// Engine calls HandleEvent from a single goroutine, in stream order;
+// Snapshot may be called concurrently (from the /online handler), so
+// implementations synchronize internally. Snapshots must be
+// JSON-serializable (no NaN/Inf values).
+type Analyzer interface {
+	// Name is the analyzer's stable identifier, used as the /online
+	// path segment and the snapshot map key.
+	Name() string
+	// HandleEvent feeds one event into the estimator.
+	HandleEvent(ev otrace.Event)
+	// Snapshot returns the analyzer's current state for serving.
+	Snapshot() any
+}
+
+// Engine subscribes a set of analyzers to a bus and dispatches events
+// to them on one background goroutine. The single dispatch goroutine
+// preserves stream order across analyzers; because analyzers are O(1)
+// per event, it keeps up with any realistic producer and the bounded
+// queue exists only for burst absorption.
+type Engine struct {
+	sub       *Subscription
+	analyzers []Analyzer
+	byName    map[string]Analyzer
+	done      chan struct{}
+}
+
+// NewEngine subscribes to bus (queue capacity <= 0 means DefaultQueue)
+// and starts dispatching to the analyzers. Close the bus to stop the
+// engine; Wait blocks until the queue has fully drained after that, at
+// which point a drop-free stream has been processed completely and the
+// analyzers' snapshots are final.
+func NewEngine(bus *Bus, capacity int, analyzers ...Analyzer) *Engine {
+	e := &Engine{
+		sub:       bus.Subscribe("online.engine", capacity),
+		analyzers: analyzers,
+		byName:    make(map[string]Analyzer, len(analyzers)),
+		done:      make(chan struct{}),
+	}
+	for _, a := range analyzers {
+		e.byName[a.Name()] = a
+	}
+	go func() {
+		defer close(e.done)
+		for ev := range e.sub.Events() {
+			for _, a := range e.analyzers {
+				a.HandleEvent(ev)
+			}
+		}
+	}()
+	return e
+}
+
+// Wait blocks until the engine has processed every event accepted
+// before the bus was closed.
+func (e *Engine) Wait() { <-e.done }
+
+// Dropped reports how many events this engine's subscription dropped.
+// A nonzero value means snapshots are estimates over a sampled stream,
+// not exact; the convergence guarantee only holds at zero.
+func (e *Engine) Dropped() int64 { return e.sub.Dropped() }
+
+// Analyzer returns the analyzer with the given name, or nil.
+func (e *Engine) Analyzer(name string) Analyzer { return e.byName[name] }
+
+// Names lists the analyzer names in sorted order.
+func (e *Engine) Names() []string {
+	names := make([]string, 0, len(e.analyzers))
+	for _, a := range e.analyzers {
+		names = append(names, a.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshots returns every analyzer's current snapshot keyed by name.
+func (e *Engine) Snapshots() map[string]any {
+	out := make(map[string]any, len(e.analyzers))
+	for _, a := range e.analyzers {
+		out[a.Name()] = a.Snapshot()
+	}
+	return out
+}
+
+// jobKey names the per-job state bucket for an event: the runner's job
+// label when the stream is tagged (see Tag), otherwise a single
+// default bucket for untagged streams like a directly-wired prober.
+func jobKey(ev otrace.Event) string {
+	if ev.Job != "" {
+		return ev.Job
+	}
+	return "default"
+}
+
+// pairTracker incrementally forms the consecutive-received-RTT pairs
+// of a phase plot from rtt events. It mirrors core.Trace's
+// ConsecutivePairs exactly — same float conversion, same pair order
+// for in-order streams — which is what lets the online phase and
+// workload estimators reproduce the batch numbers bit for bit.
+type pairTracker struct {
+	rttMs []float64
+	recv  []bool
+}
+
+// observe records the rtt for seq (milliseconds) and calls emit with
+// the diff rtt_{n+1} − rtt_n for every consecutive pair the event
+// completes, lower-indexed pair first. It reports false for duplicate
+// or negative-seq events, which carry no new pair.
+func (p *pairTracker) observe(seq int, rttMs float64, emit func(diff float64)) bool {
+	if seq < 0 {
+		return false
+	}
+	for len(p.recv) <= seq {
+		p.recv = append(p.recv, false)
+		p.rttMs = append(p.rttMs, 0)
+	}
+	if p.recv[seq] {
+		return false
+	}
+	p.recv[seq] = true
+	p.rttMs[seq] = rttMs
+	if seq >= 1 && p.recv[seq-1] {
+		emit(p.rttMs[seq] - p.rttMs[seq-1])
+	}
+	if seq+1 < len(p.recv) && p.recv[seq+1] {
+		emit(p.rttMs[seq+1] - p.rttMs[seq])
+	}
+	return true
+}
+
+// finite returns a pointer to v when it is a real number, nil
+// otherwise — the NaN/Inf-safe JSON idiom shared with the runner's
+// manifests.
+func finite(v float64) *float64 {
+	if v != v || v > maxFinite || v < -maxFinite {
+		return nil
+	}
+	return &v
+}
+
+const maxFinite = 1.7976931348623157e308

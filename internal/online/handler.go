@@ -1,0 +1,68 @@
+package online
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"netprobe/internal/obs"
+)
+
+// DefaultAnalyzers returns the standard analyzer set — loss, phase,
+// workload — publishing live gauges to reg (nil disables gauges).
+func DefaultAnalyzers(reg *obs.Registry) []Analyzer {
+	return []Analyzer{
+		NewLossAnalyzer(reg),
+		NewPhaseAnalyzer(reg, 0),
+		NewWorkloadAnalyzer(reg, 0),
+	}
+}
+
+// overview is the GET /online document.
+type overview struct {
+	// Analyzers maps analyzer name to its current snapshot.
+	Analyzers map[string]any `json:"analyzers"`
+	// Dropped is the engine's event-drop count; nonzero means the
+	// snapshots are computed over a sampled stream and the exact
+	// convergence guarantee does not apply.
+	Dropped int64 `json:"dropped"`
+}
+
+// Handler serves the engine's live state as JSON:
+//
+//	GET /online            → all analyzer snapshots plus the drop count
+//	GET /online/{analyzer} → one analyzer's snapshot ("loss", "phase", …)
+//
+// Mount it with RegisterDebug to expose it on every -debug-addr
+// server, next to /metrics and /debug/pprof.
+func Handler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/online"), "/")
+		var doc any
+		switch rest {
+		case "":
+			doc = overview{Analyzers: e.Snapshots(), Dropped: e.Dropped()}
+		default:
+			a := e.Analyzer(rest)
+			if a == nil {
+				http.Error(w, "unknown analyzer "+rest+" (have: "+strings.Join(e.Names(), ", ")+")",
+					http.StatusNotFound)
+				return
+			}
+			doc = a.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // client gone
+	})
+}
+
+// RegisterDebug mounts the engine's handler at /online and /online/ on
+// every debug server started afterwards (see obs.HandleDebug and
+// obs.ServeDebug). Call it before obs.Flags.Setup / obs.ServeDebug.
+func RegisterDebug(e *Engine) {
+	h := Handler(e)
+	obs.HandleDebug("/online", h)
+	obs.HandleDebug("/online/", h)
+}

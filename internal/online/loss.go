@@ -1,0 +1,226 @@
+package online
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"netprobe/internal/loss"
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// LossAnalyzer maintains the Section 5 loss statistics — ulp, clp, plg
+// and loss-run structure — incrementally, per job. Every counter is
+// updated in O(1) per event: a probe_sent extends the horizon with a
+// presumed-lost probe (the paper's convention: rtt_n = 0 until the
+// probe returns), and an rtt event retracts that presumption, patching
+// the consecutive-loss pair counts around the flipped position. At
+// end of stream the counters provably equal the single-pass values of
+// loss.Analyze over the same indicator sequence, so the final online
+// ulp/clp/plg are bit-identical to the batch results.
+type LossAnalyzer struct {
+	mu   sync.Mutex
+	reg  *obs.Registry
+	jobs map[string]*lossJob
+}
+
+type lossJob struct {
+	name string
+	lost []bool
+	// Incremental mirrors of loss.Analyze's counters over lost[0:sent):
+	// lostCount probes currently presumed lost, prevLost positions n
+	// (with a successor in range) where lost[n], bothLost of those
+	// where lost[n+1] too, runs the number of maximal loss runs.
+	lostCount int
+	prevLost  int
+	bothLost  int
+	runs      int
+
+	gULP, gCLP, gPLG *obs.FloatGauge
+}
+
+// NewLossAnalyzer returns a LossAnalyzer publishing live gauges
+// (online.ulp{job=}, online.clp{job=}, online.plg{job=}) to reg when
+// reg is non-nil.
+func NewLossAnalyzer(reg *obs.Registry) *LossAnalyzer {
+	return &LossAnalyzer{reg: reg, jobs: make(map[string]*lossJob)}
+}
+
+// Name implements Analyzer.
+func (a *LossAnalyzer) Name() string { return "loss" }
+
+func (a *LossAnalyzer) job(key string) *lossJob {
+	j := a.jobs[key]
+	if j == nil {
+		j = &lossJob{name: key}
+		if a.reg != nil {
+			j.gULP = a.reg.FloatGauge(obs.Label("online.ulp", "job", key))
+			j.gCLP = a.reg.FloatGauge(obs.Label("online.clp", "job", key))
+			j.gPLG = a.reg.FloatGauge(obs.Label("online.plg", "job", key))
+		}
+		a.jobs[key] = j
+	}
+	return j
+}
+
+// HandleEvent implements Analyzer.
+func (a *LossAnalyzer) HandleEvent(ev otrace.Event) {
+	switch ev.Ev {
+	case otrace.KindProbeSent, otrace.KindRTT:
+	default:
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j := a.job(jobKey(ev))
+	switch ev.Ev {
+	case otrace.KindProbeSent:
+		j.probeSent(ev.Seq)
+	case otrace.KindRTT:
+		j.received(ev.Seq)
+	}
+	j.publish()
+}
+
+// probeSent extends the horizon to seq, presuming the probe lost.
+// Out-of-order or duplicate sends (impossible from the simulator,
+// defensive for real streams) are absorbed by growing to seq.
+func (j *lossJob) probeSent(seq int) {
+	if seq < 0 {
+		return
+	}
+	for len(j.lost) <= seq {
+		n := len(j.lost)
+		j.lost = append(j.lost, true)
+		j.lostCount++
+		if n >= 1 && j.lost[n-1] {
+			// Position n−1 gained a successor; both are currently lost.
+			j.prevLost++
+			j.bothLost++
+			// The new loss extends n−1's run: no new run.
+		} else {
+			j.runs++ // a fresh loss run starts at n
+		}
+	}
+}
+
+// received retracts the loss presumption for seq, patching the pair
+// counters around the flip.
+func (j *lossJob) received(seq int) {
+	if seq < 0 {
+		return
+	}
+	j.probeSent(seq) // rtt before probe_sent: materialize the horizon
+	if !j.lost[seq] {
+		return // duplicate rtt
+	}
+	j.lost[seq] = false
+	j.lostCount--
+	sent := len(j.lost)
+	if seq+1 < sent {
+		// Position seq no longer counts as a lost-with-successor.
+		j.prevLost--
+		if j.lost[seq+1] {
+			j.bothLost--
+		}
+	}
+	if seq >= 1 && j.lost[seq-1] {
+		j.bothLost--
+	}
+	left := seq >= 1 && j.lost[seq-1]
+	right := seq+1 < sent && j.lost[seq+1]
+	switch {
+	case left && right:
+		j.runs++ // the run containing seq splits in two
+	case !left && !right:
+		j.runs-- // a singleton run disappears
+	}
+}
+
+// stats renders the counters with exactly loss.Analyze's expressions,
+// so equal integer counters give bit-equal floats.
+func (j *lossJob) stats() loss.Stats {
+	s := loss.Stats{N: len(j.lost), Lost: j.lostCount, CLP: math.NaN(), PLG: math.NaN()}
+	if s.N > 0 {
+		s.ULP = float64(s.Lost) / float64(s.N)
+	}
+	if j.prevLost > 0 {
+		s.CLP = float64(j.bothLost) / float64(j.prevLost)
+		if s.CLP < 1 {
+			s.PLG = 1 / (1 - s.CLP)
+		} else {
+			s.PLG = math.Inf(1)
+		}
+	}
+	if j.runs > 0 {
+		s.MeanRun = float64(j.lostCount) / float64(j.runs)
+	}
+	return s
+}
+
+// publish refreshes the live gauges. Non-finite values (clp before any
+// loss, plg at clp=1) leave the gauge untouched.
+func (j *lossJob) publish() {
+	if j.gULP == nil {
+		return
+	}
+	s := j.stats()
+	j.gULP.Set(s.ULP)
+	if finite(s.CLP) != nil {
+		j.gCLP.Set(s.CLP)
+	}
+	if finite(s.PLG) != nil {
+		j.gPLG.Set(s.PLG)
+	}
+}
+
+// Stats returns the current loss statistics for one job. The Runs
+// multiset is not tracked online (only the run count and mean), so
+// Stats.Runs is nil.
+func (a *LossAnalyzer) Stats(job string) (loss.Stats, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok {
+		return loss.Stats{}, false
+	}
+	return j.stats(), true
+}
+
+// LossSnapshot is the JSON form of one job's running loss statistics.
+type LossSnapshot struct {
+	Job     string   `json:"job"`
+	Probes  int      `json:"probes"`
+	Lost    int      `json:"lost"`
+	ULP     float64  `json:"ulp"`
+	CLP     *float64 `json:"clp,omitempty"`
+	PLG     *float64 `json:"plg,omitempty"`
+	Runs    int      `json:"loss_runs"`
+	MeanRun *float64 `json:"mean_run,omitempty"`
+}
+
+// Snapshot implements Analyzer: per-job snapshots sorted by job name.
+func (a *LossAnalyzer) Snapshot() any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]LossSnapshot, 0, len(a.jobs))
+	for _, j := range a.jobs {
+		s := j.stats()
+		snap := LossSnapshot{
+			Job:    j.name,
+			Probes: s.N,
+			Lost:   s.Lost,
+			ULP:    s.ULP,
+			CLP:    finite(s.CLP),
+			PLG:    finite(s.PLG),
+			Runs:   j.runs,
+		}
+		if j.runs > 0 {
+			snap.MeanRun = finite(s.MeanRun)
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out
+}

@@ -1,0 +1,172 @@
+package online
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+	"netprobe/internal/phase"
+)
+
+// muRefreshPairs is how many new phase pairs accumulate between live
+// recomputations of the bottleneck estimate. The fit is O(pairs), so
+// amortizing it keeps the per-event cost O(1); the estimate is also
+// refreshed on job_finish and on every Snapshot, so the final value
+// never lags.
+const muRefreshPairs = 256
+
+// PhaseAnalyzer maintains the Section 4 phase-plot analysis per job:
+// the 2-D (rtt_n, rtt_{n+1}) structure reduced to its diff series
+// rtt_{n+1} − rtt_n, the fixed-point D (minimum RTT), and the
+// compression-line fit that yields a live bottleneck-bandwidth μ
+// estimate. The diffs are collected in batch order through a
+// pairTracker, and the fit is phase.EstimateFromDiffs — the very code
+// EstimateBottleneck runs — so the end-of-stream estimate matches the
+// post-hoc one exactly.
+type PhaseAnalyzer struct {
+	mu        sync.Mutex
+	reg       *obs.Registry
+	minPoints int
+	jobs      map[string]*phaseJob
+}
+
+type phaseJob struct {
+	name     string
+	pairs    pairTracker
+	diffs    []float64
+	numPairs int
+	minRTTNs int64
+	gotMin   bool
+	// Run metadata from run_start.
+	deltaMs    float64
+	wireBits   float64
+	resMs      float64
+	gMu        *obs.FloatGauge
+	pairsAtFit int
+}
+
+// NewPhaseAnalyzer returns a PhaseAnalyzer publishing a live
+// online.mu_bps{job=} gauge to reg when reg is non-nil. minPoints is
+// the compression-line point floor passed through to the fit (0 means
+// the batch default of 10).
+func NewPhaseAnalyzer(reg *obs.Registry, minPoints int) *PhaseAnalyzer {
+	return &PhaseAnalyzer{reg: reg, minPoints: minPoints, jobs: make(map[string]*phaseJob)}
+}
+
+// Name implements Analyzer.
+func (a *PhaseAnalyzer) Name() string { return "phase" }
+
+func (a *PhaseAnalyzer) job(key string) *phaseJob {
+	j := a.jobs[key]
+	if j == nil {
+		j = &phaseJob{name: key}
+		if a.reg != nil {
+			j.gMu = a.reg.FloatGauge(obs.Label("online.mu_bps", "job", key))
+		}
+		a.jobs[key] = j
+	}
+	return j
+}
+
+// HandleEvent implements Analyzer.
+func (a *PhaseAnalyzer) HandleEvent(ev otrace.Event) {
+	switch ev.Ev {
+	case otrace.KindRunStart, otrace.KindRTT, otrace.KindJobFinish:
+	default:
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j := a.job(jobKey(ev))
+	switch ev.Ev {
+	case otrace.KindRunStart:
+		j.deltaMs = float64(ev.DeltaNs) / float64(time.Millisecond)
+		j.wireBits = float64(ev.WireBytes) * 8
+		j.resMs = float64(ev.ClockResNs) / float64(time.Millisecond)
+	case otrace.KindRTT:
+		if !j.gotMin || ev.RTTNs < j.minRTTNs {
+			j.minRTTNs = ev.RTTNs
+			j.gotMin = true
+		}
+		rttMs := float64(ev.RTTNs) / float64(time.Millisecond)
+		j.pairs.observe(ev.Seq, rttMs, func(diff float64) {
+			j.diffs = append(j.diffs, diff)
+			j.numPairs++
+		})
+		if j.numPairs-j.pairsAtFit >= muRefreshPairs {
+			j.refreshGauge(a.minPoints)
+		}
+	case otrace.KindJobFinish:
+		j.refreshGauge(a.minPoints)
+	}
+}
+
+// estimate runs the batch fit over the diffs collected so far. Caller
+// holds a.mu.
+func (j *phaseJob) estimate(minPoints int) (phase.Estimate, error) {
+	fixedMs := 0.0
+	if j.gotMin {
+		fixedMs = float64(j.minRTTNs) / float64(time.Millisecond)
+	}
+	return phase.EstimateFromDiffs(j.diffs, j.numPairs, j.deltaMs, j.wireBits,
+		j.resMs, fixedMs, minPoints)
+}
+
+func (j *phaseJob) refreshGauge(minPoints int) {
+	j.pairsAtFit = j.numPairs
+	if j.gMu == nil {
+		return
+	}
+	if est, err := j.estimate(minPoints); err == nil {
+		j.gMu.Set(est.BottleneckBps)
+	}
+}
+
+// Estimate returns the current bottleneck estimate for one job,
+// recomputed from all pairs seen so far.
+func (a *PhaseAnalyzer) Estimate(job string) (phase.Estimate, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok {
+		return phase.Estimate{}, phase.ErrNoCompression
+	}
+	return j.estimate(a.minPoints)
+}
+
+// PhaseSnapshot is the JSON form of one job's running phase analysis.
+// Estimate is nil until a compression line is visible; Error then says
+// why (usually "no probe-compression line visible" early in a run or
+// at large δ, per Figure 4).
+type PhaseSnapshot struct {
+	Job          string          `json:"job"`
+	Pairs        int             `json:"pairs"`
+	DeltaMs      float64         `json:"delta_ms"`
+	FixedDelayMs *float64        `json:"fixed_delay_ms,omitempty"`
+	Estimate     *phase.Estimate `json:"estimate,omitempty"`
+	Error        string          `json:"error,omitempty"`
+}
+
+// Snapshot implements Analyzer: per-job snapshots sorted by job name.
+func (a *PhaseAnalyzer) Snapshot() any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PhaseSnapshot, 0, len(a.jobs))
+	for _, j := range a.jobs {
+		snap := PhaseSnapshot{Job: j.name, Pairs: j.numPairs, DeltaMs: j.deltaMs}
+		if j.gotMin {
+			snap.FixedDelayMs = finite(float64(j.minRTTNs) / float64(time.Millisecond))
+		}
+		if est, err := j.estimate(a.minPoints); err == nil {
+			e := est
+			snap.Estimate = &e
+		} else {
+			snap.Error = err.Error()
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out
+}

@@ -1,0 +1,232 @@
+package online
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+	"netprobe/internal/stats"
+	"netprobe/internal/workload"
+)
+
+// DefaultWorkloadBinMs is the inter-return-time histogram bin width
+// used when NewWorkloadAnalyzer is given binMs <= 0 — the 1 ms
+// resolution the Figure 8/9 reproductions use.
+const DefaultWorkloadBinMs = 1.0
+
+// WorkloadAnalyzer runs the equation 6 workload estimation online, per
+// job: each completed consecutive-received pair contributes an
+// inter-return time w_{n+1} − w_n + δ = rtt_{n+1} − rtt_n + δ to a
+// modal histogram (the Figure 8/9 distribution, recovering the
+// ≈488-byte bulk-packet peak), and — when the bottleneck bandwidth μ
+// is known from run metadata — a workload sample b_n = μ(w_{n+1} −
+// w_n + δ) − P to a running mean (the online Lindley reading). The
+// histogram is identical to workload.Distribution's (same bins, same
+// values) and the structural reading is workload.AnalyzeHistogram —
+// the batch code path — so end-of-stream results match post-hoc
+// analysis exactly.
+type WorkloadAnalyzer struct {
+	mu    sync.Mutex
+	reg   *obs.Registry
+	binMs float64
+	jobs  map[string]*workloadJob
+}
+
+type workloadJob struct {
+	name  string
+	pairs pairTracker
+	hist  *stats.Histogram
+	// Run metadata from run_start.
+	deltaMs  float64
+	deltaSec float64
+	wireBits float64
+	muBps    float64
+	// Running Lindley estimate Σb_n / n.
+	sumBits float64
+	n       int
+	gMean   *obs.FloatGauge
+}
+
+// NewWorkloadAnalyzer returns a WorkloadAnalyzer histogramming at
+// binMs (<= 0 means DefaultWorkloadBinMs) and publishing a live
+// online.workload_mean_bits{job=} gauge to reg when reg is non-nil.
+func NewWorkloadAnalyzer(reg *obs.Registry, binMs float64) *WorkloadAnalyzer {
+	if binMs <= 0 {
+		binMs = DefaultWorkloadBinMs
+	}
+	return &WorkloadAnalyzer{reg: reg, binMs: binMs, jobs: make(map[string]*workloadJob)}
+}
+
+// Name implements Analyzer.
+func (a *WorkloadAnalyzer) Name() string { return "workload" }
+
+func (a *WorkloadAnalyzer) job(key string) *workloadJob {
+	j := a.jobs[key]
+	if j == nil {
+		j = &workloadJob{name: key}
+		if a.reg != nil {
+			j.gMean = a.reg.FloatGauge(obs.Label("online.workload_mean_bits", "job", key))
+		}
+		a.jobs[key] = j
+	}
+	return j
+}
+
+// HandleEvent implements Analyzer.
+func (a *WorkloadAnalyzer) HandleEvent(ev otrace.Event) {
+	switch ev.Ev {
+	case otrace.KindRunStart, otrace.KindRTT:
+	default:
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j := a.job(jobKey(ev))
+	switch ev.Ev {
+	case otrace.KindRunStart:
+		delta := time.Duration(ev.DeltaNs)
+		j.deltaMs = float64(ev.DeltaNs) / float64(time.Millisecond)
+		j.deltaSec = delta.Seconds()
+		j.wireBits = float64(ev.WireBytes) * 8
+		j.muBps = float64(ev.BottleneckBps)
+		if j.hist == nil && j.deltaMs > 0 {
+			// Same domain as workload.Distribution: [0, 2δ + headroom).
+			j.hist = stats.NewHistogram(0, 2*j.deltaMs+50, a.binMs)
+		}
+	case otrace.KindRTT:
+		if j.hist == nil {
+			return // no run_start yet: bins are undefined
+		}
+		rttMs := float64(ev.RTTNs) / float64(time.Millisecond)
+		j.pairs.observe(ev.Seq, rttMs, func(diff float64) {
+			irt := diff + j.deltaMs
+			j.hist.Add(irt)
+			if j.muBps > 0 {
+				// Equation 6, clamped at zero like workload.EstimateBits.
+				b := j.muBps*(irt/1000) - j.wireBits
+				if b < 0 {
+					b = 0
+				}
+				j.sumBits += b
+				j.n++
+				if j.gMean != nil {
+					j.gMean.Set(j.sumBits / float64(j.n))
+				}
+			}
+		})
+	}
+}
+
+// meanBits is the running Lindley mean Σb_n / n; caller holds a.mu.
+func (j *workloadJob) meanBits() (float64, bool) {
+	if j.n == 0 {
+		return 0, false
+	}
+	return j.sumBits / float64(j.n), true
+}
+
+// MeanBits returns one job's running mean workload estimate in bits
+// and whether any sample has been collected (requires a known μ).
+func (a *WorkloadAnalyzer) MeanBits(job string) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok {
+		return 0, false
+	}
+	return j.meanBits()
+}
+
+// Utilization returns one job's bottleneck-utilization estimate
+// (mean b_n over the interval capacity δμ), matching
+// workload.UtilizationEstimate.
+func (a *WorkloadAnalyzer) Utilization(job string) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok || j.n == 0 || j.muBps <= 0 || j.deltaSec <= 0 {
+		return 0, false
+	}
+	return j.sumBits / float64(j.n) / (j.deltaSec * j.muBps), true
+}
+
+// Analysis returns one job's structural reading of the inter-return
+// distribution via the batch workload.AnalyzeHistogram.
+func (a *WorkloadAnalyzer) Analysis(job string) (workload.Analysis, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok || j.hist == nil || j.muBps <= 0 {
+		return workload.Analysis{}, workload.ErrNoPeaks
+	}
+	return workload.AnalyzeHistogram(j.hist, j.deltaMs, j.wireBits, j.muBps)
+}
+
+// Histogram returns a copy of one job's inter-return-time histogram.
+func (a *WorkloadAnalyzer) Histogram(job string) (*stats.Histogram, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	j, ok := a.jobs[job]
+	if !ok || j.hist == nil {
+		return nil, false
+	}
+	h := *j.hist
+	h.Counts = append([]int(nil), j.hist.Counts...)
+	return &h, true
+}
+
+// WorkloadSnapshot is the JSON form of one job's running workload
+// estimation.
+type WorkloadSnapshot struct {
+	Job     string  `json:"job"`
+	Pairs   int     `json:"pairs"`
+	DeltaMs float64 `json:"delta_ms"`
+	MuBps   float64 `json:"mu_bps,omitempty"`
+	// MeanWorkloadBits is the running Lindley mean of b_n; nil until μ
+	// is known and a pair has completed.
+	MeanWorkloadBits *float64 `json:"mean_workload_bits,omitempty"`
+	// Utilization is the equation 6 utilization estimate (see
+	// workload.UtilizationEstimate for its validity floor).
+	Utilization *float64 `json:"utilization,omitempty"`
+	// BulkBytes is the bulk-packet size implied by the first bulk peak
+	// (the paper's ≈488 bytes), nil when no bulk peak is visible yet.
+	BulkBytes *float64 `json:"bulk_bytes,omitempty"`
+	// Peaks lists the detected peaks of the inter-return distribution,
+	// highest first.
+	Peaks []stats.Peak `json:"peaks,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+// Snapshot implements Analyzer: per-job snapshots sorted by job name.
+func (a *WorkloadAnalyzer) Snapshot() any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]WorkloadSnapshot, 0, len(a.jobs))
+	for _, j := range a.jobs {
+		snap := WorkloadSnapshot{Job: j.name, Pairs: j.n, DeltaMs: j.deltaMs, MuBps: j.muBps}
+		if j.hist != nil {
+			snap.Pairs = j.hist.Total()
+		}
+		if mean, ok := j.meanBits(); ok {
+			snap.MeanWorkloadBits = finite(mean)
+			if j.deltaSec > 0 && j.muBps > 0 {
+				snap.Utilization = finite(mean / (j.deltaSec * j.muBps))
+			}
+		}
+		if j.hist != nil && j.muBps > 0 {
+			if an, err := workload.AnalyzeHistogram(j.hist, j.deltaMs, j.wireBits, j.muBps); err == nil {
+				snap.Peaks = an.Peaks
+				if bb, berr := an.InferredBulkBytes(); berr == nil {
+					snap.BulkBytes = finite(bb)
+				}
+			} else {
+				snap.Error = err.Error()
+			}
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out
+}

@@ -22,10 +22,12 @@ package otrace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -114,6 +116,17 @@ type Writer struct {
 	c   io.Closer
 	err error
 	n   atomic.Int64
+
+	// Rotation state, used only by CreateRotating. maxBytes counts
+	// uncompressed JSONL bytes per segment: the rotation decision must
+	// be independent of gzip's internal state so identical event
+	// sequences always cut segments at identical event boundaries.
+	maxBytes int64
+	written  int64
+	seg      int
+	dir      string
+	base     string
+	paths    []string
 }
 
 // NewWriter returns a Writer streaming to w.
@@ -133,6 +146,81 @@ func Create(path string) (*Writer, error) {
 	return w, nil
 }
 
+// CreateRotating opens a rotating gzip-compressed trace under dir.
+// The first segment is <base>.jsonl.gz; when a segment's uncompressed
+// size would exceed maxBytes the Writer cuts over to <base>-001.jsonl.gz,
+// <base>-002.jsonl.gz, and so on, always at an event boundary (a
+// segment holds at least one event regardless of maxBytes). maxBytes
+// <= 0 disables rotation: everything lands in the single .gz segment.
+// Paths reports the segments written so far; Read and ReadFiles
+// decompress them transparently.
+func CreateRotating(dir, base string, maxBytes int64) (*Writer, error) {
+	w := &Writer{maxBytes: maxBytes, dir: dir, base: base}
+	if err := w.openSegment(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// segPath names segment w.seg.
+func (w *Writer) segPath() string {
+	name := w.base
+	if w.seg > 0 {
+		name = fmt.Sprintf("%s-%03d", w.base, w.seg)
+	}
+	return filepath.Join(w.dir, name+".jsonl.gz")
+}
+
+// openSegment starts the current segment file. Caller holds w.mu (or
+// is the constructor).
+func (w *Writer) openSegment() error {
+	path := w.segPath()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("otrace: %w", err)
+	}
+	zw := gzip.NewWriter(f)
+	w.bw = bufio.NewWriter(zw)
+	w.c = closerFunc(func() error {
+		if err := zw.Close(); err != nil {
+			f.Close() //nolint:errcheck // gzip error takes precedence
+			return err
+		}
+		return f.Close()
+	})
+	w.paths = append(w.paths, path)
+	w.written = 0
+	return nil
+}
+
+// closeSegment flushes and closes the current segment. Caller holds
+// w.mu.
+func (w *Writer) closeSegment() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("otrace: flush: %w", err)
+	}
+	if w.c != nil {
+		if err := w.c.Close(); err != nil {
+			return fmt.Errorf("otrace: close: %w", err)
+		}
+		w.c = nil
+	}
+	return nil
+}
+
+// Paths returns the files this Writer has opened, in write order. For
+// plain Create/NewWriter writers it is nil; for rotating writers it
+// lists every segment.
+func (w *Writer) Paths() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.paths...)
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
 // Emit implements Sink.
 func (w *Writer) Emit(ev Event) {
 	data, err := json.Marshal(ev)
@@ -145,6 +233,18 @@ func (w *Writer) Emit(ev Event) {
 		w.err = fmt.Errorf("otrace: marshal event: %w", err)
 		return
 	}
+	rec := int64(len(data)) + 1
+	if w.maxBytes > 0 && w.written > 0 && w.written+rec > w.maxBytes {
+		if err := w.closeSegment(); err != nil {
+			w.err = err
+			return
+		}
+		w.seg++
+		if err := w.openSegment(); err != nil {
+			w.err = err
+			return
+		}
+	}
 	if _, err := w.bw.Write(data); err != nil {
 		w.err = fmt.Errorf("otrace: write event: %w", err)
 		return
@@ -153,6 +253,7 @@ func (w *Writer) Emit(ev Event) {
 		w.err = fmt.Errorf("otrace: write event: %w", err)
 		return
 	}
+	w.written += rec
 	w.n.Add(1)
 }
 
@@ -236,9 +337,76 @@ func (b *Bounded) Close() error {
 	return nil
 }
 
+// Multi returns a Sink forwarding every event to each non-nil sink in
+// order. Nil sinks are dropped; with zero non-nil sinks it returns
+// nil, with one it returns that sink unwrapped.
+func Multi(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
 // Read decodes a JSONL event stream, calling fn for every event in
-// order. It stops at the first malformed line or fn error.
+// order. Gzip-compressed streams (rotated segments) are detected by
+// magic number and decompressed transparently. It stops at the first
+// malformed line or fn error.
 func Read(r io.Reader, fn func(Event) error) error {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return fmt.Errorf("otrace: gzip: %w", err)
+		}
+		defer zr.Close() //nolint:errcheck // read side
+		return readLines(zr, fn)
+	}
+	return readLines(br, fn)
+}
+
+// ReadFile opens path and replays its events through fn, handling
+// plain and gzip-compressed traces alike.
+func ReadFile(path string, fn func(Event) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("otrace: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read side
+	if err := Read(f, fn); err != nil {
+		return fmt.Errorf("otrace: %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFiles replays a sequence of trace segments (as produced by a
+// rotating Writer) through fn in order, as if they were one stream.
+func ReadFiles(paths []string, fn func(Event) error) error {
+	for _, p := range paths {
+		if err := ReadFile(p, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readLines(r io.Reader, fn func(Event) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0

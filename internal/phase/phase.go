@@ -94,9 +94,6 @@ var ErrNoCompression = errors.New("phase: no probe-compression line visible")
 // counts two points at δ=500 ms and rightly declines to read a line
 // through them); 0 means 10.
 func EstimateBottleneck(t *core.Trace, minPoints int) (Estimate, error) {
-	if minPoints <= 0 {
-		minPoints = 10
-	}
 	p := New(t)
 	if len(p.Points) == 0 {
 		return Estimate{}, errors.New("phase: no consecutive received pairs")
@@ -105,16 +102,37 @@ func EstimateBottleneck(t *core.Trace, minPoints int) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	est := Estimate{FixedDelayMs: float64(min) / float64(time.Millisecond)}
+	return EstimateFromDiffs(p.Diffs(), len(p.Points), p.DeltaMs, p.WireBits,
+		float64(t.ClockRes)/float64(time.Millisecond),
+		float64(min)/float64(time.Millisecond), minPoints)
+}
+
+// EstimateFromDiffs is the core of EstimateBottleneck, operating on
+// precomputed phase-point diffs rtt_{n+1} − rtt_n (ms) instead of a
+// trace. numPairs is the total number of phase points the diffs came
+// from (denominator of CompressionFraction); deltaMs, wireBits, resMs
+// and fixedDelayMs describe the run. The online PhaseAnalyzer calls
+// this with incrementally-collected diffs so live estimates follow
+// exactly the batch code path.
+func EstimateFromDiffs(diffs []float64, numPairs int, deltaMs, wireBits, resMs, fixedDelayMs float64, minPoints int) (Estimate, error) {
+	if minPoints <= 0 {
+		minPoints = 10
+	}
+	est := Estimate{FixedDelayMs: fixedDelayMs}
+	if deltaMs <= 0 {
+		// No fixed probe interval (e.g. a scheduled-send packet-pair
+		// run): the compression line rtt_{n+1} = rtt_n + P/μ − δ is
+		// undefined, and the [−δ, −δ/2) candidate window would be empty.
+		return est, ErrNoCompression
+	}
 
 	// Compressed probes drain P/μ apart while being sent δ apart, so
 	// their phase points satisfy y − x = P/μ − δ < 0. Scan the
 	// negative diffs below −δ/2 for a cluster: the service time must
 	// be below δ/2 for the cluster to be separable from the diagonal.
-	diffs := p.Diffs()
 	var negative []float64
 	for _, d := range diffs {
-		if d < -p.DeltaMs/2 {
+		if d < -deltaMs/2 {
 			negative = append(negative, d)
 		}
 	}
@@ -124,7 +142,7 @@ func EstimateBottleneck(t *core.Trace, minPoints int) (Estimate, error) {
 	// Histogram the candidate diffs at fine resolution and take the
 	// modal bin, then refine by averaging the cluster around it to
 	// wash out clock quantization.
-	lo, hi := -p.DeltaMs, -p.DeltaMs/2
+	lo, hi := -deltaMs, -deltaMs/2
 	h := stats.NewHistogram(lo, hi, 0.25)
 	h.AddAll(negative)
 	// The diffs of compressed probes form a ladder: the pure
@@ -141,7 +159,6 @@ func EstimateBottleneck(t *core.Trace, minPoints int) (Estimate, error) {
 			break
 		}
 	}
-	resMs := float64(t.ClockRes) / float64(time.Millisecond)
 	clusterTol := math.Max(0.75, 1.5*resMs)
 	sum, n := 0.0, 0
 	for _, d := range negative {
@@ -156,20 +173,20 @@ func EstimateBottleneck(t *core.Trace, minPoints int) (Estimate, error) {
 	c := sum / float64(n)
 	est.InterceptMs = -c // intercept of y = x + c with the x-axis is at x = −c... see below
 	// The line y = x + c crosses y = 0 at x = −c = δ − P/μ.
-	est.ServiceTimeMs = p.DeltaMs + c
+	est.ServiceTimeMs = deltaMs + c
 	if est.ServiceTimeMs <= 0 {
 		return est, fmt.Errorf("phase: implausible service time %v ms", est.ServiceTimeMs)
 	}
-	est.BottleneckBps = p.WireBits / (est.ServiceTimeMs / 1000)
+	est.BottleneckBps = wireBits / (est.ServiceTimeMs / 1000)
 	if resMs > 0 && est.ServiceTimeMs < resMs {
 		// The clock cannot resolve a service time this small: report
 		// the bound implied by one clock tick instead of a number
 		// dominated by rounding noise.
 		est.ResolutionLimited = true
-		est.BottleneckBps = p.WireBits / (resMs / 1000)
+		est.BottleneckBps = wireBits / (resMs / 1000)
 	}
 	est.CompressionPoints = n
-	est.CompressionFraction = float64(n) / float64(len(p.Points))
+	est.CompressionFraction = float64(n) / float64(numPairs)
 	return est, nil
 }
 

@@ -184,3 +184,16 @@ func TestEstimateWithDECstationClock(t *testing.T) {
 		t.Fatalf("estimated μ = %.0f b/s, want within 50%% of 128000 (est: %v)", est.BottleneckBps, est)
 	}
 }
+
+// TestEstimateFromDiffsZeroDelta: a run with no fixed probe interval
+// (δ = 0, e.g. a scheduled-send packet-pair experiment) must report
+// ErrNoCompression rather than panic on the empty [−δ, −δ/2) window.
+func TestEstimateFromDiffsZeroDelta(t *testing.T) {
+	diffs := []float64{-5, -4.8, -5.1, -4.9, -5, -5.2, -4.7, -5, -4.9, -5.1}
+	if _, err := EstimateFromDiffs(diffs, len(diffs)+1, 0, 576, 0, 140, 0); !errors.Is(err, ErrNoCompression) {
+		t.Fatalf("err = %v, want ErrNoCompression", err)
+	}
+	if _, err := EstimateFromDiffs(diffs, len(diffs)+1, -20, 576, 0, 140, 0); !errors.Is(err, ErrNoCompression) {
+		t.Fatalf("negative δ: err = %v, want ErrNoCompression", err)
+	}
+}

@@ -55,7 +55,11 @@ type ManifestJob struct {
 	// TraceFile points at the job's lifecycle-event file (otrace
 	// JSONL) when the pool ran with the Traces option.
 	TraceFile string `json:"trace_file,omitempty"`
-	Error     string `json:"error,omitempty"`
+	// TraceFiles lists every rotated segment (otrace .jsonl.gz) when
+	// the pool ran with Traces plus TraceMaxBytes; TraceFile then
+	// names the first segment.
+	TraceFiles []string `json:"trace_files,omitempty"`
+	Error      string   `json:"error,omitempty"`
 }
 
 // ManifestSummary mirrors Summary in JSON-friendly units.
@@ -107,7 +111,8 @@ func NewManifest(tool string, rootSeed int64, results []Result, sum Summary) *Ma
 			CLP:    finite(r.Stats.CLP),
 			PLG:    finite(r.Stats.PLG),
 
-			TraceFile: r.TraceFile,
+			TraceFile:  r.TraceFile,
+			TraceFiles: r.TraceFiles,
 		}
 		if r.Err != nil {
 			j.Error = r.Err.Error()

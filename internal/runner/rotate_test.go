@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/otrace"
+	"netprobe/internal/trace"
+)
+
+// rotatedSweep runs a small 2-job δ-sweep with rotated gzip trace
+// segments (tiny MaxBytes so every job rotates several times).
+func rotatedSweep(t *testing.T, rootSeed int64, workers int) ([]Result, string) {
+	t.Helper()
+	dir := t.TempDir()
+	jobs := DeltaSweep(core.INRIAPreset(),
+		[]time.Duration{20 * time.Millisecond, 50 * time.Millisecond},
+		5*time.Second)
+	results := Run(context.Background(), rootSeed, jobs,
+		Workers(workers), Traces(dir), TraceMaxBytes(2048))
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	return results, dir
+}
+
+// TestRotatedTraceSegments: Traces plus TraceMaxBytes produces per-job
+// gzip segments, all listed in Result.TraceFiles, and the concatenated
+// segment stream replays into the exact trace the job produced.
+func TestRotatedTraceSegments(t *testing.T) {
+	results, dir := rotatedSweep(t, 42, 2)
+	for i, r := range results {
+		if len(r.TraceFiles) < 2 {
+			t.Fatalf("job %d: %d segments, want rotation (>= 2): %v",
+				i, len(r.TraceFiles), r.TraceFiles)
+		}
+		if want := filepath.Join(dir, TraceBaseName(i)+".jsonl.gz"); r.TraceFile != want {
+			t.Errorf("job %d TraceFile %q, want first segment %q", i, r.TraceFile, want)
+		}
+		if r.TraceFiles[0] != r.TraceFile {
+			t.Errorf("job %d: TraceFiles[0] %q != TraceFile %q",
+				i, r.TraceFiles[0], r.TraceFile)
+		}
+		for _, p := range r.TraceFiles {
+			if !strings.HasSuffix(p, ".jsonl.gz") {
+				t.Errorf("job %d segment %q: not a .jsonl.gz file", i, p)
+			}
+			if _, err := os.Stat(p); err != nil {
+				t.Errorf("job %d segment missing: %v", i, err)
+			}
+		}
+		// Replay all segments in order: bracketed by job_start and
+		// job_finish, and reconstructing the job's exact trace.
+		var evs []otrace.Event
+		if err := otrace.ReadFiles(r.TraceFiles, func(ev otrace.Event) error {
+			evs = append(evs, ev)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if first := evs[0]; first.Ev != otrace.KindJobStart || first.Index != i {
+			t.Errorf("job %d first event %+v, want job_start", i, first)
+		}
+		if last := evs[len(evs)-1]; last.Ev != otrace.KindJobFinish || last.Probes != r.Stats.N {
+			t.Errorf("job %d last event %+v, want job_finish with %d probes",
+				i, last, r.Stats.N)
+		}
+		rec, err := trace.FromEvents(segmentReader(t, r.TraceFiles))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Samples) != len(r.Trace.Samples) {
+			t.Fatalf("job %d: reconstructed %d samples, want %d",
+				i, len(rec.Samples), len(r.Trace.Samples))
+		}
+		for s := range rec.Samples {
+			if rec.Samples[s] != r.Trace.Samples[s] {
+				t.Fatalf("job %d sample %d: reconstructed %+v, direct %+v",
+					i, s, rec.Samples[s], r.Trace.Samples[s])
+			}
+		}
+	}
+}
+
+// segmentReader decompresses and concatenates rotated segments into
+// one JSONL stream for trace.FromEvents.
+func segmentReader(t *testing.T, paths []string) *strings.Reader {
+	t.Helper()
+	var sb strings.Builder
+	for _, p := range paths {
+		if err := otrace.ReadFile(p, func(ev otrace.Event) error {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			sb.Write(b)
+			sb.WriteByte('\n')
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return strings.NewReader(sb.String())
+}
+
+// TestRotatedTraceDeterministicAcrossWorkerCounts extends the
+// byte-identical acceptance criterion to rotated gzip segments: the
+// same seed yields the same segmentation and identical segment bytes
+// whether the sweep runs on 1 worker or 4.
+func TestRotatedTraceDeterministicAcrossWorkerCounts(t *testing.T) {
+	seq, _ := rotatedSweep(t, 42, 1)
+	par, _ := rotatedSweep(t, 42, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if len(seq[i].TraceFiles) != len(par[i].TraceFiles) {
+			t.Fatalf("job %d: segmentation differs: %d vs %d segments",
+				i, len(seq[i].TraceFiles), len(par[i].TraceFiles))
+		}
+		for s := range seq[i].TraceFiles {
+			a, err := os.ReadFile(seq[i].TraceFiles[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(par[i].TraceFiles[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) == 0 {
+				t.Fatalf("job %d segment %d: empty", i, s)
+			}
+			if string(a) != string(b) {
+				t.Errorf("job %d segment %d: bytes differ between workers=1 and workers=4", i, s)
+			}
+		}
+	}
+}
+
+// TestManifestListsRotatedSegments: the manifest's trace_files field
+// carries every segment of every job.
+func TestManifestListsRotatedSegments(t *testing.T) {
+	results, _ := rotatedSweep(t, 7, 2)
+	m := NewManifest("test", 7, results, Summary{Jobs: len(results)})
+	for i, j := range m.Jobs {
+		if len(j.TraceFiles) != len(results[i].TraceFiles) {
+			t.Fatalf("manifest job %d lists %d segments, result has %d",
+				i, len(j.TraceFiles), len(results[i].TraceFiles))
+		}
+		for s := range j.TraceFiles {
+			if j.TraceFiles[s] != results[i].TraceFiles[s] {
+				t.Errorf("manifest job %d segment %d: %q != %q",
+					i, s, j.TraceFiles[s], results[i].TraceFiles[s])
+			}
+		}
+		if j.TraceFile != results[i].TraceFile {
+			t.Errorf("manifest job %d trace_file %q, want %q",
+				i, j.TraceFile, results[i].TraceFile)
+		}
+	}
+}

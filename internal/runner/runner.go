@@ -14,6 +14,7 @@ import (
 	"netprobe/internal/core"
 	"netprobe/internal/loss"
 	"netprobe/internal/obs"
+	"netprobe/internal/online"
 	"netprobe/internal/otrace"
 )
 
@@ -56,6 +57,10 @@ type Result struct {
 	// TraceFile is the job's lifecycle-event file (otrace JSONL) when
 	// the pool ran with the Traces option; empty otherwise.
 	TraceFile string
+	// TraceFiles lists every rotated trace segment when the pool ran
+	// with Traces plus TraceMaxBytes (TraceFile is then the first
+	// segment); nil for single-file traces.
+	TraceFiles []string
 	// Err is the job's failure: the simulation error, a recovered
 	// panic, or the context error for jobs cancelled before running.
 	Err error
@@ -142,10 +147,12 @@ func (s Summary) String() string {
 }
 
 type options struct {
-	workers  int
-	progress func(Event)
-	metrics  *obs.Registry
-	traceDir string
+	workers       int
+	progress      func(Event)
+	metrics       *obs.Registry
+	traceDir      string
+	traceMaxBytes int64
+	online        *online.Bus
 }
 
 // Option configures Run.
@@ -188,10 +195,37 @@ func Traces(dir string) Option {
 	return func(o *options) { o.traceDir = dir }
 }
 
+// TraceMaxBytes enables trace-file rotation for the Traces option:
+// each job's event stream is written as gzip-compressed segments
+// ("job-NNN.jsonl.gz", "job-NNN-001.jsonl.gz", ...) cut whenever a
+// segment's uncompressed size would exceed n bytes. Segments are cut
+// at event boundaries from the same deterministic stream, so the set
+// of segments is identical at any worker count. n <= 0 keeps the
+// single uncompressed file per job.
+func TraceMaxBytes(n int64) Option {
+	return func(o *options) { o.traceMaxBytes = n }
+}
+
+// Online tees every job's trace events — bracketed by job_start and
+// job_finish — into bus, tagged with the job's label and index (see
+// online.Tag), so streaming analyzers can follow the sweep live. The
+// bus never blocks the job (slow subscribers drop events), and the
+// caller keeps ownership: close the bus after the sweep to flush the
+// analyzers. Works with or without the Traces option.
+func Online(bus *online.Bus) Option {
+	return func(o *options) { o.online = bus }
+}
+
 // TraceFileName is the per-job trace file name the Traces option
 // uses: "job-NNN.jsonl" with the job's submission index.
 func TraceFileName(index int) string {
 	return fmt.Sprintf("job-%03d.jsonl", index)
+}
+
+// TraceBaseName is the per-job segment base name rotation uses:
+// "job-NNN", yielding "job-NNN.jsonl.gz" and numbered successors.
+func TraceBaseName(index int) string {
+	return fmt.Sprintf("job-%03d", index)
 }
 
 // Run executes the jobs on a worker pool and returns one Result per
@@ -358,6 +392,13 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options)
 	}
 	start := time.Now()
 	var tw *otrace.Writer
+	var busSink otrace.Sink
+	if o.online != nil {
+		busSink = online.Tag(o.online, job.Label, index)
+	}
+	// bracket carries the job_start/job_finish markers to the trace
+	// file and the online bus alike.
+	var bracket otrace.Sink
 	defer func() {
 		res.Wall = time.Since(start)
 		if r := recover(); r != nil {
@@ -365,19 +406,22 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options)
 			res.Stats = loss.Stats{}
 			res.Err = fmt.Errorf("runner: job %d (%s) panicked: %v", index, job.Label, r)
 		}
-		if tw == nil {
-			return
-		}
 		// The finish bracket carries only deterministic fields (no
 		// wall time), keeping trace files byte-identical across runs
 		// and worker counts.
-		if res.Err == nil {
-			tw.Emit(otrace.Event{Ev: otrace.KindJobFinish, Seq: -1,
+		if bracket != nil && res.Err == nil {
+			bracket.Emit(otrace.Event{Ev: otrace.KindJobFinish, Seq: -1,
 				Job: job.Label, Index: index, Seed: res.Seed,
 				Probes: res.Stats.N, Losses: res.Stats.Lost})
 		}
+		if tw == nil {
+			return
+		}
 		if cerr := tw.Close(); cerr != nil && res.Err == nil {
 			res.Err = fmt.Errorf("runner: job %d (%s) trace: %w", index, job.Label, cerr)
+		}
+		if res.TraceFiles != nil {
+			res.TraceFiles = tw.Paths()
 		}
 	}()
 	cfg := job.Config
@@ -386,19 +430,39 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options)
 		cfg.Metrics = o.metrics
 	}
 	if o.traceDir != "" {
-		path := filepath.Join(o.traceDir, TraceFileName(index))
-		w, err := otrace.Create(path)
+		var w *otrace.Writer
+		var err error
+		if o.traceMaxBytes > 0 {
+			w, err = otrace.CreateRotating(o.traceDir, TraceBaseName(index), o.traceMaxBytes)
+			if err == nil {
+				res.TraceFiles = w.Paths()
+				res.TraceFile = res.TraceFiles[0]
+			}
+		} else {
+			path := filepath.Join(o.traceDir, TraceFileName(index))
+			w, err = otrace.Create(path)
+			res.TraceFile = path
+		}
 		if err != nil {
 			res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Label, err)
 			return res
 		}
 		tw = w
-		res.TraceFile = path
-		tw.Emit(otrace.Event{Ev: otrace.KindJobStart, Seq: -1,
+	}
+	if tw != nil || busSink != nil {
+		bracket = otrace.Multi(sinkOrNil(tw), busSink)
+		bracket.Emit(otrace.Event{Ev: otrace.KindJobStart, Seq: -1,
 			Job: job.Label, Index: index, Seed: res.Seed})
-		if cfg.Trace == nil {
-			cfg.Trace = tw
-		}
+	}
+	switch {
+	case cfg.Trace == nil:
+		// The default probe sink is the same composition as the
+		// bracket: file (if tracing) plus bus (if online).
+		cfg.Trace = bracket
+	case busSink != nil:
+		// Jobs with a custom sink keep it, but the online bus still
+		// sees their probe events.
+		cfg.Trace = otrace.Multi(cfg.Trace, busSink)
 	}
 	run := job.RunFunc
 	if run == nil {
@@ -416,6 +480,15 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options)
 		res.Stats = loss.AnalyzeTrace(tr)
 	}
 	return res
+}
+
+// sinkOrNil converts a possibly-nil *otrace.Writer to a Sink without
+// producing a typed-nil interface.
+func sinkOrNil(w *otrace.Writer) otrace.Sink {
+	if w == nil {
+		return nil
+	}
+	return w
 }
 
 // DeltaSweep builds one Job per probe interval on a preset's path —

@@ -132,12 +132,22 @@ var ErrNoPeaks = errors.New("workload: no peaks found")
 // resolution (typical: 1–2 ms; use at least the clock resolution).
 func Analyze(t *core.Trace, muBps float64, binMs float64) (Analysis, error) {
 	deltaMs := float64(t.Delta) / float64(time.Millisecond)
-	p := float64(t.WireSize) * 8
+	wireBits := float64(t.WireSize) * 8
+	return AnalyzeHistogram(Distribution(t, binMs), deltaMs, wireBits, muBps)
+}
+
+// AnalyzeHistogram is the core of Analyze, operating on a prebuilt
+// inter-return-time histogram (bin width taken from h) instead of a
+// trace. The online WorkloadAnalyzer maintains such a histogram
+// incrementally and calls this so live readings follow exactly the
+// batch code path.
+func AnalyzeHistogram(h *stats.Histogram, deltaMs, wireBits, muBps float64) (Analysis, error) {
+	p := wireBits
+	binMs := h.Width
 	a := Analysis{
 		DeltaMs:   deltaMs,
 		ServiceMs: p / muBps * 1000,
 	}
-	h := Distribution(t, binMs)
 	if h.Total() == 0 {
 		return a, ErrNoPeaks
 	}
