@@ -6,7 +6,7 @@ GO ?= go
 BASELINE ?=
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet vet-tags bench bench-snapshot check perf-gate online-demo
+.PHONY: build test race vet vet-tags bench bench-snapshot chaos check perf-gate online-demo
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,14 @@ bench-snapshot:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
-check: build vet-tags race
+# chaos runs the fault-injection suite under the race detector: the
+# seeded sim chaos sweep (byte-identical traces at any worker count)
+# and the real-socket loopback run with drops, transient send errors,
+# and blackhole windows against a supervised session.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/...
+
+check: build vet-tags race chaos
 
 # online-demo smoke-tests the online analysis engine end to end: a
 # short seeded sweep with -online, the /online handler curled while

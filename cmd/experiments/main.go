@@ -20,7 +20,9 @@
 //	experiments [-quick] [-seed 42] [-plots] [-workers N]
 //	            [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	            [-manifest experiments-manifest.json]
-//	            [-trace-dir traces/] [-trace-max-bytes N] [-online]
+//	            [-trace-dir traces/] [-trace-max-bytes N]
+//	            [-online] [-online-window N]
+//	            [-job-timeout 0] [-retries 0]
 //
 // -trace-dir writes one probe-lifecycle event file (otrace JSONL) per
 // job, referenced from the manifest; the files are byte-identical at
@@ -32,7 +34,17 @@
 // engine (internal/online): while the reproduction is running, GET
 // /online on the -debug-addr server reports each job's running loss
 // statistics, live bottleneck-μ estimate, and workload histogram, and
-// online.* gauges appear on /metrics.
+// online.* gauges appear on /metrics; -online-window caps the
+// analyzers to the trailing N probes per job.
+//
+// -job-timeout bounds each simulation's wall-clock time and -retries
+// redispatches failed or timed-out jobs (same derived seed, so a
+// successful retry is byte-identical to a first-attempt success; the
+// manifest records the attempt count).
+//
+// SIGINT or SIGTERM stops the sweep gracefully: running jobs finish,
+// undispatched ones are recorded as cancelled, the manifest is still
+// written (covering the partial sweep), and the figures are skipped.
 package main
 
 import (
@@ -42,7 +54,10 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"netprobe/internal/capacity"
@@ -76,6 +91,12 @@ var (
 		"rotate each job's trace into gzip segments after this many uncompressed bytes (0 = no rotation)")
 	onlineOn = flag.Bool("online", false,
 		"stream job events through the online analysis engine (serves /online on -debug-addr)")
+	onlineWin = flag.Int("online-window", 0,
+		"cap the online analyzers to the trailing N probes per job (0 = all-time statistics)")
+	jobTimeout = flag.Duration("job-timeout", 0,
+		"per-job wall-clock limit; timed-out jobs fail (and are retried under -retries); 0 = no limit")
+	retries = flag.Int("retries", 0,
+		"additional attempts for failed or timed-out jobs (same derived seed; manifests record the attempt count)")
 	obsFlags = obs.RegisterFlags(flag.CommandLine)
 )
 
@@ -109,7 +130,8 @@ func main() {
 	// exist before Setup starts the -debug-addr server.
 	if *onlineOn {
 		onlineBus = online.NewBus()
-		onlineEng = online.NewEngine(onlineBus, 0, online.DefaultAnalyzers(obs.Default)...)
+		onlineEng = online.NewEngine(onlineBus, 0,
+			online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin))...)
 		online.RegisterDebug(onlineEng)
 	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
@@ -122,10 +144,24 @@ func main() {
 		dur, longDur = 2*time.Minute, 5*time.Minute
 	}
 
-	traces, results, summary := runAll(dur, longDur)
+	// A signal stops dispatching new jobs; running ones finish, the
+	// manifest still captures the partial sweep, and the figures —
+	// which would read nil traces — are skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	traces, results, summary := runAll(ctx, dur, longDur)
 	fmt.Printf("simulated %s\n", summary)
 	if *manifest != "" {
 		writeManifest(*manifest, results, summary)
+	}
+	if ctx.Err() != nil {
+		fmt.Printf("interrupted: %d of %d jobs cancelled; figures skipped, partial manifest written\n",
+			summary.Cancelled, summary.Jobs)
+		return
+	}
+	if err := runner.FirstErr(results); err != nil {
+		log.Fatal(err)
 	}
 
 	inria := func(d time.Duration) *core.Trace { return traces[deltaLabel("inria", d)] }
@@ -150,7 +186,7 @@ func main() {
 // the batch on the worker pool, returning traces keyed by job label
 // plus the raw results and sweep summary for the run manifest. Job
 // start/finish events stream to the structured logger as they happen.
-func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result, runner.Summary) {
+func runAll(ctx context.Context, dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result, runner.Summary) {
 	inria := core.INRIAPreset()
 	pitt := core.PittPreset()
 
@@ -190,6 +226,11 @@ func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result
 	pp.SendTimes = capacity.PairSchedule(1000, 200*time.Millisecond, time.Millisecond)
 	jobs = append(jobs, runner.Job{Label: jobPacketPair, Config: pp})
 
+	for i := range jobs {
+		jobs[i].Timeout = *jobTimeout
+		jobs[i].Retries = *retries
+	}
+
 	opts := []runner.Option{
 		runner.Workers(*workers),
 		runner.Metrics(obs.Default),
@@ -204,7 +245,7 @@ func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result
 	if onlineBus != nil {
 		opts = append(opts, runner.Online(onlineBus))
 	}
-	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)
+	results, summary := runner.RunAll(ctx, *seed, jobs, opts...)
 	if onlineEng != nil {
 		onlineBus.Close()
 		onlineEng.Wait()
@@ -212,12 +253,11 @@ func runAll(dur, longDur time.Duration) (map[string]*core.Trace, []runner.Result
 			slog.Warn("online analysis sampled, not exact", "dropped", d)
 		}
 	}
-	if err := runner.FirstErr(results); err != nil {
-		log.Fatal(err)
-	}
 	traces := make(map[string]*core.Trace, len(results))
 	for _, r := range results {
-		traces[r.Label] = r.Trace
+		if r.Trace != nil {
+			traces[r.Label] = r.Trace
+		}
 	}
 	return traces, results, summary
 }
@@ -261,6 +301,9 @@ func writeManifest(path string, results []runner.Result, summary runner.Summary)
 		"trace_dir":       *traceDir,
 		"trace_max_bytes": strconv.FormatInt(*traceMax, 10),
 		"online":          strconv.FormatBool(*onlineOn),
+		"online_window":   strconv.Itoa(*onlineWin),
+		"job_timeout":     jobTimeout.String(),
+		"retries":         strconv.Itoa(*retries),
 	}
 	m.Presets = []string{"inria", "pitt"}
 	snap := obs.Default.Snapshot()

@@ -9,11 +9,19 @@
 // Usage:
 //
 //	netdyn-echo [-addr host:port] [-quiet] [-trace events.jsonl]
+//	            [-faults plan.json]
 //	            [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
 // -trace records every echoed (and dropper-discarded) probe as otrace
 // JSONL events on the echo host's clock — the turnaround half of the
 // probe-lifecycle schema netdyn-probe writes.
+//
+// -faults impairs the echo socket's replies with a deterministic
+// fault-injection plan (internal/faultinject JSON), so chaos tests can
+// exercise the return path independently of the forward one.
+//
+// SIGINT or SIGTERM shuts the server down gracefully, flushing the
+// event trace and printing the session totals.
 package main
 
 import (
@@ -21,10 +29,13 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"netprobe/internal/faultinject"
 	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
 	"netprobe/internal/otrace"
@@ -34,9 +45,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netdyn-echo: ")
 	var (
-		addr     = flag.String("addr", "0.0.0.0:7007", "UDP address to listen on")
-		quiet    = flag.Bool("quiet", false, "suppress per-session logging")
-		events   = flag.String("trace", "", "probe-turnaround event output file (otrace JSONL); empty disables")
+		addr   = flag.String("addr", "0.0.0.0:7007", "UDP address to listen on")
+		quiet  = flag.Bool("quiet", false, "suppress per-session logging")
+		events = flag.String("trace", "", "probe-turnaround event output file (otrace JSONL); empty disables")
+		faults = flag.String("faults", "",
+			"fault-injection plan (JSON, see internal/faultinject) applied to echoed replies")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -44,9 +57,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	e, err := netdyn.NewEchoer(*addr)
-	if err != nil {
-		log.Fatal(err)
+	var e *netdyn.Echoer
+	if *faults != "" {
+		plan, err := faultinject.Load(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inner, err := net.ListenPacket("udp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e = netdyn.NewEchoerConn(faultinject.WrapPacketConn(inner, plan,
+			faultinject.WithSeq(netdyn.PacketSeq),
+			faultinject.WithRegistry(obs.Default)))
+		slog.Info("fault plan loaded", "path", *faults)
+	} else {
+		var err error
+		e, err = netdyn.NewEchoer(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer e.Close()
 	if *events != "" {
@@ -86,7 +116,7 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(10 * time.Second)
 	defer tick.Stop()
 	for {

@@ -11,31 +11,52 @@
 //
 //	netdyn-probe -target host:port [-delta 50ms] [-count 12000]
 //	             [-size 32] [-clockres 0] [-out trace.csv]
-//	             [-trace events.jsonl] [-report 10s] [-online]
+//	             [-trace events.jsonl] [-report 10s]
+//	             [-online] [-online-window N]
+//	             [-supervise] [-faults plan.json]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
 // With no -count, the probe runs for the paper's 10 minutes
 // (duration/delta packets). -report 0 disables the in-flight reports.
 // -trace streams every probe's lifecycle events (run_start,
-// probe_sent, rtt) as otrace JSONL — the same schema the simulator
-// writes — through a bounded queue so a slow disk never delays probe
-// pacing.
+// probe_sent, rtt, gap) as otrace JSONL — the same schema the
+// simulator writes — through a bounded queue so a slow disk never
+// delays probe pacing.
 //
 // -online tees the same event stream into the in-process analysis
 // engine (internal/online): running loss statistics, the live
 // bottleneck-μ estimate, and the workload histogram are served as
 // JSON at /online on the -debug-addr server while probes are still in
-// flight. The tee is a non-blocking bounded bus, so analysis can never
-// delay probe pacing either.
+// flight. -online-window keeps only the trailing N probes in those
+// statistics, so a long deployment reports current path behavior
+// instead of an all-time average. The tee is a non-blocking bounded
+// bus, so analysis can never delay probe pacing either.
+//
+// -supervise (on by default) runs the fault-tolerant session:
+// transient send errors are retried with backoff, fatal socket errors
+// recreate the socket, and unreachable stretches are recorded as
+// outage gaps that the final loss statistics exclude. -faults applies
+// a deterministic fault-injection plan (internal/faultinject JSON) to
+// the probe socket — the chaos-testing path.
+//
+// SIGINT or SIGTERM ends the run gracefully: the sender stops,
+// stragglers are drained, and the partial trace, event file, and loss
+// statistics are flushed before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"netprobe/internal/faultinject"
 	"netprobe/internal/loss"
 	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
@@ -58,6 +79,12 @@ func main() {
 		report   = flag.Duration("report", 10*time.Second, "in-flight progress report interval (0 disables)")
 		onlineOn = flag.Bool("online", false,
 			"stream probe events through the online analysis engine (serves /online on -debug-addr)")
+		onlineWin = flag.Int("online-window", 0,
+			"cap the online analyzers to the trailing N probes (0 = all-time statistics)")
+		supervise = flag.Bool("supervise", true,
+			"fault-tolerant session: retry transient send errors, recreate the socket on fatal ones, record outages as gaps")
+		faults = flag.String("faults", "",
+			"fault-injection plan (JSON, see internal/faultinject) applied to the probe socket")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
@@ -67,7 +94,8 @@ func main() {
 	var eng *online.Engine
 	if *onlineOn {
 		bus = online.NewBus()
-		eng = online.NewEngine(bus, 0, online.DefaultAnalyzers(obs.Default)...)
+		eng = online.NewEngine(bus, 0,
+			online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin))...)
 		online.RegisterDebug(eng)
 	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
@@ -80,41 +108,89 @@ func main() {
 	if n == 0 {
 		n = int(10 * time.Minute / *delta)
 	}
-	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", *target, n, *size, *delta)
+	// SIGINT/SIGTERM cancels the run context: the sender stops, the
+	// drain still happens, and every deferred flush below runs before
+	// the process exits — a truncated run leaves readable artifacts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := netdyn.ProbeConfig{
 		Target:      *target,
 		Delta:       *delta,
 		Count:       n,
 		PayloadSize: *size,
 		ClockRes:    *clockRes,
+		Context:     ctx,
+		Metrics:     obs.Default,
 	}
+	if *supervise {
+		cfg.Supervise = &netdyn.SuperviseConfig{}
+	}
+	// run owns everything that must be flushed on every exit path; its
+	// defers run even when the probe fails, which a bare log.Fatal in
+	// main would skip.
+	if err := run(cfg, bus, eng, *events, *out, *report, *faults); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
+	events, out string, report time.Duration, faultsPath string) error {
+	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", cfg.Target, cfg.Count, cfg.PayloadSize, cfg.Delta)
 	var sinks []otrace.Sink
-	if *events != "" {
-		w, err := otrace.Create(*events)
+	if events != "" {
+		w, err := otrace.Create(events)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		b := otrace.NewBounded(w, 4096)
 		sinks = append(sinks, b)
 		defer func() {
 			b.Close() //nolint:errcheck // always nil
 			if err := w.Close(); err != nil {
-				log.Fatal(err)
+				slog.Error("closing event trace", "err", err)
+				return
 			}
 			if d := b.Dropped(); d > 0 {
 				slog.Warn("event trace incomplete", "dropped", d)
 			}
-			fmt.Printf("event trace written to %s (%d events)\n", *events, w.Events())
+			fmt.Printf("event trace written to %s (%d events)\n", events, w.Events())
 		}()
 	}
 	if bus != nil {
 		// Events are tagged with the target so the /online snapshots
 		// carry a meaningful job name.
-		sinks = append(sinks, online.Tag(bus, *target, 0))
+		sinks = append(sinks, online.Tag(bus, cfg.Target, 0))
 	}
 	cfg.Trace = otrace.Multi(sinks...)
-	if *report > 0 {
-		cfg.ReportEvery = *report
+	if faultsPath != "" {
+		plan, err := faultinject.Load(faultsPath)
+		if err != nil {
+			return err
+		}
+		open := func() (net.PacketConn, error) {
+			inner, err := net.ListenPacket("udp", "")
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.WrapPacketConn(inner, plan,
+				faultinject.WithSeq(netdyn.PacketSeq),
+				faultinject.WithSink(cfg.Trace),
+				faultinject.WithRegistry(obs.Default)), nil
+		}
+		conn, err := open()
+		if err != nil {
+			return err
+		}
+		cfg.Conn = conn
+		if cfg.Supervise != nil {
+			// Recreated sockets stay impaired: the plan survives redials.
+			cfg.Supervise.Redial = open
+		}
+		slog.Info("fault plan loaded", "path", faultsPath)
+	}
+	if report > 0 {
+		cfg.ReportEvery = report
 		cfg.Report = func(r netdyn.ProbeReport) {
 			slog.Info("probe progress",
 				"elapsed", r.Elapsed.Round(time.Second),
@@ -127,24 +203,38 @@ func main() {
 				"rtt_p99", r.RTTP99.Round(time.Millisecond))
 		}
 	}
-	tr, err := netdyn.Probe(cfg)
+	d, err := netdyn.ProbeDetailed(cfg)
 	if eng != nil {
 		bus.Close()
 		eng.Wait()
-		if d := eng.Dropped(); d > 0 {
-			slog.Warn("online analysis sampled, not exact", "dropped", d)
+		if n := eng.Dropped(); n > 0 {
+			slog.Warn("online analysis sampled, not exact", "dropped", n)
 		}
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	st := loss.AnalyzeTrace(tr)
+	tr := d.Trace
+	if d.Interrupted {
+		fmt.Printf("interrupted by signal after %d of %d probes; partial results follow\n",
+			len(tr.Samples), cfg.Count)
+	}
+	st := loss.AnalyzeExcluding(tr.LossIndicator(), d.Excluded())
 	min, _ := tr.MinRTT()
 	fmt.Printf("%s\nmin RTT %v, %s\n", tr, min, st)
-	if *out != "" {
-		if err := trace.Save(*out, tr); err != nil {
-			log.Fatal(err)
+	if len(d.Gaps) > 0 {
+		excluded := 0
+		for _, g := range d.Gaps {
+			excluded += g.Count
 		}
-		fmt.Printf("trace written to %s\n", *out)
+		fmt.Printf("%d outage gap(s), %d probes excluded from the loss statistics\n",
+			len(d.Gaps), excluded)
 	}
+	if out != "" {
+		if err := trace.Save(out, tr); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", out)
+	}
+	return nil
 }

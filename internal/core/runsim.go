@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"netprobe/internal/clock"
+	"netprobe/internal/faultinject"
 	"netprobe/internal/obs"
 	"netprobe/internal/otrace"
 	"netprobe/internal/route"
@@ -120,6 +121,13 @@ type SimConfig struct {
 	// stream at the forward bottleneck — the slowly varying "base
 	// congestion level" of the [19] diurnal analysis.
 	Modulated *ModulatedCross
+	// Faults, if non-nil and active, applies a deterministic
+	// fault-injection plan to outgoing probes before they enter the
+	// path: drops, duplicates, reorder/delay spikes, corruption, and
+	// blackhole windows (recorded as gap events). Faults are keyed by
+	// probe sequence number, so a plan perturbs a run identically at
+	// any worker count. See internal/faultinject.
+	Faults *faultinject.Plan `json:"faults,omitempty"`
 	// Metrics, if non-nil, receives engine instrumentation from the
 	// run: events executed, the event-heap high-water mark, per-queue
 	// enqueue/drop counters, and wall time per simulated second. The
@@ -250,6 +258,17 @@ func RunSim(c SimConfig) (*Trace, error) {
 		attachTrace(cfg.Trace, sched, built)
 	}
 
+	// Probes enter the path through the impairment stage when a fault
+	// plan is active; inactive plans pass built.Head through unchanged.
+	head := sim.Receiver(built.Head)
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		head = faultinject.NewImpairment(sched, cfg.Faults, head,
+			faultinject.WithSink(cfg.Trace), faultinject.WithRegistry(cfg.Metrics))
+	}
+
 	// Probe source: periodic by default, or an explicit schedule for
 	// the grouped-probe baseline.
 	var lastSend time.Duration
@@ -266,12 +285,12 @@ func RunSim(c SimConfig) (*Trace, error) {
 				}
 				pkt := factory.New("probe", seq, cfg.WireSize, at)
 				pkt.Probe = true
-				built.Head.Receive(pkt)
+				head.Receive(pkt)
 			})
 		}
 		lastSend = cfg.SendTimes[len(cfg.SendTimes)-1]
 	} else {
-		src := sim.NewPeriodicSource(sched, &factory, "probe", cfg.WireSize, cfg.Delta, cfg.Count, 0, built.Head)
+		src := sim.NewPeriodicSource(sched, &factory, "probe", cfg.WireSize, cfg.Delta, cfg.Count, 0, head)
 		src.OnSend(func(seq int, at time.Duration) {
 			trace.Samples[seq] = Sample{Seq: seq, Sent: at, Lost: true}
 			if cfg.Trace != nil {

@@ -1,0 +1,287 @@
+package faultinject_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/faultinject"
+	"netprobe/internal/loss"
+	"netprobe/internal/netdyn"
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+	"netprobe/internal/runner"
+)
+
+// eventLog is a race-safe in-memory sink for chaos runs.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (l *eventLog) Emit(ev otrace.Event) {
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) count(kind otrace.Kind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.evs {
+		if ev.Ev == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// traceMasks rebuilds the loss indicator and gap-exclusion mask from a
+// job's trace file, the way any post-hoc analyzer would.
+func traceMasks(t *testing.T, path string) (lost, excl []bool, gaps, faults int) {
+	t.Helper()
+	err := otrace.ReadFile(path, func(ev otrace.Event) error {
+		switch ev.Ev {
+		case otrace.KindRunStart:
+			lost = make([]bool, ev.Count)
+			excl = make([]bool, ev.Count)
+		case otrace.KindProbeSent:
+			if ev.Seq >= 0 && ev.Seq < len(lost) {
+				lost[ev.Seq] = true
+			}
+		case otrace.KindRTT:
+			if ev.Seq >= 0 && ev.Seq < len(lost) {
+				lost[ev.Seq] = false
+			}
+		case otrace.KindGap:
+			gaps++
+			for i := 0; i < ev.Probes; i++ {
+				if s := ev.Seq + i; s >= 0 && s < len(excl) {
+					excl[s] = true
+				}
+			}
+		case otrace.KindFault:
+			faults++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return lost, excl, gaps, faults
+}
+
+// TestSimChaosDeterministicAtAnyWorkerCount is the ISSUE's sim-side
+// chaos acceptance test: a seeded plan with 30% transient send errors,
+// a 10% drop rate, and two 5-second blackhole windows perturbs a
+// runner sweep identically at any worker count — byte-identical trace
+// files — the run completes, the outages land in the trace as gap
+// events, and the loss probability over non-outage probes matches the
+// injected rates compounded with the path's own lossy links. (The
+// simulator has no supervisor retrying sends, so an injected send
+// error loses the probe just like a drop: the lethal rate is
+// SendErr + (1−SendErr)·Drop, and a surviving probe still has to
+// cross every lossy hop twice.)
+func TestSimChaosDeterministicAtAnyWorkerCount(t *testing.T) {
+	plan := &faultinject.Plan{
+		Seed:    99,
+		Drop:    0.10,
+		SendErr: 0.30,
+		Blackholes: []faultinject.Window{
+			{Start: faultinject.Duration(10 * time.Second), End: faultinject.Duration(15 * time.Second)},
+			{Start: faultinject.Duration(25 * time.Second), End: faultinject.Duration(30 * time.Second)},
+		},
+	}
+	deltas := []time.Duration{20 * time.Millisecond, 40 * time.Millisecond}
+	jobs := func() []runner.Job {
+		var out []runner.Job
+		for _, d := range deltas {
+			cfg := core.INRIAPreset().Config(d, 40*time.Second, 0)
+			cfg.Cross = nil // congestion-free: losses are injected faults + the path's lossy links
+			cfg.Faults = plan
+			out = append(out, runner.Job{Label: fmt.Sprintf("chaos δ=%v", d), Config: cfg})
+		}
+		return out
+	}
+
+	dirs := map[int]string{1: t.TempDir(), 4: t.TempDir()}
+	reg := obs.NewRegistry()
+	for workers, dir := range dirs {
+		results, sum := runner.RunAll(context.Background(), 42, jobs(),
+			runner.Traces(dir), runner.Workers(workers), runner.Metrics(reg))
+		if err := runner.FirstErr(results); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sum.Completed != len(deltas) {
+			t.Fatalf("workers=%d: summary %+v", workers, sum)
+		}
+	}
+	for i := range deltas {
+		name := runner.TraceFileName(i)
+		a, err := os.ReadFile(filepath.Join(dirs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[4], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s differs between 1 and 4 workers (%d vs %d bytes)", name, len(a), len(b))
+		}
+	}
+
+	lethal := plan.SendErr + (1-plan.SendErr)*plan.Drop
+	survive := 1.0
+	for _, h := range core.INRIAPreset().Path().Hops {
+		survive *= (1 - h.LossProb) * (1 - h.LossProb) // forward and return crossing
+	}
+	wantULP := lethal + (1-lethal)*(1-survive)
+	for i, d := range deltas {
+		lost, excl, gaps, faults := traceMasks(t, filepath.Join(dirs[1], runner.TraceFileName(i)))
+		if gaps != len(plan.Blackholes) {
+			t.Fatalf("δ=%v: %d gap events, want %d", d, gaps, len(plan.Blackholes))
+		}
+		if faults == 0 {
+			t.Fatalf("δ=%v: no fault events in trace", d)
+		}
+		wantExcl := 2 * int(5*time.Second/d)
+		nExcl := 0
+		for _, e := range excl {
+			if e {
+				nExcl++
+			}
+		}
+		if nExcl < wantExcl-2 || nExcl > wantExcl+2 {
+			t.Errorf("δ=%v: %d excluded probes, want ≈%d", d, nExcl, wantExcl)
+		}
+		st := loss.AnalyzeExcluding(lost, excl)
+		if math.Abs(st.ULP-wantULP) > 0.03 {
+			t.Errorf("δ=%v: ulp over non-outage probes %.3f, want %.3f ± 0.03 (N=%d)",
+				d, st.ULP, wantULP, st.N)
+		}
+	}
+	if reg.Counter(obs.Label("fault.injected", "kind", faultinject.FaultDrop)).Value() == 0 {
+		t.Error("fault.injected{kind=drop} never counted")
+	}
+	if reg.Counter(obs.Label("fault.injected", "kind", faultinject.FaultBlackhole)).Value() == 0 {
+		t.Error("fault.injected{kind=blackhole} never counted")
+	}
+}
+
+// TestNetdynChaosLoopback drives a supervised real-socket probing run
+// through an impaired connection: 10% drops, 30% transient send
+// errors (retried by the supervisor, so they do NOT read as loss),
+// and two 2.5-second blackhole windows (which open outage gaps). The
+// run must complete, record the outages as gaps, and — once gapped
+// probes are excluded — measure a loss probability consistent with
+// the injected drop rate alone.
+func TestNetdynChaosLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10+ second wall-clock chaos run")
+	}
+	echo, err := netdyn.NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close()
+
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faultinject.Plan{
+		Seed:    7,
+		Drop:    0.10,
+		SendErr: 0.30,
+		Blackholes: []faultinject.Window{
+			{Start: faultinject.Duration(2 * time.Second), End: faultinject.Duration(4500 * time.Millisecond)},
+			{Start: faultinject.Duration(6 * time.Second), End: faultinject.Duration(8500 * time.Millisecond)},
+		},
+	}
+	sink := &eventLog{}
+	reg := obs.NewRegistry()
+	conn := faultinject.WrapPacketConn(client, plan,
+		faultinject.WithSeq(netdyn.PacketSeq),
+		faultinject.WithSink(sink),
+		faultinject.WithRegistry(reg))
+
+	const delta, count = 2 * time.Millisecond, 5000
+	d, err := netdyn.ProbeDetailed(netdyn.ProbeConfig{
+		Target: echo.Addr().String(),
+		Delta:  delta,
+		Count:  count,
+		Drain:  500 * time.Millisecond,
+		Conn:   conn,
+		Supervise: &netdyn.SuperviseConfig{
+			Seed:       7,
+			Backoff:    200 * time.Microsecond,
+			BackoffMax: 2 * time.Millisecond,
+		},
+		Metrics: reg,
+		Trace:   sink,
+	})
+	if err != nil {
+		t.Fatalf("chaos run did not complete: %v", err)
+	}
+	if d.Interrupted {
+		t.Fatal("run reports interruption without a cancelled context")
+	}
+	if len(d.Trace.Samples) != count {
+		t.Fatalf("trace holds %d samples, want %d", len(d.Trace.Samples), count)
+	}
+
+	// Both blackhole windows must surface as outage gaps. Retry
+	// exhaustion outside the windows (P ≈ 0.3⁴ per probe) may add a few
+	// short gaps; the windows dominate the excluded-probe count.
+	if len(d.Gaps) < 2 {
+		t.Fatalf("%d outage gaps recorded, want ≥ 2 (one per blackhole window)", len(d.Gaps))
+	}
+	excl := d.Excluded()
+	nExcl := 0
+	for _, e := range excl {
+		if e {
+			nExcl++
+		}
+	}
+	perWindow := int(2500 * time.Millisecond / delta)
+	if nExcl < 2*perWindow-200 || nExcl > 2*perWindow+600 {
+		t.Errorf("%d excluded probes, want ≈%d (two %v windows at δ=%v)",
+			nExcl, 2*perWindow, 2500*time.Millisecond, delta)
+	}
+	if got := sink.count(otrace.KindGap); got != len(d.Gaps) {
+		t.Errorf("%d gap events on the trace, want %d (one per recorded gap)", got, len(d.Gaps))
+	}
+
+	// Transient send errors were retried, outages are excluded: what
+	// remains is the injected drop rate.
+	st := loss.AnalyzeExcluding(d.Trace.LossIndicator(), excl)
+	if math.Abs(st.ULP-plan.Drop) > 0.03 {
+		t.Errorf("ulp over non-outage probes %.3f, want %.2f ± 0.03 (N=%d lost=%d)",
+			st.ULP, plan.Drop, st.N, st.Lost)
+	}
+	t.Logf("ulp over non-outage probes %.4f (N=%d lost=%d), %d gaps excluding %d probes, %d send retries",
+		st.ULP, st.N, st.Lost, len(d.Gaps), nExcl, reg.Counter("probe.send.retries").Value())
+
+	for _, c := range []string{
+		obs.Label("fault.injected", "kind", faultinject.FaultDrop),
+		obs.Label("fault.injected", "kind", faultinject.FaultSendErr),
+		obs.Label("fault.injected", "kind", faultinject.FaultBlackhole),
+		"probe.send.retries",
+	} {
+		if reg.Counter(c).Value() == 0 {
+			t.Errorf("counter %s never ticked", c)
+		}
+	}
+	if got := reg.Counter("probe.outages").Value(); got < 2 {
+		t.Errorf("probe.outages = %d, want ≥ 2", got)
+	}
+}

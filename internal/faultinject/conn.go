@@ -1,0 +1,205 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// ErrInjected is the sentinel all injected send errors wrap; check
+// with errors.Is to distinguish injected faults from real ones in
+// tests.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// InjectedError is the error returned for send-error and blackhole
+// faults. It implements net.Error with Temporary() == true and
+// Timeout() == false — exactly the shape of a transient kernel send
+// failure (ENOBUFS, ENETUNREACH) that a supervised session must retry
+// rather than abort on.
+type InjectedError struct {
+	// Kind is the fault kind (FaultSendErr or FaultBlackhole).
+	Kind string
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string { return "faultinject: injected " + e.Kind }
+
+// Timeout implements net.Error.
+func (e *InjectedError) Timeout() bool { return false }
+
+// Temporary implements net.Error.
+func (e *InjectedError) Temporary() bool { return true }
+
+// Is makes errors.Is(err, ErrInjected) true for every injected error.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Option configures a wrapped connection.
+type Option func(*connOptions)
+
+type connOptions struct {
+	sink  otrace.Sink
+	reg   *obs.Registry
+	clock func() time.Duration
+	seq   func([]byte) (int, bool)
+}
+
+// WithSink emits every injected fault as an otrace.KindFault event.
+func WithSink(s otrace.Sink) Option { return func(o *connOptions) { o.sink = s } }
+
+// WithRegistry counts every injected fault under
+// fault.injected{kind=...}.
+func WithRegistry(r *obs.Registry) Option { return func(o *connOptions) { o.reg = r } }
+
+// WithClock supplies the run clock used for blackhole-window checks
+// and event timestamps: a function returning the offset since the
+// start of the run. The default clock starts when the connection is
+// wrapped. The prober passes its own clock so plan windows line up
+// with the probe timeline.
+func WithClock(fn func() time.Duration) Option { return func(o *connOptions) { o.clock = fn } }
+
+// WithSeq supplies a parser extracting the probe sequence number from
+// an outgoing payload, so fault events carry the Seq they hit (e.g.
+// netdyn.PacketSeq). Without it events carry Seq -1. The parser must
+// not retain or modify the buffer.
+func WithSeq(fn func([]byte) (int, bool)) Option { return func(o *connOptions) { o.seq = fn } }
+
+// Conn wraps a net.PacketConn, impairing outgoing packets according
+// to a Plan. Reads pass through untouched; wrap both endpoints to
+// impair both directions. Decisions are keyed by a per-connection
+// write counter, so every send attempt — including a supervised
+// session's retries — draws an independent, replayable verdict.
+type Conn struct {
+	inner net.PacketConn
+	plan  *Plan
+	opts  connOptions
+
+	writes atomic.Uint64
+
+	mu     sync.Mutex
+	timers []*time.Timer
+	closed bool
+
+	injected atomic.Int64
+}
+
+// WrapPacketConn impairs inner's outgoing traffic according to plan.
+// A nil or inactive plan returns inner unchanged.
+func WrapPacketConn(inner net.PacketConn, plan *Plan, opts ...Option) net.PacketConn {
+	if !plan.Active() {
+		return inner
+	}
+	o := connOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.clock == nil {
+		start := time.Now()
+		o.clock = func() time.Duration { return time.Since(start) }
+	}
+	return &Conn{inner: inner, plan: plan, opts: o}
+}
+
+// Injected reports how many faults this connection has injected.
+func (c *Conn) Injected() int64 { return c.injected.Load() }
+
+// record emits the otrace event and registry counter for one fault.
+func (c *Conn) record(kind string, seq int, t, delay time.Duration) {
+	c.injected.Add(1)
+	if c.opts.reg != nil {
+		c.opts.reg.Counter(obs.Label("fault.injected", "kind", kind)).Inc()
+	}
+	if c.opts.sink != nil {
+		c.opts.sink.Emit(otrace.Event{
+			T: int64(t), Ev: otrace.KindFault, Seq: seq,
+			Fault: kind, DurNs: int64(delay),
+		})
+	}
+}
+
+// WriteTo implements net.PacketConn.
+func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	key := c.writes.Add(1) - 1
+	t := c.opts.clock()
+	d := c.plan.Decide(key, t)
+	if len(d.Faults) == 0 {
+		return c.inner.WriteTo(p, addr)
+	}
+	seq := -1
+	if c.opts.seq != nil {
+		if s, ok := c.opts.seq(p); ok {
+			seq = s
+		}
+	}
+	for _, kind := range d.Faults {
+		c.record(kind, seq, t, d.Delay)
+	}
+	switch {
+	case d.Blackhole:
+		return 0, &InjectedError{Kind: FaultBlackhole}
+	case d.SendErr:
+		return 0, &InjectedError{Kind: FaultSendErr}
+	case d.Drop:
+		// The send "succeeds" but the packet never existed: the loss
+		// the analyzers are supposed to measure.
+		return len(p), nil
+	}
+	buf := append([]byte(nil), p...)
+	if d.Corrupt && len(buf) > 0 {
+		// Mangle the header so the receiver rejects the packet — a
+		// checksum failure, not a silent payload change that would
+		// poison timestamps.
+		buf[0] ^= 0xFF
+	}
+	n := len(p)
+	send := func() {
+		c.inner.WriteTo(buf, addr) //nolint:errcheck // impaired path; the packet is expendable
+		if d.Duplicate {
+			c.inner.WriteTo(buf, addr) //nolint:errcheck // see above
+		}
+	}
+	if d.Delay > 0 {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return n, nil
+		}
+		c.timers = append(c.timers, time.AfterFunc(d.Delay, send))
+		c.mu.Unlock()
+		return n, nil
+	}
+	send()
+	return n, nil
+}
+
+// ReadFrom implements net.PacketConn; reads pass through untouched.
+func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) { return c.inner.ReadFrom(p) }
+
+// Close implements net.PacketConn, cancelling any delayed sends.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	timers := c.timers
+	c.timers = nil
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.PacketConn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// SetDeadline implements net.PacketConn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.PacketConn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,231 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// collector is a test sink recording events.
+type collector struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (c *collector) Emit(ev otrace.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collector) events() []otrace.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]otrace.Event(nil), c.evs...)
+}
+
+// pipe returns a wrapped client conn and a receive function draining
+// the server side with the given deadline.
+func pipe(t *testing.T, plan *Plan, opts ...Option) (net.PacketConn, net.Addr, func(time.Duration) ([]byte, bool)) {
+	t.Helper()
+	server, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := WrapPacketConn(client, plan, opts...)
+	t.Cleanup(func() { wrapped.Close() })
+	recv := func(d time.Duration) ([]byte, bool) {
+		buf := make([]byte, 2048)
+		server.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck
+		n, _, err := server.ReadFrom(buf)
+		if err != nil {
+			return nil, false
+		}
+		return buf[:n], true
+	}
+	return wrapped, server.LocalAddr(), recv
+}
+
+func TestWrapInactivePlanIsTransparent(t *testing.T) {
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if got := WrapPacketConn(inner, nil); got != inner {
+		t.Error("nil plan should return the inner conn")
+	}
+	if got := WrapPacketConn(inner, &Plan{Seed: 3}); got != inner {
+		t.Error("inactive plan should return the inner conn")
+	}
+}
+
+func TestConnDrop(t *testing.T) {
+	sink := &collector{}
+	reg := obs.NewRegistry()
+	conn, addr, recv := pipe(t, &Plan{Seed: 1, Drop: 1},
+		WithSink(sink), WithRegistry(reg))
+	n, err := conn.WriteTo([]byte("hello"), addr)
+	if err != nil || n != 5 {
+		t.Fatalf("dropped send must look successful: n=%d err=%v", n, err)
+	}
+	if _, ok := recv(100 * time.Millisecond); ok {
+		t.Fatal("dropped packet reached the server")
+	}
+	evs := sink.events()
+	if len(evs) != 1 || evs[0].Ev != otrace.KindFault || evs[0].Fault != FaultDrop {
+		t.Fatalf("events = %+v, want one drop fault", evs)
+	}
+	if got := reg.Counter(obs.Label("fault.injected", "kind", FaultDrop)).Value(); got != 1 {
+		t.Fatalf("fault.injected{kind=drop} = %d, want 1", got)
+	}
+}
+
+func TestConnSendErrIsTransientNetError(t *testing.T) {
+	conn, addr, _ := pipe(t, &Plan{Seed: 1, SendErr: 1})
+	_, err := conn.WriteTo([]byte("x"), addr)
+	if err == nil {
+		t.Fatal("want injected error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Fatalf("%T does not implement net.Error", err)
+	}
+	if ne.Timeout() || !ne.Temporary() { //nolint:staticcheck // Temporary is the contract under test
+		t.Fatalf("injected error must be temporary, not timeout: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("errors.Is(err, ErrInjected) = false")
+	}
+}
+
+func TestConnBlackholeWindow(t *testing.T) {
+	// A fake clock walks the connection through before/inside/after the
+	// window.
+	now := time.Duration(0)
+	plan := &Plan{Seed: 1, Blackholes: []Window{
+		{Start: Duration(time.Second), End: Duration(2 * time.Second)},
+	}}
+	conn, addr, recv := pipe(t, plan, WithClock(func() time.Duration { return now }))
+	send := func() error { _, err := conn.WriteTo([]byte("x"), addr); return err }
+
+	if err := send(); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	if _, ok := recv(time.Second); !ok {
+		t.Fatal("packet before window lost")
+	}
+	now = 1500 * time.Millisecond
+	err := send()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("inside window: err=%v, want injected", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Temporary() { //nolint:staticcheck
+		t.Fatalf("blackhole error must be transient: %v", err)
+	}
+	now = 2 * time.Second
+	if err := send(); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+	if _, ok := recv(time.Second); !ok {
+		t.Fatal("packet after window lost")
+	}
+}
+
+func TestConnCorruptMutatesHeader(t *testing.T) {
+	conn, addr, recv := pipe(t, &Plan{Seed: 1, Corrupt: 1})
+	orig := []byte("NDpayload")
+	if _, err := conn.WriteTo(orig, addr); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := recv(time.Second)
+	if !ok {
+		t.Fatal("corrupted packet not delivered")
+	}
+	if got[0] == orig[0] {
+		t.Fatalf("first byte unchanged: % x", got)
+	}
+	if string(got[1:]) != string(orig[1:]) {
+		t.Fatalf("corruption touched more than the header byte: % x", got)
+	}
+	if orig[0] != 'N' {
+		t.Fatal("caller's buffer was mutated")
+	}
+}
+
+func TestConnDuplicate(t *testing.T) {
+	conn, addr, recv := pipe(t, &Plan{Seed: 1, Duplicate: 1})
+	if _, err := conn.WriteTo([]byte("x"), addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := recv(time.Second); !ok {
+			t.Fatalf("copy %d missing", i)
+		}
+	}
+	if _, ok := recv(100 * time.Millisecond); ok {
+		t.Fatal("more than two copies delivered")
+	}
+}
+
+func TestConnDelaySpike(t *testing.T) {
+	plan := &Plan{Seed: 1, DelaySpike: 1, SpikeDur: Duration(150 * time.Millisecond)}
+	sink := &collector{}
+	conn, addr, recv := pipe(t, plan, WithSink(sink))
+	start := time.Now()
+	if _, err := conn.WriteTo([]byte("x"), addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recv(50 * time.Millisecond); ok {
+		t.Fatal("spiked packet arrived immediately")
+	}
+	if _, ok := recv(2 * time.Second); !ok {
+		t.Fatal("spiked packet never arrived")
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("packet arrived after %v, want >= ~150ms", d)
+	}
+	evs := sink.events()
+	if len(evs) != 1 || evs[0].Fault != FaultDelay || evs[0].DurNs != int64(150*time.Millisecond) {
+		t.Fatalf("events = %+v, want one delay fault with dur", evs)
+	}
+}
+
+func TestConnSeqParser(t *testing.T) {
+	sink := &collector{}
+	conn, addr, _ := pipe(t, &Plan{Seed: 1, Drop: 1},
+		WithSink(sink),
+		WithSeq(func(p []byte) (int, bool) { return int(p[0]), true }))
+	if _, err := conn.WriteTo([]byte{42}, addr); err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.events()
+	if len(evs) != 1 || evs[0].Seq != 42 {
+		t.Fatalf("events = %+v, want Seq 42", evs)
+	}
+}
+
+func TestConnCloseCancelsDelayedSends(t *testing.T) {
+	plan := &Plan{Seed: 1, DelaySpike: 1, SpikeDur: Duration(5 * time.Second)}
+	conn, addr, recv := pipe(t, plan)
+	if _, err := conn.WriteTo([]byte("x"), addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recv(200 * time.Millisecond); ok {
+		t.Fatal("delayed send fired after Close")
+	}
+}

@@ -1,0 +1,290 @@
+// Package faultinject applies deterministic, seeded network
+// impairments to the measurement pipeline so its fault tolerance can
+// be tested instead of hoped for.
+//
+// A Plan describes the faults — packet drop, duplication, reordering,
+// delay spikes, payload corruption, transient send errors, and
+// blackhole windows during which nothing gets through — as
+// probabilities and windows. Every decision is a pure function of
+// (plan seed, packet key, dimension) through a SplitMix64-style hash,
+// so a given plan replays the exact same fault sequence on every run:
+// chaos tests are as reproducible as the simulator's traces.
+//
+// The same Plan drives both halves of the repository. WrapPacketConn
+// impairs a real net.PacketConn (the netdyn prober and echo server),
+// keyed by a per-connection write counter so retried sends draw fresh
+// decisions; NewImpairment impairs the simulated pipeline (package
+// core/sim), keyed by probe sequence number and stamped with virtual
+// time. Both emit every injected fault as an otrace event
+// (otrace.KindFault) and count it in an obs registry under
+// fault.injected{kind=...}, so a chaos run's trace records exactly
+// which impairments it survived.
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// The fault kinds, as they appear in otrace events (Event.Fault) and
+// metric labels (fault.injected{kind=...}).
+const (
+	FaultDrop      = "drop"
+	FaultDuplicate = "duplicate"
+	FaultReorder   = "reorder"
+	FaultDelay     = "delay"
+	FaultCorrupt   = "corrupt"
+	FaultSendErr   = "send_error"
+	FaultBlackhole = "blackhole"
+)
+
+// Duration is a time.Duration that marshals to JSON as a
+// human-readable string ("250ms", "5s") and unmarshals from either
+// that form or a raw nanosecond number, so fault-plan files stay
+// legible.
+type Duration time.Duration
+
+// D converts back to a time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("faultinject: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("faultinject: duration must be a string or nanoseconds: %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Window is a half-open interval [Start, End) on the run's timeline
+// (offset from the start of probing) during which the path is dead.
+type Window struct {
+	Start Duration `json:"start"`
+	End   Duration `json:"end"`
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool {
+	return t >= w.Start.D() && t < w.End.D()
+}
+
+// Plan is a seeded fault schedule. Probabilities are per packet (per
+// send attempt on the real-network path, per probe in the simulator)
+// and independent across dimensions; a zero Plan injects nothing.
+type Plan struct {
+	// Seed drives every decision; identical plans with identical seeds
+	// inject identical fault sequences.
+	Seed int64 `json:"seed"`
+
+	// Drop silently discards the packet after a successful-looking
+	// send: the paper-style random loss the analyzers measure.
+	Drop float64 `json:"drop,omitempty"`
+	// Duplicate sends the packet twice back to back.
+	Duplicate float64 `json:"duplicate,omitempty"`
+	// Reorder holds the packet back by ReorderDelay so later packets
+	// overtake it.
+	Reorder float64 `json:"reorder,omitempty"`
+	// DelaySpike holds the packet back by SpikeDur — an isolated
+	// latency excursion rather than a reordering nudge.
+	DelaySpike float64 `json:"delay_spike,omitempty"`
+	// Corrupt flips header bytes so the receiver discards the packet,
+	// modeling a checksum failure on the wire.
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// SendErr fails the send with a transient net.Error (Temporary() ==
+	// true) — the kind a supervised session must retry, not die on.
+	SendErr float64 `json:"send_err,omitempty"`
+
+	// ReorderDelay is how long a reordered packet is held
+	// (default 10ms).
+	ReorderDelay Duration `json:"reorder_delay,omitempty"`
+	// SpikeDur is how long a delay-spiked packet is held
+	// (default 100ms).
+	SpikeDur Duration `json:"spike_dur,omitempty"`
+
+	// Blackholes are outage windows: every send inside one fails with
+	// a transient error on the real-network path, and every probe
+	// inside one vanishes in the simulator.
+	Blackholes []Window `json:"blackholes,omitempty"`
+}
+
+// DefaultReorderDelay and DefaultSpikeDur fill the zero values of
+// ReorderDelay and SpikeDur.
+const (
+	DefaultReorderDelay = 10 * time.Millisecond
+	DefaultSpikeDur     = 100 * time.Millisecond
+)
+
+func (p *Plan) reorderDelay() time.Duration {
+	if p.ReorderDelay > 0 {
+		return p.ReorderDelay.D()
+	}
+	return DefaultReorderDelay
+}
+
+func (p *Plan) spikeDur() time.Duration {
+	if p.SpikeDur > 0 {
+		return p.SpikeDur.D()
+	}
+	return DefaultSpikeDur
+}
+
+// Validate reports the first ill-formed field of the plan.
+func (p *Plan) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", p.Drop}, {"duplicate", p.Duplicate}, {"reorder", p.Reorder},
+		{"delay_spike", p.DelaySpike}, {"corrupt", p.Corrupt}, {"send_err", p.SendErr},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faultinject: %s probability %v outside [0,1]", f.name, f.v)
+		}
+	}
+	for i, w := range p.Blackholes {
+		if w.End.D() <= w.Start.D() {
+			return fmt.Errorf("faultinject: blackhole %d: end %v <= start %v", i, w.End.D(), w.Start.D())
+		}
+	}
+	return nil
+}
+
+// Active reports whether the plan can inject anything at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.Drop > 0 || p.Duplicate > 0 || p.Reorder > 0 || p.DelaySpike > 0 ||
+		p.Corrupt > 0 || p.SendErr > 0 || len(p.Blackholes) > 0
+}
+
+// Parse decodes a JSON fault plan and validates it.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faultinject: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads a JSON fault plan from a file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Decision is the fault verdict for one packet. At most one of
+// SendErr, Blackhole, and Drop is set (the packet fails to send, is
+// swallowed by an outage, or is silently discarded); the modifier
+// fields compose freely on packets that do go out. Faults lists every
+// injected kind in a fixed order for event emission.
+type Decision struct {
+	Blackhole bool
+	SendErr   bool
+	Drop      bool
+	Duplicate bool
+	Corrupt   bool
+	// Delay is how long to hold the packet before sending; zero means
+	// send immediately. Set by reorder and delay-spike faults.
+	Delay time.Duration
+
+	Faults []string
+}
+
+// Lethal reports whether the packet never reaches the wire.
+func (d *Decision) Lethal() bool { return d.Blackhole || d.SendErr || d.Drop }
+
+// Hash dimensions: each fault type draws from its own stream so that,
+// e.g., raising Drop never changes which packets get duplicated.
+const (
+	dimSendErr = iota + 1
+	dimDrop
+	dimDuplicate
+	dimReorder
+	dimDelay
+	dimCorrupt
+)
+
+// unit maps (seed, key, dim) to a uniform float64 in [0, 1) via a
+// SplitMix64 finalizer — the same generator family the runner uses for
+// per-job seeds, giving decorrelated, replayable decision streams.
+func unit(seed int64, key uint64, dim uint64) float64 {
+	z := uint64(seed) + (key+1)*0x9E3779B97F4A7C15 + (dim+1)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Decide returns the fault verdict for the packet identified by key at
+// run offset t. The real-network Conn keys by send-attempt counter
+// (retries draw fresh decisions); the sim impairment keys by probe
+// sequence number (exact replay at any worker count). Blackhole
+// windows take precedence over everything; send errors over drops;
+// the remaining dimensions are independent.
+func (p *Plan) Decide(key uint64, t time.Duration) Decision {
+	var d Decision
+	if p == nil {
+		return d
+	}
+	for _, w := range p.Blackholes {
+		if w.Contains(t) {
+			d.Blackhole = true
+			d.Faults = append(d.Faults, FaultBlackhole)
+			return d
+		}
+	}
+	if p.SendErr > 0 && unit(p.Seed, key, dimSendErr) < p.SendErr {
+		d.SendErr = true
+		d.Faults = append(d.Faults, FaultSendErr)
+		return d
+	}
+	if p.Drop > 0 && unit(p.Seed, key, dimDrop) < p.Drop {
+		d.Drop = true
+		d.Faults = append(d.Faults, FaultDrop)
+		return d
+	}
+	if p.Corrupt > 0 && unit(p.Seed, key, dimCorrupt) < p.Corrupt {
+		d.Corrupt = true
+		d.Faults = append(d.Faults, FaultCorrupt)
+	}
+	if p.DelaySpike > 0 && unit(p.Seed, key, dimDelay) < p.DelaySpike {
+		d.Delay = p.spikeDur()
+		d.Faults = append(d.Faults, FaultDelay)
+	} else if p.Reorder > 0 && unit(p.Seed, key, dimReorder) < p.Reorder {
+		d.Delay = p.reorderDelay()
+		d.Faults = append(d.Faults, FaultReorder)
+	}
+	if p.Duplicate > 0 && unit(p.Seed, key, dimDuplicate) < p.Duplicate {
+		d.Duplicate = true
+		d.Faults = append(d.Faults, FaultDuplicate)
+	}
+	return d
+}

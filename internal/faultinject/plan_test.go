@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	p := &Plan{
+		Seed: 42, Drop: 0.2, Duplicate: 0.1, Reorder: 0.1,
+		DelaySpike: 0.05, Corrupt: 0.1, SendErr: 0.3,
+		Blackholes: []Window{{Start: Duration(2 * time.Second), End: Duration(3 * time.Second)}},
+	}
+	for key := uint64(0); key < 1000; key++ {
+		a := p.Decide(key, time.Duration(key)*time.Millisecond)
+		b := p.Decide(key, time.Duration(key)*time.Millisecond)
+		if len(a.Faults) != len(b.Faults) || a.Delay != b.Delay {
+			t.Fatalf("key %d: non-deterministic decision: %+v vs %+v", key, a, b)
+		}
+		for i := range a.Faults {
+			if a.Faults[i] != b.Faults[i] {
+				t.Fatalf("key %d: fault order changed: %v vs %v", key, a.Faults, b.Faults)
+			}
+		}
+	}
+}
+
+func TestDecideRates(t *testing.T) {
+	p := &Plan{Seed: 7, Drop: 0.25, SendErr: 0.1, Duplicate: 0.15}
+	const n = 200_000
+	var drops, errs, dups int
+	for key := uint64(0); key < n; key++ {
+		d := p.Decide(key, 0)
+		if d.Drop {
+			drops++
+		}
+		if d.SendErr {
+			errs++
+		}
+		if d.Duplicate {
+			dups++
+		}
+	}
+	// Drops are decided only when the send-error stream passes, so the
+	// marginal drop rate is 0.25 * (1 - 0.1).
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"send_err", float64(errs) / n, 0.1},
+		{"drop", float64(drops) / n, 0.25 * 0.9},
+		{"duplicate", float64(dups) / n, 0.15 * 0.9 * 0.75},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.01 {
+			t.Errorf("%s rate %.4f, want %.4f ± 0.01", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDecidePrecedence(t *testing.T) {
+	p := &Plan{Seed: 1, Drop: 1, SendErr: 1, Duplicate: 1, Corrupt: 1,
+		Blackholes: []Window{{End: Duration(time.Second)}}}
+	d := p.Decide(0, 0)
+	if !d.Blackhole || len(d.Faults) != 1 || d.Faults[0] != FaultBlackhole {
+		t.Fatalf("inside window: %+v, want blackhole only", d)
+	}
+	d = p.Decide(0, 2*time.Second)
+	if !d.SendErr || d.Drop || len(d.Faults) != 1 {
+		t.Fatalf("outside window: %+v, want send_error only", d)
+	}
+	if !d.Lethal() {
+		t.Fatal("send_error decision should be lethal")
+	}
+}
+
+func TestDecideModifiersCompose(t *testing.T) {
+	p := &Plan{Seed: 3, Corrupt: 1, DelaySpike: 1, Duplicate: 1,
+		SpikeDur: Duration(5 * time.Millisecond)}
+	d := p.Decide(0, 0)
+	if !d.Corrupt || !d.Duplicate || d.Delay != 5*time.Millisecond {
+		t.Fatalf("modifiers did not compose: %+v", d)
+	}
+	if d.Lethal() {
+		t.Fatal("modifier-only decision must not be lethal")
+	}
+	if len(d.Faults) != 3 {
+		t.Fatalf("faults = %v, want corrupt+delay+duplicate", d.Faults)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	src := `{
+		"seed": 99, "drop": 0.1, "send_err": 0.3,
+		"reorder_delay": "25ms",
+		"blackholes": [{"start": "2s", "end": "7s"}, {"start": "10s", "end": "15s"}]
+	}`
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 99 || p.Drop != 0.1 || p.ReorderDelay.D() != 25*time.Millisecond {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	if len(p.Blackholes) != 2 || p.Blackholes[1].Start.D() != 10*time.Second {
+		t.Fatalf("windows wrong: %+v", p.Blackholes)
+	}
+	out, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %s: %v", out, err)
+	}
+	if p2.Blackholes[0] != p.Blackholes[0] || p2.ReorderDelay != p.ReorderDelay {
+		t.Fatalf("round trip changed plan: %+v vs %+v", p2, p)
+	}
+	// Raw nanosecond durations stay accepted for machine-written plans.
+	if _, err := Parse([]byte(`{"seed":1,"spike_dur":1000000}`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (&Plan{Drop: 1.5}).Validate(); err == nil {
+		t.Error("drop > 1 accepted")
+	}
+	if err := (&Plan{Blackholes: []Window{{Start: Duration(2 * time.Second), End: Duration(time.Second)}}}).Validate(); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := Parse([]byte(`{"drop": 2}`)); err == nil {
+		t.Error("Parse skipped validation")
+	}
+}
+
+func TestPlanActive(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Error("nil plan active")
+	}
+	if (&Plan{Seed: 5}).Active() {
+		t.Error("empty plan active")
+	}
+	if !(&Plan{Blackholes: []Window{{End: Duration(time.Second)}}}).Active() {
+		t.Error("blackhole-only plan inactive")
+	}
+}

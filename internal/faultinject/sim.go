@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+	"netprobe/internal/sim"
+)
+
+// Impairment applies a Plan to the simulated pipeline: it wraps the
+// head of the forward path (route.Built.Head) and impairs probe
+// packets before they enter the network. Decisions are keyed by probe
+// sequence number and stamped with virtual time, so an impaired sim
+// run is exactly as deterministic as a clean one — byte-identical
+// traces at any worker count.
+//
+// Fault semantics mirror the real-network Conn: blackholed,
+// send-errored and dropped probes vanish at the source (the sample
+// stays Lost); corrupted probes traverse the forward path but are
+// discarded at the echo host (Probe is cleared, so they still load
+// the queues); delayed and reordered probes enter the network late;
+// duplicates inject a second, unmeasured copy that loads the queues
+// without overwriting the original's RTT. At the end of each
+// blackhole window the Impairment emits an otrace.KindGap event
+// covering the probes the window swallowed, so loss analyzers can
+// exclude the outage instead of reading it as paper-style loss.
+type Impairment struct {
+	sched *sim.Scheduler
+	plan  *Plan
+	next  sim.Receiver
+	opts  connOptions
+
+	injected atomic.Int64
+	swallow  []gapState
+}
+
+type gapState struct {
+	first int // first probe seq absorbed, -1 if none yet
+	count int
+}
+
+// NewImpairment wraps next with plan. A nil or inactive plan returns
+// next unchanged. Only WithSink and WithRegistry options apply; time
+// comes from the scheduler.
+func NewImpairment(sched *sim.Scheduler, plan *Plan, next sim.Receiver, opts ...Option) sim.Receiver {
+	if !plan.Active() {
+		return next
+	}
+	o := connOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	imp := &Impairment{sched: sched, plan: plan, next: next, opts: o}
+	imp.swallow = make([]gapState, len(plan.Blackholes))
+	for i := range imp.swallow {
+		imp.swallow[i].first = -1
+	}
+	// Close each blackhole window with a gap event summarizing the
+	// probes it swallowed.
+	for i, w := range plan.Blackholes {
+		i, w := i, w
+		sched.At(w.End.D(), func() {
+			g := imp.swallow[i]
+			if g.count == 0 || o.sink == nil {
+				return
+			}
+			o.sink.Emit(otrace.Event{
+				T: int64(w.Start.D()), Ev: otrace.KindGap,
+				Seq: g.first, Probes: g.count, DurNs: int64(w.End.D() - w.Start.D()),
+			})
+		})
+	}
+	return imp
+}
+
+// Injected reports how many faults have been injected so far.
+func (imp *Impairment) Injected() int64 { return imp.injected.Load() }
+
+func (imp *Impairment) record(kind string, seq int, t, delay time.Duration) {
+	imp.injected.Add(1)
+	if imp.opts.reg != nil {
+		imp.opts.reg.Counter(obs.Label("fault.injected", "kind", kind)).Inc()
+	}
+	if imp.opts.sink != nil {
+		imp.opts.sink.Emit(otrace.Event{
+			T: int64(t), Ev: otrace.KindFault, Seq: seq,
+			Fault: kind, DurNs: int64(delay),
+		})
+	}
+}
+
+// Receive implements sim.Receiver.
+func (imp *Impairment) Receive(pkt *sim.Packet) {
+	if !pkt.Probe {
+		imp.next.Receive(pkt)
+		return
+	}
+	now := imp.sched.Now()
+	d := imp.plan.Decide(uint64(pkt.Seq), now)
+	for _, kind := range d.Faults {
+		imp.record(kind, pkt.Seq, now, d.Delay)
+	}
+	if d.Blackhole {
+		for i, w := range imp.plan.Blackholes {
+			if w.Contains(now) {
+				if imp.swallow[i].first < 0 {
+					imp.swallow[i].first = pkt.Seq
+				}
+				imp.swallow[i].count++
+				break
+			}
+		}
+		return
+	}
+	if d.SendErr || d.Drop {
+		return
+	}
+	if d.Corrupt {
+		// The echo host will reject the mangled packet: it still loads
+		// the forward queues but is no longer a measured probe.
+		pkt.Probe = false
+	}
+	deliver := func() {
+		imp.next.Receive(pkt)
+		if d.Duplicate {
+			dup := *pkt
+			dup.Probe = false
+			imp.next.Receive(&dup)
+		}
+	}
+	if d.Delay > 0 {
+		imp.sched.After(d.Delay, deliver)
+		return
+	}
+	deliver()
+}

@@ -86,6 +86,72 @@ func Analyze(lost []bool) Stats {
 // AnalyzeTrace computes loss statistics for a probe trace.
 func AnalyzeTrace(t *core.Trace) Stats { return Analyze(t.LossIndicator()) }
 
+// AnalyzeExcluding is Analyze with an exclusion mask — the outage
+// gaps a supervised netdyn run records (Detail.Excluded). An excluded
+// probe never reached the network, so it is removed from the
+// population (not counted in N or Lost), it breaks loss pairs (no
+// (n, n+1) pair is counted if either side is excluded), and it
+// terminates loss runs without extending them. This keeps outages
+// from inflating the paper's loss statistics: a 5-second blackhole is
+// an infrastructure failure, not paper-style random loss. A nil mask
+// reduces to Analyze; a short mask treats missing entries as
+// included.
+func AnalyzeExcluding(lost, excluded []bool) Stats {
+	if excluded == nil {
+		return Analyze(lost)
+	}
+	excl := func(i int) bool { return i < len(excluded) && excluded[i] }
+	s := Stats{CLP: math.NaN(), PLG: math.NaN()}
+	prevLost := 0
+	bothLost := 0
+	run := 0
+	for i, l := range lost {
+		if excl(i) {
+			if run > 0 {
+				s.Runs = append(s.Runs, run)
+				run = 0
+			}
+			continue
+		}
+		s.N++
+		if l {
+			s.Lost++
+			run++
+		} else if run > 0 {
+			s.Runs = append(s.Runs, run)
+			run = 0
+		}
+		if l && i+1 < len(lost) && !excl(i+1) {
+			prevLost++
+			if lost[i+1] {
+				bothLost++
+			}
+		}
+	}
+	if run > 0 {
+		s.Runs = append(s.Runs, run)
+	}
+	if s.N > 0 {
+		s.ULP = float64(s.Lost) / float64(s.N)
+	}
+	if prevLost > 0 {
+		s.CLP = float64(bothLost) / float64(prevLost)
+		if s.CLP < 1 {
+			s.PLG = 1 / (1 - s.CLP)
+		} else {
+			s.PLG = math.Inf(1)
+		}
+	}
+	if len(s.Runs) > 0 {
+		sum := 0
+		for _, r := range s.Runs {
+			sum += r
+		}
+		s.MeanRun = float64(sum) / float64(len(s.Runs))
+	}
+	return s
+}
+
 // String implements fmt.Stringer in the format of Table 3.
 func (s Stats) String() string {
 	return fmt.Sprintf("ulp=%.2f clp=%.2f plg=%.1f (n=%d, runs=%d, mean run %.2f)",

@@ -256,3 +256,37 @@ func TestTable3TrendsOnSimulatedPath(t *testing.T) {
 		t.Errorf("δ=500ms losses should be essentially random: %+v", rows[2].s)
 	}
 }
+
+func TestAnalyzeExcluding(t *testing.T) {
+	lost := []bool{false, true, true, true, false, true, false, false}
+	// Exclude the middle of the loss burst (seq 2) and a received
+	// probe (seq 7).
+	excluded := []bool{false, false, true, false, false, false, false, true}
+	s := AnalyzeExcluding(lost, excluded)
+	if s.N != 6 {
+		t.Errorf("N = %d, want 6", s.N)
+	}
+	if s.Lost != 3 {
+		t.Errorf("Lost = %d, want 3", s.Lost)
+	}
+	// Pairs with both sides included: (0,1) (3,4) (4,5) (5,6) (6,7 has
+	// 7 excluded). Of those, prev lost at 1? pair (1,2) excluded.
+	// prevLost positions: 3 (pair 3,4), 5 (pair 5,6) => bothLost 0.
+	if s.CLP != 0 {
+		t.Errorf("CLP = %v, want 0", s.CLP)
+	}
+	// Runs: seq1 run ends at excluded 2 (len 1), seq3 run len 1, seq5 len 1.
+	if len(s.Runs) != 3 || s.MeanRun != 1 {
+		t.Errorf("Runs = %v mean %v, want three runs of 1", s.Runs, s.MeanRun)
+	}
+	// A nil mask must agree with Analyze exactly.
+	a, b := Analyze(lost), AnalyzeExcluding(lost, nil)
+	if a.N != b.N || a.Lost != b.Lost || a.CLP != b.CLP {
+		t.Errorf("nil mask differs: %+v vs %+v", a, b)
+	}
+	// An all-false mask likewise.
+	c := AnalyzeExcluding(lost, make([]bool, len(lost)))
+	if a.N != c.N || a.Lost != c.Lost || a.CLP != c.CLP || len(a.Runs) != len(c.Runs) {
+		t.Errorf("empty mask differs: %+v vs %+v", a, c)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // a UDP port and immediately echoes every probe packet back to its
 // sender, after writing the echo timestamp.
 type Echoer struct {
-	conn  *net.UDPConn
+	conn  net.PacketConn
 	start time.Time
 
 	mu       sync.Mutex
@@ -56,6 +56,13 @@ func NewEchoer(addr string) (*Echoer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netdyn: listen %q: %w", addr, err)
 	}
+	return NewEchoerConn(conn), nil
+}
+
+// NewEchoerConn starts an echo server on an existing packet
+// connection — typically a faultinject-wrapped socket in chaos tests.
+// The Echoer takes ownership and closes it on Close.
+func NewEchoerConn(conn net.PacketConn) *Echoer {
 	e := &Echoer{
 		conn:     conn,
 		start:    time.Now(),
@@ -63,11 +70,11 @@ func NewEchoer(addr string) (*Echoer, error) {
 		done:     make(chan struct{}),
 	}
 	go e.serve()
-	return e, nil
+	return e
 }
 
 // Addr reports the bound address, for clients to dial.
-func (e *Echoer) Addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
+func (e *Echoer) Addr() net.Addr { return e.conn.LocalAddr() }
 
 // SetDropper installs a test hook: packets for which fn returns true
 // are silently discarded instead of echoed, emulating network loss on
@@ -123,7 +130,7 @@ func (e *Echoer) serve() {
 	defer close(e.done)
 	buf := make([]byte, 64*1024)
 	for {
-		n, peer, err := e.conn.ReadFromUDP(buf)
+		n, peer, err := e.conn.ReadFrom(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
@@ -159,7 +166,7 @@ func (e *Echoer) serve() {
 		if err := StampEcho(buf[:n], time.Since(e.start).Microseconds()); err != nil {
 			continue
 		}
-		if _, err := e.conn.WriteToUDP(buf[:n], peer); err != nil {
+		if _, err := e.conn.WriteTo(buf[:n], peer); err != nil {
 			continue
 		}
 		e.echoed.Add(1)

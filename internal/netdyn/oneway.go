@@ -15,6 +15,28 @@ type Detail struct {
 	// EchoMicros[seq] is the echo host's clock (µs, its own epoch)
 	// when it turned probe seq around; -1 for lost probes.
 	EchoMicros []int64
+	// Gaps lists the outage windows a supervised run recorded, in
+	// order; nil when supervision is off or no outage occurred.
+	Gaps []Gap
+	// Interrupted reports that the run's Context was cancelled before
+	// every probe was sent; Trace holds the probes sent so far.
+	Interrupted bool
+}
+
+// Excluded returns a mask over the trace's samples marking the probes
+// that fall inside recorded outage gaps. Feed it to
+// loss.AnalyzeExcluding so an outage is not misread as paper-style
+// random loss.
+func (d *Detail) Excluded() []bool {
+	out := make([]bool, len(d.Trace.Samples))
+	for _, g := range d.Gaps {
+		for i := 0; i < g.Count; i++ {
+			if seq := g.FromSeq + i; seq >= 0 && seq < len(out) {
+				out[seq] = true
+			}
+		}
+	}
+	return out
 }
 
 // OneWay is the decomposition of round trips into per-direction

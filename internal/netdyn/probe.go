@@ -1,15 +1,18 @@
 package netdyn
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netprobe/internal/clock"
 	"netprobe/internal/core"
 	"netprobe/internal/loss"
+	"netprobe/internal/obs"
 	"netprobe/internal/otrace"
 )
 
@@ -31,6 +34,24 @@ type ProbeConfig struct {
 	Drain time.Duration
 	// LocalAddr optionally pins the local UDP address.
 	LocalAddr string
+	// Conn, if non-nil, is the packet connection to probe through —
+	// typically a faultinject-wrapped socket in chaos tests. Probe
+	// takes ownership and closes it. When nil, Probe opens its own UDP
+	// socket (LocalAddr applies).
+	Conn net.PacketConn
+	// Context, if non-nil, ends the run early when cancelled: the
+	// sender stops, stragglers are drained, and the returned Detail
+	// holds the truncated trace with Interrupted set — the graceful-
+	// shutdown path of cmd/netdyn-probe.
+	Context context.Context
+	// Supervise, if non-nil, enables the fault-tolerant session mode:
+	// transient send errors are retried with backoff, fatal socket
+	// errors recreate the socket, and exhausted probes open outage
+	// gaps. See SuperviseConfig.
+	Supervise *SuperviseConfig
+	// Metrics, if non-nil, counts supervisor activity:
+	// probe.send.retries, probe.socket.recreated, probe.outages.
+	Metrics *obs.Registry
 	// SendTimes, if non-nil, replaces the periodic schedule with
 	// explicit send offsets from the start of the run (must be
 	// non-decreasing; overrides Count). Use core.PoissonSchedule for
@@ -39,19 +60,21 @@ type ProbeConfig struct {
 	// Report, if non-nil, is called about every ReportEvery with an
 	// in-flight snapshot of the run: sent/received/lost counts,
 	// running ulp and clp over settled probes, and rtt quantiles.
-	// Calls come from the sender goroutine between probes, so the
-	// callback needs no locking but should return quickly (it delays
-	// the next probe by however long it runs).
+	// Calls come from a dedicated reporter goroutine, so a slow
+	// callback never perturbs probe pacing; the callback must be safe
+	// to run concurrently with the run (the snapshot itself is
+	// internally synchronized).
 	Report func(ProbeReport)
 	// ReportEvery is the reporting interval; it defaults to 10 s when
 	// Report is set.
 	ReportEvery time.Duration
 	// Trace, if non-nil, receives the run's probe-lifecycle events in
 	// the same otrace schema the simulator emits: run_start metadata,
-	// probe_sent per send, and rtt per accepted echo, stamped with
-	// wall-clock offsets on the source host's clock. Emit is called
-	// from both the sender and receiver goroutines, so wrap slow sinks
-	// in otrace.NewBounded to keep probe pacing unaffected.
+	// probe_sent per send, rtt per accepted echo, and gap per outage
+	// window, stamped with wall-clock offsets on the source host's
+	// clock. Emit is called from both the sender and receiver
+	// goroutines, so wrap slow sinks in otrace.NewBounded to keep
+	// probe pacing unaffected.
 	Trace otrace.Sink
 }
 
@@ -134,7 +157,8 @@ func Probe(cfg ProbeConfig) (*core.Trace, error) {
 }
 
 // ProbeDetailed is Probe, additionally retaining the echo host's
-// timestamps for per-direction analysis (Detail.OneWay).
+// timestamps for per-direction analysis (Detail.OneWay) and, for
+// supervised runs, the outage gaps (Detail.Gaps).
 func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
@@ -151,11 +175,37 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 			return nil, fmt.Errorf("netdyn: resolve local addr: %w", err)
 		}
 	}
-	conn, err := net.DialUDP("udp", laddr, raddr)
-	if err != nil {
-		return nil, fmt.Errorf("netdyn: dial: %w", err)
+	conn := c.Conn
+	if conn == nil {
+		uc, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return nil, fmt.Errorf("netdyn: listen: %w", err)
+		}
+		conn = uc
 	}
-	defer conn.Close()
+
+	sess := &session{
+		ctx:     c.Context,
+		addr:    raddr,
+		trace:   c.Trace,
+		metrics: c.Metrics,
+		conn:    conn,
+	}
+	if c.Supervise != nil {
+		sess.sup = c.Supervise.withDefaults()
+		if sess.sup.Redial == nil && c.Conn == nil {
+			// The run owns an ordinary UDP socket, so recreating one is
+			// safe and obvious. Callers supplying Conn supply Redial.
+			sess.sup.Redial = func() (net.PacketConn, error) {
+				return net.ListenUDP("udp", laddr)
+			}
+		}
+	}
+	supervised := c.Supervise != nil
+	defer func() {
+		cc, _ := sess.current()
+		cc.Close() //nolint:errcheck // read side already drained
+	}()
 
 	// UDP header (8) + IPv4 header (20) approximate the paper's wire
 	// accounting (it uses 72 bytes for a 32-byte payload, which also
@@ -186,17 +236,25 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 	}
 
 	wall := clock.NewWall(0) // full-resolution monotonic source
-	var mu sync.Mutex        // guards trace.Samples
+	sess.now = wall.Now
+	var mu sync.Mutex // guards trace.Samples
+	var sentCount atomic.Int64
 
-	// Receiver: read echoes until the deadline passes.
-	recvDone := make(chan error, 1)
+	// Receiver: read echoes until the drain deadline passes, following
+	// the session onto recreated sockets.
+	recvDone := make(chan struct{})
 	go func() {
+		defer close(recvDone)
 		buf := make([]byte, 64*1024)
+		rc, gen := sess.current()
 		for {
-			n, err := conn.Read(buf)
+			n, _, err := rc.ReadFrom(buf)
 			if err != nil {
-				recvDone <- nil // deadline or close: normal end
-				return
+				if rc2, gen2 := sess.current(); gen2 != gen {
+					rc, gen = rc2, gen2 // socket was recreated mid-run
+					continue
+				}
+				return // deadline or close: normal end
 			}
 			now := wall.Now()
 			pkt, err := Unmarshal(buf[:n])
@@ -205,7 +263,7 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 			}
 			mu.Lock()
 			s := &trace.Samples[pkt.Seq]
-			accepted := s.Lost // first echo wins; duplicates ignored
+			accepted := s.Lost && int64(pkt.Seq) < sentCount.Load() // first echo wins
 			if accepted {
 				s.Recv = now
 				s.RTT = clock.QuantizeRTT(s.Sent, now, c.ClockRes)
@@ -223,14 +281,37 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 		}
 	}()
 
+	start := wall.Now()
+
+	// Reporter: a dedicated goroutine, so a slow Report callback no
+	// longer stretches δ (it used to run inline in the sender loop).
+	stopReport := make(chan struct{})
+	var reportWG sync.WaitGroup
+	if c.Report != nil {
+		reportWG.Add(1)
+		go func() {
+			defer reportWG.Done()
+			tick := time.NewTicker(c.ReportEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					c.Report(snapshotProgress(&mu, trace, int(sentCount.Load()), wall.Now(), start, c.Drain))
+				case <-stopReport:
+					return
+				}
+			}
+		}()
+	}
+
 	// Sender: paced by absolute target times so drift does not
 	// accumulate (a ticker would drift under scheduling jitter).
-	start := wall.Now()
-	nextReport := start + c.ReportEvery
+	sent := 0
+	cancelled := false
 	for i := 0; i < c.Count; i++ {
-		if c.Report != nil && wall.Now() >= nextReport {
-			c.Report(snapshotProgress(&mu, trace, i, wall.Now(), start, c.Drain))
-			nextReport = wall.Now() + c.ReportEvery
+		if sess.cancelled() {
+			cancelled = true
+			break
 		}
 		offset := time.Duration(i) * c.Delta
 		if c.SendTimes != nil {
@@ -239,37 +320,56 @@ func ProbeDetailed(cfg ProbeConfig) (*Detail, error) {
 		target := start + offset
 		for {
 			now := wall.Now()
-			if now >= target {
+			if now >= target || sess.cancelled() {
 				break
 			}
-			time.Sleep(target - now)
+			sess.sleep(target - now)
 		}
-		sent := wall.Now()
-		pkt := Packet{Seq: uint32(i), SourceMicros: sent.Microseconds()}
+		if sess.cancelled() {
+			cancelled = true
+			break
+		}
+		sentAt := wall.Now()
+		pkt := Packet{Seq: uint32(i), SourceMicros: sentAt.Microseconds()}
 		payload, err := pkt.Marshal(c.PayloadSize)
 		if err != nil {
 			return nil, err
 		}
 		mu.Lock()
-		trace.Samples[i] = core.Sample{Seq: i, Sent: sent, Lost: true}
+		trace.Samples[i] = core.Sample{Seq: i, Sent: sentAt, Lost: true}
 		mu.Unlock()
+		sentCount.Store(int64(i + 1))
+		sent = i + 1
 		if c.Trace != nil {
-			c.Trace.Emit(otrace.Event{T: int64(sent), Ev: otrace.KindProbeSent, Seq: i, Flow: "probe"})
+			c.Trace.Emit(otrace.Event{T: int64(sentAt), Ev: otrace.KindProbeSent, Seq: i, Flow: "probe"})
 		}
-		if _, err := conn.Write(payload); err != nil {
-			// Leave the sample marked lost: a send error is a loss
-			// from the experiment's point of view, and transient
+		if supervised {
+			sess.send(i, payload, sentAt)
+		} else {
+			// Leave the sample marked lost on error: a send error is a
+			// loss from the experiment's point of view, and transient
 			// failures should not abort a long run.
-			continue
+			cc, _ := sess.current()
+			cc.WriteTo(payload, raddr) //nolint:errcheck // see above
 		}
 	}
+	sess.closeOutage(wall.Now())
 
-	// Drain stragglers, then stop the receiver.
-	if err := conn.SetReadDeadline(time.Now().Add(c.Drain)); err != nil {
+	// Drain stragglers, then stop the receiver and reporter.
+	cc, _ := sess.current()
+	if err := cc.SetReadDeadline(time.Now().Add(c.Drain)); err != nil {
 		return nil, fmt.Errorf("netdyn: set deadline: %w", err)
 	}
 	<-recvDone
+	close(stopReport)
+	reportWG.Wait()
 
+	detail.Gaps = sess.gaps
+	if cancelled {
+		detail.Interrupted = true
+		trace.Samples = trace.Samples[:sent]
+		detail.EchoMicros = detail.EchoMicros[:sent]
+	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,261 @@
+package netdyn
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// SuperviseConfig enables the fault-tolerant session mode of Probe.
+//
+// A supervised run survives the failure modes a long-lived measurement
+// deployment actually sees: transient send errors (ENOBUFS, a bounced
+// route, an injected fault) are retried with exponential backoff and
+// deterministic jitter; fatal socket errors trigger a socket
+// recreation through Redial; and when a probe's retries are exhausted
+// the session opens an outage window instead of burning the retry
+// ladder on every subsequent probe — one attempt per probe until a
+// send succeeds again. Each outage becomes a Gap on the Detail and a
+// KindGap event on the trace, so loss analyses exclude the window
+// instead of misreading an outage as paper-style random loss.
+type SuperviseConfig struct {
+	// MaxRetries is how many times a failed send is retried before the
+	// probe is given up (default 3; negative disables retries).
+	MaxRetries int
+	// Backoff is the first retry delay (default 1ms); it doubles per
+	// retry up to BackoffMax (default 50ms), with a deterministic
+	// ±50% jitter derived from Seed.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Seed drives the retry jitter; identical seeds retry on identical
+	// schedules.
+	Seed int64
+	// Redial recreates the probe socket after a fatal error. When nil
+	// and Probe opened its own socket, the default re-opens an
+	// equivalent UDP socket; when nil and the caller supplied
+	// ProbeConfig.Conn, fatal errors end the retry ladder.
+	Redial func() (net.PacketConn, error)
+}
+
+func (s *SuperviseConfig) withDefaults() SuperviseConfig {
+	out := *s
+	if out.MaxRetries == 0 {
+		out.MaxRetries = 3
+	}
+	if out.MaxRetries < 0 {
+		out.MaxRetries = 0
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 50 * time.Millisecond
+	}
+	return out
+}
+
+// Gap is one outage window of a supervised run: Count probes starting
+// at FromSeq never reached the wire between Start and End (offsets on
+// the run's clock). Gapped probes are excluded from loss statistics —
+// see Detail.Excluded and loss.AnalyzeExcluding.
+type Gap struct {
+	FromSeq int
+	Count   int
+	Start   time.Duration
+	End     time.Duration
+}
+
+// TransientSendError reports whether a send failure is worth
+// retrying: timeouts and temporary conditions per net.Error, plus the
+// errno family a UDP sender sees while a path flaps (ECONNREFUSED,
+// ENETUNREACH, EHOSTUNREACH, ENOBUFS, EAGAIN, EINTR). A closed
+// connection is never transient.
+func TransientSendError(err error) bool {
+	if err == nil || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && (ne.Timeout() || ne.Temporary()) { //nolint:staticcheck // Temporary is the kernel's word for "retry me"
+		return true
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.ECONNREFUSED, syscall.ENETUNREACH, syscall.EHOSTUNREACH,
+			syscall.ENOBUFS, syscall.EAGAIN, syscall.EINTR:
+			return true
+		}
+	}
+	return false
+}
+
+// session owns the probe socket and the supervisor state: conn and
+// generation are shared with the receiver goroutine under mu; the
+// outage bookkeeping is touched only by the sender goroutine.
+type session struct {
+	sup     SuperviseConfig
+	ctx     context.Context
+	addr    net.Addr
+	trace   otrace.Sink
+	metrics *obs.Registry
+	now     func() time.Duration
+
+	mu   sync.Mutex
+	conn net.PacketConn
+	gen  int
+
+	outage   bool
+	gapStart time.Duration
+	gapFirst int
+	gapCount int
+	gaps     []Gap
+}
+
+// current returns the live socket and its generation; the receiver
+// compares generations to tell "socket replaced" from "run over".
+func (s *session) current() (net.PacketConn, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn, s.gen
+}
+
+func (s *session) count(name string) {
+	if s.metrics != nil {
+		s.metrics.Counter(name).Inc()
+	}
+}
+
+func (s *session) cancelled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// sleep pauses for d or until the run is cancelled.
+func (s *session) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s.ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.ctx.Done():
+	}
+}
+
+// retryJitter maps (seed, seq, attempt) to a factor in [0.5, 1.5) via
+// a SplitMix64 finalizer, decorrelating concurrent sessions' retry
+// storms without sacrificing replayability.
+func retryJitter(seed int64, seq, attempt int) float64 {
+	z := uint64(seed) + (uint64(seq)+1)*0x9E3779B97F4A7C15 + (uint64(attempt)+1)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return 0.5 + float64(z>>11)/(1<<53)
+}
+
+// redial replaces the socket after a fatal error on generation gen.
+// It reports whether sending can continue.
+func (s *session) redial(gen int) bool {
+	if s.sup.Redial == nil {
+		return false
+	}
+	s.mu.Lock()
+	if s.gen != gen {
+		s.mu.Unlock()
+		return true // already replaced
+	}
+	old := s.conn
+	s.mu.Unlock()
+	nc, err := s.sup.Redial()
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	s.conn = nc
+	s.gen++
+	s.mu.Unlock()
+	old.Close() //nolint:errcheck // wakes the receiver onto the new socket
+	s.count("probe.socket.recreated")
+	return true
+}
+
+// send transmits payload for probe seq, supervising the attempt per
+// the config. It reports whether the packet reached the wire; a false
+// return means the probe joined an outage gap (supervised) or is
+// simply lost (unsupervised).
+func (s *session) send(seq int, payload []byte, sentAt time.Duration) bool {
+	attempts := s.sup.MaxRetries + 1
+	if s.outage {
+		// Circuit open: the path is known-dead, one cheap attempt per
+		// probe keeps pacing intact while watching for recovery.
+		attempts = 1
+	}
+	backoff := s.sup.Backoff
+	for a := 0; a < attempts; a++ {
+		conn, gen := s.current()
+		_, err := conn.WriteTo(payload, s.addr)
+		if err == nil {
+			s.closeOutage(s.now())
+			return true
+		}
+		if s.cancelled() {
+			break
+		}
+		if !TransientSendError(err) {
+			if !s.redial(gen) {
+				break
+			}
+			continue // fresh socket, retry immediately
+		}
+		if a+1 < attempts {
+			s.count("probe.send.retries")
+			s.sleep(time.Duration(float64(backoff) * retryJitter(s.sup.Seed, seq, a)))
+			backoff *= 2
+			if backoff > s.sup.BackoffMax {
+				backoff = s.sup.BackoffMax
+			}
+		}
+	}
+	s.giveUp(seq, sentAt)
+	return false
+}
+
+// giveUp records probe seq as unsendable, opening an outage window if
+// none is active.
+func (s *session) giveUp(seq int, sentAt time.Duration) {
+	if !s.outage {
+		s.outage = true
+		s.gapStart = sentAt
+		s.gapFirst = seq
+		s.gapCount = 0
+		s.count("probe.outages")
+	}
+	s.gapCount++
+}
+
+// closeOutage ends the active outage window, if any, recording the
+// gap and emitting its KindGap event.
+func (s *session) closeOutage(at time.Duration) {
+	if !s.outage {
+		return
+	}
+	g := Gap{FromSeq: s.gapFirst, Count: s.gapCount, Start: s.gapStart, End: at}
+	s.gaps = append(s.gaps, g)
+	s.outage = false
+	if s.trace != nil {
+		s.trace.Emit(otrace.Event{
+			T: int64(g.Start), Ev: otrace.KindGap,
+			Seq: g.FromSeq, Probes: g.Count, DurNs: int64(g.End - g.Start),
+		})
+	}
+}

@@ -1,0 +1,343 @@
+package netdyn
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// flakyConn wraps a net.PacketConn, failing WriteTo with a scripted
+// error sequence.
+type flakyConn struct {
+	net.PacketConn
+	mu   sync.Mutex
+	errs []error // consumed front to back; nil entries succeed
+}
+
+func (f *flakyConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	f.mu.Lock()
+	var err error
+	if len(f.errs) > 0 {
+		err = f.errs[0]
+		f.errs = f.errs[1:]
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return f.PacketConn.WriteTo(p, addr)
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "temporary glitch" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func TestTransientSendError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{net.ErrClosed, false},
+		{tempErr{}, true},
+		{&net.OpError{Op: "write", Err: tempErr{}}, true},
+		{errors.New("who knows"), false},
+	}
+	for _, c := range cases {
+		if got := TransientSendError(c.err); got != c.want {
+			t.Errorf("TransientSendError(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestSupervisedRetriesTransientErrors(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every probe's first send attempt fails; only a retry can save it.
+	const count = 20
+	errs := make([]error, 0, 2*count)
+	for i := 0; i < count; i++ {
+		errs = append(errs, tempErr{}, nil)
+	}
+	reg := obs.NewRegistry()
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  5 * time.Millisecond,
+		Count:  count,
+		Drain:  500 * time.Millisecond,
+		Conn:   &flakyConn{PacketConn: inner, errs: errs},
+		Supervise: &SuperviseConfig{
+			Backoff: 200 * time.Microsecond,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for _, s := range tr.Samples {
+		if s.Lost {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("%d probes lost on a loss-free path; retries did not happen", lost)
+	}
+	if got := reg.Counter("probe.send.retries").Value(); got != count {
+		t.Errorf("probe.send.retries = %d, want %d", got, count)
+	}
+}
+
+func TestSupervisedRedialOnFatalError(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fatal := errors.New("socket melted")
+	var redials atomic.Int64
+	reg := obs.NewRegistry()
+	tr, err := Probe(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  5 * time.Millisecond,
+		Count:  10,
+		Drain:  500 * time.Millisecond,
+		Conn:   &flakyConn{PacketConn: inner, errs: []error{nil, nil, fatal}},
+		Supervise: &SuperviseConfig{
+			Redial: func() (net.PacketConn, error) {
+				redials.Add(1)
+				return net.ListenPacket("udp", "127.0.0.1:0")
+			},
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := redials.Load(); got != 1 {
+		t.Fatalf("redials = %d, want 1", got)
+	}
+	if got := reg.Counter("probe.socket.recreated").Value(); got != 1 {
+		t.Errorf("probe.socket.recreated = %d, want 1", got)
+	}
+	lost := 0
+	for _, s := range tr.Samples {
+		if s.Lost {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("%d probes lost; the recreated socket did not carry the run", lost)
+	}
+}
+
+func TestSupervisedOutageGaps(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probes 3..6 fail persistently: probe 3 burns the whole retry
+	// ladder, 4..6 fail their single circuit-open attempt, probe 7
+	// recovers. The gap must cover exactly seqs 3..6.
+	const count = 10
+	errs := make([]error, 0, 16)
+	for i := 0; i < count; i++ {
+		if i >= 3 && i < 7 {
+			retries := 1
+			if i == 3 {
+				retries = 4 // first failure pays the full ladder
+			}
+			for r := 0; r < retries; r++ {
+				errs = append(errs, tempErr{})
+			}
+		} else {
+			errs = append(errs, nil)
+		}
+	}
+	var events []otrace.Event
+	var evMu sync.Mutex
+	sink := sinkFunc(func(ev otrace.Event) {
+		evMu.Lock()
+		events = append(events, ev)
+		evMu.Unlock()
+	})
+	reg := obs.NewRegistry()
+	d, err := ProbeDetailed(ProbeConfig{
+		Target: e.Addr().String(),
+		Delta:  5 * time.Millisecond,
+		Count:  count,
+		Drain:  500 * time.Millisecond,
+		Conn:   &flakyConn{PacketConn: inner, errs: errs},
+		Supervise: &SuperviseConfig{
+			Backoff: 100 * time.Microsecond,
+		},
+		Metrics: reg,
+		Trace:   sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Gaps) != 1 {
+		t.Fatalf("gaps = %+v, want exactly one", d.Gaps)
+	}
+	g := d.Gaps[0]
+	if g.FromSeq != 3 || g.Count != 4 {
+		t.Fatalf("gap = %+v, want FromSeq 3 Count 4", g)
+	}
+	if g.End <= g.Start {
+		t.Fatalf("gap window inverted: %+v", g)
+	}
+	excl := d.Excluded()
+	for i := 0; i < count; i++ {
+		want := i >= 3 && i < 7
+		if excl[i] != want {
+			t.Fatalf("Excluded()[%d] = %v, want %v", i, excl[i], want)
+		}
+	}
+	if got := reg.Counter("probe.outages").Value(); got != 1 {
+		t.Errorf("probe.outages = %d, want 1", got)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	gapEvents := 0
+	for _, ev := range events {
+		if ev.Ev == otrace.KindGap {
+			gapEvents++
+			if ev.Seq != 3 || ev.Probes != 4 || ev.DurNs <= 0 {
+				t.Fatalf("gap event = %+v, want Seq 3 Probes 4", ev)
+			}
+		}
+	}
+	if gapEvents != 1 {
+		t.Fatalf("gap events = %d, want 1", gapEvents)
+	}
+}
+
+type sinkFunc func(otrace.Event)
+
+func (f sinkFunc) Emit(ev otrace.Event) { f(ev) }
+
+func TestProbeContextCancellation(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	d, err := ProbeDetailed(ProbeConfig{
+		Target:  e.Addr().String(),
+		Delta:   10 * time.Millisecond,
+		Count:   10_000, // would run 100 s without cancellation
+		Drain:   200 * time.Millisecond,
+		Context: ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancelled run took %v", took)
+	}
+	if !d.Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+	n := len(d.Trace.Samples)
+	if n == 0 || n >= 10_000 {
+		t.Fatalf("truncated trace has %d samples", n)
+	}
+	if len(d.EchoMicros) != n {
+		t.Fatalf("EchoMicros length %d != samples %d", len(d.EchoMicros), n)
+	}
+	// The partial trace is still a valid trace with received probes.
+	recv := 0
+	for _, s := range d.Trace.Samples {
+		if !s.Lost {
+			recv++
+		}
+	}
+	if recv == 0 {
+		t.Fatal("no probes received before cancellation")
+	}
+}
+
+// TestReportDoesNotStretchDelta is the pacing-skew regression test: a
+// Report callback far slower than δ must not delay sends now that
+// reporting runs on its own goroutine.
+func TestReportDoesNotStretchDelta(t *testing.T) {
+	e, err := NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const (
+		delta = 5 * time.Millisecond
+		count = 40
+	)
+	var reports atomic.Int64
+	start := time.Now()
+	tr, err := Probe(ProbeConfig{
+		Target:      e.Addr().String(),
+		Delta:       delta,
+		Count:       count,
+		Drain:       300 * time.Millisecond,
+		ReportEvery: 10 * time.Millisecond,
+		Report: func(ProbeReport) {
+			reports.Add(1)
+			time.Sleep(25 * time.Millisecond) // 5x slower than δ
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	took := time.Since(start)
+	if reports.Load() == 0 {
+		t.Fatal("report callback never ran")
+	}
+	// Ideal sending takes (count-1)*δ = 195ms plus the 300ms drain.
+	// The old inline reporting stretched each reported δ by ~25ms
+	// (≈ +400ms over this run); allow generous scheduling slack while
+	// still catching that regression.
+	if limit := 800 * time.Millisecond; took > limit {
+		t.Fatalf("run took %v (> %v): Report stretches pacing", took, limit)
+	}
+	// And pacing must hold probe-to-probe, not just in aggregate.
+	late := 0
+	for i, s := range tr.Samples {
+		target := time.Duration(i) * delta
+		if s.Sent-target > 15*time.Millisecond {
+			late++
+		}
+	}
+	if late > count/4 {
+		t.Fatalf("%d/%d probes sent >15ms late", late, count)
+	}
+}

@@ -105,6 +105,17 @@ func Unmarshal(data []byte) (Packet, error) {
 	return p, nil
 }
 
+// PacketSeq extracts the sequence number from an encoded probe packet
+// without fully decoding it — the hook faultinject's connection
+// wrapper uses to stamp fault events with the probe they hit. It
+// reports false for anything that is not a probe packet.
+func PacketSeq(data []byte) (int, bool) {
+	if len(data) < HeaderSize || data[0] != magic[0] || data[1] != magic[1] || data[2] != version {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(data[4:8])), true
+}
+
 // StampEcho writes the echo timestamp into an encoded packet in
 // place, as the intermediate host does. It returns ErrShortPacket if
 // the buffer is too small.

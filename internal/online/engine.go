@@ -104,19 +104,28 @@ func jobKey(ev otrace.Event) string {
 // of a phase plot from rtt events. It mirrors core.Trace's
 // ConsecutivePairs exactly — same float conversion, same pair order
 // for in-order streams — which is what lets the online phase and
-// workload estimators reproduce the batch numbers bit for bit.
+// workload estimators reproduce the batch numbers bit for bit. With
+// window > 0 it keeps only the last window sequence slots in a ring
+// (O(window) memory for endless streams); probes older than that are
+// forgotten and can no longer complete pairs.
 type pairTracker struct {
-	rttMs []float64
-	recv  []bool
+	window int // 0 = unbounded
+	rttMs  []float64
+	recv   []bool
+	slots  []pairSlot // windowed storage, keyed seq % window
 }
 
 // observe records the rtt for seq (milliseconds) and calls emit with
 // the diff rtt_{n+1} − rtt_n for every consecutive pair the event
-// completes, lower-indexed pair first. It reports false for duplicate
-// or negative-seq events, which carry no new pair.
+// completes, lower-indexed pair first. It reports false for duplicate,
+// negative-seq, or (in windowed mode) stale events, which carry no new
+// pair.
 func (p *pairTracker) observe(seq int, rttMs float64, emit func(diff float64)) bool {
 	if seq < 0 {
 		return false
+	}
+	if p.window > 0 {
+		return p.observeWindowed(seq, rttMs, emit)
 	}
 	for len(p.recv) <= seq {
 		p.recv = append(p.recv, false)
@@ -132,6 +141,34 @@ func (p *pairTracker) observe(seq int, rttMs float64, emit func(diff float64)) b
 	}
 	if seq+1 < len(p.recv) && p.recv[seq+1] {
 		emit(p.rttMs[seq+1] - p.rttMs[seq])
+	}
+	return true
+}
+
+func (p *pairTracker) observeWindowed(seq int, rttMs float64, emit func(diff float64)) bool {
+	if p.slots == nil {
+		p.slots = make([]pairSlot, p.window)
+		for i := range p.slots {
+			p.slots[i].seq = -1
+		}
+	}
+	s := &p.slots[seq%p.window]
+	if s.seq == seq {
+		return false // duplicate rtt
+	}
+	if s.seq > seq {
+		return false // stale: a newer probe already claimed the slot
+	}
+	s.seq, s.rtt = seq, rttMs
+	if p.window >= 2 {
+		if seq >= 1 {
+			if l := p.slots[(seq-1)%p.window]; l.seq == seq-1 {
+				emit(rttMs - l.rtt)
+			}
+		}
+		if r := p.slots[(seq+1)%p.window]; r.seq == seq+1 {
+			emit(r.rtt - rttMs)
+		}
 	}
 	return true
 }

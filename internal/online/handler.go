@@ -10,11 +10,13 @@ import (
 
 // DefaultAnalyzers returns the standard analyzer set — loss, phase,
 // workload — publishing live gauges to reg (nil disables gauges).
-func DefaultAnalyzers(reg *obs.Registry) []Analyzer {
+// Options (e.g. WithWindow for endless sessions) apply to every
+// analyzer in the set.
+func DefaultAnalyzers(reg *obs.Registry, opts ...Option) []Analyzer {
 	return []Analyzer{
-		NewLossAnalyzer(reg),
-		NewPhaseAnalyzer(reg, 0),
-		NewWorkloadAnalyzer(reg, 0),
+		NewLossAnalyzer(reg, opts...),
+		NewPhaseAnalyzer(reg, 0, opts...),
+		NewWorkloadAnalyzer(reg, 0, opts...),
 	}
 }
 

@@ -14,25 +14,44 @@ import (
 // and loss-run structure — incrementally, per job. Every counter is
 // updated in O(1) per event: a probe_sent extends the horizon with a
 // presumed-lost probe (the paper's convention: rtt_n = 0 until the
-// probe returns), and an rtt event retracts that presumption, patching
-// the consecutive-loss pair counts around the flipped position. At
-// end of stream the counters provably equal the single-pass values of
-// loss.Analyze over the same indicator sequence, so the final online
-// ulp/clp/plg are bit-identical to the batch results.
+// probe returns), an rtt event retracts that presumption, patching
+// the consecutive-loss pair counts around the flipped position, and a
+// gap event excludes an outage window from the population the way
+// loss.AnalyzeExcluding does — outage probes never reached the
+// network, so they must not read as paper-style random loss. At end
+// of stream the counters provably equal the single-pass values of
+// loss.AnalyzeExcluding over the same indicator and exclusion
+// sequences, so the final online ulp/clp/plg are bit-identical to the
+// batch results.
+//
+// With WithWindow(n) the counters instead cover the most recent n
+// probes, held in ring buffers: the per-job state is O(n) no matter
+// how long the stream runs, and the statistics equal the batch
+// analysis of the trailing n-probe suffix.
 type LossAnalyzer struct {
-	mu   sync.Mutex
-	reg  *obs.Registry
-	jobs map[string]*lossJob
+	mu     sync.Mutex
+	reg    *obs.Registry
+	window int
+	jobs   map[string]*lossJob
 }
 
 type lossJob struct {
-	name string
+	name   string
+	window int // 0: unbounded; >0: ring over the last window probes
+	// lost and excl hold the per-probe indicator and exclusion flags;
+	// in windowed mode they are rings indexed seq % window.
 	lost []bool
-	// Incremental mirrors of loss.Analyze's counters over lost[0:sent):
-	// lostCount probes currently presumed lost, prevLost positions n
-	// (with a successor in range) where lost[n], bothLost of those
-	// where lost[n+1] too, runs the number of maximal loss runs.
+	excl []bool
+	sent int // horizon: total probes sent, including evicted ones
+	// Incremental mirrors of loss.AnalyzeExcluding's counters over the
+	// in-window probes: n included probes, lostCount of them lost,
+	// exclCount excluded, prevLost positions p (included, with an
+	// included successor in range) where lost[p], bothLost of those
+	// where lost[p+1] too, runs the number of maximal loss runs
+	// (exclusions terminate a run without extending it).
+	n         int
 	lostCount int
+	exclCount int
 	prevLost  int
 	bothLost  int
 	runs      int
@@ -43,8 +62,9 @@ type lossJob struct {
 // NewLossAnalyzer returns a LossAnalyzer publishing live gauges
 // (online.ulp{job=}, online.clp{job=}, online.plg{job=}) to reg when
 // reg is non-nil.
-func NewLossAnalyzer(reg *obs.Registry) *LossAnalyzer {
-	return &LossAnalyzer{reg: reg, jobs: make(map[string]*lossJob)}
+func NewLossAnalyzer(reg *obs.Registry, opts ...Option) *LossAnalyzer {
+	o := applyOptions(opts)
+	return &LossAnalyzer{reg: reg, window: o.window, jobs: make(map[string]*lossJob)}
 }
 
 // Name implements Analyzer.
@@ -53,7 +73,7 @@ func (a *LossAnalyzer) Name() string { return "loss" }
 func (a *LossAnalyzer) job(key string) *lossJob {
 	j := a.jobs[key]
 	if j == nil {
-		j = &lossJob{name: key}
+		j = &lossJob{name: key, window: a.window}
 		if a.reg != nil {
 			j.gULP = a.reg.FloatGauge(obs.Label("online.ulp", "job", key))
 			j.gCLP = a.reg.FloatGauge(obs.Label("online.clp", "job", key))
@@ -67,7 +87,7 @@ func (a *LossAnalyzer) job(key string) *lossJob {
 // HandleEvent implements Analyzer.
 func (a *LossAnalyzer) HandleEvent(ev otrace.Event) {
 	switch ev.Ev {
-	case otrace.KindProbeSent, otrace.KindRTT:
+	case otrace.KindProbeSent, otrace.KindRTT, otrace.KindGap:
 	default:
 		return
 	}
@@ -79,28 +99,96 @@ func (a *LossAnalyzer) HandleEvent(ev otrace.Event) {
 		j.probeSent(ev.Seq)
 	case otrace.KindRTT:
 		j.received(ev.Seq)
+	case otrace.KindGap:
+		j.gap(ev.Seq, ev.Probes)
 	}
 	j.publish()
 }
 
-// probeSent extends the horizon to seq, presuming the probe lost.
+// lo is the lowest sequence number still inside the window.
+func (j *lossJob) lo() int {
+	if j.window > 0 && j.sent > j.window {
+		return j.sent - j.window
+	}
+	return 0
+}
+
+func (j *lossJob) idx(i int) int {
+	if j.window > 0 {
+		return i % j.window
+	}
+	return i
+}
+
+func (j *lossJob) isLost(i int) bool { return j.lost[j.idx(i)] }
+func (j *lossJob) isExcl(i int) bool { return j.excl[j.idx(i)] }
+
+// probeSent extends the horizon to seq, presuming each new probe lost.
 // Out-of-order or duplicate sends (impossible from the simulator,
 // defensive for real streams) are absorbed by growing to seq.
 func (j *lossJob) probeSent(seq int) {
 	if seq < 0 {
 		return
 	}
-	for len(j.lost) <= seq {
-		n := len(j.lost)
-		j.lost = append(j.lost, true)
-		j.lostCount++
-		if n >= 1 && j.lost[n-1] {
-			// Position n−1 gained a successor; both are currently lost.
-			j.prevLost++
-			j.bothLost++
-			// The new loss extends n−1's run: no new run.
-		} else {
-			j.runs++ // a fresh loss run starts at n
+	for j.sent <= seq {
+		j.grow()
+	}
+}
+
+// grow appends position j.sent as a presumed-lost, included probe,
+// evicting the oldest window slot first when the ring is full.
+func (j *lossJob) grow() {
+	p := j.sent
+	if j.window > 0 {
+		if j.lost == nil {
+			j.lost = make([]bool, j.window)
+			j.excl = make([]bool, j.window)
+		}
+		if p >= j.window {
+			j.evict(p - j.window)
+		}
+	} else {
+		j.lost = append(j.lost, false)
+		j.excl = append(j.excl, false)
+	}
+	j.lost[j.idx(p)] = true
+	j.excl[j.idx(p)] = false
+	j.sent = p + 1
+	j.n++
+	j.lostCount++
+	if left := p - 1; left >= j.lo() && !j.isExcl(left) && j.isLost(left) {
+		// Position p−1 gained a successor; both are currently lost.
+		j.prevLost++
+		j.bothLost++
+		// The new loss extends p−1's run: no new run.
+	} else {
+		j.runs++ // a fresh loss run starts at p
+	}
+}
+
+// evict removes position e — the oldest in-window probe, about to lose
+// its ring slot — from every counter. Only the (e, e+1) pair can still
+// be live; the (e−1, e) pair left the window one eviction earlier.
+func (j *lossJob) evict(e int) {
+	if j.isExcl(e) {
+		j.exclCount--
+		return // excluded probes contribute to no other counter
+	}
+	le := j.isLost(e)
+	j.n--
+	if le {
+		j.lostCount--
+	}
+	rLive := e+1 < j.sent && !j.isExcl(e+1)
+	if le {
+		if rLive {
+			j.prevLost--
+			if j.isLost(e + 1) {
+				j.bothLost--
+			}
+		}
+		if !(rLive && j.isLost(e+1)) {
+			j.runs-- // e was the whole remaining run
 		}
 	}
 }
@@ -112,24 +200,31 @@ func (j *lossJob) received(seq int) {
 		return
 	}
 	j.probeSent(seq) // rtt before probe_sent: materialize the horizon
-	if !j.lost[seq] {
+	if seq < j.lo() {
+		return // already evicted from the window
+	}
+	if !j.isLost(seq) {
 		return // duplicate rtt
 	}
-	j.lost[seq] = false
+	j.lost[j.idx(seq)] = false
+	if j.isExcl(seq) {
+		return // excluded positions contribute to no counter
+	}
 	j.lostCount--
-	sent := len(j.lost)
-	if seq+1 < sent {
+	lLive := seq-1 >= j.lo() && !j.isExcl(seq-1)
+	rLive := seq+1 < j.sent && !j.isExcl(seq+1)
+	if lLive && j.isLost(seq-1) {
+		j.bothLost-- // the (seq−1, seq) pair was lost-lost
+	}
+	if rLive {
 		// Position seq no longer counts as a lost-with-successor.
 		j.prevLost--
-		if j.lost[seq+1] {
+		if j.isLost(seq + 1) {
 			j.bothLost--
 		}
 	}
-	if seq >= 1 && j.lost[seq-1] {
-		j.bothLost--
-	}
-	left := seq >= 1 && j.lost[seq-1]
-	right := seq+1 < sent && j.lost[seq+1]
+	left := lLive && j.isLost(seq-1)
+	right := rLive && j.isLost(seq+1)
 	switch {
 	case left && right:
 		j.runs++ // the run containing seq splits in two
@@ -138,10 +233,63 @@ func (j *lossJob) received(seq int) {
 	}
 }
 
-// stats renders the counters with exactly loss.Analyze's expressions,
-// so equal integer counters give bit-equal floats.
+// gap excludes the outage window [first, first+count) from the loss
+// population, with the retraction semantics of loss.AnalyzeExcluding:
+// excluded probes leave N and Lost, break the loss pairs on both
+// sides, and terminate runs without extending them.
+func (j *lossJob) gap(first, count int) {
+	if first < 0 || count <= 0 {
+		return
+	}
+	j.probeSent(first + count - 1) // materialize the horizon
+	for s := first; s < first+count; s++ {
+		j.exclude(s)
+	}
+}
+
+func (j *lossJob) exclude(s int) {
+	if s < j.lo() || j.isExcl(s) {
+		return
+	}
+	le := j.isLost(s)
+	j.excl[j.idx(s)] = true
+	j.exclCount++
+	j.n--
+	if le {
+		j.lostCount--
+	}
+	lLive := s-1 >= j.lo() && !j.isExcl(s-1)
+	rLive := s+1 < j.sent && !j.isExcl(s+1)
+	if lLive && j.isLost(s-1) {
+		// The (s−1, s) pair is gone.
+		j.prevLost--
+		if le {
+			j.bothLost--
+		}
+	}
+	if rLive && le {
+		// The (s, s+1) pair is gone.
+		j.prevLost--
+		if j.isLost(s + 1) {
+			j.bothLost--
+		}
+	}
+	if le {
+		left := lLive && j.isLost(s-1)
+		right := rLive && j.isLost(s+1)
+		switch {
+		case left && right:
+			j.runs++ // the run containing s splits in two
+		case !left && !right:
+			j.runs-- // a singleton run disappears
+		}
+	}
+}
+
+// stats renders the counters with exactly loss.AnalyzeExcluding's
+// expressions, so equal integer counters give bit-equal floats.
 func (j *lossJob) stats() loss.Stats {
-	s := loss.Stats{N: len(j.lost), Lost: j.lostCount, CLP: math.NaN(), PLG: math.NaN()}
+	s := loss.Stats{N: j.n, Lost: j.lostCount, CLP: math.NaN(), PLG: math.NaN()}
 	if s.N > 0 {
 		s.ULP = float64(s.Lost) / float64(s.N)
 	}
@@ -190,14 +338,17 @@ func (a *LossAnalyzer) Stats(job string) (loss.Stats, bool) {
 
 // LossSnapshot is the JSON form of one job's running loss statistics.
 type LossSnapshot struct {
-	Job     string   `json:"job"`
-	Probes  int      `json:"probes"`
-	Lost    int      `json:"lost"`
-	ULP     float64  `json:"ulp"`
-	CLP     *float64 `json:"clp,omitempty"`
-	PLG     *float64 `json:"plg,omitempty"`
-	Runs    int      `json:"loss_runs"`
-	MeanRun *float64 `json:"mean_run,omitempty"`
+	Job    string `json:"job"`
+	Probes int    `json:"probes"`
+	Lost   int    `json:"lost"`
+	// Excluded counts probes inside recorded outage gaps, which the
+	// statistics above do not cover (they never reached the network).
+	Excluded int      `json:"excluded,omitempty"`
+	ULP      float64  `json:"ulp"`
+	CLP      *float64 `json:"clp,omitempty"`
+	PLG      *float64 `json:"plg,omitempty"`
+	Runs     int      `json:"loss_runs"`
+	MeanRun  *float64 `json:"mean_run,omitempty"`
 }
 
 // Snapshot implements Analyzer: per-job snapshots sorted by job name.
@@ -208,13 +359,14 @@ func (a *LossAnalyzer) Snapshot() any {
 	for _, j := range a.jobs {
 		s := j.stats()
 		snap := LossSnapshot{
-			Job:    j.name,
-			Probes: s.N,
-			Lost:   s.Lost,
-			ULP:    s.ULP,
-			CLP:    finite(s.CLP),
-			PLG:    finite(s.PLG),
-			Runs:   j.runs,
+			Job:      j.name,
+			Probes:   s.N,
+			Lost:     s.Lost,
+			Excluded: j.exclCount,
+			ULP:      s.ULP,
+			CLP:      finite(s.CLP),
+			PLG:      finite(s.PLG),
+			Runs:     j.runs,
 		}
 		if j.runs > 0 {
 			snap.MeanRun = finite(s.MeanRun)

@@ -29,13 +29,18 @@ type PhaseAnalyzer struct {
 	mu        sync.Mutex
 	reg       *obs.Registry
 	minPoints int
+	window    int
 	jobs      map[string]*phaseJob
 }
 
 type phaseJob struct {
-	name     string
-	pairs    pairTracker
+	name  string
+	pairs pairTracker
+	// diffs holds the collected phase diffs; with a window it is a ring
+	// of the most recent window diffs, overwritten at diffHead.
 	diffs    []float64
+	diffHead int
+	window   int
 	numPairs int
 	minRTTNs int64
 	gotMin   bool
@@ -50,9 +55,13 @@ type phaseJob struct {
 // NewPhaseAnalyzer returns a PhaseAnalyzer publishing a live
 // online.mu_bps{job=} gauge to reg when reg is non-nil. minPoints is
 // the compression-line point floor passed through to the fit (0 means
-// the batch default of 10).
-func NewPhaseAnalyzer(reg *obs.Registry, minPoints int) *PhaseAnalyzer {
-	return &PhaseAnalyzer{reg: reg, minPoints: minPoints, jobs: make(map[string]*phaseJob)}
+// the batch default of 10). With WithWindow(n) the fit runs over the
+// most recent n diffs only; the fixed point D stays the all-time
+// minimum RTT (a monotone scalar floor, already O(1)).
+func NewPhaseAnalyzer(reg *obs.Registry, minPoints int, opts ...Option) *PhaseAnalyzer {
+	o := applyOptions(opts)
+	return &PhaseAnalyzer{reg: reg, minPoints: minPoints, window: o.window,
+		jobs: make(map[string]*phaseJob)}
 }
 
 // Name implements Analyzer.
@@ -61,7 +70,7 @@ func (a *PhaseAnalyzer) Name() string { return "phase" }
 func (a *PhaseAnalyzer) job(key string) *phaseJob {
 	j := a.jobs[key]
 	if j == nil {
-		j = &phaseJob{name: key}
+		j = &phaseJob{name: key, window: a.window, pairs: pairTracker{window: a.window}}
 		if a.reg != nil {
 			j.gMu = a.reg.FloatGauge(obs.Label("online.mu_bps", "job", key))
 		}
@@ -92,8 +101,7 @@ func (a *PhaseAnalyzer) HandleEvent(ev otrace.Event) {
 		}
 		rttMs := float64(ev.RTTNs) / float64(time.Millisecond)
 		j.pairs.observe(ev.Seq, rttMs, func(diff float64) {
-			j.diffs = append(j.diffs, diff)
-			j.numPairs++
+			j.addDiff(diff)
 		})
 		if j.numPairs-j.pairsAtFit >= muRefreshPairs {
 			j.refreshGauge(a.minPoints)
@@ -103,14 +111,29 @@ func (a *PhaseAnalyzer) HandleEvent(ev otrace.Event) {
 	}
 }
 
-// estimate runs the batch fit over the diffs collected so far. Caller
-// holds a.mu.
+// addDiff stores one phase diff, evicting the oldest when windowed.
+func (j *phaseJob) addDiff(d float64) {
+	if j.window > 0 && len(j.diffs) == j.window {
+		j.diffs[j.diffHead] = d
+		j.diffHead = (j.diffHead + 1) % j.window
+	} else {
+		j.diffs = append(j.diffs, d)
+	}
+	j.numPairs++
+}
+
+// estimate runs the batch fit over the diffs collected so far (the
+// retained window of them, when windowed). Caller holds a.mu.
 func (j *phaseJob) estimate(minPoints int) (phase.Estimate, error) {
 	fixedMs := 0.0
 	if j.gotMin {
 		fixedMs = float64(j.minRTTNs) / float64(time.Millisecond)
 	}
-	return phase.EstimateFromDiffs(j.diffs, j.numPairs, j.deltaMs, j.wireBits,
+	denom := j.numPairs
+	if j.window > 0 && len(j.diffs) < denom {
+		denom = len(j.diffs) // CompressionFraction is over the window
+	}
+	return phase.EstimateFromDiffs(j.diffs, denom, j.deltaMs, j.wireBits,
 		j.resMs, fixedMs, minPoints)
 }
 

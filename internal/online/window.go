@@ -1,0 +1,46 @@
+package online
+
+// Option configures an analyzer's per-job state retention. Options are
+// shared across the analyzer constructors (and DefaultAnalyzers) so a
+// caller can apply one policy to the whole set.
+type Option func(*options)
+
+type options struct {
+	window int
+}
+
+// WithWindow bounds each analyzer's per-job state to the most recent n
+// probes using ring buffers, so memory stays O(n) per job no matter
+// how long the stream runs — the mode for endless netdyn-probe -linger
+// sessions, where the default unbounded state would grow forever.
+//
+// Under a window the loss statistics cover exactly the trailing n
+// probes (they equal the batch analysis of that suffix), the phase fit
+// runs over the most recent n rtt diffs, and the workload analyzer's
+// pair matching forgets probes older than n. Two accumulators remain
+// all-time by design: the phase fixed point D (the minimum RTT is a
+// monotone floor, a scalar) and the workload histogram and Lindley
+// mean (fixed-size by construction). n <= 0 keeps the default
+// unbounded behavior.
+func WithWindow(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.window = n
+		}
+	}
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// pairSlot is one ring entry of a windowed pairTracker: the sequence
+// number it currently holds (-1 when empty) and that probe's RTT.
+type pairSlot struct {
+	seq int
+	rtt float64
+}

@@ -1,0 +1,249 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"netprobe/internal/loss"
+	"netprobe/internal/otrace"
+	"netprobe/internal/phase"
+)
+
+func sentEv(seq int) otrace.Event { return otrace.Event{Ev: otrace.KindProbeSent, Seq: seq} }
+func rttEv(seq int, rtt time.Duration) otrace.Event {
+	return otrace.Event{Ev: otrace.KindRTT, Seq: seq, RTTNs: rtt.Nanoseconds()}
+}
+func gapEv(first, count int) otrace.Event {
+	return otrace.Event{Ev: otrace.KindGap, Seq: first, Probes: count}
+}
+
+func eqBitsW(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func checkLossMatch(t *testing.T, name string, got, want loss.Stats) {
+	t.Helper()
+	if got.N != want.N || got.Lost != want.Lost {
+		t.Errorf("%s: N/Lost %d/%d, want %d/%d", name, got.N, got.Lost, want.N, want.Lost)
+	}
+	if !eqBitsW(got.ULP, want.ULP) || !eqBitsW(got.CLP, want.CLP) || !eqBitsW(got.PLG, want.PLG) {
+		t.Errorf("%s: ulp/clp/plg %v/%v/%v, want %v/%v/%v",
+			name, got.ULP, got.CLP, got.PLG, want.ULP, want.CLP, want.PLG)
+	}
+	if !eqBitsW(got.MeanRun, want.MeanRun) {
+		t.Errorf("%s: mean run %v, want %v", name, got.MeanRun, want.MeanRun)
+	}
+}
+
+// TestLossGapRetraction checks the hand-built case: a gap event must
+// retract exactly what loss.AnalyzeExcluding would never have counted,
+// including pairs and runs straddling the excluded range.
+func TestLossGapRetraction(t *testing.T) {
+	// Probes 0..9; 2,3,4,5,6 lost; gap covers 3..6 (so losses at 2 and
+	// nothing else survive). Receptions arrive after the gap too, to
+	// exercise flips next to excluded positions.
+	a := NewLossAnalyzer(nil)
+	for seq := 0; seq < 10; seq++ {
+		a.HandleEvent(sentEv(seq))
+	}
+	for _, seq := range []int{0, 1, 7} {
+		a.HandleEvent(rttEv(seq, 30*time.Millisecond))
+	}
+	a.HandleEvent(gapEv(3, 4))
+	for _, seq := range []int{8, 9} {
+		a.HandleEvent(rttEv(seq, 30*time.Millisecond))
+	}
+	// Defensive: an rtt for an excluded probe must change nothing.
+	a.HandleEvent(rttEv(4, 30*time.Millisecond))
+
+	lost := []bool{false, false, true, true, true, true, true, false, false, false}
+	excl := []bool{false, false, false, true, true, true, true, false, false, false}
+	want := loss.AnalyzeExcluding(lost, excl)
+	got, ok := a.Stats("default")
+	if !ok {
+		t.Fatal("no stats")
+	}
+	checkLossMatch(t, "gap", got, want)
+	if want.N != 6 || want.Lost != 1 {
+		t.Fatalf("reference sanity: N=%d Lost=%d, want 6/1", want.N, want.Lost)
+	}
+}
+
+// lossStream replays a seeded random stream — losses, small rtt
+// reordering, outage gaps — into an analyzer and returns the reference
+// indicator and exclusion arrays.
+func lossStream(a *LossAnalyzer, total int, gaps [][2]int) (lost, excl []bool) {
+	rng := rand.New(rand.NewSource(7))
+	lost = make([]bool, total)
+	excl = make([]bool, total)
+	for _, g := range gaps {
+		for s := g[0]; s < g[0]+g[1]; s++ {
+			excl[s] = true
+		}
+	}
+	type pending struct {
+		seq int
+		at  int
+	}
+	var queue []pending
+	gapAt := func(seq int) (int, bool) {
+		for _, g := range gaps {
+			if seq == g[0]+g[1]-1 {
+				return g[0], true
+			}
+		}
+		return 0, false
+	}
+	for seq := 0; seq < total; seq++ {
+		a.HandleEvent(sentEv(seq))
+		switch {
+		case excl[seq]:
+			lost[seq] = true // never reached the network
+		case rng.Float64() < 0.3:
+			lost[seq] = true
+		default:
+			queue = append(queue, pending{seq: seq, at: seq + rng.Intn(4)})
+		}
+		// A supervised run emits the gap once the outage closes.
+		if first, ok := gapAt(seq); ok {
+			a.HandleEvent(gapEv(first, seq-first+1))
+		}
+		rest := queue[:0]
+		for _, p := range queue {
+			if p.at <= seq {
+				a.HandleEvent(rttEv(p.seq, 25*time.Millisecond))
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		queue = rest
+	}
+	for _, p := range queue {
+		a.HandleEvent(rttEv(p.seq, 25*time.Millisecond))
+	}
+	return lost, excl
+}
+
+// TestLossUnwindowedMatchesBatch: the full-state analyzer over a
+// random gap-bearing stream equals loss.AnalyzeExcluding bit for bit.
+func TestLossUnwindowedMatchesBatch(t *testing.T) {
+	a := NewLossAnalyzer(nil)
+	lost, excl := lossStream(a, 500, [][2]int{{100, 10}, {460, 10}})
+	want := loss.AnalyzeExcluding(lost, excl)
+	got, ok := a.Stats("default")
+	if !ok {
+		t.Fatal("no stats")
+	}
+	checkLossMatch(t, "unwindowed", got, want)
+}
+
+// TestLossWindowedMatchesSuffix: with WithWindow(n) the analyzer's
+// statistics equal the batch analysis of the trailing n-probe suffix —
+// the ring buffers forget evicted probes and the pairs that crossed
+// the window boundary, including a gap that slid out of the window.
+func TestLossWindowedMatchesSuffix(t *testing.T) {
+	const total, window = 500, 64
+	a := NewLossAnalyzer(nil, WithWindow(window))
+	lost, excl := lossStream(a, total, [][2]int{{100, 10}, {460, 10}})
+	want := loss.AnalyzeExcluding(lost[total-window:], excl[total-window:])
+	got, ok := a.Stats("default")
+	if !ok {
+		t.Fatal("no stats")
+	}
+	checkLossMatch(t, "windowed", got, want)
+	if want.Lost == 0 || want.N == 0 {
+		t.Fatalf("degenerate suffix: %+v", want)
+	}
+}
+
+// TestPairTrackerWindowed: ring slots pair neighbors, reject
+// duplicates and stale sequences, and forget probes beyond the window.
+func TestPairTrackerWindowed(t *testing.T) {
+	p := pairTracker{window: 4}
+	var diffs []float64
+	emit := func(d float64) { diffs = append(diffs, d) }
+	if !p.observe(0, 10, emit) || !p.observe(1, 12, emit) {
+		t.Fatal("fresh observations rejected")
+	}
+	if p.observe(1, 99, emit) {
+		t.Fatal("duplicate accepted")
+	}
+	// Jump far ahead: seq 0 and 1 fall out of the ring.
+	if !p.observe(8, 20, emit) {
+		t.Fatal("jump rejected")
+	}
+	if p.observe(4, 15, emit) {
+		t.Fatal("stale seq accepted after its slot was reclaimed")
+	}
+	// Out-of-order completion inside the window still pairs both sides.
+	if !p.observe(7, 18, emit) || !p.observe(9, 23, emit) {
+		t.Fatal("window-resident observations rejected")
+	}
+	want := []float64{12 - 10, 20 - 18, 23 - 20}
+	if len(diffs) != len(want) {
+		t.Fatalf("diffs %v, want %v", diffs, want)
+	}
+	for i := range want {
+		if diffs[i] != want[i] {
+			t.Fatalf("diffs %v, want %v", diffs, want)
+		}
+	}
+}
+
+// TestPhaseWindowedForgetsOldDiffs: a compression line visible early
+// in the stream must age out of a windowed fit once newer diffs fill
+// the ring, while the unbounded analyzer still sees it.
+func TestPhaseWindowedForgetsOldDiffs(t *testing.T) {
+	run := otrace.Event{Ev: otrace.KindRunStart,
+		DeltaNs: (10 * time.Millisecond).Nanoseconds(), WireBytes: 60}
+	feed := func(a *PhaseAnalyzer) {
+		a.HandleEvent(run)
+		seq := 0
+		// 60 alternating rtts: diffs ±9 ms — thirty −9 ms compression
+		// points, well past the fit's 10-point floor.
+		for ; seq < 60; seq++ {
+			rtt := 20 * time.Millisecond
+			if seq%2 == 1 {
+				rtt = 11 * time.Millisecond
+			}
+			a.HandleEvent(rttEv(seq, rtt))
+		}
+		// 200 flat rtts: zero diffs displace the ring contents.
+		for ; seq < 260; seq++ {
+			a.HandleEvent(rttEv(seq, 15*time.Millisecond))
+		}
+	}
+	full := NewPhaseAnalyzer(nil, 0)
+	feed(full)
+	if _, err := full.Estimate("default"); err != nil {
+		t.Fatalf("unbounded fit failed: %v", err)
+	}
+	windowed := NewPhaseAnalyzer(nil, 0, WithWindow(100))
+	feed(windowed)
+	if _, err := windowed.Estimate("default"); err == nil {
+		t.Fatal("windowed fit still sees compression points that left the window")
+	} else if err != phase.ErrNoCompression {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestDefaultAnalyzersWindowed: the option fans out to the whole set.
+func TestDefaultAnalyzersWindowed(t *testing.T) {
+	set := DefaultAnalyzers(nil, WithWindow(16))
+	if len(set) != 3 {
+		t.Fatalf("analyzer set size %d", len(set))
+	}
+	la := set[0].(*LossAnalyzer)
+	for seq := 0; seq < 100; seq++ {
+		la.HandleEvent(sentEv(seq))
+	}
+	s, ok := la.Stats("default")
+	if !ok || s.N != 16 {
+		t.Fatalf("windowed loss N = %d (ok=%v), want 16", s.N, ok)
+	}
+	if got := len(la.jobs["default"].lost); got != 16 {
+		t.Fatalf("ring size %d, want 16", got)
+	}
+}

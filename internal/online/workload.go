@@ -28,10 +28,11 @@ const DefaultWorkloadBinMs = 1.0
 // the batch code path — so end-of-stream results match post-hoc
 // analysis exactly.
 type WorkloadAnalyzer struct {
-	mu    sync.Mutex
-	reg   *obs.Registry
-	binMs float64
-	jobs  map[string]*workloadJob
+	mu     sync.Mutex
+	reg    *obs.Registry
+	binMs  float64
+	window int
+	jobs   map[string]*workloadJob
 }
 
 type workloadJob struct {
@@ -52,11 +53,16 @@ type workloadJob struct {
 // NewWorkloadAnalyzer returns a WorkloadAnalyzer histogramming at
 // binMs (<= 0 means DefaultWorkloadBinMs) and publishing a live
 // online.workload_mean_bits{job=} gauge to reg when reg is non-nil.
-func NewWorkloadAnalyzer(reg *obs.Registry, binMs float64) *WorkloadAnalyzer {
+// With WithWindow(n) the pair matching forgets probes older than the
+// last n; the histogram and the Lindley mean stay cumulative (both are
+// fixed-size accumulators).
+func NewWorkloadAnalyzer(reg *obs.Registry, binMs float64, opts ...Option) *WorkloadAnalyzer {
 	if binMs <= 0 {
 		binMs = DefaultWorkloadBinMs
 	}
-	return &WorkloadAnalyzer{reg: reg, binMs: binMs, jobs: make(map[string]*workloadJob)}
+	o := applyOptions(opts)
+	return &WorkloadAnalyzer{reg: reg, binMs: binMs, window: o.window,
+		jobs: make(map[string]*workloadJob)}
 }
 
 // Name implements Analyzer.
@@ -65,7 +71,7 @@ func (a *WorkloadAnalyzer) Name() string { return "workload" }
 func (a *WorkloadAnalyzer) job(key string) *workloadJob {
 	j := a.jobs[key]
 	if j == nil {
-		j = &workloadJob{name: key}
+		j = &workloadJob{name: key, pairs: pairTracker{window: a.window}}
 		if a.reg != nil {
 			j.gMean = a.reg.FloatGauge(obs.Label("online.workload_mean_bits", "job", key))
 		}

@@ -24,6 +24,7 @@ import (
 	"bufio"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -58,6 +59,16 @@ const (
 	// file; finish carries the probe/loss totals.
 	KindJobStart  Kind = "job_start"
 	KindJobFinish Kind = "job_finish"
+	// KindFault marks an injected impairment (internal/faultinject):
+	// Fault names the fault kind (drop, duplicate, reorder, delay,
+	// corrupt, send_error, blackhole); delay and reorder faults carry
+	// the added latency in DurNs.
+	KindFault Kind = "fault"
+	// KindGap marks an outage window recorded by the supervised prober
+	// (or a sim blackhole): the Probes probes starting at Seq are
+	// excluded from loss statistics rather than counted as paper-style
+	// random loss. T is the window start and DurNs its length.
+	KindGap Kind = "gap"
 )
 
 // Event is one trace record. T is nanoseconds from the start of the
@@ -79,6 +90,10 @@ type Event struct {
 	SentNs int64  `json:"sent_ns,omitempty"`
 	RecvNs int64  `json:"recv_ns,omitempty"`
 	RTTNs  int64  `json:"rtt_ns,omitempty"`
+
+	// Fault/gap fields (KindFault, KindGap).
+	Fault string `json:"fault,omitempty"`
+	DurNs int64  `json:"dur_ns,omitempty"`
 
 	// Run metadata (KindRunStart), mirroring the CSV header of
 	// package trace.
@@ -364,16 +379,25 @@ func (m multiSink) Emit(ev Event) {
 	}
 }
 
+// ErrTruncated reports that a trace stream ended mid-record: a gzip
+// segment cut off by a crash, or a JSONL line half-written when the
+// process died. Read delivers every decodable event before returning
+// it, so callers can keep the prefix (check with errors.Is) instead of
+// discarding the whole trace.
+var ErrTruncated = errors.New("otrace: truncated trace")
+
 // Read decodes a JSONL event stream, calling fn for every event in
 // order. Gzip-compressed streams (rotated segments) are detected by
-// magic number and decompressed transparently. It stops at the first
-// malformed line or fn error.
+// magic number and decompressed transparently. A malformed line or a
+// corrupt/truncated gzip stream stops the read after the last good
+// event and returns an error wrapping ErrTruncated; an fn error stops
+// it immediately and is returned as-is (wrapped with the line number).
 func Read(r io.Reader, fn func(Event) error) error {
 	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
-			return fmt.Errorf("otrace: gzip: %w", err)
+			return fmt.Errorf("%w: gzip: %v", ErrTruncated, err)
 		}
 		defer zr.Close() //nolint:errcheck // read side
 		return readLines(zr, fn)
@@ -418,14 +442,19 @@ func readLines(r io.Reader, fn func(Event) error) error {
 		}
 		var ev Event
 		if err := json.Unmarshal(text, &ev); err != nil {
-			return fmt.Errorf("otrace: line %d: %w", line, err)
+			// A half-written record from a crashed writer; everything
+			// before it has already been delivered.
+			return fmt.Errorf("%w: line %d: %v", ErrTruncated, line, err)
 		}
 		if err := fn(ev); err != nil {
 			return fmt.Errorf("otrace: line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("otrace: read: %w", err)
+		// Scanner errors here are stream-level: a truncated or corrupt
+		// gzip segment (unexpected EOF, bad checksum) or an oversized
+		// line from garbage data.
+		return fmt.Errorf("%w: read: %v", ErrTruncated, err)
 	}
 	return nil
 }

@@ -1,0 +1,148 @@
+package otrace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sampleTrace builds a small but realistic event stream and returns it
+// encoded both as plain JSONL and as one gzip segment, plus the events.
+func sampleTrace(t testing.TB) (events []Event, plain, gz []byte) {
+	t.Helper()
+	events = []Event{
+		{Ev: KindRunStart, Seq: -1, Name: "trunc δ=50ms", DeltaNs: 50e6, Count: 3},
+		{T: 0, Ev: KindProbeSent, Seq: 0, Flow: "probe"},
+		{T: 1e6, Ev: KindFault, Seq: 0, Fault: "delay", DurNs: 5e6},
+		{T: 140e6, Ev: KindRTT, Seq: 0, SentNs: 0, RecvNs: 140e6, RTTNs: 140e6},
+		{T: 50e6, Ev: KindProbeSent, Seq: 1, Flow: "probe"},
+		{T: 50e6, Ev: KindFault, Seq: 1, Fault: "drop"},
+		{T: 100e6, Ev: KindGap, Seq: 2, Probes: 1, DurNs: 50e6},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	plain = append([]byte(nil), buf.Bytes()...)
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return events, plain, zbuf.Bytes()
+}
+
+// readAll collects the events Read delivers and the terminal error.
+func readAll(data []byte) ([]Event, error) {
+	var got []Event
+	err := Read(bytes.NewReader(data), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	})
+	return got, err
+}
+
+func TestReadTruncatedGzip(t *testing.T) {
+	events, _, gz := sampleTrace(t)
+	// Cutting the gzip segment anywhere mid-stream must still yield a
+	// prefix of the events plus ErrTruncated — never a total failure.
+	sawPartial := false
+	for cut := 3; cut < len(gz); cut++ {
+		got, err := readAll(gz[:cut])
+		if err == nil {
+			t.Fatalf("cut=%d: want ErrTruncated, got nil (events=%d)", cut, len(got))
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: error %v does not wrap ErrTruncated", cut, err)
+		}
+		if len(got) > len(events) {
+			t.Fatalf("cut=%d: %d events from a %d-event trace", cut, len(got), len(events))
+		}
+		for i, ev := range got {
+			if ev != events[i] {
+				t.Fatalf("cut=%d: event %d = %+v, want %+v", cut, i, ev, events[i])
+			}
+		}
+		if len(got) > 0 {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no truncation point recovered any events; lenient read is not working")
+	}
+}
+
+func TestReadTruncatedPlain(t *testing.T) {
+	events, plain, _ := sampleTrace(t)
+	// A plain JSONL file cut mid-line returns the full lines before the
+	// cut plus ErrTruncated; cut at a line boundary it reads cleanly.
+	for cut := 1; cut < len(plain); cut++ {
+		got, err := readAll(plain[:cut])
+		atBoundary := plain[cut-1] == '\n'
+		if atBoundary {
+			if err != nil {
+				t.Fatalf("cut=%d (boundary): unexpected error %v", cut, err)
+			}
+		} else if err != nil && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: error %v does not wrap ErrTruncated", cut, err)
+		}
+		for i, ev := range got {
+			if ev != events[i] {
+				t.Fatalf("cut=%d: event %d = %+v, want %+v", cut, i, ev, events[i])
+			}
+		}
+	}
+}
+
+func TestReadFileTruncatedKeepsSentinel(t *testing.T) {
+	// ReadFile wraps errors with the path; errors.Is must still see
+	// through to ErrTruncated.
+	_, _, gz := sampleTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.jsonl.gz")
+	if err := os.WriteFile(path, gz[:len(gz)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadFile(path, func(Event) error { return nil })
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadFile error %v does not wrap ErrTruncated", err)
+	}
+}
+
+func FuzzReadCorrupted(f *testing.F) {
+	_, plain, gz := sampleTrace(f)
+	f.Add(plain, 0, byte(0))
+	f.Add(gz, 0, byte(0))
+	f.Add(gz, len(gz)/2, byte(0xff))
+	f.Add(plain, len(plain)/3, byte('{'))
+	f.Add([]byte("{\"t\":1"), 0, byte(0))
+	f.Add([]byte{0x1f, 0x8b}, 0, byte(0))
+	events, _, _ := sampleTrace(f)
+	f.Fuzz(func(t *testing.T, data []byte, flip int, b byte) {
+		if flip >= 0 && flip < len(data) {
+			data = append([]byte(nil), data...)
+			data[flip] ^= b
+		}
+		// Whatever the corruption, Read must not panic, must deliver a
+		// prefix of valid events when the stream starts out well-formed,
+		// and must report anything else as a wrapped ErrTruncated.
+		got, err := readAll(data)
+		if err != nil && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("error %v does not wrap ErrTruncated", err)
+		}
+		if bytes.Equal(data, plain) || bytes.Equal(data, gz) {
+			if err != nil || len(got) != len(events) {
+				t.Fatalf("uncorrupted stream: got %d events, err=%v", len(got), err)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -59,7 +60,11 @@ type ManifestJob struct {
 	// the pool ran with Traces plus TraceMaxBytes; TraceFile then
 	// names the first segment.
 	TraceFiles []string `json:"trace_files,omitempty"`
-	Error      string   `json:"error,omitempty"`
+	// Attempts records how many attempts the job needed when it was
+	// redispatched (Job.Retries); omitted for ordinary first-attempt
+	// outcomes so retry-free manifests are unchanged.
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // ManifestSummary mirrors Summary in JSON-friendly units.
@@ -114,6 +119,9 @@ func NewManifest(tool string, rootSeed int64, results []Result, sum Summary) *Ma
 			TraceFile:  r.TraceFile,
 			TraceFiles: r.TraceFiles,
 		}
+		if r.Attempts > 1 {
+			j.Attempts = r.Attempts
+		}
 		if r.Err != nil {
 			j.Error = r.Err.Error()
 		}
@@ -123,14 +131,32 @@ func NewManifest(tool string, rootSeed int64, results []Result, sum Summary) *Ma
 }
 
 // Write marshals the manifest (indented, trailing newline) to path.
+// The write is atomic — a temp file in the same directory renamed over
+// path — so a crash or signal mid-write can never leave a truncated
+// manifest behind: readers see either the old document or the new one.
 func (m *Manifest) Write(path string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("runner: marshal manifest: %w", err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("runner: write manifest: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if err := tmp.Chmod(0o644); werr == nil {
+		werr = err
+	}
+	if err := tmp.Close(); werr == nil {
+		werr = err
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: write manifest: %w", werr)
 	}
 	return nil
 }

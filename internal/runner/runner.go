@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netprobe/internal/core"
@@ -34,6 +35,19 @@ type Job struct {
 	// Custom collectors and tests use it; the config it receives
 	// already carries the derived seed.
 	RunFunc func(ctx context.Context, cfg core.SimConfig) (*core.Trace, error)
+	// Timeout bounds one attempt's wall-clock time. When it expires the
+	// attempt's context is cancelled and the attempt fails with
+	// ErrJobTimeout (a plain failure, retryable — never conflated with
+	// a sweep-level cancellation). Executors that ignore their context
+	// simply run to completion; the deadline can only interrupt
+	// cooperative RunFuncs. 0 means no limit.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed, panicked, or
+	// timed-out job gets. Every attempt runs with the same derived
+	// seed and rewrites the job's trace file from scratch, so a
+	// successful retry is byte-identical to a first-attempt success.
+	// Cancellation is never retried. 0 means a single attempt.
+	Retries int
 }
 
 // Result is the structured outcome of one job, reported in submission
@@ -61,10 +75,21 @@ type Result struct {
 	// with Traces plus TraceMaxBytes (TraceFile is then the first
 	// segment); nil for single-file traces.
 	TraceFiles []string
+	// Attempts is how many times the job ran (1 for a first-attempt
+	// success; up to Job.Retries+1); 0 for jobs cancelled before
+	// dispatch.
+	Attempts int
 	// Err is the job's failure: the simulation error, a recovered
-	// panic, or the context error for jobs cancelled before running.
+	// panic, ErrJobTimeout, or the context error for jobs cancelled
+	// before running. After retries, Err is the last attempt's error.
 	Err error
 }
+
+// ErrJobTimeout marks an attempt that outran its Job.Timeout. It is a
+// deliberate sentinel distinct from context.DeadlineExceeded so that a
+// per-job timeout reads as a failure (and is retried), not as a sweep
+// cancellation.
+var ErrJobTimeout = errors.New("runner: job timed out")
 
 // EventKind distinguishes the two Progress notifications.
 type EventKind string
@@ -380,7 +405,41 @@ func outcome(ctx context.Context, r Result) outcomeKind {
 	}
 }
 
-func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options) (res Result) {
+// runOne drives a job through its retry budget: up to Job.Retries+1
+// attempts, each with the same derived seed and a freshly-truncated
+// trace file, so the surviving artifacts are indistinguishable from a
+// first-attempt success. Cancellation stops the ladder immediately.
+func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options) Result {
+	attempts := job.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var res Result
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			// A fresh attempt rewrites the trace from scratch: drop every
+			// segment the failed attempt left behind so a shorter rerun
+			// cannot leave stale rotated files.
+			for _, p := range res.TraceFiles {
+				os.Remove(p)
+			}
+			if res.TraceFile != "" {
+				os.Remove(res.TraceFile)
+			}
+			if o.metrics != nil {
+				o.metrics.Counter("runner.job.retries").Inc()
+			}
+		}
+		res = runAttempt(ctx, rootSeed, index, job, o)
+		res.Attempts = a
+		if res.Err == nil || outcome(ctx, res) == outcomeCancelled {
+			break
+		}
+	}
+	return res
+}
+
+func runAttempt(ctx context.Context, rootSeed int64, index int, job Job, o *options) (res Result) {
 	res = Result{
 		Index: index,
 		Label: job.Label,
@@ -389,6 +448,22 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options)
 	if err := context.Cause(ctx); err != nil {
 		res.Err = err
 		return res
+	}
+	// The attempt deadline cancels a context private to this attempt
+	// and replaces whatever error the executor surfaces with the
+	// ErrJobTimeout sentinel — the run may well report its context's
+	// Canceled error, which must not read as a sweep cancellation.
+	actx := ctx
+	var timedOut atomic.Bool
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		watchdog := time.AfterFunc(job.Timeout, func() {
+			timedOut.Store(true)
+			cancel()
+		})
+		defer watchdog.Stop()
 	}
 	start := time.Now()
 	var tw *otrace.Writer
@@ -470,9 +545,14 @@ func runOne(ctx context.Context, rootSeed int64, index int, job Job, o *options)
 			return core.RunSim(cfg)
 		}
 	}
-	tr, err := run(ctx, cfg)
+	tr, err := run(actx, cfg)
 	if err != nil {
-		res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Label, err)
+		if timedOut.Load() {
+			res.Err = fmt.Errorf("runner: job %d (%s): %w after %v", index, job.Label,
+				ErrJobTimeout, job.Timeout)
+		} else {
+			res.Err = fmt.Errorf("runner: job %d (%s): %w", index, job.Label, err)
+		}
 		return res
 	}
 	res.Trace = tr
