@@ -1,12 +1,13 @@
 GO ?= go
 
 # perf-gate inputs: BASELINE is the committed reference artifact (a
-# run manifest or a BENCH_*.json snapshot); CURRENT defaults to the
-# manifest the experiments command writes.
-BASELINE ?=
+# run manifest or a BENCH_*.json snapshot, default: the committed
+# benchmark baseline); CURRENT is the artifact to gate, e.g. the
+# manifest the experiments command writes or a fresh bench snapshot.
+BASELINE ?= BENCH_2026-08-08.json
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet vet-tags bench bench-snapshot chaos check perf-gate online-demo
+.PHONY: build test race vet vet-tags bench bench-snapshot chaos check perf-gate online-demo sources-demo
 
 build:
 	$(GO) build ./...
@@ -26,7 +27,8 @@ vet:
 
 # The tag matrix: the pure-Go network/user-lookup builds are how the
 # netdyn commands are cross-compiled for probe boxes, so vet must stay
-# clean under them too.
+# clean under them too. ./... covers every package, including the
+# source layer (internal/source, cmd/netdyn-relay).
 vet-tags: vet
 	$(GO) vet -tags netgo ./...
 	$(GO) vet -tags netgo,osusergo ./...
@@ -48,7 +50,7 @@ bench-snapshot:
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject/...
 
-check: build vet-tags race chaos
+check: build vet-tags race chaos sources-demo
 
 # online-demo smoke-tests the online analysis engine end to end: a
 # short seeded sweep with -online, the /online handler curled while
@@ -65,6 +67,30 @@ online-demo:
 	echo "--- online gauges on /metrics ---"; \
 	curl -sf http://$(ONLINE_ADDR)/metrics | grep '^online_'; \
 	wait $$pid
+
+# sources-demo smoke-tests the Source layer end to end over loopback:
+# a netdyn-relay collector accepts a wire-framed event stream from a
+# seeded bolotsim sweep, and the relay's /online analysis and
+# per-source counters (source_events, source_dropped, relay_conns) are
+# curled while the stream is live. Lossless by default, so the relayed
+# numbers equal a local -online run.
+SOURCES_RELAY ?= 127.0.0.1:6070
+SOURCES_ADDR ?= 127.0.0.1:6071
+
+sources-demo:
+	@$(GO) build -o /tmp/netprobe-relay ./cmd/netdyn-relay
+	@$(GO) build -o /tmp/netprobe-bolotsim ./cmd/bolotsim
+	@/tmp/netprobe-relay -listen $(SOURCES_RELAY) -debug-addr $(SOURCES_ADDR) & \
+	pid=$$!; sleep 1; \
+	/tmp/netprobe-bolotsim -delta 20ms,50ms -duration 5s -seed 42 \
+		-relay $(SOURCES_RELAY) || { kill $$pid; exit 1; }; \
+	sleep 1; \
+	echo "--- GET /online (relayed analysis) ---"; \
+	curl -sf http://$(SOURCES_ADDR)/online || { kill $$pid; exit 1; }; \
+	echo "--- source counters on /metrics ---"; \
+	curl -sf http://$(SOURCES_ADDR)/metrics | grep -E '^(source_|relay_)' \
+		|| { kill $$pid; exit 1; }; \
+	kill -INT $$pid; wait $$pid
 
 # perf-gate diffs the current run artifact against a baseline and
 # fails on regression (wall-time ratios with a noise floor, exact loss

@@ -9,7 +9,8 @@
 //	bolotsim [-path inria|pitt] [-delta 50ms | -delta 8ms,20ms,50ms]
 //	         [-duration 10m] [-seed 42] [-noloss] [-nocross]
 //	         [-workers N] [-out trace.csv] [-trace-dir traces/]
-//	         [-trace-max-bytes N] [-online] [-linger 0s]
+//	         [-trace-max-bytes N] [-online] [-relay host:port]
+//	         [-linger 0s]
 //	         [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
 // -trace-dir additionally records every probe's lifecycle (sent,
@@ -26,6 +27,10 @@
 // sweep is in flight. -linger holds the process (and the debug
 // endpoints) open for the given duration after the sweep so the final
 // snapshots can be scraped.
+//
+// -relay streams the same job-tagged events to a netdyn-relay
+// collector over TCP (otrace wire framing), so a remote aggregator
+// computes the identical online analysis this process would.
 //
 // Sweep jobs report start/finish live through the structured logger,
 // and the run ends with a one-line pool summary (wall time, worker
@@ -46,6 +51,7 @@ import (
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
 	"netprobe/internal/runner"
+	"netprobe/internal/source"
 	"netprobe/internal/trace"
 )
 
@@ -67,6 +73,8 @@ func main() {
 			"rotate each job's trace into gzip segments after this many uncompressed bytes (0 = no rotation)")
 		onlineOn = flag.Bool("online", false,
 			"stream job events through the online analysis engine (serves /online on -debug-addr)")
+		relay = flag.String("relay", "",
+			"stream job events to a netdyn-relay collector at this address; empty disables")
 		linger = flag.Duration("linger", 0,
 			"keep the process (and -debug-addr endpoints) alive this long after the sweep")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
@@ -144,7 +152,23 @@ func main() {
 	if bus != nil {
 		opts = append(opts, runner.Online(bus))
 	}
+	var sender *source.Sender
+	if *relay != "" {
+		var err error
+		if sender, err = source.Dial(*relay); err != nil {
+			log.Fatal(err)
+		}
+		// The runner tags events with each job's label, so the relay's
+		// analyzers bucket them exactly like a local -online run.
+		opts = append(opts, runner.Sink(sender))
+		slog.Info("relaying events", "to", *relay)
+	}
 	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)
+	if sender != nil {
+		if err := sender.Close(); err != nil {
+			slog.Warn("relay stream incomplete", "err", err)
+		}
+	}
 	if eng != nil {
 		bus.Close()
 		eng.Wait()

@@ -21,7 +21,7 @@
 //	            [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	            [-manifest experiments-manifest.json]
 //	            [-trace-dir traces/] [-trace-max-bytes N]
-//	            [-online] [-online-window N]
+//	            [-online] [-online-window N] [-relay host:port]
 //	            [-job-timeout 0] [-retries 0]
 //
 // -trace-dir writes one probe-lifecycle event file (otrace JSONL) per
@@ -35,7 +35,9 @@
 // /online on the -debug-addr server reports each job's running loss
 // statistics, live bottleneck-μ estimate, and workload histogram, and
 // online.* gauges appear on /metrics; -online-window caps the
-// analyzers to the trailing N probes per job.
+// analyzers to the trailing N probes per job. -relay streams the same
+// job-tagged events to a netdyn-relay collector over TCP, which then
+// computes the identical analysis remotely.
 //
 // -job-timeout bounds each simulation's wall-clock time and -retries
 // redispatches failed or timed-out jobs (same derived seed, so a
@@ -73,6 +75,7 @@ import (
 	"netprobe/internal/route"
 	"netprobe/internal/runner"
 	"netprobe/internal/sim"
+	"netprobe/internal/source"
 	"netprobe/internal/tcp"
 	"netprobe/internal/tsa"
 	"netprobe/internal/workload"
@@ -93,6 +96,8 @@ var (
 		"stream job events through the online analysis engine (serves /online on -debug-addr)")
 	onlineWin = flag.Int("online-window", 0,
 		"cap the online analyzers to the trailing N probes per job (0 = all-time statistics)")
+	relay = flag.String("relay", "",
+		"stream job events to a netdyn-relay collector at this address; empty disables")
 	jobTimeout = flag.Duration("job-timeout", 0,
 		"per-job wall-clock limit; timed-out jobs fail (and are retried under -retries); 0 = no limit")
 	retries = flag.Int("retries", 0,
@@ -245,7 +250,21 @@ func runAll(ctx context.Context, dur, longDur time.Duration) (map[string]*core.T
 	if onlineBus != nil {
 		opts = append(opts, runner.Online(onlineBus))
 	}
+	var sender *source.Sender
+	if *relay != "" {
+		var err error
+		if sender, err = source.Dial(*relay); err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, runner.Sink(sender))
+		slog.Info("relaying events", "to", *relay)
+	}
 	results, summary := runner.RunAll(ctx, *seed, jobs, opts...)
+	if sender != nil {
+		if err := sender.Close(); err != nil {
+			slog.Warn("relay stream incomplete", "err", err)
+		}
+	}
 	if onlineEng != nil {
 		onlineBus.Close()
 		onlineEng.Wait()
@@ -302,6 +321,7 @@ func writeManifest(path string, results []runner.Result, summary runner.Summary)
 		"trace_max_bytes": strconv.FormatInt(*traceMax, 10),
 		"online":          strconv.FormatBool(*onlineOn),
 		"online_window":   strconv.Itoa(*onlineWin),
+		"relay":           *relay,
 		"job_timeout":     jobTimeout.String(),
 		"retries":         strconv.Itoa(*retries),
 	}

@@ -12,7 +12,7 @@
 //	netdyn-probe -target host:port [-delta 50ms] [-count 12000]
 //	             [-size 32] [-clockres 0] [-out trace.csv]
 //	             [-trace events.jsonl] [-report 10s]
-//	             [-online] [-online-window N]
+//	             [-online] [-online-window N] [-relay host:port]
 //	             [-supervise] [-faults plan.json]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //
@@ -31,6 +31,12 @@
 // statistics, so a long deployment reports current path behavior
 // instead of an all-time average. The tee is a non-blocking bounded
 // bus, so analysis can never delay probe pacing either.
+//
+// -relay streams the same events to a netdyn-relay collector over TCP
+// (otrace wire framing), tagged with the probe target, so a central
+// aggregator runs the online analysis for many probers at once. The
+// relay sink sits behind the same kind of bounded queue: a slow or
+// stalled relay drops events rather than delaying probe pacing.
 //
 // -supervise (on by default) runs the fault-tolerant session:
 // transient send errors are retried with backoff, fatal socket errors
@@ -62,6 +68,7 @@ import (
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
 	"netprobe/internal/otrace"
+	"netprobe/internal/source"
 	"netprobe/internal/trace"
 )
 
@@ -81,6 +88,8 @@ func main() {
 			"stream probe events through the online analysis engine (serves /online on -debug-addr)")
 		onlineWin = flag.Int("online-window", 0,
 			"cap the online analyzers to the trailing N probes (0 = all-time statistics)")
+		relay = flag.String("relay", "",
+			"stream probe events to a netdyn-relay collector at this address; empty disables")
 		supervise = flag.Bool("supervise", true,
 			"fault-tolerant session: retry transient send errors, recreate the socket on fatal ones, record outages as gaps")
 		faults = flag.String("faults", "",
@@ -129,13 +138,13 @@ func main() {
 	// run owns everything that must be flushed on every exit path; its
 	// defers run even when the probe fails, which a bare log.Fatal in
 	// main would skip.
-	if err := run(cfg, bus, eng, *events, *out, *report, *faults); err != nil {
+	if err := run(cfg, bus, eng, *events, *out, *relay, *report, *faults); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
-	events, out string, report time.Duration, faultsPath string) error {
+	events, out, relay string, report time.Duration, faultsPath string) error {
 	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", cfg.Target, cfg.Count, cfg.PayloadSize, cfg.Delta)
 	var sinks []otrace.Sink
 	if events != "" {
@@ -161,6 +170,27 @@ func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
 		// Events are tagged with the target so the /online snapshots
 		// carry a meaningful job name.
 		sinks = append(sinks, online.Tag(bus, cfg.Target, 0))
+	}
+	if relay != "" {
+		sender, err := source.Dial(relay)
+		if err != nil {
+			return err
+		}
+		// Tagged like the local bus so the relay's analyzers key this
+		// prober by its target; bounded so a stalled relay can only
+		// lose events, never delay probe pacing.
+		b := otrace.NewBounded(online.Tag(sender, cfg.Target, 0), 4096)
+		sinks = append(sinks, b)
+		slog.Info("relaying events", "to", relay)
+		defer func() {
+			b.Close() //nolint:errcheck // always nil
+			if err := sender.Close(); err != nil {
+				slog.Warn("relay stream incomplete", "err", err)
+			}
+			if d := b.Dropped(); d > 0 {
+				slog.Warn("relay stream incomplete", "dropped", d)
+			}
+		}()
 	}
 	cfg.Trace = otrace.Multi(sinks...)
 	if faultsPath != "" {

@@ -1,0 +1,140 @@
+// Command netdyn-relay aggregates probe-lifecycle event streams from
+// remote producers into one online analysis engine — the measurement
+// plane's collection point. Probers (netdyn-probe -relay), simulators
+// (bolotsim -relay), and sweep drivers (experiments -relay) dial the
+// relay and stream their events over TCP in the otrace binary wire
+// framing; the relay fans every connection into the in-process online
+// engine and serves the aggregated analysis at /online and the
+// per-source counters (source.events, source.dropped, relay.conns) at
+// /metrics on the -debug-addr server.
+//
+// Usage:
+//
+//	netdyn-relay [-listen 127.0.0.1:7777] [-trace events.jsonl]
+//	             [-online-window N] [-lossy] [-queue 1024]
+//	             [-linger 0s]
+//	             [-log info] [-logfmt text|json] [-debug-addr :6060]
+//
+// Events arrive already tagged with their job identity (online.Tag on
+// the producing side), so the relay's analyzers bucket them per job
+// exactly as a local engine would: a sweep relayed from another
+// machine produces the same /online numbers the producing process
+// would have computed itself.
+//
+// By default each connection is read under TCP flow control, so a
+// bulk transfer (a replayed trace, a finished sim) arrives complete
+// and the relayed analysis is exact. -lossy decouples each connection
+// with a bounded queue instead: a slow relay drops events (counted as
+// source.dropped{source=...}) rather than backpressuring the peer.
+//
+// -trace additionally appends every relayed event to a JSONL file —
+// the relay as a durable trace collector.
+//
+// SIGINT or SIGTERM drains connected streams (bounded by a 5 s grace
+// period), flushes the analyzers, and exits; -linger then holds the
+// debug endpoints open so final snapshots can be scraped.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/online"
+	"netprobe/internal/otrace"
+	"netprobe/internal/source"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netdyn-relay: ")
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7777", "address to accept relayed event streams on")
+		events    = flag.String("trace", "", "append every relayed event to this otrace JSONL file; empty disables")
+		onlineWin = flag.Int("online-window", 0,
+			"cap the online analyzers to the trailing N probes (0 = all-time statistics)")
+		lossy = flag.Bool("lossy", false,
+			"drop events (counted as source.dropped) instead of backpressuring slow peers")
+		queue  = flag.Int("queue", 1024, "per-connection queue capacity in -lossy mode")
+		linger = flag.Duration("linger", 0,
+			"keep the process (and -debug-addr endpoints) alive this long after shutdown")
+		obsFlags = obs.RegisterFlags(flag.CommandLine)
+	)
+	flag.Parse()
+	// The online engine registers its /online debug handler, so it must
+	// exist before Setup starts the -debug-addr server.
+	bus := online.NewBus()
+	eng := online.NewEngine(bus, 0,
+		online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin))...)
+	online.RegisterDebug(eng)
+	if _, err := obsFlags.Setup(obs.Default); err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*listen, *events, bus, eng, *lossy, *queue); err != nil {
+		log.Fatal(err)
+	}
+	if *linger > 0 {
+		slog.Info("lingering; final analysis stays scrapeable", "for", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+func run(listen, events string, bus *online.Bus, eng *online.Engine, lossy bool, queue int) error {
+	// The relayed events already carry Job/Index tags from their
+	// producers, so the bus is fed directly — no re-tagging.
+	sinks := []otrace.Sink{bus}
+	if events != "" {
+		w, err := otrace.Create(events)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, w)
+		defer func() {
+			if err := w.Close(); err != nil {
+				slog.Error("closing event trace", "err", err)
+				return
+			}
+			fmt.Printf("event trace written to %s (%d events)\n", events, w.Events())
+		}()
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv, err := source.Serve(ln, source.ServerConfig{
+		Sink:    otrace.Multi(sinks...),
+		Metrics: obs.Default,
+		Lossy:   lossy,
+		Queue:   queue,
+		Logf: func(format string, args ...any) {
+			slog.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relaying event streams on %s\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	slog.Info("shutting down; draining connected streams")
+	if err := srv.Close(); err != nil {
+		slog.Error("closing listener", "err", err)
+	}
+	bus.Close()
+	eng.Wait()
+	if n := eng.Dropped(); n > 0 {
+		slog.Warn("online analysis sampled, not exact", "dropped", n)
+	}
+	return nil
+}

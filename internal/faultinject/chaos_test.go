@@ -285,3 +285,90 @@ func TestNetdynChaosLoopback(t *testing.T) {
 		t.Errorf("probe.outages = %d, want ≥ 2", got)
 	}
 }
+
+// countFault counts fault events of one kind.
+func (l *eventLog) countFault(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.evs {
+		if ev.Ev == otrace.KindFault && ev.Fault == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestNetdynRecvChaosLoopback separates return-path loss from forward
+// loss: the probe's connection drops 25% of received echoes (and
+// nothing on the way out), so the echo host sees every probe while the
+// measured loss probability matches the receive-side drop rate — the
+// asymmetric-loss scenario a round-trip measurement alone cannot
+// attribute to a direction.
+func TestNetdynRecvChaosLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock chaos run")
+	}
+	echo, err := netdyn.NewEchoer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close() //nolint:errcheck // test server
+
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faultinject.Plan{
+		Seed: 13,
+		Recv: &faultinject.RecvPlan{Drop: 0.25},
+	}
+	sink := &eventLog{}
+	reg := obs.NewRegistry()
+	conn := faultinject.WrapPacketConn(client, plan,
+		faultinject.WithSeq(netdyn.PacketSeq),
+		faultinject.WithSink(sink),
+		faultinject.WithRegistry(reg))
+
+	const count = 1500
+	tr, err := netdyn.Probe(netdyn.ProbeConfig{
+		Target: echo.Addr().String(),
+		Delta:  2 * time.Millisecond,
+		Count:  count,
+		Drain:  500 * time.Millisecond,
+		Conn:   conn,
+		Trace:  sink,
+	})
+	if err != nil {
+		t.Fatalf("recv chaos run did not complete: %v", err)
+	}
+	drops := sink.countFault(faultinject.FaultRecvDrop)
+	lost := 0
+	for _, l := range tr.LossIndicator() {
+		if l {
+			lost++
+		}
+	}
+	// Every injected receive drop is a lost probe; genuine loopback
+	// loss may add a few more but never subtracts.
+	if drops == 0 {
+		t.Fatal("no recv_drop faults injected at a 25% rate")
+	}
+	if lost < drops {
+		t.Errorf("%d probes lost but %d echoes dropped on receive", lost, drops)
+	}
+	ulp := float64(lost) / count
+	if math.Abs(ulp-plan.Recv.Drop) > 0.04 {
+		t.Errorf("measured ulp %.3f, want ≈ %.2f (return-path drops only)", ulp, plan.Recv.Drop)
+	}
+	if reg.Counter(obs.Label("fault.injected", "kind", faultinject.FaultRecvDrop)).Value() != int64(drops) {
+		t.Error("recv_drop registry counter disagrees with the event stream")
+	}
+	// The forward path was untouched: the echo host answered every
+	// probe it saw, and no forward fault kinds were recorded.
+	for _, kind := range []string{faultinject.FaultDrop, faultinject.FaultSendErr, faultinject.FaultBlackhole} {
+		if n := sink.countFault(kind); n != 0 {
+			t.Errorf("%d %s faults injected by a receive-only plan", n, kind)
+		}
+	}
+}

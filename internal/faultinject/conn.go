@@ -69,16 +69,19 @@ func WithClock(fn func() time.Duration) Option { return func(o *connOptions) { o
 func WithSeq(fn func([]byte) (int, bool)) Option { return func(o *connOptions) { o.seq = fn } }
 
 // Conn wraps a net.PacketConn, impairing outgoing packets according
-// to a Plan. Reads pass through untouched; wrap both endpoints to
-// impair both directions. Decisions are keyed by a per-connection
-// write counter, so every send attempt — including a supervised
-// session's retries — draws an independent, replayable verdict.
+// to a Plan and, when the plan carries a RecvPlan, incoming packets
+// too — so one wrapped endpoint can impair forward and return paths
+// independently. Write decisions are keyed by a per-connection write
+// counter, so every send attempt — including a supervised session's
+// retries — draws an independent, replayable verdict; read decisions
+// are keyed by a read counter the same way.
 type Conn struct {
 	inner net.PacketConn
 	plan  *Plan
 	opts  connOptions
 
 	writes atomic.Uint64
+	reads  atomic.Uint64
 
 	mu     sync.Mutex
 	timers []*time.Timer
@@ -176,8 +179,42 @@ func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	return n, nil
 }
 
-// ReadFrom implements net.PacketConn; reads pass through untouched.
-func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) { return c.inner.ReadFrom(p) }
+// ReadFrom implements net.PacketConn. Without a RecvPlan, reads pass
+// through untouched. With one, each received packet draws a verdict:
+// recv_drop discards it (the read continues with the next packet, so
+// the caller only ever sees delivered traffic) and recv_delay holds it
+// back before delivery — a head-of-line delay, so packets queued
+// behind it are delayed too, exactly like a stalled receive path.
+func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.inner.ReadFrom(p)
+		if err != nil || !c.plan.Recv.Active() {
+			return n, addr, err
+		}
+		key := c.reads.Add(1) - 1
+		d := c.plan.DecideRecv(key)
+		if len(d.Faults) == 0 {
+			return n, addr, nil
+		}
+		t := c.opts.clock()
+		seq := -1
+		if c.opts.seq != nil {
+			if s, ok := c.opts.seq(p[:n]); ok {
+				seq = s
+			}
+		}
+		for _, kind := range d.Faults {
+			c.record(kind, seq, t, d.Delay)
+		}
+		if d.Drop {
+			continue
+		}
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		return n, addr, nil
+	}
+}
 
 // Close implements net.PacketConn, cancelling any delayed sends.
 func (c *Conn) Close() error {

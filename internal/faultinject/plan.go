@@ -38,6 +38,8 @@ const (
 	FaultCorrupt   = "corrupt"
 	FaultSendErr   = "send_error"
 	FaultBlackhole = "blackhole"
+	FaultRecvDrop  = "recv_drop"
+	FaultRecvDelay = "recv_delay"
 )
 
 // Duration is a time.Duration that marshals to JSON as a
@@ -122,6 +124,42 @@ type Plan struct {
 	// a transient error on the real-network path, and every probe
 	// inside one vanishes in the simulator.
 	Blackholes []Window `json:"blackholes,omitempty"`
+
+	// Recv, if non-nil, impairs the receive side of a wrapped
+	// connection independently of the forward path: echoes are dropped
+	// or delayed on the way back. Asymmetric loss is the case the
+	// paper's round-trip measurements cannot distinguish on their own;
+	// a receive-only plan lets chaos tests separate forward loss from
+	// return loss deliberately.
+	Recv *RecvPlan `json:"recv,omitempty"`
+}
+
+// RecvPlan is the receive-side half of a Plan. Probabilities are per
+// received packet, keyed by a per-connection read counter, drawn from
+// their own hash dimensions — raising a forward probability never
+// changes which echoes are impaired, and vice versa.
+type RecvPlan struct {
+	// Drop silently discards the received packet: return-path loss.
+	Drop float64 `json:"drop,omitempty"`
+	// Delay holds the received packet back by DelayDur before
+	// delivering it, inflating the measured rtt without loss. Delivery
+	// order is preserved (the delay is head-of-line on the receiving
+	// socket).
+	Delay float64 `json:"delay,omitempty"`
+	// DelayDur is how long a delayed packet is held (default 100ms).
+	DelayDur Duration `json:"delay_dur,omitempty"`
+}
+
+func (r *RecvPlan) delayDur() time.Duration {
+	if r.DelayDur > 0 {
+		return r.DelayDur.D()
+	}
+	return DefaultSpikeDur
+}
+
+// Active reports whether the receive plan can inject anything.
+func (r *RecvPlan) Active() bool {
+	return r != nil && (r.Drop > 0 || r.Delay > 0)
 }
 
 // DefaultReorderDelay and DefaultSpikeDur fill the zero values of
@@ -153,6 +191,7 @@ func (p *Plan) Validate() error {
 	}{
 		{"drop", p.Drop}, {"duplicate", p.Duplicate}, {"reorder", p.Reorder},
 		{"delay_spike", p.DelaySpike}, {"corrupt", p.Corrupt}, {"send_err", p.SendErr},
+		{"recv.drop", p.recvDrop()}, {"recv.delay", p.recvDelay()},
 	} {
 		if f.v < 0 || f.v > 1 {
 			return fmt.Errorf("faultinject: %s probability %v outside [0,1]", f.name, f.v)
@@ -172,7 +211,21 @@ func (p *Plan) Active() bool {
 		return false
 	}
 	return p.Drop > 0 || p.Duplicate > 0 || p.Reorder > 0 || p.DelaySpike > 0 ||
-		p.Corrupt > 0 || p.SendErr > 0 || len(p.Blackholes) > 0
+		p.Corrupt > 0 || p.SendErr > 0 || len(p.Blackholes) > 0 || p.Recv.Active()
+}
+
+func (p *Plan) recvDrop() float64 {
+	if p.Recv == nil {
+		return 0
+	}
+	return p.Recv.Drop
+}
+
+func (p *Plan) recvDelay() float64 {
+	if p.Recv == nil {
+		return 0
+	}
+	return p.Recv.Delay
 }
 
 // Parse decodes a JSON fault plan and validates it.
@@ -230,6 +283,8 @@ const (
 	dimReorder
 	dimDelay
 	dimCorrupt
+	dimRecvDrop
+	dimRecvDelay
 )
 
 // unit maps (seed, key, dim) to a uniform float64 in [0, 1) via a
@@ -285,6 +340,37 @@ func (p *Plan) Decide(key uint64, t time.Duration) Decision {
 	if p.Duplicate > 0 && unit(p.Seed, key, dimDuplicate) < p.Duplicate {
 		d.Duplicate = true
 		d.Faults = append(d.Faults, FaultDuplicate)
+	}
+	return d
+}
+
+// RecvDecision is the fault verdict for one received packet. Drop and
+// Delay are mutually exclusive (a dropped packet is never delivered).
+type RecvDecision struct {
+	Drop bool
+	// Delay is how long to hold the packet before delivering it; zero
+	// means deliver immediately.
+	Delay time.Duration
+
+	Faults []string
+}
+
+// DecideRecv returns the receive-side verdict for the packet
+// identified by key — the wrapped connection's read counter, so
+// impairments replay exactly given the plan seed and arrival order.
+func (p *Plan) DecideRecv(key uint64) RecvDecision {
+	var d RecvDecision
+	if p == nil || p.Recv == nil {
+		return d
+	}
+	if p.Recv.Drop > 0 && unit(p.Seed, key, dimRecvDrop) < p.Recv.Drop {
+		d.Drop = true
+		d.Faults = append(d.Faults, FaultRecvDrop)
+		return d
+	}
+	if p.Recv.Delay > 0 && unit(p.Seed, key, dimRecvDelay) < p.Recv.Delay {
+		d.Delay = p.Recv.delayDur()
+		d.Faults = append(d.Faults, FaultRecvDelay)
 	}
 	return d
 }

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// recvPipe returns a receive-impaired client conn plus a send function
+// pushing packets at it from a peer socket.
+func recvPipe(t *testing.T, plan *Plan, opts ...Option) (net.PacketConn, func([]byte)) {
+	t.Helper()
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := WrapPacketConn(client, plan, opts...)
+	t.Cleanup(func() { wrapped.Close() })
+	peer, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	send := func(b []byte) {
+		if _, err := peer.WriteTo(b, client.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wrapped, send
+}
+
+// TestDecideRecvDeterministic: receive verdicts replay exactly and are
+// independent of the forward-path probabilities.
+func TestDecideRecvDeterministic(t *testing.T) {
+	base := &Plan{Seed: 11, Recv: &RecvPlan{Drop: 0.3, Delay: 0.2}}
+	withFwd := &Plan{Seed: 11, Drop: 0.9, SendErr: 0.5, Recv: &RecvPlan{Drop: 0.3, Delay: 0.2}}
+	for key := uint64(0); key < 2000; key++ {
+		a := base.DecideRecv(key)
+		b := base.DecideRecv(key)
+		c := withFwd.DecideRecv(key)
+		if a.Drop != b.Drop || a.Delay != b.Delay {
+			t.Fatalf("key %d: verdict not deterministic", key)
+		}
+		if a.Drop != c.Drop || a.Delay != c.Delay {
+			t.Fatalf("key %d: forward probabilities changed the receive verdict", key)
+		}
+	}
+}
+
+// TestDecideRecvRates: observed drop and delay frequencies match the
+// configured probabilities, and a dropped packet is never also
+// delayed.
+func TestDecideRecvRates(t *testing.T) {
+	p := &Plan{Seed: 5, Recv: &RecvPlan{Drop: 0.25, Delay: 0.25}}
+	const n = 200000
+	drops, delays := 0, 0
+	for key := uint64(0); key < n; key++ {
+		d := p.DecideRecv(key)
+		if d.Drop {
+			drops++
+			if d.Delay != 0 {
+				t.Fatal("dropped packet carries a delay")
+			}
+		}
+		if d.Delay > 0 {
+			delays++
+		}
+	}
+	if f := float64(drops) / n; f < 0.24 || f > 0.26 {
+		t.Errorf("drop rate %.4f, want ≈0.25", f)
+	}
+	// Delay only applies to undropped packets: 0.25 × 0.75.
+	if f := float64(delays) / n; f < 0.17 || f > 0.21 {
+		t.Errorf("delay rate %.4f, want ≈0.1875", f)
+	}
+}
+
+// TestConnRecvDrop: recv_drop packets never reach the reader, and each
+// drop is recorded as a fault event.
+func TestConnRecvDrop(t *testing.T) {
+	plan := &Plan{Seed: 3, Recv: &RecvPlan{Drop: 0.5}}
+	sink := &collector{}
+	conn, send := recvPipe(t, plan, WithSink(sink))
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		send([]byte{byte(i)})
+	}
+	wantDrops := 0
+	for key := uint64(0); key < n; key++ {
+		if plan.DecideRecv(key).Drop {
+			wantDrops++
+		}
+	}
+	if wantDrops == 0 || wantDrops == n {
+		t.Fatalf("degenerate plan: %d/%d drops", wantDrops, n)
+	}
+	delivered := 0
+	buf := make([]byte, 64)
+	for {
+		conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond)) //nolint:errcheck // test deadline
+		if _, _, err := conn.ReadFrom(buf); err != nil {
+			break
+		}
+		delivered++
+	}
+	if delivered != n-wantDrops {
+		t.Errorf("delivered %d packets, want %d (%d dropped)", delivered, n-wantDrops, wantDrops)
+	}
+	got := 0
+	for _, ev := range sink.events() {
+		if ev.Fault == FaultRecvDrop {
+			got++
+		}
+	}
+	if got != wantDrops {
+		t.Errorf("%d recv_drop events, want %d", got, wantDrops)
+	}
+}
+
+// TestConnRecvDelay: a recv_delay verdict holds the packet back by
+// DelayDur before the reader sees it.
+func TestConnRecvDelay(t *testing.T) {
+	const hold = 80 * time.Millisecond
+	plan := &Plan{Seed: 1, Recv: &RecvPlan{Delay: 1.0, DelayDur: Duration(hold)}}
+	conn, send := recvPipe(t, plan)
+
+	send([]byte("echo"))
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck // test deadline
+	buf := make([]byte, 64)
+	if _, _, err := conn.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < hold {
+		t.Errorf("packet delivered after %v, want ≥ %v", e, hold)
+	}
+}
+
+// TestRecvPlanActivatesWrap: a plan that impairs only the receive side
+// still wraps the connection.
+func TestRecvPlanActivatesWrap(t *testing.T) {
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close() //nolint:errcheck // test socket
+	p := &Plan{Seed: 1, Recv: &RecvPlan{Drop: 0.1}}
+	if got := WrapPacketConn(inner, p); got == inner {
+		t.Error("receive-only plan did not wrap the conn")
+	}
+	if p.Validate() != nil {
+		t.Errorf("valid recv plan rejected: %v", p.Validate())
+	}
+	bad := &Plan{Recv: &RecvPlan{Drop: 1.5}}
+	if bad.Validate() == nil {
+		t.Error("recv drop probability 1.5 accepted")
+	}
+}

@@ -61,8 +61,8 @@ const (
 	KindJobFinish Kind = "job_finish"
 	// KindFault marks an injected impairment (internal/faultinject):
 	// Fault names the fault kind (drop, duplicate, reorder, delay,
-	// corrupt, send_error, blackhole); delay and reorder faults carry
-	// the added latency in DurNs.
+	// corrupt, send_error, blackhole, recv_drop, recv_delay); delay,
+	// reorder, and recv_delay faults carry the added latency in DurNs.
 	KindFault Kind = "fault"
 	// KindGap marks an outage window recorded by the supervised prober
 	// (or a sim blackhole): the Probes probes starting at Seq are
@@ -303,18 +303,29 @@ type Bounded struct {
 	ch      chan Event
 	done    chan struct{}
 	dropped atomic.Int64
+	onDrop  func()
 	once    sync.Once
 }
 
 // NewBounded returns a Bounded sink forwarding to next with the given
 // queue capacity (minimum 1).
 func NewBounded(next Sink, capacity int) *Bounded {
+	return NewBoundedCounted(next, capacity, nil)
+}
+
+// NewBoundedCounted is NewBounded with an external drop counter: each
+// discarded event additionally calls onDrop (e.g. an obs counter's
+// Inc), so queue overruns surface on /metrics as they happen instead
+// of only in the end-of-run Dropped total. onDrop must be safe for
+// concurrent calls; nil disables the callback.
+func NewBoundedCounted(next Sink, capacity int, onDrop func()) *Bounded {
 	if capacity < 1 {
 		capacity = 1
 	}
 	b := &Bounded{
-		ch:   make(chan Event, capacity),
-		done: make(chan struct{}),
+		ch:     make(chan Event, capacity),
+		done:   make(chan struct{}),
+		onDrop: onDrop,
 	}
 	go func() {
 		defer close(b.done)
@@ -330,13 +341,20 @@ func NewBounded(next Sink, capacity int) *Bounded {
 func (b *Bounded) Emit(ev Event) {
 	defer func() {
 		if recover() != nil { // send on closed channel: Emit after Close
-			b.dropped.Add(1)
+			b.drop()
 		}
 	}()
 	select {
 	case b.ch <- ev:
 	default:
-		b.dropped.Add(1)
+		b.drop()
+	}
+}
+
+func (b *Bounded) drop() {
+	b.dropped.Add(1)
+	if b.onDrop != nil {
+		b.onDrop()
 	}
 }
 
@@ -351,6 +369,14 @@ func (b *Bounded) Close() error {
 	<-b.done
 	return nil
 }
+
+// Discard is a Sink that ignores every event — the sink of last
+// resort for code that requires a non-nil Sink.
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Emit(Event) {}
 
 // Multi returns a Sink forwarding every event to each non-nil sink in
 // order. Nil sinks are dropped; with zero non-nil sinks it returns

@@ -1,0 +1,170 @@
+package otrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wireEvents is a field-exercising sample: every Event field nonzero
+// somewhere, including negative stamps and the Seq=-1 convention of
+// run- and job-level events.
+func wireEvents() []Event {
+	return []Event{
+		{Ev: KindRunStart, Seq: -1, Name: "inria δ=50ms", DeltaNs: int64(50 * time.Millisecond),
+			PayloadBytes: 32, WireBytes: 72, BottleneckBps: 128_000, ClockResNs: 3906250, Count: 12000},
+		{T: 1, Ev: KindJobStart, Seq: -1, Job: "inria δ=50ms", Index: 3, Seed: -7842},
+		{T: 50_000_000, Ev: KindProbeSent, Seq: 0, Flow: "probe"},
+		{T: 51_234_567, Ev: KindEnqueue, Seq: 0, Flow: "probe", Queue: "hop4", Dir: "fwd", QLen: 17},
+		{T: 60_000_001, Ev: KindRTT, Seq: 0, Flow: "probe", SentNs: 50_000_000, RecvNs: 60_000_001, RTTNs: 10_000_001},
+		{T: 70_000_000, Ev: KindDrop, Seq: 1, Flow: "probe", Queue: "hop4", Dir: "ret"},
+		{T: 80_000_000, Ev: KindFault, Seq: 2, Fault: "delay", DurNs: int64(100 * time.Millisecond)},
+		{T: 90_000_000, Ev: KindGap, Seq: 3, Probes: 12, DurNs: int64(2 * time.Second)},
+		{Ev: KindJobFinish, Seq: -1, Job: "inria δ=50ms", Index: 3, Seed: -7842, Probes: 12000, Losses: 1080},
+	}
+}
+
+// TestWireRoundTrip: encode → decode reproduces every event exactly,
+// so the JSONL a receiver writes is byte-identical to what the sender
+// would have written locally.
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, ev := range wireEvents() {
+		if err := fw.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFrameReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wireEvents() {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d round-trip:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		// The JSONL representations match too — the byte-identity the
+		// equivalence tests build on.
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(want)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("event %d JSONL differs: %s vs %s", i, gj, wj)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+	if fr.Events() != int64(len(wireEvents())) {
+		t.Fatalf("reader counted %d events, want %d", fr.Events(), len(wireEvents()))
+	}
+}
+
+// TestWireDeterministic: identical event sequences produce identical
+// byte streams.
+func TestWireDeterministic(t *testing.T) {
+	enc := func() []byte {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		for _, ev := range wireEvents() {
+			if err := fw.WriteEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("framed streams differ across identical encodes")
+	}
+}
+
+// TestWireTruncated: a stream cut mid-frame surfaces ErrTruncated, not
+// a bogus event; events before the cut are still delivered.
+func TestWireTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	evs := wireEvents()
+	for _, ev := range evs {
+		if err := fw.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	fr, err := NewFrameReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := fr.Next()
+		if err == nil {
+			n++
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut stream error %v, want ErrTruncated", err)
+		}
+		break
+	}
+	if n != len(evs)-1 {
+		t.Fatalf("delivered %d events before the cut, want %d", n, len(evs)-1)
+	}
+}
+
+// TestWireBadMagic: a non-framed stream is rejected up front.
+func TestWireBadMagic(t *testing.T) {
+	if _, err := NewFrameReader(bytes.NewReader([]byte(`{"t":0}`))); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("bad magic error %v, want ErrTruncated", err)
+	}
+}
+
+// TestDecodeTrailingBytes: extra bytes after a valid event are a
+// framing error, not silently ignored.
+func TestDecodeTrailingBytes(t *testing.T) {
+	buf := AppendEvent(nil, Event{Ev: KindProbeSent, Seq: 5})
+	if _, err := DecodeEvent(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeEvent(buf[:len(buf)-1]); err == nil {
+		t.Fatal("short event accepted")
+	}
+}
+
+// TestBoundedCounted: the onDrop hook fires once per discarded event,
+// matching the internal Dropped tally.
+func TestBoundedCounted(t *testing.T) {
+	block := make(chan struct{})
+	var external atomic.Int64
+	b := NewBoundedCounted(sinkFunc(func(Event) { <-block }), 1, func() { external.Add(1) })
+	for i := 0; i < 10; i++ {
+		b.Emit(Event{Seq: i})
+	}
+	close(block)
+	b.Close() //nolint:errcheck // always nil
+	if b.Dropped() == 0 {
+		t.Fatal("expected drops with a blocked downstream")
+	}
+	if external.Load() != b.Dropped() {
+		t.Fatalf("onDrop fired %d times, Dropped reports %d", external.Load(), b.Dropped())
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Emit(ev Event) { f(ev) }

@@ -17,6 +17,7 @@ import (
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
 	"netprobe/internal/otrace"
+	"netprobe/internal/source"
 )
 
 // Job is one experiment of a sweep: a complete simulation spec plus a
@@ -29,11 +30,21 @@ type Job struct {
 	// e.g. "inria δ=50ms".
 	Label string
 	// Config is the full simulation spec. Config.Seed is overwritten
-	// with the derived per-job seed before the run.
+	// with the derived per-job seed before the run. Ignored when
+	// Source is set.
 	Config core.SimConfig
-	// RunFunc, if non-nil, replaces the default core.RunSim executor.
-	// Custom collectors and tests use it; the config it receives
-	// already carries the derived seed.
+	// Source, if non-nil, is the job's event stream — any
+	// source.Source (a sim, a real probing session, a trace replay, a
+	// remote peer) — and takes precedence over Config and RunFunc. The
+	// pool wires the source to the job's composed sink (trace file,
+	// online taps, job brackets), sets the derived seed on Seedable
+	// sources, and takes Result.Trace from Traced ones, so a
+	// Source-based sweep keeps the same byte-identical trace guarantee
+	// as a Config-based one.
+	Source source.Source
+	// RunFunc, if non-nil, replaces the default executor (a
+	// source.SimSource over Config). Custom collectors and tests use
+	// it; the config it receives already carries the derived seed.
 	RunFunc func(ctx context.Context, cfg core.SimConfig) (*core.Trace, error)
 	// Timeout bounds one attempt's wall-clock time. When it expires the
 	// attempt's context is cancelled and the attempt fails with
@@ -177,7 +188,7 @@ type options struct {
 	metrics       *obs.Registry
 	traceDir      string
 	traceMaxBytes int64
-	online        *online.Bus
+	sinks         []otrace.Sink
 }
 
 // Option configures Run.
@@ -231,14 +242,30 @@ func TraceMaxBytes(n int64) Option {
 	return func(o *options) { o.traceMaxBytes = n }
 }
 
-// Online tees every job's trace events — bracketed by job_start and
-// job_finish — into bus, tagged with the job's label and index (see
-// online.Tag), so streaming analyzers can follow the sweep live. The
+// Sink tees every job's trace events — bracketed by job_start and
+// job_finish — into s, tagged with the job's label and index (see
+// online.Tag), so external consumers can follow the sweep live. s
+// must be safe for concurrent Emit across workers; it sees every
+// job's events even when the job carries a custom Config.Trace. The
+// option may be repeated to register several taps. Works with or
+// without the Traces option.
+func Sink(s otrace.Sink) Option {
+	return func(o *options) {
+		if s != nil {
+			o.sinks = append(o.sinks, s)
+		}
+	}
+}
+
+// Online tees the sweep into an online analysis bus: Sink(bus). The
 // bus never blocks the job (slow subscribers drop events), and the
 // caller keeps ownership: close the bus after the sweep to flush the
-// analyzers. Works with or without the Traces option.
+// analyzers.
 func Online(bus *online.Bus) Option {
-	return func(o *options) { o.online = bus }
+	if bus == nil {
+		return Sink(nil)
+	}
+	return Sink(bus)
 }
 
 // TraceFileName is the per-job trace file name the Traces option
@@ -467,9 +494,15 @@ func runAttempt(ctx context.Context, rootSeed int64, index int, job Job, o *opti
 	}
 	start := time.Now()
 	var tw *otrace.Writer
-	var busSink otrace.Sink
-	if o.online != nil {
-		busSink = online.Tag(o.online, job.Label, index)
+	// tap fans out to every registered Sink option, each stamped with
+	// the job's identity so consumers can demultiplex the sweep.
+	var tap otrace.Sink
+	if len(o.sinks) > 0 {
+		tagged := make([]otrace.Sink, len(o.sinks))
+		for i, s := range o.sinks {
+			tagged[i] = online.Tag(s, job.Label, index)
+		}
+		tap = otrace.Multi(tagged...)
 	}
 	// bracket carries the job_start/job_finish markers to the trace
 	// file and the online bus alike.
@@ -524,28 +557,36 @@ func runAttempt(ctx context.Context, rootSeed int64, index int, job Job, o *opti
 		}
 		tw = w
 	}
-	if tw != nil || busSink != nil {
-		bracket = otrace.Multi(sinkOrNil(tw), busSink)
+	if tw != nil || tap != nil {
+		bracket = otrace.Multi(sinkOrNil(tw), tap)
 		bracket.Emit(otrace.Event{Ev: otrace.KindJobStart, Seq: -1,
 			Job: job.Label, Index: index, Seed: res.Seed})
 	}
-	switch {
-	case cfg.Trace == nil:
-		// The default probe sink is the same composition as the
-		// bracket: file (if tracing) plus bus (if online).
-		cfg.Trace = bracket
-	case busSink != nil:
-		// Jobs with a custom sink keep it, but the online bus still
-		// sees their probe events.
-		cfg.Trace = otrace.Multi(cfg.Trace, busSink)
-	}
-	run := job.RunFunc
-	if run == nil {
-		run = func(_ context.Context, cfg core.SimConfig) (*core.Trace, error) {
-			return core.RunSim(cfg)
+	var tr *core.Trace
+	var err error
+	if job.Source != nil {
+		// Source jobs stream straight into the composed sink: trace
+		// file plus tagged taps, exactly what a Config job's probe
+		// events see, so trace files stay byte-identical whichever way
+		// the job is expressed.
+		tr, err = runSource(actx, job.Source, res.Seed, bracket)
+	} else {
+		switch {
+		case cfg.Trace == nil:
+			// The default probe sink is the same composition as the
+			// bracket: file (if tracing) plus taps (if any).
+			cfg.Trace = bracket
+		case tap != nil:
+			// Jobs with a custom sink keep it, but the registered taps
+			// still see their probe events.
+			cfg.Trace = otrace.Multi(cfg.Trace, tap)
+		}
+		if run := job.RunFunc; run != nil {
+			tr, err = run(actx, cfg)
+		} else {
+			tr, err = runSource(actx, &source.SimSource{Label: job.Label, Config: cfg}, res.Seed, nil)
 		}
 	}
-	tr, err := run(actx, cfg)
 	if err != nil {
 		if timedOut.Load() {
 			res.Err = fmt.Errorf("runner: job %d (%s): %w after %v", index, job.Label,
@@ -569,6 +610,25 @@ func sinkOrNil(w *otrace.Writer) otrace.Sink {
 		return nil
 	}
 	return w
+}
+
+// runSource drives one source as a job attempt: derived seed in (for
+// Seedable sources), events out to sink, trace back out (from Traced
+// sources).
+func runSource(ctx context.Context, src source.Source, seed int64, sink otrace.Sink) (*core.Trace, error) {
+	if s, ok := src.(source.Seedable); ok {
+		s.SetSeed(seed)
+	}
+	if sink == nil {
+		sink = otrace.Discard
+	}
+	if err := src.Run(ctx, sink); err != nil {
+		return nil, err
+	}
+	if t, ok := src.(source.Traced); ok {
+		return t.Trace(), nil
+	}
+	return nil, nil
 }
 
 // DeltaSweep builds one Job per probe interval on a preset's path —

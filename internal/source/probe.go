@@ -1,0 +1,73 @@
+package source
+
+import (
+	"context"
+	"sync"
+
+	"netprobe/internal/core"
+	"netprobe/internal/netdyn"
+	"netprobe/internal/otrace"
+)
+
+// ProbeSource runs one real-network probing session (supervised when
+// Config.Supervise is set) as a Source. Events are stamped with
+// wall-clock offsets by netdyn and arrive from its sender and receiver
+// goroutines; wrap slow sinks in otrace.NewBounded upstream if probe
+// pacing matters. Run's ctx cancels the session gracefully — the
+// truncated trace is still collected and Detail.Interrupted is set —
+// unless Config.Context is already set, which then takes precedence.
+type ProbeSource struct {
+	// Label names the source; defaults to "probe:<target>".
+	Label string
+	// Config is the probing session. Config.Trace, when set, keeps
+	// receiving events alongside the Run sink.
+	Config netdyn.ProbeConfig
+
+	mu     sync.Mutex
+	detail *netdyn.Detail
+}
+
+// Name implements Source.
+func (s *ProbeSource) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "probe:" + s.Config.Target
+}
+
+// Run implements Source: it probes the target with lifecycle events
+// going to sink (and to Config.Trace, when set).
+func (s *ProbeSource) Run(ctx context.Context, sink otrace.Sink) error {
+	cfg := s.Config
+	if cfg.Context == nil {
+		cfg.Context = ctx
+	}
+	cfg.Trace = otrace.Multi(cfg.Trace, sink)
+	d, err := netdyn.ProbeDetailed(cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.detail = d
+	s.mu.Unlock()
+	return nil
+}
+
+// Trace implements Traced: the session's trace, nil before Run
+// succeeds.
+func (s *ProbeSource) Trace() *core.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detail == nil {
+		return nil
+	}
+	return s.detail.Trace
+}
+
+// Detail returns the full netdyn detail (echo timestamps, outage gaps,
+// interruption flag), nil before Run succeeds.
+func (s *ProbeSource) Detail() *netdyn.Detail {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detail
+}

@@ -1,0 +1,330 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// The remote path: a producing process (a prober, a sim, a replay)
+// wraps its event stream in a Sender, which frames events onto a TCP
+// connection (otrace wire format); the consuming process — typically
+// cmd/netdyn-relay — accepts connections with Serve, and each becomes
+// a RemoteSource feeding the shared sink (an online.Bus, a trace
+// file). Events carry their Job/Index tags inside the frames, so no
+// handshake is needed: the relay's analyzers key on ev.Job exactly as
+// a local engine would.
+
+// Sender streams events over an io.Writer as binary frames. It
+// implements otrace.Sink: Emit is serialized by a mutex and flushes
+// each frame promptly so a live consumer sees events as they happen.
+// Write errors are sticky — after the first failure Emit becomes a
+// no-op and Close reports the error — so a dead relay degrades a run
+// to a local-only one instead of failing it. Producers whose pacing
+// must not wait on the network (the real prober) should wrap a Sender
+// in otrace.NewBounded.
+type Sender struct {
+	mu  sync.Mutex
+	fw  *otrace.FrameWriter
+	c   io.Closer
+	err error
+}
+
+// NewSender starts a framed event stream on w. If w is also an
+// io.Closer, Close closes it.
+func NewSender(w io.Writer) *Sender {
+	s := &Sender{fw: otrace.NewFrameWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Dial connects to a relay at addr (TCP) and returns a Sender owning
+// the connection.
+func Dial(addr string) (*Sender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("source: dial relay: %w", err)
+	}
+	return NewSender(conn), nil
+}
+
+// Emit implements otrace.Sink.
+func (s *Sender) Emit(ev otrace.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.fw.WriteEvent(ev); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.fw.Flush()
+}
+
+// Err reports the sticky stream error, nil while the stream is
+// healthy.
+func (s *Sender) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes the stream, closes the underlying connection if the
+// Sender owns one, and returns the first error encountered.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.fw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// RemoteSource reads one framed event stream from a network peer as a
+// Source. Run delivers events in arrival order until the peer closes
+// the connection cleanly (nil), the stream dies mid-frame
+// (otrace.ErrTruncated), or ctx is cancelled — cancellation unblocks
+// the pending read by forcing the connection's read deadline.
+type RemoteSource struct {
+	// Label names the source; defaults to the peer address.
+	Label string
+	// Conn is the accepted connection. Run takes ownership and closes
+	// it when it returns.
+	Conn net.Conn
+}
+
+// Name implements Source.
+func (r *RemoteSource) Name() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	if r.Conn != nil {
+		return r.Conn.RemoteAddr().String()
+	}
+	return "remote"
+}
+
+// Run implements Source.
+func (r *RemoteSource) Run(ctx context.Context, sink otrace.Sink) error {
+	defer r.Conn.Close() //nolint:errcheck // read side
+	// Cancellation must unblock a Read stuck on a silent peer; closing
+	// is too blunt (we want the deadline error path), so force an
+	// already-expired read deadline.
+	stop := context.AfterFunc(ctx, func() {
+		r.Conn.SetReadDeadline(pastDeadline) //nolint:errcheck // best effort
+	})
+	defer stop()
+	fr, err := otrace.NewFrameReader(r.Conn)
+	if err != nil {
+		return r.ctxErr(ctx, err)
+	}
+	for {
+		ev, err := fr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return r.ctxErr(ctx, err)
+		}
+		sink.Emit(ev)
+	}
+}
+
+// ctxErr prefers the cancellation cause over the read error it
+// provoked.
+func (r *RemoteSource) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("source: remote %s: %w", r.Name(), err)
+}
+
+// pastDeadline is any time guaranteed to be in the past, expiring
+// reads immediately.
+var pastDeadline = time.Unix(1, 0)
+
+// ServerConfig configures Serve.
+type ServerConfig struct {
+	// Sink receives every connection's events. It must be safe for
+	// concurrent Emit (each connection emits from its own goroutine);
+	// an online.Bus or otrace.Writer qualifies.
+	Sink otrace.Sink
+	// Lossy decouples each connection from the sink with a bounded
+	// queue: overruns are dropped and counted (source.dropped) instead
+	// of backpressuring the peer. The default (false) emits
+	// synchronously, letting TCP flow control pace the peer — the
+	// lossless mode bulk transfers need for byte-identical relays; live
+	// probers are already decoupled on their own side (they wrap their
+	// Sender in otrace.NewBounded), so backpressure here never stalls
+	// probe pacing.
+	Lossy bool
+	// Queue is the per-connection queue capacity in Lossy mode
+	// (default 1024).
+	Queue int
+	// Metrics, if non-nil, exposes per-source counters:
+	// source.events{source=<peer>} events delivered and
+	// source.dropped{source=<peer>} events discarded on queue overrun,
+	// plus the relay.conns gauge of live connections.
+	Metrics *obs.Registry
+	// Label maps a connection to its metrics label; defaults to the
+	// peer address with the ephemeral port stripped, keeping metric
+	// cardinality per host rather than per connection.
+	Label func(net.Conn) string
+	// Grace bounds how long Close waits for connected streams to end
+	// on their own (peer disconnect) before force-cancelling their
+	// reads. Zero means 5 s; negative means cancel immediately.
+	Grace time.Duration
+	// Logf, if non-nil, logs connection lifecycle and errors.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts framed event streams and fans them into one sink.
+type Server struct {
+	ln     net.Listener
+	cfg    ServerConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting connections on ln, each handled as a
+// RemoteSource feeding cfg.Sink. It returns immediately; Close shuts
+// the listener and waits for the connection handlers to drain.
+func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("source: serve: nil sink")
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	if cfg.Label == nil {
+		cfg.Label = hostLabel
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{ln: ln, cfg: cfg}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listener's address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			// Close shuts the listener before cancelling the context, so
+			// the shutdown-induced accept error is not worth reporting.
+			if s.ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("relay: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	label := s.cfg.Label(conn)
+	var onDrop func()
+	var events *obs.Counter
+	if s.cfg.Metrics != nil {
+		// Register the drop counter up front so /metrics shows it at 0
+		// rather than only after the first overrun.
+		onDrop = s.cfg.Metrics.Counter(obs.Label("source.dropped", "source", label)).Inc
+		events = s.cfg.Metrics.Counter(obs.Label("source.events", "source", label))
+		conns := s.cfg.Metrics.Gauge("relay.conns")
+		conns.Add(1)
+		defer conns.Add(-1)
+	}
+	sink := s.cfg.Sink
+	if events != nil {
+		sink = countingSink{next: sink, n: events}
+	}
+	if s.cfg.Lossy {
+		queue := otrace.NewBoundedCounted(sink, s.cfg.Queue, onDrop)
+		defer queue.Close() //nolint:errcheck // always nil
+		sink = queue
+	}
+	rs := &RemoteSource{Label: label, Conn: conn}
+	s.cfg.Logf("relay: %s connected", conn.RemoteAddr())
+	if err := rs.Run(s.ctx, sink); err != nil {
+		s.cfg.Logf("relay: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s.cfg.Logf("relay: %s finished", conn.RemoteAddr())
+}
+
+// Close stops accepting and waits for connected streams to finish. A
+// peer that already disconnected drains completely — no event it sent
+// is lost to shutdown — while a still-connected or silent peer is
+// force-cancelled after the configured Grace.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	grace := s.cfg.Grace
+	if grace == 0 {
+		grace = 5 * time.Second
+	}
+	if grace > 0 {
+		select {
+		case <-done:
+			s.cancel()
+			return err
+		case <-time.After(grace):
+		}
+	}
+	s.cancel()
+	<-done
+	return err
+}
+
+// countingSink counts delivered events on the way to next.
+type countingSink struct {
+	next otrace.Sink
+	n    *obs.Counter
+}
+
+func (c countingSink) Emit(ev otrace.Event) {
+	c.n.Inc()
+	c.next.Emit(ev)
+}
+
+// hostLabel is the default ServerConfig.Label: the peer host without
+// the ephemeral port.
+func hostLabel(conn net.Conn) string {
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}

@@ -1,0 +1,71 @@
+package source
+
+import (
+	"context"
+	"sync"
+
+	"netprobe/internal/core"
+	"netprobe/internal/otrace"
+)
+
+// SimSource runs one core.RunSim simulation as a Source. The
+// simulation is virtual-time and cannot be interrupted mid-run, so Run
+// checks ctx once up front and then runs to completion; it is fast
+// (seconds of simulated probing per wall millisecond), which keeps
+// that trade harmless. SimSource implements Seedable — the runner
+// derives each job's seed with runner.DeriveSeed and sets it here,
+// which is what keeps Source-based sweeps byte-identical at any worker
+// count — and Traced, reporting the run's trace after Run returns.
+type SimSource struct {
+	// Label names the source; it defaults to the config's derived trace
+	// name when empty (Name falls back to "sim" before the run).
+	Label string
+	// Config is the simulation to run. Config.Trace may carry a sink of
+	// its own; Run preserves it alongside the Run sink via otrace.Multi.
+	Config core.SimConfig
+
+	mu sync.Mutex
+	tr *core.Trace
+}
+
+// Name implements Source.
+func (s *SimSource) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tr != nil {
+		return s.tr.Name
+	}
+	return "sim"
+}
+
+// SetSeed implements Seedable.
+func (s *SimSource) SetSeed(seed int64) { s.Config.Seed = seed }
+
+// Run implements Source: it runs the simulation with its events going
+// to sink (and to Config.Trace, when set).
+func (s *SimSource) Run(ctx context.Context, sink otrace.Sink) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cfg := s.Config
+	cfg.Trace = otrace.Multi(cfg.Trace, sink)
+	tr, err := core.RunSim(cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.tr = tr
+	s.mu.Unlock()
+	return nil
+}
+
+// Trace implements Traced: the completed run's trace, nil before Run
+// succeeds.
+func (s *SimSource) Trace() *core.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tr
+}

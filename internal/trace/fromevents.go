@@ -10,71 +10,111 @@ import (
 	"netprobe/internal/otrace"
 )
 
-// FromEvents reconstructs the core.Trace of one run from its otrace
-// JSONL event stream: run_start supplies the metadata the CSV header
+// Collector incrementally reconstructs a core.Trace from an otrace
+// event stream: run_start supplies the metadata the CSV header
 // carries, probe_sent supplies s_n, and rtt supplies r_n and rtt_n; a
-// probe with no rtt event is lost (rtt_n = 0, the paper's
-// convention). The result is validated, and for a simulator-produced
-// stream it is sample-for-sample identical to the trace RunSim
-// returned — every figure is re-derivable from the event file alone.
-func FromEvents(r io.Reader) (*core.Trace, error) {
-	var t *core.Trace
-	err := otrace.Read(r, func(ev otrace.Event) error {
-		switch ev.Ev {
-		case otrace.KindRunStart:
-			if t != nil {
-				return fmt.Errorf("second run_start event")
-			}
-			t = &core.Trace{
-				Name:          ev.Name,
-				Delta:         time.Duration(ev.DeltaNs),
-				PayloadSize:   ev.PayloadBytes,
-				WireSize:      ev.WireBytes,
-				BottleneckBps: ev.BottleneckBps,
-				ClockRes:      time.Duration(ev.ClockResNs),
-				Samples:       make([]core.Sample, ev.Count),
-			}
-			for i := range t.Samples {
-				t.Samples[i] = core.Sample{Seq: i, Lost: true}
-			}
-		case otrace.KindProbeSent:
-			s, err := sampleFor(t, ev)
-			if err != nil {
-				return err
-			}
-			s.Sent = time.Duration(ev.T)
-		case otrace.KindRTT:
-			s, err := sampleFor(t, ev)
-			if err != nil {
-				return err
-			}
-			s.Sent = time.Duration(ev.SentNs)
-			s.Recv = time.Duration(ev.RecvNs)
-			s.RTT = time.Duration(ev.RTTNs)
-			s.Lost = false
-		}
-		return nil // enqueue/drop/echo and job events carry no sample state
-	})
-	if err != nil {
-		return nil, err
-	}
-	if t == nil {
-		return nil, fmt.Errorf("trace: event stream has no run_start")
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	return t, nil
+// probe with no rtt event is lost (rtt_n = 0, the paper's convention).
+// Feed it events in stream order with Add and finish with Trace. It is
+// the streaming core of FromEvents, usable where the events arrive
+// live (a replaying FileSource, a relay ingesting a remote prober)
+// rather than from a file.
+//
+// Collector is not safe for concurrent use; errors are sticky — the
+// first malformed event poisons the collection and is reported by both
+// Add and Trace.
+type Collector struct {
+	t   *core.Trace
+	err error
 }
 
-func sampleFor(t *core.Trace, ev otrace.Event) (*core.Sample, error) {
-	if t == nil {
+// NewCollector returns an empty Collector awaiting a run_start event.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add feeds one event into the reconstruction. Events that carry no
+// sample state (enqueue, drop, echo, job brackets, faults, gaps) are
+// ignored.
+func (c *Collector) Add(ev otrace.Event) error {
+	if c.err != nil {
+		return c.err
+	}
+	switch ev.Ev {
+	case otrace.KindRunStart:
+		if c.t != nil {
+			return c.fail(fmt.Errorf("second run_start event"))
+		}
+		c.t = &core.Trace{
+			Name:          ev.Name,
+			Delta:         time.Duration(ev.DeltaNs),
+			PayloadSize:   ev.PayloadBytes,
+			WireSize:      ev.WireBytes,
+			BottleneckBps: ev.BottleneckBps,
+			ClockRes:      time.Duration(ev.ClockResNs),
+			Samples:       make([]core.Sample, ev.Count),
+		}
+		for i := range c.t.Samples {
+			c.t.Samples[i] = core.Sample{Seq: i, Lost: true}
+		}
+	case otrace.KindProbeSent:
+		s, err := c.sampleFor(ev)
+		if err != nil {
+			return c.fail(err)
+		}
+		s.Sent = time.Duration(ev.T)
+	case otrace.KindRTT:
+		s, err := c.sampleFor(ev)
+		if err != nil {
+			return c.fail(err)
+		}
+		s.Sent = time.Duration(ev.SentNs)
+		s.Recv = time.Duration(ev.RecvNs)
+		s.RTT = time.Duration(ev.RTTNs)
+		s.Lost = false
+	}
+	return nil
+}
+
+func (c *Collector) fail(err error) error {
+	c.err = err
+	return err
+}
+
+func (c *Collector) sampleFor(ev otrace.Event) (*core.Sample, error) {
+	if c.t == nil {
 		return nil, fmt.Errorf("%s event before run_start", ev.Ev)
 	}
-	if ev.Seq < 0 || ev.Seq >= len(t.Samples) {
-		return nil, fmt.Errorf("%s event seq %d out of range [0, %d)", ev.Ev, ev.Seq, len(t.Samples))
+	if ev.Seq < 0 || ev.Seq >= len(c.t.Samples) {
+		return nil, fmt.Errorf("%s event seq %d out of range [0, %d)", ev.Ev, ev.Seq, len(c.t.Samples))
 	}
-	return &t.Samples[ev.Seq], nil
+	return &c.t.Samples[ev.Seq], nil
+}
+
+// Trace returns the validated reconstruction. It fails if no run_start
+// was seen, an event was malformed, or the assembled trace does not
+// validate.
+func (c *Collector) Trace() (*core.Trace, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.t == nil {
+		return nil, fmt.Errorf("trace: event stream has no run_start")
+	}
+	if err := c.t.Validate(); err != nil {
+		return nil, err
+	}
+	return c.t, nil
+}
+
+// FromEvents reconstructs the core.Trace of one run from its otrace
+// JSONL event stream via a Collector. The result is validated, and for
+// a simulator-produced stream it is sample-for-sample identical to the
+// trace RunSim returned — every figure is re-derivable from the event
+// file alone.
+func FromEvents(r io.Reader) (*core.Trace, error) {
+	c := NewCollector()
+	if err := otrace.Read(r, c.Add); err != nil {
+		return nil, err
+	}
+	return c.Trace()
 }
 
 // LoadEvents is FromEvents reading from a file.
