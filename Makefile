@@ -7,7 +7,7 @@ GO ?= go
 BASELINE ?= BENCH_2026-08-08.json
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet vet-tags bench bench-snapshot chaos check perf-gate online-demo sources-demo
+.PHONY: build test race vet vet-tags bench bench-snapshot chaos check perf-gate online-demo sources-demo health-demo
 
 build:
 	$(GO) build ./...
@@ -44,13 +44,15 @@ bench-snapshot:
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 # chaos runs the fault-injection suite under the race detector: the
-# seeded sim chaos sweep (byte-identical traces at any worker count)
-# and the real-socket loopback run with drops, transient send errors,
-# and blackhole windows against a supervised session.
+# seeded sim chaos sweep (byte-identical traces at any worker count),
+# the real-socket loopback run with drops, transient send errors, and
+# blackhole windows against a supervised session, and the pipeline
+# conservation tests (produced == applied + Σ drops under those same
+# faults, at any worker count).
 chaos:
-	$(GO) test -race -count=1 ./internal/faultinject/...
+	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/pipestat/...
 
-check: build vet-tags race chaos sources-demo
+check: build vet-tags race chaos sources-demo health-demo
 
 # online-demo smoke-tests the online analysis engine end to end: a
 # short seeded sweep with -online, the /online handler curled while
@@ -89,6 +91,42 @@ sources-demo:
 	curl -sf http://$(SOURCES_ADDR)/online || { kill $$pid; exit 1; }; \
 	echo "--- source counters on /metrics ---"; \
 	curl -sf http://$(SOURCES_ADDR)/metrics | grep -E '^(source_|relay_)' \
+		|| { kill $$pid; exit 1; }; \
+	kill -INT $$pid; wait $$pid
+
+# health-demo smoke-tests the self-observability plane end to end: a
+# relay comes up (ready once the listener binds), /healthz reports ok,
+# a seeded sweep streams events in with heartbeats, and the final
+# /statusz shows the per-source table and a conservation ledger with
+# nothing unaccounted. The relay is given a short -stale-after so the
+# staleness machinery is armed (the streams stay fresh, so it must
+# still report ok while connected).
+HEALTH_RELAY ?= 127.0.0.1:6080
+HEALTH_ADDR ?= 127.0.0.1:6081
+
+health-demo:
+	@$(GO) build -o /tmp/netprobe-relay ./cmd/netdyn-relay
+	@$(GO) build -o /tmp/netprobe-bolotsim ./cmd/bolotsim
+	@/tmp/netprobe-relay -listen $(HEALTH_RELAY) -debug-addr $(HEALTH_ADDR) \
+		-stale-after 2s & \
+	pid=$$!; sleep 1; \
+	echo "--- GET /healthz (idle relay) ---"; \
+	curl -sf http://$(HEALTH_ADDR)/healthz | grep '"status": "ok"' \
+		|| { kill $$pid; exit 1; }; echo; \
+	/tmp/netprobe-bolotsim -delta 20ms,50ms -duration 5s -seed 42 \
+		-relay $(HEALTH_RELAY) >/dev/null || { kill $$pid; exit 1; }; \
+	sleep 1; \
+	echo "--- GET /healthz (after streaming) ---"; \
+	curl -sf http://$(HEALTH_ADDR)/healthz | grep '"status": "ok"' \
+		|| { kill $$pid; exit 1; }; echo; \
+	echo "--- /statusz: sources and pipeline ledger ---"; \
+	status=$$(curl -sf http://$(HEALTH_ADDR)/statusz) || { kill $$pid; exit 1; }; \
+	echo "$$status" | grep '"sources"' >/dev/null || { kill $$pid; exit 1; }; \
+	echo "$$status" | grep '"unaccounted": 0,\?' >/dev/null \
+		|| { echo "$$status"; echo "pipeline ledger not balanced"; kill $$pid; exit 1; }; \
+	echo "$$status" | grep -o '"heartbeats": [0-9]*'; \
+	echo "--- pipeline gauges on /metrics ---"; \
+	curl -sf http://$(HEALTH_ADDR)/metrics | grep -E '^pipeline_' \
 		|| { kill $$pid; exit 1; }; \
 	kill -INT $$pid; wait $$pid
 

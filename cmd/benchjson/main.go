@@ -13,6 +13,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -21,6 +22,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"netprobe/internal/obs"
 )
 
 // Result is one benchmark's parsed line.
@@ -43,6 +46,9 @@ type Snapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	checkVersion := obs.VersionFlag(flag.CommandLine)
+	flag.Parse()
+	checkVersion()
 	snap, err := parse(os.Stdin)
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,7 @@
 //	         [-trace-max-bytes N] [-online] [-relay host:port]
 //	         [-linger 0s]
 //	         [-log info] [-logfmt text|json] [-debug-addr :6060]
+//	         [-version]
 //
 // -trace-dir additionally records every probe's lifecycle (sent,
 // enqueued per hop, dropped, echoed, rtt) as one otrace JSONL file per
@@ -50,6 +51,7 @@ import (
 	"netprobe/internal/core"
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
+	"netprobe/internal/pipestat"
 	"netprobe/internal/runner"
 	"netprobe/internal/source"
 	"netprobe/internal/trace"
@@ -81,14 +83,22 @@ func main() {
 	)
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
-	// exist before Setup starts the -debug-addr server.
+	// exist before Setup starts the -debug-addr server. The pipeline
+	// monitor rides in the analyzer set, closing the online chain's
+	// conservation ledger at the applied stage (internal/pipestat).
 	var bus *online.Bus
 	var eng *online.Engine
 	if *onlineOn {
+		mon := pipestat.NewMonitor(pipestat.Default.Chain("online"))
 		bus = online.NewBus()
-		eng = online.NewEngine(bus, 0, online.DefaultAnalyzers(obs.Default)...)
+		eng = online.NewEngine(bus, 0, append(online.DefaultAnalyzers(obs.Default), mon)...)
 		online.RegisterDebug(eng)
+		obs.StatusSection("online", func() any {
+			length, capacity := eng.Queue()
+			return map[string]any{"queue_len": length, "queue_cap": capacity, "dropped": eng.Dropped()}
+		})
 	}
+	pipestat.Default.Register()
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -150,7 +160,12 @@ func main() {
 		}
 	}
 	if bus != nil {
-		opts = append(opts, runner.Online(bus))
+		// Produce stamps each event at the tap, counts it into the
+		// online chain's ledger, and forwards to the bus; the engine-side
+		// monitor closes the books at the applied stage.
+		chain := pipestat.Default.Chain("online")
+		chain.Dropped("bus", bus.Dropped)
+		opts = append(opts, runner.Sink(chain.Produce(bus)))
 	}
 	var sender *source.Sender
 	if *relay != "" {
@@ -159,8 +174,14 @@ func main() {
 			log.Fatal(err)
 		}
 		// The runner tags events with each job's label, so the relay's
-		// analyzers bucket them exactly like a local -online run.
-		opts = append(opts, runner.Sink(sender))
+		// analyzers bucket them exactly like a local -online run. The
+		// wire branch keeps its own books: every tapped event ends up
+		// sent or dropped (sticky stream errors), never lost silently.
+		chain := pipestat.Default.Chain("wire")
+		chain.Applied("sender", sender.Sent)
+		chain.Dropped("sender", sender.Dropped)
+		sender.StartHeartbeats(2 * time.Second)
+		opts = append(opts, runner.Sink(chain.Produce(chain.Stage(pipestat.StageWireSent, sender))))
 		slog.Info("relaying events", "to", *relay)
 	}
 	results, summary := runner.RunAll(context.Background(), *seed, jobs, opts...)

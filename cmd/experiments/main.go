@@ -22,7 +22,7 @@
 //	            [-manifest experiments-manifest.json]
 //	            [-trace-dir traces/] [-trace-max-bytes N]
 //	            [-online] [-online-window N] [-relay host:port]
-//	            [-job-timeout 0] [-retries 0]
+//	            [-job-timeout 0] [-retries 0] [-version]
 //
 // -trace-dir writes one probe-lifecycle event file (otrace JSONL) per
 // job, referenced from the manifest; the files are byte-identical at
@@ -70,6 +70,7 @@ import (
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
 	"netprobe/internal/phase"
+	"netprobe/internal/pipestat"
 	"netprobe/internal/plot"
 	"netprobe/internal/queue"
 	"netprobe/internal/route"
@@ -132,13 +133,21 @@ func main() {
 	log.SetPrefix("experiments: ")
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
-	// exist before Setup starts the -debug-addr server.
+	// exist before Setup starts the -debug-addr server. The pipeline
+	// monitor rides in the analyzer set, closing the online chain's
+	// conservation ledger at the applied stage (internal/pipestat).
 	if *onlineOn {
+		mon := pipestat.NewMonitor(pipestat.Default.Chain("online"))
 		onlineBus = online.NewBus()
 		onlineEng = online.NewEngine(onlineBus, 0,
-			online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin))...)
+			append(online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin)), mon)...)
 		online.RegisterDebug(onlineEng)
+		obs.StatusSection("online", func() any {
+			length, capacity := onlineEng.Queue()
+			return map[string]any{"queue_len": length, "queue_cap": capacity, "dropped": onlineEng.Dropped()}
+		})
 	}
+	pipestat.Default.Register()
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -248,7 +257,11 @@ func runAll(ctx context.Context, dur, longDur time.Duration) (map[string]*core.T
 		}
 	}
 	if onlineBus != nil {
-		opts = append(opts, runner.Online(onlineBus))
+		// Produce stamps and counts each tapped event into the online
+		// chain's ledger; the engine-side monitor closes the books.
+		chain := pipestat.Default.Chain("online")
+		chain.Dropped("bus", onlineBus.Dropped)
+		opts = append(opts, runner.Sink(chain.Produce(onlineBus)))
 	}
 	var sender *source.Sender
 	if *relay != "" {
@@ -256,7 +269,13 @@ func runAll(ctx context.Context, dur, longDur time.Duration) (map[string]*core.T
 		if sender, err = source.Dial(*relay); err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, runner.Sink(sender))
+		// The wire branch keeps its own books: every tapped event ends
+		// up sent or dropped (sticky stream errors), never lost silently.
+		chain := pipestat.Default.Chain("wire")
+		chain.Applied("sender", sender.Sent)
+		chain.Dropped("sender", sender.Dropped)
+		sender.StartHeartbeats(2 * time.Second)
+		opts = append(opts, runner.Sink(chain.Produce(chain.Stage(pipestat.StageWireSent, sender))))
 		slog.Info("relaying events", "to", *relay)
 	}
 	results, summary := runner.RunAll(ctx, *seed, jobs, opts...)

@@ -16,13 +16,16 @@ import (
 
 	"netprobe/internal/fec"
 	"netprobe/internal/loss"
+	"netprobe/internal/obs"
 	"netprobe/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lossstats: ")
+	checkVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	checkVersion()
 	if flag.NArg() == 0 {
 		log.Fatal("usage: lossstats trace.csv [...]")
 	}

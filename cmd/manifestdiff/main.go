@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 
+	"netprobe/internal/obs"
 	"netprobe/internal/perfgate"
 )
 
@@ -41,7 +42,9 @@ func main() {
 			"usage: manifestdiff [flags] OLD NEW\n\ncompares two run manifests or two benchmark snapshots\n\n")
 		flag.PrintDefaults()
 	}
+	checkVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	checkVersion()
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"netprobe/internal/dynamics"
+	"netprobe/internal/obs"
 	"netprobe/internal/trace"
 	"netprobe/internal/tsa"
 )
@@ -26,7 +27,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netdiag: ")
+	checkVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	checkVersion()
 	if flag.NArg() == 0 {
 		log.Fatal("usage: netdiag trace.csv [...]")
 	}

@@ -15,6 +15,7 @@
 //	             [-online] [-online-window N] [-relay host:port]
 //	             [-supervise] [-faults plan.json]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
+//	             [-version]
 //
 // With no -count, the probe runs for the paper's 10 minutes
 // (duration/delta packets). -report 0 disables the in-flight reports.
@@ -68,6 +69,7 @@ import (
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
 	"netprobe/internal/otrace"
+	"netprobe/internal/pipestat"
 	"netprobe/internal/source"
 	"netprobe/internal/trace"
 )
@@ -98,15 +100,23 @@ func main() {
 	)
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
-	// exist before Setup starts the -debug-addr server.
+	// exist before Setup starts the -debug-addr server. The pipeline
+	// monitor rides in the analyzer set, closing the online chain's
+	// conservation ledger at the applied stage (internal/pipestat).
 	var bus *online.Bus
 	var eng *online.Engine
 	if *onlineOn {
+		mon := pipestat.NewMonitor(pipestat.Default.Chain("online"))
 		bus = online.NewBus()
 		eng = online.NewEngine(bus, 0,
-			online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin))...)
+			append(online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin)), mon)...)
 		online.RegisterDebug(eng)
+		obs.StatusSection("online", func() any {
+			length, capacity := eng.Queue()
+			return map[string]any{"queue_len": length, "queue_cap": capacity, "dropped": eng.Dropped()}
+		})
 	}
+	pipestat.Default.Register()
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -152,8 +162,13 @@ func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
 		if err != nil {
 			return err
 		}
+		// The trace branch keeps its own conservation books: produced at
+		// the tap, dropped by the bounded queue, applied by the writer.
+		chain := pipestat.Default.Chain("trace")
 		b := otrace.NewBounded(w, 4096)
-		sinks = append(sinks, b)
+		chain.Applied("writer", w.Events)
+		chain.Dropped("queue", b.Dropped)
+		sinks = append(sinks, chain.Produce(b))
 		defer func() {
 			b.Close() //nolint:errcheck // always nil
 			if err := w.Close(); err != nil {
@@ -168,8 +183,11 @@ func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
 	}
 	if bus != nil {
 		// Events are tagged with the target so the /online snapshots
-		// carry a meaningful job name.
-		sinks = append(sinks, online.Tag(bus, cfg.Target, 0))
+		// carry a meaningful job name; Produce stamps them for stage-lag
+		// tracing and counts them into the online chain's ledger.
+		chain := pipestat.Default.Chain("online")
+		chain.Dropped("bus", bus.Dropped)
+		sinks = append(sinks, chain.Produce(online.Tag(bus, cfg.Target, 0)))
 	}
 	if relay != "" {
 		sender, err := source.Dial(relay)
@@ -178,9 +196,19 @@ func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
 		}
 		// Tagged like the local bus so the relay's analyzers key this
 		// prober by its target; bounded so a stalled relay can only
-		// lose events, never delay probe pacing.
-		b := otrace.NewBounded(online.Tag(sender, cfg.Target, 0), 4096)
-		sinks = append(sinks, b)
+		// lose events, never delay probe pacing — and every loss lands
+		// in the wire chain's books (queue drops or sender drops). The
+		// wire_sent stage tap, sitting past the queue, records how far
+		// frame writes lag the probe that caused them. Heartbeats keep
+		// the relay's staleness and clock-skew tracking fed between
+		// probes.
+		chain := pipestat.Default.Chain("wire")
+		chain.Applied("sender", sender.Sent)
+		chain.Dropped("sender", sender.Dropped)
+		sender.StartHeartbeats(2 * time.Second)
+		b := otrace.NewBounded(online.Tag(chain.Stage(pipestat.StageWireSent, sender), cfg.Target, 0), 4096)
+		chain.Dropped("queue", b.Dropped)
+		sinks = append(sinks, chain.Produce(b))
 		slog.Info("relaying events", "to", relay)
 		defer func() {
 			b.Close() //nolint:errcheck // always nil

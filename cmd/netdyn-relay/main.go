@@ -12,8 +12,9 @@
 //
 //	netdyn-relay [-listen 127.0.0.1:7777] [-trace events.jsonl]
 //	             [-online-window N] [-lossy] [-queue 1024]
-//	             [-linger 0s]
+//	             [-stale-after 30s] [-linger 0s]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
+//	             [-version]
 //
 // Events arrive already tagged with their job identity (online.Tag on
 // the producing side), so the relay's analyzers bucket them per job
@@ -30,6 +31,14 @@
 // -trace additionally appends every relayed event to a JSONL file —
 // the relay as a durable trace collector.
 //
+// The relay watches itself the way it watches paths: the -debug-addr
+// server's /healthz reports readiness (degraded while any connected
+// source has been silent past -stale-after), /statusz reports the
+// per-source table (event/drop totals, last-event age, heartbeat clock
+// skew) plus the pipeline ledger, and /metrics carries the
+// pipeline.events / pipeline.lag stage series with the
+// pipeline.unaccounted conservation gauge (see internal/pipestat).
+//
 // SIGINT or SIGTERM drains connected streams (bounded by a 5 s grace
 // period), flushes the analyzers, and exits; -linger then holds the
 // debug endpoints open so final snapshots can be scraped.
@@ -37,6 +46,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +60,7 @@ import (
 	"netprobe/internal/obs"
 	"netprobe/internal/online"
 	"netprobe/internal/otrace"
+	"netprobe/internal/pipestat"
 	"netprobe/internal/source"
 )
 
@@ -63,22 +74,35 @@ func main() {
 			"cap the online analyzers to the trailing N probes (0 = all-time statistics)")
 		lossy = flag.Bool("lossy", false,
 			"drop events (counted as source.dropped) instead of backpressuring slow peers")
-		queue  = flag.Int("queue", 1024, "per-connection queue capacity in -lossy mode")
+		queue      = flag.Int("queue", 1024, "per-connection queue capacity in -lossy mode")
+		staleAfter = flag.Duration("stale-after", 30*time.Second,
+			"mark a connected source degraded on /healthz after this much silence (0 disables)")
 		linger = flag.Duration("linger", 0,
 			"keep the process (and -debug-addr endpoints) alive this long after shutdown")
 		obsFlags = obs.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
-	// exist before Setup starts the -debug-addr server.
+	// exist before Setup starts the -debug-addr server. The pipeline
+	// monitor rides in the analyzer set, closing the relay chain's
+	// ledger at the applied stage.
+	chain := pipestat.Default.Chain("relay")
+	mon := pipestat.NewMonitor(chain)
 	bus := online.NewBus()
 	eng := online.NewEngine(bus, 0,
-		online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin))...)
+		append(online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin)), mon)...)
 	online.RegisterDebug(eng)
+	pipestat.Default.Register()
+	obs.StatusSection("online", func() any {
+		length, capacity := eng.Queue()
+		return map[string]any{"queue_len": length, "queue_cap": capacity, "dropped": eng.Dropped()}
+	})
+	// Not ready until the listener is bound; run clears this.
+	obs.DefaultHealth.SetError("listener", errNotListening)
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*listen, *events, bus, eng, *lossy, *queue); err != nil {
+	if err := run(*listen, *events, bus, eng, chain, *lossy, *queue, *staleAfter); err != nil {
 		log.Fatal(err)
 	}
 	if *linger > 0 {
@@ -87,7 +111,11 @@ func main() {
 	}
 }
 
-func run(listen, events string, bus *online.Bus, eng *online.Engine, lossy bool, queue int) error {
+// errNotListening is the readiness condition the relay starts in.
+var errNotListening = errors.New("listener not bound yet")
+
+func run(listen, events string, bus *online.Bus, eng *online.Engine,
+	chain *pipestat.Chain, lossy bool, queue int, staleAfter time.Duration) error {
 	// The relayed events already carry Job/Index tags from their
 	// producers, so the bus is fed directly — no re-tagging.
 	sinks := []otrace.Sink{bus}
@@ -97,6 +125,11 @@ func run(listen, events string, bus *online.Bus, eng *online.Engine, lossy bool,
 			return err
 		}
 		sinks = append(sinks, w)
+		// The trace-file branch conserves on its own chain: delivered
+		// events in, writer events out (the Writer is synchronous and
+		// lossless, so this book should always balance).
+		trace := pipestat.Default.Chain("relay.trace")
+		trace.Applied("writer", w.Events)
 		defer func() {
 			if err := w.Close(); err != nil {
 				slog.Error("closing event trace", "err", err)
@@ -108,19 +141,37 @@ func run(listen, events string, bus *online.Bus, eng *online.Engine, lossy bool,
 
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
+		obs.DefaultHealth.SetError("listener", err)
 		return err
 	}
 	srv, err := source.Serve(ln, source.ServerConfig{
-		Sink:    otrace.Multi(sinks...),
-		Metrics: obs.Default,
-		Lossy:   lossy,
-		Queue:   queue,
+		Sink:       otrace.Multi(sinks...),
+		Metrics:    obs.Default,
+		Lossy:      lossy,
+		Queue:      queue,
+		StaleAfter: staleAfter,
+		Health:     obs.DefaultHealth,
 		Logf: func(format string, args ...any) {
 			slog.Info(fmt.Sprintf(format, args...))
 		},
 	})
 	if err != nil {
 		return err
+	}
+	obs.DefaultHealth.SetError("listener", nil) // bound and accepting: ready
+	obs.StatusSection("sources", func() any { return srv.Sources() })
+	// The relay chain's books: ingress (delivered + queue drops) must
+	// equal the queue drops plus the bus drops plus what the analyzers
+	// applied, once drained.
+	chain.Produced("ingress", func() int64 {
+		delivered, dropped := srv.Totals()
+		return delivered + dropped
+	})
+	chain.Dropped("queue", func() int64 { _, dropped := srv.Totals(); return dropped })
+	chain.Dropped("bus", bus.Dropped)
+	if events != "" {
+		pipestat.Default.Chain("relay.trace").Produced("delivered",
+			func() int64 { delivered, _ := srv.Totals(); return delivered })
 	}
 	fmt.Printf("relaying event streams on %s\n", srv.Addr())
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 
+	"netprobe/internal/obs"
 	"netprobe/internal/phase"
 	"netprobe/internal/plot"
 	"netprobe/internal/trace"
@@ -27,7 +28,9 @@ func main() {
 		h     = flag.Int("h", 28, "plot height in characters")
 		first = flag.Int("first", 800, "use only the first N probes (0 = all), as the paper's figures do")
 	)
+	checkVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	checkVersion()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: phaseplot [flags] trace.csv")
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 
+	"netprobe/internal/obs"
 	"netprobe/internal/phase"
 	"netprobe/internal/plot"
 	"netprobe/internal/trace"
@@ -29,7 +30,9 @@ func main() {
 		mu  = flag.Float64("mu", 0, "bottleneck bandwidth in b/s (0 = from trace or phase plot)")
 		bin = flag.Float64("bin", 1.5, "histogram bin width in ms")
 	)
+	checkVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	checkVersion()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: workloadist [flags] trace.csv")
 	}

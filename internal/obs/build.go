@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version identifies the build. It defaults to "dev" and is meant to
+// be injected at link time:
+//
+//	go build -ldflags "-X netprobe/internal/obs.Version=$(git describe --always --dirty)" ./...
+//
+// Every command exposes it through the shared -version flag (see
+// Flags), the build.info metric on /metrics, and the /statusz
+// document.
+var Version = "dev"
+
+// BuildString renders the one-line build identity the -version flag
+// prints: program version plus the Go toolchain that compiled it.
+func BuildString(program string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", program, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// RegisterBuildInfo publishes the conventional build-info metric: a
+// constant-1 gauge whose labels carry the version identities, so a
+// scraper can join any other series against the code that produced it:
+//
+//	build_info{version="v1.2.3",go="go1.24.0"} 1
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge(Label("build.info", "version", Version, "go", runtime.Version())).Set(1)
+}

@@ -45,6 +45,33 @@ var extraHandlers struct {
 	handlers map[string]http.Handler
 }
 
+// Per-scrape collectors: functions run at the top of every /metrics
+// request so pull-derived values (the process collector's runtime
+// stats, the pipeline ledger's unaccounted gauge) are fresh without
+// any background refresher goroutine.
+var scrapeHooks struct {
+	mu  sync.Mutex
+	fns []func()
+}
+
+// OnScrape registers fn to run before every /metrics exposition (on
+// every debug server, current and future). Use it for gauges computed
+// from other counters rather than written on a hot path.
+func OnScrape(fn func()) {
+	scrapeHooks.mu.Lock()
+	defer scrapeHooks.mu.Unlock()
+	scrapeHooks.fns = append(scrapeHooks.fns, fn)
+}
+
+func runScrapeHooks() {
+	scrapeHooks.mu.Lock()
+	fns := append([]func(){}, scrapeHooks.fns...)
+	scrapeHooks.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
 // HandleDebug registers handler at pattern on every debug server
 // started after the call. Registering the same pattern again replaces
 // the handler (commands and tests re-wire across runs). It must be
@@ -63,11 +90,13 @@ func HandleDebug(pattern string, handler http.Handler) {
 
 // ServeDebug publishes reg under the expvar name "netprobe" and
 // serves /metrics (Prometheus text exposition, with process.* runtime
-// metrics refreshed per scrape), /debug/vars, /debug/pprof/*, and any
-// HandleDebug extensions on addr in a background goroutine, returning
-// the bound address (useful with ":0"). The server lives for the
-// remainder of the process; commands treat it as a debugging tap, not
-// a managed component.
+// metrics and OnScrape hooks refreshed per scrape), /healthz (the
+// DefaultHealth liveness/readiness probe), /statusz (build info,
+// uptime, and every registered StatusSection), /debug/vars,
+// /debug/pprof/*, and any HandleDebug extensions on addr in a
+// background goroutine, returning the bound address (useful with
+// ":0"). The server lives for the remainder of the process; commands
+// treat it as a debugging tap, not a managed component.
 func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
 	publishRegistry(reg)
 	proc := NewProcessCollector(reg)
@@ -76,8 +105,11 @@ func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		proc.Collect()
+		runScrapeHooks()
 		metricsHandler.ServeHTTP(w, r)
 	}))
+	mux.Handle("/healthz", DefaultHealth.Handler())
+	mux.Handle("/statusz", StatusHandler(DefaultHealth))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -18,21 +18,42 @@ type Flags struct {
 	Level string
 	// Format selects the slog handler: "text" or "json".
 	Format string
-	// DebugAddr, when non-empty, serves /debug/vars (expvar,
-	// including the registry snapshot) and /debug/pprof on that
-	// address.
+	// DebugAddr, when non-empty, serves /metrics, /healthz, /statusz,
+	// /debug/vars (expvar, including the registry snapshot), and
+	// /debug/pprof on that address.
 	DebugAddr string
+	// Version makes Setup print the build identity (see BuildString)
+	// and exit 0 — the shared -version flag.
+	Version bool
+
+	name string
 }
 
-// RegisterFlags registers -log, -logfmt, and -debug-addr on fs and
-// returns the struct the parsed values land in.
+// RegisterFlags registers -log, -logfmt, -debug-addr, and -version on
+// fs and returns the struct the parsed values land in.
 func RegisterFlags(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{name: fs.Name()}
 	fs.StringVar(&f.Level, "log", "info", "log level: debug, info, warn, or error")
 	fs.StringVar(&f.Format, "logfmt", "text", "log format: text or json")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "",
-		"serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		"serve /metrics, /healthz, /statusz, /debug/vars, and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&f.Version, "version", false, "print the build version and exit")
 	return f
+}
+
+// VersionFlag registers just -version on fs, for the small analysis
+// CLIs that don't carry the full observability flag set. It returns a
+// function to call right after parsing: when the flag was given it
+// prints the build identity (see BuildString) and exits 0.
+func VersionFlag(fs *flag.FlagSet) func() {
+	v := fs.Bool("version", false, "print the build version and exit")
+	name := fs.Name()
+	return func() {
+		if *v {
+			fmt.Println(BuildString(filepathBase(name)))
+			os.Exit(0)
+		}
+	}
 }
 
 // ParseLevel maps a level name to its slog.Level.
@@ -63,11 +84,17 @@ func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, erro
 	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
 }
 
-// Setup applies the parsed flags: it installs the process-default
-// slog.Logger (writing to stderr) and, if -debug-addr was given,
-// publishes reg through expvar and starts the debug HTTP server. The
+// Setup applies the parsed flags: it handles -version (print the
+// build identity and exit 0), installs the process-default slog.Logger
+// (writing to stderr), registers the build.info metric on reg, and, if
+// -debug-addr was given, publishes reg through expvar and starts the
+// debug HTTP server (with /metrics, /healthz, and /statusz). The
 // returned logger is also the new slog default.
 func (f *Flags) Setup(reg *Registry) (*slog.Logger, error) {
+	if f.Version {
+		fmt.Println(BuildString(filepathBase(f.name)))
+		os.Exit(0)
+	}
 	level, err := ParseLevel(f.Level)
 	if err != nil {
 		return nil, err
@@ -77,12 +104,16 @@ func (f *Flags) Setup(reg *Registry) (*slog.Logger, error) {
 		return nil, err
 	}
 	slog.SetDefault(logger)
+	if reg != nil {
+		RegisterBuildInfo(reg)
+	}
 	if f.DebugAddr != "" {
 		addr, err := ServeDebug(f.DebugAddr, reg)
 		if err != nil {
 			return nil, err
 		}
 		logger.Info("debug endpoint up", "addr", addr.String(),
+			"metrics", "/metrics", "health", "/healthz", "status", "/statusz",
 			"vars", "/debug/vars", "pprof", "/debug/pprof/")
 	}
 	return logger, nil

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// processStart anchors the uptime reported by /healthz and /statusz.
+var processStart = time.Now()
+
+// Uptime is how long this process has been running.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// Health tracks a process's liveness and readiness as a set of named
+// component conditions. Serving /healthz at all is the liveness
+// signal; readiness is the conjunction of every registered condition.
+// Two kinds of condition exist:
+//
+//   - static errors, set and cleared by the component as its state
+//     changes (SetError with nil clears), e.g. "relay listener failed
+//     to bind";
+//   - live checks, functions evaluated at request time, e.g. "is any
+//     connected source silent past the staleness threshold" — state
+//     that only an observer-relative clock can decide.
+//
+// All methods are safe for concurrent use.
+type Health struct {
+	mu     sync.Mutex
+	errs   map[string]string
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty (ready) Health.
+func NewHealth() *Health {
+	return &Health{
+		errs:   make(map[string]string),
+		checks: make(map[string]func() error),
+	}
+}
+
+// DefaultHealth is the process-wide health state ServeDebug exposes at
+// /healthz on every -debug-addr server.
+var DefaultHealth = NewHealth()
+
+// SetError records component as failed for the given reason; a nil err
+// clears the condition. Use it for state transitions the component
+// itself observes (a bind failure, a closed upstream).
+func (h *Health) SetError(component string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err == nil {
+		delete(h.errs, component)
+		return
+	}
+	h.errs[component] = err.Error()
+}
+
+// AddCheck registers a live readiness check evaluated on every probe.
+// fn returns nil when the component is healthy. Registering the same
+// component again replaces the check.
+func (h *Health) AddCheck(component string, fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[component] = fn
+}
+
+// Remove drops both the static condition and the live check registered
+// under component (used by components shutting down cleanly).
+func (h *Health) Remove(component string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.errs, component)
+	delete(h.checks, component)
+}
+
+// Problem is one failing readiness condition.
+type Problem struct {
+	Component string `json:"component"`
+	Reason    string `json:"reason"`
+}
+
+// Problems evaluates every condition and returns the failing ones,
+// sorted by component. An empty slice means ready.
+func (h *Health) Problems() []Problem {
+	h.mu.Lock()
+	out := make([]Problem, 0, len(h.errs))
+	for c, reason := range h.errs {
+		out = append(out, Problem{Component: c, Reason: reason})
+	}
+	checks := make(map[string]func() error, len(h.checks))
+	for c, fn := range h.checks {
+		checks[c] = fn
+	}
+	h.mu.Unlock()
+	// Checks run outside the lock: they may take other locks (a relay's
+	// source table) and must not deadlock against SetError from there.
+	for c, fn := range checks {
+		if err := fn(); err != nil {
+			out = append(out, Problem{Component: c, Reason: err.Error()})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Component < out[k].Component })
+	return out
+}
+
+// healthDoc is the GET /healthz body.
+type healthDoc struct {
+	// Status is "ok" when every readiness condition passes, "degraded"
+	// otherwise. The HTTP status mirrors it: 200 vs 503.
+	Status string `json:"status"`
+	// Alive is always true: a process that can serve this document is
+	// live regardless of readiness (liveness probes key on the HTTP
+	// round trip or this field, readiness probes on Status).
+	Alive     bool      `json:"alive"`
+	UptimeSec float64   `json:"uptime_sec"`
+	Problems  []Problem `json:"problems,omitempty"`
+}
+
+// Handler serves GET /healthz: HTTP 200 with {"status":"ok"} while
+// every condition passes, HTTP 503 with {"status":"degraded"} and the
+// failure reasons otherwise.
+func (h *Health) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		problems := h.Problems()
+		doc := healthDoc{Status: "ok", Alive: true, UptimeSec: Uptime().Seconds(), Problems: problems}
+		code := http.StatusOK
+		if len(problems) > 0 {
+			doc.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, doc)
+	})
+}
+
+// Status sections registered by other packages; /statusz renders each
+// section's provider output under its name. Providers must return
+// JSON-serializable values and be safe for concurrent calls.
+var statusSections struct {
+	mu       sync.Mutex
+	names    []string
+	provider map[string]func() any
+}
+
+// StatusSection registers (or replaces) a named section of the
+// /statusz document. Components register once at startup — e.g. the
+// relay's per-source table, the pipeline ledger, the online engine's
+// queue depths.
+func StatusSection(name string, fn func() any) {
+	statusSections.mu.Lock()
+	defer statusSections.mu.Unlock()
+	if statusSections.provider == nil {
+		statusSections.provider = make(map[string]func() any)
+	}
+	if _, ok := statusSections.provider[name]; !ok {
+		statusSections.names = append(statusSections.names, name)
+	}
+	statusSections.provider[name] = fn
+}
+
+// statusDoc is the GET /statusz body.
+type statusDoc struct {
+	Program   string         `json:"program"`
+	Version   string         `json:"version"`
+	Go        string         `json:"go"`
+	PID       int            `json:"pid"`
+	StartTime time.Time      `json:"start_time"`
+	UptimeSec float64        `json:"uptime_sec"`
+	Status    string         `json:"status"`
+	Problems  []Problem      `json:"problems,omitempty"`
+	Sections  map[string]any `json:"sections,omitempty"`
+}
+
+// StatusHandler serves GET /statusz: build identity, uptime, the
+// health verdict, and every registered status section — the one-stop
+// "what is this process doing" page next to /metrics' time series.
+func StatusHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		problems := h.Problems()
+		doc := statusDoc{
+			Program:   filepathBase(os.Args[0]),
+			Version:   Version,
+			Go:        runtime.Version(),
+			PID:       os.Getpid(),
+			StartTime: processStart,
+			UptimeSec: Uptime().Seconds(),
+			Status:    "ok",
+			Problems:  problems,
+		}
+		if len(problems) > 0 {
+			doc.Status = "degraded"
+		}
+		statusSections.mu.Lock()
+		names := append([]string(nil), statusSections.names...)
+		providers := make([]func() any, len(names))
+		for i, n := range names {
+			providers[i] = statusSections.provider[n]
+		}
+		statusSections.mu.Unlock()
+		if len(names) > 0 {
+			doc.Sections = make(map[string]any, len(names))
+			for i, n := range names {
+				doc.Sections[n] = providers[i]()
+			}
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+}
+
+// filepathBase avoids importing path/filepath for one call on a
+// display-only string (os.Args[0] may be a bare name or a path).
+func filepathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client gone
+}

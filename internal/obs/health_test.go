@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func getJSON(t *testing.T, h http.Handler) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, doc
+}
+
+// TestHealthHandlerFlips walks a Health through its lifecycle and pins
+// the HTTP contract: 200 {"status":"ok"} while ready, 503
+// {"status":"degraded"} with reasons while not, alive:true throughout.
+func TestHealthHandlerFlips(t *testing.T) {
+	h := NewHealth()
+	code, doc := getJSON(t, h.Handler())
+	if code != http.StatusOK || doc["status"] != "ok" || doc["alive"] != true {
+		t.Fatalf("empty health: code=%d doc=%v", code, doc)
+	}
+
+	h.SetError("listener", errors.New("bind: address in use"))
+	code, doc = getJSON(t, h.Handler())
+	if code != http.StatusServiceUnavailable || doc["status"] != "degraded" {
+		t.Fatalf("failed condition: code=%d doc=%v", code, doc)
+	}
+	if !strings.Contains(fmt.Sprint(doc["problems"]), "address in use") {
+		t.Fatalf("reason missing from %v", doc["problems"])
+	}
+	if doc["alive"] != true {
+		t.Fatal("a degraded process is still alive")
+	}
+
+	h.SetError("listener", nil) // clearing restores readiness
+	if code, _ := getJSON(t, h.Handler()); code != http.StatusOK {
+		t.Fatalf("cleared condition still failing: %d", code)
+	}
+
+	// Live checks are evaluated per probe: the same handler flips as
+	// the checked state changes, no SetError calls needed.
+	stale := true
+	h.AddCheck("sources", func() error {
+		if stale {
+			return errors.New("stale sources: probe-a")
+		}
+		return nil
+	})
+	if code, _ := getJSON(t, h.Handler()); code != http.StatusServiceUnavailable {
+		t.Fatal("failing live check did not degrade")
+	}
+	stale = false
+	if code, _ := getJSON(t, h.Handler()); code != http.StatusOK {
+		t.Fatal("passing live check still degraded")
+	}
+	stale = true
+	h.Remove("sources")
+	if code, _ := getJSON(t, h.Handler()); code != http.StatusOK {
+		t.Fatal("removed check still evaluated")
+	}
+}
+
+// TestProblemsSorted: multiple failures report deterministically.
+func TestProblemsSorted(t *testing.T) {
+	h := NewHealth()
+	h.SetError("zebra", errors.New("z"))
+	h.SetError("alpha", errors.New("a"))
+	h.AddCheck("mid", func() error { return errors.New("m") })
+	p := h.Problems()
+	if len(p) != 3 || p[0].Component != "alpha" || p[1].Component != "mid" || p[2].Component != "zebra" {
+		t.Fatalf("problems not sorted: %+v", p)
+	}
+}
+
+// TestStatusHandler pins the /statusz document shape: build identity,
+// health verdict, and registered sections.
+func TestStatusHandler(t *testing.T) {
+	h := NewHealth()
+	StatusSection("test-section", func() any { return map[string]int{"n": 42} })
+	// Re-registering replaces, not duplicates.
+	StatusSection("test-section", func() any { return map[string]int{"n": 43} })
+
+	code, doc := getJSON(t, StatusHandler(h))
+	if code != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("statusz: code=%d doc=%v", code, doc)
+	}
+	if doc["version"] != Version || doc["go"] != runtime.Version() {
+		t.Fatalf("build identity wrong: %v", doc)
+	}
+	sections, _ := doc["sections"].(map[string]any)
+	sec, _ := sections["test-section"].(map[string]any)
+	if sec["n"] != float64(43) {
+		t.Fatalf("section not rendered/replaced: %v", sections)
+	}
+
+	// /statusz reports degradation but stays HTTP 200: it is a
+	// diagnostics page, not a probe endpoint.
+	h.SetError("x", errors.New("boom"))
+	code, doc = getJSON(t, StatusHandler(h))
+	if code != http.StatusOK || doc["status"] != "degraded" {
+		t.Fatalf("degraded statusz: code=%d doc=%v", code, doc)
+	}
+}
+
+// TestRegistryUnregister: deleted metrics vanish from snapshots (the
+// lifecycle behind per-job online.* gauge cleanup), and re-creating
+// the name starts fresh.
+func TestRegistryUnregister(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge(Label("online.ulp", "job", "a")).Set(7)
+	reg.Gauge(Label("online.ulp", "job", "b")).Set(9)
+	reg.Counter("keep").Inc()
+
+	reg.Unregister(Label("online.ulp", "job", "a"), "never-existed")
+	snap := reg.Snapshot()
+	if _, ok := snap.Gauges[Label("online.ulp", "job", "a")]; ok {
+		t.Fatal("unregistered gauge still in snapshot")
+	}
+	if snap.Gauges[Label("online.ulp", "job", "b")] != 9 {
+		t.Fatal("sibling gauge lost")
+	}
+	if snap.Counters["keep"] != 1 {
+		t.Fatal("unrelated counter lost")
+	}
+	// The name is free again: a new registration starts at zero, not at
+	// the dead gauge's last value.
+	if v := reg.Gauge(Label("online.ulp", "job", "a")).Value(); v != 0 {
+		t.Fatalf("recreated gauge inherited value %d", v)
+	}
+}
+
+// TestBuildInfoMetric: the conventional constant-1 gauge with identity
+// labels.
+func TestBuildInfoMetric(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	name := Label("build.info", "version", Version, "go", runtime.Version())
+	if v := reg.Snapshot().Gauges[name]; v != 1 {
+		t.Fatalf("%s = %d, want 1", name, v)
+	}
+	if !strings.Contains(BuildString("prog"), Version) {
+		t.Fatalf("BuildString misses version: %q", BuildString("prog"))
+	}
+}

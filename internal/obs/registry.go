@@ -379,6 +379,25 @@ func (r *Registry) Timer(name string) *Timer {
 	return &Timer{h: r.Histogram(name, nil)}
 }
 
+// Unregister removes the named metrics (counters, gauges, float
+// gauges, and histograms alike) from the registry, so they no longer
+// appear in snapshots or on /metrics. Unknown names are ignored. A
+// later lookup under the same name creates a fresh zero-valued metric;
+// writers still holding the old object keep a detached counter that is
+// simply never exported again. Long-lived servers use this to bound
+// scrape cardinality: per-job gauges are unregistered when the job's
+// analyzers are finalized (see internal/online).
+func (r *Registry) Unregister(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range names {
+		delete(r.counters, name)
+		delete(r.gauges, name)
+		delete(r.fgauges, name)
+		delete(r.hists, name)
+	}
+}
+
 // Snapshot captures every metric in the registry. It is safe to call
 // while writers are active.
 func (r *Registry) Snapshot() Snapshot {

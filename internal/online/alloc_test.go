@@ -1,0 +1,29 @@
+//go:build !race
+
+package online
+
+import (
+	"testing"
+
+	"netprobe/internal/otrace"
+)
+
+// TestBusEmitAllocs pins the fan-out hot path: publishing an event to
+// subscribers is a channel send of a value struct — no per-event
+// allocation, however many analyzers listen. (Excluded under -race,
+// which instruments allocations.)
+func TestBusEmitAllocs(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe("bench", 1<<16)
+	defer b.Close()
+	go func() { // drain so the queue never fills
+		for range sub.Events() {
+		}
+	}()
+	ev := otrace.Event{T: 123, Ev: otrace.KindRTT, Seq: 7, RTTNs: 456}
+	if n := testing.AllocsPerRun(1000, func() {
+		b.Emit(ev)
+	}); n != 0 {
+		t.Errorf("Bus.Emit allocates %.1f per event, want 0", n)
+	}
+}

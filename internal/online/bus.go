@@ -53,6 +53,15 @@ type Subscription struct {
 	name    string
 	ch      chan otrace.Event
 	dropped atomic.Int64
+
+	// mu makes offer and the channel close safe to race: offers send
+	// under the read lock, Close flips closed and closes ch under the
+	// write lock — which waits out every in-flight send, so close(ch)
+	// never interleaves with ch<- (a data race in the Go memory model,
+	// not just a recoverable panic). Offers after the flip count as
+	// drops without touching the channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // Events is the subscriber's receive channel. It is closed by
@@ -67,6 +76,13 @@ func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
 // Name reports the label passed to Subscribe.
 func (s *Subscription) Name() string { return s.name }
+
+// Len reports how many accepted events are waiting in the queue — the
+// subscriber's instantaneous backlog, surfaced on /statusz.
+func (s *Subscription) Len() int { return len(s.ch) }
+
+// Cap reports the queue capacity.
+func (s *Subscription) Cap() int { return cap(s.ch) }
 
 // Subscribe adds a subscriber with the given queue capacity
 // (capacity <= 0 means DefaultQueue). Subscribing to a closed bus
@@ -101,16 +117,26 @@ func (b *Bus) Emit(ev otrace.Event) {
 }
 
 func (s *Subscription) offer(ev otrace.Event) {
-	defer func() {
-		if recover() != nil { // send on closed channel: Emit after Close
-			s.dropped.Add(1)
-		}
-	}()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return
+	}
 	select {
 	case s.ch <- ev:
 	default:
 		s.dropped.Add(1)
 	}
+}
+
+// closeCh flips the subscription closed and closes its channel, after
+// waiting out any in-flight offer.
+func (s *Subscription) closeCh() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.ch)
 }
 
 // Close closes every subscriber channel, letting consumers drain what
@@ -124,7 +150,7 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	for _, s := range *b.subs.Load() {
-		close(s.ch)
+		s.closeCh()
 	}
 }
 

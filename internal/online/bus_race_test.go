@@ -1,0 +1,59 @@
+package online
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"netprobe/internal/otrace"
+)
+
+// TestBusConservationRacingClose: emitters racing Bus.Close must not
+// lose or double-count events — every Emit either lands in the
+// subscriber's channel or increments its drop counter, and the close
+// never panics or races the in-flight sends. Close fires with no
+// delay, so it races the very first emits as often as the last.
+func TestBusConservationRacingClose(t *testing.T) {
+	const (
+		emitters = 8
+		perG     = 5000
+		total    = emitters * perG
+	)
+	bus := NewBus()
+	sub := bus.Subscribe("race", total) // roomy: full-queue drops would be legit too
+
+	var delivered atomic.Int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range sub.Events() {
+			delivered.Add(1)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				bus.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: i})
+			}
+		}()
+	}
+	bus.Close()
+	wg.Wait()
+	<-drained
+
+	if got := delivered.Load() + sub.Dropped(); got != total {
+		t.Fatalf("conservation violated racing close: delivered %d + dropped %d = %d, want %d",
+			delivered.Load(), sub.Dropped(), got, total)
+	}
+
+	// Emit after a settled Close is pure drop-counting.
+	before := sub.Dropped()
+	bus.Emit(otrace.Event{Ev: otrace.KindProbeSent})
+	if sub.Dropped() != before+1 {
+		t.Fatalf("post-close Emit not counted as drop: %d -> %d", before, sub.Dropped())
+	}
+}

@@ -68,6 +68,10 @@ func (e *Engine) Wait() { <-e.done }
 // not exact; the convergence guarantee only holds at zero.
 func (e *Engine) Dropped() int64 { return e.sub.Dropped() }
 
+// Queue reports the engine subscription's instantaneous backlog and
+// capacity, for the /statusz queue-depth table.
+func (e *Engine) Queue() (length, capacity int) { return e.sub.Len(), e.sub.Cap() }
+
 // Analyzer returns the analyzer with the given name, or nil.
 func (e *Engine) Analyzer(name string) Analyzer { return e.byName[name] }
 

@@ -1,0 +1,79 @@
+package online
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// jobGauges returns every metric name in reg labelled with the job.
+func jobGauges(reg *obs.Registry, job string) []string {
+	label := "job=" + job
+	var out []string
+	snap := reg.Snapshot()
+	for name := range snap.Gauges {
+		if strings.Contains(name, label) {
+			out = append(out, name)
+		}
+	}
+	for name := range snap.FloatGauges {
+		if strings.Contains(name, label) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestJobFinalizeDeletesGauges: a finished job's online.*{job=} gauges
+// are unregistered by its job_finish bracket, so a long-lived relay's
+// /metrics page doesn't accumulate one gauge set per job ever seen —
+// while live jobs' gauges survive untouched.
+func TestJobFinalizeDeletesGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	analyzers := DefaultAnalyzers(reg)
+	feed := func(job string, evs ...otrace.Event) {
+		for _, ev := range evs {
+			ev.Job = job
+			for _, a := range analyzers {
+				a.HandleEvent(ev)
+			}
+		}
+	}
+	run := []otrace.Event{
+		{Ev: otrace.KindRunStart, DeltaNs: int64(50 * time.Millisecond),
+			WireBytes: 72, BottleneckBps: 1_536_000, Count: 100},
+	}
+	for i := 0; i < 20; i++ {
+		run = append(run,
+			otrace.Event{Ev: otrace.KindProbeSent, Seq: i},
+			otrace.Event{Ev: otrace.KindRTT, Seq: i, RTTNs: int64(80+i) * int64(time.Millisecond)})
+	}
+	feed("live", run...)
+	feed("done", run...)
+
+	if g := jobGauges(reg, "done"); len(g) == 0 {
+		t.Fatal("no per-job gauges registered while the job ran")
+	}
+	liveBefore := jobGauges(reg, "live")
+
+	feed("done", otrace.Event{Ev: otrace.KindJobFinish})
+	if g := jobGauges(reg, "done"); len(g) != 0 {
+		t.Fatalf("finalized job's gauges survived: %v", g)
+	}
+	if g := jobGauges(reg, "live"); len(g) != len(liveBefore) {
+		t.Fatalf("live job's gauges disturbed: had %v, now %v", liveBefore, g)
+	}
+
+	// Stragglers after the job_finish bracket (a queue draining late, a
+	// duplicate finish) must not resurrect dead gauges.
+	feed("done",
+		otrace.Event{Ev: otrace.KindProbeSent, Seq: 20},
+		otrace.Event{Ev: otrace.KindRTT, Seq: 20, RTTNs: int64(100 * time.Millisecond)},
+		otrace.Event{Ev: otrace.KindJobFinish})
+	if g := jobGauges(reg, "done"); len(g) != 0 {
+		t.Fatalf("post-finalize stragglers re-registered gauges: %v", g)
+	}
+}

@@ -87,7 +87,7 @@ func (a *LossAnalyzer) job(key string) *lossJob {
 // HandleEvent implements Analyzer.
 func (a *LossAnalyzer) HandleEvent(ev otrace.Event) {
 	switch ev.Ev {
-	case otrace.KindProbeSent, otrace.KindRTT, otrace.KindGap:
+	case otrace.KindProbeSent, otrace.KindRTT, otrace.KindGap, otrace.KindJobFinish:
 	default:
 		return
 	}
@@ -101,6 +101,9 @@ func (a *LossAnalyzer) HandleEvent(ev otrace.Event) {
 		j.received(ev.Seq)
 	case otrace.KindGap:
 		j.gap(ev.Seq, ev.Probes)
+	case otrace.KindJobFinish:
+		j.finalize(a.reg)
+		return
 	}
 	j.publish()
 }
@@ -321,6 +324,22 @@ func (j *lossJob) publish() {
 	if finite(s.PLG) != nil {
 		j.gPLG.Set(s.PLG)
 	}
+}
+
+// finalize retires the job's live gauges: the stream is bracketed by
+// its job_finish, the final numbers live on in Stats/Snapshot and the
+// run manifest, and a long-lived server must not accumulate per-job
+// scrape cardinality forever (see Registry.Unregister).
+func (j *lossJob) finalize(reg *obs.Registry) {
+	if reg == nil || j.gULP == nil {
+		return
+	}
+	reg.Unregister(
+		obs.Label("online.ulp", "job", j.name),
+		obs.Label("online.clp", "job", j.name),
+		obs.Label("online.plg", "job", j.name),
+	)
+	j.gULP, j.gCLP, j.gPLG = nil, nil, nil
 }
 
 // Stats returns the current loss statistics for one job. The Runs

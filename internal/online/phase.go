@@ -108,7 +108,20 @@ func (a *PhaseAnalyzer) HandleEvent(ev otrace.Event) {
 		}
 	case otrace.KindJobFinish:
 		j.refreshGauge(a.minPoints)
+		j.finalize(a.reg)
 	}
+}
+
+// finalize retires the job's live gauge after the final refresh above;
+// the estimate stays available through Estimate and Snapshot. Keeps
+// long-lived servers' scrape cardinality bounded by the set of jobs
+// still in flight, not the set ever run.
+func (j *phaseJob) finalize(reg *obs.Registry) {
+	if reg == nil || j.gMu == nil {
+		return
+	}
+	reg.Unregister(obs.Label("online.mu_bps", "job", j.name))
+	j.gMu = nil
 }
 
 // addDiff stores one phase diff, evicting the oldest when windowed.

@@ -83,7 +83,7 @@ func (a *WorkloadAnalyzer) job(key string) *workloadJob {
 // HandleEvent implements Analyzer.
 func (a *WorkloadAnalyzer) HandleEvent(ev otrace.Event) {
 	switch ev.Ev {
-	case otrace.KindRunStart, otrace.KindRTT:
+	case otrace.KindRunStart, otrace.KindRTT, otrace.KindJobFinish:
 	default:
 		return
 	}
@@ -91,6 +91,8 @@ func (a *WorkloadAnalyzer) HandleEvent(ev otrace.Event) {
 	defer a.mu.Unlock()
 	j := a.job(jobKey(ev))
 	switch ev.Ev {
+	case otrace.KindJobFinish:
+		j.finalize(a.reg)
 	case otrace.KindRunStart:
 		delta := time.Duration(ev.DeltaNs)
 		j.deltaMs = float64(ev.DeltaNs) / float64(time.Millisecond)
@@ -123,6 +125,17 @@ func (a *WorkloadAnalyzer) HandleEvent(ev otrace.Event) {
 			}
 		})
 	}
+}
+
+// finalize retires the job's live gauge once its stream is bracketed
+// by job_finish; the estimate remains available through MeanBits and
+// Snapshot. See lossJob.finalize for why.
+func (j *workloadJob) finalize(reg *obs.Registry) {
+	if reg == nil || j.gMean == nil {
+		return
+	}
+	reg.Unregister(obs.Label("online.workload_mean_bits", "job", j.name))
+	j.gMean = nil
 }
 
 // meanBits is the running Lindley mean Σb_n / n; caller holds a.mu.

@@ -1,0 +1,45 @@
+package otrace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBoundedConservationRacingClose closes the queue while emitters
+// are mid-stream: unlike TestBoundedConcurrentDropAccounting (which
+// closes after the emitters finish), Close here races live Emits, so
+// the send-on-closed-channel recovery path is exercised. The
+// conservation property must hold exactly anyway: every Emit is
+// delivered or counted as dropped, never lost, never double-counted.
+func TestBoundedConservationRacingClose(t *testing.T) {
+	var delivered atomic.Int64
+	b := NewBounded(sinkFunc(func(Event) { delivered.Add(1) }), 8)
+	const (
+		senders = 8
+		perSend = 5000
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perSend; i++ {
+				b.Emit(Event{Ev: KindRTT, Seq: s*perSend + i})
+			}
+		}(s)
+	}
+	close(start)
+	// No sleep: Close races the very first emits as often as the last.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	total := int64(senders * perSend)
+	if got := delivered.Load() + b.Dropped(); got != total {
+		t.Fatalf("delivered %d + dropped %d = %d, want %d (events lost or double-counted across Close)",
+			delivered.Load(), b.Dropped(), got, total)
+	}
+}

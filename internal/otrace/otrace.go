@@ -69,6 +69,13 @@ const (
 	// excluded from loss statistics rather than counted as paper-style
 	// random loss. T is the window start and DurNs its length.
 	KindGap Kind = "gap"
+	// KindHeartbeat is a liveness beacon on a wire stream
+	// (internal/source): SentNs carries the sender's wall clock (Unix
+	// nanoseconds), letting the receiver estimate per-source clock skew
+	// and last-contact age even while no probe events flow. Heartbeats
+	// are plumbing, not measurements: relays consume them for health
+	// tracking and do not forward them to analyzers or trace files.
+	KindHeartbeat Kind = "hb"
 )
 
 // Event is one trace record. T is nanoseconds from the start of the
@@ -111,6 +118,15 @@ type Event struct {
 	Seed   int64  `json:"seed,omitempty"`
 	Probes int    `json:"probes,omitempty"`
 	Losses int    `json:"losses,omitempty"`
+
+	// Stamp is the wall-clock instant (Unix nanoseconds) the event
+	// entered this process's pipeline, set by the first stage that sees
+	// it (internal/pipestat). It is deliberately excluded from both the
+	// JSONL and the binary wire encodings: it exists only so downstream
+	// in-process stages can measure their lag behind the producer, and
+	// serializing it would break the byte-determinism of trace files and
+	// wire streams.
+	Stamp int64 `json:"-"`
 }
 
 // Sink receives trace events. Implementations must be safe for
@@ -305,6 +321,15 @@ type Bounded struct {
 	dropped atomic.Int64
 	onDrop  func()
 	once    sync.Once
+
+	// mu makes Emit and Close safe to race: Emit sends under the read
+	// lock, Close flips closed and closes ch under the write lock —
+	// which waits out every in-flight send, so close(ch) never
+	// interleaves with ch<- (a data race, not just a panic, in the Go
+	// memory model). Emits arriving after the flip see closed and count
+	// as drops without touching the channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewBounded returns a Bounded sink forwarding to next with the given
@@ -337,13 +362,16 @@ func NewBoundedCounted(next Sink, capacity int, onDrop func()) *Bounded {
 }
 
 // Emit implements Sink; it drops the event (incrementing Dropped)
-// instead of blocking when the queue is full or already closed.
+// instead of blocking when the queue is full or already closed. Every
+// Emit — including ones racing Close — lands in exactly one account:
+// delivered downstream or counted in Dropped.
 func (b *Bounded) Emit(ev Event) {
-	defer func() {
-		if recover() != nil { // send on closed channel: Emit after Close
-			b.drop()
-		}
-	}()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		b.drop()
+		return
+	}
 	select {
 	case b.ch <- ev:
 	default:
@@ -363,9 +391,16 @@ func (b *Bounded) drop() {
 func (b *Bounded) Dropped() int64 { return b.dropped.Load() }
 
 // Close drains queued events into the downstream sink and stops the
-// background goroutine. It is idempotent.
+// background goroutine. It is idempotent and safe to call while other
+// goroutines are still emitting (their events count as dropped once
+// the flip is visible).
 func (b *Bounded) Close() error {
-	b.once.Do(func() { close(b.ch) })
+	b.once.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock() // in-flight sends done; no new ones can start
+		close(b.ch)
+	})
 	<-b.done
 	return nil
 }

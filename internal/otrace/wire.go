@@ -147,7 +147,11 @@ func (d *decoder) string() string {
 type FrameWriter struct {
 	bw  *bufio.Writer
 	buf []byte
-	n   int64
+	// lenBuf holds each frame's length prefix; a struct field rather
+	// than a local so escape analysis doesn't heap-allocate it on every
+	// WriteEvent (it is passed to bufio's io.Writer interface).
+	lenBuf [binary.MaxVarintLen64]byte
+	n      int64
 }
 
 // NewFrameWriter starts a framed stream on w, buffering the magic
@@ -164,9 +168,8 @@ func (f *FrameWriter) WriteEvent(ev Event) error {
 	if len(f.buf) > MaxFrame {
 		return fmt.Errorf("otrace: frame of %d bytes exceeds MaxFrame", len(f.buf))
 	}
-	var lbuf [binary.MaxVarintLen64]byte
-	ln := binary.PutUvarint(lbuf[:], uint64(len(f.buf)))
-	if _, err := f.bw.Write(lbuf[:ln]); err != nil {
+	ln := binary.PutUvarint(f.lenBuf[:], uint64(len(f.buf)))
+	if _, err := f.bw.Write(f.lenBuf[:ln]); err != nil {
 		return fmt.Errorf("otrace: write frame: %w", err)
 	}
 	if _, err := f.bw.Write(f.buf); err != nil {
@@ -187,10 +190,14 @@ func (f *FrameWriter) Flush() error {
 // Events reports how many events have been written.
 func (f *FrameWriter) Events() int64 { return f.n }
 
-// FrameReader decodes a framed binary event stream.
+// FrameReader decodes a framed binary event stream. It reuses one
+// internal frame buffer across Next calls (DecodeEvent copies string
+// fields out of it), so steady-state reads allocate only the decoded
+// event's strings.
 type FrameReader struct {
-	br *bufio.Reader
-	n  int64
+	br  *bufio.Reader
+	buf []byte
+	n   int64
 }
 
 // NewFrameReader validates the stream magic and returns a reader
@@ -222,7 +229,10 @@ func (f *FrameReader) Next() (Event, error) {
 	if l > MaxFrame {
 		return Event{}, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrTruncated, l)
 	}
-	buf := make([]byte, l)
+	if uint64(cap(f.buf)) < l {
+		f.buf = make([]byte, l)
+	}
+	buf := f.buf[:l]
 	if _, err := io.ReadFull(f.br, buf); err != nil {
 		return Event{}, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
 	}

@@ -1,0 +1,234 @@
+package pipestat_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/faultinject"
+	"netprobe/internal/obs"
+	"netprobe/internal/online"
+	"netprobe/internal/otrace"
+	"netprobe/internal/pipestat"
+	"netprobe/internal/runner"
+	"netprobe/internal/source"
+)
+
+// chaosJobs builds a sweep perturbed by a seeded fault plan: transient
+// send errors, random drops, and two blackhole windows — the same
+// recipe as internal/faultinject's chaos tests.
+func chaosJobs() []runner.Job {
+	plan := &faultinject.Plan{
+		Seed:    99,
+		Drop:    0.10,
+		SendErr: 0.30,
+		Blackholes: []faultinject.Window{
+			{Start: faultinject.Duration(5 * time.Second), End: faultinject.Duration(8 * time.Second)},
+			{Start: faultinject.Duration(12 * time.Second), End: faultinject.Duration(15 * time.Second)},
+		},
+	}
+	var out []runner.Job
+	for _, d := range []time.Duration{20 * time.Millisecond, 40 * time.Millisecond} {
+		cfg := core.INRIAPreset().Config(d, 20*time.Second, 0)
+		cfg.Cross = nil // congestion-free: losses are injected faults + lossy links
+		cfg.Faults = plan
+		out = append(out, runner.Job{Label: fmt.Sprintf("chaos δ=%v", d), Config: cfg})
+	}
+	return out
+}
+
+// TestConservationUnderChaos is the ISSUE's conservation acceptance
+// test: with faults injected and jobs racing on the worker pool, every
+// event produced into the online chain is either applied by the
+// engine's analyzers or counted as a bus drop — produced == applied +
+// Σ drops(stage) exactly, at any worker count. A tiny engine queue
+// forces real drops, so the test exercises the accounting, not just
+// the lossless path.
+func TestConservationUnderChaos(t *testing.T) {
+	// The lossy variant (tiny engine queue) forces real bus drops, so
+	// the drop accounting is exercised, not just the lossless path; the
+	// lossless variant (queue larger than the whole sweep) additionally
+	// pins that every job's job_finish bracket reaches the monitor.
+	cases := []struct {
+		name  string
+		queue int
+	}{
+		{"lossy", 64},
+		{"lossless", 1 << 17},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				reg := obs.NewRegistry()
+				ledger := pipestat.NewLedger(reg)
+				chain := ledger.Chain("online")
+				mon := pipestat.NewMonitor(chain)
+				bus := online.NewBus()
+				eng := online.NewEngine(bus, tc.queue,
+					append(online.DefaultAnalyzers(reg), mon)...)
+				chain.Dropped("bus", bus.Dropped)
+
+				results, _ := runner.RunAll(context.Background(), 42, chaosJobs(),
+					runner.Workers(workers), runner.Metrics(reg),
+					runner.Sink(chain.Produce(bus)))
+				if err := runner.FirstErr(results); err != nil {
+					t.Fatalf("chaos sweep failed: %v", err)
+				}
+				bus.Close()
+				eng.Wait()
+
+				s := chain.Snapshot()
+				if s.Produced == 0 {
+					t.Fatal("no events produced — the tap is not wired")
+				}
+				if s.Unaccounted != 0 {
+					t.Fatalf("conservation violated at %d workers: %+v", workers, s)
+				}
+				if s.Applied["analyzers"] != mon.Applied() {
+					t.Fatalf("applied account %d != monitor %d", s.Applied["analyzers"], mon.Applied())
+				}
+				if tc.queue > 64 {
+					if s.Dropped["bus"] != 0 {
+						t.Fatalf("lossless run dropped %d events", s.Dropped["bus"])
+					}
+					if mon.Active() != 0 {
+						t.Fatalf("%d jobs never finalized: %+v", mon.Active(), mon.Jobs())
+					}
+				} else if s.Dropped["bus"] == 0 {
+					// A sim burst of thousands of events through a 64-slot
+					// queue must overflow; zero drops means the lossy path
+					// went unexercised.
+					t.Fatalf("lossy run dropped nothing: %+v", s)
+				}
+				if ledger.Unaccounted() != 0 {
+					t.Fatalf("ledger unaccounted = %d after drain", ledger.Unaccounted())
+				}
+				t.Logf("%s workers=%d: produced=%d applied=%v dropped=%v",
+					tc.name, workers, s.Produced, s.Applied, s.Dropped)
+			})
+		}
+	}
+}
+
+// TestWireConservation closes the books across a TCP hop: a Sender's
+// sent/dropped accounts balance the producing side's wire chain, the
+// relay's ingress/queue/bus/analyzer accounts balance the receiving
+// side's relay chain, and heartbeats — pure plumbing — appear in
+// neither, only in the per-source health table.
+func TestWireConservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ledger := pipestat.NewLedger(reg)
+
+	relayChain := ledger.Chain("relay")
+	mon := pipestat.NewMonitor(relayChain)
+	bus := online.NewBus()
+	eng := online.NewEngine(bus, 8, mon)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := source.Serve(ln, source.ServerConfig{
+		Sink:    bus,
+		Metrics: reg,
+		Lossy:   true,
+		Queue:   8, // small: shutdown drains it, so drops come from the bus side
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayChain.Produced("ingress", func() int64 {
+		delivered, dropped := srv.Totals()
+		return delivered + dropped
+	})
+	relayChain.Dropped("queue", func() int64 { _, dropped := srv.Totals(); return dropped })
+	relayChain.Dropped("bus", bus.Dropped)
+
+	sender, err := source.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireChain := ledger.Chain("wire")
+	wireChain.Applied("sender", sender.Sent)
+	wireChain.Dropped("sender", sender.Dropped)
+	sender.StartHeartbeats(2 * time.Millisecond)
+
+	const n = 500
+	head := wireChain.Produce(wireChain.Stage(pipestat.StageWireSent, sender))
+	for i := 0; i < n; i++ {
+		head.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: i, Job: "wire-test", RTTNs: int64(i)})
+	}
+	// Heartbeats are consumed at the relay's ingress as they arrive, so
+	// the source table shows them live; wait for at least one before
+	// shutting down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := srv.Sources(); len(s) == 1 && s[0].Heartbeats > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat reached the relay within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Shutdown order matters: close the sender (flushes the stream),
+	// then the server (drains the disconnected peer completely), then
+	// the bus (lets the engine finish).
+	if err := sender.Close(); err != nil {
+		t.Fatalf("sender close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	bus.Close()
+	eng.Wait()
+
+	ws := wireChain.Snapshot()
+	if ws.Produced != n {
+		t.Fatalf("wire produced = %d, want %d", ws.Produced, n)
+	}
+	if ws.Unaccounted != 0 {
+		t.Fatalf("wire books don't balance: %+v", ws)
+	}
+	if ws.Applied["sender"] != n || ws.Dropped["sender"] != 0 {
+		t.Fatalf("healthy TCP stream should send everything: %+v", ws)
+	}
+
+	rs := relayChain.Snapshot()
+	if rs.Produced != n {
+		t.Fatalf("relay ingress = %d, want %d (heartbeats must not count)", rs.Produced, n)
+	}
+	if rs.Unaccounted != 0 {
+		t.Fatalf("relay books don't balance: %+v", rs)
+	}
+	if got := mon.Applied() + rs.Dropped["queue"] + rs.Dropped["bus"]; got != n {
+		t.Fatalf("applied+drops = %d, want %d", got, n)
+	}
+	if ledger.Unaccounted() != 0 {
+		t.Fatalf("ledger unaccounted = %d after drain", ledger.Unaccounted())
+	}
+
+	// Heartbeats flowed (2ms interval over a >5ms run) but landed only
+	// in the source health table — never in the conservation books or
+	// the analyzers.
+	sources := srv.Sources()
+	if len(sources) != 1 {
+		t.Fatalf("sources = %+v, want 1", sources)
+	}
+	if sources[0].Heartbeats == 0 {
+		t.Fatal("no heartbeats recorded")
+	}
+	if sources[0].Events != n-rs.Dropped["queue"] {
+		t.Fatalf("source delivered %d, want %d", sources[0].Events, n-rs.Dropped["queue"])
+	}
+	if sources[0].ClockSkewSec == nil {
+		t.Fatal("no clock-skew estimate from heartbeats")
+	}
+	// Loopback skew is delay-dominated: sub-second, non-negative.
+	if skew := *sources[0].ClockSkewSec; skew < 0 || skew > 1 {
+		t.Fatalf("implausible loopback clock skew %v", skew)
+	}
+}

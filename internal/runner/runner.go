@@ -343,21 +343,26 @@ func RunAll(ctx context.Context, rootSeed int64, jobs []Job, opts ...Option) ([]
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var inflight *obs.Gauge
+			var inflight, active *obs.Gauge
 			if o.metrics != nil {
 				inflight = o.metrics.Gauge(obs.Label("runner.worker.inflight", "worker", strconv.Itoa(w)))
+				// The aggregate across workers, for /statusz and dashboards
+				// that don't want per-worker cardinality.
+				active = o.metrics.Gauge("runner.jobs.active")
 			}
 			for i := range idx {
 				seed := DeriveSeed(rootSeed, i)
 				emit(Event{Kind: JobStart, Index: i, Label: jobs[i].Label, Seed: seed, Worker: w})
 				if inflight != nil {
 					inflight.Add(1)
+					active.Add(1)
 				}
 				t0 := time.Now()
 				res := runOne(ctx, rootSeed, i, jobs[i], &o)
 				sum.WorkerBusy[w] += time.Since(t0)
 				if inflight != nil {
 					inflight.Add(-1)
+					active.Add(-1)
 				}
 				results[i] = res
 				if o.metrics != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netprobe/internal/obs"
@@ -30,11 +31,22 @@ import (
 // to a local-only one instead of failing it. Producers whose pacing
 // must not wait on the network (the real prober) should wrap a Sender
 // in otrace.NewBounded.
+//
+// Every Emit lands in exactly one of two accounts: Sent (the frame and
+// its flush succeeded) or Dropped (the stream was already dead, closed,
+// or died on this write) — the conservation property the pipeline
+// ledger audits (internal/pipestat). Heartbeats (StartHeartbeats) are
+// plumbing, not events, and count in neither.
 type Sender struct {
-	mu  sync.Mutex
-	fw  *otrace.FrameWriter
-	c   io.Closer
-	err error
+	mu     sync.Mutex
+	fw     *otrace.FrameWriter
+	c      io.Closer
+	err    error
+	closed bool
+	hbStop chan struct{}
+
+	sent    atomic.Int64
+	dropped atomic.Int64
 }
 
 // NewSender starts a framed event stream on w. If w is also an
@@ -61,14 +73,75 @@ func Dial(addr string) (*Sender, error) {
 func (s *Sender) Emit(ev otrace.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
-		return
+	if s.writeLocked(ev) {
+		s.sent.Add(1)
+	} else {
+		s.dropped.Add(1)
+	}
+}
+
+// writeLocked frames and flushes one event, reporting whether it made
+// it onto the stream. Callers hold s.mu.
+func (s *Sender) writeLocked(ev otrace.Event) bool {
+	if s.err != nil || s.closed {
+		return false
 	}
 	if err := s.fw.WriteEvent(ev); err != nil {
 		s.err = err
+		return false
+	}
+	if err := s.fw.Flush(); err != nil {
+		// The frame may have partially left the buffer, but the stream is
+		// now broken: account it as dropped — the receiver's FrameReader
+		// discards a truncated trailing frame, so the conservative account
+		// matches what the far side can actually apply.
+		s.err = err
+		return false
+	}
+	return true
+}
+
+// Sent reports how many events were framed and flushed successfully.
+func (s *Sender) Sent() int64 { return s.sent.Load() }
+
+// Dropped reports how many Emit calls were discarded because the
+// stream was closed or had failed. Sent+Dropped equals the number of
+// Emit calls, exactly — including calls racing Close.
+func (s *Sender) Dropped() int64 { return s.dropped.Load() }
+
+// StartHeartbeats emits a KindHeartbeat frame every interval until the
+// Sender is closed, carrying the sender's wall clock so the relay can
+// track this source's liveness and clock skew even while no probe
+// events flow. Heartbeats bypass the Sent/Dropped accounts (they are
+// not pipeline events and the relay never forwards them). Calling it
+// again, or on a closed Sender, is a no-op.
+func (s *Sender) StartHeartbeats(interval time.Duration) {
+	if interval <= 0 {
 		return
 	}
-	s.err = s.fw.Flush()
+	s.mu.Lock()
+	if s.closed || s.hbStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	s.hbStop = stop
+	s.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.mu.Lock()
+				s.writeLocked(otrace.Event{Ev: otrace.KindHeartbeat, Seq: -1,
+					SentNs: time.Now().UnixNano()})
+				s.mu.Unlock()
+			}
+		}
+	}()
 }
 
 // Err reports the sticky stream error, nil while the stream is
@@ -79,11 +152,20 @@ func (s *Sender) Err() error {
 	return s.err
 }
 
-// Close flushes the stream, closes the underlying connection if the
-// Sender owns one, and returns the first error encountered.
+// Close stops the heartbeats, flushes the stream, closes the
+// underlying connection if the Sender owns one, and returns the first
+// error encountered. Emits after Close count as dropped.
 func (s *Sender) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.hbStop != nil {
+		close(s.hbStop)
+		s.hbStop = nil
+	}
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	if err := s.fw.Flush(); err != nil && s.err == nil {
 		s.err = err
 	}
@@ -192,6 +274,16 @@ type ServerConfig struct {
 	Grace time.Duration
 	// Logf, if non-nil, logs connection lifecycle and errors.
 	Logf func(format string, args ...any)
+	// StaleAfter, when positive, is the silence threshold after which a
+	// still-connected source counts as stale: it marks the source's
+	// /statusz row and fails the Health readiness check below. Zero
+	// disables staleness tracking.
+	StaleAfter time.Duration
+	// Health, if non-nil, gains a "sources" readiness check that fails
+	// while any connected source is stale (see StaleAfter); Close
+	// removes the check. Pass obs.DefaultHealth to surface it on the
+	// process's /healthz.
+	Health *obs.Health
 }
 
 // Server accepts framed event streams and fans them into one sink.
@@ -201,6 +293,10 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	mu      sync.Mutex // guards the source table
+	sources map[string]*sourceState
+	order   []string
 }
 
 // Serve starts accepting connections on ln, each handled as a
@@ -219,8 +315,11 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	s := &Server{ln: ln, cfg: cfg}
+	s := &Server{ln: ln, cfg: cfg, sources: make(map[string]*sourceState)}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if cfg.Health != nil && cfg.StaleAfter > 0 {
+		cfg.Health.AddCheck("sources", s.staleCheck)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -251,26 +350,36 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	label := s.cfg.Label(conn)
-	var onDrop func()
-	var events *obs.Counter
+	st := s.state(label)
+	st.conns.Add(1)
+	defer st.conns.Add(-1)
+	var dropCtr, events *obs.Counter
 	if s.cfg.Metrics != nil {
 		// Register the drop counter up front so /metrics shows it at 0
 		// rather than only after the first overrun.
-		onDrop = s.cfg.Metrics.Counter(obs.Label("source.dropped", "source", label)).Inc
+		dropCtr = s.cfg.Metrics.Counter(obs.Label("source.dropped", "source", label))
 		events = s.cfg.Metrics.Counter(obs.Label("source.events", "source", label))
 		conns := s.cfg.Metrics.Gauge("relay.conns")
 		conns.Add(1)
 		defer conns.Add(-1)
 	}
-	sink := s.cfg.Sink
-	if events != nil {
-		sink = countingSink{next: sink, n: events}
+	onDrop := func() {
+		st.dropped.Add(1)
+		if dropCtr != nil {
+			dropCtr.Inc()
+		}
 	}
+	sink := s.cfg.Sink
+	// Delivered events count after the lossy queue (below), so
+	// delivered + dropped always equals ingress — the relay chain's
+	// produced-side account (see Totals).
+	sink = deliveredSink{next: sink, st: st, ctr: events}
 	if s.cfg.Lossy {
 		queue := otrace.NewBoundedCounted(sink, s.cfg.Queue, onDrop)
 		defer queue.Close() //nolint:errcheck // always nil
 		sink = queue
 	}
+	sink = ingressSink{st: st, next: sink}
 	rs := &RemoteSource{Label: label, Conn: conn}
 	s.cfg.Logf("relay: %s connected", conn.RemoteAddr())
 	if err := rs.Run(s.ctx, sink); err != nil {
@@ -285,6 +394,9 @@ func (s *Server) handle(conn net.Conn) {
 // is lost to shutdown — while a still-connected or silent peer is
 // force-cancelled after the configured Grace.
 func (s *Server) Close() error {
+	if s.cfg.Health != nil && s.cfg.StaleAfter > 0 {
+		s.cfg.Health.Remove("sources")
+	}
 	err := s.ln.Close()
 	done := make(chan struct{})
 	go func() {
@@ -308,14 +420,20 @@ func (s *Server) Close() error {
 	return err
 }
 
-// countingSink counts delivered events on the way to next.
-type countingSink struct {
+// deliveredSink counts delivered events — into the per-source state
+// and, when metrics are wired, the source.events{source=} counter — on
+// the way to next.
+type deliveredSink struct {
 	next otrace.Sink
-	n    *obs.Counter
+	st   *sourceState
+	ctr  *obs.Counter
 }
 
-func (c countingSink) Emit(ev otrace.Event) {
-	c.n.Inc()
+func (c deliveredSink) Emit(ev otrace.Event) {
+	c.st.events.Add(1)
+	if c.ctr != nil {
+		c.ctr.Inc()
+	}
 	c.next.Emit(ev)
 }
 

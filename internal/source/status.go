@@ -1,0 +1,186 @@
+package source
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netprobe/internal/otrace"
+)
+
+// skewAlpha is the EWMA gain for the per-source clock-skew estimate —
+// the classic SRTT gain of 1/8: fast enough to track drift over a
+// session, slow enough to smooth per-heartbeat network jitter.
+const skewAlpha = 0.125
+
+// sourceState is the relay's per-source (per peer host) account: how
+// many events were delivered and dropped, when the source was last
+// heard from, how many connections it currently holds, and the running
+// clock-skew estimate from its heartbeats.
+type sourceState struct {
+	label      string
+	conns      atomic.Int64
+	events     atomic.Int64 // delivered into the server's sink
+	dropped    atomic.Int64 // discarded by the lossy queue
+	heartbeats atomic.Int64
+	lastNs     atomic.Int64 // wall clock of the last frame (event or heartbeat)
+
+	mu      sync.Mutex // guards the EWMA (heartbeat-rate updates only)
+	skewSec float64
+	gotSkew bool
+}
+
+// heartbeat folds one liveness beacon into the state: recv−sent is the
+// peer's clock offset plus the one-way network delay; the EWMA damps
+// the delay jitter, leaving a usable skew estimate (exact skew is
+// unknowable without symmetric-path assumptions — this is the NTP
+// situation, and like NTP we report the offset estimate, not a truth).
+func (st *sourceState) heartbeat(sentNs int64) {
+	now := time.Now().UnixNano()
+	st.heartbeats.Add(1)
+	st.lastNs.Store(now)
+	if sentNs == 0 {
+		return
+	}
+	obsSec := float64(now-sentNs) / float64(time.Second)
+	st.mu.Lock()
+	if !st.gotSkew {
+		st.skewSec, st.gotSkew = obsSec, true
+	} else {
+		st.skewSec += skewAlpha * (obsSec - st.skewSec)
+	}
+	st.mu.Unlock()
+}
+
+func (st *sourceState) skew() (float64, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.skewSec, st.gotSkew
+}
+
+// SourceStatus is one source's row in the relay's /statusz "sources"
+// section.
+type SourceStatus struct {
+	Source string `json:"source"`
+	// Conns is the source's live connection count; a source with zero
+	// conns has disconnected (its totals remain).
+	Conns   int64 `json:"conns"`
+	Events  int64 `json:"events"`
+	Dropped int64 `json:"dropped,omitempty"`
+	// Heartbeats counts liveness beacons received (never forwarded).
+	Heartbeats int64 `json:"heartbeats,omitempty"`
+	// LastEventAge is the time since any frame arrived from this
+	// source; nil before the first frame.
+	LastEventAge *float64 `json:"last_event_age_sec,omitempty"`
+	// ClockSkewSec is the EWMA of heartbeat recv−sent: the peer clock's
+	// estimated offset behind ours (plus one-way delay); nil until the
+	// first heartbeat.
+	ClockSkewSec *float64 `json:"clock_skew_sec,omitempty"`
+	// Stale marks a connected source silent past the configured
+	// staleness threshold — the condition that degrades /healthz.
+	Stale bool `json:"stale,omitempty"`
+}
+
+func (s *Server) state(label string) *sourceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sources[label]
+	if !ok {
+		st = &sourceState{label: label}
+		s.sources[label] = st
+		s.order = append(s.order, label)
+	}
+	return st
+}
+
+func (s *Server) states() []*sourceState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*sourceState, 0, len(s.order))
+	for _, l := range s.order {
+		out = append(out, s.sources[l])
+	}
+	return out
+}
+
+// Sources reports every source ever seen, sorted by label, with
+// liveness judged against the server's StaleAfter threshold.
+func (s *Server) Sources() []SourceStatus {
+	now := time.Now().UnixNano()
+	states := s.states()
+	out := make([]SourceStatus, 0, len(states))
+	for _, st := range states {
+		row := SourceStatus{
+			Source:     st.label,
+			Conns:      st.conns.Load(),
+			Events:     st.events.Load(),
+			Dropped:    st.dropped.Load(),
+			Heartbeats: st.heartbeats.Load(),
+		}
+		if last := st.lastNs.Load(); last != 0 {
+			age := float64(now-last) / float64(time.Second)
+			row.LastEventAge = &age
+			row.Stale = row.Conns > 0 && s.cfg.StaleAfter > 0 &&
+				time.Duration(now-last) > s.cfg.StaleAfter
+		}
+		if skew, ok := st.skew(); ok && !math.IsNaN(skew) && !math.IsInf(skew, 0) {
+			row.ClockSkewSec = &skew
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Source < out[k].Source })
+	return out
+}
+
+// Totals sums delivered and dropped events across every source — the
+// relay chain's produced-side account (ingress = delivered + dropped,
+// heartbeats excluded).
+func (s *Server) Totals() (events, dropped int64) {
+	for _, st := range s.states() {
+		events += st.events.Load()
+		dropped += st.dropped.Load()
+	}
+	return events, dropped
+}
+
+// staleCheck is the /healthz readiness condition a relay registers:
+// it fails while any connected source has been silent past StaleAfter.
+// Disconnected sources don't fail the check — a peer that left is
+// normal; a peer that is attached but mute is a stuck pipeline.
+func (s *Server) staleCheck() error {
+	var stale []string
+	for _, row := range s.Sources() {
+		if row.Stale {
+			stale = append(stale, fmt.Sprintf("%s (last event %.1fs ago)", row.Source, *row.LastEventAge))
+		}
+	}
+	if len(stale) == 0 {
+		return nil
+	}
+	return fmt.Errorf("stale sources: %s", strings.Join(stale, ", "))
+}
+
+// ingressSink is the per-connection entry stage: it stamps each event
+// with the receipt wall clock (the relay re-stamps — producer stamps
+// never cross the wire), keeps the source's liveness fresh, and
+// consumes heartbeats (counted into the skew estimate, never
+// forwarded: they are plumbing, not measurements).
+type ingressSink struct {
+	st   *sourceState
+	next otrace.Sink
+}
+
+func (in ingressSink) Emit(ev otrace.Event) {
+	if ev.Ev == otrace.KindHeartbeat {
+		in.st.heartbeat(ev.SentNs)
+		return
+	}
+	now := time.Now().UnixNano()
+	ev.Stamp = now
+	in.st.lastNs.Store(now)
+	in.next.Emit(ev)
+}

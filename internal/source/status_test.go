@@ -1,0 +1,229 @@
+package source
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// TestSenderConservationUnderConcurrentClose races many emitters
+// against Close and checks the exactly-one-account invariant: every
+// Emit lands in Sent or Dropped, never both, never neither — and the
+// stream holds exactly Sent decodable frames, so the far side can
+// apply precisely what the sender accounted as sent.
+func TestSenderConservationUnderConcurrentClose(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 200
+	)
+	var buf lockedBuffer
+	s := NewSender(&buf)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				s.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: g*perG + i})
+			}
+		}(g)
+	}
+	close(start)
+	// Close mid-stream: some emits land before it, the rest must be
+	// accounted as dropped, deterministically.
+	time.Sleep(time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if got := s.Sent() + s.Dropped(); got != total {
+		t.Fatalf("sent(%d) + dropped(%d) = %d, want %d", s.Sent(), s.Dropped(), got, total)
+	}
+	if s.Emit(otrace.Event{Ev: otrace.KindRTT}); s.Sent()+s.Dropped() != total+1 {
+		t.Fatal("post-close Emit not accounted as dropped")
+	}
+
+	// The wire holds exactly Sent complete frames.
+	fr, err := otrace.NewFrameReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames int64
+	for {
+		if _, err := fr.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatalf("decode: %v", err)
+			}
+			break
+		}
+		frames++
+	}
+	if frames != s.Sent() {
+		t.Fatalf("stream holds %d frames, sender accounted %d sent", frames, s.Sent())
+	}
+}
+
+// lockedBuffer is a race-safe bytes.Buffer: the Sender serializes its
+// own writes, but the test reads the buffer after Close while the
+// emitters may still be calling Emit (which no longer writes, but the
+// race detector cannot know that without the lock).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Bytes()
+}
+
+// TestStaleSourceDegradesHealth is the ISSUE's relay-health acceptance
+// test: a connected source that goes silent past StaleAfter flips the
+// health check to degraded (with the source named in the reason), and
+// the check clears when the source disconnects — silence from a peer
+// that left is normal, silence from an attached peer is a stuck
+// pipeline.
+func TestStaleSourceDegradesHealth(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := obs.NewHealth()
+	srv, err := Serve(ln, ServerConfig{
+		Sink:       discardSink{},
+		StaleAfter: 50 * time.Millisecond,
+		Health:     health,
+		Grace:      -1, // test tears down a still-connected peer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if p := health.Problems(); len(p) != 0 {
+		t.Fatalf("healthy before any source, got problems %+v", p)
+	}
+
+	sender, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: 1})
+	// Wait until the relay has seen the event (connected + live).
+	waitFor(t, func() bool {
+		s := srv.Sources()
+		return len(s) == 1 && s[0].Events == 1 && s[0].Conns == 1
+	}, "source connected and delivered")
+	if p := health.Problems(); len(p) != 0 {
+		t.Fatalf("fresh source marked unhealthy: %+v", p)
+	}
+
+	// Silence past the threshold: the check must fail and name the
+	// source.
+	waitFor(t, func() bool { return len(health.Problems()) > 0 }, "staleness to degrade health")
+	if s := srv.Sources(); !s[0].Stale {
+		t.Fatalf("source row not marked stale: %+v", s[0])
+	}
+
+	// Heartbeats alone (no events) refresh liveness: the degraded state
+	// clears without any probe traffic.
+	sender.StartHeartbeats(5 * time.Millisecond)
+	waitFor(t, func() bool { return len(health.Problems()) == 0 }, "heartbeats to restore health")
+
+	// A disconnected source cannot be stale, however silent.
+	if err := sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		s := srv.Sources()
+		return len(s) == 1 && s[0].Conns == 0
+	}, "source to disconnect")
+	time.Sleep(60 * time.Millisecond) // well past StaleAfter
+	if p := health.Problems(); len(p) != 0 {
+		t.Fatalf("disconnected source degraded health: %+v", p)
+	}
+
+	// Close removes the check entirely.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p := health.Problems(); len(p) != 0 {
+		t.Fatalf("problems survived server close: %+v", p)
+	}
+}
+
+// TestHeartbeatSkewEstimate pins the clock-skew bookkeeping: beats
+// carrying a sender clock N seconds behind ours produce a skew
+// estimate near N.
+func TestHeartbeatSkewEstimate(t *testing.T) {
+	st := &sourceState{label: "peer"}
+	for i := 0; i < 20; i++ {
+		st.heartbeat(time.Now().Add(-2 * time.Second).UnixNano())
+	}
+	skew, ok := st.skew()
+	if !ok {
+		t.Fatal("no skew estimate after heartbeats")
+	}
+	if skew < 1.9 || skew > 2.5 {
+		t.Fatalf("skew %.3fs, want ≈2s", skew)
+	}
+	if st.heartbeats.Load() != 20 {
+		t.Fatalf("heartbeats = %d, want 20", st.heartbeats.Load())
+	}
+	// A zero SentNs (sender predates the field) counts the beat but
+	// leaves the estimate alone.
+	st.heartbeat(0)
+	if after, _ := st.skew(); after != skew {
+		t.Fatalf("zero-stamp heartbeat moved the estimate: %v -> %v", skew, after)
+	}
+}
+
+// TestStartHeartbeatsNoops: zero intervals, double starts, and starts
+// after Close must all be safe no-ops.
+func TestStartHeartbeatsNoops(t *testing.T) {
+	var buf lockedBuffer
+	s := NewSender(&buf)
+	s.StartHeartbeats(0)
+	s.StartHeartbeats(time.Millisecond)
+	s.StartHeartbeats(time.Millisecond) // second start: no second goroutine
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.StartHeartbeats(time.Millisecond) // after close: no-op
+	if err := s.Close(); err != nil {
+		t.Fatal(err) // double close stays clean
+	}
+}
+
+// discardSink accepts and forgets events.
+type discardSink struct{}
+
+func (discardSink) Emit(otrace.Event) {}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
