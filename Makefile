@@ -4,10 +4,10 @@ GO ?= go
 # run manifest or a BENCH_*.json snapshot, default: the committed
 # benchmark baseline); CURRENT is the artifact to gate, e.g. the
 # manifest the experiments command writes or a fresh bench snapshot.
-BASELINE ?= BENCH_2026-08-08.json
+BASELINE ?= BENCH_2026-08-09.json
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet vet-tags bench bench-snapshot chaos check perf-gate online-demo sources-demo health-demo
+.PHONY: build test race vet vet-tags bench bench-snapshot bench-current chaos check perf-gate perf-gate-check online-demo sources-demo health-demo dashboard-demo
 
 build:
 	$(GO) build ./...
@@ -52,7 +52,7 @@ bench-snapshot:
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/pipestat/...
 
-check: build vet-tags race chaos sources-demo health-demo
+check: build vet-tags race chaos sources-demo health-demo dashboard-demo perf-gate-check
 
 # online-demo smoke-tests the online analysis engine end to end: a
 # short seeded sweep with -online, the /online handler curled while
@@ -139,3 +139,69 @@ health-demo:
 perf-gate:
 	@test -n "$(BASELINE)" || { echo "usage: make perf-gate BASELINE=<manifest-or-bench.json> [CURRENT=$(CURRENT)]"; exit 2; }
 	$(GO) run ./cmd/manifestdiff $(BASELINE) $(CURRENT)
+
+# bench-current records a quick benchmark pass (reduced benchtime) as
+# /tmp/BENCH_current.json; bench-snapshot remains the full-resolution
+# recorder for committed baselines.
+bench-current:
+	$(GO) test -bench=. -benchmem -benchtime=0.3s ./... | $(GO) run ./cmd/benchjson > /tmp/BENCH_current.json
+	@echo "wrote /tmp/BENCH_current.json"
+
+# perf-gate-check is the make-check flavor of the perf gate: the
+# committed baseline against a quick current pass, with a loose 2x
+# tolerance so it catches order-of-magnitude regressions without
+# flaking on machine noise or the reduced benchtime.
+perf-gate-check: bench-current
+	$(GO) run ./cmd/manifestdiff -bench-tol 2.0 $(BASELINE) /tmp/BENCH_current.json
+
+# dashboard-demo smoke-tests the metrics-history and alerting plane end
+# to end over loopback: an unsupervised prober with an injected
+# blackhole window probes a local echo server; /vars/history advances
+# between scrapes, /dashboard renders, and the loss_spike rule fires
+# during the blackhole (alerts_active gauge, /healthz 503, alert events
+# in the trace) and clears after the loss window flushes.
+DASH_ECHO ?= 127.0.0.1:6090
+DASH_ADDR ?= 127.0.0.1:6091
+
+dashboard-demo:
+	@$(GO) build -o /tmp/netprobe-echo ./cmd/netdyn-echo
+	@$(GO) build -o /tmp/netprobe-probe ./cmd/netdyn-probe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	echo '{"seed":7,"blackholes":[{"start":"3s","end":"6s"}]}' > $$tmp/faults.json; \
+	echo '[{"name":"loss_spike","type":"threshold","series":"online.ulp*","max":0.2,"for":2,"clear_for":2}]' > $$tmp/rules.json; \
+	/tmp/netprobe-echo -addr $(DASH_ECHO) -quiet & \
+	epid=$$!; sleep 1; \
+	/tmp/netprobe-probe -target $(DASH_ECHO) -delta 20ms -count 700 \
+		-supervise=false -faults $$tmp/faults.json -online -online-window 100 \
+		-history-interval 250ms -alert-rules $$tmp/rules.json \
+		-trace $$tmp/events.jsonl -report 0 -debug-addr $(DASH_ADDR) >/dev/null & \
+	ppid=$$!; sleep 1.5; \
+	echo "--- /vars/history advances between scrapes ---"; \
+	s1=$$(curl -sf http://$(DASH_ADDR)/vars/history | grep -o '"samples": [0-9]*' | grep -o '[0-9]*') \
+		|| { kill $$ppid $$epid; exit 1; }; \
+	sleep 1; \
+	s2=$$(curl -sf http://$(DASH_ADDR)/vars/history | grep -o '"samples": [0-9]*' | grep -o '[0-9]*') \
+		|| { kill $$ppid $$epid; exit 1; }; \
+	echo "samples: $$s1 -> $$s2"; \
+	test "$$s2" -gt "$$s1" || { echo "history not advancing"; kill $$ppid $$epid; exit 1; }; \
+	curl -sf http://$(DASH_ADDR)/dashboard | grep -q '<svg' \
+		|| { echo "dashboard missing sparklines"; kill $$ppid $$epid; exit 1; }; \
+	echo "--- loss_spike fires during the blackhole ---"; \
+	code=0; for i in $$(seq 1 32); do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' http://$(DASH_ADDR)/healthz); \
+		[ "$$code" = 503 ] && break; sleep 0.25; \
+	done; \
+	test "$$code" = 503 || { echo "/healthz never degraded"; kill $$ppid $$epid; exit 1; }; \
+	curl -sf http://$(DASH_ADDR)/metrics | grep 'alerts_active{rule="loss_spike"} 1' \
+		|| { echo "alerts_active gauge not set"; kill $$ppid $$epid; exit 1; }; \
+	echo "--- and clears once the loss window flushes ---"; \
+	for i in $$(seq 1 40); do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' http://$(DASH_ADDR)/healthz); \
+		[ "$$code" = 200 ] && break; sleep 0.25; \
+	done; \
+	test "$$code" = 200 || { echo "/healthz never recovered"; kill $$ppid $$epid; exit 1; }; \
+	wait $$ppid || { kill $$epid; exit 1; }; \
+	grep -q '"ev":"alert"' $$tmp/events.jsonl \
+		|| { echo "no alert events in the trace"; kill $$epid; exit 1; }; \
+	grep -c '"ev":"alert"' $$tmp/events.jsonl; \
+	kill $$epid 2>/dev/null; true

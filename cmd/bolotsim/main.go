@@ -55,6 +55,7 @@ import (
 	"netprobe/internal/runner"
 	"netprobe/internal/source"
 	"netprobe/internal/trace"
+	"netprobe/internal/tshist"
 )
 
 func main() {
@@ -79,7 +80,8 @@ func main() {
 			"stream job events to a netdyn-relay collector at this address; empty disables")
 		linger = flag.Duration("linger", 0,
 			"keep the process (and -debug-addr endpoints) alive this long after the sweep")
-		obsFlags = obs.RegisterFlags(flag.CommandLine)
+		obsFlags    = obs.RegisterFlags(flag.CommandLine)
+		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
@@ -99,6 +101,9 @@ func main() {
 		})
 	}
 	pipestat.Default.Register()
+	if _, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != ""); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}

@@ -79,6 +79,7 @@ import (
 	"netprobe/internal/source"
 	"netprobe/internal/tcp"
 	"netprobe/internal/tsa"
+	"netprobe/internal/tshist"
 	"netprobe/internal/workload"
 )
 
@@ -103,7 +104,8 @@ var (
 		"per-job wall-clock limit; timed-out jobs fail (and are retried under -retries); 0 = no limit")
 	retries = flag.Int("retries", 0,
 		"additional attempts for failed or timed-out jobs (same derived seed; manifests record the attempt count)")
-	obsFlags = obs.RegisterFlags(flag.CommandLine)
+	obsFlags    = obs.RegisterFlags(flag.CommandLine)
+	tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 )
 
 // The online engine, when -online is set; runAll tees every job's
@@ -148,6 +150,9 @@ func main() {
 		})
 	}
 	pipestat.Default.Register()
+	if _, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != ""); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}

@@ -39,6 +39,7 @@ import (
 	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
 	"netprobe/internal/otrace"
+	"netprobe/internal/tshist"
 )
 
 func main() {
@@ -50,9 +51,13 @@ func main() {
 		events = flag.String("trace", "", "probe-turnaround event output file (otrace JSONL); empty disables")
 		faults = flag.String("faults", "",
 			"fault-injection plan (JSON, see internal/faultinject) applied to echoed replies")
-		obsFlags = obs.RegisterFlags(flag.CommandLine)
+		obsFlags    = obs.RegisterFlags(flag.CommandLine)
+		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if _, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != ""); err != nil {
+		log.Fatal(err)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}

@@ -72,6 +72,7 @@ import (
 	"netprobe/internal/pipestat"
 	"netprobe/internal/source"
 	"netprobe/internal/trace"
+	"netprobe/internal/tshist"
 )
 
 func main() {
@@ -96,7 +97,8 @@ func main() {
 			"fault-tolerant session: retry transient send errors, recreate the socket on fatal ones, record outages as gaps")
 		faults = flag.String("faults", "",
 			"fault-injection plan (JSON, see internal/faultinject) applied to the probe socket")
-		obsFlags = obs.RegisterFlags(flag.CommandLine)
+		obsFlags    = obs.RegisterFlags(flag.CommandLine)
+		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
@@ -117,6 +119,10 @@ func main() {
 		})
 	}
 	pipestat.Default.Register()
+	store, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != "")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
@@ -148,12 +154,12 @@ func main() {
 	// run owns everything that must be flushed on every exit path; its
 	// defers run even when the probe fails, which a bare log.Fatal in
 	// main would skip.
-	if err := run(cfg, bus, eng, *events, *out, *relay, *report, *faults); err != nil {
+	if err := run(cfg, bus, eng, store, *events, *out, *relay, *report, *faults); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
+func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine, store *tshist.Store,
 	events, out, relay string, report time.Duration, faultsPath string) error {
 	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", cfg.Target, cfg.Count, cfg.PayloadSize, cfg.Delta)
 	var sinks []otrace.Sink
@@ -168,7 +174,16 @@ func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine,
 		b := otrace.NewBounded(w, 4096)
 		chain.Applied("writer", w.Events)
 		chain.Dropped("queue", b.Dropped)
-		sinks = append(sinks, chain.Produce(b))
+		tsink := chain.Produce(b)
+		sinks = append(sinks, tsink)
+		if store != nil {
+			// Alert fire/clear events land in the same JSONL trace as
+			// probe lifecycles — entering through the produce tap so
+			// the trace chain's conservation books stay balanced. They
+			// never feed the online bus: alerts are judgements about
+			// measurements, not measurements.
+			store.SetAlerts(tsink)
+		}
 		defer func() {
 			b.Close() //nolint:errcheck // always nil
 			if err := w.Close(); err != nil {

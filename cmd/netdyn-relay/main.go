@@ -62,6 +62,7 @@ import (
 	"netprobe/internal/otrace"
 	"netprobe/internal/pipestat"
 	"netprobe/internal/source"
+	"netprobe/internal/tshist"
 )
 
 func main() {
@@ -79,7 +80,8 @@ func main() {
 			"mark a connected source degraded on /healthz after this much silence (0 disables)")
 		linger = flag.Duration("linger", 0,
 			"keep the process (and -debug-addr endpoints) alive this long after shutdown")
-		obsFlags = obs.RegisterFlags(flag.CommandLine)
+		obsFlags    = obs.RegisterFlags(flag.CommandLine)
+		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	// The online engine registers its /online debug handler, so it must
@@ -99,10 +101,14 @@ func main() {
 	})
 	// Not ready until the listener is bound; run clears this.
 	obs.DefaultHealth.SetError("listener", errNotListening)
+	store, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != "")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*listen, *events, bus, eng, chain, *lossy, *queue, *staleAfter); err != nil {
+	if err := run(*listen, *events, bus, eng, store, chain, *lossy, *queue, *staleAfter); err != nil {
 		log.Fatal(err)
 	}
 	if *linger > 0 {
@@ -114,7 +120,7 @@ func main() {
 // errNotListening is the readiness condition the relay starts in.
 var errNotListening = errors.New("listener not bound yet")
 
-func run(listen, events string, bus *online.Bus, eng *online.Engine,
+func run(listen, events string, bus *online.Bus, eng *online.Engine, store *tshist.Store,
 	chain *pipestat.Chain, lossy bool, queue int, staleAfter time.Duration) error {
 	// The relayed events already carry Job/Index tags from their
 	// producers, so the bus is fed directly — no re-tagging.
@@ -130,6 +136,14 @@ func run(listen, events string, bus *online.Bus, eng *online.Engine,
 		// lossless, so this book should always balance).
 		trace := pipestat.Default.Chain("relay.trace")
 		trace.Applied("writer", w.Events)
+		if store != nil {
+			// Alert fire/clear events append to the same JSONL trace
+			// as the relayed streams, entering through a produce tap so
+			// the writer's applied count stays balanced. They never
+			// feed the analyzer bus: alerts are judgements about
+			// measurements, not measurements.
+			store.SetAlerts(trace.Produce(w))
+		}
 		defer func() {
 			if err := w.Close(); err != nil {
 				slog.Error("closing event trace", "err", err)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // expvar.Publish panics on duplicate names, so the registry variable
@@ -48,26 +49,41 @@ var extraHandlers struct {
 // Per-scrape collectors: functions run at the top of every /metrics
 // request so pull-derived values (the process collector's runtime
 // stats, the pipeline ledger's unaccounted gauge) are fresh without
-// any background refresher goroutine.
+// any background refresher goroutine. The slice is copy-on-write
+// behind an atomic pointer: registration copies, running loads — so
+// the time-series sampler can run the hooks every tick without
+// allocating.
 var scrapeHooks struct {
-	mu  sync.Mutex
-	fns []func()
+	mu  sync.Mutex // serializes writers
+	fns atomic.Pointer[[]func()]
 }
 
 // OnScrape registers fn to run before every /metrics exposition (on
-// every debug server, current and future). Use it for gauges computed
-// from other counters rather than written on a hot path.
+// every debug server, current and future) and every time-series
+// sample. Use it for gauges computed from other counters rather than
+// written on a hot path.
 func OnScrape(fn func()) {
 	scrapeHooks.mu.Lock()
 	defer scrapeHooks.mu.Unlock()
-	scrapeHooks.fns = append(scrapeHooks.fns, fn)
+	var old []func()
+	if p := scrapeHooks.fns.Load(); p != nil {
+		old = *p
+	}
+	fns := make([]func(), len(old)+1)
+	copy(fns, old)
+	fns[len(old)] = fn
+	scrapeHooks.fns.Store(&fns)
 }
 
-func runScrapeHooks() {
-	scrapeHooks.mu.Lock()
-	fns := append([]func(){}, scrapeHooks.fns...)
-	scrapeHooks.mu.Unlock()
-	for _, fn := range fns {
+// RunScrapeHooks runs every OnScrape hook once. /metrics does this per
+// scrape; the time-series store does it per sample so pull-derived
+// gauges are fresh in each history row.
+func RunScrapeHooks() {
+	p := scrapeHooks.fns.Load()
+	if p == nil {
+		return
+	}
+	for _, fn := range *p {
 		fn()
 	}
 }
@@ -105,7 +121,7 @@ func ServeDebug(addr string, reg *Registry) (net.Addr, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		proc.Collect()
-		runScrapeHooks()
+		RunScrapeHooks()
 		metricsHandler.ServeHTTP(w, r)
 	}))
 	mux.Handle("/healthz", DefaultHealth.Handler())

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileMonotonic pins the estimator's basic sanity: for a fixed
+// snapshot, Quantile must be non-decreasing in q and confined to the
+// observed [Min, Max], including across the finite-bucket/overflow
+// seam where the interpolation rule changes.
+func TestQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string]func() *Histogram{
+		"spread": func() *Histogram {
+			h := NewHistogram([]float64{1, 2, 5, 10})
+			for i := 0; i < 500; i++ {
+				h.Observe(rng.Float64() * 8)
+			}
+			return h
+		},
+		"with-overflow": func() *Histogram {
+			h := NewHistogram([]float64{1, 2, 5})
+			for i := 0; i < 200; i++ {
+				h.Observe(rng.Float64() * 20) // ~3/4 land past the last bound
+			}
+			return h
+		},
+		"single-bucket": func() *Histogram {
+			h := NewHistogram([]float64{1, 2, 5})
+			for i := 0; i < 50; i++ {
+				h.Observe(1.5)
+			}
+			return h
+		},
+		"sparse": func() *Histogram {
+			h := NewHistogram([]float64{1, 2, 5, 10, 100})
+			h.Observe(0.5)
+			h.Observe(50)
+			return h
+		},
+	}
+	for name, build := range shapes {
+		s := build().Snapshot()
+		prev := s.Min
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			got := s.Quantile(q)
+			if got < prev {
+				t.Fatalf("%s: Quantile(%.2f) = %v < Quantile(%.2f) = %v: not monotone",
+					name, q, got, q-0.01, prev)
+			}
+			if got < s.Min || got > s.Max {
+				t.Fatalf("%s: Quantile(%.2f) = %v outside observed [%v, %v]",
+					name, q, got, s.Min, s.Max)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestQuantileInterpolates pins that quantiles inside a finite bucket
+// are linearly interpolated across the bucket, not snapped to a bucket
+// edge: different ranks landing in the same bucket must yield
+// different estimates.
+func TestQuantileInterpolates(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for i := 0; i < 50; i++ { // all mass in the (2, 5] bucket
+		h.Observe(2.5)
+		h.Observe(4.5)
+	}
+	s := h.Snapshot()
+	q25, q75 := s.Quantile(0.25), s.Quantile(0.75)
+	if q25 <= 2 || q75 > 5 {
+		t.Fatalf("quantiles left the winning bucket: q25=%v q75=%v", q25, q75)
+	}
+	if q25 >= q75 {
+		t.Fatalf("no interpolation inside the bucket: q25=%v q75=%v", q25, q75)
+	}
+	// The observed extremes clamp the bucket: with every sample equal,
+	// Min == Max == 3 and any quantile must report exactly that.
+	exact := NewHistogram([]float64{1, 2, 5})
+	exact.Observe(3)
+	es := exact.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := es.Quantile(q); got != 3 {
+			t.Errorf("single-observation Quantile(%v) = %v, want the observation 3", q, got)
+		}
+	}
+}

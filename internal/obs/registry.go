@@ -192,9 +192,22 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Snapshot captures the histogram's current state, including p50,
 // p90, and p99 estimates.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
+	var s HistogramSnapshot
+	h.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto fills s with the histogram's current state, reusing
+// s.Counts when its capacity suffices so periodic samplers (the
+// time-series store) can snapshot without allocating. Bounds is shared
+// with the histogram, not copied; callers must treat it as read-only.
+func (h *Histogram) SnapshotInto(s *HistogramSnapshot) {
+	if cap(s.Counts) < len(h.counts) {
+		s.Counts = make([]int64, len(h.counts))
+	}
+	*s = HistogramSnapshot{
 		Bounds: h.bounds,
-		Counts: make([]int64, len(h.counts)),
+		Counts: s.Counts[:len(h.counts)],
 	}
 	for i := range h.counts {
 		c := h.counts[i].Load()
@@ -202,7 +215,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += c
 	}
 	if s.Count == 0 {
-		return s
+		return
 	}
 	s.Sum = h.sum.load()
 	s.Min = h.min.load()
@@ -211,7 +224,6 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = s.Quantile(0.50)
 	s.P90 = s.Quantile(0.90)
 	s.P99 = s.Quantile(0.99)
-	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Counts has
@@ -395,6 +407,48 @@ func (r *Registry) Unregister(names ...string) {
 		delete(r.gauges, name)
 		delete(r.fgauges, name)
 		delete(r.hists, name)
+	}
+}
+
+// EachCounter calls fn for every registered counter. Iteration holds
+// the registry mutex, so fn must be quick and must not re-enter the
+// registry. Order is unspecified (map order). The time-series store
+// uses these visitors to sample without building snapshot maps.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.counters {
+		fn(k, v)
+	}
+}
+
+// EachGauge calls fn for every registered gauge; see EachCounter for
+// the locking contract.
+func (r *Registry) EachGauge(fn func(name string, g *Gauge)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.gauges {
+		fn(k, v)
+	}
+}
+
+// EachFloatGauge calls fn for every registered float gauge; see
+// EachCounter for the locking contract.
+func (r *Registry) EachFloatGauge(fn func(name string, g *FloatGauge)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.fgauges {
+		fn(k, v)
+	}
+}
+
+// EachHistogram calls fn for every registered histogram; see
+// EachCounter for the locking contract.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range r.hists {
+		fn(k, v)
 	}
 }
 

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestStatuszGoldenSchema pins the /statusz JSON schema. The document
+// mixes identity fields that necessarily vary run to run (pid, start
+// time, toolchain) with structure that must not drift silently — key
+// names, section nesting, the problems array shape. Volatile values
+// are replaced with fixed placeholders before comparing against the
+// golden file, so the test locks the schema without locking the
+// environment. Run with -update to accept intentional schema changes.
+func TestStatuszGoldenSchema(t *testing.T) {
+	h := NewHealth()
+	h.SetError("listener", errors.New("bind: address in use"))
+	StatusSection("fixture", func() any {
+		return map[string]any{"series": 3, "active": []string{"loss(online.ulp)"}}
+	})
+
+	rec := httptest.NewRecorder()
+	StatusHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad /statusz JSON: %v", err)
+	}
+	// Every volatile field must exist with the right dynamic type
+	// before it is masked; a missing key is a schema break.
+	for key, placeholder := range map[string]any{
+		"program":    "PROGRAM",
+		"version":    "VERSION",
+		"go":         "GO",
+		"pid":        float64(-1),
+		"start_time": "START_TIME",
+		"uptime_sec": float64(-1),
+	} {
+		got, ok := doc[key]
+		if !ok {
+			t.Fatalf("/statusz missing %q: %v", key, doc)
+		}
+		switch placeholder.(type) {
+		case string:
+			if _, ok := got.(string); !ok {
+				t.Fatalf("/statusz %q = %T, want string", key, got)
+			}
+		case float64:
+			if _, ok := got.(float64); !ok {
+				t.Fatalf("/statusz %q = %T, want number", key, got)
+			}
+		}
+		doc[key] = placeholder
+	}
+
+	// The section registry is process-global and other tests register
+	// their own sections, so keep only this test's fixture: the golden
+	// pins the nesting shape, not the neighbors.
+	sections, ok := doc["sections"].(map[string]any)
+	if !ok {
+		t.Fatalf("/statusz sections = %T, want object", doc["sections"])
+	}
+	fixture, ok := sections["fixture"]
+	if !ok {
+		t.Fatalf("/statusz missing the registered fixture section: %v", sections)
+	}
+	doc["sections"] = map[string]any{"fixture": fixture}
+
+	// map keys marshal sorted, so the normalized document is
+	// deterministic byte for byte.
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "statusz.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/statusz schema drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

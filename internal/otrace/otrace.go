@@ -76,6 +76,14 @@ const (
 	// are plumbing, not measurements: relays consume them for health
 	// tracking and do not forward them to analyzers or trace files.
 	KindHeartbeat Kind = "hb"
+	// KindAlert marks a drift-rule transition in the time-series store
+	// (internal/tshist): Name is the rule, Flow the metric series it
+	// matched, Fault "fire" or "clear", Value the breaching sample, and
+	// SentNs the wall clock of the transition. Alerts are judgements
+	// about the measurement plane, not measurements: they go to trace
+	// files and logs but never into analyzer pipelines, so they cannot
+	// unbalance the conservation ledger.
+	KindAlert Kind = "alert"
 )
 
 // Event is one trace record. T is nanoseconds from the start of the
@@ -118,6 +126,10 @@ type Event struct {
 	Seed   int64  `json:"seed,omitempty"`
 	Probes int    `json:"probes,omitempty"`
 	Losses int    `json:"losses,omitempty"`
+
+	// Value carries a float payload for kinds that need one (KindAlert:
+	// the sample that breached or cleared the rule).
+	Value float64 `json:"value,omitempty"`
 
 	// Stamp is the wall-clock instant (Unix nanoseconds) the event
 	// entered this process's pipeline, set by the first stage that sees

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // The binary wire framing: a compact, length-prefixed encoding of
@@ -56,6 +57,7 @@ func AppendEvent(buf []byte, ev Event) []byte {
 	buf = binary.AppendVarint(buf, ev.Seed)
 	buf = binary.AppendVarint(buf, int64(ev.Probes))
 	buf = binary.AppendVarint(buf, int64(ev.Losses))
+	buf = binary.AppendUvarint(buf, math.Float64bits(ev.Value))
 	return buf
 }
 
@@ -94,6 +96,7 @@ func DecodeEvent(data []byte) (Event, error) {
 	ev.Seed = d.varint()
 	ev.Probes = int(d.varint())
 	ev.Losses = int(d.varint())
+	ev.Value = math.Float64frombits(d.uvarint())
 	if d.err != nil {
 		return Event{}, fmt.Errorf("otrace: decode event: %w", d.err)
 	}
@@ -117,6 +120,19 @@ func (d *decoder) varint() int64 {
 	v, n := binary.Varint(d.buf)
 	if n <= 0 {
 		d.err = fmt.Errorf("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("bad uvarint")
 		return 0
 	}
 	d.buf = d.buf[n:]

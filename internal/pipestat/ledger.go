@@ -55,10 +55,15 @@ func (l *Ledger) Chain(name string) *Chain {
 
 // Unaccounted sums the conservation residuals of every chain:
 // Σ max(0, produced − applied − drops). Zero once the pipeline has
-// drained; transiently positive while events sit in queues.
+// drained; transiently positive while events sit in queues. It is
+// allocation-free — it runs on every /metrics scrape and every
+// time-series sample — so it iterates the chain map under the lock
+// rather than snapshotting it.
 func (l *Ledger) Unaccounted() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var total int64
-	for _, c := range l.snapshotChains() {
+	for _, c := range l.chains {
 		total += c.Unaccounted()
 	}
 	return total
@@ -247,6 +252,16 @@ func sumSources(list []counterSource) (int64, map[string]int64) {
 	return total, m
 }
 
+// sumTotal is the map-free sum for the allocation-free Unaccounted
+// path.
+func sumTotal(list []counterSource) int64 {
+	var total int64
+	for _, s := range list {
+		total += s.fn()
+	}
+	return total
+}
+
 // Unaccounted is this chain's conservation residual:
 // max(0, produced − Σ applied − Σ dropped). The floor at zero keeps
 // scrape-time skew (drop counters read after the produced counter
@@ -255,9 +270,9 @@ func sumSources(list []counterSource) (int64, map[string]int64) {
 func (c *Chain) Unaccounted() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, _ := sumSources(c.produced)
-	a, _ := sumSources(c.applied)
-	d, _ := sumSources(c.dropped)
+	p := sumTotal(c.produced)
+	a := sumTotal(c.applied)
+	d := sumTotal(c.dropped)
 	if u := p - a - d; u > 0 {
 		return u
 	}

@@ -297,6 +297,11 @@ type Server struct {
 	mu      sync.Mutex // guards the source table
 	sources map[string]*sourceState
 	order   []string
+
+	// closed quiesces the per-scrape gauge refresh hook after Close —
+	// OnScrape hooks are process-lifetime, but servers (in tests) are
+	// not.
+	closed atomic.Bool
 }
 
 // Serve starts accepting connections on ln, each handled as a
@@ -319,6 +324,9 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	if cfg.Health != nil && cfg.StaleAfter > 0 {
 		cfg.Health.AddCheck("sources", s.staleCheck)
+	}
+	if cfg.Metrics != nil {
+		obs.OnScrape(s.refreshGauges)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -394,6 +402,7 @@ func (s *Server) handle(conn net.Conn) {
 // is lost to shutdown — while a still-connected or silent peer is
 // force-cancelled after the configured Grace.
 func (s *Server) Close() error {
+	s.closed.Store(true)
 	if s.cfg.Health != nil && s.cfg.StaleAfter > 0 {
 		s.cfg.Health.Remove("sources")
 	}

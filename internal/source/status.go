@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netprobe/internal/obs"
 	"netprobe/internal/otrace"
 )
 
@@ -28,6 +29,13 @@ type sourceState struct {
 	dropped    atomic.Int64 // discarded by the lossy queue
 	heartbeats atomic.Int64
 	lastNs     atomic.Int64 // wall clock of the last frame (event or heartbeat)
+
+	// Exported gauges (when ServerConfig.Metrics is wired):
+	// source.skew_ms{source=} and source.age_ms{source=}, cached here so
+	// the per-scrape refresh allocates nothing. Histories and drift
+	// rules consume these; /statusz carries the same numbers in seconds.
+	gSkew *obs.FloatGauge
+	gAge  *obs.FloatGauge
 
 	mu      sync.Mutex // guards the EWMA (heartbeat-rate updates only)
 	skewSec float64
@@ -91,10 +99,37 @@ func (s *Server) state(label string) *sourceState {
 	st, ok := s.sources[label]
 	if !ok {
 		st = &sourceState{label: label}
+		if s.cfg.Metrics != nil {
+			st.gSkew = s.cfg.Metrics.FloatGauge(obs.Label("source.skew_ms", "source", label))
+			st.gAge = s.cfg.Metrics.FloatGauge(obs.Label("source.age_ms", "source", label))
+		}
 		s.sources[label] = st
 		s.order = append(s.order, label)
 	}
 	return st
+}
+
+// refreshGauges recomputes every source's skew/age gauges; it runs as
+// an obs.OnScrape hook, so /metrics scrapes and time-series samples see
+// fresh values. Allocation-free: the gauges are cached on each state.
+func (s *Server) refreshGauges() {
+	if s.closed.Load() {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.sources {
+		if st.gAge == nil {
+			continue
+		}
+		if last := st.lastNs.Load(); last != 0 {
+			st.gAge.Set(float64(now-last) / float64(time.Millisecond))
+		}
+		if skew, ok := st.skew(); ok && !math.IsNaN(skew) && !math.IsInf(skew, 0) {
+			st.gSkew.Set(skew * 1000)
+		}
+	}
 }
 
 func (s *Server) states() []*sourceState {

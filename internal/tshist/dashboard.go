@@ -1,0 +1,271 @@
+package tshist
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The /dashboard page: zero-dependency, server-rendered HTML with
+// inline SVG sparklines over the retained history — no scripts, no
+// external assets, readable from curl --head to a browser. The page
+// self-refreshes on a meta tag. Colors follow the repository's chart
+// palette (fixed categorical slot order, light and dark values via CSS
+// custom properties; status colors reserved for the alert state and
+// always paired with a text label).
+
+// panel is one dashboard chart: a title and the series glob it shows.
+type panel struct {
+	Title   string
+	Pattern string
+}
+
+// dashboardPanels are the paper's headline series plus the plane's
+// self-observability, in reading order.
+var dashboardPanels = []panel{
+	{"Loss probability ulp", "online.ulp*"},
+	{"Conditional loss clp", "online.clp*"},
+	{"Loss-gap plg", "online.plg*"},
+	{"Compression-line μ (bit/s)", "online.mu_bps*"},
+	{"Workload mean (bits)", "online.workload_mean_bits*"},
+	{"Pipeline unaccounted", "pipeline.unaccounted"},
+	{"Stage lag p99 (s)", "pipeline.lag*:p99"},
+	{"Source clock skew (ms)", "source.skew_ms*"},
+	{"Source last-event age (ms)", "source.age_ms*"},
+	{"Active alerts", "alerts.active*"},
+}
+
+// maxPanelSeries caps how many series one sparkline draws; beyond it
+// the panel folds the rest into a "+N more" note (the palette's eight
+// categorical slots are the ceiling for distinguishable lines).
+const maxPanelSeries = 8
+
+// Dashboard serves the /dashboard page.
+func (s *Store) Dashboard() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(s.renderDashboard())) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+func (s *Store) renderDashboard() string {
+	doc := s.History()
+	refresh := int(math.Ceil(s.interval.Seconds())) * 2
+	if refresh < 2 {
+		refresh = 2
+	}
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<meta http-equiv=\"refresh\" content=\"%d\">\n", refresh)
+	b.WriteString("<title>netprobe dashboard</title>\n")
+	b.WriteString(dashboardCSS)
+	b.WriteString("</head>\n<body class=\"viz-root\">\n")
+
+	fmt.Fprintf(&b, "<header><h1>netprobe · measurement-plane history</h1>"+
+		"<p class=\"meta\">%d samples · every %s · window %s · refreshes every %ds</p></header>\n",
+		doc.Samples, s.interval, s.window, refresh)
+
+	// Alert banner: status color + icon + label, never color alone.
+	active := s.ActiveAlerts()
+	if len(active) > 0 {
+		fmt.Fprintf(&b, "<div class=\"alert firing\">&#9679; %d alert(s) firing: %s</div>\n",
+			len(active), html.EscapeString(strings.Join(active, ", ")))
+	} else {
+		b.WriteString("<div class=\"alert ok\">&#10003; no alerts firing</div>\n")
+	}
+
+	b.WriteString("<main>\n")
+	for _, p := range dashboardPanels {
+		renderPanel(&b, p, doc)
+	}
+	b.WriteString("</main>\n")
+
+	// Recent transitions table.
+	if len(doc.Alerts) > 0 {
+		b.WriteString("<h2>Recent alert transitions</h2>\n<table>\n<tr><th>time</th><th>rule</th><th>series</th><th>edge</th><th>value</th></tr>\n")
+		for i := len(doc.Alerts) - 1; i >= 0; i-- {
+			t := doc.Alerts[i]
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.4g</td></tr>\n",
+				time.Unix(0, t.TimeNs).UTC().Format("15:04:05"),
+				html.EscapeString(t.Rule), html.EscapeString(t.Series), t.What, t.Value)
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("<footer><p class=\"meta\">Raw data: <a href=\"/vars/history\">/vars/history</a> · <a href=\"/metrics\">/metrics</a> · <a href=\"/statusz\">/statusz</a></p></footer>\n")
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+func renderPanel(b *strings.Builder, p panel, doc HistoryDoc) {
+	var names []string
+	for name := range doc.Series {
+		if Match(p.Pattern, name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "<section class=\"panel\">\n<h2>%s</h2>\n", html.EscapeString(p.Title))
+	if len(names) == 0 {
+		b.WriteString("<p class=\"meta\">no data</p>\n</section>\n")
+		return
+	}
+	folded := 0
+	if len(names) > maxPanelSeries {
+		folded = len(names) - maxPanelSeries
+		names = names[:maxPanelSeries]
+	}
+
+	// Shared y-range across the panel's series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, name := range names {
+		for _, v := range doc.Series[name].Values {
+			if v != nil {
+				lo = math.Min(lo, *v)
+				hi = math.Max(hi, *v)
+			}
+		}
+	}
+	if lo > hi { // all-null
+		b.WriteString("<p class=\"meta\">no samples yet</p>\n</section>\n")
+		return
+	}
+	if lo == hi { // flat line: pad so it draws mid-panel
+		lo, hi = lo-1, hi+1
+	}
+
+	const w, h, pad = 320.0, 64.0, 4.0
+	fmt.Fprintf(b, "<svg viewBox=\"0 0 %g %g\" width=\"%g\" height=\"%g\" role=\"img\" aria-label=\"%s\">\n",
+		w, h, w, h, html.EscapeString(p.Title))
+	fmt.Fprintf(b, "<rect x=\"0\" y=\"0\" width=\"%g\" height=\"%g\" class=\"plot\"/>\n", w, h)
+	n := len(doc.TUnixNs)
+	for si, name := range names {
+		vals := doc.Series[name].Values
+		var pts strings.Builder
+		segOpen := false
+		flush := func() {
+			if segOpen {
+				fmt.Fprintf(b, "<polyline points=\"%s\" class=\"line s%d\"><title>%s</title></polyline>\n",
+					pts.String(), si+1, html.EscapeString(name))
+				pts.Reset()
+				segOpen = false
+			}
+		}
+		for i, v := range vals {
+			if v == nil {
+				flush() // null breaks the line rather than bridging the gap
+				continue
+			}
+			x := pad + (w-2*pad)*float64(i)/math.Max(1, float64(n-1))
+			y := h - pad - (h-2*pad)*((*v-lo)/(hi-lo))
+			if segOpen {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", x, y)
+			segOpen = true
+		}
+		flush()
+	}
+	b.WriteString("</svg>\n")
+	fmt.Fprintf(b, "<p class=\"range\">min %.4g · max %.4g</p>\n", lo, hi)
+
+	// Legend for two or more series (one series is named by the title);
+	// swatch carries the color, the text stays in ink tokens.
+	if len(names) >= 2 {
+		b.WriteString("<ul class=\"legend\">\n")
+		for si, name := range names {
+			fmt.Fprintf(b, "<li><span class=\"swatch s%d\"></span>%s%s</li>\n",
+				si+1, html.EscapeString(name), latestOf(doc, name))
+		}
+		b.WriteString("</ul>\n")
+	} else {
+		fmt.Fprintf(b, "<p class=\"meta\">%s%s</p>\n", html.EscapeString(names[0]), latestOf(doc, names[0]))
+	}
+	if folded > 0 {
+		fmt.Fprintf(b, "<p class=\"meta\">+%d more series (see /vars/history)</p>\n", folded)
+	}
+	b.WriteString("</section>\n")
+}
+
+// latestOf formats a series' most recent non-null value.
+func latestOf(doc HistoryDoc, name string) string {
+	vals := doc.Series[name].Values
+	for i := len(vals) - 1; i >= 0; i-- {
+		if vals[i] != nil {
+			return fmt.Sprintf(" · latest %.4g", *vals[i])
+		}
+	}
+	return ""
+}
+
+// dashboardCSS: the repository chart palette as CSS custom properties.
+// Light and dark values are each validated sets (the dark column is
+// the same hues re-stepped for the dark surface, not an automatic
+// flip); text always wears ink tokens, never a series color.
+const dashboardCSS = `<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e1e0d9;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+  --status-critical: #d03b3b;
+  --status-good: #0ca30c;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #2c2c2a;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+body { background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 1.2rem auto; max-width: 1100px; padding: 0 1rem; }
+h1 { font-size: 1.25rem; margin: 0 0 .2rem; }
+h2 { font-size: .95rem; margin: .2rem 0 .4rem; }
+.meta { color: var(--text-secondary); font-size: .8rem; margin: .2rem 0; }
+.alert { border-radius: 6px; padding: .4rem .7rem; margin: .8rem 0; font-weight: 600; }
+.alert.firing { color: var(--status-critical); border: 2px solid var(--status-critical); }
+.alert.ok { color: var(--status-good); border: 1px solid var(--grid); }
+main { display: grid; grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); gap: 1rem; }
+.panel { background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: .7rem .8rem; }
+.plot { fill: var(--surface-1); }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+.s1 { stroke: var(--series-1); } .s2 { stroke: var(--series-2); }
+.s3 { stroke: var(--series-3); } .s4 { stroke: var(--series-4); }
+.s5 { stroke: var(--series-5); } .s6 { stroke: var(--series-6); }
+.s7 { stroke: var(--series-7); } .s8 { stroke: var(--series-8); }
+.range { color: var(--text-secondary); font-size: .75rem;
+  font-variant-numeric: tabular-nums; margin: .1rem 0; }
+.legend { list-style: none; margin: .3rem 0 0; padding: 0;
+  color: var(--text-secondary); font-size: .78rem; }
+.legend li { margin: .1rem 0; }
+.swatch { display: inline-block; width: .75rem; height: .75rem;
+  border-radius: 3px; margin-right: .4rem; vertical-align: -1px; }
+span.swatch.s1 { background: var(--series-1); } span.swatch.s2 { background: var(--series-2); }
+span.swatch.s3 { background: var(--series-3); } span.swatch.s4 { background: var(--series-4); }
+span.swatch.s5 { background: var(--series-5); } span.swatch.s6 { background: var(--series-6); }
+span.swatch.s7 { background: var(--series-7); } span.swatch.s8 { background: var(--series-8); }
+table { border-collapse: collapse; font-size: .8rem; width: 100%;
+  font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+a { color: var(--series-1); }
+footer { margin-top: 1rem; }
+</style>
+`

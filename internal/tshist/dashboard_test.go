@@ -1,0 +1,97 @@
+package tshist
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+)
+
+func TestDashboardRenders(t *testing.T) {
+	reg := obs.NewRegistry()
+	ulpA := reg.FloatGauge("online.ulp{job=a}")
+	ulpB := reg.FloatGauge("online.ulp{job=b}")
+	reg.Gauge("pipeline.unaccounted").Set(0)
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules:  []RuleSpec{{Name: "loss", Type: "threshold", Series: "online.ulp*", Max: fptr(0.5), For: 1}},
+	})
+	for i := 0; i < 5; i++ {
+		ulpA.Set(float64(i) / 100)
+		ulpB.Set(float64(i) / 50)
+		s.Sample()
+	}
+
+	rec := httptest.NewRecorder()
+	s.Dashboard().ServeHTTP(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"<svg",                       // sparklines render
+		"<polyline",                  // with line marks
+		"online.ulp{job=a}",          // series named in the legend
+		"class=\"legend\"",           // ≥2 series get a legend
+		"no alerts firing",           // healthy banner
+		"prefers-color-scheme: dark", // dark mode is a selected palette
+		"/vars/history",              // link to the raw document
+		"Loss probability ulp",       // headline panel present
+		"Pipeline unaccounted",       // self-observability panel present
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// Trip the rule: the banner flips to the firing state with a count.
+	ulpA.Set(0.9)
+	s.Sample()
+	rec = httptest.NewRecorder()
+	s.Dashboard().ServeHTTP(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	body = rec.Body.String()
+	if !strings.Contains(body, "alert(s) firing") || !strings.Contains(body, "loss(online.ulp{job=a})") {
+		t.Error("dashboard does not surface the firing alert")
+	}
+	if !strings.Contains(body, "Recent alert transitions") {
+		t.Error("dashboard missing the transitions table")
+	}
+}
+
+func TestDashboardEmptyStore(t *testing.T) {
+	s := newTestStore(t, obs.NewRegistry(), Config{Window: time.Minute})
+	rec := httptest.NewRecorder()
+	s.Dashboard().ServeHTTP(rec, httptest.NewRequest("GET", "/dashboard", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "no data") {
+		t.Error("empty dashboard should say so rather than render empty charts")
+	}
+}
+
+func TestHistoryHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("v").Set(1)
+	s := newTestStore(t, reg, Config{Window: time.Minute})
+	s.Sample()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/vars/history", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"\"interval_sec\"", "\"t_unix_ns\"", "\"series\"", "\"v\""} {
+		if !strings.Contains(body, want) {
+			t.Errorf("history document missing %s", want)
+		}
+	}
+}

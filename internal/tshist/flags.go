@@ -1,0 +1,75 @@
+package tshist
+
+import (
+	"flag"
+	"time"
+
+	"netprobe/internal/obs"
+)
+
+// Flags holds the shared history/alerting flag values every
+// -debug-addr command registers. Register with RegisterFlags, then
+// call Setup after flag parsing and BEFORE obs.Flags.Setup — the
+// history handlers mount through obs.HandleDebug, which only takes
+// effect for debug servers started afterwards.
+type Flags struct {
+	// Interval is the sampling period (-history-interval, default 1s).
+	Interval time.Duration
+	// Window is the retention span (-history-window, default 10m).
+	Window time.Duration
+	// RulesFile points at an -alert-rules JSON file (an array of
+	// RuleSpec); empty selects DefaultRules.
+	RulesFile string
+}
+
+// RegisterFlags registers -history-interval, -history-window, and
+// -alert-rules on fs and returns the struct the parsed values land in.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Interval, "history-interval", time.Second,
+		"sampling period for the in-process metrics history (/vars/history, /dashboard)")
+	fs.DurationVar(&f.Window, "history-window", 10*time.Minute,
+		"retention span of the in-process metrics history")
+	fs.StringVar(&f.RulesFile, "alert-rules", "",
+		"JSON file of drift/anomaly rules evaluated against the metrics history (default: built-in rules)")
+	return f
+}
+
+// Setup builds the store and wires it into the debug plane: the
+// /vars/history and /dashboard handlers, a /statusz "alerts" section,
+// the alerts readiness check on obs.DefaultHealth, and a sampling
+// goroutine running obs.RunScrapeHooks before every sample (so
+// pull-derived gauges are fresh in each row). When enabled is false —
+// the command has no -debug-addr — nothing starts and Setup returns
+// (nil, nil): history without an endpoint to read it from is wasted
+// work. The store lives for the remainder of the process, like the
+// debug server itself.
+func (f *Flags) Setup(reg *obs.Registry, enabled bool) (*Store, error) {
+	if !enabled {
+		return nil, nil
+	}
+	rules := DefaultRules()
+	if f.RulesFile != "" {
+		var err error
+		rules, err = LoadRules(f.RulesFile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	store, err := New(Config{
+		Registry:     reg,
+		Interval:     f.Interval,
+		Window:       f.Window,
+		Rules:        rules,
+		Health:       obs.DefaultHealth,
+		BeforeSample: obs.RunScrapeHooks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	obs.HandleDebug("/vars/history", store.Handler())
+	obs.HandleDebug("/dashboard", store.Dashboard())
+	obs.StatusSection("alerts", store.StatusSection)
+	go store.Run()
+	return store, nil
+}

@@ -1,0 +1,102 @@
+package tshist
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// HistoryDoc is the /vars/history document: the shared timestamp ring
+// plus every retained series, values aligned index-for-index with
+// TUnixNs (null where the series had no sample). Go marshals the
+// Series map with sorted keys, so the document is byte-deterministic
+// for a fixed clock and sample set.
+type HistoryDoc struct {
+	IntervalSec   float64              `json:"interval_sec"`
+	WindowSec     float64              `json:"window_sec"`
+	Samples       int                  `json:"samples"`
+	TUnixNs       []int64              `json:"t_unix_ns"`
+	Series        map[string]SeriesDoc `json:"series"`
+	SeriesDropped int64                `json:"series_dropped,omitempty"`
+	Alerts        []Transition         `json:"alerts,omitempty"`
+}
+
+// SeriesDoc is one series in the history document.
+type SeriesDoc struct {
+	// Kind is "gauge" (a gauge's raw value), "rate" (a counter's or
+	// histogram's per-second increase), or "quantile" (a histogram's
+	// tracked p50/p99).
+	Kind string `json:"kind"`
+	// Values holds one entry per timestamp; null marks ticks the series
+	// had no sample (born later, metric unregistered, or rate warm-up).
+	Values []*float64 `json:"values"`
+}
+
+// History captures the store's retained window as a HistoryDoc.
+func (s *Store) History() HistoryDoc {
+	s.mu.Lock()
+	doc := HistoryDoc{
+		IntervalSec:   s.interval.Seconds(),
+		WindowSec:     s.window.Seconds(),
+		Samples:       s.tn,
+		TUnixNs:       make([]int64, s.tn),
+		Series:        make(map[string]SeriesDoc, len(s.list)),
+		SeriesDropped: s.dropped,
+	}
+	for i := 0; i < s.tn; i++ {
+		doc.TUnixNs[i] = s.times[(s.thead-s.tn+i+len(s.times))%len(s.times)]
+	}
+	for _, st := range s.list {
+		vals := make([]*float64, s.tn)
+		// The ring's n samples are the n most recent timestamps; leading
+		// entries stay null for a series born mid-window.
+		off := s.tn - st.n
+		for k := 0; k < st.n; k++ {
+			v := st.at(k)
+			if !math.IsNaN(v) {
+				vv := v
+				vals[off+k] = &vv
+			}
+		}
+		doc.Series[st.name] = SeriesDoc{Kind: st.kind, Values: vals}
+	}
+	logLen, logHead := s.logLen, s.logHead
+	var log [64]Transition
+	copy(log[:], s.log[:])
+	s.mu.Unlock()
+	for i := 0; i < logLen; i++ {
+		doc.Alerts = append(doc.Alerts, log[(logHead-logLen+i+len(log))%len(log)])
+	}
+	return doc
+}
+
+// Handler serves /vars/history: the full retained window as JSON.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.History()) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+// StatusSection is the /statusz "alerts" section: active alerts, the
+// transition log, and the store's shape.
+func (s *Store) StatusSection() any {
+	type section struct {
+		Active      []string     `json:"active,omitempty"`
+		Transitions []Transition `json:"transitions,omitempty"`
+		Samples     int          `json:"samples"`
+		Series      int          `json:"series"`
+	}
+	s.mu.Lock()
+	active := s.activeLocked()
+	samples, series := s.tn, len(s.list)
+	s.mu.Unlock()
+	return section{
+		Active:      active,
+		Transitions: s.Transitions(),
+		Samples:     samples,
+		Series:      series,
+	}
+}

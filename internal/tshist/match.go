@@ -1,0 +1,31 @@
+package tshist
+
+// Match reports whether name matches pattern, where '*' in pattern
+// matches any run of characters (including none). Every other byte
+// matches literally — series names contain '{', '}', '=', ':' — so
+// path.Match's character classes and separators are deliberately not
+// used.
+func Match(pattern, name string) bool {
+	// Iterative glob with single-star backtracking.
+	var pi, ni int
+	star, starN := -1, 0
+	for ni < len(name) {
+		switch {
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, starN = pi, ni
+			pi++
+		case pi < len(pattern) && pattern[pi] == name[ni]:
+			pi++
+			ni++
+		case star >= 0:
+			starN++
+			pi, ni = star+1, starN
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}

@@ -1,0 +1,31 @@
+package tshist
+
+import "testing"
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"online.ulp*", "online.ulp{job=a}", true},
+		{"online.ulp*", "online.ulp", true},
+		{"online.ulp*", "online.ulpx{job=a}", true},
+		{"online.ulp*", "online.clp{job=a}", false},
+		{"pipeline.lag*:p99", "pipeline.lag{chain=online,stage=engine}:p99", true},
+		{"pipeline.lag*:p99", "pipeline.lag{chain=online,stage=engine}:p50", false},
+		{"*", "anything", true},
+		{"*", "", true},
+		{"", "", true},
+		{"", "x", false},
+		{"a*b*c", "a-x-b-y-c", true},
+		{"a*b*c", "a-x-c-y-b", false},
+		{"source.age_ms*", "source.age_ms{source=127.0.0.1}", true},
+		{"exact", "exact", true},
+		{"exact", "exact!", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.name); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package tshist
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"os"
+	"strings"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// RuleSpec is one drift/anomaly rule, as written in an -alert-rules
+// JSON file (an array of these). A rule watches every series whose
+// name matches Series (a glob: '*' matches any run of characters) and
+// holds independent state per matched series. It fires after For
+// consecutive breaching samples and clears after ClearFor consecutive
+// healthy ones, so one jittery sample neither fires nor clears an
+// alert.
+type RuleSpec struct {
+	// Name identifies the rule in alerts.active{rule=}, alert events,
+	// and /healthz problems.
+	Name string `json:"name"`
+	// Type selects the judgement: "threshold" (out of the [Min, Max]
+	// band), "ewma" (more than K deviations from a running EWMA
+	// mean), or "stuck" (value unchanged sample over sample).
+	Type string `json:"type"`
+	// Series is the glob the rule watches, e.g. "online.ulp*".
+	Series string `json:"series"`
+
+	// Threshold bounds; either may be omitted.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+
+	// EWMA parameters: K deviations (default 4) around an
+	// Alpha-smoothed mean (default 0.2), with the deviation floored at
+	// max(MinDev, MinDevFrac·|mean|) so near-constant series don't
+	// alert on noise; Warmup samples (default 5) train the mean before
+	// judging.
+	K          float64 `json:"k,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	MinDev     float64 `json:"min_dev,omitempty"`
+	MinDevFrac float64 `json:"min_dev_frac,omitempty"`
+	Warmup     int     `json:"warmup,omitempty"`
+
+	// For is the consecutive-breach count to fire (default 1);
+	// ClearFor the consecutive-healthy count to clear (default For).
+	For      int `json:"for,omitempty"`
+	ClearFor int `json:"clear_for,omitempty"`
+}
+
+func (r RuleSpec) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("tshist: rule with empty name")
+	}
+	if r.Series == "" {
+		return fmt.Errorf("tshist: rule %q: empty series pattern", r.Name)
+	}
+	switch r.Type {
+	case "threshold":
+		if r.Min == nil && r.Max == nil {
+			return fmt.Errorf("tshist: rule %q: threshold needs min or max", r.Name)
+		}
+	case "ewma", "stuck":
+	default:
+		return fmt.Errorf("tshist: rule %q: unknown type %q", r.Name, r.Type)
+	}
+	return nil
+}
+
+// ParseRules decodes an -alert-rules JSON document (an array of
+// RuleSpec) and validates every rule.
+func ParseRules(data []byte) ([]RuleSpec, error) {
+	var specs []RuleSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("tshist: parse rules: %w", err)
+	}
+	for _, r := range specs {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+// LoadRules reads and parses an -alert-rules file.
+func LoadRules(path string) ([]RuleSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tshist: read rules: %w", err)
+	}
+	return ParseRules(data)
+}
+
+func fptr(v float64) *float64 { return &v }
+
+// DefaultRules is the built-in rule set every -debug-addr command runs
+// when no -alert-rules file is given: the measurement plane's own
+// judgement of the paper's headline series and of its plumbing.
+func DefaultRules() []RuleSpec {
+	return []RuleSpec{
+		// A loss-rate spike: the windowed/running ulp estimate jumping
+		// well clear of its own recent level. EWMA rather than a fixed
+		// bound, because "normal" loss differs per path.
+		{Name: "loss_spike", Type: "ewma", Series: "online.ulp*",
+			K: 4, MinDev: 0.02, Warmup: 5, For: 2, ClearFor: 3},
+		// μ-fit drift: the compression-line slope estimate wandering
+		// from its trained level — the bottleneck changed, or the fit
+		// degraded.
+		{Name: "mu_drift", Type: "ewma", Series: "online.mu_bps*",
+			K: 4, MinDevFrac: 0.15, Warmup: 8, For: 3, ClearFor: 3},
+		// Conservation violation: events persistently unaccounted for in
+		// the pipeline ledger (transient positives while queues drain are
+		// absorbed by For).
+		{Name: "unaccounted", Type: "threshold", Series: "pipeline.unaccounted",
+			Max: fptr(0), For: 10, ClearFor: 3},
+		// A connected source gone silent: its last-event age growing past
+		// a minute.
+		{Name: "stale_source", Type: "threshold", Series: "source.age_ms*",
+			Max: fptr(60_000), For: 3, ClearFor: 2},
+	}
+}
+
+// Transition is one fire/clear edge, retained in a bounded log for
+// /statusz and the dashboard.
+type Transition struct {
+	TimeNs int64   `json:"t_unix_ns"`
+	Rule   string  `json:"rule"`
+	Series string  `json:"series"`
+	What   string  `json:"what"` // "fire" or "clear"
+	Value  float64 `json:"value"`
+}
+
+// boundRule is a RuleSpec bound to its matched series and metrics.
+type boundRule struct {
+	spec     RuleSpec
+	forN     int
+	clearN   int
+	bindings []*binding
+	active   int // bindings currently firing
+	gActive  *obs.Gauge
+	cFired   *obs.Counter
+}
+
+// binding is one rule's state for one matched series.
+type binding struct {
+	s        *seriesState
+	breach   int
+	okRun    int
+	active   bool
+	mean, vr float64 // EWMA state
+	warm     int
+	lastV    float64 // stuck state
+	haveLast bool
+}
+
+func bindRule(spec RuleSpec, reg *obs.Registry) (*boundRule, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	br := &boundRule{
+		spec:    spec,
+		forN:    spec.For,
+		clearN:  spec.ClearFor,
+		gActive: reg.Gauge(obs.Label("alerts.active", "rule", spec.Name)),
+		cFired:  reg.Counter(obs.Label("alerts.fired", "rule", spec.Name)),
+	}
+	if br.forN <= 0 {
+		br.forN = 1
+	}
+	if br.clearN <= 0 {
+		br.clearN = br.forN
+	}
+	return br, nil
+}
+
+func (r *boundRule) bind(st *seriesState) {
+	if !Match(r.spec.Series, st.name) {
+		return
+	}
+	r.bindings = append(r.bindings, &binding{s: st})
+}
+
+// sweep drops bindings whose series aged out, clearing their firing
+// state first so alerts.active does not count ghosts.
+func (r *boundRule) sweep() {
+	kept := r.bindings[:0]
+	for _, b := range r.bindings {
+		if b.s.dead {
+			if b.active {
+				r.active--
+				r.gActive.Set(int64(r.active))
+			}
+			continue
+		}
+		kept = append(kept, b)
+	}
+	r.bindings = kept
+}
+
+// judge reports whether v breaches the rule for binding b, updating
+// the binding's model state. Pure arithmetic: zero allocations.
+func (r *boundRule) judge(b *binding, v float64) bool {
+	switch r.spec.Type {
+	case "threshold":
+		if r.spec.Max != nil && v > *r.spec.Max {
+			return true
+		}
+		if r.spec.Min != nil && v < *r.spec.Min {
+			return true
+		}
+		return false
+	case "ewma":
+		alpha := r.spec.Alpha
+		if alpha <= 0 || alpha >= 1 {
+			alpha = 0.2
+		}
+		k := r.spec.K
+		if k <= 0 {
+			k = 4
+		}
+		warmup := r.spec.Warmup
+		if warmup <= 0 {
+			warmup = 5
+		}
+		breach := false
+		if b.warm >= warmup {
+			dev := math.Sqrt(b.vr)
+			if dev < r.spec.MinDev {
+				dev = r.spec.MinDev
+			}
+			if f := r.spec.MinDevFrac * math.Abs(b.mean); dev < f {
+				dev = f
+			}
+			breach = dev > 0 && math.Abs(v-b.mean) > k*dev
+		}
+		// Breaching samples are held out of the model until the alert
+		// fires — otherwise the first outlier inflates the variance and
+		// suppresses the consecutive breaches For requires. Once active,
+		// the model folds the new level in, so a genuine level shift
+		// becomes the new normal and the alert clears: drift detection
+		// alerts on the change, then adapts.
+		if !breach || b.active {
+			if b.warm == 0 {
+				b.mean = v
+			} else {
+				diff := v - b.mean
+				incr := alpha * diff
+				b.mean += incr
+				b.vr = (1 - alpha) * (b.vr + diff*incr)
+			}
+		}
+		b.warm++
+		return breach
+	case "stuck":
+		same := b.haveLast && v == b.lastV
+		b.lastV, b.haveLast = v, true
+		return same
+	}
+	return false
+}
+
+// evalRules judges every binding against this tick's sample and walks
+// fire/clear transitions. Runs with s.mu held.
+func (s *Store) evalRules(nowNs int64) {
+	for _, r := range s.rules {
+		for _, b := range r.bindings {
+			v := b.s.pending
+			breach := b.s.seenSeq == s.seq && !math.IsNaN(v) && r.judge(b, v)
+			if breach {
+				b.breach++
+				b.okRun = 0
+			} else {
+				b.okRun++
+				b.breach = 0
+			}
+			switch {
+			case !b.active && b.breach >= r.forN:
+				b.active = true
+				r.active++
+				r.gActive.Set(int64(r.active))
+				r.cFired.Inc()
+				s.transition(nowNs, r, b, "fire", v)
+			case b.active && b.okRun >= r.clearN:
+				b.active = false
+				r.active--
+				r.gActive.Set(int64(r.active))
+				s.transition(nowNs, r, b, "clear", v)
+			}
+		}
+	}
+}
+
+// transition records a fire/clear edge: bounded log, otrace alert
+// event (when a sink is wired), and a structured log line.
+func (s *Store) transition(nowNs int64, r *boundRule, b *binding, what string, v float64) {
+	t := Transition{TimeNs: nowNs, Rule: r.spec.Name, Series: b.s.name, What: what, Value: v}
+	s.log[s.logHead] = t
+	s.logHead = (s.logHead + 1) % len(s.log)
+	if s.logLen < len(s.log) {
+		s.logLen++
+	}
+	if s.alerts != nil {
+		s.alerts.Emit(otrace.Event{
+			Ev:     otrace.KindAlert,
+			Seq:    -1,
+			Name:   r.spec.Name,
+			Flow:   b.s.name,
+			Fault:  what,
+			SentNs: nowNs,
+			Value:  v,
+		})
+	}
+	if what == "fire" {
+		slog.Warn("alert fired", "rule", r.spec.Name, "series", b.s.name, "value", v)
+	} else {
+		slog.Info("alert cleared", "rule", r.spec.Name, "series", b.s.name, "value", v)
+	}
+}
+
+// Transitions returns the retained fire/clear log, oldest first.
+func (s *Store) Transitions() []Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Transition, 0, s.logLen)
+	for i := 0; i < s.logLen; i++ {
+		out = append(out, s.log[(s.logHead-s.logLen+i+len(s.log))%len(s.log)])
+	}
+	return out
+}
+
+// ActiveAlerts lists the currently-firing (rule, series) pairs as
+// "rule(series)" strings, sorted.
+func (s *Store) ActiveAlerts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeLocked()
+}
+
+func (s *Store) activeLocked() []string {
+	var out []string
+	for _, r := range s.rules {
+		for _, b := range r.bindings {
+			if b.active {
+				out = append(out, r.spec.Name+"("+b.s.name+")")
+			}
+		}
+	}
+	return out
+}
+
+// alertsCheck is the /healthz readiness condition: fails while any
+// rule is firing.
+func (s *Store) alertsCheck() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	firing := s.activeLocked()
+	if len(firing) == 0 {
+		return nil
+	}
+	return fmt.Errorf("alerts firing: %s", strings.Join(firing, ", "))
+}

@@ -1,0 +1,244 @@
+package tshist
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// collectSink records emitted events for assertions.
+type collectSink struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (c *collectSink) Emit(ev otrace.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collectSink) events() []otrace.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]otrace.Event(nil), c.evs...)
+}
+
+func TestThresholdFireAndClear(t *testing.T) {
+	reg := obs.NewRegistry()
+	ulp := reg.FloatGauge("online.ulp{job=a}")
+	health := obs.NewHealth()
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules: []RuleSpec{{Name: "loss", Type: "threshold", Series: "online.ulp*",
+			Max: fptr(0.2), For: 2, ClearFor: 3}},
+		Health: health,
+	})
+	sink := &collectSink{}
+	s.SetAlerts(sink)
+	gauge := reg.Gauge("alerts.active{rule=loss}")
+	fired := reg.Counter("alerts.fired{rule=loss}")
+
+	ulp.Set(0.05)
+	s.Sample()
+	s.Sample()
+	if gauge.Value() != 0 {
+		t.Fatal("alert fired on healthy samples")
+	}
+
+	ulp.Set(0.8)
+	s.Sample() // breach 1 of 2: not yet
+	if gauge.Value() != 0 {
+		t.Fatal("alert fired before For consecutive breaches")
+	}
+	s.Sample() // breach 2 of 2: fires
+	if gauge.Value() != 1 {
+		t.Fatal("alerts.active gauge not set on fire")
+	}
+	if fired.Value() != 1 {
+		t.Fatal("alerts.fired counter not incremented")
+	}
+	if len(health.Problems()) == 0 {
+		t.Fatal("health check passed while alert firing")
+	}
+	if got := s.ActiveAlerts(); len(got) != 1 || got[0] != "loss(online.ulp{job=a})" {
+		t.Fatalf("ActiveAlerts = %v", got)
+	}
+
+	ulp.Set(0.01)
+	s.Sample()
+	s.Sample()
+	if gauge.Value() != 1 {
+		t.Fatal("alert cleared before ClearFor consecutive healthy samples")
+	}
+	s.Sample() // healthy 3 of 3: clears
+	if gauge.Value() != 0 {
+		t.Fatal("alerts.active gauge not cleared")
+	}
+	if len(health.Problems()) != 0 {
+		t.Fatal("health check still failing after clear")
+	}
+
+	evs := sink.events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d alert events, want fire+clear", len(evs))
+	}
+	fire, clear := evs[0], evs[1]
+	if fire.Ev != otrace.KindAlert || fire.Name != "loss" ||
+		fire.Flow != "online.ulp{job=a}" || fire.Fault != "fire" || fire.Value != 0.8 {
+		t.Errorf("fire event = %+v", fire)
+	}
+	if clear.Fault != "clear" || clear.Value != 0.01 {
+		t.Errorf("clear event = %+v", clear)
+	}
+	if fire.SentNs == 0 {
+		t.Error("fire event missing wall-clock stamp")
+	}
+
+	trans := s.Transitions()
+	if len(trans) != 2 || trans[0].What != "fire" || trans[1].What != "clear" {
+		t.Errorf("transition log = %+v", trans)
+	}
+}
+
+func TestEWMARuleFiresOnSpikeAndAdapts(t *testing.T) {
+	reg := obs.NewRegistry()
+	mu := reg.FloatGauge("online.mu_bps{job=a}")
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules: []RuleSpec{{Name: "drift", Type: "ewma", Series: "online.mu_bps*",
+			K: 4, MinDevFrac: 0.05, Warmup: 4, For: 2, ClearFor: 2}},
+	})
+	gauge := reg.Gauge("alerts.active{rule=drift}")
+
+	for i := 0; i < 10; i++ {
+		mu.Set(1e6)
+		s.Sample()
+	}
+	if gauge.Value() != 0 {
+		t.Fatal("ewma rule fired on a constant series")
+	}
+	// The level halves: far outside 4 deviations of the trained mean.
+	for i := 0; i < 2; i++ {
+		mu.Set(5e5)
+		s.Sample()
+	}
+	if gauge.Value() != 1 {
+		t.Fatal("ewma rule did not fire on a level shift")
+	}
+	// The mean keeps folding in the new level, so the alert eventually
+	// clears: drift detection alerts on change, then adapts.
+	for i := 0; i < 40 && gauge.Value() != 0; i++ {
+		mu.Set(5e5)
+		s.Sample()
+	}
+	if gauge.Value() != 0 {
+		t.Fatal("ewma rule never adapted to the new level")
+	}
+}
+
+func TestStuckRule(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := reg.FloatGauge("online.ulp{job=a}")
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules: []RuleSpec{{Name: "stuck", Type: "stuck", Series: "online.ulp*",
+			For: 3, ClearFor: 1}},
+	})
+	gauge := reg.Gauge("alerts.active{rule=stuck}")
+	v.Set(0.25)
+	for i := 0; i < 4; i++ { // first sight + 3 unchanged repeats
+		s.Sample()
+	}
+	if gauge.Value() != 1 {
+		t.Fatal("stuck rule did not fire on a frozen series")
+	}
+	v.Set(0.26)
+	s.Sample()
+	if gauge.Value() != 0 {
+		t.Fatal("stuck rule did not clear when the series moved")
+	}
+}
+
+func TestRuleIgnoresMissingSamples(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := reg.FloatGauge("online.ulp{job=a}")
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules: []RuleSpec{{Name: "loss", Type: "threshold", Series: "online.ulp*",
+			Max: fptr(0.2), For: 2}},
+	})
+	gauge := reg.Gauge("alerts.active{rule=loss}")
+	v.Set(0.9)
+	s.Sample()
+	reg.Unregister("online.ulp{job=a}")
+	s.Sample() // missing sample: resets the breach run instead of firing
+	s.Sample()
+	if gauge.Value() != 0 {
+		t.Fatal("rule fired across missing samples")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	good := `[
+	  {"name": "loss_spike", "type": "threshold", "series": "online.ulp*", "max": 0.5, "for": 5},
+	  {"name": "mu", "type": "ewma", "series": "online.mu_bps*", "k": 3, "min_dev_frac": 0.1},
+	  {"name": "frozen", "type": "stuck", "series": "online.*", "for": 10}
+	]`
+	rules, err := ParseRules([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 || *rules[0].Max != 0.5 {
+		t.Fatalf("parsed %+v", rules)
+	}
+	for _, bad := range []string{
+		`[{"type": "threshold", "series": "x", "max": 1}]`,    // no name
+		`[{"name": "a", "type": "threshold", "series": "x"}]`, // no bound
+		`[{"name": "a", "type": "quantum", "series": "x"}]`,   // bad type
+		`[{"name": "a", "type": "ewma"}]`,                     // no series
+		`{"name": "a", "type": "ewma", "series": "x"}`,        // not an array
+	} {
+		if _, err := ParseRules([]byte(bad)); err == nil {
+			t.Errorf("ParseRules accepted %s", bad)
+		}
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	reg := obs.NewRegistry()
+	for _, spec := range DefaultRules() {
+		if _, err := bindRule(spec, reg); err != nil {
+			t.Errorf("default rule %q invalid: %v", spec.Name, err)
+		}
+	}
+	// The defaults cover the four documented failure classes.
+	names := make(map[string]bool)
+	for _, r := range DefaultRules() {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"loss_spike", "mu_drift", "unaccounted", "stale_source"} {
+		if !names[want] {
+			t.Errorf("default rules missing %q", want)
+		}
+	}
+}
+
+func TestAlertsCheckMessage(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := reg.FloatGauge("online.ulp{job=a}")
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules:  []RuleSpec{{Name: "loss", Type: "threshold", Series: "online.ulp*", Max: fptr(0.2)}},
+	})
+	v.Set(0.9)
+	s.Sample()
+	err := s.alertsCheck()
+	if err == nil || !strings.Contains(err.Error(), "loss(online.ulp{job=a})") {
+		t.Fatalf("alertsCheck = %v", err)
+	}
+}

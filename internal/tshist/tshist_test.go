@@ -1,0 +1,317 @@
+package tshist
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/pipestat"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock is a deterministic sample clock: every call advances by
+// step, starting at epoch.
+func fakeClock(epoch time.Time, step time.Duration) func() time.Time {
+	t := epoch.Add(-step)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+var testEpoch = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+
+func newTestStore(t *testing.T, reg *obs.Registry, cfg Config) *Store {
+	t.Helper()
+	cfg.Registry = reg
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = fakeClock(testEpoch, cfg.Interval)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func latest(t *testing.T, doc HistoryDoc, name string) float64 {
+	t.Helper()
+	sd, ok := doc.Series[name]
+	if !ok {
+		t.Fatalf("series %q missing; have %d series", name, len(doc.Series))
+	}
+	for i := len(sd.Values) - 1; i >= 0; i-- {
+		if sd.Values[i] != nil {
+			return *sd.Values[i]
+		}
+	}
+	t.Fatalf("series %q has no samples", name)
+	return 0
+}
+
+func TestSampleKinds(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("events")
+	reg.Gauge("depth").Set(7)
+	reg.FloatGauge("ratio").Set(0.25)
+	h := reg.Histogram("lag", []float64{1, 2, 4})
+	s := newTestStore(t, reg, Config{Window: 10 * time.Second})
+
+	ctr.Add(100)
+	s.Sample() // first sample: rates are null
+	ctr.Add(50)
+	h.Observe(1.5)
+	h.Observe(1.5)
+	s.Sample()
+
+	doc := s.History()
+	if doc.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", doc.Samples)
+	}
+	if got := latest(t, doc, "events:rate"); got != 50 {
+		t.Errorf("counter rate = %v, want 50 (50 events over 1s)", got)
+	}
+	if doc.Series["events:rate"].Values[0] != nil {
+		t.Error("first rate sample should be null (no previous value)")
+	}
+	if got := latest(t, doc, "depth"); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+	if got := latest(t, doc, "ratio"); got != 0.25 {
+		t.Errorf("float gauge = %v, want 0.25", got)
+	}
+	p50 := latest(t, doc, "lag:p50")
+	if p50 <= 1 || p50 > 2 {
+		t.Errorf("hist p50 = %v, want within bucket (1, 2]", p50)
+	}
+	if got := latest(t, doc, "lag:rate"); got != 2 {
+		t.Errorf("hist observation rate = %v, want 2", got)
+	}
+	if doc.Series["events:rate"].Kind != "rate" ||
+		doc.Series["depth"].Kind != "gauge" ||
+		doc.Series["lag:p50"].Kind != "quantile" {
+		t.Errorf("series kinds wrong: %+v", doc.Series)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("v")
+	s := newTestStore(t, reg, Config{Interval: time.Second, Window: 4 * time.Second})
+	for i := 0; i < 10; i++ {
+		g.Set(int64(i))
+		s.Sample()
+	}
+	doc := s.History()
+	if doc.Samples != 4 {
+		t.Fatalf("samples = %d, want ring capacity 4", doc.Samples)
+	}
+	if got := *doc.Series["v"].Values[0]; got != 6 {
+		t.Errorf("oldest retained = %v, want 6 (samples 0-5 evicted)", got)
+	}
+	if got := *doc.Series["v"].Values[3]; got != 9 {
+		t.Errorf("newest = %v, want 9", got)
+	}
+	for i := 1; i < len(doc.TUnixNs); i++ {
+		if doc.TUnixNs[i] <= doc.TUnixNs[i-1] {
+			t.Errorf("timestamps not increasing: %v", doc.TUnixNs)
+		}
+	}
+}
+
+func TestLateSeriesAligned(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("early").Set(1)
+	s := newTestStore(t, reg, Config{Window: 10 * time.Second})
+	s.Sample()
+	s.Sample()
+	reg.Gauge("late").Set(2)
+	s.Sample()
+	doc := s.History()
+	vals := doc.Series["late"].Values
+	if len(vals) != 3 {
+		t.Fatalf("late series has %d values, want 3 (aligned with time ring)", len(vals))
+	}
+	if vals[0] != nil || vals[1] != nil {
+		t.Error("late series should be null before its birth")
+	}
+	if vals[2] == nil || *vals[2] != 2 {
+		t.Errorf("late series last value = %v, want 2", vals[2])
+	}
+}
+
+func TestSeriesAgeOutFreesRoom(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("a").Set(1)
+	s := newTestStore(t, reg, Config{Interval: time.Second, Window: 3 * time.Second, MaxSeries: 1})
+	s.Sample()
+	reg.Unregister("a")
+	// A full window of misses ages the series out.
+	for i := 0; i < 3; i++ {
+		s.Sample()
+	}
+	if _, ok := s.History().Series["a"]; ok {
+		t.Fatal("series a should have aged out after a windowful of misses")
+	}
+	// The slot is free again for a new series despite MaxSeries=1.
+	reg.Gauge("b").Set(2)
+	s.Sample()
+	doc := s.History()
+	if _, ok := doc.Series["b"]; !ok {
+		t.Fatal("series b should occupy the freed slot")
+	}
+}
+
+func TestMaxSeriesCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("a").Set(1)
+	reg.Gauge("b").Set(2)
+	reg.Gauge("c").Set(3)
+	s := newTestStore(t, reg, Config{Window: 10 * time.Second, MaxSeries: 2})
+	s.Sample()
+	doc := s.History()
+	if len(doc.Series) != 2 {
+		t.Errorf("series = %d, want 2 (capped)", len(doc.Series))
+	}
+	if doc.SeriesDropped == 0 {
+		t.Error("dropped series not counted")
+	}
+}
+
+// goldenRegistry builds the fixed metric set for the fixture test and
+// returns per-tick mutators.
+func goldenRegistry() (*obs.Registry, []func()) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("probe.sent")
+	ulp := reg.FloatGauge("online.ulp{job=fixture}")
+	depth := reg.Gauge("queue.depth")
+	lag := reg.Histogram("pipeline.lag{chain=online,stage=engine}", []float64{0.001, 0.01, 0.1})
+	tick := 0
+	mut := func() {
+		tick++
+		ctr.Add(int64(10 * tick))
+		ulp.Set(float64(tick) / 16)
+		depth.Set(int64(3 + tick%2))
+		lag.Observe(0.002 * float64(tick))
+	}
+	return reg, []func(){mut, mut, mut, mut, mut}
+}
+
+// TestHistoryFixtureGolden locks the /vars/history document shape and
+// proves byte-determinism: a fixed clock and a fixed sample sequence
+// must serialize to identical bytes, run after run. Run with -update
+// to accept intentional schema changes.
+func TestHistoryFixtureGolden(t *testing.T) {
+	render := func() []byte {
+		reg, muts := goldenRegistry()
+		s, err := New(Config{
+			Registry: reg,
+			Interval: time.Second,
+			Window:   10 * time.Second,
+			Now:      fakeClock(testEpoch, time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mut := range muts {
+			mut()
+			s.Sample()
+		}
+		got, err := json.MarshalIndent(s.History(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(got, '\n')
+	}
+
+	got := render()
+	if again := render(); !bytes.Equal(got, again) {
+		t.Fatal("history document is not byte-deterministic across identical runs")
+	}
+
+	golden := filepath.Join("testdata", "history.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("history document drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSampleZeroAlloc pins the acceptance budget: once every series
+// exists, a sample tick — scrape hooks, registry iteration, ring
+// pushes, rule evaluation — performs zero heap allocations.
+func TestSampleZeroAlloc(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("probe.sent")
+	ulp := reg.FloatGauge("online.ulp{job=x}")
+	reg.Gauge("queue.depth").Set(3)
+	lag := reg.Histogram("pipeline.lag{chain=online,stage=engine}", nil)
+	lag.Observe(0.01)
+
+	// A ledger hooked through OnScrape, as commands run it.
+	ledger := pipestat.NewLedger(reg)
+	chain := ledger.Chain("online")
+	chain.Produced("produced", ctr.Value)
+	chain.Applied("applied", ctr.Value)
+	ledger.Register()
+
+	s := newTestStore(t, reg, Config{
+		Window: 30 * time.Second,
+		Rules: []RuleSpec{
+			{Name: "loss", Type: "threshold", Series: "online.ulp*", Max: fptr(0.5), For: 3},
+			{Name: "drift", Type: "ewma", Series: "pipeline.lag*:p99", Warmup: 2},
+		},
+		BeforeSample: obs.RunScrapeHooks,
+	})
+	// Warm up: create every series and train the rules.
+	for i := 0; i < 5; i++ {
+		ctr.Add(10)
+		ulp.Set(0.01)
+		s.Sample()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ctr.Add(10)
+		ulp.Set(0.01)
+		lag.Observe(0.01)
+		s.Sample()
+	})
+	if allocs != 0 {
+		t.Errorf("Sample allocates %.1f objects per run on the steady path, want 0", allocs)
+	}
+}
+
+func TestHistoryHandlerNaN(t *testing.T) {
+	// An Inf float gauge must serialize as null, not break the JSON.
+	reg := obs.NewRegistry()
+	reg.FloatGauge("bad").Set(math.Inf(1))
+	s := newTestStore(t, reg, Config{Window: 10 * time.Second})
+	s.Sample()
+	if _, err := json.Marshal(s.History()); err != nil {
+		t.Fatalf("history with Inf gauge does not marshal: %v", err)
+	}
+	if v := s.History().Series["bad"].Values[0]; v != nil {
+		t.Errorf("Inf sample = %v, want null", *v)
+	}
+}
