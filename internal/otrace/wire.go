@@ -11,7 +11,7 @@ import (
 // The binary wire framing: a compact, length-prefixed encoding of
 // Events for streaming between processes (a prober on one box feeding
 // a relay's online engine on another — see internal/source). A framed
-// stream opens with the 4-byte magic "OTR1" and then carries one frame
+// stream opens with the 4-byte magic "OTR2" and then carries one frame
 // per event: a uvarint payload length followed by the payload, which
 // encodes every Event field in a fixed order (zigzag varints for
 // integers, uvarint-length-prefixed bytes for strings). The encoding
@@ -21,9 +21,14 @@ import (
 // would have written, which is what lets the equivalence tests pin
 // byte-identical traces across local and remote source kinds.
 
-// wireMagic opens every framed stream; the trailing '1' is the format
-// version.
-var wireMagic = [4]byte{'O', 'T', 'R', '1'}
+// wireMagic opens every framed stream; the trailing digit is the
+// format version. Version 2 appended the Value field to the payload;
+// readers also accept version-1 streams, whose frames end before it
+// (Value decodes as 0), so an old sender still feeds a new relay.
+var (
+	wireMagic   = [4]byte{'O', 'T', 'R', '2'}
+	wireMagicV1 = [4]byte{'O', 'T', 'R', '1'}
+)
 
 // MaxFrame bounds a frame's payload size. Events are a few hundred
 // bytes; anything near this limit is a corrupt or hostile stream.
@@ -96,7 +101,13 @@ func DecodeEvent(data []byte) (Event, error) {
 	ev.Seed = d.varint()
 	ev.Probes = int(d.varint())
 	ev.Losses = int(d.varint())
-	ev.Value = math.Float64frombits(d.uvarint())
+	// Value arrived with format version 2; a version-1 frame ends here,
+	// and the field defaults to zero rather than failing the decode.
+	if d.err == nil && len(d.buf) == 0 {
+		ev.Value = 0
+	} else {
+		ev.Value = math.Float64frombits(d.uvarint())
+	}
 	if d.err != nil {
 		return Event{}, fmt.Errorf("otrace: decode event: %w", d.err)
 	}
@@ -217,7 +228,9 @@ type FrameReader struct {
 }
 
 // NewFrameReader validates the stream magic and returns a reader
-// positioned at the first frame. A stream that does not open with the
+// positioned at the first frame. Both the current and the previous
+// format version are accepted (frame payloads self-describe the
+// difference — see DecodeEvent); a stream that opens with neither
 // magic (or ends before it) fails with an error wrapping ErrTruncated.
 func NewFrameReader(r io.Reader) (*FrameReader, error) {
 	br := bufio.NewReader(r)
@@ -225,7 +238,7 @@ func NewFrameReader(r io.Reader) (*FrameReader, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: frame magic: %v", ErrTruncated, err)
 	}
-	if magic != wireMagic {
+	if magic != wireMagic && magic != wireMagicV1 {
 		return nil, fmt.Errorf("%w: bad frame magic %q", ErrTruncated, magic[:])
 	}
 	return &FrameReader{br: br}, nil

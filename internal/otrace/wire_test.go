@@ -2,6 +2,7 @@ package otrace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"io"
@@ -135,14 +136,64 @@ func TestWireBadMagic(t *testing.T) {
 }
 
 // TestDecodeTrailingBytes: extra bytes after a valid event are a
-// framing error, not silently ignored.
+// framing error, not silently ignored — and truncation errors too,
+// except at the one compatible boundary: a payload ending exactly
+// where the Value field would begin is a version-1 frame, whose Value
+// decodes as 0.
 func TestDecodeTrailingBytes(t *testing.T) {
 	buf := AppendEvent(nil, Event{Ev: KindProbeSent, Seq: 5})
 	if _, err := DecodeEvent(append(buf, 0)); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
-	if _, err := DecodeEvent(buf[:len(buf)-1]); err == nil {
+	// Value==0 encodes as one trailing zero byte; chopping it leaves a
+	// valid version-1 payload.
+	ev, err := DecodeEvent(buf[:len(buf)-1])
+	if err != nil {
+		t.Fatalf("version-1 payload (no Value field) rejected: %v", err)
+	}
+	if ev.Seq != 5 || ev.Value != 0 {
+		t.Fatalf("version-1 payload decoded as %+v", ev)
+	}
+	// Truncation anywhere earlier is still an error.
+	if _, err := DecodeEvent(buf[:len(buf)-2]); err == nil {
 		t.Fatal("short event accepted")
+	}
+	// As is truncation inside a multi-byte Value encoding.
+	vbuf := AppendEvent(nil, Event{Ev: KindProbeSent, Seq: 5, Value: 1.5})
+	if _, err := DecodeEvent(vbuf[:len(vbuf)-1]); err == nil {
+		t.Fatal("mid-Value truncation accepted")
+	}
+}
+
+// TestWireAcceptsV1 pins backward compatibility: a stream framed by a
+// version-1 sender (OTR1 magic, payloads ending before the Value
+// field) decodes cleanly on the current reader, Value defaulting to 0.
+func TestWireAcceptsV1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("OTR1")
+	var lenBuf [10]byte
+	for _, want := range wireEvents() {
+		payload := AppendEvent(nil, want)
+		payload = payload[:len(payload)-1] // wireEvents carries no Value; strip its zero byte
+		n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+		buf.Write(lenBuf[:n])
+		buf.Write(payload)
+	}
+	fr, err := NewFrameReader(&buf)
+	if err != nil {
+		t.Fatalf("OTR1 stream rejected: %v", err)
+	}
+	for i, want := range wireEvents() {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d from v1 stream:\ngot  %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
 	}
 }
 

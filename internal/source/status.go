@@ -34,8 +34,15 @@ type sourceState struct {
 	// source.skew_ms{source=} and source.age_ms{source=}, cached here so
 	// the per-scrape refresh allocates nothing. Histories and drift
 	// rules consume these; /statusz carries the same numbers in seconds.
-	gSkew *obs.FloatGauge
-	gAge  *obs.FloatGauge
+	// The gauges exist only while the source is connected — refreshGauges
+	// registers them on the first scrape with conns > 0 and unregisters
+	// them when conns drops to 0, so a peer that left does not export an
+	// ever-growing age (which would latch the stale_source drift rule,
+	// contradicting staleCheck's disconnected-is-normal semantics).
+	skewName string
+	ageName  string
+	gSkew    *obs.FloatGauge
+	gAge     *obs.FloatGauge
 
 	mu      sync.Mutex // guards the EWMA (heartbeat-rate updates only)
 	skewSec float64
@@ -100,8 +107,8 @@ func (s *Server) state(label string) *sourceState {
 	if !ok {
 		st = &sourceState{label: label}
 		if s.cfg.Metrics != nil {
-			st.gSkew = s.cfg.Metrics.FloatGauge(obs.Label("source.skew_ms", "source", label))
-			st.gAge = s.cfg.Metrics.FloatGauge(obs.Label("source.age_ms", "source", label))
+			st.skewName = obs.Label("source.skew_ms", "source", label)
+			st.ageName = obs.Label("source.age_ms", "source", label)
 		}
 		s.sources[label] = st
 		s.order = append(s.order, label)
@@ -109,9 +116,15 @@ func (s *Server) state(label string) *sourceState {
 	return st
 }
 
-// refreshGauges recomputes every source's skew/age gauges; it runs as
-// an obs.OnScrape hook, so /metrics scrapes and time-series samples see
-// fresh values. Allocation-free: the gauges are cached on each state.
+// refreshGauges recomputes every connected source's skew/age gauges;
+// it runs as an obs.OnScrape hook, so /metrics scrapes and time-series
+// samples see fresh values. Allocation-free on the steady path: the
+// gauges are cached on each state, and registry traffic happens only
+// at connect/disconnect edges. A source with zero conns has its gauges
+// unregistered — a disconnected peer's age must not keep growing on
+// /metrics (the default stale_source rule would fire a minute after
+// any clean disconnect and never clear); dropping the metrics instead
+// lets the tshist series age out and any fired alert clear.
 func (s *Server) refreshGauges() {
 	if s.closed.Load() {
 		return
@@ -120,8 +133,19 @@ func (s *Server) refreshGauges() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, st := range s.sources {
-		if st.gAge == nil {
+		if st.ageName == "" {
 			continue
+		}
+		if st.conns.Load() == 0 {
+			if st.gAge != nil {
+				s.cfg.Metrics.Unregister(st.skewName, st.ageName)
+				st.gSkew, st.gAge = nil, nil
+			}
+			continue
+		}
+		if st.gAge == nil {
+			st.gSkew = s.cfg.Metrics.FloatGauge(st.skewName)
+			st.gAge = s.cfg.Metrics.FloatGauge(st.ageName)
 		}
 		if last := st.lastNs.Load(); last != 0 {
 			st.gAge.Set(float64(now-last) / float64(time.Millisecond))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -165,6 +166,75 @@ func TestStaleSourceDegradesHealth(t *testing.T) {
 	}
 	if p := health.Problems(); len(p) != 0 {
 		t.Fatalf("problems survived server close: %+v", p)
+	}
+}
+
+// TestDisconnectedSourceDropsGauges pins the gauge lifecycle: the
+// skew/age gauges exist only while the source holds a connection. A
+// disconnected peer must not export an ever-growing age — the default
+// stale_source drift rule would fire a minute after any clean
+// disconnect and latch /healthz at 503 — so the refresh hook
+// unregisters the gauges at conns==0 and re-registers on reconnect.
+func TestDisconnectedSourceDropsGauges(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := Serve(ln, ServerConfig{Sink: discardSink{}, Metrics: reg, Grace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // second close in teardown
+	hasAge := func() bool {
+		found := false
+		reg.EachFloatGauge(func(name string, _ *obs.FloatGauge) {
+			if strings.HasPrefix(name, "source.age_ms") {
+				found = true
+			}
+		})
+		return found
+	}
+
+	sender, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: 1})
+	waitFor(t, func() bool {
+		s := srv.Sources()
+		return len(s) == 1 && s[0].Events == 1 && s[0].Conns == 1
+	}, "source connected and delivered")
+	srv.refreshGauges()
+	if !hasAge() {
+		t.Fatal("connected source did not export source.age_ms")
+	}
+
+	if err := sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		s := srv.Sources()
+		return len(s) == 1 && s[0].Conns == 0
+	}, "source to disconnect")
+	srv.refreshGauges()
+	if hasAge() {
+		t.Fatal("disconnected source still exports source.age_ms")
+	}
+
+	sender2, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender2.Close() //nolint:errcheck // best-effort teardown
+	sender2.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: 2})
+	waitFor(t, func() bool {
+		s := srv.Sources()
+		return len(s) == 1 && s[0].Conns == 1
+	}, "source to reconnect")
+	srv.refreshGauges()
+	if !hasAge() {
+		t.Fatal("reconnected source did not re-export source.age_ms")
 	}
 }
 

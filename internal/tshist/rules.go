@@ -293,8 +293,11 @@ func (s *Store) evalRules(nowNs int64) {
 	}
 }
 
-// transition records a fire/clear edge: bounded log, otrace alert
-// event (when a sink is wired), and a structured log line.
+// transition records a fire/clear edge in the bounded log and queues
+// it for emission. It runs with s.mu held, so it must not touch the
+// alert sink or the logger itself — Sample flushes the queue via
+// emitTransitions after releasing the mutex, keeping slow sinks out of
+// the sampler's and the health/history readers' critical section.
 func (s *Store) transition(nowNs int64, r *boundRule, b *binding, what string, v float64) {
 	t := Transition{TimeNs: nowNs, Rule: r.spec.Name, Series: b.s.name, What: what, Value: v}
 	s.log[s.logHead] = t
@@ -302,21 +305,29 @@ func (s *Store) transition(nowNs int64, r *boundRule, b *binding, what string, v
 	if s.logLen < len(s.log) {
 		s.logLen++
 	}
-	if s.alerts != nil {
-		s.alerts.Emit(otrace.Event{
-			Ev:     otrace.KindAlert,
-			Seq:    -1,
-			Name:   r.spec.Name,
-			Flow:   b.s.name,
-			Fault:  what,
-			SentNs: nowNs,
-			Value:  v,
-		})
-	}
-	if what == "fire" {
-		slog.Warn("alert fired", "rule", r.spec.Name, "series", b.s.name, "value", v)
-	} else {
-		slog.Info("alert cleared", "rule", r.spec.Name, "series", b.s.name, "value", v)
+	s.pendT = append(s.pendT, t)
+}
+
+// emitTransitions delivers queued fire/clear edges to the alert sink
+// (when wired) and the structured log. Called without s.mu held.
+func emitTransitions(pend []Transition, sink otrace.Sink) {
+	for _, t := range pend {
+		if sink != nil {
+			sink.Emit(otrace.Event{
+				Ev:     otrace.KindAlert,
+				Seq:    -1,
+				Name:   t.Rule,
+				Flow:   t.Series,
+				Fault:  t.What,
+				SentNs: t.TimeNs,
+				Value:  t.Value,
+			})
+		}
+		if t.What == "fire" {
+			slog.Warn("alert fired", "rule", t.Rule, "series", t.Series, "value", t.Value)
+		} else {
+			slog.Info("alert cleared", "rule", t.Rule, "series", t.Series, "value", t.Value)
+		}
 	}
 }
 

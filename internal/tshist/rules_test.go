@@ -228,6 +228,45 @@ func TestDefaultRulesValid(t *testing.T) {
 	}
 }
 
+// reentrantSink re-enters the store from Emit, as a sink that mirrors
+// alert state somewhere (or simply blocks on I/O) might. It deadlocks
+// unless Sample emits transitions after releasing the store mutex.
+type reentrantSink struct {
+	s      *Store
+	active [][]string
+}
+
+func (r *reentrantSink) Emit(otrace.Event) {
+	r.active = append(r.active, r.s.ActiveAlerts())
+}
+
+// TestAlertSinkRunsOutsideLock pins the emission contract: the alert
+// sink and log lines run without s.mu held, so a slow or re-entrant
+// sink cannot stall the sampler tick or the /healthz, /vars/history,
+// and /dashboard readers.
+func TestAlertSinkRunsOutsideLock(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := reg.FloatGauge("online.ulp{job=a}")
+	s := newTestStore(t, reg, Config{
+		Window: time.Minute,
+		Rules:  []RuleSpec{{Name: "loss", Type: "threshold", Series: "online.ulp*", Max: fptr(0.2), ClearFor: 1}},
+	})
+	sink := &reentrantSink{s: s}
+	s.SetAlerts(sink)
+	v.Set(0.9)
+	s.Sample() // fires; a lock-held emit would deadlock here
+	v.Set(0.1)
+	s.Sample() // clears
+	if len(sink.active) != 2 {
+		t.Fatalf("sink saw %d transitions, want fire+clear", len(sink.active))
+	}
+	// The sink observes the store's post-transition state: the alert is
+	// already active at fire time and gone at clear time.
+	if len(sink.active[0]) != 1 || len(sink.active[1]) != 0 {
+		t.Errorf("re-entrant reads = %v, want [1 active, 0 active]", sink.active)
+	}
+}
+
 func TestAlertsCheckMessage(t *testing.T) {
 	reg := obs.NewRegistry()
 	v := reg.FloatGauge("online.ulp{job=a}")

@@ -44,8 +44,9 @@ type Config struct {
 	// samples (default 10m, capacity clamped to [2, 100000]).
 	Window time.Duration
 	// MaxSeries bounds how many distinct series the store tracks
-	// (default 1024). Beyond it, new series are dropped and counted in
-	// the history document's series_dropped field.
+	// (default 1024). Beyond it, new series are dropped and counted —
+	// once per distinct series, not per tick — in the history document's
+	// series_dropped field.
 	MaxSeries int
 	// Rules are evaluated against matching series on every sample; see
 	// DefaultRules.
@@ -136,8 +137,10 @@ type Store struct {
 	log     [64]Transition
 	logLen  int
 	logHead int
-	dropped int64 // series discarded at the MaxSeries cap
-	deaths  bool  // a series died this tick; sweep the tracks
+	pendT   []Transition // this tick's transitions, emitted after unlock
+	dropped    int64               // series discarded at the MaxSeries cap
+	droppedSet map[string]struct{} // names already counted into dropped
+	deaths     bool                // a series died this tick; sweep the tracks
 
 	// Bound callbacks, allocated once so Sample's registry iteration
 	// does not construct method-value closures per tick.
@@ -184,10 +187,11 @@ func New(cfg Config) (*Store, error) {
 		now:      cfg.Now,
 		before:   cfg.BeforeSample,
 		times:    make([]int64, capacity),
-		byName:   make(map[string]*seriesState),
-		ctrs:     make(map[string]*counterTrack),
-		hists:    make(map[string]*histTrack),
-		stopCh:   make(chan struct{}),
+		byName:     make(map[string]*seriesState),
+		ctrs:       make(map[string]*counterTrack),
+		hists:      make(map[string]*histTrack),
+		droppedSet: make(map[string]struct{}),
+		stopCh:     make(chan struct{}),
 	}
 	s.fnCounter = s.sampleCounter
 	s.fnGauge = s.sampleGauge
@@ -250,7 +254,7 @@ func (s *Store) Sample() {
 	now := s.now()
 	nowNs := now.UnixNano()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pendT = s.pendT[:0]
 	s.seq++
 	s.dt = 0
 	if s.tn > 0 {
@@ -297,6 +301,16 @@ func (s *Store) Sample() {
 		s.sweepTracks()
 	}
 	s.evalRules(nowNs)
+	// Emit transitions after releasing the mutex: the alert sink may do
+	// file or network I/O, and a slow sink must not stall the sampler or
+	// every reader of s.mu (/vars/history, /dashboard, the healthz
+	// alerts check). Safe unlocked — Sample is single-goroutine, so
+	// pendT has no other writer until the next tick.
+	pend, sink := s.pendT, s.alerts
+	s.mu.Unlock()
+	if len(pend) > 0 {
+		emitTransitions(pend, sink)
+	}
 }
 
 // series returns the named series, creating it (and binding it to
@@ -307,7 +321,7 @@ func (s *Store) series(name, kind string) *seriesState {
 		return st
 	}
 	if len(s.byName) >= s.max {
-		s.dropped++
+		s.drop(name)
 		return nil
 	}
 	st = &seriesState{name: name, kind: kind, vals: make([]float64, s.capacity)}
@@ -322,6 +336,18 @@ func (s *Store) series(name, kind string) *seriesState {
 		r.bind(st)
 	}
 	return st
+}
+
+// drop counts a series discarded at the MaxSeries cap. Counted once
+// per distinct name: a capped metric is re-offered every tick, and
+// series_dropped should say how many series were lost, not how long
+// they have been missing.
+func (s *Store) drop(name string) {
+	if _, ok := s.droppedSet[name]; ok {
+		return
+	}
+	s.droppedSet[name] = struct{}{}
+	s.dropped++
 }
 
 func (s *Store) set(name, kind string, v float64) *seriesState {
@@ -370,13 +396,21 @@ func (s *Store) sampleCounter(name string, c *obs.Counter) {
 func (s *Store) sampleHist(name string, h *obs.Histogram) {
 	tr := s.hists[name]
 	if tr == nil {
-		p50 := s.series(name+":p50", "quantile")
-		p99 := s.series(name+":p99", "quantile")
-		rate := s.series(name+":rate", "rate")
-		if p50 == nil || p99 == nil || rate == nil {
+		// Reserve all three derived series atomically: creating p50 and
+		// then hitting the MaxSeries cap on p99 would leave a half-tracked
+		// histogram whose orphan series pushes NaN until it ages out, then
+		// churns by being recreated.
+		if s.max-len(s.byName) < 3 {
+			s.drop(name + ":p50")
+			s.drop(name + ":p99")
+			s.drop(name + ":rate")
 			return
 		}
-		tr = &histTrack{p50: p50, p99: p99, rate: rate}
+		tr = &histTrack{
+			p50:  s.series(name+":p50", "quantile"),
+			p99:  s.series(name+":p99", "quantile"),
+			rate: s.series(name+":rate", "rate"),
+		}
 		s.hists[name] = tr
 	}
 	h.SnapshotInto(&tr.snap)

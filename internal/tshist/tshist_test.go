@@ -183,8 +183,41 @@ func TestMaxSeriesCap(t *testing.T) {
 	if len(doc.Series) != 2 {
 		t.Errorf("series = %d, want 2 (capped)", len(doc.Series))
 	}
-	if doc.SeriesDropped == 0 {
-		t.Error("dropped series not counted")
+	if doc.SeriesDropped != 1 {
+		t.Errorf("series_dropped = %d, want 1", doc.SeriesDropped)
+	}
+	// The same capped metric re-offered on later ticks is not recounted:
+	// series_dropped counts series, not ticks.
+	s.Sample()
+	s.Sample()
+	if got := s.History().SeriesDropped; got != 1 {
+		t.Errorf("series_dropped after more ticks = %d, want still 1", got)
+	}
+}
+
+// TestHistCapAtomicReservation: a histogram's three derived series are
+// reserved all-or-nothing against MaxSeries. Creating p50 and then
+// hitting the cap on p99/rate would leave an orphan series pushing NaN
+// until it ages out, then churning by recreation.
+func TestHistCapAtomicReservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("a").Set(1)
+	reg.Gauge("b").Set(2)
+	reg.Histogram("lat", nil).Observe(0.5)
+	// Gauges sample before histograms, so 2 of the 4 slots are taken and
+	// the histogram's 3 series cannot all fit.
+	s := newTestStore(t, reg, Config{Window: 10 * time.Second, MaxSeries: 4})
+	for i := 0; i < 3; i++ {
+		s.Sample()
+	}
+	doc := s.History()
+	for _, name := range []string{"lat:p50", "lat:p99", "lat:rate"} {
+		if _, ok := doc.Series[name]; ok {
+			t.Errorf("partial histogram series %q created at the cap", name)
+		}
+	}
+	if doc.SeriesDropped != 3 {
+		t.Errorf("series_dropped = %d, want 3 (the histogram's series, counted once)", doc.SeriesDropped)
 	}
 }
 
