@@ -7,7 +7,7 @@ GO ?= go
 BASELINE ?= BENCH_2026-08-09.json
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet vet-tags bench bench-snapshot bench-current chaos check perf-gate perf-gate-check online-demo sources-demo health-demo dashboard-demo
+.PHONY: build test race vet vet-tags bench bench-snapshot bench-current chaos check perf-gate perf-gate-check online-demo sources-demo health-demo dashboard-demo fleet-load fleet-demo
 
 build:
 	$(GO) build ./...
@@ -46,13 +46,17 @@ bench-snapshot:
 # chaos runs the fault-injection suite under the race detector: the
 # seeded sim chaos sweep (byte-identical traces at any worker count),
 # the real-socket loopback run with drops, transient send errors, and
-# blackhole windows against a supervised session, and the pipeline
+# blackhole windows against a supervised session, the pipeline
 # conservation tests (produced == applied + Σ drops under those same
-# faults, at any worker count).
+# faults, at any worker count), the sharded-vs-single online
+# equivalence suite under a chaos fault plan, and the coordinator
+# lifecycle tests (retries, disconnect re-queues) over real loopback
+# control connections.
 chaos:
-	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/pipestat/...
+	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/pipestat/... \
+		./internal/online/... ./internal/coord/...
 
-check: build vet-tags race chaos sources-demo health-demo dashboard-demo perf-gate-check
+check: build vet-tags race chaos sources-demo health-demo dashboard-demo fleet-demo perf-gate-check
 
 # online-demo smoke-tests the online analysis engine end to end: a
 # short seeded sweep with -online, the /online handler curled while
@@ -129,6 +133,84 @@ health-demo:
 	curl -sf http://$(HEALTH_ADDR)/metrics | grep -E '^pipeline_' \
 		|| { kill $$pid; exit 1; }; \
 	kill -INT $$pid; wait $$pid
+
+# fleet-load drives the 10k-session fleet benchmark once: a real
+# coordinator and sharded relay on loopback, 16 agents, 10,000
+# concurrent probe sessions held at a start barrier so peak concurrency
+# is exact. Reports sessions/s, events/s, and per-event allocation —
+# the same numbers the committed BENCH baseline carries, so a perf PR
+# reruns this and diffs via perf-gate.
+fleet-load:
+	$(GO) test -run '^$$' -bench BenchmarkFleetLoad -benchmem -benchtime 1x ./internal/coord/
+
+# fleet-demo smoke-tests fleet mode end to end over loopback: a
+# 4-shard relay, a coordinator with a three-spec jobs file (two sim
+# jobs, one real probe job against a local echo server), and three
+# agents that register, execute, and stream tagged events to the relay.
+# Asserts every job completes (coordinator exits 0 from -wait), the
+# coordinator's /statusz shows the settled job table during -linger,
+# the relay's merged /online carries the per-job rows, the per-shard
+# gauges are exported, and the relay's conservation ledger balances.
+FLEET_ECHO ?= 127.0.0.1:6095
+FLEET_COORD ?= 127.0.0.1:6096
+FLEET_RELAY ?= 127.0.0.1:6097
+FLEET_RDBG ?= 127.0.0.1:6098
+FLEET_CDBG ?= 127.0.0.1:6099
+
+fleet-demo:
+	@$(GO) build -o /tmp/netprobe-echo ./cmd/netdyn-echo
+	@$(GO) build -o /tmp/netprobe-relay ./cmd/netdyn-relay
+	@$(GO) build -o /tmp/netprobe-coord ./cmd/netdyn-coord
+	@$(GO) build -o /tmp/netprobe-probe ./cmd/netdyn-probe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	printf '%s\n' '[{"name":"inria-20","mode":"sim","target":"inria","delta":"20ms","duration":"5s","seed":1},' \
+		' {"name":"inria-50","mode":"sim","target":"inria","delta":"50ms","duration":"5s","seed":2},' \
+		' {"name":"lab-probe","mode":"probe","target":"$(FLEET_ECHO)","delta":"10ms","count":100,"seed":3}]' \
+		> $$tmp/jobs.json; \
+	/tmp/netprobe-echo -addr $(FLEET_ECHO) -quiet & \
+	epid=$$!; \
+	/tmp/netprobe-relay -listen $(FLEET_RELAY) -shards 4 -debug-addr $(FLEET_RDBG) & \
+	rpid=$$!; sleep 1; \
+	/tmp/netprobe-coord -listen $(FLEET_COORD) -jobs $$tmp/jobs.json \
+		-wait -linger 6s -debug-addr $(FLEET_CDBG) & \
+	cpid=$$!; sleep 1; \
+	apids=""; for i in 1 2 3; do \
+		/tmp/netprobe-probe -agent $(FLEET_COORD) -agent-name agent$$i -capacity 2 \
+			-relay $(FLEET_RELAY) >/dev/null & \
+		apids="$$apids $$!"; \
+	done; \
+	echo "--- waiting for the 3 jobs to settle ---"; \
+	ok=0; for i in $$(seq 1 60); do \
+		curl -s http://$(FLEET_CDBG)/statusz | grep -q '"completed": 3' && { ok=1; break; }; \
+		sleep 0.5; \
+	done; \
+	test $$ok = 1 || { echo "jobs never settled"; curl -s http://$(FLEET_CDBG)/statusz; \
+		kill $$apids $$cpid $$rpid $$epid 2>/dev/null; exit 1; }; \
+	echo "--- coordinator /statusz: settled job table ---"; \
+	curl -sf http://$(FLEET_CDBG)/statusz | grep -A 4 '"jobs": {' \
+		|| { kill $$apids $$cpid $$rpid $$epid 2>/dev/null; exit 1; }; \
+	echo "--- relay /online: per-job fleet analysis ---"; \
+	online=$$(curl -sf http://$(FLEET_RDBG)/online) \
+		|| { kill $$apids $$cpid $$rpid $$epid 2>/dev/null; exit 1; }; \
+	for job in inria-20 inria-50 lab-probe; do \
+		echo "$$online" | grep -q "$$job" \
+			|| { echo "job $$job missing from /online"; \
+			kill $$apids $$cpid $$rpid $$epid 2>/dev/null; exit 1; }; \
+	done; \
+	echo "--- per-shard gauges on /metrics ---"; \
+	curl -sf http://$(FLEET_RDBG)/metrics | grep '^online_shard' | head -4 \
+		|| { kill $$apids $$cpid $$rpid $$epid 2>/dev/null; exit 1; }; \
+	echo "--- relay ledger balances ---"; \
+	ok=0; for i in $$(seq 1 20); do \
+		curl -s http://$(FLEET_RDBG)/statusz | grep -q '"unaccounted": 0,\?' && { ok=1; break; }; \
+		sleep 0.25; \
+	done; \
+	test $$ok = 1 || { echo "relay ledger not balanced"; curl -s http://$(FLEET_RDBG)/statusz; \
+		kill $$apids $$cpid $$rpid $$epid 2>/dev/null; exit 1; }; \
+	kill -INT $$apids; for a in $$apids; do wait $$a; done; \
+	wait $$cpid || { echo "coordinator reported failed jobs"; kill $$rpid $$epid 2>/dev/null; exit 1; }; \
+	kill -INT $$rpid; wait $$rpid; \
+	kill $$epid 2>/dev/null; true
 
 # perf-gate diffs the current run artifact against a baseline and
 # fails on regression (wall-time ratios with a noise floor, exact loss

@@ -74,6 +74,8 @@ func main() {
 			"directory for per-job probe-lifecycle event files (otrace JSONL); empty disables tracing")
 		traceMax = flag.Int64("trace-max-bytes", 0,
 			"rotate each job's trace into gzip segments after this many uncompressed bytes (0 = no rotation)")
+		traceWire = flag.Bool("trace-wire", false,
+			"write trace files in the binary wire form (job-NNN.otr, smaller and faster to re-read; supersedes -trace-max-bytes)")
 		onlineOn = flag.Bool("online", false,
 			"stream job events through the online analysis engine (serves /online on -debug-addr)")
 		relay = flag.String("relay", "",
@@ -162,6 +164,9 @@ func main() {
 		opts = append(opts, runner.Traces(*traceDir))
 		if *traceMax > 0 {
 			opts = append(opts, runner.TraceMaxBytes(*traceMax))
+		}
+		if *traceWire {
+			opts = append(opts, runner.WireTraces())
 		}
 	}
 	if bus != nil {

@@ -94,6 +94,8 @@ var (
 		"directory for per-job probe-lifecycle event files (otrace JSONL); empty disables tracing")
 	traceMax = flag.Int64("trace-max-bytes", 0,
 		"rotate each job's trace into gzip segments after this many uncompressed bytes (0 = no rotation)")
+	traceWire = flag.Bool("trace-wire", false,
+		"write trace files in the binary wire form (job-NNN.otr, smaller and faster to re-read; supersedes -trace-max-bytes)")
 	onlineOn = flag.Bool("online", false,
 		"stream job events through the online analysis engine (serves /online on -debug-addr)")
 	onlineWin = flag.Int("online-window", 0,
@@ -259,6 +261,9 @@ func runAll(ctx context.Context, dur, longDur time.Duration) (map[string]*core.T
 		opts = append(opts, runner.Traces(*traceDir))
 		if *traceMax > 0 {
 			opts = append(opts, runner.TraceMaxBytes(*traceMax))
+		}
+		if *traceWire {
+			opts = append(opts, runner.WireTraces())
 		}
 	}
 	if onlineBus != nil {

@@ -1,0 +1,131 @@
+// Command netdyn-coord is the measurement fleet's control plane: it
+// accepts agent registrations (netdyn-probe -agent) and schedules
+// probe jobs across them — the coordinator half of the architecture
+// whose data plane is netdyn-relay. Control frames ride the same
+// otrace wire framing as measurement events (the ctrl_* kind family),
+// so one framing layer serves both planes.
+//
+// Usage:
+//
+//	netdyn-coord [-listen 127.0.0.1:7788] [-jobs jobs.json]
+//	             [-max-attempts 3] [-stale-after 10s]
+//	             [-wait] [-linger 0s]
+//	             [-log info] [-logfmt text|json] [-debug-addr :6060]
+//	             [-version]
+//
+// -jobs names a JSON array of job specs (see internal/coord.Spec):
+//
+//	[{"name": "inria-20ms", "mode": "sim", "target": "inria",
+//	  "delta": "20ms", "duration": "30s", "seed": 42},
+//	 {"name": "lab-probe", "mode": "probe", "target": "10.0.0.7:7",
+//	  "delta": "50ms", "count": 600, "every": "10m", "runs": 6}]
+//
+// One-shot specs are queued immediately; specs with "every" recur on
+// that period ("runs" bounds the instance count). Agents that
+// disconnect mid-job have their jobs re-queued (bounded by
+// -max-attempts); agents reconnect on their own, so either side
+// restarts without losing the job table's integrity.
+//
+// The coordinator surfaces itself through the standard observability
+// stack with zero new serving code: /statusz carries the job counts,
+// agent table, and recent instances; /metrics carries the
+// coord.jobs.{pending,running,completed,failed} and
+// coord.agents.connected gauges (and, with -history, their tshist
+// ring buffers feed /dashboard like any other gauge).
+//
+// -wait exits once the job table is idle — no pending or running
+// instances — the batch-driver mode the fleet demo uses. It suits
+// one-shot specs; a recurring spec can make an idle table transient
+// (the next tick refills it), so recurring fleets should use the
+// default serve-until-signal mode.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netprobe/internal/coord"
+	"netprobe/internal/obs"
+	"netprobe/internal/tshist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netdyn-coord: ")
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7788", "address to accept agent control connections on")
+		jobsPath   = flag.String("jobs", "", "JSON jobs file of coord.Spec entries; empty starts with an empty table")
+		maxAtt     = flag.Int("max-attempts", 3, "dispatch attempts per job instance before it fails")
+		staleAfter = flag.Duration("stale-after", 10*time.Second,
+			"mark a connected agent stale on /statusz after this much control-plane silence (0 disables)")
+		wait = flag.Bool("wait", false,
+			"exit once every job has settled instead of serving until SIGINT/SIGTERM")
+		linger = flag.Duration("linger", 0,
+			"keep the process (and -debug-addr endpoints) alive this long after shutdown")
+		obsFlags    = obs.RegisterFlags(flag.CommandLine)
+		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
+	)
+	flag.Parse()
+
+	var specs []coord.Spec
+	if *jobsPath != "" {
+		var err error
+		specs, err = coord.LoadSpecs(*jobsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := coord.Serve(ln, coord.Config{
+		Specs:       specs,
+		MaxAttempts: *maxAtt,
+		StaleAfter:  *staleAfter,
+		Metrics:     obs.Default,
+		Logf: func(format string, args ...any) {
+			slog.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	obs.StatusSection("coord", func() any { return c.Status() })
+	if _, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := obsFlags.Setup(obs.Default); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinating %d job spec(s) on %s\n", len(specs), c.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *wait {
+		if err := c.WaitIdle(ctx); err != nil {
+			log.Fatalf("interrupted with jobs outstanding: %v", err)
+		}
+		counts := c.Counts()
+		fmt.Printf("all jobs settled: %d completed, %d failed\n", counts.Completed, counts.Failed)
+		if counts.Failed > 0 {
+			defer os.Exit(1)
+		}
+	} else {
+		<-ctx.Done()
+		slog.Info("shutting down")
+	}
+	if err := c.Close(); err != nil {
+		slog.Error("closing coordinator", "err", err)
+	}
+	if *linger > 0 {
+		slog.Info("lingering; final state stays scrapeable", "for", *linger)
+		time.Sleep(*linger)
+	}
+}

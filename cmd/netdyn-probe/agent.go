@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netprobe/internal/coord"
+	"netprobe/internal/core"
+	"netprobe/internal/faultinject"
+	"netprobe/internal/netdyn"
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+	"netprobe/internal/pipestat"
+	"netprobe/internal/source"
+)
+
+// Agent mode: instead of running one probe session from flags, the
+// process registers with a netdyn-coord coordinator and executes the
+// job specs it pushes — "probe" jobs as real netdyn sessions against
+// the spec's target, "sim" jobs as simulator runs of the named preset.
+// Each job's lifecycle events stream to the -relay collector tagged
+// with the job's instance id, so the relay's online analyzers bucket
+// the whole fleet per job. The relay connection auto-redials
+// (source.DialAuto): a relay restart costs events while it is down
+// (counted, conserved) but never kills the agent.
+
+// runAgentMode is main's -agent branch. It blocks until SIGINT/SIGTERM.
+func runAgentMode(coordAddr, name string, capacity int, relay string, faultsPath string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Data plane: an auto-redialing relay stream behind a bounded
+	// queue, accounted on the wire chain exactly like -relay in probe
+	// mode. Without -relay the events are discarded (the control plane
+	// still reports probe/loss totals per job).
+	var sink otrace.Sink = otrace.Discard
+	if relay != "" {
+		sender := source.DialAuto(relay, source.Redial{
+			Logf: func(format string, args ...any) {
+				slog.Warn(fmt.Sprintf(format, args...))
+			},
+		})
+		chain := pipestat.Default.Chain("wire")
+		chain.Applied("sender", sender.Sent)
+		chain.Dropped("sender", sender.Dropped)
+		sender.StartHeartbeats(2 * time.Second)
+		b := otrace.NewBounded(chain.Stage(pipestat.StageWireSent, sender), 4096)
+		chain.Dropped("queue", b.Dropped)
+		sink = chain.Produce(b)
+		slog.Info("relaying job events", "to", relay)
+		defer func() {
+			b.Close() //nolint:errcheck // always nil
+			if err := sender.Close(); err != nil {
+				slog.Warn("relay stream incomplete", "err", err)
+			}
+		}()
+	}
+
+	// A -faults plan on the agent command line applies to every probe
+	// job the agent runs; a plan inside a job spec overrides it.
+	var defaultPlan *faultinject.Plan
+	if faultsPath != "" {
+		p, err := faultinject.Load(faultsPath)
+		if err != nil {
+			return err
+		}
+		defaultPlan = p
+		slog.Info("fault plan loaded", "path", faultsPath)
+	}
+
+	fmt.Printf("agent %s: executing jobs from %s (capacity %d)\n", name, coordAddr, capacity)
+	err := coord.RunAgent(ctx, coordAddr, coord.AgentConfig{
+		Name:     name,
+		Capacity: capacity,
+		Sink:     sink,
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			return executeJob(ctx, spec, sink, defaultPlan)
+		},
+		Logf: func(format string, args ...any) {
+			slog.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if ctx.Err() != nil {
+		slog.Info("agent shutting down")
+		return nil
+	}
+	return err
+}
+
+// executeJob dispatches one pushed job spec to its executor.
+func executeJob(ctx context.Context, spec coord.Spec, sink otrace.Sink,
+	defaultPlan *faultinject.Plan) (coord.Result, error) {
+	plan := defaultPlan
+	if spec.Faults != "" {
+		p, err := faultinject.Parse([]byte(spec.Faults))
+		if err != nil {
+			return coord.Result{}, fmt.Errorf("job fault plan: %w", err)
+		}
+		plan = p
+	}
+	switch spec.Mode {
+	case "sim":
+		return executeSimJob(spec, sink, plan)
+	case "probe", "":
+		return executeProbeJob(ctx, spec, sink, plan)
+	default:
+		return coord.Result{}, fmt.Errorf("unknown job mode %q", spec.Mode)
+	}
+}
+
+// executeSimJob runs a simulator job: Target names a core preset.
+// The simulation is virtual-time and typically finishes in
+// milliseconds, so it does not watch ctx.
+func executeSimJob(spec coord.Spec, sink otrace.Sink, plan *faultinject.Plan) (coord.Result, error) {
+	preset, ok := core.PresetByName(spec.Target)
+	if !ok {
+		return coord.Result{}, fmt.Errorf("unknown sim preset %q", spec.Target)
+	}
+	delta := spec.Delta.D()
+	if delta <= 0 {
+		delta = 50 * time.Millisecond
+	}
+	cfg := preset.Config(delta, spec.Duration.D(), spec.Seed)
+	if spec.Count > 0 {
+		cfg.Count = spec.Count
+	}
+	if spec.PayloadBytes > 0 {
+		cfg.PayloadSize = spec.PayloadBytes
+	}
+	cfg.Faults = plan
+	cfg.Metrics = obs.Default
+	cfg.Trace = sink
+	tr, err := core.RunSim(cfg)
+	if err != nil {
+		return coord.Result{}, err
+	}
+	return coord.Result{Probes: tr.Len(), Losses: tr.Len() - tr.Received()}, nil
+}
+
+// executeProbeJob runs a real netdyn session against the spec's
+// target, supervised (transient errors retried, outages recorded as
+// gaps). The job's ctx aborts it — agent shutdown or a coordinator
+// loss ends the session gracefully with partial results.
+func executeProbeJob(ctx context.Context, spec coord.Spec, sink otrace.Sink,
+	plan *faultinject.Plan) (coord.Result, error) {
+	if spec.Target == "" {
+		return coord.Result{}, fmt.Errorf("probe job has no target")
+	}
+	delta := spec.Delta.D()
+	if delta <= 0 {
+		delta = 50 * time.Millisecond
+	}
+	n := spec.Count
+	if n == 0 {
+		dur := spec.Duration.D()
+		if dur <= 0 {
+			dur = 10 * time.Minute
+		}
+		n = int(dur / delta)
+	}
+	cfg := netdyn.ProbeConfig{
+		Target:      spec.Target,
+		Delta:       delta,
+		Count:       n,
+		PayloadSize: spec.PayloadBytes,
+		Context:     ctx,
+		Metrics:     obs.Default,
+		Trace:       sink,
+		Supervise:   &netdyn.SuperviseConfig{},
+	}
+	if plan != nil {
+		open := func() (net.PacketConn, error) {
+			inner, err := net.ListenPacket("udp", "")
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.WrapPacketConn(inner, plan,
+				faultinject.WithSeq(netdyn.PacketSeq),
+				faultinject.WithSink(sink),
+				faultinject.WithRegistry(obs.Default)), nil
+		}
+		conn, err := open()
+		if err != nil {
+			return coord.Result{}, err
+		}
+		cfg.Conn = conn
+		cfg.Supervise.Redial = open // recreated sockets stay impaired
+	}
+	d, err := netdyn.ProbeDetailed(cfg)
+	if err != nil {
+		return coord.Result{}, err
+	}
+	tr := d.Trace
+	return coord.Result{Probes: tr.Len(), Losses: tr.Len() - tr.Received()}, nil
+}

@@ -16,6 +16,8 @@
 //	             [-supervise] [-faults plan.json]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	             [-version]
+//	netdyn-probe -agent coord:port [-agent-name x] [-capacity 1]
+//	             [-relay host:port] [-faults plan.json] [...]
 //
 // With no -count, the probe runs for the paper's 10 minutes
 // (duration/delta packets). -report 0 disables the in-flight reports.
@@ -45,6 +47,16 @@
 // outage gaps that the final loss statistics exclude. -faults applies
 // a deterministic fault-injection plan (internal/faultinject JSON) to
 // the probe socket — the chaos-testing path.
+//
+// -agent switches the process into fleet mode: it registers with a
+// netdyn-coord coordinator and executes the job specs the coordinator
+// pushes — "probe" jobs as supervised netdyn sessions, "sim" jobs as
+// simulator runs of the named preset — streaming each job's events to
+// the -relay collector tagged with the job's instance id. The relay
+// stream auto-redials with jittered backoff, so a relay restart costs
+// events while it is down (counted and conserved in the wire chain's
+// ledger) but never kills the agent; likewise the agent reconnects to
+// a restarted coordinator and in-flight jobs are re-dispatched.
 //
 // SIGINT or SIGTERM ends the run gracefully: the sender stops,
 // stragglers are drained, and the partial trace, event file, and loss
@@ -85,7 +97,7 @@ func main() {
 		size     = flag.Int("size", netdyn.DefaultPayload, "UDP payload bytes")
 		clockRes = flag.Duration("clockres", 0, "emulated clock resolution (e.g. 3.90625ms)")
 		out      = flag.String("out", "", "trace output file (.csv or .json); empty = summary only")
-		events   = flag.String("trace", "", "probe-lifecycle event output file (otrace JSONL); empty disables")
+		events   = flag.String("trace", "", "probe-lifecycle event output file (.otr = binary wire form, else otrace JSONL); empty disables")
 		report   = flag.Duration("report", 10*time.Second, "in-flight progress report interval (0 disables)")
 		onlineOn = flag.Bool("online", false,
 			"stream probe events through the online analysis engine (serves /online on -debug-addr)")
@@ -97,10 +109,39 @@ func main() {
 			"fault-tolerant session: retry transient send errors, recreate the socket on fatal ones, record outages as gaps")
 		faults = flag.String("faults", "",
 			"fault-injection plan (JSON, see internal/faultinject) applied to the probe socket")
+		agent = flag.String("agent", "",
+			"fleet mode: register with the netdyn-coord coordinator at this address and execute pushed jobs (ignores -target)")
+		agentName   = flag.String("agent-name", "", "agent name in fleet mode (default <hostname>-<pid>)")
+		capacity    = flag.Int("capacity", 1, "concurrent jobs this agent accepts in fleet mode")
 		obsFlags    = obs.RegisterFlags(flag.CommandLine)
 		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if *agent != "" {
+		// Fleet mode: the coordinator pushes the job specs; flags that
+		// describe a single session (-target, -delta, ...) are unused.
+		// The debug endpoints still serve /statusz, /metrics, and the
+		// wire chain's conservation ledger.
+		pipestat.Default.Register()
+		if _, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != ""); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := obsFlags.Setup(obs.Default); err != nil {
+			log.Fatal(err)
+		}
+		name := *agentName
+		if name == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "agent"
+			}
+			name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		if err := runAgentMode(*agent, name, *capacity, *relay, *faults); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	// The online engine registers its /online debug handler, so it must
 	// exist before Setup starts the -debug-addr server. The pipeline
 	// monitor rides in the analyzer set, closing the online chain's
@@ -164,7 +205,7 @@ func run(cfg netdyn.ProbeConfig, bus *online.Bus, eng *online.Engine, store *tsh
 	fmt.Printf("probing %s: %d probes of %d bytes, δ=%v\n", cfg.Target, cfg.Count, cfg.PayloadSize, cfg.Delta)
 	var sinks []otrace.Sink
 	if events != "" {
-		w, err := otrace.Create(events)
+		w, err := otrace.CreateFile(events)
 		if err != nil {
 			return err
 		}

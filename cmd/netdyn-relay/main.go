@@ -11,7 +11,7 @@
 // Usage:
 //
 //	netdyn-relay [-listen 127.0.0.1:7777] [-trace events.jsonl]
-//	             [-online-window N] [-lossy] [-queue 1024]
+//	             [-shards 1] [-online-window N] [-lossy] [-queue 1024]
 //	             [-stale-after 30s] [-linger 0s]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	             [-version]
@@ -28,8 +28,19 @@
 // with a bounded queue instead: a slow relay drops events (counted as
 // source.dropped{source=...}) rather than backpressuring the peer.
 //
-// -trace additionally appends every relayed event to a JSONL file —
-// the relay as a durable trace collector.
+// -trace additionally appends every relayed event to a trace file —
+// the relay as a durable trace collector. A .otr extension selects the
+// binary wire form (smaller, cheaper to re-read); anything else is
+// JSONL.
+//
+// -shards N replaces the single online engine with a pool of N
+// engines hashed by job tag (online.ShardIndex): per-job event order
+// is preserved inside a shard while shards dispatch in parallel, so a
+// fleet of concurrent sessions no longer serializes on one dispatcher.
+// The merged analysis at /online is bit-identical to what one engine
+// would produce; /statusz's online section and the
+// online.shard.queue_len / online.shard.dropped gauges show per-shard
+// occupancy.
 //
 // The relay watches itself the way it watches paths: the -debug-addr
 // server's /healthz reports readiness (degraded while any connected
@@ -69,8 +80,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netdyn-relay: ")
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7777", "address to accept relayed event streams on")
-		events    = flag.String("trace", "", "append every relayed event to this otrace JSONL file; empty disables")
+		listen = flag.String("listen", "127.0.0.1:7777", "address to accept relayed event streams on")
+		events = flag.String("trace", "",
+			"append every relayed event to this trace file (.otr = binary wire form, else JSONL); empty disables")
+		shards = flag.Int("shards", 1,
+			"online engine shards, hashed by job tag (1 = single engine)")
 		onlineWin = flag.Int("online-window", 0,
 			"cap the online analyzers to the trailing N probes (0 = all-time statistics)")
 		lossy = flag.Bool("lossy", false,
@@ -84,21 +98,30 @@ func main() {
 		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
-	// The online engine registers its /online debug handler, so it must
-	// exist before Setup starts the -debug-addr server. The pipeline
-	// monitor rides in the analyzer set, closing the relay chain's
-	// ledger at the applied stage.
+	// The online pool registers its /online debug handler, so it must
+	// exist before Setup starts the -debug-addr server. Each shard
+	// carries its own pipeline monitor in its analyzer set; since every
+	// NewMonitor call replaces the chain's "analyzers" account, one
+	// summed closure over all shard monitors is re-registered below so
+	// the ledger closes over the whole pool.
 	chain := pipestat.Default.Chain("relay")
-	mon := pipestat.NewMonitor(chain)
-	bus := online.NewBus()
-	eng := online.NewEngine(bus, 0,
-		append(online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin)), mon)...)
-	online.RegisterDebug(eng)
-	pipestat.Default.Register()
-	obs.StatusSection("online", func() any {
-		length, capacity := eng.Queue()
-		return map[string]any{"queue_len": length, "queue_cap": capacity, "dropped": eng.Dropped()}
+	var monitors []*pipestat.Monitor
+	pool := online.NewPool(*shards, 0, func(int) []online.Analyzer {
+		mon := pipestat.NewMonitor(chain)
+		monitors = append(monitors, mon)
+		return append(online.DefaultAnalyzers(obs.Default, online.WithWindow(*onlineWin)), mon)
 	})
+	chain.Applied("analyzers", func() int64 {
+		var n int64
+		for _, m := range monitors {
+			n += m.Applied()
+		}
+		return n
+	})
+	online.RegisterDebug(pool)
+	pool.ExportMetrics(obs.Default)
+	pipestat.Default.Register()
+	obs.StatusSection("online", func() any { return pool.Status() })
 	// Not ready until the listener is bound; run clears this.
 	obs.DefaultHealth.SetError("listener", errNotListening)
 	store, err := tshistFlags.Setup(obs.Default, obsFlags.DebugAddr != "")
@@ -108,7 +131,7 @@ func main() {
 	if _, err := obsFlags.Setup(obs.Default); err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*listen, *events, bus, eng, store, chain, *lossy, *queue, *staleAfter); err != nil {
+	if err := run(*listen, *events, pool, store, chain, *lossy, *queue, *staleAfter); err != nil {
 		log.Fatal(err)
 	}
 	if *linger > 0 {
@@ -120,13 +143,14 @@ func main() {
 // errNotListening is the readiness condition the relay starts in.
 var errNotListening = errors.New("listener not bound yet")
 
-func run(listen, events string, bus *online.Bus, eng *online.Engine, store *tshist.Store,
+func run(listen, events string, pool *online.Pool, store *tshist.Store,
 	chain *pipestat.Chain, lossy bool, queue int, staleAfter time.Duration) error {
 	// The relayed events already carry Job/Index tags from their
-	// producers, so the bus is fed directly — no re-tagging.
-	sinks := []otrace.Sink{bus}
+	// producers, so the pool is fed directly — no re-tagging; the pool
+	// hashes each event to its job's shard.
+	sinks := []otrace.Sink{pool}
 	if events != "" {
-		w, err := otrace.Create(events)
+		w, err := otrace.CreateFile(events)
 		if err != nil {
 			return err
 		}
@@ -182,7 +206,7 @@ func run(listen, events string, bus *online.Bus, eng *online.Engine, store *tshi
 		return delivered + dropped
 	})
 	chain.Dropped("queue", func() int64 { _, dropped := srv.Totals(); return dropped })
-	chain.Dropped("bus", bus.Dropped)
+	chain.Dropped("bus", pool.Dropped)
 	if events != "" {
 		pipestat.Default.Chain("relay.trace").Produced("delivered",
 			func() int64 { delivered, _ := srv.Totals(); return delivered })
@@ -196,9 +220,9 @@ func run(listen, events string, bus *online.Bus, eng *online.Engine, store *tshi
 	if err := srv.Close(); err != nil {
 		slog.Error("closing listener", "err", err)
 	}
-	bus.Close()
-	eng.Wait()
-	if n := eng.Dropped(); n > 0 {
+	pool.Close()
+	pool.Wait()
+	if n := pool.Dropped(); n > 0 {
 		slog.Warn("online analysis sampled, not exact", "dropped", n)
 	}
 	return nil

@@ -1,0 +1,198 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"netprobe/internal/netdyn"
+	"netprobe/internal/online"
+	"netprobe/internal/otrace"
+	"netprobe/internal/source"
+)
+
+// Result is what an executor reports back through ctrl_complete.
+type Result struct {
+	Probes int
+	Losses int
+}
+
+// RunFunc executes one pushed job. It receives a sink already tagged
+// with the instance id (events emitted into it land in the relay's
+// per-job analyzer buckets) and is bracketed by job_start/job_finish
+// events, so the data plane sees the same shape a local runner job
+// produces. ctx ends when the job should abort — agent shutdown or a
+// lost coordinator connection (the coordinator will re-dispatch).
+type RunFunc func(ctx context.Context, id string, spec Spec, sink otrace.Sink) (Result, error)
+
+// AgentConfig configures RunAgent.
+type AgentConfig struct {
+	// Name identifies the agent to the coordinator; defaults to
+	// "<hostname>-<pid>".
+	Name string
+	// Capacity is how many jobs the agent runs concurrently (default 1).
+	Capacity int
+	// Run executes jobs. Required.
+	Run RunFunc
+	// Sink receives the jobs' tagged measurement events — typically a
+	// relay Sender (wrap in otrace.NewBounded if pacing matters).
+	// Defaults to otrace.Discard.
+	Sink otrace.Sink
+	// Heartbeat is the control-connection liveness interval (default
+	// 2s; negative disables).
+	Heartbeat time.Duration
+	// Backoff/BackoffMax shape the reconnect schedule (defaults 100ms
+	// and 5s, doubled per attempt with ±50% netdyn.RetryJitter).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Seed decorrelates concurrent agents' reconnect storms.
+	Seed int64
+	// Dial opens the control connection; defaults to TCP.
+	Dial func() (net.Conn, error)
+	// Logf, if non-nil, logs connection and job lifecycle.
+	Logf func(format string, args ...any)
+}
+
+// RunAgent connects to the coordinator at addr, registers, and
+// executes pushed jobs until ctx ends. A lost connection cancels the
+// in-flight jobs (the coordinator re-dispatches them) and reconnects
+// with jittered exponential backoff, so agents survive coordinator
+// restarts. It returns ctx.Err() on shutdown.
+func RunAgent(ctx context.Context, addr string, cfg AgentConfig) error {
+	if cfg.Run == nil {
+		return errors.New("coord: agent needs a Run executor")
+	}
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "agent"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = otrace.Discard
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	backoff := cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := cfg.Dial()
+		if err != nil {
+			cfg.Logf("agent %s: dial coordinator: %v", cfg.Name, err)
+			if !sleepCtx(ctx, time.Duration(float64(backoff)*netdyn.RetryJitter(cfg.Seed, 0, attempt))) {
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > cfg.BackoffMax {
+				backoff = cfg.BackoffMax
+			}
+			continue
+		}
+		attempt, backoff = 0, cfg.Backoff
+		err = agentSession(ctx, conn, cfg)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		cfg.Logf("agent %s: coordinator connection lost: %v", cfg.Name, err)
+		if !sleepCtx(ctx, time.Duration(float64(cfg.Backoff)*netdyn.RetryJitter(cfg.Seed, 1, 0))) {
+			return ctx.Err()
+		}
+	}
+}
+
+// agentSession speaks one control connection: register, heartbeats,
+// then jobs until the stream ends. Jobs run concurrently (the
+// coordinator respects the registered capacity); the session waits for
+// them before returning, and a dead connection cancels them.
+func agentSession(ctx context.Context, conn net.Conn, cfg AgentConfig) error {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(sctx, func() {
+		conn.SetReadDeadline(time.Unix(1, 0)) //nolint:errcheck // best effort
+	})
+	defer stop()
+	send := source.NewSender(conn)
+	defer send.Close() //nolint:errcheck // control stream
+	send.Emit(registerEvent(cfg.Name, cfg.Capacity))
+	if err := send.Err(); err != nil {
+		return err
+	}
+	send.StartHeartbeats(cfg.Heartbeat)
+	fr, err := otrace.NewFrameReader(conn)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel() // a dead connection aborts in-flight jobs before the wait
+	for {
+		ev, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		if ev.Ev != otrace.KindCtrlJob {
+			continue
+		}
+		id, spec := jobFromEvent(ev)
+		send.Emit(acceptEvent(id))
+		cfg.Logf("agent %s: job %s accepted", cfg.Name, id)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runJob(sctx, cfg, id, spec, send)
+		}()
+	}
+}
+
+// runJob brackets one execution with job_start/job_finish on the data
+// plane and reports ctrl_complete on the control plane.
+func runJob(ctx context.Context, cfg AgentConfig, id string, spec Spec, ctrl *source.Sender) {
+	tagged := online.Tag(cfg.Sink, id, 0)
+	start := time.Now()
+	tagged.Emit(otrace.Event{Ev: otrace.KindJobStart, Job: id, Name: spec.Name, Seed: spec.Seed})
+	res, err := cfg.Run(ctx, id, spec, tagged)
+	tagged.Emit(otrace.Event{Ev: otrace.KindJobFinish, Job: id,
+		Probes: res.Probes, Losses: res.Losses})
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+		cfg.Logf("agent %s: job %s failed: %v", cfg.Name, id, err)
+	} else {
+		cfg.Logf("agent %s: job %s done (%d probes, %d lost)", cfg.Name, id, res.Probes, res.Losses)
+	}
+	ctrl.Emit(completeEvent(id, res, msg, time.Since(start)))
+}
+
+// sleepCtx sleeps for d, reporting false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

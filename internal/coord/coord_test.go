@@ -1,0 +1,362 @@
+package coord_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netprobe/internal/coord"
+	"netprobe/internal/otrace"
+)
+
+// eventLog is a race-safe recording sink for the agents' data plane.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (l *eventLog) Emit(ev otrace.Event) {
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) events() []otrace.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]otrace.Event(nil), l.evs...)
+}
+
+func (l *eventLog) count(kind otrace.Kind) int {
+	n := 0
+	for _, ev := range l.events() {
+		if ev.Ev == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func startCoord(t *testing.T, cfg coord.Config) *coord.Coordinator {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := coord.Serve(ln, cfg)
+	t.Cleanup(func() { c.Close() }) //nolint:errcheck // test teardown
+	return c
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestJobLifecycle walks one job through the full control loop over a
+// real loopback wire: spec pushed → agent accepts → tagged events flow
+// to the sink → ctrl_complete lands in the coordinator's table with
+// the reported probe/loss counts.
+func TestJobLifecycle(t *testing.T) {
+	c := startCoord(t, coord.Config{})
+	ctx := waitCtx(t)
+
+	log := &eventLog{}
+	var gotSpec atomic.Value
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{
+			Name: "a1",
+			Sink: log,
+			Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+				gotSpec.Store(spec)
+				for k := 0; k < 4; k++ {
+					sink.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: k})
+				}
+				return coord.Result{Probes: 4, Losses: 1}, nil
+			},
+		})
+	}()
+
+	spec := coord.Spec{
+		Name:   "bolot-20ms",
+		Mode:   "probe",
+		Target: "echo.example:9999",
+		Delta:  coord.Duration(20 * time.Millisecond),
+		Count:  4,
+		Seed:   7,
+	}
+	id := c.Submit(spec)
+	if id != "bolot-20ms" {
+		t.Fatalf("instance id %q, want the unused spec name", id)
+	}
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The spec crossed the wire intact.
+	got, _ := gotSpec.Load().(coord.Spec)
+	if got != spec {
+		t.Errorf("agent saw spec %+v, want %+v", got, spec)
+	}
+
+	// The job's table row settled with the agent's report.
+	js, ok := c.Job(id)
+	if !ok {
+		t.Fatal("job vanished from the table")
+	}
+	if js.State != coord.StateCompleted || !js.Accepted || js.Agent != "a1" {
+		t.Errorf("job row %+v, want completed/accepted by a1", js)
+	}
+	if js.Probes != 4 || js.Losses != 1 || js.Attempts != 1 {
+		t.Errorf("job row probes/losses/attempts %d/%d/%d, want 4/1/1", js.Probes, js.Losses, js.Attempts)
+	}
+
+	// The data plane saw job brackets and tagged probe events.
+	if n := log.count(otrace.KindJobStart); n != 1 {
+		t.Errorf("%d job_start events, want 1", n)
+	}
+	if n := log.count(otrace.KindJobFinish); n != 1 {
+		t.Errorf("%d job_finish events, want 1", n)
+	}
+	if n := log.count(otrace.KindProbeSent); n != 4 {
+		t.Errorf("%d probe events, want 4", n)
+	}
+	for _, ev := range log.events() {
+		if ev.Job != id {
+			t.Errorf("event %s tagged %q, want %q", ev.Ev, ev.Job, id)
+		}
+	}
+	for _, ev := range log.events() {
+		if ev.Ev == otrace.KindJobFinish && (ev.Probes != 4 || ev.Losses != 1) {
+			t.Errorf("job_finish carries %d/%d, want 4/1", ev.Probes, ev.Losses)
+		}
+	}
+
+	st := c.Status()
+	if st.Jobs.Completed != 1 || len(st.Agents) != 1 || st.Agents[0].Completed != 1 {
+		t.Errorf("status %+v, want one completed job credited to one agent", st)
+	}
+
+	acancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("agent exit: %v, want context.Canceled", err)
+	}
+}
+
+// TestRecurringSpec: an Every/Runs spec yields exactly Runs instances,
+// seeded Seed+n so repeats are decorrelated but replayable.
+func TestRecurringSpec(t *testing.T) {
+	c := startCoord(t, coord.Config{
+		Specs: []coord.Spec{{Name: "tick", Seed: 100, Every: coord.Duration(5 * time.Millisecond), Runs: 3}},
+	})
+	ctx := waitCtx(t)
+
+	var mu sync.Mutex
+	seeds := map[int64]bool{}
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "a1",
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			mu.Lock()
+			seeds[spec.Seed] = true
+			mu.Unlock()
+			return coord.Result{}, nil
+		},
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Counts().Completed < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recurring spec stalled: %+v", c.Counts())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The scheduler stops at Runs: settle and re-check nothing extra ran.
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counts(); got.Total() != 3 || got.Completed != 3 {
+		t.Fatalf("counts %+v, want exactly 3 completed", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for n := int64(0); n < 3; n++ {
+		if !seeds[100+n] {
+			t.Errorf("no instance ran with seed %d", 100+n)
+		}
+	}
+}
+
+// TestFailureRetries: an executor error re-queues the instance until
+// MaxAttempts, then the job fails with the last error on its row.
+func TestFailureRetries(t *testing.T) {
+	c := startCoord(t, coord.Config{MaxAttempts: 2})
+	ctx := waitCtx(t)
+
+	var flaky, broken atomic.Int64
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "a1",
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			switch spec.Name {
+			case "flaky":
+				if flaky.Add(1) == 1 {
+					return coord.Result{}, errors.New("transient")
+				}
+				return coord.Result{Probes: 1}, nil
+			default:
+				broken.Add(1)
+				return coord.Result{}, errors.New("permanent")
+			}
+		},
+	})
+
+	flakyID := c.Submit(coord.Spec{Name: "flaky"})
+	brokenID := c.Submit(coord.Spec{Name: "broken"})
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fj, _ := c.Job(flakyID)
+	if fj.State != coord.StateCompleted || fj.Attempts != 2 {
+		t.Errorf("flaky job %+v, want completed on attempt 2", fj)
+	}
+	bj, _ := c.Job(brokenID)
+	if bj.State != coord.StateFailed || bj.Attempts != 2 || bj.Error != "permanent" {
+		t.Errorf("broken job %+v, want failed after 2 attempts with the last error", bj)
+	}
+	if got := broken.Load(); got != 2 {
+		t.Errorf("broken executor ran %d times, want MaxAttempts=2", got)
+	}
+}
+
+// TestDisconnectRequeues: killing the agent mid-job re-queues the
+// instance, and a second agent finishes it.
+func TestDisconnectRequeues(t *testing.T) {
+	c := startCoord(t, coord.Config{})
+	ctx := waitCtx(t)
+
+	started := make(chan struct{})
+	a1ctx, a1cancel := context.WithCancel(ctx)
+	defer a1cancel()
+	var startedOnce sync.Once
+	go coord.RunAgent(a1ctx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled mid-test
+		Name: "doomed",
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			startedOnce.Do(func() { close(started) })
+			<-ctx.Done() // hold the job until the agent dies
+			return coord.Result{}, ctx.Err()
+		},
+	})
+
+	id := c.Submit(coord.Spec{Name: "survivor"})
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("job never dispatched to the first agent")
+	}
+	a1cancel() // connection drops; the coordinator must re-queue
+
+	a2ctx, a2cancel := context.WithCancel(ctx)
+	defer a2cancel()
+	go coord.RunAgent(a2ctx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "healthy",
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			return coord.Result{Probes: 9}, nil
+		},
+	})
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Attempts is 2 or 3 depending on whether the dying agent's
+	// error-complete raced ahead of its disconnect (both re-queue).
+	js, _ := c.Job(id)
+	if js.State != coord.StateCompleted || js.Agent != "healthy" || js.Attempts < 2 {
+		t.Fatalf("job %+v, want completed by the second agent on a retry", js)
+	}
+}
+
+// TestDurationJSON pins the jobs-file friendly forms: strings both
+// ways, integer nanoseconds accepted on the way in.
+func TestDurationJSON(t *testing.T) {
+	b, err := json.Marshal(coord.Duration(50 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"50ms"` {
+		t.Fatalf("marshal: %s, want \"50ms\"", b)
+	}
+	var d coord.Duration
+	if err := json.Unmarshal([]byte(`"1.5s"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.D() != 1500*time.Millisecond {
+		t.Fatalf("string form: %v", d.D())
+	}
+	if err := json.Unmarshal([]byte(`20000000`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.D() != 20*time.Millisecond {
+		t.Fatalf("integer form: %v", d.D())
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Fatal("bad duration string accepted")
+	}
+}
+
+// TestLoadSpecs reads a jobs file round trip, including the named-
+// duration forms, and rejects nameless jobs.
+func TestLoadSpecs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	doc := `[
+		{"name": "inria-sweep", "mode": "sim", "target": "inria",
+		 "delta": "20ms", "duration": "10s", "seed": 42,
+		 "every": "1m", "runs": 5},
+		{"name": "probe-lab", "mode": "probe", "target": "127.0.0.1:7",
+		 "delta": "50ms", "count": 200,
+		 "faults": "{\"drop\":0.1}"}
+	]`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := coord.LoadSpecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	s := specs[0]
+	if s.Name != "inria-sweep" || s.Mode != "sim" || s.Delta.D() != 20*time.Millisecond ||
+		s.Duration.D() != 10*time.Second || s.Every.D() != time.Minute || s.Runs != 5 {
+		t.Errorf("spec 0 mis-parsed: %+v", s)
+	}
+	if specs[1].Faults != `{"drop":0.1}` || specs[1].Count != 200 {
+		t.Errorf("spec 1 mis-parsed: %+v", specs[1])
+	}
+
+	if err := os.WriteFile(path, []byte(`[{"mode": "probe"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.LoadSpecs(path); err == nil {
+		t.Fatal("nameless job accepted")
+	}
+	if _, err := coord.LoadSpecs(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"netprobe/internal/netdyn"
+	"netprobe/internal/online"
+	"netprobe/internal/otrace"
+	"netprobe/internal/source"
+)
+
+// The load-generator harness: an in-process fleet — coordinator,
+// relay with a sharded engine pool, and fake agents over real TCP —
+// that drives tens of thousands of *concurrent* sessions on one box
+// and reports perf-gate-comparable numbers. "Session" means a real
+// coordinator job instance executed by a synthetic RunFunc: it holds
+// its slot (one goroutine, one job-table row, live per-job analyzer
+// state behind the relay) from job_start until every session has
+// started, so peak concurrency equals the session count by
+// construction, then emits its probe events and completes. Everything
+// crosses real loopback TCP wires: control frames to the coordinator,
+// data frames to the relay.
+
+// LoadConfig sizes a load run.
+type LoadConfig struct {
+	// Sessions is the number of concurrent session jobs (default 10000).
+	Sessions int
+	// Agents is the number of fake agent processes, each with one
+	// control and one relay connection (default 16).
+	Agents int
+	// Pairs is the probe_sent/rtt pairs per session (default 10).
+	Pairs int
+	// Shards sizes the relay-side engine pool (default 8).
+	Shards int
+	// Seed drives the synthetic RTT sequences.
+	Seed int64
+	// Timeout bounds the whole run (default 2 minutes); the harness
+	// fails rather than hangs when a stage wedges.
+	Timeout time.Duration
+}
+
+// LoadResult is a load run's scorecard.
+type LoadResult struct {
+	Sessions int `json:"sessions"`
+	Agents   int `json:"agents"`
+	Shards   int `json:"shards"`
+	// MaxConcurrent is the observed peak of in-flight sessions; the
+	// start barrier makes it equal Sessions unless something failed.
+	MaxConcurrent int `json:"max_concurrent"`
+	// Events is how many data-plane events the relay delivered.
+	Events int64 `json:"events"`
+	// Dropped counts events lost anywhere (relay queue, engine pool);
+	// zero means the books balanced exactly.
+	Dropped int64 `json:"dropped"`
+	// Completed/Failed are the coordinator's final job counts.
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	Wall      time.Duration `json:"wall_ns"`
+	// SessionsPerSec is Sessions/Wall — the headline throughput.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	// AllocsPerEvent is total heap allocations across the harness
+	// (goroutines, frames, analyzers — everything) divided by Events.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// AllocBytesPerEvent is the same for allocated bytes.
+	AllocBytesPerEvent float64 `json:"alloc_bytes_per_event"`
+}
+
+// RunLoad executes one load wave and reports the scorecard. The
+// harness is deterministic in structure (session count, events per
+// session) and checks its own conservation: it errors if the relay
+// delivered fewer events than the sessions emitted or any job failed.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 10000
+	}
+	if cfg.Agents <= 0 {
+		cfg.Agents = 16
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 10
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	// Relay: a real source.Serve wire fronting the sharded engine pool.
+	// Analyzers run without gauges (nil registry): 10k transient jobs
+	// would register and tear down 60k gauge series, which measures the
+	// registry, not the pipeline.
+	pool := online.NewPool(cfg.Shards, 0, func(int) []online.Analyzer {
+		return online.DefaultAnalyzers(nil)
+	})
+	relayLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("coord: load: %w", err)
+	}
+	srv, err := source.Serve(relayLn, source.ServerConfig{Sink: pool, Grace: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close() //nolint:errcheck // harness teardown
+
+	// Coordinator.
+	coordLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("coord: load: %w", err)
+	}
+	co := Serve(coordLn, Config{MaxAttempts: 1})
+	defer co.Close() //nolint:errcheck // harness teardown
+
+	// The start barrier: every session parks on gate after emitting
+	// job_start; the last one to arrive opens it. Peak concurrency is
+	// therefore exactly Sessions, held simultaneously.
+	gate := make(chan struct{})
+	var started, running, maxConc atomic.Int64
+	sessionRun := func(ctx context.Context, id string, spec Spec, sink otrace.Sink) (Result, error) {
+		cur := running.Add(1)
+		defer running.Add(-1)
+		for {
+			m := maxConc.Load()
+			if cur <= m || maxConc.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		if started.Add(1) == int64(cfg.Sessions) {
+			close(gate)
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		// The synthetic measurement: run metadata then Pairs probe/rtt
+		// pairs with a deterministic jittered RTT, enough signal for the
+		// loss/phase/workload analyzers to do real per-event work.
+		sink.Emit(otrace.Event{Ev: otrace.KindRunStart, Name: spec.Name,
+			DeltaNs: int64(spec.Delta), PayloadBytes: 32, WireBytes: 72,
+			BottleneckBps: 1_000_000, Count: cfg.Pairs})
+		for k := 0; k < cfg.Pairs; k++ {
+			t := int64(k) * int64(spec.Delta)
+			sink.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: k, T: t})
+			rtt := int64(float64(20*time.Millisecond) * netdyn.RetryJitter(spec.Seed, k, 0))
+			sink.Emit(otrace.Event{Ev: otrace.KindRTT, Seq: k, T: t + rtt, RTTNs: rtt})
+		}
+		return Result{Probes: cfg.Pairs}, nil
+	}
+
+	// Fake agents: one relay Sender and one control connection each.
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	capacity := (cfg.Sessions + cfg.Agents - 1) / cfg.Agents
+	senders := make([]*source.Sender, cfg.Agents)
+	agentDone := make(chan error, cfg.Agents)
+	for i := 0; i < cfg.Agents; i++ {
+		s, err := source.Dial(relayLn.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close() //nolint:errcheck // harness teardown
+		senders[i] = s
+		go func(i int) {
+			agentDone <- RunAgent(actx, coordLn.Addr().String(), AgentConfig{
+				Name:     fmt.Sprintf("load-%02d", i),
+				Capacity: capacity,
+				Run:      sessionRun,
+				Sink:     senders[i],
+				Seed:     cfg.Seed + int64(i),
+			})
+		}(i)
+	}
+
+	// Submit one job per session and ride the wave.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	t0 := time.Now()
+	for i := 0; i < cfg.Sessions; i++ {
+		co.Submit(Spec{
+			Name:  fmt.Sprintf("s%05d", i),
+			Mode:  "load",
+			Delta: Duration(20 * time.Millisecond),
+			Count: cfg.Pairs,
+			Seed:  cfg.Seed + int64(i)*7919,
+		})
+	}
+	if err := co.WaitIdle(ctx); err != nil {
+		return nil, fmt.Errorf("coord: load: wave did not settle: %w", err)
+	}
+
+	// Stop the agents and flush their relay streams, then wait for the
+	// relay to drain the sockets and the pool to drain its queues.
+	acancel()
+	for i := 0; i < cfg.Agents; i++ {
+		<-agentDone
+	}
+	for _, s := range senders {
+		s.Close() //nolint:errcheck // flushed on close
+	}
+	perSession := int64(3 + 2*cfg.Pairs) // run_start + pairs + job brackets
+	want := int64(cfg.Sessions) * perSession
+	for {
+		delivered, _ := srv.Totals()
+		if delivered >= want {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("coord: load: relay drained %d of %d events: %w",
+				delivered, want, ctx.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pool.Close()
+	pool.Wait()
+	wall := time.Since(t0)
+	var m2 runtime.MemStats
+	runtime.ReadMemStats(&m2)
+
+	delivered, relayDropped := srv.Totals()
+	counts := co.Counts()
+	res := &LoadResult{
+		Sessions:      cfg.Sessions,
+		Agents:        cfg.Agents,
+		Shards:        cfg.Shards,
+		MaxConcurrent: int(maxConc.Load()),
+		Events:        delivered,
+		Dropped:       relayDropped + pool.Dropped(),
+		Completed:     counts.Completed,
+		Failed:        counts.Failed,
+		Wall:          wall,
+	}
+	sec := wall.Seconds()
+	res.SessionsPerSec = float64(cfg.Sessions) / sec
+	res.EventsPerSec = float64(delivered) / sec
+	if delivered > 0 {
+		res.AllocsPerEvent = float64(m2.Mallocs-memBefore.Mallocs) / float64(delivered)
+		res.AllocBytesPerEvent = float64(m2.TotalAlloc-memBefore.TotalAlloc) / float64(delivered)
+	}
+	if res.Failed > 0 {
+		return res, fmt.Errorf("coord: load: %d sessions failed", res.Failed)
+	}
+	if res.MaxConcurrent < cfg.Sessions {
+		return res, fmt.Errorf("coord: load: peak concurrency %d < %d sessions",
+			res.MaxConcurrent, cfg.Sessions)
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package coord_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netprobe/internal/coord"
+)
+
+// TestRunLoad exercises the whole fleet harness at a tier-1-friendly
+// scale: every session must have been concurrent (the start barrier
+// guarantees it or errors), every job completed, and the relay's books
+// must balance — zero drops, exactly sessions×(3+2·pairs) events.
+func TestRunLoad(t *testing.T) {
+	cfg := coord.LoadConfig{
+		Sessions: 200,
+		Agents:   4,
+		Pairs:    5,
+		Shards:   2,
+		Seed:     42,
+		Timeout:  time.Minute,
+	}
+	res, err := coord.RunLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxConcurrent != cfg.Sessions {
+		t.Errorf("max concurrent %d, want all %d sessions at once", res.MaxConcurrent, cfg.Sessions)
+	}
+	if res.Completed != cfg.Sessions || res.Failed != 0 {
+		t.Errorf("completed/failed %d/%d, want %d/0", res.Completed, res.Failed, cfg.Sessions)
+	}
+	want := int64(cfg.Sessions) * int64(3+2*cfg.Pairs)
+	if res.Events != want {
+		t.Errorf("relay delivered %d events, want exactly %d", res.Events, want)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("%d events dropped; the books must balance", res.Dropped)
+	}
+	if res.SessionsPerSec <= 0 || res.EventsPerSec <= 0 {
+		t.Errorf("throughput not reported: %+v", res)
+	}
+}
+
+// BenchmarkFleetLoad is the load-harness acceptance run: ≥10,000
+// truly-concurrent sessions through coordinator + relay + sharded
+// engine pool on one box. The custom metrics land in the perf-gate
+// baseline: sessions/sec and events/sec must not regress, and
+// allocs/event is the per-event cost of the whole fleet path (wire
+// framing, control plane, analyzers).
+func BenchmarkFleetLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := coord.RunLoad(context.Background(), coord.LoadConfig{
+			Sessions: 10000,
+			Agents:   16,
+			Pairs:    10,
+			Shards:   8,
+			Seed:     42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxConcurrent < 10000 {
+			b.Fatalf("max concurrent %d < 10000", res.MaxConcurrent)
+		}
+		b.ReportMetric(res.SessionsPerSec, "sessions/s")
+		b.ReportMetric(res.EventsPerSec, "events/s")
+		b.ReportMetric(res.AllocsPerEvent, "allocs/event")
+		b.ReportMetric(res.AllocBytesPerEvent, "alloc-B/event")
+		b.ReportMetric(float64(res.MaxConcurrent), "concurrent")
+	}
+}

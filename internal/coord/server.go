@@ -1,0 +1,617 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+	"netprobe/internal/source"
+)
+
+// State is a job instance's lifecycle position.
+type State string
+
+// The job states. pending → running → completed is the happy path;
+// running → pending happens when the executing agent disconnects (and
+// attempts remain), running/pending → failed when attempts run out or
+// the agent reports an execution error on the last attempt.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Specs are submitted at startup: one instance per one-shot spec,
+	// a scheduler goroutine per recurring (Every > 0) spec.
+	Specs []Spec
+	// MaxAttempts bounds how many times one instance is dispatched
+	// before it fails (agent loss or execution error re-queues it).
+	// Default 3.
+	MaxAttempts int
+	// StaleAfter, when positive, marks a connected agent silent for
+	// longer than this as stale in Status. Zero disables.
+	StaleAfter time.Duration
+	// Metrics, if non-nil, exports coord.jobs.{pending,running,
+	// completed,failed} and coord.agents.connected gauges, refreshed
+	// per scrape.
+	Metrics *obs.Registry
+	// Logf, if non-nil, logs agent and job lifecycle.
+	Logf func(format string, args ...any)
+}
+
+// job is one instance's row in the coordinator's table.
+type job struct {
+	id       string
+	spec     Spec
+	state    State
+	agent    string // executing (or last) agent
+	attempts int
+	accepted bool
+	probes   int
+	losses   int
+	errMsg   string
+
+	submittedNs int64
+	startedNs   int64
+	finishedNs  int64
+}
+
+// agentConn is one registered agent.
+type agentConn struct {
+	name      string
+	capacity  int
+	send      *source.Sender
+	running   map[string]bool
+	completed int64
+	connected bool
+	lastNs    atomic.Int64
+}
+
+// Coordinator owns the job table and schedules instances onto
+// registered agents. Create one with Serve.
+type Coordinator struct {
+	ln     net.Listener
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	jobs       map[string]*job
+	order      []string
+	queue      []string // pending instance ids, FIFO
+	agents     map[string]*agentConn
+	agentOrder []string
+	rr         int // round-robin dispatch cursor
+	seq        int // instance id counter
+	closed     bool
+
+	// closedFlag quiesces the per-scrape gauge hook after Close (scrape
+	// hooks are process-lifetime; coordinators in tests are not).
+	closedFlag atomic.Bool
+}
+
+// Serve starts a coordinator accepting agent connections on ln and
+// submits cfg.Specs. It returns immediately; Close shuts it down.
+func Serve(ln net.Listener, cfg Config) *Coordinator {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		ln:     ln,
+		cfg:    cfg,
+		jobs:   make(map[string]*job),
+		agents: make(map[string]*agentConn),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	if cfg.Metrics != nil {
+		c.exportMetrics(cfg.Metrics)
+	}
+	for _, s := range cfg.Specs {
+		if s.Every > 0 {
+			c.wg.Add(1)
+			go c.schedule(s)
+			continue
+		}
+		c.Submit(s)
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c
+}
+
+// Addr reports the listener's address (useful with ":0").
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// schedule runs one recurring spec: an instance now, then one per
+// tick, each with Seed+n, until Runs instances or shutdown.
+func (c *Coordinator) schedule(s Spec) {
+	defer c.wg.Done()
+	t := time.NewTicker(s.Every.D())
+	defer t.Stop()
+	for n := 0; ; n++ {
+		inst := s
+		inst.Seed = s.Seed + int64(n)
+		c.Submit(inst)
+		if s.Runs > 0 && n+1 >= s.Runs {
+			return
+		}
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Submit queues one instance of s and returns its id: the spec name
+// if unused, otherwise name#<n>. Dispatch happens immediately if an
+// agent has capacity.
+func (c *Coordinator) Submit(s Spec) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := s.Name
+	if name == "" {
+		name = "job"
+	}
+	id := name
+	for _, taken := c.jobs[id]; taken; _, taken = c.jobs[id] {
+		c.seq++
+		id = fmt.Sprintf("%s#%d", name, c.seq)
+	}
+	j := &job{id: id, spec: s, state: StatePending, submittedNs: time.Now().UnixNano()}
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	c.queue = append(c.queue, id)
+	c.dispatchLocked()
+	c.cond.Broadcast()
+	return id
+}
+
+// acceptLoop accepts agent connections until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			if c.ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				c.cfg.Logf("coord: accept: %v", err)
+			}
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+// handle speaks the control protocol with one agent connection:
+// register first, then accept/complete/heartbeat frames until the
+// stream ends, with job frames pushed from dispatch on the same
+// connection.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close() //nolint:errcheck // read side
+	stop := context.AfterFunc(c.ctx, func() {
+		conn.SetReadDeadline(time.Unix(1, 0)) //nolint:errcheck // best effort
+	})
+	defer stop()
+	fr, err := otrace.NewFrameReader(conn)
+	if err != nil {
+		c.cfg.Logf("coord: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	first, err := fr.Next()
+	if err != nil || first.Ev != otrace.KindCtrlRegister {
+		c.cfg.Logf("coord: %s: expected register frame", conn.RemoteAddr())
+		return
+	}
+	a := c.register(first.Name, first.Count, source.NewSender(conn))
+	c.cfg.Logf("coord: agent %s connected (capacity %d)", a.name, a.capacity)
+	c.dispatch()
+	for {
+		ev, err := fr.Next()
+		if err != nil {
+			break
+		}
+		a.lastNs.Store(time.Now().UnixNano())
+		switch ev.Ev {
+		case otrace.KindHeartbeat:
+			// Liveness only.
+		case otrace.KindCtrlAccept:
+			c.markAccepted(a, ev.Job)
+		case otrace.KindCtrlComplete:
+			c.complete(a, ev)
+		}
+	}
+	c.disconnect(a)
+	c.cfg.Logf("coord: agent %s disconnected", a.name)
+}
+
+// register adds (or revives) the agent's table entry. A reconnecting
+// agent reuses its row — totals survive the gap; a name collision with
+// a *connected* agent gets a disambiguating suffix.
+func (c *Coordinator) register(name string, capacity int, send *source.Sender) *agentConn {
+	if name == "" {
+		name = "agent"
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := name
+	a, ok := c.agents[name]
+	for n := 2; ok && a.connected; n++ {
+		name = fmt.Sprintf("%s@%d", base, n)
+		a, ok = c.agents[name]
+	}
+	if !ok {
+		a = &agentConn{name: name, running: make(map[string]bool)}
+		c.agents[name] = a
+		c.agentOrder = append(c.agentOrder, name)
+	}
+	a.send = send
+	a.capacity = capacity
+	a.connected = true
+	a.lastNs.Store(time.Now().UnixNano())
+	return a
+}
+
+// dispatch assigns queued instances to connected agents with free
+// capacity, round-robin so a fleet shares load evenly.
+func (c *Coordinator) dispatch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dispatchLocked()
+}
+
+func (c *Coordinator) dispatchLocked() {
+	for len(c.queue) > 0 {
+		a := c.pickLocked()
+		if a == nil {
+			return
+		}
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		j := c.jobs[id]
+		j.state = StateRunning
+		j.agent = a.name
+		j.attempts++
+		j.accepted = false
+		j.startedNs = time.Now().UnixNano()
+		a.running[id] = true
+		// The frame write happens under c.mu: control frames are ~100
+		// bytes and agents drain their sockets, so this never blocks in
+		// practice; serializing it keeps the job table and the wire in the
+		// same order.
+		a.send.Emit(jobEvent(id, j.spec))
+		if a.send.Err() != nil {
+			c.retireLocked(a)
+		}
+	}
+}
+
+// pickLocked finds the next connected agent with free capacity,
+// starting after the last pick.
+func (c *Coordinator) pickLocked() *agentConn {
+	n := len(c.agentOrder)
+	for i := 0; i < n; i++ {
+		a := c.agents[c.agentOrder[(c.rr+i)%n]]
+		if a.connected && len(a.running) < a.capacity {
+			c.rr = (c.rr + i + 1) % n
+			return a
+		}
+	}
+	return nil
+}
+
+// markAccepted records the agent's ack for the lifecycle trail.
+func (c *Coordinator) markAccepted(a *agentConn, id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j := c.jobs[id]; j != nil && j.agent == a.name && j.state == StateRunning {
+		j.accepted = true
+	}
+}
+
+// complete settles one instance: completed on success, re-queued (or
+// failed, out of attempts) on an agent-side execution error.
+func (c *Coordinator) complete(a *agentConn, ev otrace.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[ev.Job]
+	if j == nil || j.agent != a.name || j.state != StateRunning {
+		return // stale: the instance was re-assigned after a disconnect
+	}
+	delete(a.running, ev.Job)
+	j.finishedNs = time.Now().UnixNano()
+	j.probes, j.losses = ev.Probes, ev.Losses
+	if ev.Fault != "" {
+		j.errMsg = ev.Fault
+		if j.attempts >= c.cfg.MaxAttempts {
+			j.state = StateFailed
+			c.cfg.Logf("coord: job %s failed after %d attempts: %s", j.id, j.attempts, j.errMsg)
+		} else {
+			j.state = StatePending
+			c.queue = append(c.queue, j.id)
+			c.cfg.Logf("coord: job %s failed on %s (attempt %d), re-queued: %s",
+				j.id, a.name, j.attempts, j.errMsg)
+		}
+	} else {
+		j.state = StateCompleted
+		j.errMsg = ""
+		a.completed++
+	}
+	c.dispatchLocked()
+	c.cond.Broadcast()
+}
+
+// disconnect retires an agent whose stream ended.
+func (c *Coordinator) disconnect(a *agentConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retireLocked(a)
+	c.dispatchLocked()
+	c.cond.Broadcast()
+}
+
+// retireLocked marks the agent disconnected and re-queues (or fails)
+// its running instances. Callers hold c.mu.
+func (c *Coordinator) retireLocked(a *agentConn) {
+	if !a.connected {
+		return
+	}
+	a.connected = false
+	a.send.Close() //nolint:errcheck // stream already ending
+	for id := range a.running {
+		delete(a.running, id)
+		j := c.jobs[id]
+		if j == nil || j.state != StateRunning {
+			continue
+		}
+		if j.attempts >= c.cfg.MaxAttempts {
+			j.state = StateFailed
+			j.errMsg = "agent lost"
+			j.finishedNs = time.Now().UnixNano()
+			c.cfg.Logf("coord: job %s failed: agent %s lost on final attempt", j.id, a.name)
+		} else {
+			j.state = StatePending
+			j.agent = ""
+			c.queue = append(c.queue, id)
+			c.cfg.Logf("coord: job %s re-queued: agent %s lost", j.id, a.name)
+		}
+	}
+}
+
+// JobCounts aggregates the job table by state.
+type JobCounts struct {
+	Pending   int `json:"pending"`
+	Running   int `json:"running"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+}
+
+// Total sums every state.
+func (jc JobCounts) Total() int {
+	return jc.Pending + jc.Running + jc.Completed + jc.Failed
+}
+
+// JobStatus is one instance's /statusz row.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	State    State  `json:"state"`
+	Agent    string `json:"agent,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Accepted bool   `json:"accepted,omitempty"`
+	Probes   int    `json:"probes,omitempty"`
+	Losses   int    `json:"losses,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// RuntimeSec is dispatch→finish for settled instances, dispatch→now
+	// for running ones.
+	RuntimeSec *float64 `json:"runtime_sec,omitempty"`
+}
+
+// AgentStatus is one agent's /statusz row.
+type AgentStatus struct {
+	Agent     string `json:"agent"`
+	Connected bool   `json:"connected"`
+	Capacity  int    `json:"capacity"`
+	Running   int    `json:"running"`
+	Completed int64  `json:"completed"`
+	// LastSeenAge is seconds since the agent's last frame.
+	LastSeenAge *float64 `json:"last_seen_age_sec,omitempty"`
+	// Stale marks a connected agent silent past Config.StaleAfter.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// Status is the coordinator's /statusz document. Recent is capped at
+// the newest maxRecentJobs instances so a 10k-job load run does not
+// turn /statusz into a database dump; Jobs always counts everything.
+type Status struct {
+	Jobs   JobCounts     `json:"jobs"`
+	Agents []AgentStatus `json:"agents"`
+	Recent []JobStatus   `json:"recent_jobs,omitempty"`
+}
+
+// maxRecentJobs caps Status.Recent.
+const maxRecentJobs = 64
+
+// Counts aggregates the job table by state.
+func (c *Coordinator) Counts() JobCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.countsLocked()
+}
+
+func (c *Coordinator) countsLocked() JobCounts {
+	var jc JobCounts
+	for _, j := range c.jobs {
+		switch j.state {
+		case StatePending:
+			jc.Pending++
+		case StateRunning:
+			jc.Running++
+		case StateCompleted:
+			jc.Completed++
+		case StateFailed:
+			jc.Failed++
+		}
+	}
+	return jc
+}
+
+// Job reports one instance's status row, false for an unknown id.
+func (c *Coordinator) Job(id string) (JobStatus, bool) {
+	now := time.Now().UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.jobs[id]
+	if j == nil {
+		return JobStatus{}, false
+	}
+	return c.jobRowLocked(j, now), true
+}
+
+func (c *Coordinator) jobRowLocked(j *job, now int64) JobStatus {
+	row := JobStatus{
+		ID: j.id, Name: j.spec.Name, State: j.state, Agent: j.agent,
+		Attempts: j.attempts, Accepted: j.accepted,
+		Probes: j.probes, Losses: j.losses, Error: j.errMsg,
+	}
+	switch {
+	case j.finishedNs != 0 && j.startedNs != 0:
+		sec := float64(j.finishedNs-j.startedNs) / float64(time.Second)
+		row.RuntimeSec = &sec
+	case j.state == StateRunning && j.startedNs != 0:
+		sec := float64(now-j.startedNs) / float64(time.Second)
+		row.RuntimeSec = &sec
+	}
+	return row
+}
+
+// Status reports the full /statusz document.
+func (c *Coordinator) Status() Status {
+	now := time.Now().UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Jobs: c.countsLocked()}
+	for _, name := range c.agentOrder {
+		a := c.agents[name]
+		row := AgentStatus{
+			Agent: a.name, Connected: a.connected, Capacity: a.capacity,
+			Running: len(a.running), Completed: a.completed,
+		}
+		if last := a.lastNs.Load(); last != 0 {
+			age := float64(now-last) / float64(time.Second)
+			row.LastSeenAge = &age
+			row.Stale = a.connected && c.cfg.StaleAfter > 0 &&
+				time.Duration(now-last) > c.cfg.StaleAfter
+		}
+		st.Agents = append(st.Agents, row)
+	}
+	sort.Slice(st.Agents, func(i, k int) bool { return st.Agents[i].Agent < st.Agents[k].Agent })
+	start := len(c.order) - maxRecentJobs
+	if start < 0 {
+		start = 0
+	}
+	for _, id := range c.order[start:] {
+		st.Recent = append(st.Recent, c.jobRowLocked(c.jobs[id], now))
+	}
+	return st
+}
+
+// exportMetrics registers the coordinator's gauges, refreshed per
+// scrape.
+func (c *Coordinator) exportMetrics(reg *obs.Registry) {
+	pending := reg.Gauge("coord.jobs.pending")
+	running := reg.Gauge("coord.jobs.running")
+	completed := reg.Gauge("coord.jobs.completed")
+	failed := reg.Gauge("coord.jobs.failed")
+	connected := reg.Gauge("coord.agents.connected")
+	obs.OnScrape(func() {
+		if c.closedFlag.Load() {
+			return
+		}
+		c.mu.Lock()
+		jc := c.countsLocked()
+		conns := 0
+		for _, a := range c.agents {
+			if a.connected {
+				conns++
+			}
+		}
+		c.mu.Unlock()
+		pending.Set(int64(jc.Pending))
+		running.Set(int64(jc.Running))
+		completed.Set(int64(jc.Completed))
+		failed.Set(int64(jc.Failed))
+		connected.Set(int64(conns))
+	})
+}
+
+// WaitIdle blocks until no instance is pending or running (or ctx
+// ends). A coordinator with zero jobs is idle.
+func (c *Coordinator) WaitIdle(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		// Taking the lock serializes with the waiter below: the broadcast
+		// cannot slip into the gap between its ctx check and its Wait.
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		jc := c.countsLocked()
+		if jc.Pending == 0 && jc.Running == 0 {
+			return nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// Close stops accepting, disconnects every agent, and waits for the
+// handlers and schedulers to drain. Idempotent.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.closedFlag.Store(true)
+	agents := make([]*agentConn, 0, len(c.agents))
+	for _, a := range c.agents {
+		agents = append(agents, a)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.cancel()
+	for _, a := range agents {
+		a.send.Close() //nolint:errcheck // shutting down
+	}
+	c.wg.Wait()
+	return err
+}

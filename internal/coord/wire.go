@@ -1,0 +1,80 @@
+package coord
+
+import (
+	"time"
+
+	"netprobe/internal/otrace"
+)
+
+// The control-plane frame mapping. Control frames are otrace Events
+// with ctrl_* kinds, reusing existing Event fields (the wire payload
+// encodes every field anyway, so reuse costs nothing and a version
+// bump is unnecessary — see otrace/wire.go). The table:
+//
+//	kind           field reuse
+//	ctrl_register  Name=agent name, Count=capacity
+//	ctrl_job       Job=instance id, Name=spec name, Dir=mode,
+//	               Flow=target, DeltaNs=δ, PayloadBytes, Count,
+//	               DurNs=duration, Fault=fault plan JSON, Seed
+//	ctrl_accept    Job=instance id
+//	ctrl_complete  Job=instance id, Probes, Losses, DurNs=wall time,
+//	               Fault=error message ("" on success)
+//
+// Seq is -1 on every control frame, like heartbeats: they are
+// plumbing, not probe events.
+
+// registerEvent announces an agent to the coordinator.
+func registerEvent(name string, capacity int) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlRegister, Seq: -1, Name: name, Count: capacity}
+}
+
+// jobEvent pushes one job instance to an agent.
+func jobEvent(id string, s Spec) otrace.Event {
+	return otrace.Event{
+		Ev:           otrace.KindCtrlJob,
+		Seq:          -1,
+		Job:          id,
+		Name:         s.Name,
+		Dir:          s.Mode,
+		Flow:         s.Target,
+		DeltaNs:      int64(s.Delta),
+		PayloadBytes: s.PayloadBytes,
+		Count:        s.Count,
+		DurNs:        int64(s.Duration),
+		Fault:        s.Faults,
+		Seed:         s.Seed,
+	}
+}
+
+// jobFromEvent is jobEvent's inverse.
+func jobFromEvent(ev otrace.Event) (id string, s Spec) {
+	return ev.Job, Spec{
+		Name:         ev.Name,
+		Mode:         ev.Dir,
+		Target:       ev.Flow,
+		Delta:        Duration(ev.DeltaNs),
+		PayloadBytes: ev.PayloadBytes,
+		Count:        ev.Count,
+		Duration:     Duration(ev.DurNs),
+		Faults:       ev.Fault,
+		Seed:         ev.Seed,
+	}
+}
+
+// acceptEvent acknowledges that an agent started a job.
+func acceptEvent(id string) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlAccept, Seq: -1, Job: id}
+}
+
+// completeEvent reports a finished job.
+func completeEvent(id string, res Result, errMsg string, wall time.Duration) otrace.Event {
+	return otrace.Event{
+		Ev:     otrace.KindCtrlComplete,
+		Seq:    -1,
+		Job:    id,
+		Probes: res.Probes,
+		Losses: res.Losses,
+		DurNs:  int64(wall),
+		Fault:  errMsg,
+	}
+}

@@ -152,9 +152,15 @@ func (s *session) sleep(d time.Duration) {
 	}
 }
 
-// retryJitter maps (seed, seq, attempt) to a factor in [0.5, 1.5) via
+// RetryJitter maps (seed, seq, attempt) to a factor in [0.5, 1.5) via
 // a SplitMix64 finalizer, decorrelating concurrent sessions' retry
-// storms without sacrificing replayability.
+// storms without sacrificing replayability. Exported so other layers'
+// reconnect loops (the source Sender's auto-redial, coord agents) can
+// share the supervised sender's backoff shape.
+func RetryJitter(seed int64, seq, attempt int) float64 {
+	return retryJitter(seed, seq, attempt)
+}
+
 func retryJitter(seed int64, seq, attempt int) float64 {
 	z := uint64(seed) + (uint64(seq)+1)*0x9E3779B97F4A7C15 + (uint64(attempt)+1)*0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

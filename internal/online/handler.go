@@ -30,28 +30,29 @@ type overview struct {
 	Dropped int64 `json:"dropped"`
 }
 
-// Handler serves the engine's live state as JSON:
+// Handler serves a View's live state as JSON — one Engine or a sharded
+// Pool, indistinguishably:
 //
 //	GET /online            → all analyzer snapshots plus the drop count
 //	GET /online/{analyzer} → one analyzer's snapshot ("loss", "phase", …)
 //
 // Mount it with RegisterDebug to expose it on every -debug-addr
 // server, next to /metrics and /debug/pprof.
-func Handler(e *Engine) http.Handler {
+func Handler(v View) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/online"), "/")
 		var doc any
 		switch rest {
 		case "":
-			doc = overview{Analyzers: e.Snapshots(), Dropped: e.Dropped()}
+			doc = overview{Analyzers: v.Snapshots(), Dropped: v.Dropped()}
 		default:
-			a := e.Analyzer(rest)
-			if a == nil {
-				http.Error(w, "unknown analyzer "+rest+" (have: "+strings.Join(e.Names(), ", ")+")",
+			s, ok := v.SnapshotOf(rest)
+			if !ok {
+				http.Error(w, "unknown analyzer "+rest+" (have: "+strings.Join(v.Names(), ", ")+")",
 					http.StatusNotFound)
 				return
 			}
-			doc = a.Snapshot()
+			doc = s
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -60,11 +61,11 @@ func Handler(e *Engine) http.Handler {
 	})
 }
 
-// RegisterDebug mounts the engine's handler at /online and /online/ on
+// RegisterDebug mounts the view's handler at /online and /online/ on
 // every debug server started afterwards (see obs.HandleDebug and
 // obs.ServeDebug). Call it before obs.Flags.Setup / obs.ServeDebug.
-func RegisterDebug(e *Engine) {
-	h := Handler(e)
+func RegisterDebug(v View) {
+	h := Handler(v)
 	obs.HandleDebug("/online", h)
 	obs.HandleDebug("/online/", h)
 }

@@ -1,0 +1,260 @@
+package online
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"netprobe/internal/obs"
+	"netprobe/internal/otrace"
+)
+
+// The sharded engine pool. One Engine dispatches every event on a
+// single goroutine — the right shape for one prober, and the wrong one
+// for a fleet: ten thousand concurrent sessions funneled through one
+// dispatcher serialize on it. A Pool splits the stream across N
+// engines by job tag, so per-job event order (the property analyzer
+// convergence relies on) is preserved inside each shard while shards
+// run in parallel. Because every analyzer keys its state strictly
+// per job and a job's events all hash to one shard, the union of the
+// per-shard snapshots is exactly the snapshot one engine would have
+// produced — the bit-equality the pool equivalence tests pin.
+
+// View is the read surface the /online handler serves — satisfied by
+// both a single Engine and a sharded Pool, so the HTTP endpoints and
+// /statusz sections are indifferent to sharding.
+type View interface {
+	// Names lists the analyzer names, sorted.
+	Names() []string
+	// Snapshots returns every analyzer's current snapshot keyed by name.
+	Snapshots() map[string]any
+	// SnapshotOf returns one analyzer's snapshot, reporting false for an
+	// unknown name.
+	SnapshotOf(name string) (any, bool)
+	// Dropped counts events lost to queue overruns; nonzero voids the
+	// exact-convergence guarantee.
+	Dropped() int64
+}
+
+// SnapshotOf implements View for the single engine.
+func (e *Engine) SnapshotOf(name string) (any, bool) {
+	a := e.byName[name]
+	if a == nil {
+		return nil, false
+	}
+	return a.Snapshot(), true
+}
+
+// Merger is implemented by analyzers whose per-shard snapshots combine
+// into the snapshot an unsharded engine would have produced. Jobs are
+// disjoint across shards (a job's events all hash to one shard), so
+// for per-job analyzers the merge is concatenate-and-resort.
+type Merger interface {
+	MergeSnapshots(parts []any) any
+}
+
+// ShardIndex maps a job tag to its shard — FNV-1a over the tag, which
+// spreads the runner's sequential job names evenly. Exported so tests
+// and tooling can predict placement; changing this function invalidates
+// nothing persistent (shards are an in-process construct) but breaks
+// the demo's occupancy expectations, so treat it as part of the pool's
+// contract.
+func ShardIndex(job string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(job)) //nolint:errcheck // fnv never fails
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Pool fans one event stream across N single-goroutine engines hashed
+// by job tag. It is an otrace.Sink (feed it exactly like an Engine's
+// bus) and a View (serve it exactly like an Engine).
+type Pool struct {
+	buses   []*Bus
+	engines []*Engine
+	// analyzers[i] is shard i's analyzer set; shard 0's set also
+	// provides the Merger used to combine snapshots.
+	names  []string
+	merged map[string]Merger
+	closed atomic.Bool
+}
+
+// NewPool builds a pool of `shards` engines (minimum 1), each with its
+// own bus and queue capacity (<= 0 means DefaultQueue), running the
+// analyzers that `analyzers(shard)` returns. The factory is called
+// once per shard and must return analyzer sets with identical Name()
+// lists; analyzers that implement Merger get merged snapshots, others
+// serve the raw []any of per-shard snapshots.
+func NewPool(shards, capacity int, analyzers func(shard int) []Analyzer) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Pool{
+		buses:   make([]*Bus, shards),
+		engines: make([]*Engine, shards),
+		merged:  make(map[string]Merger),
+	}
+	for i := 0; i < shards; i++ {
+		set := analyzers(i)
+		p.buses[i] = NewBus()
+		p.engines[i] = NewEngine(p.buses[i], capacity, set...)
+		if i == 0 {
+			p.names = p.engines[0].Names()
+			for _, a := range set {
+				if m, ok := a.(Merger); ok {
+					p.merged[a.Name()] = m
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Shards reports the pool width.
+func (p *Pool) Shards() int { return len(p.engines) }
+
+// Emit implements otrace.Sink: the event goes to the engine its job
+// tag hashes to. Never blocks; a full shard queue drops and counts.
+func (p *Pool) Emit(ev otrace.Event) {
+	p.buses[ShardIndex(jobKey(ev), len(p.buses))].Emit(ev)
+}
+
+// Close closes every shard's bus; Wait then blocks until each engine
+// has drained its accepted events, at which point snapshots are final.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	for _, b := range p.buses {
+		b.Close()
+	}
+}
+
+// Wait blocks until every shard engine has processed every event
+// accepted before Close.
+func (p *Pool) Wait() {
+	for _, e := range p.engines {
+		e.Wait()
+	}
+}
+
+// Dropped implements View: total events dropped across shards.
+func (p *Pool) Dropped() int64 {
+	var n int64
+	for _, e := range p.engines {
+		n += e.Dropped()
+	}
+	return n
+}
+
+// Names implements View.
+func (p *Pool) Names() []string { return append([]string(nil), p.names...) }
+
+// SnapshotOf implements View: the merged snapshot of the named
+// analyzer across shards.
+func (p *Pool) SnapshotOf(name string) (any, bool) {
+	parts := make([]any, 0, len(p.engines))
+	for _, e := range p.engines {
+		s, ok := e.SnapshotOf(name)
+		if !ok {
+			return nil, false
+		}
+		parts = append(parts, s)
+	}
+	if m, ok := p.merged[name]; ok {
+		return m.MergeSnapshots(parts), true
+	}
+	return parts, true
+}
+
+// Snapshots implements View.
+func (p *Pool) Snapshots() map[string]any {
+	out := make(map[string]any, len(p.names))
+	for _, name := range p.names {
+		if s, ok := p.SnapshotOf(name); ok {
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// ShardStatus is one shard's occupancy row for /statusz.
+type ShardStatus struct {
+	Shard    int   `json:"shard"`
+	QueueLen int   `json:"queue_len"`
+	QueueCap int   `json:"queue_cap"`
+	Dropped  int64 `json:"dropped,omitempty"`
+}
+
+// PoolStatus is the pool's /statusz document: per-shard queue
+// occupancy and drop counts.
+type PoolStatus struct {
+	Shards  int           `json:"shards"`
+	Dropped int64         `json:"dropped"`
+	Queue   []ShardStatus `json:"queues"`
+}
+
+// Status reports per-shard occupancy.
+func (p *Pool) Status() PoolStatus {
+	st := PoolStatus{Shards: len(p.engines)}
+	for i, e := range p.engines {
+		l, c := e.Queue()
+		row := ShardStatus{Shard: i, QueueLen: l, QueueCap: c, Dropped: e.Dropped()}
+		st.Dropped += row.Dropped
+		st.Queue = append(st.Queue, row)
+	}
+	return st
+}
+
+// ExportMetrics registers per-shard occupancy gauges on reg, refreshed
+// on every scrape: online.shard.queue_len{shard=} and
+// online.shard.dropped{shard=}. The hook quiesces after Close (scrape
+// hooks are process-lifetime; pools in tests are not).
+func (p *Pool) ExportMetrics(reg *obs.Registry) {
+	gauges := make([]*obs.Gauge, len(p.engines))
+	drops := make([]*obs.Gauge, len(p.engines))
+	for i := range p.engines {
+		label := strconv.Itoa(i)
+		gauges[i] = reg.Gauge(obs.Label("online.shard.queue_len", "shard", label))
+		drops[i] = reg.Gauge(obs.Label("online.shard.dropped", "shard", label))
+	}
+	obs.OnScrape(func() {
+		if p.closed.Load() {
+			return
+		}
+		for i, e := range p.engines {
+			l, _ := e.Queue()
+			gauges[i].Set(int64(l))
+			drops[i].Set(e.Dropped())
+		}
+	})
+}
+
+// mergeByJob is the shared Merger implementation for per-job snapshot
+// slices: concatenate every shard's rows and re-sort by job name.
+func mergeByJob[S any](parts []any, job func(S) string) any {
+	out := make([]S, 0, len(parts))
+	for _, p := range parts {
+		if rows, ok := p.([]S); ok {
+			out = append(out, rows...)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return job(out[i]) < job(out[k]) })
+	return out
+}
+
+// MergeSnapshots implements Merger for the loss analyzer.
+func (a *LossAnalyzer) MergeSnapshots(parts []any) any {
+	return mergeByJob(parts, func(s LossSnapshot) string { return s.Job })
+}
+
+// MergeSnapshots implements Merger for the phase analyzer.
+func (a *PhaseAnalyzer) MergeSnapshots(parts []any) any {
+	return mergeByJob(parts, func(s PhaseSnapshot) string { return s.Job })
+}
+
+// MergeSnapshots implements Merger for the workload analyzer.
+func (a *WorkloadAnalyzer) MergeSnapshots(parts []any) any {
+	return mergeByJob(parts, func(s WorkloadSnapshot) string { return s.Job })
+}

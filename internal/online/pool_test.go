@@ -1,0 +1,170 @@
+package online_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/faultinject"
+	"netprobe/internal/online"
+	"netprobe/internal/otrace"
+	"netprobe/internal/runner"
+)
+
+// recorder captures the exact event stream a run produced so the same
+// bytes can be replayed into differently-sharded pools.
+type recorder struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (r *recorder) Emit(ev otrace.Event) {
+	r.mu.Lock()
+	r.evs = append(r.evs, ev)
+	r.mu.Unlock()
+}
+
+// TestPoolShardingEquivalence is the sharded-engine acceptance
+// criterion as a test: the same event stream — a multi-job sweep under
+// a chaos fault plan, so the loss analyzer does real gap/exclusion
+// work — fed to a single engine and to pools of 1, 2, and 8 shards
+// produces byte-identical merged snapshots. Per-job loss counts are
+// bit-equal and the μ/workload numbers agree exactly (same float ops
+// in the same per-job order), because a job's events all hash to one
+// shard and analyzers keep strictly per-job state.
+func TestPoolShardingEquivalence(t *testing.T) {
+	plan := &faultinject.Plan{
+		Seed:    99,
+		Drop:    0.10,
+		SendErr: 0.20,
+		Blackholes: []faultinject.Window{
+			{Start: faultinject.Duration(2 * time.Second), End: faultinject.Duration(3 * time.Second)},
+		},
+	}
+	var jobs []runner.Job
+	for i, d := range []time.Duration{20 * time.Millisecond, 40 * time.Millisecond, 50 * time.Millisecond} {
+		cfg := core.INRIAPreset().Config(d, 8*time.Second, int64(i))
+		cfg.Faults = plan
+		jobs = append(jobs, runner.Job{Label: fmt.Sprintf("chaos-%02d δ=%v", i, d), Config: cfg})
+	}
+
+	// One run, recorded, so every consumer sees the identical stream.
+	rec := &recorder{}
+	results := runner.Run(context.Background(), 42, jobs, runner.Sink(rec))
+	if err := runner.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the single unsharded engine.
+	bus := online.NewBus()
+	eng := online.NewEngine(bus, 1<<15, online.DefaultAnalyzers(nil)...)
+	for _, ev := range rec.evs {
+		bus.Emit(ev)
+	}
+	bus.Close()
+	eng.Wait()
+	if d := eng.Dropped(); d != 0 {
+		t.Fatalf("single engine dropped %d events", d)
+	}
+	want, err := json.Marshal(eng.Snapshots())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 8} {
+		pool := online.NewPool(shards, 1<<15, func(int) []online.Analyzer {
+			return online.DefaultAnalyzers(nil)
+		})
+		if got := pool.Shards(); got != shards {
+			t.Fatalf("pool width %d, want %d", got, shards)
+		}
+		for _, ev := range rec.evs {
+			pool.Emit(ev)
+		}
+		pool.Close()
+		pool.Wait()
+		if d := pool.Dropped(); d != 0 {
+			t.Fatalf("shards=%d: pool dropped %d events", shards, d)
+		}
+		got, err := json.Marshal(pool.Snapshots())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("shards=%d: pool snapshot differs from single engine\nsingle: %.300s\npool:   %.300s",
+				shards, want, got)
+		}
+	}
+}
+
+// TestShardIndex pins the hash contract: deterministic, in-range, and
+// degenerate cases route to shard 0.
+func TestShardIndex(t *testing.T) {
+	if got := online.ShardIndex("anything", 1); got != 0 {
+		t.Fatalf("shards=1: got %d", got)
+	}
+	if got := online.ShardIndex("anything", 0); got != 0 {
+		t.Fatalf("shards=0: got %d", got)
+	}
+	hits := make(map[int]int)
+	for i := 0; i < 256; i++ {
+		s := online.ShardIndex(fmt.Sprintf("job-%03d", i), 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("job-%03d: shard %d out of range", i, s)
+		}
+		if s != online.ShardIndex(fmt.Sprintf("job-%03d", i), 8) {
+			t.Fatalf("job-%03d: shard index not deterministic", i)
+		}
+		hits[s]++
+	}
+	// FNV over sequential names should touch every shard; an empty
+	// shard at 256 jobs over 8 shards means the hash is broken.
+	for s := 0; s < 8; s++ {
+		if hits[s] == 0 {
+			t.Errorf("shard %d never hit across 256 sequential job names", s)
+		}
+	}
+}
+
+// TestPoolViewWithoutMerger: analyzers that do not implement Merger
+// still serve through the View — as the raw per-shard parts.
+func TestPoolViewWithoutMerger(t *testing.T) {
+	pool := online.NewPool(2, 16, func(int) []online.Analyzer {
+		return []online.Analyzer{&countingAnalyzer{}}
+	})
+	pool.Emit(otrace.Event{Ev: otrace.KindProbeSent, Job: "a", Seq: 0})
+	pool.Emit(otrace.Event{Ev: otrace.KindProbeSent, Job: "b", Seq: 0})
+	pool.Close()
+	pool.Wait()
+	snap, ok := pool.SnapshotOf("count")
+	if !ok {
+		t.Fatal("no snapshot for count analyzer")
+	}
+	parts, ok := snap.([]any)
+	if !ok {
+		t.Fatalf("unmerged snapshot is %T, want []any of per-shard parts", snap)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts, want one per shard", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.(int)
+	}
+	if total != 2 {
+		t.Fatalf("parts sum to %d events, want 2", total)
+	}
+	if _, ok := pool.SnapshotOf("nope"); ok {
+		t.Fatal("unknown analyzer name reported ok")
+	}
+}
+
+type countingAnalyzer struct{ n int }
+
+func (c *countingAnalyzer) Name() string                { return "count" }
+func (c *countingAnalyzer) HandleEvent(ev otrace.Event) { c.n++ }
+func (c *countingAnalyzer) Snapshot() any               { return c.n }

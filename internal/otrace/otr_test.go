@@ -1,0 +1,207 @@
+package otrace_test
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"netprobe/internal/otrace"
+)
+
+func sampleEvents() []otrace.Event {
+	return []otrace.Event{
+		{Ev: otrace.KindRunStart, Name: "job-0", DeltaNs: 20_000_000,
+			PayloadBytes: 32, WireBytes: 72, BottleneckBps: 1_000_000, Count: 3},
+		{Ev: otrace.KindProbeSent, Seq: 0, T: 0},
+		{Ev: otrace.KindRTT, Seq: 0, T: 21_000_000, RTTNs: 21_000_000},
+		{Ev: otrace.KindProbeSent, Seq: 1, T: 20_000_000},
+		{Ev: otrace.KindDrop, Seq: 1, T: 40_000_000, Queue: "q1", QLen: 7},
+		{Ev: otrace.KindGap, Seq: 2, Count: 5, Fault: "blackhole"},
+	}
+}
+
+func readAll(t *testing.T, path string) []otrace.Event {
+	t.Helper()
+	var got []otrace.Event
+	if err := otrace.ReadFile(path, func(ev otrace.Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return got
+}
+
+// TestWireArchiveRoundTrip: CreateWire writes a binary .otr segment
+// that Read auto-detects by magic and decodes to the identical events.
+func TestWireArchiveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.otr")
+	w, err := otrace.CreateWire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sampleEvents()
+	for _, ev := range evs {
+		w.Emit(ev)
+	}
+	if got := w.Events(); got != int64(len(evs)) {
+		t.Fatalf("writer counted %d events, want %d", got, len(evs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The file leads with the wire magic — the .otr signature.
+	head := make([]byte, 4)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	f.Close() //nolint:errcheck // read side
+	if string(head[:3]) != "OTR" {
+		t.Fatalf("file starts %q, want the OTR magic", head)
+	}
+
+	got := readAll(t, path)
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, evs)
+	}
+}
+
+// TestCreateFileDispatch: CreateFile picks the format from the
+// extension — .otr is wire-framed, anything else is the JSONL text
+// form — and Read handles both transparently.
+func TestCreateFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	evs := sampleEvents()
+	for _, name := range []string{"trace.otr", "trace.jsonl"} {
+		path := filepath.Join(dir, name)
+		w, err := otrace.CreateFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			w.Emit(ev)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readAll(t, path); !reflect.DeepEqual(got, evs) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+	// The two encodings must actually differ (the .otr is binary).
+	bin, err := os.ReadFile(filepath.Join(dir, "trace.otr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bin) == string(txt) {
+		t.Fatal("wire and text encodings are identical; dispatch is broken")
+	}
+	if len(bin) >= len(txt) {
+		t.Errorf("wire form (%d bytes) not smaller than text (%d bytes)", len(bin), len(txt))
+	}
+}
+
+// TestWireArchiveGzip: a gzip-compressed .otr still reads — Read
+// unwraps the gzip layer first, then re-detects the wire magic on the
+// decompressed stream.
+func TestWireArchiveGzip(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "seg.otr")
+	w, err := otrace.CreateWire(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sampleEvents()
+	for _, ev := range evs {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(dir, "seg.otr.gz")
+	f, err := os.Create(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, gzPath); !reflect.DeepEqual(got, evs) {
+		t.Fatal("gzip-wrapped wire archive round trip mismatch")
+	}
+}
+
+// TestWireArchiveTruncated: a mid-frame truncation surfaces as an
+// error naming the frame, not a silent short read.
+func TestWireArchiveTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.otr")
+	w, err := otrace.CreateWire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sampleEvents() {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = otrace.ReadFile(path, func(otrace.Event) error { n++; return nil })
+	if err == nil {
+		t.Fatal("truncated archive read cleanly")
+	}
+	if n == 0 {
+		t.Error("no events decoded before the truncation point")
+	}
+}
+
+// TestWireWriterStream: NewWireWriter works on any io.Writer (a
+// network socket, a pipe) — the same frames CreateWire puts on disk.
+func TestWireWriterStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "by-hand.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := otrace.NewWireWriter(f)
+	evs := sampleEvents()
+	for _, ev := range evs {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Even without the .otr extension the content self-identifies.
+	if got := readAll(t, path); !reflect.DeepEqual(got, evs) {
+		t.Fatal("streamed wire round trip mismatch")
+	}
+}

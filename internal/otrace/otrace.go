@@ -84,6 +84,33 @@ const (
 	// files and logs but never into analyzer pipelines, so they cannot
 	// unbalance the conservation ledger.
 	KindAlert Kind = "alert"
+
+	// The control-frame family (internal/coord). The fleet control plane
+	// rides the same wire framing as measurement events — a coordinator
+	// connection carries these kinds instead of probe lifecycles — but
+	// control frames are plumbing like heartbeats: they never enter
+	// analyzer pipelines, trace files, or the conservation ledger. Field
+	// reuse is documented per kind; because Kind is a self-describing
+	// string, adding this family needs no wire-format version bump (see
+	// wire.go): an old reader decodes the frames and simply does not
+	// recognize the kinds.
+	//
+	// KindCtrlRegister is an agent announcing itself to a coordinator:
+	// Name is the agent's name, Count its job capacity.
+	KindCtrlRegister Kind = "ctrl_register"
+	// KindCtrlJob is a coordinator pushing a job to an agent: Job is the
+	// instance id, Name the spec name, Dir the execution mode ("probe",
+	// "sim", …), Flow the target (address or preset), DeltaNs the probe
+	// interval, PayloadBytes/Count/DurNs the packet size, probe count,
+	// and duration, Fault the JSON fault plan, and Seed the job seed.
+	KindCtrlJob Kind = "ctrl_job"
+	// KindCtrlAccept is an agent acknowledging that it started a job:
+	// Job is the instance id.
+	KindCtrlAccept Kind = "ctrl_accept"
+	// KindCtrlComplete is an agent reporting a finished job: Job is the
+	// instance id, Probes/Losses the result totals, DurNs the wall-clock
+	// execution time, and Fault the error message (empty on success).
+	KindCtrlComplete Kind = "ctrl_complete"
 )
 
 // Event is one trace record. T is nanoseconds from the start of the
@@ -160,6 +187,12 @@ type Writer struct {
 	err error
 	n   atomic.Int64
 
+	// fw, when non-nil, switches the Writer to binary wire framing (the
+	// ".otr" archive format): events go through a FrameWriter instead of
+	// the JSONL encoder. Wire mode is single-segment — rotation counts
+	// JSONL bytes and stays JSONL-only.
+	fw *FrameWriter
+
 	// Rotation state, used only by CreateRotating. maxBytes counts
 	// uncompressed JSONL bytes per segment: the rotation decision must
 	// be independent of gzip's internal state so identical event
@@ -187,6 +220,43 @@ func Create(path string) (*Writer, error) {
 	w := NewWriter(f)
 	w.c = f
 	return w, nil
+}
+
+// WireExt is the conventional extension for wire-framed binary trace
+// files — the ~4× denser archive format that CreateFile selects by
+// extension and Read detects by magic.
+const WireExt = ".otr"
+
+// NewWireWriter returns a Writer streaming binary wire frames to w
+// (see wire.go) instead of JSONL. Like the JSONL Writer it serializes
+// Emit with a mutex and buffers until Close; unlike the relay path it
+// does not flush per event, so an archive writer pays one syscall per
+// buffer, not per frame.
+func NewWireWriter(w io.Writer) *Writer {
+	return &Writer{fw: NewFrameWriter(w)}
+}
+
+// CreateWire opens (truncating) a wire-framed binary trace file at
+// path and returns a Writer that closes it on Close. Read, ReadFile,
+// and FileSource detect the format by magic, so ".otr" files replay
+// interchangeably with JSONL traces.
+func CreateWire(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("otrace: %w", err)
+	}
+	w := NewWireWriter(f)
+	w.c = f
+	return w, nil
+}
+
+// CreateFile opens a trace file choosing the encoding by extension:
+// WireExt selects binary wire framing, anything else JSONL.
+func CreateFile(path string) (*Writer, error) {
+	if filepath.Ext(path) == WireExt {
+		return CreateWire(path)
+	}
+	return Create(path)
 }
 
 // CreateRotating opens a rotating gzip-compressed trace under dir.
@@ -266,6 +336,10 @@ func (f closerFunc) Close() error { return f() }
 
 // Emit implements Sink.
 func (w *Writer) Emit(ev Event) {
+	if w.fw != nil {
+		w.emitWire(ev)
+		return
+	}
 	data, err := json.Marshal(ev)
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -300,6 +374,20 @@ func (w *Writer) Emit(ev Event) {
 	w.n.Add(1)
 }
 
+// emitWire writes one event as a binary frame (wire-mode Writer).
+func (w *Writer) emitWire(ev Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err := w.fw.WriteEvent(ev); err != nil {
+		w.err = err
+		return
+	}
+	w.n.Add(1)
+}
+
 // Events reports how many events have been written so far.
 func (w *Writer) Events() int64 { return w.n.Load() }
 
@@ -308,8 +396,14 @@ func (w *Writer) Events() int64 { return w.n.Load() }
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.bw.Flush(); err != nil && w.err == nil {
-		w.err = fmt.Errorf("otrace: flush: %w", err)
+	var flushErr error
+	if w.fw != nil {
+		flushErr = w.fw.Flush()
+	} else {
+		flushErr = w.bw.Flush()
+	}
+	if flushErr != nil && w.err == nil {
+		w.err = fmt.Errorf("otrace: flush: %w", flushErr)
 	}
 	if w.c != nil {
 		if err := w.c.Close(); err != nil && w.err == nil {
@@ -459,12 +553,14 @@ func (m multiSink) Emit(ev Event) {
 // discarding the whole trace.
 var ErrTruncated = errors.New("otrace: truncated trace")
 
-// Read decodes a JSONL event stream, calling fn for every event in
-// order. Gzip-compressed streams (rotated segments) are detected by
-// magic number and decompressed transparently. A malformed line or a
-// corrupt/truncated gzip stream stops the read after the last good
-// event and returns an error wrapping ErrTruncated; an fn error stops
-// it immediately and is returned as-is (wrapped with the line number).
+// Read decodes an event stream, calling fn for every event in order.
+// The encoding is detected by magic number: gzip streams (rotated
+// segments) are decompressed transparently, wire-framed streams
+// ("OTR2"/"OTR1" magic — CreateWire's .otr archives) are frame-decoded,
+// and anything else is parsed as JSONL. A malformed record or a
+// corrupt/truncated stream stops the read after the last good event
+// and returns an error wrapping ErrTruncated; an fn error stops it
+// immediately and is returned as-is (wrapped with the record number).
 func Read(r io.Reader, fn func(Event) error) error {
 	br := bufio.NewReader(r)
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
@@ -473,9 +569,40 @@ func Read(r io.Reader, fn func(Event) error) error {
 			return fmt.Errorf("%w: gzip: %v", ErrTruncated, err)
 		}
 		defer zr.Close() //nolint:errcheck // read side
-		return readLines(zr, fn)
+		// A gzip member may itself wrap either encoding.
+		return readDetect(bufio.NewReader(zr), fn)
+	}
+	return readDetect(br, fn)
+}
+
+// readDetect dispatches on the (already de-gzipped) stream's leading
+// bytes: wire magic → frames, otherwise JSONL.
+func readDetect(br *bufio.Reader, fn func(Event) error) error {
+	if magic, err := br.Peek(4); err == nil && isWireMagic(magic) {
+		return readFrames(br, fn)
 	}
 	return readLines(br, fn)
+}
+
+// readFrames replays a wire-framed stream through fn. FrameReader
+// errors already wrap ErrTruncated.
+func readFrames(r io.Reader, fn func(Event) error) error {
+	fr, err := NewFrameReader(r)
+	if err != nil {
+		return err
+	}
+	for {
+		ev, err := fr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return fmt.Errorf("otrace: frame %d: %w", fr.Events(), err)
+		}
+	}
 }
 
 // ReadFile opens path and replays its events through fn, handling

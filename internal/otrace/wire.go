@@ -25,10 +25,26 @@ import (
 // format version. Version 2 appended the Value field to the payload;
 // readers also accept version-1 streams, whose frames end before it
 // (Value decodes as 0), so an old sender still feeds a new relay.
+//
+// Versioning discipline: the payload layout (field order and encoding)
+// is what the version digit protects. New event *kinds* — including
+// the fleet control-frame family (KindCtrlRegister/Job/Accept/
+// Complete), which reuses existing fields — ride on the self-describing
+// Kind string and need no version bump; only appending or reordering
+// payload fields does. The same framing now also serves as the ".otr"
+// archive format (CreateWire), which is why Read sniffs this magic to
+// tell wire files from JSONL.
 var (
 	wireMagic   = [4]byte{'O', 'T', 'R', '2'}
 	wireMagicV1 = [4]byte{'O', 'T', 'R', '1'}
 )
+
+// isWireMagic reports whether p opens with a recognized frame-stream
+// magic (any accepted version).
+func isWireMagic(p []byte) bool {
+	return len(p) >= 4 && p[0] == 'O' && p[1] == 'T' && p[2] == 'R' &&
+		(p[3] == '1' || p[3] == '2')
+}
 
 // MaxFrame bounds a frame's payload size. Events are a few hundred
 // bytes; anything near this limit is a corrupt or hostile stream.

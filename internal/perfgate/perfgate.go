@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"netprobe/internal/runner"
 )
@@ -252,6 +253,13 @@ func lossDeltas(label string, oj, nj runner.ManifestJob, lossAbs float64) []Delt
 	return out
 }
 
+// rateMetric reports whether a benchmark metric is a throughput rate
+// (higher is better): named with a per-second suffix, like the
+// sessions/s and events/s the fleet load benchmark reports.
+func rateMetric(name string) bool {
+	return strings.HasSuffix(name, "/s") || strings.HasSuffix(name, "/sec")
+}
+
 func compareBench(oldData, newData []byte, opts Options) (*Report, error) {
 	var oldS, newS benchSnapshot
 	if err := json.Unmarshal(oldData, &oldS); err != nil {
@@ -289,9 +297,16 @@ func compareBench(oldData, newData []byte, opts Options) (*Report, error) {
 			if oldV > 0 {
 				d.Ratio = newV / oldV
 			}
-			// Only time/alloc-like metrics regress upward; all
-			// benchjson metrics (ns/op, B/op, allocs/op) do.
-			if oldV > 0 && d.Ratio > opts.BenchRatio {
+			// Cost-like metrics (ns/op, B/op, allocs/op — the benchjson
+			// defaults) regress upward; throughput metrics, recognized
+			// by a rate suffix ("/s", "/sec": sessions/s, events/s),
+			// regress downward. Both use the same tolerance, applied to
+			// the cost ratio (inverted for rates).
+			costRatio := d.Ratio
+			if rateMetric(m) && newV > 0 {
+				costRatio = oldV / newV
+			}
+			if oldV > 0 && costRatio > opts.BenchRatio {
 				d.Regression = true
 				d.Note = fmt.Sprintf("%+.0f%% (regression)", 100*(d.Ratio-1))
 			} else {

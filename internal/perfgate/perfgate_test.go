@@ -1,6 +1,7 @@
 package perfgate
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -165,5 +166,47 @@ func TestDetectGarbage(t *testing.T) {
 		if _, err := Compare(good, []byte(bad), Options{}); err == nil {
 			t.Errorf("garbage %q accepted", bad)
 		}
+	}
+}
+
+// TestBenchRateMetrics: throughput metrics (rate-suffixed names like
+// sessions/s) regress when they DROP; an improvement — a higher rate —
+// is never flagged even though its new/old ratio exceeds the
+// tolerance. Cost metrics in the same snapshot keep the upward rule.
+func TestBenchRateMetrics(t *testing.T) {
+	snap := func(nsOp, sessions float64) []byte {
+		return []byte(fmt.Sprintf(`{"benchmarks": {"BenchmarkFleetLoad": {
+			"iterations": 1,
+			"metrics": {"ns/op": %g, "sessions/s": %g}}}}`, nsOp, sessions))
+	}
+	old := snap(1000, 8000)
+
+	// Throughput halves: regression.
+	rep, err := Compare(old, snap(1000, 4000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Name, "sessions/s") {
+		t.Fatalf("halved sessions/s: got regressions %+v, want exactly the sessions/s one", regs)
+	}
+
+	// Throughput doubles: clean, despite Ratio 2.0 > BenchRatio.
+	rep, err = Compare(old, snap(1000, 16000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("doubled sessions/s flagged as regression: %+v", regs)
+	}
+
+	// ns/op still regresses upward alongside an unchanged rate.
+	rep, err = Compare(old, snap(2000, 8000), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs = rep.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Name, "ns/op") {
+		t.Fatalf("doubled ns/op: got regressions %+v, want exactly the ns/op one", regs)
 	}
 }

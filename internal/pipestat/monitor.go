@@ -158,3 +158,26 @@ func (m *Monitor) Snapshot() any {
 		Jobs:       jobs,
 	}
 }
+
+// MergeSnapshots implements the online pool's Merger: per-shard
+// monitor snapshots combine by summing applied/active counts and
+// concatenating the per-job rows (jobs are disjoint across shards),
+// re-sorted by job name. Note the ledger side does not merge this way:
+// each shard's monitor registers the same "analyzers" account name on
+// the shared chain and registration replaces, so a sharded wiring must
+// re-register one summed closure after creating its monitors (see
+// cmd/netdyn-relay).
+func (m *Monitor) MergeSnapshots(parts []any) any {
+	out := MonitorSnapshot{Chain: m.chain.Name()}
+	for _, p := range parts {
+		s, ok := p.(MonitorSnapshot)
+		if !ok {
+			continue
+		}
+		out.Applied += s.Applied
+		out.ActiveJobs += s.ActiveJobs
+		out.Jobs = append(out.Jobs, s.Jobs...)
+	}
+	sort.SliceStable(out.Jobs, func(i, k int) bool { return out.Jobs[i].Job < out.Jobs[k].Job })
+	return out
+}

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netprobe/internal/core"
+	"netprobe/internal/otrace"
+)
+
+// wireSweep is tracedSweep in wire mode: job-NNN.otr archives.
+func wireSweep(t *testing.T, rootSeed int64, workers int) ([]Result, string) {
+	t.Helper()
+	dir := t.TempDir()
+	jobs := DeltaSweep(core.INRIAPreset(),
+		[]time.Duration{20 * time.Millisecond, 50 * time.Millisecond},
+		5*time.Second)
+	results := Run(context.Background(), rootSeed, jobs,
+		Workers(workers), Traces(dir), WireTraces())
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	return results, dir
+}
+
+// TestWireTracesWritten: WireTraces produces one .otr archive per job
+// that decodes to the same event sequence the JSONL form records, at a
+// fraction of the bytes.
+func TestWireTracesWritten(t *testing.T) {
+	results, dir := wireSweep(t, 42, 2)
+	textResults, textDir := tracedSweep(t, 42, 2)
+	for i, r := range results {
+		want := filepath.Join(dir, WireTraceFileName(i))
+		if r.TraceFile != want {
+			t.Fatalf("job %d TraceFile %q, want %q", i, r.TraceFile, want)
+		}
+		var wire, text []otrace.Event
+		if err := otrace.ReadFile(r.TraceFile, func(ev otrace.Event) error {
+			wire = append(wire, ev)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := otrace.ReadFile(textResults[i].TraceFile, func(ev otrace.Event) error {
+			text = append(text, ev)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(wire) != len(text) {
+			t.Fatalf("job %d: wire %d events, text %d", i, len(wire), len(text))
+		}
+		for k := range wire {
+			if wire[k] != text[k] {
+				t.Fatalf("job %d event %d: wire %+v, text %+v", i, k, wire[k], text[k])
+			}
+		}
+		wb, err := os.Stat(r.TraceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.Stat(textResults[i].TraceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb.Size() >= tb.Size() {
+			t.Errorf("job %d: .otr %d bytes not smaller than .jsonl %d bytes", i, wb.Size(), tb.Size())
+		}
+	}
+	_ = textDir
+}
+
+// TestWireTracesDeterministicAtAnyWorkerCount: the byte-identity
+// guarantee carries over to the binary form — same seed, different
+// worker counts, identical .otr files.
+func TestWireTracesDeterministicAtAnyWorkerCount(t *testing.T) {
+	_, dir1 := wireSweep(t, 42, 1)
+	_, dir4 := wireSweep(t, 42, 4)
+	for i := 0; i < 2; i++ {
+		name := WireTraceFileName(i)
+		b1, err := os.ReadFile(filepath.Join(dir1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b4, err := os.ReadFile(filepath.Join(dir4, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b4) {
+			t.Errorf("%s differs between worker counts 1 and 4", name)
+		}
+	}
+}

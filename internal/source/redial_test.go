@@ -1,0 +1,214 @@
+package source_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"netprobe/internal/otrace"
+	"netprobe/internal/source"
+)
+
+// collector is a race-safe sink for relay-side deliveries.
+type collector struct {
+	mu  sync.Mutex
+	evs []otrace.Event
+}
+
+func (c *collector) Emit(ev otrace.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.evs)
+}
+
+// TestDialAutoSurvivesRelayRestart is the satellite acceptance test:
+// kill the relay mid-stream, restart it on the same port, and the
+// auto-redialing Sender resumes delivering events — with the
+// conservation invariant Sent+Dropped == Emits intact across the
+// outage (events emitted while disconnected land in Dropped, never
+// block, never double-count).
+func TestDialAutoSurvivesRelayRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	sink1 := &collector{}
+	srv1, err := source.Serve(ln, source.ServerConfig{Sink: sink1, Grace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := source.DialAuto(addr, source.Redial{
+		Backoff:    2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		Seed:       1,
+		Logf:       t.Logf,
+	})
+	defer s.Close() //nolint:errcheck // test teardown
+
+	var emitted int64
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			s.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: int(emitted), T: emitted})
+			emitted++
+		}
+	}
+
+	// Phase 1: events flow to the first relay.
+	emit(50)
+	deadline := time.Now().Add(5 * time.Second)
+	for sink1.len() < 50 {
+		if time.Now().After(deadline) {
+			t.Fatalf("first relay saw %d of 50 events", sink1.len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the relay. The sender discovers the break on a subsequent
+	// Emit (TCP may buffer a few writes before the RST lands); every
+	// event emitted from then until reconnect is counted Dropped.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for s.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never noticed the dead relay")
+		}
+		emit(1)
+		time.Sleep(time.Millisecond)
+	}
+
+	// Phase 2: restart on the same port; the redial loop finds it.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2 := &collector{}
+	srv2, err := source.Serve(ln2, source.ServerConfig{Sink: sink2, Grace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close() //nolint:errcheck // test teardown
+	for s.Redials() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never redialed the restarted relay")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Events resume: keep emitting until the new relay delivers some.
+	for sink2.len() < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted relay saw %d events; stream did not resume", sink2.len())
+		}
+		emit(1)
+		time.Sleep(time.Millisecond)
+	}
+
+	// The books balance: every Emit is in exactly one account.
+	if got := s.Sent() + s.Dropped(); got != emitted {
+		t.Errorf("Sent(%d)+Dropped(%d) = %d, want %d emits", s.Sent(), s.Dropped(), got, emitted)
+	}
+	if s.Dropped() == 0 {
+		t.Error("outage produced zero drops; the break was never exercised")
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("sender still failed after reconnect: %v", err)
+	}
+}
+
+// TestDialAutoStartsDisconnected: DialAuto succeeds even when the
+// relay is not up yet — agents may start first — and connects in the
+// background once it appears.
+func TestDialAutoStartsDisconnected(t *testing.T) {
+	// Reserve a port, then free it so the first dial fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck // releasing the reservation
+
+	s := source.DialAuto(addr, source.Redial{
+		Backoff:    2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		Seed:       2,
+	})
+	defer s.Close() //nolint:errcheck // test teardown
+	s.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: 0})
+	if s.Dropped() != 1 {
+		t.Fatalf("pre-connection emit not dropped: Dropped=%d", s.Dropped())
+	}
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collector{}
+	srv, err := source.Serve(ln2, source.ServerConfig{Sink: sink, Grace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // test teardown
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late relay never received events")
+		}
+		s.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: 1})
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Sent() + s.Dropped(); got == 0 || s.Sent() == 0 {
+		t.Errorf("accounts Sent=%d Dropped=%d; want sends after connect", s.Sent(), s.Dropped())
+	}
+}
+
+// TestDialAutoCloseStopsReconnect: closing a disconnected Sender stops
+// the background dial loop promptly and keeps the accounts frozen.
+func TestDialAutoCloseStopsReconnect(t *testing.T) {
+	// An address nothing listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck // releasing the reservation
+
+	dials := make(chan struct{}, 64)
+	s := source.DialAuto(addr, source.Redial{
+		Backoff:    time.Millisecond,
+		BackoffMax: 2 * time.Millisecond,
+		Dial: func() (io.Writer, error) {
+			dials <- struct{}{}
+			return nil, fmt.Errorf("still down")
+		},
+	})
+	<-dials // the loop is running
+	if err := s.Close(); err == nil {
+		t.Log("close returned nil (no stream ever opened)")
+	}
+	// Drain whatever was in flight, then require silence.
+	time.Sleep(20 * time.Millisecond)
+	for len(dials) > 0 {
+		<-dials
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := len(dials); n != 0 {
+		t.Fatalf("%d dial attempts after Close; reconnect loop still running", n)
+	}
+	s.Emit(otrace.Event{Ev: otrace.KindProbeSent})
+	if s.Dropped() == 0 {
+		t.Error("emit after close not counted dropped")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netprobe/internal/netdyn"
 	"netprobe/internal/obs"
 	"netprobe/internal/otrace"
 )
@@ -26,17 +27,21 @@ import (
 // Sender streams events over an io.Writer as binary frames. It
 // implements otrace.Sink: Emit is serialized by a mutex and flushes
 // each frame promptly so a live consumer sees events as they happen.
-// Write errors are sticky — after the first failure Emit becomes a
-// no-op and Close reports the error — so a dead relay degrades a run
-// to a local-only one instead of failing it. Producers whose pacing
-// must not wait on the network (the real prober) should wrap a Sender
-// in otrace.NewBounded.
+// Write errors are sticky by default — after the first failure Emit
+// becomes a no-op and Close reports the error — so a dead relay
+// degrades a run to a local-only one instead of failing it. DialAuto
+// opts into recovery instead: a broken stream is re-dialed in the
+// background with jittered exponential backoff (the netdyn.Supervise
+// shape), and events flow again on the new connection. Producers whose
+// pacing must not wait on the network (the real prober) should wrap a
+// Sender in otrace.NewBounded.
 //
 // Every Emit lands in exactly one of two accounts: Sent (the frame and
-// its flush succeeded) or Dropped (the stream was already dead, closed,
-// or died on this write) — the conservation property the pipeline
-// ledger audits (internal/pipestat). Heartbeats (StartHeartbeats) are
-// plumbing, not events, and count in neither.
+// its flush succeeded) or Dropped (the stream was dead, closed,
+// redialing, or died on this write) — the conservation property the
+// pipeline ledger audits (internal/pipestat), which holds across any
+// number of reconnections. Heartbeats (StartHeartbeats) are plumbing,
+// not events, and count in neither.
 type Sender struct {
 	mu     sync.Mutex
 	fw     *otrace.FrameWriter
@@ -44,6 +49,12 @@ type Sender struct {
 	err    error
 	closed bool
 	hbStop chan struct{}
+
+	// Auto-redial state (nil redial = classic sticky-error Sender).
+	redial    *Redial
+	redialing bool
+	stopc     chan struct{}
+	redials   atomic.Int64
 
 	sent    atomic.Int64
 	dropped atomic.Int64
@@ -69,6 +80,134 @@ func Dial(addr string) (*Sender, error) {
 	return NewSender(conn), nil
 }
 
+// Redial configures a Sender's opt-in automatic reconnection.
+type Redial struct {
+	// Dial opens a replacement stream. If the returned writer is also an
+	// io.Closer the Sender closes it on the next failure or on Close.
+	// DialAuto defaults it to a TCP dial of the configured address.
+	Dial func() (io.Writer, error)
+	// Backoff is the first retry delay and BackoffMax its cap; each
+	// failed attempt doubles the delay (±50% deterministic jitter via
+	// netdyn.RetryJitter — the Supervise backoff shape). Defaults:
+	// 100ms and 5s.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Seed decorrelates concurrent senders' retry storms while keeping
+	// each sender's schedule replayable.
+	Seed int64
+	// Logf, if non-nil, logs disconnects and reconnects.
+	Logf func(format string, args ...any)
+}
+
+// DialAuto returns a Sender that streams to addr and, unlike Dial,
+// recovers from broken connections: a write failure (or a failed
+// initial dial) drops the events that hit it and starts a background
+// reconnect loop, and once the redial lands events flow on the new
+// stream. The Sent/Dropped conservation property is unchanged — events
+// emitted while disconnected are dropped, never blocked or buffered —
+// so a prober survives a relay restart at the cost of the events that
+// arrived during the outage (the relay's ledger stays balanced on both
+// sides of the gap). DialAuto never fails: when the first dial is
+// refused it returns a disconnected Sender that keeps trying, which is
+// what lets fleet agents start before their relay.
+func DialAuto(addr string, r Redial) *Sender {
+	if r.Dial == nil {
+		r.Dial = func() (io.Writer, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return conn, nil
+		}
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 100 * time.Millisecond
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = 5 * time.Second
+	}
+	if r.Logf == nil {
+		r.Logf = func(string, ...any) {}
+	}
+	s := &Sender{redial: &r, stopc: make(chan struct{})}
+	if w, err := r.Dial(); err == nil {
+		s.attach(w)
+	} else {
+		s.err = err
+		s.redialing = true
+		go s.reconnectLoop()
+	}
+	return s
+}
+
+// attach points the Sender at a fresh stream. Callers either hold s.mu
+// or own the Sender exclusively (constructor).
+func (s *Sender) attach(w io.Writer) {
+	s.fw = otrace.NewFrameWriter(w)
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	} else {
+		s.c = nil
+	}
+	s.err = nil
+}
+
+// Redials reports how many reconnections have succeeded.
+func (s *Sender) Redials() int64 { return s.redials.Load() }
+
+// fail records a stream error. With redial configured it also retires
+// the dead stream and starts (at most one) background reconnect loop;
+// otherwise the error is sticky, as ever. Callers hold s.mu.
+func (s *Sender) fail(err error) {
+	s.err = err
+	if s.redial == nil || s.closed || s.redialing {
+		return
+	}
+	if s.c != nil {
+		s.c.Close() //nolint:errcheck // stream already broken
+		s.c = nil
+	}
+	s.fw = nil
+	s.redialing = true
+	s.redial.Logf("source: stream broken, redialing: %v", err)
+	go s.reconnectLoop()
+}
+
+// reconnectLoop re-dials until it lands a stream or the Sender closes.
+func (s *Sender) reconnectLoop() {
+	backoff := s.redial.Backoff
+	for attempt := 0; ; attempt++ {
+		w, err := s.redial.Dial()
+		if err == nil {
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				if c, ok := w.(io.Closer); ok {
+					c.Close() //nolint:errcheck // discarding unused stream
+				}
+				return
+			}
+			s.attach(w)
+			s.redialing = false
+			s.mu.Unlock()
+			s.redials.Add(1)
+			s.redial.Logf("source: reconnected after %d attempts", attempt+1)
+			return
+		}
+		d := time.Duration(float64(backoff) * netdyn.RetryJitter(s.redial.Seed, 0, attempt))
+		if backoff *= 2; backoff > s.redial.BackoffMax {
+			backoff = s.redial.BackoffMax
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-s.stopc:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
 // Emit implements otrace.Sink.
 func (s *Sender) Emit(ev otrace.Event) {
 	s.mu.Lock()
@@ -83,11 +222,11 @@ func (s *Sender) Emit(ev otrace.Event) {
 // writeLocked frames and flushes one event, reporting whether it made
 // it onto the stream. Callers hold s.mu.
 func (s *Sender) writeLocked(ev otrace.Event) bool {
-	if s.err != nil || s.closed {
+	if s.err != nil || s.closed || s.fw == nil {
 		return false
 	}
 	if err := s.fw.WriteEvent(ev); err != nil {
-		s.err = err
+		s.fail(err)
 		return false
 	}
 	if err := s.fw.Flush(); err != nil {
@@ -95,7 +234,7 @@ func (s *Sender) writeLocked(ev otrace.Event) bool {
 		// now broken: account it as dropped — the receiver's FrameReader
 		// discards a truncated trailing frame, so the conservative account
 		// matches what the far side can actually apply.
-		s.err = err
+		s.fail(err)
 		return false
 	}
 	return true
@@ -152,9 +291,10 @@ func (s *Sender) Err() error {
 	return s.err
 }
 
-// Close stops the heartbeats, flushes the stream, closes the
-// underlying connection if the Sender owns one, and returns the first
-// error encountered. Emits after Close count as dropped.
+// Close stops the heartbeats and any reconnect loop, flushes the
+// stream, closes the underlying connection if the Sender owns one, and
+// returns the first error encountered. Emits after Close count as
+// dropped.
 func (s *Sender) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -166,8 +306,13 @@ func (s *Sender) Close() error {
 		return s.err
 	}
 	s.closed = true
-	if err := s.fw.Flush(); err != nil && s.err == nil {
-		s.err = err
+	if s.stopc != nil {
+		close(s.stopc)
+	}
+	if s.fw != nil {
+		if err := s.fw.Flush(); err != nil && s.err == nil {
+			s.err = err
+		}
 	}
 	if s.c != nil {
 		if err := s.c.Close(); err != nil && s.err == nil {
