@@ -7,7 +7,7 @@ GO ?= go
 BASELINE ?= BENCH_2026-08-09.json
 CURRENT ?= experiments-manifest.json
 
-.PHONY: build test race vet vet-tags bench bench-snapshot bench-current chaos check perf-gate perf-gate-check online-demo sources-demo health-demo dashboard-demo fleet-load fleet-demo
+.PHONY: build test race vet vet-tags bench bench-snapshot bench-current chaos fleet-chaos check perf-gate perf-gate-check online-demo sources-demo health-demo dashboard-demo fleet-load fleet-demo
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,22 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faultinject/... ./internal/pipestat/... \
 		./internal/online/... ./internal/coord/...
 
-check: build vet-tags race chaos sources-demo health-demo dashboard-demo fleet-demo perf-gate-check
+# fleet-chaos is the full-fleet chaos soak (coord.RunChaos): a journaled
+# coordinator, agents, and a relay on loopback, with a seeded schedule
+# SIGKILLing the coordinator (journal abandoned mid-stream), random
+# agents, and the relay mid-campaign under a fault-injection plan.
+# Asserts every instance settles exactly once, the journal replays to
+# the same final table, and the pipeline ledger balances. CHAOS_SECONDS
+# scales the campaign; CHAOS_SEED reschedules the kills.
+CHAOS_SECONDS ?= 4
+CHAOS_SEED ?= 1
+
+fleet-chaos:
+	CHAOS_SECONDS=$(CHAOS_SECONDS) CHAOS_SEED=$(CHAOS_SEED) \
+		$(GO) test -race -count=1 -run 'TestFleetChaos|TestChaosCoordinatorKillExactlyOnce' \
+		-v ./internal/coord/
+
+check: build vet-tags race chaos fleet-chaos sources-demo health-demo dashboard-demo fleet-demo perf-gate-check
 
 # online-demo smoke-tests the online analysis engine end to end: a
 # short seeded sweep with -online, the /online handler curled while

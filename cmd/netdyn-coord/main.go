@@ -9,6 +9,9 @@
 //
 //	netdyn-coord [-listen 127.0.0.1:7788] [-jobs jobs.json]
 //	             [-max-attempts 3] [-stale-after 10s]
+//	             [-journal coord.otr] [-journal-sync interval]
+//	             [-journal-max-bytes 4194304]
+//	             [-lease 0s] [-recovery-grace 1s]
 //	             [-wait] [-linger 0s]
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	             [-version]
@@ -26,12 +29,28 @@
 // -max-attempts); agents reconnect on their own, so either side
 // restarts without losing the job table's integrity.
 //
+// -journal makes the job table durable: every transition is appended
+// to a ctrl_* write-ahead journal in the standard OTR2 framing, and a
+// restart with the same path replays it — completed work stays
+// completed, instances that were running are re-queued after
+// -recovery-grace (long enough for a surviving agent to resend its
+// completion first), and recurring specs resume their recurrence
+// index instead of restarting it. -journal-sync picks the fsync
+// policy (always, interval, none) and -journal-max-bytes the
+// compaction threshold. -lease enables heartbeat-renewed agent
+// leases: an agent silent past the lease is evicted and its
+// instances re-queued, catching half-dead peers whose TCP connection
+// never closes.
+//
 // The coordinator surfaces itself through the standard observability
 // stack with zero new serving code: /statusz carries the job counts,
-// agent table, and recent instances; /metrics carries the
-// coord.jobs.{pending,running,completed,failed} and
-// coord.agents.connected gauges (and, with -history, their tshist
-// ring buffers feed /dashboard like any other gauge).
+// agent table (with lease age and eviction columns), journal stats,
+// and recent instances; /metrics carries the
+// coord.jobs.{pending,running,completed} gauges, the
+// coord.jobs.{requeued,failed} and coord.agents.evicted counters,
+// and the coord.jobs.starved gauge feeding the default agents_lost
+// alert rule (and, with -history, their tshist ring buffers feed
+// /dashboard like any other gauge).
 //
 // -wait exits once the job table is idle — no pending or running
 // instances — the batch-driver mode the fleet demo uses. It suits
@@ -66,6 +85,16 @@ func main() {
 		maxAtt     = flag.Int("max-attempts", 3, "dispatch attempts per job instance before it fails")
 		staleAfter = flag.Duration("stale-after", 10*time.Second,
 			"mark a connected agent stale on /statusz after this much control-plane silence (0 disables)")
+		journalPath = flag.String("journal", "",
+			"write-ahead journal file; an existing journal is replayed so the job table survives restarts")
+		journalSync = flag.String("journal-sync", string(coord.SyncInterval),
+			"journal fsync policy: always, interval, or none")
+		journalMax = flag.Int64("journal-max-bytes", 4<<20,
+			"compact the journal when it outgrows this many bytes (-1 never)")
+		lease = flag.Duration("lease", 0,
+			"evict agents silent past this heartbeat lease and re-queue their jobs (0 disables)")
+		recoveryGrace = flag.Duration("recovery-grace", time.Second,
+			"hold recovered running instances this long before re-dispatch, so surviving agents can resend completions")
 		wait = flag.Bool("wait", false,
 			"exit once every job has settled instead of serving until SIGINT/SIGTERM")
 		linger = flag.Duration("linger", 0,
@@ -84,15 +113,41 @@ func main() {
 		}
 	}
 
+	var (
+		journal   *coord.Journal
+		recovered *coord.Recovered
+	)
+	if *journalPath != "" {
+		var err error
+		journal, recovered, err = coord.OpenJournal(*journalPath, coord.JournalOptions{
+			Sync:     coord.SyncPolicy(*journalSync),
+			MaxBytes: *journalMax,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if recovered != nil && len(recovered.Jobs) > 0 {
+			jc := recovered.Counts()
+			slog.Info("journal recovered", "path", *journalPath,
+				"jobs", len(recovered.Jobs), "pending", jc.Pending,
+				"running", jc.Running, "completed", jc.Completed,
+				"failed", jc.Failed, "truncated", recovered.Truncated)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
 	c := coord.Serve(ln, coord.Config{
-		Specs:       specs,
-		MaxAttempts: *maxAtt,
-		StaleAfter:  *staleAfter,
-		Metrics:     obs.Default,
+		Specs:         specs,
+		MaxAttempts:   *maxAtt,
+		StaleAfter:    *staleAfter,
+		Journal:       journal,
+		Recovered:     recovered,
+		RecoveryGrace: *recoveryGrace,
+		LeaseTimeout:  *lease,
+		Metrics:       obs.Default,
 		Logf: func(format string, args ...any) {
 			slog.Info(fmt.Sprintf(format, args...))
 		},
@@ -123,6 +178,11 @@ func main() {
 	}
 	if err := c.Close(); err != nil {
 		slog.Error("closing coordinator", "err", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			slog.Error("closing journal", "err", err)
+		}
 	}
 	if *linger > 0 {
 		slog.Info("lingering; final state stays scrapeable", "for", *linger)

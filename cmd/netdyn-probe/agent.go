@@ -31,7 +31,8 @@ import (
 // (counted, conserved) but never kills the agent.
 
 // runAgentMode is main's -agent branch. It blocks until SIGINT/SIGTERM.
-func runAgentMode(coordAddr, name string, capacity int, relay string, faultsPath string) error {
+func runAgentMode(coordAddr, name string, capacity int, heartbeat time.Duration,
+	relay string, faultsPath string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -76,9 +77,10 @@ func runAgentMode(coordAddr, name string, capacity int, relay string, faultsPath
 
 	fmt.Printf("agent %s: executing jobs from %s (capacity %d)\n", name, coordAddr, capacity)
 	err := coord.RunAgent(ctx, coordAddr, coord.AgentConfig{
-		Name:     name,
-		Capacity: capacity,
-		Sink:     sink,
+		Name:      name,
+		Capacity:  capacity,
+		Heartbeat: heartbeat,
+		Sink:      sink,
 		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
 			return executeJob(ctx, spec, sink, defaultPlan)
 		},

@@ -17,7 +17,7 @@
 //	             [-log info] [-logfmt text|json] [-debug-addr :6060]
 //	             [-version]
 //	netdyn-probe -agent coord:port [-agent-name x] [-capacity 1]
-//	             [-relay host:port] [-faults plan.json] [...]
+//	             [-agent-hb 2s] [-relay host:port] [-faults plan.json] [...]
 //
 // With no -count, the probe runs for the paper's 10 minutes
 // (duration/delta packets). -report 0 disables the in-flight reports.
@@ -111,8 +111,10 @@ func main() {
 			"fault-injection plan (JSON, see internal/faultinject) applied to the probe socket")
 		agent = flag.String("agent", "",
 			"fleet mode: register with the netdyn-coord coordinator at this address and execute pushed jobs (ignores -target)")
-		agentName   = flag.String("agent-name", "", "agent name in fleet mode (default <hostname>-<pid>)")
-		capacity    = flag.Int("capacity", 1, "concurrent jobs this agent accepts in fleet mode")
+		agentName = flag.String("agent-name", "", "agent name in fleet mode (default <hostname>-<pid>)")
+		capacity  = flag.Int("capacity", 1, "concurrent jobs this agent accepts in fleet mode")
+		agentHB   = flag.Duration("agent-hb", 2*time.Second,
+			"control-plane heartbeat interval in fleet mode; keep well under the coordinator's -lease")
 		obsFlags    = obs.RegisterFlags(flag.CommandLine)
 		tshistFlags = tshist.RegisterFlags(flag.CommandLine)
 	)
@@ -137,7 +139,7 @@ func main() {
 			}
 			name = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		if err := runAgentMode(*agent, name, *capacity, *relay, *faults); err != nil {
+		if err := runAgentMode(*agent, name, *capacity, *agentHB, *relay, *faults); err != nil {
 			log.Fatal(err)
 		}
 		return

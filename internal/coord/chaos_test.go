@@ -1,0 +1,91 @@
+package coord
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// chaosEnv reads an integer knob from the environment so CI can scale
+// the soak (CHAOS_SECONDS, CHAOS_SEED) without recompiling.
+func chaosEnv(t *testing.T, name string, def int64) int64 {
+	t.Helper()
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("bad %s=%q: %v", name, v, err)
+	}
+	return n
+}
+
+// TestFleetChaos is the full-fleet chaos soak: coordinator SIGKILLs,
+// relay restarts, agent kills, a zombie agent pinned to lease eviction,
+// and a lossy data plane — then the exactly-once, journal-replay, and
+// conservation audits. CHAOS_SECONDS and CHAOS_SEED scale it from CI.
+func TestFleetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	secs := chaosEnv(t, "CHAOS_SECONDS", 4)
+	seed := chaosEnv(t, "CHAOS_SEED", 1)
+	res, err := RunChaos(context.Background(), ChaosConfig{
+		Seed:     seed,
+		Duration: time.Duration(secs) * time.Second,
+		Journal:  filepath.Join(t.TempDir(), "chaos.otr"),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos soak: %v (result %+v)", err, res)
+	}
+	t.Logf("chaos: %d jobs settled, %d executions, %d requeued, %d evicted, "+
+		"%d/%d/%d coord/agent/relay restarts, emitted=%d sent=%d dropped=%d delivered=%d in %s",
+		res.Completed, res.Executions, res.Requeued, res.Evicted,
+		res.CoordRestarts, res.AgentRestarts, res.RelayRestarts,
+		res.Emitted, res.Sent, res.Dropped, res.Delivered, res.Wall.Round(time.Millisecond))
+	if !res.ReplayMatch {
+		t.Fatal("journal replay did not match the live table")
+	}
+	if res.CoordRestarts < 1 {
+		t.Fatalf("schedule performed no coordinator kills: %+v", res)
+	}
+}
+
+// TestChaosCoordinatorKillExactlyOnce isolates the acceptance
+// scenario: SIGKILL only the coordinator mid-campaign (agents and
+// relay stay healthy, no lease churn), restart it from the journal,
+// and require that no settled instance was executed twice — work
+// finished during the outage must settle via the resend buffer within
+// the recovery grace, not be re-dispatched.
+func TestChaosCoordinatorKillExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	seed := chaosEnv(t, "CHAOS_SEED", 1)
+	res, err := RunChaos(context.Background(), ChaosConfig{
+		Seed:         seed + 100,
+		Duration:     3 * time.Second,
+		Jobs:         80,
+		CoordKills:   2,
+		NoAgentKills: true,
+		NoRelayKills: true,
+		NoZombie:     true,
+		Journal:      filepath.Join(t.TempDir(), "chaos.otr"),
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos soak: %v (result %+v)", err, res)
+	}
+	if res.Executions != int64(res.Completed) {
+		t.Fatalf("double execution: %d executions for %d settled instances (%+v)",
+			res.Executions, res.Completed, res)
+	}
+	if !res.ReplayMatch {
+		t.Fatal("journal replay did not match the live table")
+	}
+}

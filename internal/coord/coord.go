@@ -102,6 +102,13 @@ type Spec struct {
 	// Seed drives the job's randomness. Recurring instances run with
 	// Seed+n so repeats are decorrelated but replayable.
 	Seed int64 `json:"seed,omitempty"`
+	// Deadline bounds one execution attempt. The agent cancels the
+	// executor's context at the deadline and reports an error complete;
+	// the coordinator additionally re-queues an instance whose agent
+	// has not settled it well past the deadline, so a hung RunFunc (or
+	// a wedged agent) cannot pin an instance forever. Zero means no
+	// bound.
+	Deadline Duration `json:"deadline,omitempty"`
 	// Every, when positive, makes the spec recurring: the coordinator
 	// submits a fresh instance immediately and then on every tick.
 	Every Duration `json:"every,omitempty"`

@@ -1,0 +1,370 @@
+package coord_test
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netprobe/internal/coord"
+	"netprobe/internal/otrace"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "coord.otr")
+}
+
+// TestJournalRoundTrip: a journaled campaign replays to the same table
+// — states, attempts, probe counts, and the id counter — and a small
+// MaxBytes bound forces mid-flight compactions without changing what
+// replay sees.
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	jn, rec, err := coord.OpenJournal(path, coord.JournalOptions{MaxBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 0 {
+		t.Fatalf("fresh journal recovered %d jobs", len(rec.Jobs))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := coord.Serve(ln, coord.Config{Journal: jn, Recovered: rec})
+	ctx := waitCtx(t)
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "a1", Capacity: 4,
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			return coord.Result{Probes: int(spec.Seed)}, nil
+		},
+	})
+	const jobs = 40
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		ids = append(ids, c.Submit(coord.Spec{Name: "rt", Seed: int64(i + 1)}))
+	}
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Journal == nil || st.Journal.Appends == 0 {
+		t.Fatalf("journal status missing or idle: %+v", st.Journal)
+	}
+	if st.Journal.Compactions == 0 {
+		t.Errorf("2 KiB bound never compacted (size %d)", st.Journal.Bytes)
+	}
+	live := make(map[string]coord.JobStatus, jobs)
+	for _, id := range ids {
+		row, ok := c.Job(id)
+		if !ok {
+			t.Fatalf("job %s missing", id)
+		}
+		live[id] = row
+	}
+	c.Close()  //nolint:errcheck // test teardown
+	jn.Close() //nolint:errcheck // test teardown
+
+	rec2, err := coord.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Truncated {
+		t.Error("clean journal reported truncation")
+	}
+	if got := rec2.Counts(); got.Completed != jobs || got.Total() != jobs {
+		t.Fatalf("replayed counts %+v, want %d completed", got, jobs)
+	}
+	if rec2.MaxSeq == 0 {
+		t.Error("replay lost the id counter (MaxSeq 0 after rt#N ids)")
+	}
+	for _, rj := range rec2.Jobs {
+		row := live[rj.ID]
+		if rj.State != row.State || rj.Attempts != row.Attempts || rj.Probes != row.Probes {
+			t.Errorf("replay %s = {%s a%d p%d}, live {%s a%d p%d}",
+				rj.ID, rj.State, rj.Attempts, rj.Probes, row.State, row.Attempts, row.Probes)
+		}
+	}
+}
+
+// TestJournalTruncatedTail: a journal whose last frame was torn by a
+// crash replays its durable prefix and reports Truncated — and
+// OpenJournal compacts the truncated file back to a clean one.
+func TestJournalTruncatedTail(t *testing.T) {
+	path := journalPath(t)
+	jn, _, err := coord.OpenJournal(path, coord.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		jn.Append(otrace.Event{Ev: otrace.KindCtrlSubmit, Seq: -1,
+			Job: []string{"a", "b", "c"}[i], Name: "trunc", SentNs: int64(i + 1)})
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail frame mid-write, as a crash would.
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := coord.Recover(path)
+	if err != nil {
+		t.Fatalf("truncated journal should replay its prefix: %v", err)
+	}
+	if !rec.Truncated {
+		t.Error("torn tail frame not reported as truncation")
+	}
+	if len(rec.Jobs) != 2 || rec.Jobs[0].ID != "a" || rec.Jobs[1].ID != "b" {
+		t.Fatalf("prefix lost: recovered %+v, want jobs a and b", rec.Jobs)
+	}
+
+	// Reopening compacts: the rewritten file replays clean.
+	jn2, rec2, err := coord.OpenJournal(path, coord.JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Jobs) != 2 {
+		t.Fatalf("reopen recovered %d jobs, want 2", len(rec2.Jobs))
+	}
+	jn2.Close() //nolint:errcheck // test teardown
+	rec3, err := coord.Recover(path)
+	if err != nil || rec3.Truncated {
+		t.Fatalf("compacted journal not clean: truncated=%v err=%v", rec3.Truncated, err)
+	}
+}
+
+// killableCoord serves a journaled coordinator on a fixed address so a
+// restarted generation can rebind the same port the agents keep
+// dialing.
+type killableCoord struct {
+	t    *testing.T
+	path string
+	addr string
+	c    *coord.Coordinator
+	jn   *coord.Journal
+}
+
+func startKillable(t *testing.T, path string, cfg coord.Config) *killableCoord {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &killableCoord{t: t, path: path, addr: ln.Addr().String()}
+	k.serve(ln, cfg)
+	t.Cleanup(func() {
+		k.c.Close()  //nolint:errcheck // test teardown
+		k.jn.Close() //nolint:errcheck // test teardown
+	})
+	return k
+}
+
+func (k *killableCoord) serve(ln net.Listener, cfg coord.Config) {
+	k.t.Helper()
+	jn, rec, err := coord.OpenJournal(k.path, coord.JournalOptions{})
+	if err != nil {
+		k.t.Fatal(err)
+	}
+	cfg.Journal = jn
+	cfg.Recovered = rec
+	cfg.Logf = k.t.Logf
+	k.c = coord.Serve(ln, cfg)
+	k.jn = jn
+}
+
+// restart SIGKILLs the current generation and recovers a new one from
+// the journal on the same address.
+func (k *killableCoord) restart(cfg coord.Config) {
+	k.t.Helper()
+	k.c.Kill()
+	ln, err := net.Listen("tcp", k.addr)
+	if err != nil {
+		k.t.Fatal(err)
+	}
+	k.serve(ln, cfg)
+}
+
+// TestRecoveryRequeuesRunning: an instance that was running when the
+// coordinator was SIGKILLed — and whose agent never re-reports a
+// success — is re-queued from the journal and completes on a second
+// dispatch.
+func TestRecoveryRequeuesRunning(t *testing.T) {
+	k := startKillable(t, journalPath(t), coord.Config{RecoveryGrace: 100 * time.Millisecond})
+	ctx := waitCtx(t)
+	started := make(chan struct{}, 4)
+	var runs atomic.Int64
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, k.addr, coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name:    "a1",
+		Backoff: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			if runs.Add(1) == 1 {
+				started <- struct{}{}
+				<-ctx.Done() // first attempt dies with the first generation
+				return coord.Result{}, ctx.Err()
+			}
+			return coord.Result{Probes: 3}, nil
+		},
+	})
+	id := k.c.Submit(coord.Spec{Name: "requeue-me"})
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("job never dispatched")
+	}
+
+	k.restart(coord.Config{RecoveryGrace: 100 * time.Millisecond})
+	if js, ok := k.c.Job(id); !ok || js.State == coord.StateRunning {
+		t.Fatalf("recovered row %+v: a running instance must not replay as running", js)
+	}
+	if err := k.c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := k.c.Job(id)
+	if js.State != coord.StateCompleted || js.Attempts != 2 {
+		t.Fatalf("job %+v, want completed on attempt 2 after recovery re-queue", js)
+	}
+	if st := k.c.Status(); st.Requeued != 1 {
+		t.Errorf("requeued counter %d, want 1 (the recovery re-queue)", st.Requeued)
+	}
+}
+
+// TestRecoveryDuplicateComplete: work finished during the outage
+// settles through the agent's resent ctrl_complete inside the recovery
+// grace — attempts stays 1 and the executor never runs twice.
+func TestRecoveryDuplicateComplete(t *testing.T) {
+	k := startKillable(t, journalPath(t), coord.Config{})
+	ctx := waitCtx(t)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var runs atomic.Int64
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, k.addr, coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name:    "a1",
+		Backoff: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			runs.Add(1)
+			started <- struct{}{}
+			<-release // finish *after* the coordinator dies, ignoring ctx
+			return coord.Result{Probes: 5}, nil
+		},
+	})
+	id := k.c.Submit(coord.Spec{Name: "outage-finisher"})
+	select {
+	case <-started:
+	case <-ctx.Done():
+		t.Fatal("job never dispatched")
+	}
+	k.c.Kill()
+	close(release) // the work completes into the dead connection
+
+	// Restart with a generous grace: the resent completion must win the
+	// race against re-dispatch.
+	ln, err := net.Listen("tcp", k.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.serve(ln, coord.Config{RecoveryGrace: 2 * time.Second})
+	if err := k.c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := k.c.Job(id)
+	if js.State != coord.StateCompleted || js.Attempts != 1 || js.Probes != 5 {
+		t.Fatalf("job %+v, want settled by the resent completion (attempt 1, 5 probes)", js)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("executor ran %d times, want exactly once", got)
+	}
+}
+
+// TestRecoveryRecurringResumes: a recurring spec interrupted mid-Every
+// cycle resumes at the next recurrence index, so across the restart
+// each Seed+n instance runs exactly once and none repeat.
+func TestRecoveryRecurringResumes(t *testing.T) {
+	spec := coord.Spec{Name: "tick", Seed: 100,
+		Every: coord.Duration(40 * time.Millisecond), Runs: 4}
+	var mu sync.Mutex
+	seedRuns := map[int64]int{}
+	newAgent := func(ctx context.Context, addr string) {
+		go coord.RunAgent(ctx, addr, coord.AgentConfig{ //nolint:errcheck // canceled at exit
+			Name: "a1", Capacity: 4,
+			Backoff: 20 * time.Millisecond, BackoffMax: 100 * time.Millisecond,
+			Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+				mu.Lock()
+				seedRuns[spec.Seed]++
+				mu.Unlock()
+				return coord.Result{}, nil
+			},
+		})
+	}
+	k := startKillable(t, journalPath(t), coord.Config{Specs: []coord.Spec{spec}})
+	ctx := waitCtx(t)
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	newAgent(actx, k.addr)
+
+	// Kill mid-cycle, once at least two recurrences have settled.
+	deadline := time.Now().Add(8 * time.Second)
+	for k.c.Counts().Completed < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recurring spec stalled: %+v", k.c.Counts())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	k.restart(coord.Config{Specs: []coord.Spec{spec}, RecoveryGrace: 50 * time.Millisecond})
+
+	deadline = time.Now().Add(8 * time.Second)
+	for k.c.Counts().Completed < spec.Runs {
+		if time.Now().After(deadline) {
+			t.Fatalf("recurring spec never finished after restart: %+v", k.c.Counts())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := k.c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.c.Counts(); got.Total() != spec.Runs {
+		t.Fatalf("table holds %+v, want exactly %d instances across the restart", got, spec.Runs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for n := int64(0); n < int64(spec.Runs); n++ {
+		if got := seedRuns[spec.Seed+n]; got != 1 {
+			t.Errorf("seed %d ran %d times, want exactly once", spec.Seed+n, got)
+		}
+	}
+}
+
+// TestJournalAppendAllocs pins the append path's allocation budget:
+// journaling a transition must not add per-frame garbage to the
+// dispatch hot path.
+func TestJournalAppendAllocs(t *testing.T) {
+	jn, _, err := coord.OpenJournal(journalPath(t), coord.JournalOptions{
+		Sync: coord.SyncNone, MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close() //nolint:errcheck // test teardown
+	ev := otrace.Event{Ev: otrace.KindCtrlDispatch, Seq: -1,
+		Job: "bolot-20ms#17", Name: "agent-03", Count: 2}
+	got := testing.AllocsPerRun(2000, func() { jn.Append(ev) })
+	if got > 1 {
+		t.Fatalf("journal append allocates %.1f objects/frame, budget 1", got)
+	}
+	if err := jn.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package coord_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netprobe/internal/coord"
+	"netprobe/internal/otrace"
+)
+
+// TestLeaseEvictsHalfDeadAgent: an agent whose TCP connection stays
+// open but which stops heartbeating is evicted when its lease expires —
+// the coordinator closes the connection and re-queues its instance,
+// which a healthy agent then finishes.
+func TestLeaseEvictsHalfDeadAgent(t *testing.T) {
+	c := startCoord(t, coord.Config{
+		LeaseTimeout: 250 * time.Millisecond,
+		SweepEvery:   20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	ctx := waitCtx(t)
+
+	// The zombie: registers, takes the job, then goes silent. No
+	// heartbeats ever renew its lease.
+	zombie := dialFake(t, c.Addr().String(), "zombie", 1)
+	id := c.Submit(coord.Spec{Name: "stuck"})
+	if job := zombie.next(otrace.KindCtrlJob); job.Job != id {
+		t.Fatalf("zombie got job %q, want %q", job.Job, id)
+	}
+
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name:      "healthy",
+		Heartbeat: 50 * time.Millisecond,
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			return coord.Result{Probes: 4}, nil
+		},
+	})
+
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := c.Job(id)
+	if js.State != coord.StateCompleted || js.Agent != "healthy" || js.Attempts != 2 {
+		t.Fatalf("job %+v, want rescued from the zombie by healthy on attempt 2", js)
+	}
+	st := c.Status()
+	if st.Evicted < 1 {
+		t.Errorf("evicted counter %d, want >= 1", st.Evicted)
+	}
+	var zrow, hrow *coord.AgentStatus
+	for i := range st.Agents {
+		switch st.Agents[i].Agent {
+		case "zombie":
+			zrow = &st.Agents[i]
+		case "healthy":
+			hrow = &st.Agents[i]
+		}
+	}
+	if zrow == nil || zrow.Connected || zrow.Evictions < 1 {
+		t.Errorf("zombie row %+v, want disconnected with an eviction on record", zrow)
+	}
+	if hrow == nil || hrow.LeaseAge == nil {
+		t.Fatalf("healthy row %+v, want a lease age while leases are enabled", hrow)
+	}
+	if *hrow.LeaseAge < 0 || *hrow.LeaseAge >= 1 {
+		t.Errorf("healthy lease age %.2f, want within [0, 1) while heartbeating", *hrow.LeaseAge)
+	}
+
+	// The eviction really closed the zombie's connection: its next read
+	// fails rather than blocking until the test deadline.
+	zombie.conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck // test bound
+	buf := make([]byte, 64)
+	for {
+		if _, err := zombie.conn.Read(buf); err != nil {
+			break
+		}
+	}
+}
+
+// TestDeadlineCancelsExecutor: a spec Deadline cancels the executor's
+// context on the agent; an executor that honors the cancellation
+// reports the deadline error and the retry completes.
+func TestDeadlineCancelsExecutor(t *testing.T) {
+	c := startCoord(t, coord.Config{Logf: t.Logf})
+	ctx := waitCtx(t)
+
+	var runs atomic.Int64
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "a1",
+		Run: func(jctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			if runs.Add(1) == 1 {
+				<-jctx.Done() // wedge until the deadline cancels us
+				return coord.Result{}, jctx.Err()
+			}
+			return coord.Result{Probes: 6}, nil
+		},
+	})
+
+	start := time.Now()
+	id := c.Submit(coord.Spec{Name: "slow", Deadline: coord.Duration(150 * time.Millisecond)})
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := c.Job(id)
+	if js.State != coord.StateCompleted || js.Attempts != 2 {
+		t.Fatalf("job %+v, want completed on the post-deadline retry", js)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("deadline enforcement took %s, want well under the sweep backstop", wall)
+	}
+	if st := c.Status(); st.Requeued != 1 {
+		t.Errorf("requeued %d, want 1 deadline re-queue", st.Requeued)
+	}
+}
+
+// TestDeadlineAbandonsWedgedExecutor: an executor that ignores its
+// cancelled context is abandoned after AbandonGrace — the slot frees,
+// the instance retries, and the wedged goroutine's sink is severed so
+// it cannot pollute the data plane after abandonment.
+func TestDeadlineAbandonsWedgedExecutor(t *testing.T) {
+	c := startCoord(t, coord.Config{Logf: t.Logf})
+	ctx := waitCtx(t)
+
+	log := &eventLog{}
+	block := make(chan struct{})
+	released := make(chan struct{})
+	var runs atomic.Int64
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name:         "a1",
+		Sink:         log,
+		AbandonGrace: 100 * time.Millisecond,
+		Run: func(jctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			if runs.Add(1) == 1 {
+				<-block // ignore the context entirely: a truly wedged probe
+				sink.Emit(otrace.Event{Ev: otrace.KindProbeSent, Seq: 999})
+				close(released)
+				return coord.Result{}, nil
+			}
+			return coord.Result{Probes: 2}, nil
+		},
+	})
+
+	id := c.Submit(coord.Spec{Name: "wedged", Deadline: coord.Duration(100 * time.Millisecond)})
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := c.Job(id)
+	if js.State != coord.StateCompleted || js.Attempts != 2 {
+		t.Fatalf("job %+v, want completed on the retry after abandonment", js)
+	}
+	if st := c.Status(); st.Requeued != 1 {
+		t.Errorf("requeued %d, want 1 abandonment re-queue", st.Requeued)
+	}
+	// Unblock the wedged executor: its late emission must hit the
+	// severed gate, not the data plane.
+	close(block)
+	select {
+	case <-released:
+	case <-ctx.Done():
+		t.Fatal("wedged executor never released")
+	}
+	for _, ev := range log.events() {
+		if ev.Seq == 999 {
+			t.Fatal("abandoned executor's emission reached the data plane")
+		}
+	}
+}

@@ -39,6 +39,13 @@ type LoadConfig struct {
 	Shards int
 	// Seed drives the synthetic RTT sequences.
 	Seed int64
+	// MaxAttempts is the coordinator's retry bound. The default is 1 —
+	// not the coordinator's default of 3 — because the harness asserts
+	// exact conservation (sessions × events-per-session delivered): a
+	// retried session would emit its events twice and break the books,
+	// so a load run treats any failure as fatal rather than papering
+	// over it with a retry.
+	MaxAttempts int
 	// Timeout bounds the whole run (default 2 minutes); the harness
 	// fails rather than hangs when a stage wedges.
 	Timeout time.Duration
@@ -88,6 +95,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 8
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Minute
 	}
@@ -116,7 +126,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coord: load: %w", err)
 	}
-	co := Serve(coordLn, Config{MaxAttempts: 1})
+	co := Serve(coordLn, Config{MaxAttempts: cfg.MaxAttempts})
 	defer co.Close() //nolint:errcheck // harness teardown
 
 	// The start barrier: every session parks on gate after emitting

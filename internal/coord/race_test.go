@@ -1,0 +1,184 @@
+package coord_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"netprobe/internal/coord"
+	"netprobe/internal/otrace"
+	"netprobe/internal/source"
+)
+
+// fakeAgent is a wire-level agent the test scripts frame by frame, so
+// frame order on the control connection — normally up to goroutine
+// scheduling — becomes deterministic.
+type fakeAgent struct {
+	t    *testing.T
+	conn net.Conn
+	send *source.Sender
+	fr   *otrace.FrameReader
+}
+
+func dialFake(t *testing.T, addr, name string, capacity int) *fakeAgent {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() }) //nolint:errcheck // test teardown
+	f := &fakeAgent{t: t, conn: conn, send: source.NewSender(conn)}
+	f.send.Emit(otrace.Event{Ev: otrace.KindCtrlRegister, Seq: -1, Name: name, Count: capacity})
+	if err := f.send.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// next reads control frames until one of kind k arrives.
+func (f *fakeAgent) next(k otrace.Kind) otrace.Event {
+	f.t.Helper()
+	if f.fr == nil {
+		f.conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck // test bound
+		fr, err := otrace.NewFrameReader(f.conn)
+		if err != nil {
+			f.t.Fatalf("fake agent: open frame stream: %v", err)
+		}
+		f.fr = fr
+	}
+	for {
+		ev, err := f.fr.Next()
+		if err != nil {
+			f.t.Fatalf("fake agent: waiting for %s: %v", k, err)
+		}
+		if ev.Ev == k {
+			return ev
+		}
+	}
+}
+
+func (f *fakeAgent) complete(id string, probes int, errMsg string) {
+	f.t.Helper()
+	f.send.Emit(otrace.Event{Ev: otrace.KindCtrlComplete, Seq: -1,
+		Job: id, Probes: probes, Fault: errMsg})
+	if err := f.send.Err(); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+// waitForAgent polls until the named agent is registered and connected.
+func waitForAgent(t *testing.T, c *coord.Coordinator, name string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, a := range c.Status().Agents {
+			if a.Agent == name && a.Connected {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent %s never connected", name)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCompleteThenDisconnectSettlesOnce pins the completion-vs-
+// disconnect race deterministically: the agent's success report and its
+// connection teardown arrive back to back on one TCP stream, so the
+// coordinator reads the completion and then sees the disconnect. The
+// instance must settle exactly once — never be re-queued or dispatched
+// a second time — and a duplicate report must dedupe (while still
+// being acked so the sender can drop it from its resend buffer).
+func TestCompleteThenDisconnectSettlesOnce(t *testing.T) {
+	c := startCoord(t, coord.Config{Logf: t.Logf})
+	ctx := waitCtx(t)
+
+	fake := dialFake(t, c.Addr().String(), "fake", 1)
+	id := c.Submit(coord.Spec{Name: "raced"})
+	job := fake.next(otrace.KindCtrlJob)
+	if job.Job != id {
+		t.Fatalf("fake agent got job %q, want %q", job.Job, id)
+	}
+
+	// A healthy agent stands by: a double re-queue would hand it the
+	// instance for a second execution.
+	var healthyRuns int32
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "healthy",
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			healthyRuns++
+			return coord.Result{Probes: 1}, nil
+		},
+	})
+
+	// Success, duplicate success, then hang up — all in order on the
+	// wire. Both reports are acked; the duplicate is a no-op.
+	fake.complete(id, 7, "")
+	fake.complete(id, 99, "")
+	fake.next(otrace.KindCtrlAck)
+	fake.next(otrace.KindCtrlAck)
+	fake.conn.Close() //nolint:errcheck // the disconnect under test
+
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Give the disconnect path time to do the wrong thing before
+	// checking it did not.
+	time.Sleep(50 * time.Millisecond)
+	js, _ := c.Job(id)
+	if js.State != coord.StateCompleted || js.Attempts != 1 || js.Agent != "fake" || js.Probes != 7 {
+		t.Fatalf("job %+v, want settled once by fake with the first report's 7 probes", js)
+	}
+	if st := c.Status(); st.Requeued != 0 {
+		t.Errorf("requeued %d times, want 0: the settled instance must not re-queue on disconnect", st.Requeued)
+	}
+	if healthyRuns != 0 {
+		t.Errorf("healthy agent executed the settled instance %d times", healthyRuns)
+	}
+}
+
+// TestErrorThenDisconnectRequeuesOnce is the other arm of the race: an
+// error report immediately followed by the disconnect re-queues the
+// instance exactly once — the disconnect must not charge a second
+// attempt for the same failure.
+func TestErrorThenDisconnectRequeuesOnce(t *testing.T) {
+	c := startCoord(t, coord.Config{Logf: t.Logf})
+	ctx := waitCtx(t)
+
+	fake := dialFake(t, c.Addr().String(), "fake", 1)
+	id := c.Submit(coord.Spec{Name: "raced"})
+	if job := fake.next(otrace.KindCtrlJob); job.Job != id {
+		t.Fatalf("fake agent got job %q, want %q", job.Job, id)
+	}
+
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go coord.RunAgent(actx, c.Addr().String(), coord.AgentConfig{ //nolint:errcheck // canceled at exit
+		Name: "healthy",
+		Run: func(ctx context.Context, id string, spec coord.Spec, sink otrace.Sink) (coord.Result, error) {
+			return coord.Result{Probes: 2}, nil
+		},
+	})
+	// The retry must have somewhere else to land before the failure
+	// report arrives: wait until the healthy agent is registered.
+	waitForAgent(t, c, "healthy")
+
+	fake.complete(id, 0, "probe wedged")
+	fake.next(otrace.KindCtrlAck)
+	fake.conn.Close() //nolint:errcheck // the disconnect under test
+
+	if err := c.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := c.Job(id)
+	if js.State != coord.StateCompleted || js.Attempts != 2 || js.Agent != "healthy" {
+		t.Fatalf("job %+v, want completed by healthy on exactly the second attempt", js)
+	}
+	if st := c.Status(); st.Requeued != 1 {
+		t.Errorf("requeued %d times, want exactly 1: error-complete and disconnect must not both re-queue", st.Requeued)
+	}
+}

@@ -19,9 +19,10 @@ import (
 type State string
 
 // The job states. pending → running → completed is the happy path;
-// running → pending happens when the executing agent disconnects (and
-// attempts remain), running/pending → failed when attempts run out or
-// the agent reports an execution error on the last attempt.
+// running → pending happens when the executing agent disconnects, its
+// lease expires, or the execution deadline passes (and attempts
+// remain), running/pending → failed when attempts run out or the agent
+// reports an execution error on the last attempt.
 const (
 	StatePending   State = "pending"
 	StateRunning   State = "running"
@@ -32,7 +33,11 @@ const (
 // Config configures a Coordinator.
 type Config struct {
 	// Specs are submitted at startup: one instance per one-shot spec,
-	// a scheduler goroutine per recurring (Every > 0) spec.
+	// a scheduler goroutine per recurring (Every > 0) spec. With
+	// Recovered set, one-shot specs whose instances already exist in
+	// the recovered table are not re-submitted, and recurring specs
+	// resume at the recovered next index (so instance seeds continue
+	// the Seed+n sequence across the restart).
 	Specs []Spec
 	// MaxAttempts bounds how many times one instance is dispatched
 	// before it fails (agent loss or execution error re-queues it).
@@ -41,9 +46,44 @@ type Config struct {
 	// StaleAfter, when positive, marks a connected agent silent for
 	// longer than this as stale in Status. Zero disables.
 	StaleAfter time.Duration
+
+	// Journal, if non-nil, records every job-table transition as a
+	// write-ahead frame (see OpenJournal). The coordinator appends;
+	// the caller owns the journal's lifecycle and closes it after
+	// Close.
+	Journal *Journal
+	// Recovered, if non-nil, seeds the job table from a replayed
+	// journal before Specs are submitted. Recovered running instances
+	// are re-queued (their agents are gone until they redial), held
+	// back by RecoveryGrace so an agent that finished the work during
+	// the outage can settle it with a resent completion instead of a
+	// second execution.
+	Recovered *Recovered
+	// RecoveryGrace holds recovered running→pending instances out of
+	// dispatch for this long (default 1s; negative re-dispatches
+	// immediately).
+	RecoveryGrace time.Duration
+
+	// LeaseTimeout, when positive, evicts a connected agent whose last
+	// frame (heartbeats count) is older than this: its connection is
+	// closed and its running instances re-queued. Half-dead agents —
+	// TCP conn open, process wedged — otherwise hold their instances
+	// forever. Use a multiple of the agents' heartbeat interval.
+	LeaseTimeout time.Duration
+	// DeadlineSlack pads a spec's Deadline before the coordinator
+	// forcibly re-queues a running instance (default 5s). The agent
+	// enforces the deadline itself first; the coordinator's sweep is
+	// the backstop for agents that never report back.
+	DeadlineSlack time.Duration
+	// SweepEvery is the lease/deadline sweep interval (default
+	// min(LeaseTimeout/4, 250ms), floored at 10ms).
+	SweepEvery time.Duration
+
 	// Metrics, if non-nil, exports coord.jobs.{pending,running,
-	// completed,failed} and coord.agents.connected gauges, refreshed
-	// per scrape.
+	// completed} and coord.agents.connected gauges (refreshed per
+	// scrape), the coord.jobs.starved gauge (pending count while zero
+	// agents are connected — the agents_lost alert input), and the
+	// coord.jobs.{requeued,failed} and coord.agents.evicted counters.
 	Metrics *obs.Registry
 	// Logf, if non-nil, logs agent and job lifecycle.
 	Logf func(format string, args ...any)
@@ -52,6 +92,7 @@ type Config struct {
 // job is one instance's row in the coordinator's table.
 type job struct {
 	id       string
+	index    int // recurrence index (0 for one-shots)
 	spec     Spec
 	state    State
 	agent    string // executing (or last) agent
@@ -64,6 +105,13 @@ type job struct {
 	submittedNs int64
 	startedNs   int64
 	finishedNs  int64
+	// notBeforeNs holds a re-queued instance out of dispatch until the
+	// recovery grace passes (0 = dispatchable now).
+	notBeforeNs int64
+	// avoid is the agent whose failure re-queued this instance: the next
+	// dispatch prefers any other agent, so a retry does not hot-loop on
+	// the same broken (or mid-disconnect) agent while healthy ones idle.
+	avoid string
 }
 
 // agentConn is one registered agent.
@@ -71,8 +119,10 @@ type agentConn struct {
 	name      string
 	capacity  int
 	send      *source.Sender
+	conn      net.Conn
 	running   map[string]bool
 	completed int64
+	evictions int64
 	connected bool
 	lastNs    atomic.Int64
 }
@@ -96,17 +146,35 @@ type Coordinator struct {
 	rr         int // round-robin dispatch cursor
 	seq        int // instance id counter
 	closed     bool
+	killed     bool // Kill: stop journaling, teardown is abrupt
+
+	// The robustness counters; mirrored to cRequeued/cFailed/cEvicted
+	// when Metrics is set.
+	requeued int64
+	failed   int64
+	evicted  int64
+
+	cRequeued *obs.Counter
+	cFailed   *obs.Counter
+	cEvicted  *obs.Counter
 
 	// closedFlag quiesces the per-scrape gauge hook after Close (scrape
 	// hooks are process-lifetime; coordinators in tests are not).
 	closedFlag atomic.Bool
 }
 
-// Serve starts a coordinator accepting agent connections on ln and
-// submits cfg.Specs. It returns immediately; Close shuts it down.
+// Serve starts a coordinator accepting agent connections on ln,
+// seeds the table from cfg.Recovered, and submits cfg.Specs. It
+// returns immediately; Close shuts it down.
 func Serve(ln net.Listener, cfg Config) *Coordinator {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
+	}
+	if cfg.RecoveryGrace == 0 {
+		cfg.RecoveryGrace = time.Second
+	}
+	if cfg.DeadlineSlack <= 0 {
+		cfg.DeadlineSlack = 5 * time.Second
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -122,32 +190,102 @@ func Serve(ln net.Listener, cfg Config) *Coordinator {
 	if cfg.Metrics != nil {
 		c.exportMetrics(cfg.Metrics)
 	}
+	if cfg.Recovered != nil {
+		c.seedRecovered(cfg.Recovered)
+	}
 	for _, s := range cfg.Specs {
 		if s.Every > 0 {
+			start := 0
+			if cfg.Recovered != nil {
+				start = cfg.Recovered.NextIndex[s.Name]
+			}
+			if s.Runs > 0 && start >= s.Runs {
+				continue // the recovered table already holds every run
+			}
 			c.wg.Add(1)
-			go c.schedule(s)
+			go c.schedule(s, start)
 			continue
+		}
+		if cfg.Recovered != nil && cfg.Recovered.hasSpec(s.Name) {
+			continue // instance survives in the recovered table
 		}
 		c.Submit(s)
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
+	c.wg.Add(1)
+	go c.sweeper()
 	return c
+}
+
+// seedRecovered installs a replayed journal as the starting table.
+// Pending instances re-enter the queue as they were; running instances
+// are re-queued (their agents are not connected yet) behind the
+// recovery grace, so an agent that finished the instance during the
+// outage gets a window to settle it with its resent ctrl_complete
+// before anything re-executes.
+func (c *Coordinator) seedRecovered(rec *Recovered) {
+	now := time.Now().UnixNano()
+	grace := int64(c.cfg.RecoveryGrace)
+	if grace < 0 {
+		grace = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range rec.Jobs {
+		rj := &rec.Jobs[i]
+		j := &job{
+			id: rj.ID, index: rj.Index, spec: rj.Spec, state: rj.State,
+			agent: rj.Agent, attempts: rj.Attempts,
+			probes: rj.Probes, losses: rj.Losses, errMsg: rj.Err,
+			submittedNs: rj.SubmittedNs,
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+		switch rj.State {
+		case StatePending:
+			c.queue = append(c.queue, j.id)
+		case StateRunning:
+			j.state = StatePending
+			j.agent = ""
+			j.notBeforeNs = now + grace
+			c.queue = append(c.queue, j.id)
+			c.bumpRequeuedLocked()
+			c.journalLocked(requeueRecord(j.id, "coordinator restart"))
+			c.cfg.Logf("coord: job %s re-queued after recovery (attempt %d, grace %s)",
+				j.id, j.attempts, c.cfg.RecoveryGrace)
+		case StateFailed:
+			// Keep the failure counter consistent with the table across
+			// restarts: a counter that forgot pre-crash failures would
+			// diverge from coord.jobs counts for the rest of the process.
+			c.failed++
+		}
+	}
+	if rec.MaxSeq > c.seq {
+		c.seq = rec.MaxSeq
+	}
+	if c.cFailed != nil && c.failed > 0 {
+		c.cFailed.Add(c.failed)
+	}
+	jc := c.countsLocked()
+	c.cfg.Logf("coord: recovered %d jobs (%d pending, %d completed, %d failed) from journal (specs: %v)",
+		jc.Total(), jc.Pending, jc.Completed, jc.Failed, rec.sortedSpecNames())
 }
 
 // Addr reports the listener's address (useful with ":0").
 func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
 
-// schedule runs one recurring spec: an instance now, then one per
-// tick, each with Seed+n, until Runs instances or shutdown.
-func (c *Coordinator) schedule(s Spec) {
+// schedule runs one recurring spec from recurrence index start: an
+// instance now, then one per tick, each with Seed+n, until Runs
+// instances or shutdown.
+func (c *Coordinator) schedule(s Spec, start int) {
 	defer c.wg.Done()
 	t := time.NewTicker(s.Every.D())
 	defer t.Stop()
-	for n := 0; ; n++ {
+	for n := start; ; n++ {
 		inst := s
 		inst.Seed = s.Seed + int64(n)
-		c.Submit(inst)
+		c.submitIndexed(inst, n)
 		if s.Runs > 0 && n+1 >= s.Runs {
 			return
 		}
@@ -163,6 +301,10 @@ func (c *Coordinator) schedule(s Spec) {
 // if unused, otherwise name#<n>. Dispatch happens immediately if an
 // agent has capacity.
 func (c *Coordinator) Submit(s Spec) string {
+	return c.submitIndexed(s, 0)
+}
+
+func (c *Coordinator) submitIndexed(s Spec, index int) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	name := s.Name
@@ -174,13 +316,46 @@ func (c *Coordinator) Submit(s Spec) string {
 		c.seq++
 		id = fmt.Sprintf("%s#%d", name, c.seq)
 	}
-	j := &job{id: id, spec: s, state: StatePending, submittedNs: time.Now().UnixNano()}
+	j := &job{id: id, index: index, spec: s, state: StatePending,
+		submittedNs: time.Now().UnixNano()}
 	c.jobs[id] = j
 	c.order = append(c.order, id)
 	c.queue = append(c.queue, id)
+	c.journalLocked(submitRecord(id, index, s, j.submittedNs))
 	c.dispatchLocked()
 	c.cond.Broadcast()
 	return id
+}
+
+// journalLocked appends one transition frame to the configured journal
+// (no-op without one, or after Kill), compacting when the file
+// outgrows its bound. Callers hold c.mu.
+func (c *Coordinator) journalLocked(ev otrace.Event) {
+	if c.cfg.Journal == nil || c.killed {
+		return
+	}
+	c.cfg.Journal.Append(ev)
+	if c.cfg.Journal.ShouldCompact() {
+		if err := c.cfg.Journal.Compact(c.snapshotLocked()); err != nil {
+			c.cfg.Logf("coord: journal compaction failed: %v", err)
+		}
+	}
+}
+
+// snapshotLocked renders the live table as a minimal replayable frame
+// sequence (the compaction payload). Callers hold c.mu.
+func (c *Coordinator) snapshotLocked() []otrace.Event {
+	rec := &Recovered{Jobs: make([]RecoveredJob, 0, len(c.order))}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		rec.Jobs = append(rec.Jobs, RecoveredJob{
+			ID: j.id, Index: j.index, Spec: j.spec, State: j.state,
+			Agent: j.agent, Attempts: j.attempts,
+			Probes: j.probes, Losses: j.losses, Err: j.errMsg,
+			SubmittedNs: j.submittedNs,
+		})
+	}
+	return snapshotRecords(rec)
 }
 
 // acceptLoop accepts agent connections until the listener closes.
@@ -222,7 +397,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 		c.cfg.Logf("coord: %s: expected register frame", conn.RemoteAddr())
 		return
 	}
-	a := c.register(first.Name, first.Count, source.NewSender(conn))
+	a := c.register(first.Name, first.Count, source.NewSender(conn), conn)
 	c.cfg.Logf("coord: agent %s connected (capacity %d)", a.name, a.capacity)
 	c.dispatch()
 	for {
@@ -233,7 +408,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 		a.lastNs.Store(time.Now().UnixNano())
 		switch ev.Ev {
 		case otrace.KindHeartbeat:
-			// Liveness only.
+			// Liveness only: renews the agent's lease.
 		case otrace.KindCtrlAccept:
 			c.markAccepted(a, ev.Job)
 		case otrace.KindCtrlComplete:
@@ -247,7 +422,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 // register adds (or revives) the agent's table entry. A reconnecting
 // agent reuses its row — totals survive the gap; a name collision with
 // a *connected* agent gets a disambiguating suffix.
-func (c *Coordinator) register(name string, capacity int, send *source.Sender) *agentConn {
+func (c *Coordinator) register(name string, capacity int, send *source.Sender, conn net.Conn) *agentConn {
 	if name == "" {
 		name = "agent"
 	}
@@ -268,6 +443,7 @@ func (c *Coordinator) register(name string, capacity int, send *source.Sender) *
 		c.agentOrder = append(c.agentOrder, name)
 	}
 	a.send = send
+	a.conn = conn
 	a.capacity = capacity
 	a.connected = true
 	a.lastNs.Store(time.Now().UnixNano())
@@ -283,43 +459,70 @@ func (c *Coordinator) dispatch() {
 }
 
 func (c *Coordinator) dispatchLocked() {
-	for len(c.queue) > 0 {
-		a := c.pickLocked()
+	now := time.Now().UnixNano()
+	for i := 0; i < len(c.queue); {
+		id := c.queue[i]
+		j := c.jobs[id]
+		if j == nil || j.state != StatePending {
+			// A late completion settled the instance while it was queued.
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			continue
+		}
+		if j.notBeforeNs > now {
+			i++ // recovery grace: the sweeper retries after it passes
+			continue
+		}
+		a := c.pickLocked(j.avoid)
 		if a == nil {
 			return
 		}
-		id := c.queue[0]
-		c.queue = c.queue[1:]
-		j := c.jobs[id]
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
 		j.state = StateRunning
 		j.agent = a.name
 		j.attempts++
 		j.accepted = false
-		j.startedNs = time.Now().UnixNano()
+		j.notBeforeNs = 0
+		j.avoid = ""
+		j.startedNs = now
 		a.running[id] = true
+		c.journalLocked(dispatchRecord(id, a.name, j.attempts))
 		// The frame write happens under c.mu: control frames are ~100
 		// bytes and agents drain their sockets, so this never blocks in
 		// practice; serializing it keeps the job table and the wire in the
 		// same order.
 		a.send.Emit(jobEvent(id, j.spec))
 		if a.send.Err() != nil {
-			c.retireLocked(a)
+			c.retireLocked(a, "agent send failed")
 		}
 	}
 }
 
 // pickLocked finds the next connected agent with free capacity,
-// starting after the last pick.
-func (c *Coordinator) pickLocked() *agentConn {
+// starting after the last pick. An agent named avoid is picked only
+// when no other agent has room.
+func (c *Coordinator) pickLocked(avoid string) *agentConn {
 	n := len(c.agentOrder)
+	var fallback *agentConn
+	fallbackAt := 0
 	for i := 0; i < n; i++ {
-		a := c.agents[c.agentOrder[(c.rr+i)%n]]
-		if a.connected && len(a.running) < a.capacity {
-			c.rr = (c.rr + i + 1) % n
-			return a
+		idx := (c.rr + i) % n
+		a := c.agents[c.agentOrder[idx]]
+		if !a.connected || len(a.running) >= a.capacity {
+			continue
 		}
+		if a.name == avoid {
+			if fallback == nil {
+				fallback, fallbackAt = a, idx
+			}
+			continue
+		}
+		c.rr = (idx + 1) % n
+		return a
 	}
-	return nil
+	if fallback != nil {
+		c.rr = (fallbackAt + 1) % n
+	}
+	return fallback
 }
 
 // markAccepted records the agent's ack for the lifecycle trail.
@@ -331,50 +534,136 @@ func (c *Coordinator) markAccepted(a *agentConn, id string) {
 	}
 }
 
-// complete settles one instance: completed on success, re-queued (or
-// failed, out of attempts) on an agent-side execution error.
+// complete settles one instance. Settlement is exactly-once per
+// instance id: the first success wins (even one arriving late, from an
+// agent whose disconnect or a coordinator restart already re-queued
+// the instance — the work happened, so settling beats re-executing),
+// and anything after settlement is a deduplicated no-op. Every
+// completion is acked so the reporting agent can drop it from its
+// resend buffer, duplicates included.
 func (c *Coordinator) complete(a *agentConn, ev otrace.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	j := c.jobs[ev.Job]
-	if j == nil || j.agent != a.name || j.state != StateRunning {
-		return // stale: the instance was re-assigned after a disconnect
-	}
+	a.send.Emit(ackEvent(ev.Job))
 	delete(a.running, ev.Job)
-	j.finishedNs = time.Now().UnixNano()
-	j.probes, j.losses = ev.Probes, ev.Losses
-	if ev.Fault != "" {
-		j.errMsg = ev.Fault
-		if j.attempts >= c.cfg.MaxAttempts {
-			j.state = StateFailed
-			c.cfg.Logf("coord: job %s failed after %d attempts: %s", j.id, j.attempts, j.errMsg)
-		} else {
-			j.state = StatePending
-			c.queue = append(c.queue, j.id)
-			c.cfg.Logf("coord: job %s failed on %s (attempt %d), re-queued: %s",
-				j.id, a.name, j.attempts, j.errMsg)
+	j := c.jobs[ev.Job]
+	if j == nil {
+		return // unknown id (journal-less restart): nothing to settle
+	}
+	switch {
+	case j.state == StateCompleted || j.state == StateFailed:
+		return // duplicate after settlement
+	case j.state == StatePending:
+		// Re-queued (disconnect, eviction, or recovery) and the original
+		// attempt's report arrived afterwards. A success settles it before
+		// anything re-executes; an error is stale — the re-queue already
+		// accounted for that attempt.
+		if ev.Fault != "" {
+			return
 		}
-	} else {
-		j.state = StateCompleted
-		j.errMsg = ""
-		a.completed++
+		c.removeQueuedLocked(j.id)
+		c.settleLocked(j, a, ev)
+	case j.agent != a.name:
+		// Re-dispatched to another agent; the first success still wins and
+		// the later duplicate from the current holder dedupes above.
+		if ev.Fault != "" {
+			return
+		}
+		if cur := c.agents[j.agent]; cur != nil {
+			delete(cur.running, j.id)
+		}
+		c.settleLocked(j, a, ev)
+	default:
+		// The common case: the executing agent reporting in.
+		if ev.Fault != "" {
+			j.probes, j.losses = ev.Probes, ev.Losses
+			c.requeueOrFailLocked(j, ev.Fault, a.name)
+		} else {
+			c.settleLocked(j, a, ev)
+		}
 	}
 	c.dispatchLocked()
 	c.cond.Broadcast()
+}
+
+// settleLocked marks one instance completed. Callers hold c.mu.
+func (c *Coordinator) settleLocked(j *job, a *agentConn, ev otrace.Event) {
+	j.state = StateCompleted
+	j.agent = a.name
+	j.errMsg = ""
+	j.probes, j.losses = ev.Probes, ev.Losses
+	j.finishedNs = time.Now().UnixNano()
+	a.completed++
+	c.journalLocked(completeRecord(j.id, j.probes, j.losses))
+}
+
+// requeueOrFailLocked returns a running instance to the queue, or
+// fails it when attempts ran out. Callers hold c.mu.
+func (c *Coordinator) requeueOrFailLocked(j *job, reason, agent string) {
+	if j.attempts >= c.cfg.MaxAttempts {
+		j.state = StateFailed
+		j.errMsg = reason
+		j.finishedNs = time.Now().UnixNano()
+		c.bumpFailedLocked()
+		c.journalLocked(failRecord(j.id, reason))
+		c.cfg.Logf("coord: job %s failed after %d attempts: %s", j.id, j.attempts, reason)
+		return
+	}
+	j.state = StatePending
+	j.agent = ""
+	j.errMsg = reason
+	j.avoid = agent
+	c.queue = append(c.queue, j.id)
+	c.bumpRequeuedLocked()
+	c.journalLocked(requeueRecord(j.id, reason))
+	c.cfg.Logf("coord: job %s re-queued (attempt %d, agent %s): %s",
+		j.id, j.attempts, agent, reason)
+}
+
+// removeQueuedLocked drops one id from the pending queue. Callers hold
+// c.mu.
+func (c *Coordinator) removeQueuedLocked(id string) {
+	for i, q := range c.queue {
+		if q == id {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) bumpRequeuedLocked() {
+	c.requeued++
+	if c.cRequeued != nil {
+		c.cRequeued.Inc()
+	}
+}
+
+func (c *Coordinator) bumpFailedLocked() {
+	c.failed++
+	if c.cFailed != nil {
+		c.cFailed.Inc()
+	}
+}
+
+func (c *Coordinator) bumpEvictedLocked() {
+	c.evicted++
+	if c.cEvicted != nil {
+		c.cEvicted.Inc()
+	}
 }
 
 // disconnect retires an agent whose stream ended.
 func (c *Coordinator) disconnect(a *agentConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.retireLocked(a)
+	c.retireLocked(a, "agent "+a.name+" lost")
 	c.dispatchLocked()
 	c.cond.Broadcast()
 }
 
 // retireLocked marks the agent disconnected and re-queues (or fails)
 // its running instances. Callers hold c.mu.
-func (c *Coordinator) retireLocked(a *agentConn) {
+func (c *Coordinator) retireLocked(a *agentConn, reason string) {
 	if !a.connected {
 		return
 	}
@@ -386,18 +675,77 @@ func (c *Coordinator) retireLocked(a *agentConn) {
 		if j == nil || j.state != StateRunning {
 			continue
 		}
-		if j.attempts >= c.cfg.MaxAttempts {
-			j.state = StateFailed
-			j.errMsg = "agent lost"
-			j.finishedNs = time.Now().UnixNano()
-			c.cfg.Logf("coord: job %s failed: agent %s lost on final attempt", j.id, a.name)
-		} else {
-			j.state = StatePending
-			j.agent = ""
-			c.queue = append(c.queue, id)
-			c.cfg.Logf("coord: job %s re-queued: agent %s lost", j.id, a.name)
+		c.requeueOrFailLocked(j, reason, a.name)
+	}
+}
+
+// sweeper periodically enforces leases, deadlines, and deferred
+// (recovery-grace) dispatch.
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	tick := c.cfg.SweepEvery
+	if tick <= 0 {
+		tick = 250 * time.Millisecond
+		if lt := c.cfg.LeaseTimeout; lt > 0 && lt/4 < tick {
+			tick = lt / 4
+		}
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
 		}
 	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep is one lease/deadline pass.
+func (c *Coordinator) sweep() {
+	now := time.Now().UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if lt := int64(c.cfg.LeaseTimeout); lt > 0 {
+		for _, name := range c.agentOrder {
+			a := c.agents[name]
+			if !a.connected || now-a.lastNs.Load() <= lt {
+				continue
+			}
+			a.evictions++
+			c.bumpEvictedLocked()
+			c.cfg.Logf("coord: agent %s lease expired (silent %.1fs), evicting",
+				a.name, float64(now-a.lastNs.Load())/float64(time.Second))
+			// retireLocked closes the Sender, which closes the half-dead
+			// TCP conn, unblocking handle()'s read; the later disconnect is
+			// an idempotent no-op.
+			c.retireLocked(a, "agent "+a.name+" lease expired")
+		}
+	}
+	for _, name := range c.agentOrder {
+		a := c.agents[name]
+		for id := range a.running {
+			j := c.jobs[id]
+			if j == nil || j.state != StateRunning {
+				continue
+			}
+			dl := int64(j.spec.Deadline)
+			if dl <= 0 || now-j.startedNs <= dl+int64(c.cfg.DeadlineSlack) {
+				continue
+			}
+			delete(a.running, id)
+			c.requeueOrFailLocked(j, "deadline exceeded (agent never reported)", a.name)
+		}
+	}
+	c.dispatchLocked()
+	c.cond.Broadcast()
 }
 
 // JobCounts aggregates the job table by state.
@@ -438,17 +786,37 @@ type AgentStatus struct {
 	Completed int64  `json:"completed"`
 	// LastSeenAge is seconds since the agent's last frame.
 	LastSeenAge *float64 `json:"last_seen_age_sec,omitempty"`
+	// LeaseAge is the same age judged against Config.LeaseTimeout: the
+	// fraction of the lease already consumed by silence (1.0 = about to
+	// be evicted). Present only when leases are enabled.
+	LeaseAge *float64 `json:"lease_age,omitempty"`
+	// Evictions counts how many times this agent's lease expired.
+	Evictions int64 `json:"evictions,omitempty"`
 	// Stale marks a connected agent silent past Config.StaleAfter.
 	Stale bool `json:"stale,omitempty"`
+}
+
+// JournalStatus is the journal's /statusz block.
+type JournalStatus struct {
+	Path        string `json:"path"`
+	Bytes       int64  `json:"bytes"`
+	Appends     int64  `json:"appends"`
+	Compactions int64  `json:"compactions"`
+	Error       string `json:"error,omitempty"`
 }
 
 // Status is the coordinator's /statusz document. Recent is capped at
 // the newest maxRecentJobs instances so a 10k-job load run does not
 // turn /statusz into a database dump; Jobs always counts everything.
 type Status struct {
-	Jobs   JobCounts     `json:"jobs"`
-	Agents []AgentStatus `json:"agents"`
-	Recent []JobStatus   `json:"recent_jobs,omitempty"`
+	Jobs JobCounts `json:"jobs"`
+	// Requeued/Evicted are lifetime robustness counters (Failed lives
+	// in Jobs).
+	Requeued int64          `json:"requeued,omitempty"`
+	Evicted  int64          `json:"evicted,omitempty"`
+	Journal  *JournalStatus `json:"journal,omitempty"`
+	Agents   []AgentStatus  `json:"agents"`
+	Recent   []JobStatus    `json:"recent_jobs,omitempty"`
 }
 
 // maxRecentJobs caps Status.Recent.
@@ -512,18 +880,32 @@ func (c *Coordinator) Status() Status {
 	now := time.Now().UnixNano()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := Status{Jobs: c.countsLocked()}
+	st := Status{Jobs: c.countsLocked(), Requeued: c.requeued, Evicted: c.evicted}
+	if j := c.cfg.Journal; j != nil {
+		appends, compactions := j.Stats()
+		js := &JournalStatus{Path: j.Path(), Bytes: j.Size(),
+			Appends: appends, Compactions: compactions}
+		if err := j.Err(); err != nil {
+			js.Error = err.Error()
+		}
+		st.Journal = js
+	}
 	for _, name := range c.agentOrder {
 		a := c.agents[name]
 		row := AgentStatus{
 			Agent: a.name, Connected: a.connected, Capacity: a.capacity,
 			Running: len(a.running), Completed: a.completed,
+			Evictions: a.evictions,
 		}
 		if last := a.lastNs.Load(); last != 0 {
 			age := float64(now-last) / float64(time.Second)
 			row.LastSeenAge = &age
 			row.Stale = a.connected && c.cfg.StaleAfter > 0 &&
 				time.Duration(now-last) > c.cfg.StaleAfter
+			if lt := c.cfg.LeaseTimeout; lt > 0 {
+				frac := float64(now-last) / float64(lt)
+				row.LeaseAge = &frac
+			}
 		}
 		st.Agents = append(st.Agents, row)
 	}
@@ -538,14 +920,20 @@ func (c *Coordinator) Status() Status {
 	return st
 }
 
-// exportMetrics registers the coordinator's gauges, refreshed per
-// scrape.
+// exportMetrics registers the coordinator's gauges (refreshed per
+// scrape) and transition counters.
 func (c *Coordinator) exportMetrics(reg *obs.Registry) {
 	pending := reg.Gauge("coord.jobs.pending")
 	running := reg.Gauge("coord.jobs.running")
 	completed := reg.Gauge("coord.jobs.completed")
-	failed := reg.Gauge("coord.jobs.failed")
 	connected := reg.Gauge("coord.agents.connected")
+	// starved is the agents_lost alert input: the pending backlog while
+	// zero agents are connected, 0 otherwise. A single series because
+	// tshist rules watch one series each.
+	starved := reg.Gauge("coord.jobs.starved")
+	c.cRequeued = reg.Counter("coord.jobs.requeued")
+	c.cFailed = reg.Counter("coord.jobs.failed")
+	c.cEvicted = reg.Counter("coord.agents.evicted")
 	obs.OnScrape(func() {
 		if c.closedFlag.Load() {
 			return
@@ -562,8 +950,12 @@ func (c *Coordinator) exportMetrics(reg *obs.Registry) {
 		pending.Set(int64(jc.Pending))
 		running.Set(int64(jc.Running))
 		completed.Set(int64(jc.Completed))
-		failed.Set(int64(jc.Failed))
 		connected.Set(int64(conns))
+		if conns == 0 {
+			starved.Set(int64(jc.Pending))
+		} else {
+			starved.Set(0)
+		}
 	})
 }
 
@@ -593,14 +985,30 @@ func (c *Coordinator) WaitIdle(ctx context.Context) error {
 }
 
 // Close stops accepting, disconnects every agent, and waits for the
-// handlers and schedulers to drain. Idempotent.
+// handlers and schedulers to drain. Idempotent. The journal (if any)
+// stays open — its owner closes it after the table quiesces.
 func (c *Coordinator) Close() error {
+	return c.shutdown(false)
+}
+
+// Kill is Close with SIGKILL semantics, for crash testing: no journal
+// writes happen after it (the re-queues a graceful shutdown would
+// record are lost, exactly as if the process died), agent connections
+// are torn down abruptly, and the journal is abandoned mid-stream
+// without a flush. Recovery must rebuild the table from the journal's
+// durable prefix alone.
+func (c *Coordinator) Kill() {
+	c.shutdown(true) //nolint:errcheck // crash simulation
+}
+
+func (c *Coordinator) shutdown(kill bool) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	c.killed = kill
 	c.closedFlag.Store(true)
 	agents := make([]*agentConn, 0, len(c.agents))
 	for _, a := range c.agents {
@@ -610,8 +1018,15 @@ func (c *Coordinator) Close() error {
 	err := c.ln.Close()
 	c.cancel()
 	for _, a := range agents {
+		if kill && a.conn != nil {
+			a.conn.Close() //nolint:errcheck // abrupt teardown
+			continue
+		}
 		a.send.Close() //nolint:errcheck // shutting down
 	}
 	c.wg.Wait()
+	if kill && c.cfg.Journal != nil {
+		c.cfg.Journal.Abandon()
+	}
 	return err
 }

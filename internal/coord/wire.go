@@ -15,10 +15,25 @@ import (
 //	ctrl_register  Name=agent name, Count=capacity
 //	ctrl_job       Job=instance id, Name=spec name, Dir=mode,
 //	               Flow=target, DeltaNs=δ, PayloadBytes, Count,
-//	               DurNs=duration, Fault=fault plan JSON, Seed
+//	               DurNs=duration, Fault=fault plan JSON, Seed,
+//	               RecvNs=deadline, RTTNs=every, QLen=runs
 //	ctrl_accept    Job=instance id
 //	ctrl_complete  Job=instance id, Probes, Losses, DurNs=wall time,
 //	               Fault=error message ("" on success)
+//	ctrl_ack       Job=instance id (coordinator → agent: completion
+//	               settled or deduplicated; drop it from the resend
+//	               buffer)
+//
+// The journal-frame family records job-table transitions in the
+// write-ahead journal (journal.go) with the same encoding:
+//
+//	kind           field reuse
+//	ctrl_submit    everything ctrl_job carries, plus Index=recurrence
+//	               index and SentNs=submission wall clock (unix ns)
+//	ctrl_dispatch  Job=instance id, Name=agent, Count=attempt number
+//	ctrl_requeue   Job=instance id, Fault=reason
+//	ctrl_fail      Job=instance id, Fault=final error
+//	ctrl_complete  as on the wire (journal reuses it for settlement)
 //
 // Seq is -1 on every control frame, like heartbeats: they are
 // plumbing, not probe events.
@@ -28,10 +43,11 @@ func registerEvent(name string, capacity int) otrace.Event {
 	return otrace.Event{Ev: otrace.KindCtrlRegister, Seq: -1, Name: name, Count: capacity}
 }
 
-// jobEvent pushes one job instance to an agent.
-func jobEvent(id string, s Spec) otrace.Event {
+// specEvent fills the spec-carrying fields shared by ctrl_job and
+// ctrl_submit.
+func specEvent(kind otrace.Kind, id string, s Spec) otrace.Event {
 	return otrace.Event{
-		Ev:           otrace.KindCtrlJob,
+		Ev:           kind,
 		Seq:          -1,
 		Job:          id,
 		Name:         s.Name,
@@ -43,12 +59,15 @@ func jobEvent(id string, s Spec) otrace.Event {
 		DurNs:        int64(s.Duration),
 		Fault:        s.Faults,
 		Seed:         s.Seed,
+		RecvNs:       int64(s.Deadline),
+		RTTNs:        int64(s.Every),
+		QLen:         s.Runs,
 	}
 }
 
-// jobFromEvent is jobEvent's inverse.
-func jobFromEvent(ev otrace.Event) (id string, s Spec) {
-	return ev.Job, Spec{
+// specFromEvent is specEvent's inverse.
+func specFromEvent(ev otrace.Event) Spec {
+	return Spec{
 		Name:         ev.Name,
 		Mode:         ev.Dir,
 		Target:       ev.Flow,
@@ -58,7 +77,20 @@ func jobFromEvent(ev otrace.Event) (id string, s Spec) {
 		Duration:     Duration(ev.DurNs),
 		Faults:       ev.Fault,
 		Seed:         ev.Seed,
+		Deadline:     Duration(ev.RecvNs),
+		Every:        Duration(ev.RTTNs),
+		Runs:         ev.QLen,
 	}
+}
+
+// jobEvent pushes one job instance to an agent.
+func jobEvent(id string, s Spec) otrace.Event {
+	return specEvent(otrace.KindCtrlJob, id, s)
+}
+
+// jobFromEvent is jobEvent's inverse.
+func jobFromEvent(ev otrace.Event) (id string, s Spec) {
+	return ev.Job, specFromEvent(ev)
 }
 
 // acceptEvent acknowledges that an agent started a job.
@@ -77,4 +109,35 @@ func completeEvent(id string, res Result, errMsg string, wall time.Duration) otr
 		DurNs:  int64(wall),
 		Fault:  errMsg,
 	}
+}
+
+// ackEvent confirms a completion back to the agent so it can drop the
+// entry from its resend buffer.
+func ackEvent(id string) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlAck, Seq: -1, Job: id}
+}
+
+// The journal record constructors. Each is one job-table transition.
+
+func submitRecord(id string, index int, s Spec, nowNs int64) otrace.Event {
+	ev := specEvent(otrace.KindCtrlSubmit, id, s)
+	ev.Index = index
+	ev.SentNs = nowNs
+	return ev
+}
+
+func dispatchRecord(id, agent string, attempt int) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlDispatch, Seq: -1, Job: id, Name: agent, Count: attempt}
+}
+
+func requeueRecord(id, reason string) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlRequeue, Seq: -1, Job: id, Fault: reason}
+}
+
+func completeRecord(id string, probes, losses int) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlComplete, Seq: -1, Job: id, Probes: probes, Losses: losses}
+}
+
+func failRecord(id, errMsg string) otrace.Event {
+	return otrace.Event{Ev: otrace.KindCtrlFail, Seq: -1, Job: id, Fault: errMsg}
 }

@@ -111,6 +111,32 @@ const (
 	// instance id, Probes/Losses the result totals, DurNs the wall-clock
 	// execution time, and Fault the error message (empty on success).
 	KindCtrlComplete Kind = "ctrl_complete"
+	// KindCtrlAck is a coordinator acknowledging that it settled (or
+	// deduplicated) a ctrl_complete: Job is the instance id. Agents
+	// retain unacked completions and resend them after a reconnect, so
+	// a completion that raced a coordinator outage still settles.
+	KindCtrlAck Kind = "ctrl_ack"
+
+	// The journal-frame family (internal/coord's write-ahead journal).
+	// These record job-table *transitions* rather than crossing a
+	// connection: a coordinator with -journal appends one frame per
+	// transition to a .otr file and replays them on restart. Same
+	// framing, same no-version-bump rule as the ctrl_* family above.
+	//
+	// KindCtrlSubmit records an instance entering the table: Job is the
+	// instance id, Index the recurrence index (0 for one-shots), SentNs
+	// the submission wall clock, and the spec fields as in KindCtrlJob.
+	KindCtrlSubmit Kind = "ctrl_submit"
+	// KindCtrlDispatch records an instance assigned to an agent: Job is
+	// the instance id, Name the agent, Count the attempt number.
+	KindCtrlDispatch Kind = "ctrl_dispatch"
+	// KindCtrlRequeue records a running instance returned to the queue
+	// (agent lost, lease expired, execution error with attempts left):
+	// Job is the instance id, Fault the reason.
+	KindCtrlRequeue Kind = "ctrl_requeue"
+	// KindCtrlFail records an instance failing terminally: Job is the
+	// instance id, Fault the final error.
+	KindCtrlFail Kind = "ctrl_fail"
 )
 
 // Event is one trace record. T is nanoseconds from the start of the

@@ -120,6 +120,12 @@ func DefaultRules() []RuleSpec {
 		// a minute.
 		{Name: "stale_source", Type: "threshold", Series: "source.age_ms*",
 			Max: fptr(60_000), For: 3, ClearFor: 2},
+		// Fleet starvation: the coordinator holding a pending backlog
+		// while zero agents are connected (the coord.jobs.starved gauge is
+		// 0 whenever at least one agent is up). Fires only after several
+		// samples so an agent restart's brief gap doesn't page.
+		{Name: "agents_lost", Type: "threshold", Series: "coord.jobs.starved",
+			Max: fptr(0), For: 3, ClearFor: 2},
 	}
 }
 

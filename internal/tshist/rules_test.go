@@ -216,12 +216,12 @@ func TestDefaultRulesValid(t *testing.T) {
 			t.Errorf("default rule %q invalid: %v", spec.Name, err)
 		}
 	}
-	// The defaults cover the four documented failure classes.
+	// The defaults cover the five documented failure classes.
 	names := make(map[string]bool)
 	for _, r := range DefaultRules() {
 		names[r.Name] = true
 	}
-	for _, want := range []string{"loss_spike", "mu_drift", "unaccounted", "stale_source"} {
+	for _, want := range []string{"loss_spike", "mu_drift", "unaccounted", "stale_source", "agents_lost"} {
 		if !names[want] {
 			t.Errorf("default rules missing %q", want)
 		}
